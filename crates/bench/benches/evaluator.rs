@@ -1,0 +1,51 @@
+//! Scaling of the Theorem-3 expected-makespan evaluator, and the
+//! optimized-vs-paper-literal complexity ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagchkpt_core::{evaluator, CostRule, LinearizationStrategy, Schedule};
+use dagchkpt_dag::FixedBitSet;
+use dagchkpt_workflows::PegasusKind;
+use std::hint::black_box;
+
+fn schedule_for(n: usize) -> (dagchkpt_core::Workflow, Schedule) {
+    let wf = PegasusKind::Montage.generate(
+        n,
+        CostRule::ProportionalToWork { ratio: 0.1 },
+        7,
+    );
+    let order = dagchkpt_core::linearize(&wf, LinearizationStrategy::DepthFirst);
+    let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|i| i % 3 == 0));
+    let s = Schedule::new(&wf, order, ckpt).expect("valid schedule");
+    (wf, s)
+}
+
+fn bench_evaluator_scaling(c: &mut Criterion) {
+    let model = dagchkpt_failure::FaultModel::new(1e-3, 0.0);
+    let mut g = c.benchmark_group("evaluator/optimized");
+    g.sample_size(20);
+    for n in [50usize, 100, 200, 400, 700] {
+        let (wf, s) = schedule_for(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(evaluator::expected_makespan(&wf, model, &s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_literal_vs_optimized(c: &mut Criterion) {
+    let model = dagchkpt_failure::FaultModel::new(1e-3, 0.0);
+    let mut g = c.benchmark_group("evaluator/paper_literal");
+    g.sample_size(10);
+    for n in [20usize, 50, 100] {
+        let (wf, s) = schedule_for(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(evaluator::literal::expected_makespan_literal(&wf, model, &s))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluator_scaling, bench_literal_vs_optimized);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Workflow-generation throughput for the four applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagchkpt_core::CostRule;
+use dagchkpt_workflows::PegasusKind;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate/700");
+    for kind in PegasusKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(k.generate(
+                    700,
+                    CostRule::ProportionalToWork { ratio: 0.1 },
+                    seed,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

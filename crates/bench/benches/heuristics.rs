@@ -1,0 +1,56 @@
+//! End-to-end heuristic cost: linearization + checkpoint-budget sweep +
+//! evaluation (what one point of a paper figure costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagchkpt_core::{
+    run_heuristic, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
+    SweepPolicy,
+};
+use dagchkpt_failure::FaultModel;
+use dagchkpt_workflows::PegasusKind;
+use std::hint::black_box;
+
+fn bench_heuristic_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic/DF-CkptW");
+    g.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let wf = PegasusKind::CyberShake.generate(
+            n,
+            CostRule::ProportionalToWork { ratio: 0.1 },
+            3,
+        );
+        let model = FaultModel::new(1e-3, 0.0);
+        let h = Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::ByDecreasingWork,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(run_heuristic(&wf, model, h, SweepPolicy::Exhaustive)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strided_vs_exhaustive(c: &mut Criterion) {
+    let n = 200usize;
+    let wf = PegasusKind::Ligo.generate(n, CostRule::ProportionalToWork { ratio: 0.1 }, 3);
+    let model = FaultModel::new(1e-3, 0.0);
+    let h = Heuristic {
+        lin: LinearizationStrategy::DepthFirst,
+        ckpt: CheckpointStrategy::ByDecreasingWork,
+    };
+    let mut g = c.benchmark_group("heuristic/sweep_policy");
+    g.sample_size(10);
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(run_heuristic(&wf, model, h, SweepPolicy::Exhaustive)));
+    });
+    g.bench_function("strided8", |b| {
+        b.iter(|| {
+            black_box(run_heuristic(&wf, model, h, SweepPolicy::Strided { stride: 8 }))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristic_sweep, bench_strided_vs_exhaustive);
+criterion_main!(benches);

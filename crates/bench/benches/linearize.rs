@@ -1,0 +1,25 @@
+//! Linearization-strategy throughput on the largest paper instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagchkpt_core::{CostRule, LinearizationStrategy};
+use dagchkpt_workflows::PegasusKind;
+use std::hint::black_box;
+
+fn bench_linearize(c: &mut Criterion) {
+    let wf =
+        PegasusKind::Montage.generate(700, CostRule::ProportionalToWork { ratio: 0.1 }, 5);
+    let mut g = c.benchmark_group("linearize/700");
+    for (name, strat) in [
+        ("DF", LinearizationStrategy::DepthFirst),
+        ("BF", LinearizationStrategy::BreadthFirst),
+        ("RF", LinearizationStrategy::RandomFirst { seed: 1 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strat, |b, &s| {
+            b.iter(|| black_box(dagchkpt_core::linearize(&wf, s)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_linearize);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Monte-Carlo simulator throughput: single trials and batched runs.
+//!
+//! The schedule under test checkpoints every task — the realistic
+//! configuration for per-trial timing. (Schedules with long
+//! non-checkpointed stretches are *semantically* fine but their expected
+//! retry counts grow as `e^{λW}`, which benchmarks the workload, not the
+//! engine.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagchkpt_core::{CostRule, LinearizationStrategy, Schedule};
+use dagchkpt_failure::{ExponentialInjector, FaultModel};
+use dagchkpt_sim::{run_trials, simulate, SimConfig, TrialSpec};
+use dagchkpt_workflows::PegasusKind;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (dagchkpt_core::Workflow, Schedule, FaultModel) {
+    let wf = PegasusKind::CyberShake.generate(
+        n,
+        CostRule::ProportionalToWork { ratio: 0.1 },
+        9,
+    );
+    let order = dagchkpt_core::linearize(&wf, LinearizationStrategy::DepthFirst);
+    let s = Schedule::always(&wf, order).expect("valid schedule");
+    (wf, s, FaultModel::new(1e-3, 0.0))
+}
+
+fn bench_single_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/single_trial");
+    g.sample_size(30);
+    for n in [50usize, 200, 700] {
+        let (wf, s, model) = setup(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut inj = ExponentialInjector::new(model.lambda(), seed);
+                black_box(simulate(&wf, &s, &mut inj, SimConfig::default()))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trial_batch(c: &mut Criterion) {
+    let (wf, s, model) = setup(100);
+    let mut g = c.benchmark_group("simulator/batch");
+    g.sample_size(10);
+    g.bench_function("1000_trials", |b| {
+        b.iter(|| black_box(run_trials(&wf, &s, model, TrialSpec::new(1000, 13))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_trial, bench_trial_batch);
+criterion_main!(benches);

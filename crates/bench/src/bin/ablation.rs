@@ -1,0 +1,7 @@
+//! V3/V4: evaluator-complexity and DF-priority ablations.
+
+fn main() {
+    let opts = dagchkpt_bench::Options::from_args();
+    opts.ensure_out_dir().expect("create output dir");
+    dagchkpt_bench::studies::ablation(&opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 3 series. See `dagchkpt-bench` docs.
+
+fn main() {
+    let opts = dagchkpt_bench::Options::from_args();
+    opts.ensure_out_dir().expect("create output dir");
+    let rows = dagchkpt_bench::figures::fig3(&opts);
+    println!("{} rows total", rows.len());
+}

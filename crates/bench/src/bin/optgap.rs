@@ -1,0 +1,7 @@
+//! V2: heuristic optimality gap vs brute-force optimum on tiny DAGs.
+
+fn main() {
+    let opts = dagchkpt_bench::Options::from_args();
+    opts.ensure_out_dir().expect("create output dir");
+    dagchkpt_bench::studies::optgap(&opts);
+}

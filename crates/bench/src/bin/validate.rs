@@ -1,0 +1,12 @@
+//! V1: analytic Theorem-3 evaluator vs Monte-Carlo simulation.
+
+fn main() {
+    let opts = dagchkpt_bench::Options::from_args();
+    opts.ensure_out_dir().expect("create output dir");
+    let worst = dagchkpt_bench::studies::validate(&opts);
+    if worst > 5.0 {
+        eprintln!("VALIDATION FAILED: worst |z| = {worst:.2} > 5");
+        std::process::exit(1);
+    }
+    println!("validation passed");
+}

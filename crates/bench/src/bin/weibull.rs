@@ -1,0 +1,8 @@
+//! V5: Weibull (age-dependent) faults in the simulator vs the exponential
+//! analytic prediction.
+
+fn main() {
+    let opts = dagchkpt_bench::Options::from_args();
+    opts.ensure_out_dir().expect("create output dir");
+    dagchkpt_bench::studies::weibull(&opts);
+}

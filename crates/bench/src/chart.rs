@@ -1,0 +1,131 @@
+//! ASCII line charts approximating the paper's plots in a terminal.
+
+/// One plotted series: a label and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. `DF-CkptW`).
+    pub label: String,
+    /// Data points, any order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series on a `width × height` character grid with axis ranges
+/// fitted to the data, one marker letter per series, and a legend.
+pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    const WIDTH: usize = 64;
+    const HEIGHT: usize = 20;
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let pts: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        if x.is_finite() {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+        }
+        if y.is_finite() {
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+    }
+    if !x0.is_finite() || !y0.is_finite() {
+        out.push_str("(no finite data)\n");
+        return out;
+    }
+    if (x1 - x0).abs() < 1e-30 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-30 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![b' '; WIDTH]; HEIGHT];
+    let markers: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    for (si, s) in series.iter().enumerate() {
+        let m = markers[si % markers.len()];
+        // Sort by x and mark interpolated segments for a line-ish look.
+        let mut p = s.points.clone();
+        p.retain(|(x, y)| x.is_finite() && y.is_finite());
+        p.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite xs"));
+        let to_cell = |x: f64, y: f64| {
+            let cx = ((x - x0) / (x1 - x0) * (WIDTH - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (HEIGHT - 1) as f64).round() as usize;
+            (cx.min(WIDTH - 1), HEIGHT - 1 - cy.min(HEIGHT - 1))
+        };
+        for w in p.windows(2) {
+            let (ax, ay) = w[0];
+            let (bx, by) = w[1];
+            let steps = WIDTH;
+            for k in 0..=steps {
+                let f = k as f64 / steps as f64;
+                let (cx, cy) = to_cell(ax + f * (bx - ax), ay + f * (by - ay));
+                if grid[cy][cx] == b' ' {
+                    grid[cy][cx] = b'.';
+                }
+            }
+        }
+        for &(x, y) in &p {
+            let (cx, cy) = to_cell(x, y);
+            grid[cy][cx] = m;
+        }
+    }
+    out.push_str(&format!("{y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let yv = y1 - (y1 - y0) * i as f64 / (HEIGHT - 1) as f64;
+        out.push_str(&format!("{yv:>9.3} |{}|\n", String::from_utf8_lossy(row)));
+    }
+    out.push_str(&format!(
+        "{:>10} {:<width$}{:>8}\n",
+        format!("{x0:.2}"),
+        "",
+        format!("{x1:.2}"),
+        width = WIDTH - 6
+    ));
+    out.push_str(&format!("{:^width$}\n", x_label, width = WIDTH + 11));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} = {}\n",
+            markers[si % markers.len()] as char,
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let s = vec![
+            Series {
+                label: "DF-CkptW".into(),
+                points: vec![(50.0, 1.1), (100.0, 1.2), (200.0, 1.25)],
+            },
+            Series { label: "DF-CkptNvr".into(), points: vec![(50.0, 1.3), (200.0, 1.5)] },
+        ];
+        let r = render("test", "n", "T/Tinf", &s);
+        assert!(r.contains("## test"));
+        assert!(r.contains('A'));
+        assert!(r.contains('B'));
+        assert!(r.contains("A = DF-CkptW"));
+        assert!(r.contains("B = DF-CkptNvr"));
+        assert!(r.contains("T/Tinf"));
+    }
+
+    #[test]
+    fn empty_and_degenerate_input() {
+        assert!(render("t", "x", "y", &[]).contains("(no data)"));
+        let s = vec![Series { label: "one".into(), points: vec![(1.0, 2.0)] }];
+        let r = render("t", "x", "y", &s);
+        assert!(r.contains('A'));
+        let inf = vec![Series { label: "inf".into(), points: vec![(f64::INFINITY, 1.0)] }];
+        assert!(render("t", "x", "y", &inf).contains("(no finite data)"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal command-line handling shared by all experiment binaries.
+
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small task counts — minutes on a laptop; shapes already visible.
+    Quick,
+    /// The paper's full range (50–700 tasks).
+    Full,
+}
+
+impl Scale {
+    /// Task counts on the x-axis (the paper plots 100–700; 50 is the
+    /// smallest size it mentions generating).
+    pub fn sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![50, 100, 200],
+            Scale::Full => vec![50, 100, 200, 300, 400, 500, 700],
+        }
+    }
+
+    /// Number of λ points for the Figure-7 sweep.
+    pub fn lambda_points(&self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 7,
+        }
+    }
+}
+
+/// Parsed options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Quick or full scale.
+    pub scale: Scale,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Master seed for workflow generation and RF linearization.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: Scale::Quick, out_dir: PathBuf::from("results"), seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses `--quick | --full`, `--out DIR`, `--seed S`; exits with a
+    /// usage message on unknown flags.
+    pub fn from_args() -> Options {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            eprintln!("usage: <bin> [--quick|--full] [--out DIR] [--seed S]");
+            std::process::exit(2);
+        })
+    }
+
+    /// Testable parser.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => opts.scale = Scale::Quick,
+                "--full" => opts.scale = Scale::Full,
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a directory")?;
+                    opts.out_dir = PathBuf::from(v);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Ensures the output directory exists.
+    pub fn ensure_out_dir(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.out_dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = p(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn full_flags() {
+        let o = p(&["--full", "--out", "/tmp/x", "--seed", "7"]).unwrap();
+        assert_eq!(o.scale, Scale::Full);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(p(&["--bogus"]).is_err());
+        assert!(p(&["--seed"]).is_err());
+        assert!(p(&["--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn scale_sizes() {
+        assert_eq!(Scale::Quick.sizes(), vec![50, 100, 200]);
+        assert_eq!(Scale::Full.sizes().last(), Some(&700));
+    }
+}

@@ -1,0 +1,56 @@
+//! Tiny CSV writer (quoted where needed; no external dependency).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Quotes a field when it contains separators, quotes or newlines.
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Writes `header` and `rows` to `path`, creating parent directories.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "{}", header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","))?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_quotes() {
+        let dir = std::env::temp_dir().join("dagchkpt_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b,c"],
+            vec![
+                vec!["1".to_string(), "plain".to_string()],
+                vec!["2".to_string(), "with \"quote\", comma".to_string()],
+            ],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            s,
+            "a,\"b,c\"\n1,plain\n2,\"with \"\"quote\"\", comma\"\n"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,306 @@
+//! Implementations of the paper's Figures 2–7.
+
+use crate::chart::{render, Series};
+use crate::cli::Options;
+use crate::csvout::write_csv;
+use crate::runner::{auto_policy, best_per_ckpt_strategy, run_cell, Cell, Row};
+use dagchkpt_core::{
+    CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
+};
+use dagchkpt_workflows::PegasusKind;
+
+/// The paper's λ ticks for Figure 7 (Montage/Ligo/CyberShake axis).
+pub const FIG7_LAMBDAS: [f64; 7] = [1e-4, 2.5e-4, 3.8e-4, 5.2e-4, 6.6e-4, 8e-4, 9.3e-4];
+/// The paper's λ ticks for Figure 7d (Genome axis).
+pub const FIG7_LAMBDAS_GENOME: [f64; 7] =
+    [1e-6, 5e-5, 9e-5, 1.4e-4, 1.8e-4, 2.3e-4, 2.7e-4];
+
+/// CkptW and CkptC under all three linearizations (Figures 2 and 4).
+pub fn w_c_heuristics(rf_seed: u64) -> Vec<Heuristic> {
+    let lins = [
+        LinearizationStrategy::DepthFirst,
+        LinearizationStrategy::BreadthFirst,
+        LinearizationStrategy::RandomFirst { seed: rf_seed },
+    ];
+    let mut out = Vec::new();
+    for ckpt in [
+        CheckpointStrategy::ByDecreasingWork,
+        CheckpointStrategy::ByIncreasingCkptCost,
+    ] {
+        for lin in lins {
+            out.push(Heuristic { lin, ckpt });
+        }
+    }
+    out
+}
+
+fn series_by_heuristic(rows: &[Row], x_of: impl Fn(&Row) -> f64) -> Vec<Series> {
+    let mut names: Vec<String> = rows.iter().map(|r| r.heuristic.clone()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| Series {
+            points: rows
+                .iter()
+                .filter(|r| r.heuristic == name)
+                .map(|r| (x_of(r), r.ratio))
+                .collect(),
+            label: name,
+        })
+        .collect()
+}
+
+fn write_rows(opts: &Options, file: &str, rows: &[Row]) {
+    let path = opts.out_dir.join(file);
+    write_csv(&path, &Row::CSV_HEADER, rows.iter().map(|r| r.to_csv()))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Runs one "ratio vs n" panel: `heuristics` on `kind` for every size.
+fn panel_sizes(
+    opts: &Options,
+    kind: PegasusKind,
+    lambda: f64,
+    rule: CostRule,
+    heuristics: &[Heuristic],
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &opts.scale.sizes() {
+        let cell = Cell { kind, n, lambda, rule, seed: opts.seed ^ n as u64 };
+        rows.extend(run_cell(&cell, heuristics, auto_policy(n)));
+    }
+    rows
+}
+
+/// **Figure 2** — impact of the linearization strategy: CkptW and CkptC
+/// under DF/BF/RF on CyberShake, Ligo and Genome (`c_i = r_i = 0.1 w_i`).
+pub fn fig2(opts: &Options) -> Vec<Row> {
+    let panels = [
+        (PegasusKind::CyberShake, 1e-3),
+        (PegasusKind::Ligo, 1e-3),
+        (PegasusKind::Genome, 1e-4),
+    ];
+    let hs = w_c_heuristics(opts.seed);
+    let rule = CostRule::ProportionalToWork { ratio: 0.1 };
+    let mut all = Vec::new();
+    for (kind, lambda) in panels {
+        let rows = panel_sizes(opts, kind, lambda, rule, &hs);
+        write_rows(opts, &format!("fig2_{}.csv", kind.name().to_lowercase()), &rows);
+        println!(
+            "{}",
+            render(
+                &format!("Figure 2 — {kind}: λ={lambda:e}, c=0.1w"),
+                "number of tasks",
+                "T / Tinf",
+                &series_by_heuristic(&rows, |r| r.n as f64),
+            )
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+/// Shared body of Figures 3, 5 and 6: all 14 heuristics on all four
+/// applications under one cost rule; the chart keeps, per checkpoint
+/// strategy, the best linearization (as the paper plots).
+fn checkpoint_strategy_figure(opts: &Options, fig: &str, rule: CostRule) -> Vec<Row> {
+    let hs = dagchkpt_core::paper_heuristics(opts.seed);
+    let mut all = Vec::new();
+    for kind in PegasusKind::ALL {
+        let lambda = kind.default_lambda();
+        let rows = panel_sizes(opts, kind, lambda, rule, &hs);
+        write_rows(opts, &format!("{fig}_{}.csv", kind.name().to_lowercase()), &rows);
+        // Best linearization per strategy, per size.
+        let mut best_rows = Vec::new();
+        for &n in &opts.scale.sizes() {
+            let per_n: Vec<Row> =
+                rows.iter().filter(|r| r.n == n).cloned().collect();
+            for mut b in best_per_ckpt_strategy(&per_n) {
+                // Label by strategy: the paper's legend is per checkpoint
+                // strategy (the linearization marker varies by point; keep
+                // the best one's name in the CSV, strategy in the chart).
+                b.heuristic = b
+                    .heuristic
+                    .split('-')
+                    .nth(1)
+                    .unwrap_or(&b.heuristic)
+                    .to_string();
+                best_rows.push(b);
+            }
+        }
+        write_rows(
+            opts,
+            &format!("{fig}_{}_best.csv", kind.name().to_lowercase()),
+            &best_rows,
+        );
+        println!(
+            "{}",
+            render(
+                &format!(
+                    "Figure {} — {kind}: λ={lambda:e}, {} (best linearization per strategy)",
+                    &fig[3..],
+                    rule.label()
+                ),
+                "number of tasks",
+                "T / Tinf",
+                &series_by_heuristic(&best_rows, |r| r.n as f64),
+            )
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+/// **Figure 3** — impact of the checkpointing strategy, `c_i = 0.1 w_i`.
+pub fn fig3(opts: &Options) -> Vec<Row> {
+    checkpoint_strategy_figure(opts, "fig3", CostRule::ProportionalToWork { ratio: 0.1 })
+}
+
+/// **Figure 4** — CyberShake with constant checkpoint costs (10 s, 5 s) and
+/// the nearly-free proportional rule (`0.01 w`): CkptW vs CkptC × DF/BF/RF.
+pub fn fig4(opts: &Options) -> Vec<Row> {
+    let rules = [
+        CostRule::Constant { value: 10.0 },
+        CostRule::Constant { value: 5.0 },
+        CostRule::ProportionalToWork { ratio: 0.01 },
+    ];
+    let hs = w_c_heuristics(opts.seed);
+    let mut all = Vec::new();
+    for (i, rule) in rules.into_iter().enumerate() {
+        let rows = panel_sizes(opts, PegasusKind::CyberShake, 1e-3, rule, &hs);
+        let tag = ["c10s", "c5s", "c001w"][i];
+        write_rows(opts, &format!("fig4_cybershake_{tag}.csv"), &rows);
+        println!(
+            "{}",
+            render(
+                &format!("Figure 4 — CyberShake: λ=1e-3, {}", rule.label()),
+                "number of tasks",
+                "T / Tinf",
+                &series_by_heuristic(&rows, |r| r.n as f64),
+            )
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+/// **Figure 5** — checkpointing strategies with `c_i = 0.01 w_i`.
+pub fn fig5(opts: &Options) -> Vec<Row> {
+    checkpoint_strategy_figure(opts, "fig5", CostRule::ProportionalToWork { ratio: 0.01 })
+}
+
+/// **Figure 6** — checkpointing strategies with `c_i = 5 s`.
+pub fn fig6(opts: &Options) -> Vec<Row> {
+    checkpoint_strategy_figure(opts, "fig6", CostRule::Constant { value: 5.0 })
+}
+
+/// **Figure 7** — λ sweep at 200 tasks (Genome on its own, lower λ axis),
+/// `c_i = 0.1 w_i`, best linearization per checkpoint strategy.
+pub fn fig7(opts: &Options) -> Vec<Row> {
+    let hs = dagchkpt_core::paper_heuristics(opts.seed);
+    let rule = CostRule::ProportionalToWork { ratio: 0.1 };
+    let n = 200;
+    let keep = opts.scale.lambda_points();
+    let mut all = Vec::new();
+    for kind in PegasusKind::ALL {
+        let lambdas: Vec<f64> = if kind == PegasusKind::Genome {
+            FIG7_LAMBDAS_GENOME.to_vec()
+        } else {
+            FIG7_LAMBDAS.to_vec()
+        };
+        let step = (lambdas.len() as f64 / keep as f64).ceil() as usize;
+        let lambdas: Vec<f64> = lambdas
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % step == 0 || *i == 6)
+            .map(|(_, l)| l)
+            .collect();
+        let mut rows = Vec::new();
+        for &lambda in &lambdas {
+            let cell = Cell { kind, n, lambda, rule, seed: opts.seed ^ n as u64 };
+            rows.extend(run_cell(&cell, &hs, auto_policy(n)));
+        }
+        write_rows(opts, &format!("fig7_{}.csv", kind.name().to_lowercase()), &rows);
+        let mut best_rows = Vec::new();
+        for &lambda in &lambdas {
+            let per_l: Vec<Row> =
+                rows.iter().filter(|r| r.lambda == lambda).cloned().collect();
+            for mut b in best_per_ckpt_strategy(&per_l) {
+                b.heuristic =
+                    b.heuristic.split('-').nth(1).unwrap_or(&b.heuristic).to_string();
+                best_rows.push(b);
+            }
+        }
+        write_rows(opts, &format!("fig7_{}_best.csv", kind.name().to_lowercase()), &best_rows);
+        println!(
+            "{}",
+            render(
+                &format!("Figure 7 — {kind}: 200 tasks, c=0.1w (best linearization)"),
+                "lambda",
+                "T / Tinf",
+                &series_by_heuristic(&best_rows, |r| r.lambda),
+            )
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Scale;
+
+    fn tiny_opts() -> Options {
+        Options {
+            scale: Scale::Quick,
+            out_dir: std::env::temp_dir().join("dagchkpt_fig_test"),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn w_c_registry() {
+        let hs = w_c_heuristics(1);
+        assert_eq!(hs.len(), 6);
+        let names: Vec<String> = hs.iter().map(|h| h.name()).collect();
+        assert!(names.contains(&"DF-CkptW".to_string()));
+        assert!(names.contains(&"RF-CkptC".to_string()));
+    }
+
+    #[test]
+    fn lambda_grids_match_paper_ticks() {
+        assert_eq!(FIG7_LAMBDAS.len(), 7);
+        assert_eq!(FIG7_LAMBDAS[0], 1e-4);
+        assert_eq!(FIG7_LAMBDAS[6], 9.3e-4);
+        assert_eq!(FIG7_LAMBDAS_GENOME[0], 1e-6);
+        assert_eq!(FIG7_LAMBDAS_GENOME[6], 2.7e-4);
+    }
+
+    /// Smoke test: a down-scaled Figure-2 panel runs end to end and writes
+    /// its CSV artifacts.
+    #[test]
+    fn fig2_smoke() {
+        let mut opts = tiny_opts();
+        opts.out_dir = std::env::temp_dir().join("dagchkpt_fig2_smoke");
+        opts.ensure_out_dir().unwrap();
+        // Shrink further: only the smallest size by monkey-patching sizes
+        // is not possible; instead run one cell directly.
+        let hs = w_c_heuristics(1);
+        let cell = Cell {
+            kind: PegasusKind::CyberShake,
+            n: 50,
+            lambda: 1e-3,
+            rule: CostRule::ProportionalToWork { ratio: 0.1 },
+            seed: 1,
+        };
+        let rows = run_cell(&cell, &hs, auto_policy(50));
+        assert_eq!(rows.len(), 6);
+        let series = series_by_heuristic(&rows, |r| r.n as f64);
+        assert_eq!(series.len(), 6);
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

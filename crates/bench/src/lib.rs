@@ -1,0 +1,31 @@
+//! `dagchkpt-bench` — the experiment harness that regenerates every figure
+//! of the paper's evaluation (Section 6), plus the validation, ablation and
+//! optimality-gap studies described in `DESIGN.md`.
+//!
+//! One binary per figure:
+//!
+//! | binary   | paper artifact | content |
+//! |----------|----------------|---------|
+//! | `fig2`   | Figure 2 (a–c) | linearization impact: CkptW/CkptC × DF/BF/RF |
+//! | `fig3`   | Figure 3 (a–d) | checkpoint strategies, `c = 0.1 w`          |
+//! | `fig4`   | Figure 4 (a–c) | CyberShake with constant checkpoint costs   |
+//! | `fig5`   | Figure 5 (a–d) | checkpoint strategies, `c = 0.01 w`         |
+//! | `fig6`   | Figure 6 (a–d) | checkpoint strategies, `c = 5 s`            |
+//! | `fig7`   | Figure 7 (a–d) | λ sweep at 200 tasks                        |
+//!
+//! plus `validate` (analytic evaluator vs Monte-Carlo), `optgap` (heuristics
+//! vs brute-force optimum), `ablation` (priorities, evaluator variants) and
+//! `weibull` (non-exponential faults). Every binary accepts `--quick`
+//! (default) or `--full` (the paper's task counts up to 700), `--out DIR`
+//! and `--seed S`, writes CSV series under `results/`, and renders ASCII
+//! charts of the same series the paper plots.
+
+pub mod chart;
+pub mod cli;
+pub mod csvout;
+pub mod figures;
+pub mod runner;
+pub mod studies;
+
+pub use cli::{Options, Scale};
+pub use runner::{auto_policy, run_cell, Cell, Row};

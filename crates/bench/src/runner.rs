@@ -1,0 +1,185 @@
+//! Running heuristics over experiment cells.
+
+use dagchkpt_core::{
+    run_heuristic, CostRule, Heuristic, SweepPolicy, Workflow,
+};
+use dagchkpt_failure::FaultModel;
+use dagchkpt_workflows::PegasusKind;
+
+/// One experiment cell: an application instance under one fault rate and
+/// one cost rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Application.
+    pub kind: PegasusKind,
+    /// Number of tasks.
+    pub n: usize,
+    /// Failure rate `λ` (per second).
+    pub lambda: f64,
+    /// Checkpoint/recovery cost rule.
+    pub rule: CostRule,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Generates the cell's workflow instance.
+    pub fn instance(&self) -> Workflow {
+        self.kind.generate(self.n, self.rule, self.seed)
+    }
+
+    /// Fault model (`D = 0` as in all paper experiments).
+    pub fn model(&self) -> FaultModel {
+        FaultModel::new(self.lambda, 0.0)
+    }
+}
+
+/// One result row (one heuristic on one cell).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application name.
+    pub workflow: &'static str,
+    /// Task count.
+    pub n: usize,
+    /// Failure rate.
+    pub lambda: f64,
+    /// Cost-rule label (`c=0.1w`, `c=5s`, …).
+    pub rule: String,
+    /// Heuristic name (`DF-CkptW`, …).
+    pub heuristic: String,
+    /// Expected makespan `T` (seconds).
+    pub expected: f64,
+    /// Failure-free, checkpoint-free time `T_inf = Σ w_i`.
+    pub tinf: f64,
+    /// `T / T_inf` — the paper's plotted metric.
+    pub ratio: f64,
+    /// Winning checkpoint budget for swept strategies.
+    pub best_n: Option<usize>,
+}
+
+impl Row {
+    /// CSV header matching [`Row::to_csv`].
+    pub const CSV_HEADER: [&'static str; 9] = [
+        "workflow", "n", "lambda", "cost_rule", "heuristic", "expected_makespan",
+        "tinf", "ratio", "best_n",
+    ];
+
+    /// Serializes the row for [`crate::csvout::write_csv`].
+    pub fn to_csv(&self) -> Vec<String> {
+        vec![
+            self.workflow.to_string(),
+            self.n.to_string(),
+            format!("{:e}", self.lambda),
+            self.rule.clone(),
+            self.heuristic.clone(),
+            format!("{:.6}", self.expected),
+            format!("{:.6}", self.tinf),
+            format!("{:.6}", self.ratio),
+            self.best_n.map_or(String::new(), |n| n.to_string()),
+        ]
+    }
+}
+
+/// Sweep policy matched to the instance size: the paper's exhaustive search
+/// up to 300 tasks, then a strided sweep with local refinement (identical
+/// answers whenever `E[T]` is locally unimodal in the budget `N`, which it
+/// empirically is — see the `strategies` tests).
+pub fn auto_policy(n: usize) -> SweepPolicy {
+    if n <= 300 {
+        SweepPolicy::Exhaustive
+    } else {
+        SweepPolicy::Strided { stride: (n / 64).max(2) }
+    }
+}
+
+/// Runs `heuristics` on one cell.
+pub fn run_cell(cell: &Cell, heuristics: &[Heuristic], policy: SweepPolicy) -> Vec<Row> {
+    let wf = cell.instance();
+    let model = cell.model();
+    heuristics
+        .iter()
+        .map(|&h| {
+            let r = run_heuristic(&wf, model, h, policy);
+            Row {
+                workflow: cell.kind.name(),
+                n: cell.n,
+                lambda: cell.lambda,
+                rule: cell.rule.label(),
+                heuristic: r.name,
+                expected: r.expected_makespan,
+                tinf: wf.total_work(),
+                ratio: r.ratio,
+                best_n: r.best_n,
+            }
+        })
+        .collect()
+}
+
+/// The best row per checkpoint strategy (minimum expected makespan over the
+/// linearizations) — what the paper plots in Figures 3, 5, 6 and 7.
+pub fn best_per_ckpt_strategy(rows: &[Row]) -> Vec<Row> {
+    let mut best: Vec<Row> = Vec::new();
+    for suffix in ["CkptNvr", "CkptAlws", "CkptPer", "CkptW", "CkptC", "CkptD"] {
+        if let Some(r) = rows
+            .iter()
+            .filter(|r| r.heuristic.ends_with(suffix))
+            .min_by(|a, b| a.expected.partial_cmp(&b.expected).expect("comparable"))
+        {
+            best.push(r.clone());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_core::paper_heuristics;
+
+    #[test]
+    fn auto_policy_switches_at_300() {
+        assert_eq!(auto_policy(100), SweepPolicy::Exhaustive);
+        assert_eq!(auto_policy(300), SweepPolicy::Exhaustive);
+        assert!(matches!(auto_policy(700), SweepPolicy::Strided { stride: 10 }));
+    }
+
+    #[test]
+    fn run_cell_produces_one_row_per_heuristic() {
+        let cell = Cell {
+            kind: PegasusKind::Montage,
+            n: 50,
+            lambda: 1e-3,
+            rule: CostRule::ProportionalToWork { ratio: 0.1 },
+            seed: 1,
+        };
+        let hs = paper_heuristics(1);
+        let rows = run_cell(&cell, &hs, auto_policy(50));
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert_eq!(r.workflow, "Montage");
+            assert!(r.ratio >= 1.0, "{}: ratio {}", r.heuristic, r.ratio);
+            assert!(r.ratio.is_finite());
+        }
+        // CSV serialization is complete.
+        assert_eq!(rows[0].to_csv().len(), Row::CSV_HEADER.len());
+    }
+
+    #[test]
+    fn best_per_ckpt_strategy_covers_all_six() {
+        let cell = Cell {
+            kind: PegasusKind::CyberShake,
+            n: 50,
+            lambda: 1e-3,
+            rule: CostRule::ProportionalToWork { ratio: 0.1 },
+            seed: 2,
+        };
+        let rows = run_cell(&cell, &paper_heuristics(1), auto_policy(50));
+        let best = best_per_ckpt_strategy(&rows);
+        assert_eq!(best.len(), 6);
+        // CkptW best-of-3 ≤ every CkptW row.
+        let w_best = best.iter().find(|r| r.heuristic.ends_with("CkptW")).unwrap();
+        for r in rows.iter().filter(|r| r.heuristic.ends_with("CkptW")) {
+            assert!(w_best.expected <= r.expected + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Optimized computation of the lost-set aggregates `W^i_k` / `R^i_k`.
+//!
+//! Semantics are identical to the paper's Algorithm 1 (`FindWikRik`), but the
+//! per-`k` `n×n` state table is replaced by a mark array recording at which
+//! position a task was first *studied* during the pass:
+//!
+//! * `mark[j] = 0` — not studied yet (the paper's `-1`);
+//! * `mark[j] = i` — first studied while processing position `i`. For later
+//!   positions this is exactly the paper's `0` ("already in memory — either
+//!   executed after the fault, or recovered/re-executed for an earlier
+//!   task"), and within position `i` it doubles as "already counted".
+//!
+//! Each task is studied at most once per pass and each adjacency list is
+//! scanned at most twice, so a pass costs `O(n + |E|)` and all `n` passes
+//! `O(n(n + |E|))` — down from the paper's `O(n⁴)` (their Algorithm 1 spends
+//! `O(n)` per studied task zeroing future table rows). The unit tests of
+//! [`super::literal`] check both implementations produce identical matrices.
+
+use crate::model::Workflow;
+use crate::schedule::Schedule;
+use dagchkpt_dag::NodeId;
+
+/// Dense `W^i_k` / `R^i_k` matrices for one schedule (1-based positions;
+/// entries defined for `1 ≤ k ≤ i ≤ n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryMatrices {
+    n: usize,
+    /// `w[i·(n+1)+k] = W^i_k` — total weight of lost, still-needed,
+    /// non-checkpointed ancestors to re-execute before the task at
+    /// position `i`, given the last fault hit position `k`.
+    w: Vec<f64>,
+    /// `r[i·(n+1)+k] = R^i_k` — total recovery cost of lost, still-needed,
+    /// checkpointed ancestors.
+    r: Vec<f64>,
+}
+
+impl RecoveryMatrices {
+    /// `(W^i_k, R^i_k)` for `1 ≤ k ≤ i ≤ n`.
+    #[inline]
+    pub fn get(&self, i: usize, k: usize) -> (f64, f64) {
+        debug_assert!(1 <= k && k <= i && i <= self.n, "get({i}, {k}) out of range");
+        let idx = i * (self.n + 1) + k;
+        (self.w[idx], self.r[idx])
+    }
+
+    /// Number of tasks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Wraps externally computed flat matrices (row-major,
+    /// `(n+1)×(n+1)`, entry `i·(n+1)+k`). Used by the paper-literal
+    /// implementation so both share the probability assembly.
+    pub(crate) fn from_raw(n: usize, w: Vec<f64>, r: Vec<f64>) -> Self {
+        assert_eq!(w.len(), (n + 1) * (n + 1));
+        assert_eq!(r.len(), (n + 1) * (n + 1));
+        RecoveryMatrices { n, w, r }
+    }
+
+    /// Computes all matrices for `schedule` in `O(n(n + |E|))`.
+    pub fn compute(wf: &Workflow, schedule: &Schedule) -> Self {
+        let n = wf.n_tasks();
+        let order = schedule.order();
+        let dag = wf.dag();
+        // pos1[task] = 1-based schedule position.
+        let mut pos1 = vec![0usize; n];
+        for (idx, &t) in order.iter().enumerate() {
+            pos1[t.index()] = idx + 1;
+        }
+
+        let mut w = vec![0.0f64; (n + 1) * (n + 1)];
+        let mut r = vec![0.0f64; (n + 1) * (n + 1)];
+        // mark[task] = position at which the task was studied in this pass.
+        let mut mark = vec![0u32; n];
+        let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+
+        for k in 1..=n {
+            mark.fill(0);
+            for i in k..=n {
+                let mut wi = 0.0f64;
+                let mut ri = 0.0f64;
+                // DFS from the task at position i through its lost inputs.
+                stack.push(order[i - 1]);
+                while let Some(t) = stack.pop() {
+                    for &p in dag.preds(t) {
+                        let j = p.index();
+                        if mark[j] != 0 {
+                            // In memory (studied at an earlier position) or
+                            // already counted for position i.
+                            continue;
+                        }
+                        mark[j] = i as u32;
+                        if pos1[j] < k {
+                            // Executed before the fault: output lost.
+                            if schedule.is_checkpointed(p) {
+                                ri += wf.recovery_cost(p);
+                            } else {
+                                wi += wf.work(p);
+                                // Re-executing p needs p's own inputs.
+                                stack.push(p);
+                            }
+                        }
+                        // pos1[j] ≥ k: executed at/after the fault, so the
+                        // output is in memory; the mark blocks revisits.
+                    }
+                }
+                let idx = i * (n + 1) + k;
+                w[idx] = wi;
+                r[idx] = ri;
+            }
+        }
+
+        RecoveryMatrices { n, w, r }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CostRule, TaskCosts, Workflow};
+    use crate::schedule::Schedule;
+    use dagchkpt_dag::{generators, topo, FixedBitSet, NodeId};
+
+    /// Figure-1 workflow with unit weights, c = r = 0.1.
+    fn fig1() -> (Workflow, Schedule) {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![1.0; 8],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let order: Vec<NodeId> =
+            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let mut ckpt = FixedBitSet::new(8);
+        ckpt.insert(3);
+        ckpt.insert(4);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        (wf, s)
+    }
+
+    #[test]
+    fn full_closure_of_chain() {
+        // Chain T0→T1→T2, no checkpoints, natural order.
+        let wf = Workflow::uniform(generators::chain(3), 2.0, 0.0);
+        let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
+        let m = RecoveryMatrices::compute(&wf, &s);
+        // W^i_i: all predecessors must be re-executed from scratch.
+        assert_eq!(m.get(1, 1), (0.0, 0.0));
+        assert_eq!(m.get(2, 2), (2.0, 0.0));
+        assert_eq!(m.get(3, 3), (4.0, 0.0));
+        // After a fault at position k, the chain prefix is rebuilt inside
+        // X_k itself, so later tasks need nothing extra.
+        assert_eq!(m.get(2, 1), (0.0, 0.0));
+        assert_eq!(m.get(3, 1), (0.0, 0.0));
+        assert_eq!(m.get(3, 2), (0.0, 0.0));
+    }
+
+    #[test]
+    fn checkpointed_predecessor_costs_recovery() {
+        // T0 (ckpt) → T1; fault during X2 = position of T1 loses T0's
+        // in-memory copy but its checkpoint remains.
+        let costs = vec![TaskCosts::new(2.0, 0.5, 0.7), TaskCosts::new(3.0, 0.0, 0.0)];
+        let wf = Workflow::new(generators::chain(2), costs);
+        let mut ckpt = FixedBitSet::new(2);
+        ckpt.insert(0);
+        let s = Schedule::new(&wf, topo::topological_order(wf.dag()), ckpt).unwrap();
+        let m = RecoveryMatrices::compute(&wf, &s);
+        assert_eq!(m.get(2, 2), (0.0, 0.7));
+        assert_eq!(m.get(2, 1), (0.0, 0.0)); // rebuilt during X_1
+    }
+
+    #[test]
+    fn figure1_walkthrough_lost_sets() {
+        // Order T0 T3 T1 T2 T4 T5 T6 T7 (positions 1..8), ckpt {T3, T4}.
+        // The paper's walk-through: a fault during X_6 (task T5) ⇒ T5 needs
+        // only the checkpoint of T3 (r=0.1); T6 then needs the checkpoint of
+        // T4; T7 needs the re-execution of T1 and T2 (w=2.0 total).
+        let (wf, s) = fig1();
+        let m = RecoveryMatrices::compute(&wf, &s);
+        // Position 6 is T5 (preds: T3 ckpt). Full closure:
+        assert_eq!(m.get(6, 6), (0.0, 0.1));
+        // Fault during X_6 (T5): position 7 is T6 (preds T4 ckpt, T5).
+        // T5 is rebuilt within X_6; T4's in-memory output died ⇒ recover.
+        assert_eq!(m.get(7, 6), (0.0, 0.1));
+        // Position 8 is T7 (preds T2, T6). T6 rebuilt in X_7. T2 was lost
+        // and is not checkpointed ⇒ re-execute T2 and its pred T1.
+        assert_eq!(m.get(8, 6), (2.0, 0.0));
+        let _ = wf;
+    }
+
+    #[test]
+    fn later_task_does_not_pay_for_already_recovered_inputs() {
+        // Join: T0 ckpt, T1 ckpt, sink T2 with preds {T0, T1}; order
+        // T0 T1 T2. Fault during X_2 (T1): X_2 rebuilds T1 only. X_3 (T2)
+        // must recover T0 (lost, checkpointed).
+        let costs = vec![
+            TaskCosts::new(2.0, 0.2, 0.3),
+            TaskCosts::new(4.0, 0.4, 0.5),
+            TaskCosts::new(1.0, 0.0, 0.0),
+        ];
+        let wf = Workflow::new(generators::join(2), costs);
+        let mut ckpt = FixedBitSet::new(3);
+        ckpt.insert(0);
+        ckpt.insert(1);
+        let s = Schedule::new(&wf, topo::topological_order(wf.dag()), ckpt).unwrap();
+        let m = RecoveryMatrices::compute(&wf, &s);
+        assert_eq!(m.get(3, 2), (0.0, 0.3)); // recover T0 only
+        assert_eq!(m.get(3, 3), (0.0, 0.8)); // fault during X_3: recover both
+        assert_eq!(m.get(2, 2), (0.0, 0.0)); // T1 is a source
+    }
+
+    #[test]
+    fn nonckpt_shared_ancestor_counted_once() {
+        // Diamond 0→{1,2}→3 with nothing checkpointed, order 0 1 2 3.
+        // Full closure of T3: T1, T2, and T0 — T0 once, despite two paths.
+        let wf = Workflow::uniform(
+            {
+                let mut b = dagchkpt_dag::DagBuilder::new(4);
+                b.add_edge(0usize, 1usize);
+                b.add_edge(0usize, 2usize);
+                b.add_edge(1usize, 3usize);
+                b.add_edge(2usize, 3usize);
+                b.build().unwrap()
+            },
+            5.0,
+            0.0,
+        );
+        let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
+        let m = RecoveryMatrices::compute(&wf, &s);
+        assert_eq!(m.get(4, 4), (15.0, 0.0)); // T1 + T2 + T0, not T0 twice
+        // Fault at X_3 (T2): X_3 rebuilds T0 and T2; T1 was lost and is
+        // needed by T3 ⇒ W^4_3 = w1 only.
+        assert_eq!(m.get(4, 3), (5.0, 0.0));
+    }
+}

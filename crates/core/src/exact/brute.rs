@@ -1,0 +1,213 @@
+//! Brute-force optimum for tiny DAGs: enumerate every linear extension and
+//! every checkpoint subset, evaluate each schedule exactly (Theorem 3), keep
+//! the best. Ground truth for the optimality-gap experiment and for tests.
+
+use crate::evaluator;
+use crate::model::Workflow;
+use crate::schedule::Schedule;
+use dagchkpt_dag::{topo, FixedBitSet};
+use dagchkpt_failure::FaultModel;
+
+/// Guard rails for the factorial/exponential enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteLimits {
+    /// Maximum number of tasks (checkpoint subsets are `2^n`).
+    pub max_tasks: usize,
+    /// Maximum number of linear extensions visited before giving up.
+    pub max_extensions: u64,
+}
+
+impl Default for BruteLimits {
+    fn default() -> Self {
+        BruteLimits { max_tasks: 9, max_extensions: 20_000 }
+    }
+}
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct BruteResult {
+    /// An optimal schedule.
+    pub schedule: Schedule,
+    /// Its expected makespan.
+    pub expected_makespan: f64,
+    /// Number of (order, checkpoint-set) pairs evaluated.
+    pub evaluated: u64,
+}
+
+/// Exhaustively finds an optimal schedule, or `None` when `wf` exceeds the
+/// limits (too many tasks, or more linear extensions than allowed).
+pub fn optimal_schedule(
+    wf: &Workflow,
+    model: FaultModel,
+    limits: BruteLimits,
+) -> Option<BruteResult> {
+    let n = wf.n_tasks();
+    if n > limits.max_tasks {
+        return None;
+    }
+    if n == 0 {
+        let schedule = Schedule::never(wf, vec![]).expect("empty order");
+        return Some(BruteResult { schedule, expected_makespan: 0.0, evaluated: 1 });
+    }
+    if topo::count_linear_extensions(wf.dag()) > limits.max_extensions {
+        return None;
+    }
+
+    let mut best: Option<(Schedule, f64)> = None;
+    let mut evaluated = 0u64;
+    topo::for_each_linear_extension(wf.dag(), |order| {
+        let base = Schedule::never(wf, order.to_vec()).expect("extension is valid");
+        // The task in the last position can never usefully be checkpointed;
+        // halve the subset enumeration by pinning its bit to 0.
+        let last = order[n - 1].index();
+        for mask in 0u64..(1u64 << n) {
+            if mask & (1 << last) != 0 {
+                continue;
+            }
+            let set =
+                FixedBitSet::from_indices(n, (0..n).filter(|b| mask & (1 << b) != 0));
+            let s = base.with_checkpoints(set);
+            let e = evaluator::expected_makespan(wf, model, &s);
+            evaluated += 1;
+            if best.as_ref().is_none_or(|(_, b)| e < *b) {
+                best = Some((s, e));
+            }
+        }
+        true
+    });
+    let (schedule, expected_makespan) = best.expect("n ≥ 1 has at least one schedule");
+    Some(BruteResult { schedule, expected_makespan, evaluated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{chain, fork, join};
+    use crate::heuristics::run_all;
+    use crate::model::{CostRule, TaskCosts};
+    use crate::strategies::SweepPolicy;
+    use dagchkpt_dag::generators;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn limits_are_respected() {
+        let wf = Workflow::uniform(generators::chain(12), 1.0, 0.1);
+        assert!(optimal_schedule(&wf, FaultModel::new(1e-3, 0.0), BruteLimits::default())
+            .is_none());
+        let anti = Workflow::uniform(
+            dagchkpt_dag::DagBuilder::new(8).build().unwrap(),
+            1.0,
+            0.1,
+        );
+        // 8! = 40320 extensions exceeds the 20k default cap.
+        assert!(optimal_schedule(&anti, FaultModel::new(1e-3, 0.0), BruteLimits::default())
+            .is_none());
+    }
+
+    #[test]
+    fn brute_matches_chain_dp() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..8 {
+            let n = rng.gen_range(1..7usize);
+            let costs: Vec<TaskCosts> = (0..n)
+                .map(|_| {
+                    let w = rng.gen_range(5.0..60.0);
+                    let c = rng.gen_range(0.1..8.0);
+                    TaskCosts::new(w, c, c)
+                })
+                .collect();
+            let wf = Workflow::new(generators::chain(n), costs);
+            let m = FaultModel::new(rng.gen_range(1e-3..1e-2), 0.0);
+            let brute = optimal_schedule(&wf, m, BruteLimits::default()).unwrap();
+            let (_, dp) = chain::solve_chain(&wf, m).unwrap();
+            assert!(
+                (brute.expected_makespan - dp).abs() / dp < 1e-9,
+                "brute {} vs DP {dp}",
+                brute.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn brute_matches_fork_theorem() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..6 {
+            let k = rng.gen_range(1..5usize);
+            let mut costs = vec![TaskCosts::new(
+                rng.gen_range(10.0..100.0),
+                rng.gen_range(0.5..10.0),
+                rng.gen_range(0.5..10.0),
+            )];
+            costs.extend(
+                (0..k).map(|_| TaskCosts::new(rng.gen_range(1.0..50.0), 0.0, 0.0)),
+            );
+            let wf = Workflow::new(generators::fork(k), costs);
+            let m = FaultModel::new(rng.gen_range(1e-3..1e-2), 0.0);
+            let brute = optimal_schedule(&wf, m, BruteLimits::default()).unwrap();
+            let (_, thm) = fork::solve_fork(&wf, m).unwrap();
+            // Brute force also explores checkpointing sinks (useless) and
+            // other sink orders (equivalent) — values must agree.
+            assert!(
+                (brute.expected_makespan - thm).abs() / thm < 1e-9,
+                "brute {} vs theorem {thm}",
+                brute.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn brute_matches_join_exact() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..6 {
+            let k = rng.gen_range(2..5usize);
+            let mut costs: Vec<TaskCosts> = (0..k)
+                .map(|_| {
+                    TaskCosts::new(
+                        rng.gen_range(5.0..50.0),
+                        rng.gen_range(0.2..6.0),
+                        rng.gen_range(0.2..6.0),
+                    )
+                })
+                .collect();
+            costs.push(TaskCosts::new(rng.gen_range(0.0..10.0), 0.0, 0.0));
+            let wf = Workflow::new(generators::join(k), costs);
+            let m = FaultModel::new(rng.gen_range(2e-3..1e-2), 0.0);
+            let brute = optimal_schedule(&wf, m, BruteLimits::default()).unwrap();
+            let (_, exact) = join::solve_join_exact(&wf, m, 10).unwrap();
+            assert!(
+                (brute.expected_makespan - exact).abs() / exact < 1e-9,
+                "brute {} vs lemma-2 exact {exact}",
+                brute.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        for _ in 0..5 {
+            let n = rng.gen_range(3..7usize);
+            let dag = generators::layered_random(&mut rng, n, 3, 0.4);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(5.0..50.0)).collect();
+            let wf = Workflow::with_cost_rule(
+                dag,
+                weights,
+                CostRule::ProportionalToWork { ratio: 0.1 },
+            );
+            let m = FaultModel::new(5e-3, 0.0);
+            let Some(brute) = optimal_schedule(&wf, m, BruteLimits::default()) else {
+                continue;
+            };
+            for r in run_all(&wf, m, SweepPolicy::Exhaustive, 7) {
+                assert!(
+                    brute.expected_makespan <= r.expected_makespan + 1e-9,
+                    "{} ({}) beat brute force ({})",
+                    r.name,
+                    r.expected_makespan,
+                    brute.expected_makespan
+                );
+            }
+        }
+    }
+}

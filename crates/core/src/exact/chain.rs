@@ -1,0 +1,280 @@
+//! Optimal checkpoint placement on linear chains — the Toueg–Babaoglu
+//! dynamic program (reference [13] of the paper, adapted to the exponential
+//! fault model of Equation (1)).
+//!
+//! For a chain `T_1 → … → T_n`, the order is forced and only the checkpoint
+//! set is free. Between two consecutive checkpoints the tasks form a
+//! *segment* executed as one failure-atomic block: a fault anywhere in the
+//! segment rolls back to the previous checkpoint. With
+//! `E_seg(i, j) = E[t(Σ_{l=i+1..j} w_l ; c_j ; r_i)]` (with `r_0 = 0` for
+//! the virtual start and `c = 0` for the final, uncheckpointed segment):
+//!
+//! ```text
+//! best[j] = min_{0 ≤ i < j} best[i] + E_seg(i, j)      (output of j checkpointed)
+//! answer  = min_{0 ≤ i < n} best[i] + E[t(Σ_{i+1..n} w; 0; r_i)]
+//! ```
+//!
+//! `O(n²)` time. The segment decomposition is exact — the telescoping
+//! identity `E[t(w_a;0;r)] + e^{λ w_a}·…` collapses per-task evaluation into
+//! per-segment blocks, which the unit tests verify against the Theorem-3
+//! evaluator.
+
+use crate::model::Workflow;
+use crate::schedule::Schedule;
+use dagchkpt_dag::{FixedBitSet, NodeId};
+use dagchkpt_failure::FaultModel;
+
+/// Shape check: returns the unique chain order when the DAG is a linear
+/// chain (every node has at most one predecessor and successor, single
+/// connected path covering all nodes).
+pub fn as_chain(wf: &Workflow) -> Option<Vec<NodeId>> {
+    let dag = wf.dag();
+    let n = wf.n_tasks();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let sources = dag.sources();
+    if sources.len() != 1 {
+        return None;
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut cur = sources[0];
+    loop {
+        if dag.in_degree(cur) > 1 || dag.out_degree(cur) > 1 {
+            return None;
+        }
+        order.push(cur);
+        match dag.succs(cur).first() {
+            Some(&next) => cur = next,
+            None => break,
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Optimal schedule for a chain workflow via the `O(n²)` dynamic program.
+/// Returns `None` when the workflow is not a chain.
+pub fn solve_chain(wf: &Workflow, model: FaultModel) -> Option<(Schedule, f64)> {
+    let order = as_chain(wf)?;
+    let n = order.len();
+    if n == 0 {
+        let s = Schedule::never(wf, vec![]).expect("empty order");
+        return Some((s, 0.0));
+    }
+
+    // prefix[j] = Σ_{l<j} w_l  (positions 0-based over `order`).
+    let mut prefix = vec![0.0f64; n + 1];
+    for (idx, &v) in order.iter().enumerate() {
+        prefix[idx + 1] = prefix[idx] + wf.work(v);
+    }
+    let seg_work = |i: usize, j: usize| prefix[j] - prefix[i];
+    // Recovery cost of the checkpoint taken after 1-based position i
+    // (i = 0 ⇒ virtual start, r = 0).
+    let rec = |i: usize| if i == 0 { 0.0 } else { wf.recovery_cost(order[i - 1]) };
+
+    // best[j] = expected time to finish positions 1..=j with j checkpointed.
+    let mut best = vec![f64::INFINITY; n + 1];
+    let mut parent = vec![0usize; n + 1];
+    best[0] = 0.0;
+    for j in 1..=n {
+        let cj = wf.checkpoint_cost(order[j - 1]);
+        for i in 0..j {
+            let e = best[i] + model.expected_exec_time(seg_work(i, j), cj, rec(i));
+            if e < best[j] {
+                best[j] = e;
+                parent[j] = i;
+            }
+        }
+    }
+
+    // Final uncheckpointed segment from the last checkpoint i to n.
+    let mut answer = f64::INFINITY;
+    let mut last_ckpt = 0usize;
+    for (i, &b) in best.iter().enumerate().take(n) {
+        let e = b + model.expected_exec_time(seg_work(i, n), 0.0, rec(i));
+        if e < answer {
+            answer = e;
+            last_ckpt = i;
+        }
+    }
+
+    // Reconstruct the checkpoint set.
+    let mut ckpt = FixedBitSet::new(n);
+    let mut j = last_ckpt;
+    while j > 0 {
+        ckpt.insert(order[j - 1].index());
+        j = parent[j];
+    }
+    let schedule = Schedule::new(wf, order, ckpt).expect("chain order is valid");
+    Some((schedule, answer))
+}
+
+/// Expected makespan of a chain schedule through the segment decomposition —
+/// an independent closed form used to validate the general evaluator.
+pub fn chain_segment_makespan(wf: &Workflow, model: FaultModel, schedule: &Schedule) -> f64 {
+    let order = schedule.order();
+    let mut total = 0.0f64;
+    let mut seg_work = 0.0f64;
+    let mut rec = 0.0f64; // recovery to the previous checkpoint (0 at start)
+    for &v in order {
+        seg_work += wf.work(v);
+        if schedule.is_checkpointed(v) {
+            total += model.expected_exec_time(seg_work, wf.checkpoint_cost(v), rec);
+            rec = wf.recovery_cost(v);
+            seg_work = 0.0;
+        }
+    }
+    if seg_work > 0.0 {
+        total += model.expected_exec_time(seg_work, 0.0, rec);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator;
+    use crate::model::{CostRule, TaskCosts};
+    use dagchkpt_dag::generators;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chain_wf(costs: Vec<TaskCosts>) -> Workflow {
+        let n = costs.len();
+        Workflow::new(generators::chain(n), costs)
+    }
+
+    #[test]
+    fn shape_detection() {
+        assert!(as_chain(&Workflow::uniform(generators::chain(5), 1.0, 0.1)).is_some());
+        assert!(as_chain(&Workflow::uniform(generators::fork(3), 1.0, 0.1)).is_none());
+        assert!(as_chain(&Workflow::uniform(generators::join(3), 1.0, 0.1)).is_none());
+        assert_eq!(
+            as_chain(&Workflow::uniform(generators::chain(0), 1.0, 0.1)),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn segment_makespan_matches_general_evaluator() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..12);
+            let costs: Vec<TaskCosts> = (0..n)
+                .map(|_| {
+                    let w = rng.gen_range(1.0..50.0);
+                    TaskCosts::new(w, rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0))
+                })
+                .collect();
+            let wf = chain_wf(costs);
+            let m = FaultModel::new(rng.gen_range(1e-4..1e-2), rng.gen_range(0.0..3.0));
+            let order = as_chain(&wf).unwrap();
+            let ckpt =
+                FixedBitSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(0.4)));
+            let s = Schedule::new(&wf, order, ckpt).unwrap();
+            let seg = chain_segment_makespan(&wf, m, &s);
+            let gen = evaluator::expected_makespan(&wf, m, &s);
+            assert!(
+                (seg - gen).abs() / gen < 1e-11,
+                "segment {seg} vs evaluator {gen}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_subset_search() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..9usize);
+            let costs: Vec<TaskCosts> = (0..n)
+                .map(|_| {
+                    let w = rng.gen_range(5.0..80.0);
+                    let c = rng.gen_range(0.1..10.0);
+                    TaskCosts::new(w, c, c)
+                })
+                .collect();
+            let wf = chain_wf(costs);
+            let m = FaultModel::new(rng.gen_range(1e-3..2e-2), 0.0);
+            let (s_dp, v_dp) = solve_chain(&wf, m).unwrap();
+            // Exhaustive over all 2^n checkpoint subsets.
+            let order = as_chain(&wf).unwrap();
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << n) {
+                let set = FixedBitSet::from_indices(
+                    n, (0..n).filter(|b| mask & (1 << b) != 0));
+                let s = Schedule::new(&wf, order.clone(), set).unwrap();
+                best = best.min(evaluator::expected_makespan(&wf, m, &s));
+            }
+            assert!(
+                (v_dp - best).abs() / best < 1e-9,
+                "DP {v_dp} vs exhaustive {best}"
+            );
+            // The DP's claimed value matches its own schedule.
+            let check = evaluator::expected_makespan(&wf, m, &s_dp);
+            assert!((v_dp - check).abs() / check < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_failure_rate_checkpoints_more() {
+        let wf = Workflow::with_cost_rule(
+            generators::chain(20),
+            vec![50.0; 20],
+            CostRule::ProportionalToWork { ratio: 0.02 },
+        );
+        let (s_lo, _) = solve_chain(&wf, FaultModel::new(1e-5, 0.0)).unwrap();
+        let (s_hi, _) = solve_chain(&wf, FaultModel::new(1e-2, 0.0)).unwrap();
+        assert!(
+            s_hi.n_checkpoints() > s_lo.n_checkpoints(),
+            "hi-λ {} vs lo-λ {}",
+            s_hi.n_checkpoints(),
+            s_lo.n_checkpoints()
+        );
+    }
+
+    #[test]
+    fn fault_free_chain_takes_no_checkpoints() {
+        let wf = Workflow::uniform(generators::chain(10), 10.0, 1.0);
+        let (s, v) = solve_chain(&wf, FaultModel::fault_free()).unwrap();
+        assert_eq!(s.n_checkpoints(), 0);
+        assert_eq!(v, 100.0);
+    }
+
+    #[test]
+    fn last_task_never_checkpointed() {
+        // Checkpointing the final task only adds cost; the DP must avoid it.
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..15usize);
+            let wf = Workflow::uniform(generators::chain(n), 30.0, 3.0);
+            let (s, _) = solve_chain(&wf, FaultModel::new(5e-3, 0.0)).unwrap();
+            let last = s.order()[n - 1];
+            assert!(!s.is_checkpointed(last));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn dp_value_never_above_trivial_schedules(
+            seed in 0u64..300, n in 1usize..25, lambda in 1e-4f64..1e-2,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let costs: Vec<TaskCosts> = (0..n).map(|_| {
+                let w = rng.gen_range(1.0..60.0);
+                let c = rng.gen_range(0.1..6.0);
+                TaskCosts::new(w, c, c)
+            }).collect();
+            let wf = chain_wf(costs);
+            let m = FaultModel::new(lambda, 0.0);
+            let (_, v) = solve_chain(&wf, m).unwrap();
+            let order = as_chain(&wf).unwrap();
+            let never = Schedule::never(&wf, order.clone()).unwrap();
+            let always = Schedule::always(&wf, order).unwrap();
+            prop_assert!(v <= evaluator::expected_makespan(&wf, m, &never) * (1.0 + 1e-9));
+            prop_assert!(v <= evaluator::expected_makespan(&wf, m, &always) * (1.0 + 1e-9));
+        }
+    }
+}

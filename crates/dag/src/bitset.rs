@@ -1,0 +1,281 @@
+//! A fixed-capacity bitset over dense node indices.
+//!
+//! Node sets (checkpoint sets, in-memory output sets, ancestor closures) are
+//! the hottest data structure in the evaluator and the simulator, so they use
+//! a flat `Vec<u64>` rather than hash sets. The capacity is fixed at
+//! construction; all operations between two sets require equal capacity.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of indices in `0..len`, backed by 64-bit words.
+///
+/// `Default` produces the zero-capacity empty set (useful as a placeholder
+/// for `std::mem::take`).
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FixedBitSet {
+    /// Creates an empty set with capacity for indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a set containing every index in `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of indices (all must be `< len`).
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The capacity (indices range over `0..len()`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no index is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    fn check(&self, i: usize) {
+        assert!(i < self.len, "bitset index {i} out of range (len {})", self.len);
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        self.check(i);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        self.check(i);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.check(i);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of indices present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with `other` (equal capacity required).
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection with `other` (equal capacity required).
+    pub fn intersect_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference `self \ other` (equal capacity required).
+    pub fn difference_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// `true` when every index of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &FixedBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` when the two sets share no index.
+    pub fn is_disjoint_from(&self, other: &FixedBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over present indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for FixedBitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for FixedBitSet {
+    /// Collects indices into a set sized to fit the largest one.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let v: Vec<usize> = iter.into_iter().collect();
+        let len = v.iter().max().map_or(0, |m| m + 1);
+        Self::from_indices(len, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_and_full() {
+        let e = FixedBitSet::new(130);
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.len(), 130);
+        let f = FixedBitSet::full(130);
+        assert_eq!(f.count(), 130);
+        assert!(f.contains(0) && f.contains(129));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = FixedBitSet::new(100);
+        assert!(s.insert(63));
+        assert!(!s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.contains(63) && s.contains(64) && !s.contains(65));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = FixedBitSet::new(10);
+        s.contains(10);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = FixedBitSet::from_indices(200, [5usize, 180, 64, 0, 63]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 180]);
+    }
+
+    #[test]
+    fn zero_capacity_set_works() {
+        let s = FixedBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = FixedBitSet::from_indices(8, [1usize, 3]);
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+
+    fn naive_ops(
+        len: usize,
+        a: &BTreeSet<usize>,
+        b: &BTreeSet<usize>,
+    ) -> (FixedBitSet, FixedBitSet) {
+        (
+            FixedBitSet::from_indices(len, a.iter().copied()),
+            FixedBitSet::from_indices(len, b.iter().copied()),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn union_matches_btreeset(
+            a in proptest::collection::btree_set(0usize..150, 0..50),
+            b in proptest::collection::btree_set(0usize..150, 0..50),
+        ) {
+            let (mut sa, sb) = naive_ops(150, &a, &b);
+            sa.union_with(&sb);
+            let expect: BTreeSet<usize> = a.union(&b).copied().collect();
+            prop_assert_eq!(sa.iter().collect::<BTreeSet<_>>(), expect);
+        }
+
+        #[test]
+        fn intersection_matches_btreeset(
+            a in proptest::collection::btree_set(0usize..150, 0..50),
+            b in proptest::collection::btree_set(0usize..150, 0..50),
+        ) {
+            let (mut sa, sb) = naive_ops(150, &a, &b);
+            sa.intersect_with(&sb);
+            let expect: BTreeSet<usize> = a.intersection(&b).copied().collect();
+            prop_assert_eq!(sa.iter().collect::<BTreeSet<_>>(), expect);
+        }
+
+        #[test]
+        fn difference_matches_btreeset(
+            a in proptest::collection::btree_set(0usize..150, 0..50),
+            b in proptest::collection::btree_set(0usize..150, 0..50),
+        ) {
+            let (mut sa, sb) = naive_ops(150, &a, &b);
+            sa.difference_with(&sb);
+            let expect: BTreeSet<usize> = a.difference(&b).copied().collect();
+            prop_assert_eq!(sa.iter().collect::<BTreeSet<_>>(), expect);
+        }
+
+        #[test]
+        fn subset_and_disjoint_match_btreeset(
+            a in proptest::collection::btree_set(0usize..80, 0..30),
+            b in proptest::collection::btree_set(0usize..80, 0..30),
+        ) {
+            let (sa, sb) = naive_ops(80, &a, &b);
+            prop_assert_eq!(sa.is_subset_of(&sb), a.is_subset(&b));
+            prop_assert_eq!(sa.is_disjoint_from(&sb), a.is_disjoint(&b));
+        }
+
+        #[test]
+        fn count_matches_len(a in proptest::collection::btree_set(0usize..300, 0..100)) {
+            let s = FixedBitSet::from_indices(300, a.iter().copied());
+            prop_assert_eq!(s.count(), a.len());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for DAG construction and manipulation.
+
+use crate::graph::NodeId;
+use std::fmt;
+
+/// Errors raised while building or transforming a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint refers to a node id `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An edge `(u, u)` was added.
+    SelfLoop(NodeId),
+    /// The same edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge set contains a cycle; the payload is one witness cycle
+    /// (a sequence of nodes such that each has an edge to the next, and the
+    /// last has an edge to the first).
+    Cycle(Vec<NodeId>),
+    /// A node sequence handed to an API was not a permutation of `0..n`.
+    NotAPermutation,
+    /// A node sequence violates at least one precedence constraint; the
+    /// payload is the first violated edge `(pred, succ)` in scan order.
+    PrecedenceViolated(NodeId, NodeId),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a graph with {n} nodes")
+            }
+            DagError::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            DagError::Cycle(nodes) => {
+                write!(f, "cycle detected: ")?;
+                for (i, v) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, " -> {}", nodes[0])
+            }
+            DagError::NotAPermutation => {
+                write!(f, "sequence is not a permutation of the node ids")
+            }
+            DagError::PrecedenceViolated(u, v) => {
+                write!(f, "sequence violates precedence: {u} must precede {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DagError::NodeOutOfRange { node: NodeId(7), n: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = DagError::SelfLoop(NodeId(2));
+        assert!(e.to_string().contains("self-loop"));
+        let e = DagError::DuplicateEdge(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("duplicate"));
+        let e = DagError::Cycle(vec![NodeId(0), NodeId(1)]);
+        assert_eq!(e.to_string(), "cycle detected: 0 -> 1 -> 0");
+        assert!(DagError::NotAPermutation.to_string().contains("permutation"));
+        let e = DagError::PrecedenceViolated(NodeId(3), NodeId(4));
+        assert!(e.to_string().contains("precede"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Structured and random DAG families.
+//!
+//! These generators produce *topologies only*; task costs are attached by
+//! `dagchkpt-core::model::Workflow` (or by the Pegasus-like generators in
+//! `dagchkpt-workflows`). All random generators are deterministic given the
+//! caller-supplied RNG.
+
+use crate::graph::{Dag, DagBuilder, NodeId};
+use rand::Rng;
+
+/// A linear chain `0 -> 1 -> … -> n-1`. `n = 0` yields the empty DAG.
+pub fn chain(n: usize) -> Dag {
+    let mut b = DagBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build().expect("chain is acyclic")
+}
+
+/// A fork: node 0 is the source, nodes `1..=k` are its `k` children
+/// (the paper's fork DAG with `n = k` sink tasks).
+pub fn fork(k: usize) -> Dag {
+    let mut b = DagBuilder::new(k + 1);
+    for i in 1..=k {
+        b.add_edge(0usize, i);
+    }
+    b.build().expect("fork is acyclic")
+}
+
+/// A join: nodes `0..k` are sources, node `k` is the single sink
+/// (the paper's join DAG with `n = k` source tasks).
+pub fn join(k: usize) -> Dag {
+    let mut b = DagBuilder::new(k + 1);
+    for i in 0..k {
+        b.add_edge(i, k);
+    }
+    b.build().expect("join is acyclic")
+}
+
+/// A fork-join: source `0`, `width` parallel middle nodes, sink `width+1`.
+pub fn fork_join(width: usize) -> Dag {
+    let mut b = DagBuilder::new(width + 2);
+    for i in 1..=width {
+        b.add_edge(0usize, i);
+        b.add_edge(i, width + 1);
+    }
+    b.build().expect("fork-join is acyclic")
+}
+
+/// `k` independent chains of length `len` feeding one final sink
+/// (a "bundle of pipelines" shape common in scientific workflows).
+pub fn parallel_chains(k: usize, len: usize) -> Dag {
+    assert!(len >= 1, "chains must have at least one task");
+    let n = k * len + 1;
+    let sink = n - 1;
+    let mut b = DagBuilder::new(n);
+    for c in 0..k {
+        let base = c * len;
+        for i in 1..len {
+            b.add_edge(base + i - 1, base + i);
+        }
+        b.add_edge(base + len - 1, sink);
+    }
+    b.build().expect("parallel chains are acyclic")
+}
+
+/// A complete out-tree (source at the root) with given arity and depth.
+/// Depth 0 is a single node.
+pub fn out_tree(arity: usize, depth: usize) -> Dag {
+    assert!(arity >= 1);
+    let mut b = DagBuilder::new(1);
+    let mut frontier = vec![NodeId(0)];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for v in frontier {
+            for _ in 0..arity {
+                let c = b.add_node();
+                b.add_edge(v, c);
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("tree is acyclic")
+}
+
+/// A random layered DAG with `n` nodes.
+///
+/// Nodes are dealt into layers of width `1..=max_width`; each node (beyond
+/// the first layer) gets an edge from a uniformly random node of the previous
+/// layer (guaranteeing weak connectivity to earlier layers), and every other
+/// (earlier-layer, node) pair is linked independently with probability `p`.
+///
+/// The resulting node ids are already in topological order (edges only go
+/// from lower to higher layers).
+pub fn layered_random(rng: &mut impl Rng, n: usize, max_width: usize, p: f64) -> Dag {
+    assert!(max_width >= 1);
+    assert!((0.0..=1.0).contains(&p));
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    while next < n {
+        let width = rng.gen_range(1..=max_width).min(n - next);
+        layers.push((next..next + width).collect());
+        next += width;
+    }
+    let mut b = DagBuilder::new(n);
+    let mut planned: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for li in 1..layers.len() {
+        let prev = &layers[li - 1];
+        for &v in &layers[li] {
+            let anchor = prev[rng.gen_range(0..prev.len())];
+            planned.insert((anchor, v));
+        }
+    }
+    for li in 1..layers.len() {
+        for &v in &layers[li] {
+            for earlier in &layers[..li] {
+                for &u in earlier {
+                    if rng.gen_bool(p) {
+                        planned.insert((u, v));
+                    }
+                }
+            }
+        }
+    }
+    let mut edges: Vec<_> = planned.into_iter().collect();
+    edges.sort_unstable();
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build().expect("layered construction is acyclic")
+}
+
+/// A 2-D diamond mesh (grid) of `rows × cols` nodes: node `(i,j)` feeds
+/// `(i+1,j)` and `(i,j+1)`. A single source `(0,0)` and sink `(r-1,c-1)`.
+pub fn grid(rows: usize, cols: usize) -> Dag {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |i: usize, j: usize| i * cols + j;
+    let mut b = DagBuilder::new(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                b.add_edge(id(i, j), id(i + 1, j));
+            }
+            if j + 1 < cols {
+                b.add_edge(id(i, j), id(i, j + 1));
+            }
+        }
+    }
+    b.build().expect("grid is acyclic")
+}
+
+/// The example DAG of the paper's Figure 1 (8 tasks `T0 … T7`).
+///
+/// Edges reconstructed from the figure and the walk-through in Section 3:
+/// `T0 -> T1`, `T0 -> T3`; `T1 -> T2`; `T3 -> T4`, `T3 -> T5`;
+/// `T2 -> T7`, `T4 -> T6`, `T5 -> T6`, `T2 -> T4`? — the text requires:
+/// * `T5`'s re-execution recovers checkpointed `T3` ⇒ `T3 -> T5` with no
+///   other (non-checkpointed) inputs;
+/// * `T6` needs checkpointed `T4` and in-memory `T5` ⇒ `T4 -> T6`, `T5 -> T6`;
+/// * `T7` depends on `T2` (lost) with no checkpoint on the reverse path to
+///   `T1` ⇒ `T1 -> T2 -> T7`, and `T1` is re-executed because `T0 -> T1`…
+///   but re-executing `T1` without `T0` requires `T1` to be an entry task.
+///
+/// The published figure has `T1` and `T2` as a chain hanging from `T0` with
+/// `T0` checkpointed? — `T0` is *not* checkpointed in the figure; the text
+/// says "no task is checkpointed on the reverse path from `T7` to `T1`" and
+/// that one re-executes `T1`, `T2`, then `T7`, so `T1` must be an entry task.
+/// The consistent reading, used here:
+/// sources `T0` and `T1`; `T0 -> T3`, `T3 -> {T4, T5}`, `T4 -> T6`,
+/// `T5 -> T6`, `T1 -> T2`, `T2 -> T7`, `T6 -> T7`.
+/// Checkpointed tasks in the example: `T3` and `T4` (shadowed in the figure).
+pub fn paper_figure1() -> Dag {
+    let mut b = DagBuilder::new(8);
+    b.add_edge(0usize, 3usize);
+    b.add_edge(3usize, 4usize);
+    b.add_edge(3usize, 5usize);
+    b.add_edge(4usize, 6usize);
+    b.add_edge(5usize, 6usize);
+    b.add_edge(1usize, 2usize);
+    b.add_edge(2usize, 7usize);
+    b.add_edge(6usize, 7usize);
+    b.build().expect("figure-1 DAG is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{is_topological_order, topological_order};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_shape() {
+        let d = chain(5);
+        assert_eq!(d.n_nodes(), 5);
+        assert_eq!(d.n_edges(), 4);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.sinks(), vec![NodeId(4)]);
+        assert_eq!(chain(0).n_nodes(), 0);
+        assert_eq!(chain(1).n_edges(), 0);
+    }
+
+    #[test]
+    fn fork_shape() {
+        let d = fork(4);
+        assert_eq!(d.n_nodes(), 5);
+        assert_eq!(d.out_degree(NodeId(0)), 4);
+        assert_eq!(d.sinks().len(), 4);
+    }
+
+    #[test]
+    fn join_shape() {
+        let d = join(4);
+        assert_eq!(d.n_nodes(), 5);
+        assert_eq!(d.in_degree(NodeId(4)), 4);
+        assert_eq!(d.sources().len(), 4);
+        assert_eq!(d.sinks(), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let d = fork_join(3);
+        assert_eq!(d.n_nodes(), 5);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.sinks(), vec![NodeId(4)]);
+        assert_eq!(d.n_edges(), 6);
+    }
+
+    #[test]
+    fn parallel_chains_shape() {
+        let d = parallel_chains(3, 4);
+        assert_eq!(d.n_nodes(), 13);
+        assert_eq!(d.sources().len(), 3);
+        assert_eq!(d.sinks(), vec![NodeId(12)]);
+        assert_eq!(d.in_degree(NodeId(12)), 3);
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let d = out_tree(2, 3);
+        assert_eq!(d.n_nodes(), 1 + 2 + 4 + 8);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.sinks().len(), 8);
+        assert_eq!(out_tree(3, 0).n_nodes(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let d = grid(3, 4);
+        assert_eq!(d.n_nodes(), 12);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.sinks(), vec![NodeId(11)]);
+        // interior nodes have in-degree 2
+        assert_eq!(d.in_degree(NodeId(5)), 2);
+    }
+
+    #[test]
+    fn paper_figure1_matches_walkthrough() {
+        let d = paper_figure1();
+        assert_eq!(d.n_nodes(), 8);
+        // T0 and T1 are the entry tasks of the reconstruction.
+        assert_eq!(d.sources(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(d.sinks(), vec![NodeId(7)]);
+        // T6 needs T4 and T5; T5 needs only (checkpointed) T3.
+        assert_eq!(d.preds(NodeId(6)), &[NodeId(4), NodeId(5)]);
+        assert_eq!(d.preds(NodeId(5)), &[NodeId(3)]);
+        // The linearization used in the paper is valid here.
+        let lin: Vec<NodeId> =
+            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        assert!(is_topological_order(&d, &lin));
+    }
+
+    proptest! {
+        #[test]
+        fn layered_random_is_connected_past_first_layer(
+            seed in 0u64..300, n in 1usize..80, w in 1usize..8,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let d = layered_random(&mut rng, n, w, 0.2);
+            prop_assert_eq!(d.n_nodes(), n);
+            // ids are already topological
+            let ids: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+            prop_assert!(is_topological_order(&d, &ids));
+            // Kahn agrees
+            let o = topological_order(&d);
+            prop_assert!(is_topological_order(&d, &o));
+        }
+
+        #[test]
+        fn layered_random_every_nonfirst_node_has_a_pred(
+            seed in 0u64..100, n in 10usize..60,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let d = layered_random(&mut rng, n, 3, 0.0);
+            // With p = 0 each node past the first layer still has its anchor.
+            let n_sources = d.sources().len();
+            prop_assert!(n_sources <= 3, "only first layer can be sources, got {n_sources}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Serde-friendly exchange format for DAG topologies.
+
+use crate::error::DagError;
+use crate::graph::{Dag, DagBuilder};
+use serde::{Deserialize, Serialize};
+
+/// A plain, serializable description of a DAG: node count plus edge list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagSpec {
+    /// Number of nodes (`0..n`).
+    pub n: usize,
+    /// Directed edges `(pred, succ)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl From<&Dag> for DagSpec {
+    fn from(dag: &Dag) -> Self {
+        DagSpec {
+            n: dag.n_nodes(),
+            edges: dag.edges().map(|(u, v)| (u.0, v.0)).collect(),
+        }
+    }
+}
+
+impl DagSpec {
+    /// Validates the spec and builds the immutable DAG.
+    pub fn build(&self) -> Result<Dag, DagError> {
+        let mut b = DagBuilder::new(self.n);
+        for &(u, v) in &self.edges {
+            b.add_edge(u as usize, v as usize);
+        }
+        b.build()
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("DagSpec serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_figure1() {
+        let d = generators::paper_figure1();
+        let spec = DagSpec::from(&d);
+        let back = spec.build().unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = generators::fork_join(3);
+        let spec = DagSpec::from(&d);
+        let json = spec.to_json();
+        let parsed = DagSpec::from_json(&json).unwrap();
+        assert_eq!(spec, parsed);
+        assert_eq!(parsed.build().unwrap(), d);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let spec = DagSpec { n: 2, edges: vec![(0, 1), (1, 0)] };
+        assert!(matches!(spec.build(), Err(DagError::Cycle(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(seed in 0u64..200, n in 0usize..50) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let d = generators::layered_random(&mut rng, n, 4, 0.25);
+            let spec = DagSpec::from(&d);
+            prop_assert_eq!(spec.build().unwrap(), d);
+        }
+    }
+}

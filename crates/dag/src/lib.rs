@@ -1,0 +1,38 @@
+//! DAG substrate for `dagchkpt`.
+//!
+//! This crate provides the directed-acyclic-graph machinery that every other
+//! crate of the workspace builds on:
+//!
+//! * [`Dag`] — a compact, immutable DAG over dense node ids, built through
+//!   [`DagBuilder`] which validates endpoints, rejects self-loops and
+//!   duplicate edges, and proves acyclicity at construction time;
+//! * [`topo`] — topological orders (Kahn), order validation, and exhaustive
+//!   enumeration of linear extensions (used by the brute-force optimum);
+//! * [`traverse`] — ancestor/descendant closures, level decomposition,
+//!   critical paths, and weight aggregates such as *outweight* (the paper's
+//!   task priority);
+//! * [`bitset::FixedBitSet`] — a small fixed-capacity bitset used pervasively
+//!   for node sets (checkpoint sets, memory states, closures);
+//! * [`generators`] — structured DAG families (chains, forks, joins,
+//!   fork-joins, diamonds, trees) and seeded random layered DAGs;
+//! * [`reduce`] — transitive reduction for precedence analysis (see its
+//!   docs for why it is *not* semantics-preserving under the checkpoint
+//!   model);
+//! * [`dot`] / [`io`] — Graphviz export and a serde-friendly exchange format.
+//!
+//! Nodes are identified by [`NodeId`], a dense `u32` index. The paper's tasks
+//! `T_0 … T_{n−1}` map one-to-one onto node ids `0 … n−1`.
+
+pub mod bitset;
+pub mod dot;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod reduce;
+pub mod topo;
+pub mod traverse;
+
+pub use bitset::FixedBitSet;
+pub use error::DagError;
+pub use graph::{Dag, DagBuilder, NodeId};

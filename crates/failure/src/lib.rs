@@ -1,0 +1,26 @@
+//! Failure substrate for `dagchkpt`.
+//!
+//! Everything related to the *failure-prone platform* of the paper lives
+//! here:
+//!
+//! * [`FaultModel`] — exponential failures of rate `λ` with constant downtime
+//!   `D`, and the analytic formulas the paper builds on: the expected
+//!   execution time `E[t(w; c; r)]` of Equation (1), the expected time lost
+//!   to a fault `E[t_lost(w)]`, and success probabilities;
+//! * [`Platform`] — a `p`-processor platform with per-processor MTBF
+//!   `µ_proc`, collapsed to the single macro-processor of the paper
+//!   (`λ = p · λ_proc`, i.e. MTBF `µ_proc / p`);
+//! * [`daly`] — the classical Young / Daly checkpointing periods used to
+//!   discuss the `CkptPer` strategy;
+//! * [`injector`] — pluggable fault injectors for the Monte-Carlo simulator:
+//!   exponential (the paper's model), Weibull (age-dependent extension), a
+//!   fixed trace (deterministic tests), and a fault-free injector.
+
+pub mod daly;
+pub mod injector;
+pub mod model;
+pub mod platform;
+
+pub use injector::{ExponentialInjector, FaultInjector, NoFaults, TraceInjector, WeibullInjector};
+pub use model::FaultModel;
+pub use platform::Platform;

@@ -1,0 +1,88 @@
+//! The `p`-processor platform collapsed to the paper's macro-processor.
+
+use crate::model::FaultModel;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous platform of `p` processors, each failing independently with
+/// exponential inter-arrival times of mean `proc_mtbf` seconds.
+///
+/// Because every task of the linearized workflow runs on *all* processors, a
+/// fault on any processor interrupts the application: the platform behaves
+/// like one macro-processor with rate `λ = p · λ_proc`, i.e. MTBF
+/// `µ_proc / p` (Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Number of processors `p ≥ 1`.
+    pub n_procs: u32,
+    /// Per-processor MTBF `µ_proc` in seconds (must be positive).
+    pub proc_mtbf: f64,
+    /// Downtime `D` in seconds after each fault.
+    pub downtime: f64,
+}
+
+impl Platform {
+    /// Creates a platform; panics on non-positive MTBF, zero processors, or
+    /// negative downtime.
+    pub fn new(n_procs: u32, proc_mtbf: f64, downtime: f64) -> Self {
+        assert!(n_procs >= 1, "at least one processor required");
+        assert!(
+            proc_mtbf.is_finite() && proc_mtbf > 0.0,
+            "per-processor MTBF must be positive and finite"
+        );
+        assert!(
+            downtime.is_finite() && downtime >= 0.0,
+            "downtime must be non-negative"
+        );
+        Platform { n_procs, proc_mtbf, downtime }
+    }
+
+    /// Effective failure rate of the macro-processor: `λ = p / µ_proc`.
+    pub fn lambda(&self) -> f64 {
+        self.n_procs as f64 / self.proc_mtbf
+    }
+
+    /// Effective MTBF of the macro-processor: `µ = µ_proc / p`.
+    pub fn mtbf(&self) -> f64 {
+        self.proc_mtbf / self.n_procs as f64
+    }
+
+    /// The collapsed [`FaultModel`] used by all analytic formulas.
+    pub fn fault_model(&self) -> FaultModel {
+        FaultModel::new(self.lambda(), self.downtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtbf_scales_inversely_with_processor_count() {
+        // A 100-processor machine with 10⁵-second per-processor MTBF has a
+        // platform MTBF of 10³ seconds — the paper's main λ = 10⁻³ setting.
+        let p = Platform::new(100, 1e5, 0.0);
+        assert_eq!(p.mtbf(), 1000.0);
+        assert!((p.lambda() - 1e-3).abs() < 1e-15);
+        assert_eq!(p.fault_model().lambda(), p.lambda());
+        assert_eq!(p.fault_model().downtime(), 0.0);
+    }
+
+    #[test]
+    fn single_processor_platform() {
+        let p = Platform::new(1, 500.0, 3.0);
+        assert_eq!(p.mtbf(), 500.0);
+        assert_eq!(p.fault_model().downtime(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        Platform::new(0, 100.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_mtbf_rejected() {
+        Platform::new(4, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! The execution engine: runs one schedule under one fault trajectory.
+
+use crate::events::{Event, UnitKind};
+use crate::memory::MemoryState;
+use crate::plan::recovery_plan;
+use dagchkpt_core::{Schedule, Workflow};
+use dagchkpt_failure::FaultInjector;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Downtime `D` paid after every fault (seconds).
+    pub downtime: f64,
+    /// Record the full event trace (off by default — traces are large).
+    pub record_trace: bool,
+}
+
+/// Outcome of one simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total wall-clock time.
+    pub makespan: f64,
+    /// Number of faults that struck.
+    pub n_faults: u64,
+    /// Time spent running tasks' own work units to unit completion. At
+    /// least `Σ w_i`; larger when a fault lands between a task's work and
+    /// the end of its block (e.g. during its checkpoint), forcing the work
+    /// to be redone.
+    pub time_work: f64,
+    /// Time spent re-executing lost non-checkpointed ancestors.
+    pub time_rework: f64,
+    /// Time spent recovering checkpointed outputs.
+    pub time_recovery: f64,
+    /// Time spent writing checkpoints (successful writes only).
+    pub time_checkpoint: f64,
+    /// Partial unit time lost to faults.
+    pub time_wasted: f64,
+    /// Total downtime.
+    pub time_downtime: f64,
+    /// Event trace, when requested via [`SimConfig::record_trace`].
+    pub trace: Option<Vec<Event>>,
+}
+
+impl SimResult {
+    /// The accounting identity: all buckets sum to the makespan.
+    pub fn accounted_time(&self) -> f64 {
+        self.time_work
+            + self.time_rework
+            + self.time_recovery
+            + self.time_checkpoint
+            + self.time_wasted
+            + self.time_downtime
+    }
+}
+
+/// Simulates `schedule` once under faults from `injector`.
+///
+/// The injector provides absolute fault times; each fault wipes memory,
+/// costs `config.downtime`, and restarts the current task's block (recovery
+/// plan + work + checkpoint) with a freshly computed plan.
+pub fn simulate(
+    wf: &Workflow,
+    schedule: &Schedule,
+    injector: &mut dyn FaultInjector,
+    config: SimConfig,
+) -> SimResult {
+    let n = wf.n_tasks();
+    let mut t = 0.0f64;
+    let mut next_fault = injector.next_fault_after(0.0);
+    let mut memory = MemoryState::new(n);
+    let mut res = SimResult {
+        makespan: 0.0,
+        n_faults: 0,
+        time_work: 0.0,
+        time_rework: 0.0,
+        time_recovery: 0.0,
+        time_checkpoint: 0.0,
+        time_wasted: 0.0,
+        time_downtime: 0.0,
+        trace: config.record_trace.then(Vec::new),
+    };
+
+    // Executes one unit; returns false when a fault struck (memory wiped,
+    // downtime paid, next fault rescheduled).
+    let mut run_unit = |t: &mut f64,
+                        next_fault: &mut f64,
+                        memory: &mut MemoryState,
+                        res: &mut SimResult,
+                        duration: f64|
+     -> bool {
+        if *next_fault >= *t + duration {
+            *t += duration;
+            true
+        } else {
+            res.time_wasted += *next_fault - *t;
+            *t = *next_fault;
+            res.n_faults += 1;
+            memory.wipe();
+            if let Some(tr) = res.trace.as_mut() {
+                tr.push(Event::Fault { at: *t, downtime: config.downtime });
+            }
+            *t += config.downtime;
+            res.time_downtime += config.downtime;
+            *next_fault = injector.next_fault_after(*t);
+            false
+        }
+    };
+
+    for &task in schedule.order() {
+        let w = wf.work(task);
+        let c = if schedule.is_checkpointed(task) {
+            wf.checkpoint_cost(task)
+        } else {
+            0.0
+        };
+        // The X_i block: retry until the plan, the work, and the optional
+        // checkpoint all complete without a fault interrupting.
+        'block: loop {
+            let plan = recovery_plan(wf, schedule, &memory, task);
+            for step in &plan {
+                if !run_unit(&mut t, &mut next_fault, &mut memory, &mut res, step.duration)
+                {
+                    continue 'block;
+                }
+                match step.kind {
+                    UnitKind::Recovery => res.time_recovery += step.duration,
+                    UnitKind::Rework => res.time_rework += step.duration,
+                    _ => unreachable!("plans only recover or re-execute"),
+                }
+                // The output is resident from now on — a later fault wipes
+                // `memory` anyway, so storing immediately is exact.
+                memory.store(step.task);
+                if let Some(tr) = res.trace.as_mut() {
+                    tr.push(Event::UnitCompleted { task: step.task, kind: step.kind, at: t });
+                }
+            }
+            if !run_unit(&mut t, &mut next_fault, &mut memory, &mut res, w) {
+                continue 'block;
+            }
+            res.time_work += w;
+            memory.store(task);
+            if let Some(tr) = res.trace.as_mut() {
+                tr.push(Event::UnitCompleted { task, kind: UnitKind::Work, at: t });
+            }
+            if c > 0.0 {
+                if !run_unit(&mut t, &mut next_fault, &mut memory, &mut res, c) {
+                    continue 'block;
+                }
+                res.time_checkpoint += c;
+                if let Some(tr) = res.trace.as_mut() {
+                    tr.push(Event::UnitCompleted { task, kind: UnitKind::Checkpoint, at: t });
+                }
+            }
+            if let Some(tr) = res.trace.as_mut() {
+                tr.push(Event::TaskDone { task, at: t });
+            }
+            break 'block;
+        }
+    }
+
+    res.makespan = t;
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_core::{CostRule, TaskCosts};
+    use dagchkpt_dag::{generators, topo, FixedBitSet, NodeId};
+    use dagchkpt_failure::{NoFaults, TraceInjector};
+
+    fn cfg(d: f64) -> SimConfig {
+        SimConfig { downtime: d, record_trace: true }
+    }
+
+    #[test]
+    fn fault_free_run_is_work_plus_checkpoints() {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let order = topo::topological_order(wf.dag());
+        let mut ckpt = FixedBitSet::new(8);
+        ckpt.insert(3);
+        ckpt.insert(4);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let mut inj = NoFaults;
+        let r = simulate(&wf, &s, &mut inj, cfg(0.0));
+        assert!((r.makespan - (36.0 + 0.9)).abs() < 1e-12);
+        assert_eq!(r.n_faults, 0);
+        assert_eq!(r.time_rework, 0.0);
+        assert_eq!(r.time_recovery, 0.0);
+        assert!((r.time_checkpoint - 0.9).abs() < 1e-12);
+        assert!((r.accounted_time() - r.makespan).abs() < 1e-9);
+        // Trace ends with the last task.
+        let trace = r.trace.unwrap();
+        assert!(matches!(trace.last(), Some(Event::TaskDone { .. })));
+    }
+
+    #[test]
+    fn single_fault_on_unchekpointed_chain_reexecutes_prefix() {
+        // T0(10) → T1(10), no checkpoints. Fault at t = 15 (during T1):
+        // wipe, re-execute T0 (10) then T1 (10) ⇒ makespan 35.
+        let wf = Workflow::uniform(generators::chain(2), 10.0, 0.0);
+        let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
+        let mut inj = TraceInjector::new(vec![15.0]);
+        let r = simulate(&wf, &s, &mut inj, cfg(0.0));
+        assert!((r.makespan - 35.0).abs() < 1e-12);
+        assert_eq!(r.n_faults, 1);
+        assert!((r.time_wasted - 5.0).abs() < 1e-12); // 5s of T1 lost
+        assert!((r.time_rework - 10.0).abs() < 1e-12); // T0 redone
+        assert!((r.time_work - 20.0).abs() < 1e-12);
+        assert!((r.accounted_time() - r.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_fault_with_checkpoint_recovers_instead() {
+        // T0 (w=10, c=2, r=1, ckpt) → T1 (w=10). T0 done+ckpt at 12.
+        // Fault at 14 (2s into T1): recover T0 (1s) + T1 (10s) ⇒ 25.
+        let costs = vec![TaskCosts::new(10.0, 2.0, 1.0), TaskCosts::new(10.0, 0.0, 0.0)];
+        let wf = Workflow::new(generators::chain(2), costs);
+        let mut ckpt = FixedBitSet::new(2);
+        ckpt.insert(0);
+        let s = Schedule::new(&wf, topo::topological_order(wf.dag()), ckpt).unwrap();
+        let mut inj = TraceInjector::new(vec![14.0]);
+        let r = simulate(&wf, &s, &mut inj, cfg(0.0));
+        assert!((r.makespan - 25.0).abs() < 1e-12, "makespan {}", r.makespan);
+        assert!((r.time_recovery - 1.0).abs() < 1e-12);
+        assert_eq!(r.time_rework, 0.0);
+        assert!((r.time_wasted - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_during_checkpoint_redoes_the_task() {
+        // T0 (w=10, c=5, ckpt). Fault at t = 12 (2s into the checkpoint):
+        // restart block ⇒ 12 + 10 + 5 = 27.
+        let costs = vec![TaskCosts::new(10.0, 5.0, 1.0)];
+        let wf = Workflow::new(generators::chain(1), costs);
+        let s = Schedule::always(&wf, vec![NodeId(0)]).unwrap();
+        let mut inj = TraceInjector::new(vec![12.0]);
+        let r = simulate(&wf, &s, &mut inj, cfg(0.0));
+        assert!((r.makespan - 27.0).abs() < 1e-12, "makespan {}", r.makespan);
+        // 2s of the checkpoint were cut short; the 10s of completed work
+        // whose output died stay in `time_work` (run twice).
+        assert!((r.time_wasted - 2.0).abs() < 1e-12);
+        assert!((r.time_work - 20.0).abs() < 1e-12);
+        assert!((r.time_checkpoint - 5.0).abs() < 1e-12); // only the good write
+        assert!((r.accounted_time() - r.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downtime_is_paid_per_fault() {
+        let wf = Workflow::uniform(generators::chain(1), 10.0, 0.0);
+        let s = Schedule::never(&wf, vec![NodeId(0)]).unwrap();
+        // Faults at 5 and 18 (i.e. 3s into the second attempt, which starts
+        // at 5 + D = 15 with D = 10… so fault at 18 wastes 3s).
+        let mut inj = TraceInjector::new(vec![5.0, 18.0]);
+        let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 10.0, record_trace: false });
+        // 5 (lost) + 10 (down) + 3 (lost) + 10 (down) + 10 (work) = 38.
+        assert!((r.makespan - 38.0).abs() < 1e-12, "makespan {}", r.makespan);
+        assert_eq!(r.n_faults, 2);
+        assert!((r.time_downtime - 20.0).abs() < 1e-12);
+        assert!((r.time_wasted - 8.0).abs() < 1e-12);
+        assert!((r.accounted_time() - r.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure1_walkthrough_single_fault_during_t5() {
+        // Weights 10, c = r = 1 for the checkpointed tasks {T3, T4};
+        // linearization T0 T3 T1 T2 T4 T5 T6 T7. Completions: T0@10,
+        // T3@21 (w+c), T1@31, T2@41, T4@52 (w+c), then T5. Fault at t = 55
+        // (3s into T5). Recovery per the paper's walk-through:
+        //   X5 (T5): recover T3 (1) + T5 (10)          → 55 + 11 = 66
+        //   X6 (T6): recover T4 (1) + T6 (10)          → 77
+        //   X7 (T7): re-execute T1 (10), T2 (10) + T7 (10) → 107
+        let costs: Vec<TaskCosts> = (0..8)
+            .map(|i| {
+                if i == 3 || i == 4 {
+                    TaskCosts::new(10.0, 1.0, 1.0)
+                } else {
+                    TaskCosts::new(10.0, 0.0, 0.0)
+                }
+            })
+            .collect();
+        let wf = Workflow::new(generators::paper_figure1(), costs);
+        let order: Vec<NodeId> =
+            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let mut ckpt = FixedBitSet::new(8);
+        ckpt.insert(3);
+        ckpt.insert(4);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let mut inj = TraceInjector::new(vec![55.0]);
+        let r = simulate(&wf, &s, &mut inj, cfg(0.0));
+        assert!((r.makespan - 107.0).abs() < 1e-12, "makespan {}", r.makespan);
+        assert_eq!(r.n_faults, 1);
+        assert!((r.time_recovery - 2.0).abs() < 1e-12); // r3 + r4
+        assert!((r.time_rework - 20.0).abs() < 1e-12); // T1, T2
+        assert!((r.time_wasted - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_time_at_least_total_work_and_accounting_balances() {
+        // Every task's own work unit succeeds at least once, whatever the
+        // fault pattern; the time buckets always sum to the makespan.
+        let wf = Workflow::uniform(generators::fork_join(3), 7.0, 1.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let mut inj = TraceInjector::new(vec![3.0, 10.0, 11.0, 30.0, 31.0, 55.0]);
+        let r = simulate(&wf, &s, &mut inj, cfg(2.0));
+        assert!(r.time_work >= wf.total_work() - 1e-9);
+        assert!((r.accounted_time() - r.makespan).abs() < 1e-9);
+        // The injected times at 11 falls inside a downtime window and never
+        // strikes; 3, 10, 30 and 55 do.
+        assert_eq!(r.n_faults, 4);
+    }
+}

@@ -1,0 +1,194 @@
+//! Monte-Carlo trial runner: many independent simulations in parallel.
+
+use crate::engine::{simulate, SimConfig, SimResult};
+use crate::stats::Stats;
+use dagchkpt_core::{Schedule, Workflow};
+use dagchkpt_failure::{ExponentialInjector, FaultInjector, FaultModel};
+use rayon::prelude::*;
+
+/// How many trials to run and how to seed them.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSpec {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Master seed; trial `i` is seeded with a SplitMix64 scramble of
+    /// `(seed, i)` so streams are decorrelated.
+    pub seed: u64,
+}
+
+impl TrialSpec {
+    /// `trials` trials from `seed`.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        TrialSpec { trials, seed }
+    }
+
+    /// Seed for the `i`-th trial (SplitMix64 finalizer).
+    pub fn trial_seed(&self, i: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Aggregate over trials.
+#[derive(Debug, Clone)]
+pub struct TrialStats {
+    /// Makespan statistics.
+    pub makespan: Stats,
+    /// Fault-count statistics.
+    pub faults: Stats,
+    /// Mean time breakdown (work, rework, recovery, checkpoint, wasted,
+    /// downtime), averaged over trials.
+    pub mean_breakdown: [f64; 6],
+}
+
+/// Runs `spec.trials` simulations under the exponential `model`
+/// (`λ`, downtime `D` taken from the model), in parallel.
+pub fn run_trials(
+    wf: &Workflow,
+    schedule: &Schedule,
+    model: FaultModel,
+    spec: TrialSpec,
+) -> TrialStats {
+    run_trials_with(wf, schedule, model.downtime(), spec, |seed| {
+        ExponentialInjector::new(model.lambda(), seed)
+    })
+}
+
+/// Generic trial runner: `make_injector(seed)` builds the fault source for
+/// each trial (exponential, Weibull, traces, …).
+pub fn run_trials_with<I, F>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    downtime: f64,
+    spec: TrialSpec,
+    make_injector: F,
+) -> TrialStats
+where
+    I: FaultInjector,
+    F: Fn(u64) -> I + Sync,
+{
+    let config = SimConfig { downtime, record_trace: false };
+    let results: Vec<SimResult> = (0..spec.trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut inj = make_injector(spec.trial_seed(i));
+            simulate(wf, schedule, &mut inj, config)
+        })
+        .collect();
+
+    let mut makespan = Stats::new();
+    let mut faults = Stats::new();
+    let mut breakdown = [0.0f64; 6];
+    for r in &results {
+        makespan.push(r.makespan);
+        faults.push(r.n_faults as f64);
+        for (acc, v) in breakdown.iter_mut().zip([
+            r.time_work,
+            r.time_rework,
+            r.time_recovery,
+            r.time_checkpoint,
+            r.time_wasted,
+            r.time_downtime,
+        ]) {
+            *acc += v;
+        }
+    }
+    let n = results.len().max(1) as f64;
+    breakdown.iter_mut().for_each(|v| *v /= n);
+    TrialStats { makespan, faults, mean_breakdown: breakdown }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_core::{evaluator, CostRule};
+    use dagchkpt_dag::{generators, topo, FixedBitSet};
+    use dagchkpt_failure::NoFaults;
+
+    #[test]
+    fn trial_seeds_are_distinct_and_deterministic() {
+        let spec = TrialSpec::new(1000, 42);
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| spec.trial_seed(i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_eq!(spec.trial_seed(7), TrialSpec::new(1000, 42).trial_seed(7));
+        assert_ne!(spec.trial_seed(7), TrialSpec::new(1000, 43).trial_seed(7));
+    }
+
+    #[test]
+    fn fault_free_trials_are_deterministic() {
+        let wf = Workflow::uniform(generators::fork_join(4), 10.0, 1.0);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let stats =
+            run_trials_with(&wf, &s, 0.0, TrialSpec::new(16, 1), |_| NoFaults);
+        assert_eq!(stats.makespan.n(), 16);
+        assert!(stats.makespan.stddev() < 1e-12);
+        assert!((stats.makespan.mean() - 66.0).abs() < 1e-9); // 6·10 + 6·1
+        assert_eq!(stats.faults.mean(), 0.0);
+    }
+
+    /// The headline cross-validation: the Monte-Carlo mean converges to the
+    /// Theorem-3 analytic value.
+    #[test]
+    fn monte_carlo_matches_analytic_evaluator() {
+        let cases: Vec<(Workflow, f64)> = vec![
+            (
+                Workflow::with_cost_rule(
+                    generators::paper_figure1(),
+                    vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+                    CostRule::ProportionalToWork { ratio: 0.1 },
+                ),
+                2e-3,
+            ),
+            (Workflow::uniform(generators::chain(6), 15.0, 1.5), 4e-3),
+            (Workflow::uniform(generators::grid(3, 3), 8.0, 0.8), 3e-3),
+        ];
+        for (idx, (wf, lambda)) in cases.into_iter().enumerate() {
+            let model = FaultModel::new(lambda, 2.0);
+            let n = wf.n_tasks();
+            let order = topo::topological_order(wf.dag());
+            let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|i| i % 2 == 0));
+            let s = Schedule::new(&wf, order, ckpt).unwrap();
+            let report = evaluator::evaluate(&wf, model, &s);
+            let analytic = report.expected_makespan;
+            let stats = run_trials(&wf, &s, model, TrialSpec::new(40_000, 7 + idx as u64));
+            let diff = (stats.makespan.mean() - analytic).abs();
+            // 5 standard errors: ~1-in-2M false-failure rate per case.
+            assert!(
+                diff <= 5.0 * stats.makespan.sem(),
+                "case {idx}: MC {} ± {} vs analytic {analytic}",
+                stats.makespan.mean(),
+                stats.makespan.sem()
+            );
+            // The analytic expected fault count must match the injector's.
+            let fdiff = (stats.faults.mean() - report.expected_faults).abs();
+            assert!(
+                fdiff <= 5.0 * stats.faults.sem(),
+                "case {idx}: MC faults {} ± {} vs analytic {}",
+                stats.faults.mean(),
+                stats.faults.sem(),
+                report.expected_faults
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_means_sum_to_makespan_mean() {
+        let wf = Workflow::uniform(generators::parallel_chains(3, 3), 12.0, 1.2);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let model = FaultModel::new(3e-3, 1.0);
+        let stats = run_trials(&wf, &s, model, TrialSpec::new(2_000, 99));
+        let sum: f64 = stats.mean_breakdown.iter().sum();
+        assert!(
+            (sum - stats.makespan.mean()).abs() < 1e-6 * stats.makespan.mean(),
+            "breakdown {sum} vs mean {}",
+            stats.makespan.mean()
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Streaming statistics (Welford) with parallel merge.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean/variance/extrema accumulator with numerically stable updates and a
+/// merge operation for parallel reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Stats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (Chan et al. parallel variance).
+    pub fn merge(mut self, other: Stats) -> Stats {
+        if other.n == 0 {
+            return self;
+        }
+        if self.n == 0 {
+            return other;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        self.mean += d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        self.stddev() / (self.n as f64).sqrt()
+    }
+
+    /// Half-width of the 95 % normal confidence interval of the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_moments() {
+        let mut s = Stats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.n(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = Stats::new();
+        assert!(s.mean().is_nan());
+        let mut s1 = Stats::new();
+        s1.push(3.0);
+        assert_eq!(s1.mean(), 3.0);
+        assert!(s1.variance().is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            a in proptest::collection::vec(-100.0f64..100.0, 0..60),
+            b in proptest::collection::vec(-100.0f64..100.0, 0..60),
+        ) {
+            let mut whole = Stats::new();
+            for &x in a.iter().chain(&b) { whole.push(x); }
+            let mut sa = Stats::new();
+            for &x in &a { sa.push(x); }
+            let mut sb = Stats::new();
+            for &x in &b { sb.push(x); }
+            let merged = sa.merge(sb);
+            prop_assert_eq!(whole.n(), merged.n());
+            if whole.n() > 0 {
+                prop_assert!((whole.mean() - merged.mean()).abs() < 1e-9);
+                prop_assert_eq!(whole.min(), merged.min());
+                prop_assert_eq!(whole.max(), merged.max());
+            }
+            if whole.n() > 1 {
+                prop_assert!((whole.variance() - merged.variance()).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! ASCII timeline rendering of execution traces — a quick visual check of
+//! what a failure-prone run actually did.
+
+use crate::events::{Event, UnitKind};
+use crate::engine::SimResult;
+use std::fmt::Write as _;
+
+/// Renders a recorded trace as a fixed-width strip plus an event list.
+///
+/// The strip maps wall-clock time onto `width` cells; each cell shows what
+/// finished there most recently:
+/// `w` work, `r` re-execution, `R` checkpoint recovery, `c` checkpoint
+/// write, `X` fault, `·` idle/downtime. Returns a note when the result
+/// carries no trace (run with `record_trace: true`).
+pub fn render_timeline(result: &SimResult, width: usize) -> String {
+    assert!(width >= 10, "need at least 10 columns");
+    let Some(trace) = result.trace.as_deref() else {
+        return "(no trace recorded — enable record_trace)\n".to_string();
+    };
+    let mut out = String::new();
+    let span = result.makespan.max(1e-12);
+    let mut strip = vec![b'.'; width];
+    let cell = |at: f64| -> usize {
+        (((at / span) * (width as f64 - 1.0)).round() as usize).min(width - 1)
+    };
+    for e in trace {
+        match *e {
+            Event::UnitCompleted { kind, at, .. } => {
+                let ch = match kind {
+                    UnitKind::Work => b'w',
+                    UnitKind::Rework => b'r',
+                    UnitKind::Recovery => b'R',
+                    UnitKind::Checkpoint => b'c',
+                };
+                strip[cell(at)] = ch;
+            }
+            Event::Fault { at, .. } => strip[cell(at)] = b'X',
+            Event::TaskDone { .. } => {}
+        }
+    }
+    writeln!(out, "0s {}|{:.1}s", String::from_utf8_lossy(&strip), result.makespan)
+        .expect("string write");
+    writeln!(
+        out,
+        "   w=work r=re-execution R=recovery c=checkpoint X=fault ({} faults)",
+        result.n_faults
+    )
+    .expect("string write");
+    for e in trace {
+        match *e {
+            Event::Fault { at, downtime } => {
+                writeln!(out, "  {at:>10.2}  fault (downtime {downtime})").expect("write");
+            }
+            Event::TaskDone { task, at } => {
+                writeln!(out, "  {at:>10.2}  T{task} done").expect("write");
+            }
+            Event::UnitCompleted { .. } => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use dagchkpt_core::{Schedule, Workflow};
+    use dagchkpt_dag::{generators, topo};
+    use dagchkpt_failure::{NoFaults, TraceInjector};
+
+    #[test]
+    fn renders_fault_free_run() {
+        let wf = Workflow::uniform(generators::chain(3), 10.0, 1.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let mut inj = NoFaults;
+        let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 0.0, record_trace: true });
+        let t = render_timeline(&r, 60);
+        let strip = t.lines().next().unwrap();
+        assert!(strip.contains('w'));
+        assert!(strip.contains('c'));
+        assert!(!strip.contains('X'), "{strip}");
+        assert!(t.contains("T2 done"));
+        assert!(t.contains("(0 faults)"));
+    }
+
+    #[test]
+    fn renders_faults_and_recoveries() {
+        let wf = Workflow::uniform(generators::chain(2), 10.0, 0.0);
+        let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
+        let mut inj = TraceInjector::new(vec![15.0]);
+        let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 0.0, record_trace: true });
+        let t = render_timeline(&r, 40);
+        let strip = t.lines().next().unwrap();
+        assert!(strip.contains('X'), "{t}");
+        assert!(strip.contains('r'), "{t}");
+        assert!(t.contains("fault (downtime 0)"));
+    }
+
+    #[test]
+    fn no_trace_notice() {
+        let wf = Workflow::uniform(generators::chain(1), 1.0, 0.0);
+        let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
+        let mut inj = NoFaults;
+        let r = simulate(&wf, &s, &mut inj, SimConfig::default());
+        assert!(render_timeline(&r, 40).contains("no trace"));
+    }
+}

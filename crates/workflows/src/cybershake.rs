@@ -1,0 +1,172 @@
+//! Synthetic **CyberShake** workflows (SCEC probabilistic seismic-hazard
+//! characterization).
+//!
+//! Structure after Bharathi et al. [9]: per site, two strain-Green-tensor
+//! extractions fan out into a wide layer of seismogram syntheses, each
+//! paired with a peak-value calculation; two zip tasks aggregate:
+//!
+//! ```text
+//! ExtractSGT ×2 (entry) ─► SeismogramSynthesis (s, wide)
+//!                                │           │ 1:1
+//!                            ZipSeis (1)  PeakValCalc (s)
+//!                                             │
+//!                                         ZipPSA (1)
+//! ```
+//!
+//! Paper calibration: average task weight ≈ 25 s.
+
+use crate::common::{finish, split_evenly, WeightSampler};
+use dagchkpt_core::{CostRule, Workflow};
+use dagchkpt_dag::DagBuilder;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Task-type labels.
+pub const TYPES: [&str; 5] =
+    ["ExtractSGT", "SeismogramSynthesis", "ZipSeis", "PeakValCalc", "ZipPSA"];
+
+const MEANS: [f64; 5] = [110.0, 48.0, 12.0, 1.0, 12.0];
+const CVS: [f64; 5] = [0.3, 0.4, 0.2, 0.3, 0.2];
+
+/// Minimum site: 2 SGT + 1 synthesis + 1 peak + 2 zips.
+pub const MIN_TASKS: usize = 6;
+
+/// Nominal tasks per site.
+const SITE_SIZE: usize = 24;
+
+/// Generates a CyberShake workflow with exactly `n_tasks` tasks.
+pub fn generate(n_tasks: usize, mean_weight: f64, rule: CostRule, seed: u64) -> Workflow {
+    let (wf, _) = generate_labeled(n_tasks, mean_weight, rule, seed);
+    wf
+}
+
+/// [`generate`], also returning each task's type label.
+pub fn generate_labeled(
+    n_tasks: usize,
+    mean_weight: f64,
+    rule: CostRule,
+    seed: u64,
+) -> (Workflow, Vec<&'static str>) {
+    assert!(n_tasks >= MIN_TASKS, "CyberShake needs at least {MIN_TASKS} tasks");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_sites = (n_tasks / SITE_SIZE).max(1);
+    let budgets = split_evenly(n_tasks, n_sites);
+
+    let mut b = DagBuilder::new(0);
+    let mut type_of: Vec<usize> = Vec::with_capacity(n_tasks);
+    let mut add = |b: &mut DagBuilder, ty: usize| {
+        type_of.push(ty);
+        b.add_node()
+    };
+
+    for &t in &budgets {
+        assert!(t >= MIN_TASKS, "site budget {t} too small (n_tasks {n_tasks})");
+        // t = 2 (SGT) + 2s + r + 2 (zips), r ∈ {0, 1}: r extra syntheses
+        // without a paired peak-value task.
+        let body = t - 4;
+        let s = (body / 2).max(1);
+        let r = body - 2 * s;
+        debug_assert!(r <= 1);
+
+        let sgt = [add(&mut b, 0), add(&mut b, 0)];
+        let synths: Vec<_> = (0..s + r).map(|_| add(&mut b, 1)).collect();
+        let zipseis = add(&mut b, 2);
+        let peaks: Vec<_> = (0..s).map(|_| add(&mut b, 3)).collect();
+        let zippsa = add(&mut b, 4);
+        for (j, &sy) in synths.iter().enumerate() {
+            // Each synthesis reads one of the two tensors (both for some
+            // ruptures — matches the documented mixed in-degree).
+            let parent = usize::from(rng.gen_bool(0.5));
+            b.add_edge(sgt[parent], sy);
+            if rng.gen_bool(0.25) {
+                b.add_edge(sgt[1 - parent], sy);
+            }
+            b.add_edge(sy, zipseis);
+            if j < s {
+                b.add_edge(sy, peaks[j]);
+                b.add_edge(peaks[j], zippsa);
+            }
+        }
+    }
+
+    let dag = b.build().expect("cybershake construction is acyclic");
+    assert_eq!(dag.n_nodes(), n_tasks);
+    let samplers: Vec<WeightSampler> = MEANS
+        .iter()
+        .zip(CVS)
+        .map(|(&mu, cv)| WeightSampler::new(mu, cv))
+        .collect();
+    let labels = type_of.iter().map(|&t| TYPES[t]).collect();
+    let wf = finish(dag, &type_of, &samplers, mean_weight, rule, &mut rng);
+    (wf, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_dag::topo;
+
+    const RULE: CostRule = CostRule::ProportionalToWork { ratio: 0.1 };
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [6, 7, 24, 50, 101, 250, 700] {
+            let wf = generate(n, 25.0, RULE, 1);
+            assert_eq!(wf.n_tasks(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn structural_shape() {
+        let (wf, labels) = generate_labeled(120, 25.0, RULE, 2);
+        let dag = wf.dag();
+        // 5 sites: entries are the 10 SGT extractions; sinks the 10 zips.
+        assert_eq!(dag.sources().len(), 10);
+        for v in dag.sources() {
+            assert_eq!(labels[v.index()], "ExtractSGT");
+        }
+        assert_eq!(dag.sinks().len(), 10);
+        for v in dag.sinks() {
+            assert!(labels[v.index()].starts_with("Zip"), "{}", labels[v.index()]);
+        }
+        // Synthesis layer is the widest.
+        let s = labels.iter().filter(|&&l| l == "SeismogramSynthesis").count();
+        let p = labels.iter().filter(|&&l| l == "PeakValCalc").count();
+        assert!(s >= p && p > 0);
+        let o = topo::topological_order(dag);
+        assert!(topo::is_topological_order(dag, &o));
+    }
+
+    #[test]
+    fn mean_weight_matches_paper_calibration() {
+        let wf = generate(300, 25.0, RULE, 3);
+        let mean = wf.total_work() / 300.0;
+        assert!((mean - 25.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn weight_skew_has_few_heavy_tasks() {
+        // CyberShake's signature: a few heavy SGT extractions, a sea of
+        // small tasks — the regime where CkptC and CkptW diverge.
+        let (wf, labels) = generate_labeled(240, 25.0, RULE, 4);
+        let mut sgt_mean = 0.0;
+        let mut peak_mean = 0.0;
+        let (mut a, mut b) = (0, 0);
+        for (i, &l) in labels.iter().enumerate() {
+            let w = wf.work(dagchkpt_dag::NodeId::from(i));
+            if l == "ExtractSGT" {
+                sgt_mean += w;
+                a += 1;
+            } else if l == "PeakValCalc" {
+                peak_mean += w;
+                b += 1;
+            }
+        }
+        assert!(sgt_mean / a as f64 > 20.0 * (peak_mean / b as f64));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(77, 25.0, RULE, 9), generate(77, 25.0, RULE, 9));
+    }
+}

@@ -1,0 +1,202 @@
+//! Synthetic **Epigenomics (Genome)** workflows (USC Epigenome Center
+//! sequence-processing pipeline).
+//!
+//! Structure after Bharathi et al. [9]: per sequencing lane, a split feeds
+//! many parallel per-chunk chains which merge back, then a global index and
+//! pileup:
+//!
+//! ```text
+//! fastQSplit (1, entry)
+//!   ├─► filterContams ─► sol2sanger ─► fastq2bfq ─► map   (chunk 1)
+//!   ├─► …                                                 (chunk f)
+//!   └───────────────► mapMerge (1, joins all chunk maps)
+//! all lanes' mapMerge ─► maqIndex (1) ─► pileup (1)
+//! ```
+//!
+//! Chunk chains are 4 tasks long; the remainder modulo 4 becomes one
+//! shortened chain. Paper calibration: the average task weight "depends on
+//! the number of tasks and is greater than 1000 s" — the default here is
+//! 1200 s, dominated by the `map` stage.
+
+use crate::common::{finish, split_evenly, WeightSampler};
+use dagchkpt_core::{CostRule, Workflow};
+use dagchkpt_dag::DagBuilder;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Task-type labels.
+pub const TYPES: [&str; 8] = [
+    "fastQSplit",
+    "filterContams",
+    "sol2sanger",
+    "fastq2bfq",
+    "map",
+    "mapMerge",
+    "maqIndex",
+    "pileup",
+];
+
+const MEANS: [f64; 8] = [35.0, 2.5, 2.5, 2.0, 65.0, 10.0, 45.0, 55.0];
+const CVS: [f64; 8] = [0.3, 0.3, 0.3, 0.3, 0.4, 0.3, 0.2, 0.2];
+
+/// Minimum: one lane with one single-task chunk, plus the global tail.
+pub const MIN_TASKS: usize = 6;
+
+/// Nominal tasks per lane (1 split + 6 chunks × 4 + 1 merge).
+const LANE_SIZE: usize = 26;
+
+/// Generates a Genome workflow with exactly `n_tasks` tasks.
+pub fn generate(n_tasks: usize, mean_weight: f64, rule: CostRule, seed: u64) -> Workflow {
+    let (wf, _) = generate_labeled(n_tasks, mean_weight, rule, seed);
+    wf
+}
+
+/// [`generate`], also returning each task's type label.
+pub fn generate_labeled(
+    n_tasks: usize,
+    mean_weight: f64,
+    rule: CostRule,
+    seed: u64,
+) -> (Workflow, Vec<&'static str>) {
+    assert!(n_tasks >= MIN_TASKS, "Genome needs at least {MIN_TASKS} tasks");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Two tasks are the global tail; the rest is split into lanes.
+    let body = n_tasks - 2;
+    let n_lanes = (body / LANE_SIZE).max(1);
+    let budgets = split_evenly(body, n_lanes);
+
+    let mut b = DagBuilder::new(0);
+    let mut type_of: Vec<usize> = Vec::with_capacity(n_tasks);
+    let mut add = |b: &mut DagBuilder, ty: usize| {
+        type_of.push(ty);
+        b.add_node()
+    };
+
+    let mut merges = Vec::with_capacity(n_lanes);
+    for &t in &budgets {
+        assert!(t >= 4, "lane budget {t} too small (n_tasks {n_tasks})");
+        // t = 1 (split) + chunk tasks + 1 (merge).
+        let chunk_tasks = t - 2;
+        let full = chunk_tasks / 4;
+        let rest = chunk_tasks % 4; // one shortened chain of length `rest`
+        let split = add(&mut b, 0);
+        let merge_ty = 5;
+        let mut chain_ends = Vec::with_capacity(full + 1);
+        let build_chain = |b: &mut DagBuilder,
+                               add: &mut dyn FnMut(&mut DagBuilder, usize) -> dagchkpt_dag::NodeId,
+                               len: usize| {
+            // Chain stages, shortened from the middle: len 4 = filter →
+            // sol2sanger → fastq2bfq → map; len 3 drops sol2sanger; len 2
+            // keeps filter → map; len 1 is just map.
+            let stages: &[usize] = match len {
+                4 => &[1, 2, 3, 4],
+                3 => &[1, 3, 4],
+                2 => &[1, 4],
+                _ => &[4],
+            };
+            let mut prev = None;
+            let mut first = None;
+            for &ty in stages {
+                let v = add(b, ty);
+                if let Some(p) = prev {
+                    b.add_edge(p, v);
+                } else {
+                    first = Some(v);
+                }
+                prev = Some(v);
+            }
+            (first.unwrap_or_else(|| prev.expect("non-empty chain")), prev.unwrap())
+        };
+        for _ in 0..full {
+            let (head, tail) = build_chain(&mut b, &mut add, 4);
+            b.add_edge(split, head);
+            chain_ends.push(tail);
+        }
+        if rest > 0 {
+            let (head, tail) = build_chain(&mut b, &mut add, rest);
+            b.add_edge(split, head);
+            chain_ends.push(tail);
+        }
+        let merge = add(&mut b, merge_ty);
+        for end in chain_ends {
+            b.add_edge(end, merge);
+        }
+        merges.push(merge);
+    }
+    let index = add(&mut b, 6);
+    for &m in &merges {
+        b.add_edge(m, index);
+    }
+    let pileup = add(&mut b, 7);
+    b.add_edge(index, pileup);
+
+    let dag = b.build().expect("genome construction is acyclic");
+    assert_eq!(dag.n_nodes(), n_tasks);
+    let samplers: Vec<WeightSampler> = MEANS
+        .iter()
+        .zip(CVS)
+        .map(|(&mu, cv)| WeightSampler::new(mu, cv))
+        .collect();
+    let labels = type_of.iter().map(|&t| TYPES[t]).collect();
+    let wf = finish(dag, &type_of, &samplers, mean_weight, rule, &mut rng);
+    (wf, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_dag::topo;
+
+    const RULE: CostRule = CostRule::ProportionalToWork { ratio: 0.1 };
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [6, 7, 8, 9, 26, 50, 103, 300, 700] {
+            let wf = generate(n, 1200.0, RULE, 1);
+            assert_eq!(wf.n_tasks(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn structural_shape() {
+        let (wf, labels) = generate_labeled(106, 1200.0, RULE, 2);
+        let dag = wf.dag();
+        // 4 lanes: entries are the 4 splits; single final sink (pileup).
+        let lanes = labels.iter().filter(|&&l| l == "fastQSplit").count();
+        assert_eq!(lanes, 4);
+        assert_eq!(dag.sources().len(), lanes);
+        let sinks = dag.sinks();
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(labels[sinks[0].index()], "pileup");
+        // One merge per lane, one global index.
+        assert_eq!(labels.iter().filter(|&&l| l == "mapMerge").count(), lanes);
+        assert_eq!(labels.iter().filter(|&&l| l == "maqIndex").count(), 1);
+        // Chains end in map tasks.
+        let maps = labels.iter().filter(|&&l| l == "map").count();
+        assert!(maps >= lanes, "maps {maps}");
+        let o = topo::topological_order(dag);
+        assert!(topo::is_topological_order(dag, &o));
+    }
+
+    #[test]
+    fn mean_weight_matches_paper_calibration() {
+        let wf = generate(300, 1200.0, RULE, 3);
+        let mean = wf.total_work() / 300.0;
+        assert!((mean - 1200.0).abs() < 1e-6, "mean {mean}");
+        assert!(mean > 1000.0, "paper: Genome mean weight > 1000 s");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(130, 1200.0, RULE, 5), generate(130, 1200.0, RULE, 5));
+    }
+
+    #[test]
+    fn depth_exceeds_other_workflows() {
+        // Genome's per-chunk chains make it the deepest of the four — the
+        // reason the paper runs it at lower λ.
+        let (wf, _) = generate_labeled(200, 1200.0, RULE, 6);
+        let depth = *dagchkpt_dag::traverse::levels(wf.dag()).iter().max().unwrap();
+        assert!(depth >= 6, "depth {depth}");
+    }
+}

@@ -1,0 +1,31 @@
+//! `dagchkpt-workflows` — synthetic scientific workflows in the image of
+//! the Pegasus Workflow Generator instances the paper evaluates on.
+//!
+//! The actual Pegasus generator (a Java tool replaying profiled DAX traces)
+//! is not reproducible offline; these generators rebuild the four
+//! applications' documented structure — Bharathi et al. [9] and Juve et
+//! al. [24], the paper's own references — with per-task-type weight
+//! distributions rescaled to the paper's stated average task weights. The
+//! heuristics' relative behavior is driven by DAG *shape* (fan-out width,
+//! chain depth, weight skew), which is preserved; see `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! * [`montage`] — wide fan-out/fan-in with cross dependencies, tiny tasks;
+//! * [`ligo`] — independent two-stage pipelines, heavy middle layers;
+//! * [`cybershake`] — two-root wide fan-outs with paired leaves, strong
+//!   weight skew;
+//! * [`genome`] — deep per-chunk chains with per-lane merges, very heavy
+//!   tasks;
+//! * [`PegasusKind`] — uniform dispatch with the paper's defaults;
+//! * [`WorkflowSpec`] — JSON exchange format for exact reproducibility.
+
+pub mod common;
+pub mod cybershake;
+pub mod genome;
+pub mod kind;
+pub mod ligo;
+pub mod montage;
+pub mod spec;
+
+pub use kind::PegasusKind;
+pub use spec::WorkflowSpec;

@@ -1,0 +1,180 @@
+//! Synthetic **LIGO Inspiral Analysis** workflows (gravitational-wave
+//! candidate search).
+//!
+//! Structure after Bharathi et al. [9]: parallel analysis groups, each a
+//! two-stage pipeline
+//!
+//! ```text
+//! TmpltBank (k, entry) ─► Inspiral (k, 1:1) ─► Thinca (1)
+//!                                                 │ fan-out
+//!                         TrigBank (k₂) ◄─────────┘
+//!                             │ 1:1
+//!                         Inspiral2 (k₂) ─► Thinca2 (1)
+//! ```
+//!
+//! Sizing: groups of ≈ 20 tasks; odd remainders become extra template banks
+//! feeding the group's first Thinca directly. Paper calibration: average
+//! task weight ≈ 220 s (Inspiral dominates at hundreds of seconds, the
+//! aggregation tasks are tiny).
+
+use crate::common::{finish, split_evenly, WeightSampler};
+use dagchkpt_core::{CostRule, Workflow};
+use dagchkpt_dag::DagBuilder;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Task-type labels.
+pub const TYPES: [&str; 5] = ["TmpltBank", "Inspiral", "Thinca", "TrigBank", "Inspiral2"];
+
+const MEANS: [f64; 5] = [18.0, 460.0, 5.0, 5.0, 450.0];
+const CVS: [f64; 5] = [0.2, 0.4, 0.2, 0.2, 0.4];
+
+/// Minimum group: 1 tmplt + 1 inspiral + thinca + 1 trig + 1 inspiral2 +
+/// thinca2.
+pub const MIN_TASKS: usize = 6;
+
+/// Nominal tasks per analysis group.
+const GROUP_SIZE: usize = 20;
+
+/// Generates a LIGO workflow with exactly `n_tasks` tasks.
+pub fn generate(n_tasks: usize, mean_weight: f64, rule: CostRule, seed: u64) -> Workflow {
+    let (wf, _) = generate_labeled(n_tasks, mean_weight, rule, seed);
+    wf
+}
+
+/// [`generate`], also returning each task's type label.
+pub fn generate_labeled(
+    n_tasks: usize,
+    mean_weight: f64,
+    rule: CostRule,
+    seed: u64,
+) -> (Workflow, Vec<&'static str>) {
+    assert!(n_tasks >= MIN_TASKS, "LIGO needs at least {MIN_TASKS} tasks");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_groups = (n_tasks / GROUP_SIZE).max(1);
+    let budgets = split_evenly(n_tasks, n_groups);
+
+    let mut b = DagBuilder::new(0);
+    let mut type_of: Vec<usize> = Vec::with_capacity(n_tasks);
+    let mut add = |b: &mut DagBuilder, ty: usize| {
+        type_of.push(ty);
+        b.add_node()
+    };
+
+    for &t in &budgets {
+        assert!(t >= MIN_TASKS, "group budget {t} too small (n_tasks {n_tasks})");
+        // t = 2k + r + 1 + 2k2 + 1 with r ∈ {0, 1}.
+        let body = t - 2; // minus the two thinca stages
+        let k2 = (body / 6).max(1);
+        let k = ((body - 2 * k2) / 2).max(1);
+        let r = body - 2 * k2 - 2 * k;
+        debug_assert!(r <= 1, "remainder {r}");
+
+        let tmplts: Vec<_> = (0..k + r).map(|_| add(&mut b, 0)).collect();
+        let inspirals: Vec<_> = (0..k).map(|_| add(&mut b, 1)).collect();
+        let thinca = add(&mut b, 2);
+        for i in 0..k {
+            b.add_edge(tmplts[i], inspirals[i]);
+            b.add_edge(inspirals[i], thinca);
+        }
+        // Extra template banks (odd remainder) feed the Thinca directly.
+        for &extra in &tmplts[k..] {
+            b.add_edge(extra, thinca);
+        }
+        let trigs: Vec<_> = (0..k2).map(|_| add(&mut b, 3)).collect();
+        let insp2: Vec<_> = (0..k2).map(|_| add(&mut b, 4)).collect();
+        let thinca2 = add(&mut b, 2);
+        for j in 0..k2 {
+            b.add_edge(thinca, trigs[j]);
+            b.add_edge(trigs[j], insp2[j]);
+            b.add_edge(insp2[j], thinca2);
+        }
+    }
+
+    let dag = b.build().expect("ligo construction is acyclic");
+    assert_eq!(dag.n_nodes(), n_tasks);
+    let samplers: Vec<WeightSampler> = MEANS
+        .iter()
+        .zip(CVS)
+        .map(|(&mu, cv)| WeightSampler::new(mu, cv))
+        .collect();
+    let labels = type_of.iter().map(|&t| TYPES[t]).collect();
+    let wf = finish(dag, &type_of, &samplers, mean_weight, rule, &mut rng);
+    (wf, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_dag::topo;
+
+    const RULE: CostRule = CostRule::ProportionalToWork { ratio: 0.1 };
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [6, 7, 20, 50, 99, 100, 233, 700] {
+            let wf = generate(n, 220.0, RULE, 1);
+            assert_eq!(wf.n_tasks(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn structural_shape() {
+        let (wf, labels) = generate_labeled(100, 220.0, RULE, 2);
+        let dag = wf.dag();
+        // Entries are exactly the template banks.
+        let tmplt = labels.iter().filter(|&&l| l == "TmpltBank").count();
+        assert_eq!(dag.sources().len(), tmplt);
+        // Sinks are the per-group second Thincas (5 groups of 20).
+        assert_eq!(dag.sinks().len(), 5);
+        // 1:1 stages match.
+        let insp = labels.iter().filter(|&&l| l == "Inspiral").count();
+        let trig = labels.iter().filter(|&&l| l == "TrigBank").count();
+        let insp2 = labels.iter().filter(|&&l| l == "Inspiral2").count();
+        assert!(tmplt >= insp);
+        assert_eq!(trig, insp2);
+        let o = topo::topological_order(dag);
+        assert!(topo::is_topological_order(dag, &o));
+    }
+
+    #[test]
+    fn groups_are_independent_components() {
+        // With 40 tasks → 2 groups; no edges between groups: every sink's
+        // ancestor set stays within its group's node range.
+        let (wf, _) = generate_labeled(40, 220.0, RULE, 3);
+        let dag = wf.dag();
+        let sinks = dag.sinks();
+        assert_eq!(sinks.len(), 2);
+        let anc0 = dagchkpt_dag::traverse::ancestors(dag, sinks[0]);
+        let anc1 = dagchkpt_dag::traverse::ancestors(dag, sinks[1]);
+        assert!(anc0.is_disjoint_from(&anc1));
+    }
+
+    #[test]
+    fn mean_weight_matches_paper_calibration() {
+        let wf = generate(300, 220.0, RULE, 4);
+        let mean = wf.total_work() / 300.0;
+        assert!((mean - 220.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn inspiral_dominates_aggregators() {
+        let (wf, labels) = generate_labeled(200, 220.0, RULE, 5);
+        let mean_of = |ty: &str| {
+            let (mut s, mut c) = (0.0, 0usize);
+            for (i, &l) in labels.iter().enumerate() {
+                if l == ty {
+                    s += wf.work(dagchkpt_dag::NodeId::from(i));
+                    c += 1;
+                }
+            }
+            s / c as f64
+        };
+        assert!(mean_of("Inspiral") > 10.0 * mean_of("Thinca"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(90, 220.0, RULE, 11), generate(90, 220.0, RULE, 11));
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic **Montage** workflows (NASA/IPAC sky-mosaic service).
+//!
+//! Structure after Bharathi et al. [9] / Juve et al. [24]:
+//!
+//! ```text
+//! mProjectPP (m, entry) ──► mDiffFit (d, one per overlapping pair)
+//!        │                        │
+//!        │                  mConcatFit (1) ─► mBgModel (1)
+//!        │                                        │
+//!        └────────────► mBackground (m, needs its projection + model)
+//!                               │
+//!                         mImgtbl (1) ─► mAdd (1) ─► mShrink (1) ─► mJPEG (1)
+//! ```
+//!
+//! Sizing: `n = 2m + d + 6` with `m = max(1, (n−6)/4)` projections, so the
+//! diff layer `d = n − 2m − 6 ≈ 2m` dominates as in real instances. The
+//! paper's calibration: average task weight ≈ 10 s.
+
+use crate::common::{finish, pick, WeightSampler};
+use dagchkpt_core::{CostRule, Workflow};
+use dagchkpt_dag::DagBuilder;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Task-type indices into the sampler table (exported for labeling).
+pub const TYPES: [&str; 9] = [
+    "mProjectPP",
+    "mDiffFit",
+    "mConcatFit",
+    "mBgModel",
+    "mBackground",
+    "mImgtbl",
+    "mAdd",
+    "mShrink",
+    "mJPEG",
+];
+
+/// Relative mean weights per type (proportions follow the published
+/// profiles; absolute scale is normalized to `mean_weight` afterwards).
+const MEANS: [f64; 9] = [1.3, 1.1, 14.0, 38.0, 1.1, 0.7, 8.0, 3.0, 0.7];
+const CVS: [f64; 9] = [0.3, 0.3, 0.2, 0.2, 0.3, 0.2, 0.2, 0.2, 0.2];
+
+/// Minimum supported size (`m = 1, d = 1` plus the six tail tasks).
+pub const MIN_TASKS: usize = 12;
+
+/// Generates a Montage workflow with exactly `n_tasks` tasks.
+///
+/// # Panics
+///
+/// If `n_tasks < MIN_TASKS`.
+pub fn generate(n_tasks: usize, mean_weight: f64, rule: CostRule, seed: u64) -> Workflow {
+    let (wf, _) = generate_labeled(n_tasks, mean_weight, rule, seed);
+    wf
+}
+
+/// [`generate`], also returning each task's type label.
+pub fn generate_labeled(
+    n_tasks: usize,
+    mean_weight: f64,
+    rule: CostRule,
+    seed: u64,
+) -> (Workflow, Vec<&'static str>) {
+    assert!(n_tasks >= MIN_TASKS, "Montage needs at least {MIN_TASKS} tasks");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = ((n_tasks - 6) / 4).max(1);
+    let d = n_tasks - 2 * m - 6;
+
+    let mut b = DagBuilder::new(0);
+    let mut type_of: Vec<usize> = Vec::with_capacity(n_tasks);
+    let mut add = |b: &mut DagBuilder, ty: usize| {
+        type_of.push(ty);
+        b.add_node()
+    };
+
+    let projs: Vec<_> = (0..m).map(|_| add(&mut b, 0)).collect();
+    let diffs: Vec<_> = (0..d).map(|_| add(&mut b, 1)).collect();
+    for (j, &diff) in diffs.iter().enumerate() {
+        // Each diff-fit reads two (distinct when possible) projections:
+        // ring neighbors first, then random chords for the surplus.
+        let a = if j < m { j } else { pick(&mut rng, m) };
+        let mut c = (a + 1) % m;
+        if c == a {
+            // single projection: degenerate but legal (m = 1)
+            b.add_edge(projs[a], diff);
+            continue;
+        }
+        if j >= m {
+            // chord partner
+            let alt = pick(&mut rng, m);
+            if alt != a {
+                c = alt;
+            }
+        }
+        b.add_edge(projs[a], diff);
+        b.add_edge(projs[c], diff);
+    }
+    let concat = add(&mut b, 2);
+    for &diff in &diffs {
+        b.add_edge(diff, concat);
+    }
+    let bgmodel = add(&mut b, 3);
+    b.add_edge(concat, bgmodel);
+    let backgrounds: Vec<_> = (0..m).map(|_| add(&mut b, 4)).collect();
+    for (i, &bg) in backgrounds.iter().enumerate() {
+        b.add_edge(projs[i], bg);
+        b.add_edge(bgmodel, bg);
+    }
+    let imgtbl = add(&mut b, 5);
+    for &bg in &backgrounds {
+        b.add_edge(bg, imgtbl);
+    }
+    let madd = add(&mut b, 6);
+    b.add_edge(imgtbl, madd);
+    let shrink = add(&mut b, 7);
+    b.add_edge(madd, shrink);
+    let jpeg = add(&mut b, 8);
+    b.add_edge(shrink, jpeg);
+
+    let dag = b.build().expect("montage construction is acyclic");
+    assert_eq!(dag.n_nodes(), n_tasks);
+    let samplers: Vec<WeightSampler> = MEANS
+        .iter()
+        .zip(CVS)
+        .map(|(&mu, cv)| WeightSampler::new(mu, cv))
+        .collect();
+    let labels = type_of.iter().map(|&t| TYPES[t]).collect();
+    let wf = finish(dag, &type_of, &samplers, mean_weight, rule, &mut rng);
+    (wf, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagchkpt_dag::topo;
+
+    const RULE: CostRule = CostRule::ProportionalToWork { ratio: 0.1 };
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [12, 50, 100, 137, 300, 700] {
+            let wf = generate(n, 10.0, RULE, 1);
+            assert_eq!(wf.n_tasks(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn structural_shape() {
+        let (wf, labels) = generate_labeled(100, 10.0, RULE, 2);
+        let dag = wf.dag();
+        // Entry tasks are exactly the projections.
+        let m = labels.iter().filter(|&&l| l == "mProjectPP").count();
+        assert_eq!(dag.sources().len(), m);
+        // Single final sink: mJPEG.
+        let sinks = dag.sinks();
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(labels[sinks[0].index()], "mJPEG");
+        // Diff layer dominates.
+        let d = labels.iter().filter(|&&l| l == "mDiffFit").count();
+        assert!(d >= m, "d = {d}, m = {m}");
+        // Backgrounds mirror projections.
+        assert_eq!(labels.iter().filter(|&&l| l == "mBackground").count(), m);
+        // Valid DAG with a topological order.
+        let o = topo::topological_order(dag);
+        assert!(topo::is_topological_order(dag, &o));
+    }
+
+    #[test]
+    fn mean_weight_matches_paper_calibration() {
+        let wf = generate(300, 10.0, RULE, 3);
+        let mean = wf.total_work() / 300.0;
+        assert!((mean - 10.0).abs() < 1e-9, "mean {mean}");
+        // Cost rule applied on rescaled weights.
+        let v = dagchkpt_dag::NodeId(0);
+        assert!((wf.checkpoint_cost(v) - 0.1 * wf.work(v)).abs() < 1e-12);
+        assert_eq!(wf.checkpoint_cost(v), wf.recovery_cost(v));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(120, 10.0, RULE, 7);
+        let b = generate(120, 10.0, RULE, 7);
+        assert_eq!(a, b);
+        let c = generate(120, 10.0, RULE, 8);
+        assert_ne!(a.works(), c.works());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_rejected() {
+        generate(5, 10.0, RULE, 1);
+    }
+}

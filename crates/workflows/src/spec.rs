@@ -1,0 +1,85 @@
+//! Serializable exchange format for workflow *instances* (topology + costs),
+//! so experiments are exactly reproducible from their JSON artifacts.
+
+use dagchkpt_core::{TaskCosts, Workflow};
+use dagchkpt_dag::io::DagSpec;
+use dagchkpt_dag::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A self-contained workflow description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    /// Topology.
+    pub dag: DagSpec,
+    /// `(w, c, r)` per task, indexed by id.
+    pub costs: Vec<(f64, f64, f64)>,
+    /// Optional per-task type labels (generator provenance).
+    #[serde(default)]
+    pub labels: Vec<String>,
+}
+
+impl WorkflowSpec {
+    /// Captures a workflow (labels optional).
+    pub fn from_workflow(wf: &Workflow, labels: Option<&[&str]>) -> Self {
+        let n = wf.n_tasks();
+        WorkflowSpec {
+            dag: DagSpec::from(wf.dag()),
+            costs: (0..n)
+                .map(|i| {
+                    let v = NodeId::from(i);
+                    (wf.work(v), wf.checkpoint_cost(v), wf.recovery_cost(v))
+                })
+                .collect(),
+            labels: labels
+                .map(|ls| ls.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Rebuilds the workflow.
+    pub fn build(&self) -> Result<Workflow, dagchkpt_dag::DagError> {
+        let dag = self.dag.build()?;
+        let costs: Vec<TaskCosts> =
+            self.costs.iter().map(|&(w, c, r)| TaskCosts::new(w, c, r)).collect();
+        Ok(Workflow::new(dag, costs))
+    }
+
+    /// JSON round-trip helpers.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses a spec back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PegasusKind;
+    use dagchkpt_core::CostRule;
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for kind in PegasusKind::ALL {
+            let (wf, labels) =
+                kind.generate_labeled(60, CostRule::Constant { value: 5.0 }, 3);
+            let spec = WorkflowSpec::from_workflow(&wf, Some(&labels));
+            let json = spec.to_json();
+            let parsed = WorkflowSpec::from_json(&json).unwrap();
+            let back = parsed.build().unwrap();
+            assert_eq!(back, wf, "{kind}");
+            assert_eq!(parsed.labels.len(), 60);
+        }
+    }
+
+    #[test]
+    fn labels_are_optional() {
+        let wf = PegasusKind::Montage.generate(50, CostRule::Constant { value: 1.0 }, 1);
+        let spec = WorkflowSpec::from_workflow(&wf, None);
+        assert!(spec.labels.is_empty());
+        assert_eq!(spec.build().unwrap(), wf);
+    }
+}

@@ -1,0 +1,75 @@
+//! Linear chains: the Toueg–Babaoglu dynamic program (exact optimum) versus
+//! periodic checkpointing with the Young/Daly period — the classical
+//! baseline the paper's CkptPer strategy generalizes, and the setting of
+//! its reference [13].
+//!
+//! ```sh
+//! cargo run --release --example chain_optimal
+//! ```
+
+use dagchkpt::core::exact::chain;
+use dagchkpt::dag::generators;
+use dagchkpt::failure::daly;
+use dagchkpt::prelude::*;
+
+fn main() {
+    // A 40-stage simulation pipeline with heterogeneous stage lengths.
+    let n = 40;
+    let weights: Vec<f64> =
+        (0..n).map(|i| 60.0 + 50.0 * ((i as f64 * 0.7).sin().abs())).collect();
+    let wf = Workflow::with_cost_rule(
+        generators::chain(n),
+        weights,
+        CostRule::Constant { value: 8.0 },
+    );
+    let mtbf = 2_000.0;
+    let model = FaultModel::from_mtbf(mtbf, 10.0);
+    println!(
+        "chain of {n} tasks, Tinf = {:.0} s, MTBF {mtbf} s, c = 8 s, D = 10 s",
+        wf.total_work()
+    );
+
+    // Exact optimum by dynamic programming.
+    let (opt_schedule, opt_value) =
+        chain::solve_chain(&wf, model).expect("workflow is a chain");
+    println!(
+        "\nToueg–Babaoglu DP : E[T] = {:.1} s with {} checkpoints",
+        opt_value,
+        opt_schedule.n_checkpoints()
+    );
+
+    // Young/Daly periodic placement (divisible-load theory).
+    let tau_young = daly::young_period(8.0, mtbf);
+    let tau_daly = daly::daly_period(8.0, mtbf);
+    println!("Young period {tau_young:.0} s, Daly period {tau_daly:.0} s");
+    let order = opt_schedule.order().to_vec();
+    for (name, n_ckpt) in [
+        ("Young-period", (wf.total_work() / tau_young).floor() as usize),
+        ("Daly-period", (wf.total_work() / tau_daly).floor() as usize),
+    ] {
+        let set = dagchkpt::core::strategies::periodic_set(&wf, &order, n_ckpt);
+        let s = Schedule::new(&wf, order.clone(), set).expect("valid");
+        let e = expected_makespan(&wf, model, &s);
+        println!(
+            "{name:<18}: E[T] = {:.1} s with {} checkpoints (+{:.2}% vs optimal)",
+            e,
+            s.n_checkpoints(),
+            (e / opt_value - 1.0) * 100.0
+        );
+    }
+
+    // The CkptW sweep from the paper, for comparison.
+    let best = optimize_checkpoints(
+        &wf,
+        model,
+        &order,
+        CheckpointStrategy::ByDecreasingWork,
+        SweepPolicy::Exhaustive,
+    );
+    println!(
+        "CkptW sweep       : E[T] = {:.1} s with {} checkpoints (+{:.2}% vs optimal)",
+        best.expected_makespan,
+        best.schedule.n_checkpoints(),
+        (best.expected_makespan / opt_value - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! Domain scenario: schedule a 200-task Montage mosaic on an increasingly
+//! failure-prone platform and watch the checkpointing strategy adapt —
+//! the motivating use case of the paper's Section 6.
+//!
+//! ```sh
+//! cargo run --release --example montage_study
+//! ```
+
+use dagchkpt::prelude::*;
+
+fn main() {
+    let wf = PegasusKind::Montage.generate(
+        200,
+        CostRule::ProportionalToWork { ratio: 0.1 },
+        2024,
+    );
+    println!(
+        "Montage: {} tasks, Tinf = {:.1} s, mean task weight {:.1} s",
+        wf.n_tasks(),
+        wf.total_work(),
+        wf.total_work() / wf.n_tasks() as f64
+    );
+
+    println!(
+        "\n{:>10} {:>12} {:>10} {:>8} {:>7}",
+        "MTBF (s)", "best", "E[T] (s)", "T/Tinf", "#ckpt"
+    );
+    for mtbf in [100_000.0, 10_000.0, 3_000.0, 1_000.0, 300.0] {
+        let model = FaultModel::from_mtbf(mtbf, 0.0);
+        let mut results = run_all(&wf, model, SweepPolicy::Exhaustive, 9);
+        results.sort_by(|a, b| a.expected_makespan.total_cmp(&b.expected_makespan));
+        let best = &results[0];
+        println!(
+            "{:>10.0} {:>12} {:>10.1} {:>8.4} {:>7}",
+            mtbf,
+            best.name,
+            best.expected_makespan,
+            best.ratio,
+            best.schedule.n_checkpoints()
+        );
+    }
+
+    // On the paper's default platform (λ = 10⁻³), how much do the two
+    // baselines lose against the best heuristic?
+    let model = FaultModel::new(1e-3, 0.0);
+    let results = run_all(&wf, model, SweepPolicy::Exhaustive, 9);
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    let best = results
+        .iter()
+        .min_by(|a, b| a.expected_makespan.total_cmp(&b.expected_makespan))
+        .expect("non-empty");
+    println!("\nat MTBF 1000 s:");
+    for name in ["DF-CkptNvr", "DF-CkptAlws"] {
+        let r = get(name);
+        println!(
+            "  {name} loses {:.1}% vs {} ({:.1} vs {:.1} s)",
+            (r.expected_makespan / best.expected_makespan - 1.0) * 100.0,
+            best.name,
+            r.expected_makespan,
+            best.expected_makespan
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a workflow, pick a schedule with the paper's
+//! heuristics, read the expected makespan, and double-check it by
+//! simulation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dagchkpt::prelude::*;
+
+fn main() {
+    // A small fork-join pipeline: preprocessing fans out into four parallel
+    // analyses that merge into a final report.
+    let mut b = DagBuilder::new(6);
+    for analysis in 1..=4usize {
+        b.add_edge(0usize, analysis);
+        b.add_edge(analysis, 5usize);
+    }
+    let dag = b.build().expect("acyclic");
+
+    // Task weights (seconds); checkpointing a task costs 10 % of its weight.
+    let weights = vec![120.0, 300.0, 250.0, 400.0, 350.0, 60.0];
+    let wf = Workflow::with_cost_rule(
+        dag,
+        weights,
+        CostRule::ProportionalToWork { ratio: 0.1 },
+    );
+
+    // A 256-processor platform whose processors have a 75-hour MTBF each:
+    // the application sees MTBF ≈ 1054 s.
+    let platform = Platform::new(256, 270_000.0, 5.0);
+    let model = platform.fault_model();
+    println!(
+        "platform: {} procs, app-level MTBF {:.0} s, downtime {} s",
+        platform.n_procs,
+        platform.mtbf(),
+        platform.downtime
+    );
+    println!("failure-free time Tinf = {} s\n", wf.total_work());
+
+    // Run all 14 heuristics of the paper and rank them.
+    let mut results = run_all(&wf, model, SweepPolicy::Exhaustive, 42);
+    results.sort_by(|a, b| a.expected_makespan.total_cmp(&b.expected_makespan));
+    println!("{:<12} {:>12} {:>8} {:>8}", "heuristic", "E[makespan]", "T/Tinf", "#ckpt");
+    for r in &results {
+        println!(
+            "{:<12} {:>12.1} {:>8.4} {:>8}",
+            r.name,
+            r.expected_makespan,
+            r.ratio,
+            r.schedule.n_checkpoints()
+        );
+    }
+
+    // Validate the winner against 20 000 simulated executions.
+    let best = &results[0];
+    let stats = run_trials(&wf, &best.schedule, model, TrialSpec::new(20_000, 7));
+    println!(
+        "\nbest = {}: analytic {:.1} s vs simulated {:.1} ± {:.1} s ({} trials)",
+        best.name,
+        best.expected_makespan,
+        stats.makespan.mean(),
+        stats.makespan.ci95(),
+        stats.makespan.n()
+    );
+    println!(
+        "checkpointed tasks: {:?}",
+        best.schedule.checkpoints().iter().collect::<Vec<_>>()
+    );
+}

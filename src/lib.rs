@@ -1,0 +1,97 @@
+//! # dagchkpt
+//!
+//! A reproduction, as a production-quality Rust library, of
+//! *“Scheduling computational workflows on failure-prone platforms”*
+//! (Aupy, Benoit, Casanova, Robert — INRIA RR-8609 / IPDPS 2015).
+//!
+//! A workflow DAG of tightly-coupled parallel tasks runs on a platform with
+//! exponentially distributed failures. Each task `T_i` takes `w_i` seconds,
+//! can checkpoint its output in `c_i` seconds, and recover it in `r_i`
+//! seconds. A **schedule** fixes the task order (a linearization) and the
+//! checkpointed subset; the goal is to minimize the expected makespan.
+//!
+//! The crate re-exports the full workspace:
+//!
+//! * [`dag`] — DAG substrate (topology, traversals, generators, DOT/JSON);
+//! * [`failure`] — fault models, Equation (1), fault injectors;
+//! * [`core`] — the paper's algorithms: the Theorem-3 expected-makespan
+//!   evaluator, DF/BF/RF linearizations, the six checkpoint strategies,
+//!   fork/join/chain exact solvers, and the NP-completeness reduction;
+//! * [`sim`] — a Monte-Carlo simulator that validates the analytics;
+//! * [`workflows`] — Pegasus-like Montage / LIGO / CyberShake / Genome
+//!   generators matching the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dagchkpt::prelude::*;
+//!
+//! // A four-task diamond: T0 feeds T1 and T2, which feed T3.
+//! let mut b = DagBuilder::new(4);
+//! b.add_edge(0usize, 1usize);
+//! b.add_edge(0usize, 2usize);
+//! b.add_edge(1usize, 3usize);
+//! b.add_edge(2usize, 3usize);
+//! let dag = b.build().unwrap();
+//!
+//! // Weights in seconds; checkpoint = recovery = 10% of the weight.
+//! let wf = Workflow::with_cost_rule(
+//!     dag,
+//!     vec![60.0, 30.0, 45.0, 20.0],
+//!     CostRule::ProportionalToWork { ratio: 0.1 },
+//! );
+//!
+//! // Platform: MTBF 1000 s, no downtime.
+//! let model = FaultModel::new(1e-3, 0.0);
+//!
+//! // Run the paper's best heuristic (DF linearization + CkptW sweep).
+//! let h = Heuristic {
+//!     lin: LinearizationStrategy::DepthFirst,
+//!     ckpt: CheckpointStrategy::ByDecreasingWork,
+//! };
+//! let result = run_heuristic(&wf, model, h, SweepPolicy::Exhaustive);
+//! assert!(result.expected_makespan >= wf.total_work());
+//!
+//! // Cross-check the analytic expectation by simulation.
+//! let stats = dagchkpt::sim::run_trials(
+//!     &wf, &result.schedule, model, dagchkpt::sim::TrialSpec::new(2000, 42));
+//! let z = (stats.makespan.mean() - result.expected_makespan)
+//!     / stats.makespan.sem();
+//! assert!(z.abs() < 5.0);
+//! ```
+
+pub use dagchkpt_core as core;
+pub use dagchkpt_dag as dag;
+pub use dagchkpt_failure as failure;
+pub use dagchkpt_sim as sim;
+pub use dagchkpt_workflows as workflows;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use dagchkpt_core::{
+        evaluate, expected_makespan, linearize, optimize_checkpoints, run_all,
+        run_heuristic, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
+        Schedule, SweepPolicy, TaskCosts, Workflow,
+    };
+    pub use dagchkpt_dag::{Dag, DagBuilder, FixedBitSet, NodeId};
+    pub use dagchkpt_failure::{FaultModel, Platform};
+    pub use dagchkpt_sim::{run_trials, simulate, SimConfig, TrialSpec};
+    pub use dagchkpt_workflows::PegasusKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_whole_pipeline() {
+        let wf = PegasusKind::Montage.generate(
+            50,
+            CostRule::ProportionalToWork { ratio: 0.1 },
+            1,
+        );
+        let model = FaultModel::new(1e-3, 0.0);
+        let results = run_all(&wf, model, SweepPolicy::Exhaustive, 1);
+        assert_eq!(results.len(), 14);
+    }
+}

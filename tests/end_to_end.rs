@@ -1,0 +1,106 @@
+//! Cross-crate integration: generate → linearize → optimize checkpoints →
+//! evaluate analytically → simulate, for every Pegasus-like application.
+
+use dagchkpt::prelude::*;
+
+#[test]
+fn full_pipeline_on_every_application() {
+    for kind in PegasusKind::ALL {
+        let wf = kind.generate(60, CostRule::ProportionalToWork { ratio: 0.1 }, 33);
+        let model = FaultModel::new(kind.default_lambda(), 0.0);
+        let results = run_all(&wf, model, SweepPolicy::Exhaustive, 33);
+        assert_eq!(results.len(), 14, "{kind}");
+        let tinf = wf.total_work();
+
+        // Baselines are never better than the best swept heuristic, and all
+        // ratios are sane.
+        let best = results
+            .iter()
+            .min_by(|a, b| a.expected_makespan.total_cmp(&b.expected_makespan))
+            .expect("non-empty");
+        for r in &results {
+            assert!(r.expected_makespan >= tinf - 1e-9, "{kind}/{}", r.name);
+            assert!(r.ratio.is_finite(), "{kind}/{}", r.name);
+        }
+        let nvr = results.iter().find(|r| r.name == "DF-CkptNvr").expect("nvr");
+        let alws = results.iter().find(|r| r.name == "DF-CkptAlws").expect("alws");
+        assert!(best.expected_makespan <= nvr.expected_makespan + 1e-9, "{kind}");
+        assert!(best.expected_makespan <= alws.expected_makespan + 1e-9, "{kind}");
+
+        // Simulation agrees with the analytic value for the best schedule.
+        let stats = run_trials(&wf, &best.schedule, model, TrialSpec::new(8_000, 17));
+        let z =
+            (stats.makespan.mean() - best.expected_makespan) / stats.makespan.sem();
+        assert!(
+            z.abs() < 5.0,
+            "{kind}: MC {} ± {} vs analytic {} (z = {z:.2})",
+            stats.makespan.mean(),
+            stats.makespan.sem(),
+            best.expected_makespan
+        );
+    }
+}
+
+#[test]
+fn checkpointing_pays_off_under_high_failure_rates() {
+    // With MTBF comparable to a handful of task lengths, CkptNvr must lose
+    // clearly to the swept strategies on every application.
+    for kind in PegasusKind::ALL {
+        let wf = kind.generate(60, CostRule::ProportionalToWork { ratio: 0.1 }, 5);
+        let mean_w = wf.total_work() / 60.0;
+        let model = FaultModel::from_mtbf(8.0 * mean_w, 0.0);
+        let results = run_all(&wf, model, SweepPolicy::Exhaustive, 5);
+        let nvr = results
+            .iter()
+            .find(|r| r.name == "DF-CkptNvr")
+            .expect("nvr")
+            .expected_makespan;
+        let best_w = results
+            .iter()
+            .find(|r| r.name == "DF-CkptW")
+            .expect("w")
+            .expected_makespan;
+        assert!(
+            best_w < nvr * 0.999,
+            "{kind}: CkptW {best_w} should beat CkptNvr {nvr} at high λ"
+        );
+    }
+}
+
+#[test]
+fn fault_free_platform_makes_checkpoints_useless() {
+    let wf = PegasusKind::Ligo.generate(40, CostRule::ProportionalToWork { ratio: 0.1 }, 3);
+    let results = run_all(&wf, FaultModel::fault_free(), SweepPolicy::Exhaustive, 3);
+    let tinf = wf.total_work();
+    for r in &results {
+        if r.name.ends_with("CkptAlws") {
+            assert!(r.expected_makespan > tinf);
+        } else if r.name.contains("Ckpt") && r.best_n.is_some() {
+            // Swept strategies must choose zero checkpoints.
+            assert_eq!(
+                r.schedule.n_checkpoints(),
+                0,
+                "{} checkpointed needlessly",
+                r.name
+            );
+            assert!((r.expected_makespan - tinf).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn deeper_failure_rates_monotonically_hurt_best_heuristic() {
+    let wf =
+        PegasusKind::CyberShake.generate(60, CostRule::ProportionalToWork { ratio: 0.1 }, 9);
+    let mut last = 0.0;
+    for lambda in [0.0, 1e-4, 3e-4, 1e-3, 3e-3] {
+        let model = FaultModel::new(lambda, 0.0);
+        let results = run_all(&wf, model, SweepPolicy::Exhaustive, 9);
+        let best = results
+            .iter()
+            .map(|r| r.expected_makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best >= last - 1e-9, "λ={lambda}: best {best} < previous {last}");
+        last = best;
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-crate consistency of the exact algorithms, the general evaluator,
+//! and the simulator on the structured DAG classes the paper analyzes.
+
+use dagchkpt::core::exact::{brute, chain, fork, join};
+use dagchkpt::dag::generators;
+use dagchkpt::prelude::*;
+
+#[test]
+fn fork_theorem_vs_brute_vs_simulation() {
+    let costs = vec![
+        TaskCosts::new(90.0, 6.0, 8.0),
+        TaskCosts::new(35.0, 0.0, 0.0),
+        TaskCosts::new(55.0, 0.0, 0.0),
+        TaskCosts::new(20.0, 0.0, 0.0),
+    ];
+    let wf = Workflow::new(generators::fork(3), costs);
+    let model = FaultModel::new(4e-3, 0.0);
+    let (schedule, value) = fork::solve_fork(&wf, model).expect("fork");
+    let b = brute::optimal_schedule(&wf, model, brute::BruteLimits::default()).expect("small");
+    assert!((value - b.expected_makespan).abs() / value < 1e-9);
+    let stats = run_trials(&wf, &schedule, model, TrialSpec::new(30_000, 4));
+    let z = (stats.makespan.mean() - value) / stats.makespan.sem();
+    assert!(z.abs() < 5.0, "fork: z = {z:.2}");
+}
+
+#[test]
+fn join_solver_vs_brute_vs_simulation() {
+    let costs = vec![
+        TaskCosts::new(40.0, 3.0, 5.0),
+        TaskCosts::new(25.0, 6.0, 2.0),
+        TaskCosts::new(60.0, 2.0, 9.0),
+        TaskCosts::new(8.0, 0.0, 0.0),
+    ];
+    let wf = Workflow::new(generators::join(3), costs);
+    let model = FaultModel::new(6e-3, 0.0);
+    let (schedule, value) = join::solve_join_exact(&wf, model, 8).expect("join");
+    let b = brute::optimal_schedule(&wf, model, brute::BruteLimits::default()).expect("small");
+    assert!(
+        (value - b.expected_makespan).abs() / value < 1e-9,
+        "join exact {value} vs brute {}",
+        b.expected_makespan
+    );
+    let stats = run_trials(&wf, &schedule, model, TrialSpec::new(30_000, 8));
+    let z = (stats.makespan.mean() - value) / stats.makespan.sem();
+    assert!(z.abs() < 5.0, "join: z = {z:.2}");
+}
+
+#[test]
+fn chain_dp_vs_ckptw_sweep_vs_simulation() {
+    let weights: Vec<f64> = (0..15).map(|i| 20.0 + 7.0 * (i % 5) as f64).collect();
+    let wf = Workflow::with_cost_rule(
+        generators::chain(15),
+        weights,
+        CostRule::Constant { value: 3.0 },
+    );
+    let model = FaultModel::new(5e-3, 1.0);
+    let (schedule, value) = chain::solve_chain(&wf, model).expect("chain");
+    // CkptW's sweep on a chain can't beat the DP optimum.
+    let order = schedule.order().to_vec();
+    let swept = optimize_checkpoints(
+        &wf,
+        model,
+        &order,
+        CheckpointStrategy::ByDecreasingWork,
+        SweepPolicy::Exhaustive,
+    );
+    assert!(value <= swept.expected_makespan + 1e-9);
+    let stats = run_trials(&wf, &schedule, model, TrialSpec::new(30_000, 2));
+    let z = (stats.makespan.mean() - value) / stats.makespan.sem();
+    assert!(z.abs() < 5.0, "chain: z = {z:.2}");
+}
+
+#[test]
+fn corollary1_uniform_join_reduces_to_weight_order() {
+    // Uniform c, r: the φ-order and the paper's g-order coincide with
+    // decreasing weight, and the solver matches exhaustive search.
+    let costs = vec![
+        TaskCosts::new(50.0, 4.0, 4.0),
+        TaskCosts::new(10.0, 4.0, 4.0),
+        TaskCosts::new(30.0, 4.0, 4.0),
+        TaskCosts::new(70.0, 4.0, 4.0),
+        TaskCosts::new(5.0, 0.0, 0.0),
+    ];
+    let wf = Workflow::new(generators::join(4), costs);
+    let model = FaultModel::new(8e-3, 0.0);
+    let (uni_s, uni_v) = join::solve_join_uniform(&wf, model).expect("uniform");
+    let (_, exact_v) = join::solve_join_exact(&wf, model, 8).expect("exact");
+    assert!((uni_v - exact_v).abs() / exact_v < 1e-9);
+    // Checkpointed prefix is heaviest-first in the schedule.
+    let ck: Vec<_> = uni_s
+        .order()
+        .iter()
+        .filter(|&&v| uni_s.is_checkpointed(v))
+        .map(|&v| wf.work(v))
+        .collect();
+    assert!(ck.windows(2).all(|w| w[0] >= w[1]), "not weight-sorted: {ck:?}");
+}
+
+#[test]
+fn npc_reduction_solved_by_join_solver() {
+    // SUBSET-SUM {2, 3, 5, 7}, X = 10 (= 3 + 7 = 2 + 3 + 5).
+    let inst = dagchkpt::core::npc::subset_sum_instance(&[2.0, 3.0, 5.0, 7.0], 10.0, 0.5);
+    let (s, v) = join::solve_join_exact(&inst.workflow, inst.model, 8).expect("join");
+    let expect = inst.t_min / inst.model.lambda();
+    assert!((v - expect).abs() / expect < 1e-9, "solver {v} vs bound {expect}");
+    let w_nckpt: f64 = (0..4)
+        .map(NodeId::from)
+        .filter(|&v| !s.is_checkpointed(v))
+        .map(|v| inst.workflow.work(v))
+        .sum();
+    assert_eq!(w_nckpt, 10.0, "non-checkpointed weight must equal the target");
+}

@@ -1,0 +1,103 @@
+//! The paper's Section-3 walk-through as an executable integration test:
+//! Figure-1 DAG, linearization `T0 T3 T1 T2 T4 T5 T6 T7`, checkpoints on
+//! `T3` and `T4`, one fault during `T5`.
+
+use dagchkpt::dag::generators;
+use dagchkpt::failure::TraceInjector;
+use dagchkpt::prelude::*;
+use dagchkpt::sim::{Event, UnitKind};
+
+fn setup() -> (Workflow, Schedule) {
+    let wf = Workflow::new(
+        generators::paper_figure1(),
+        (0..8)
+            .map(|i| {
+                if i == 3 || i == 4 {
+                    TaskCosts::new(10.0, 1.0, 1.0)
+                } else {
+                    TaskCosts::new(10.0, 0.0, 0.0)
+                }
+            })
+            .collect(),
+    );
+    let order: Vec<NodeId> =
+        [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+    let mut ckpt = FixedBitSet::new(8);
+    ckpt.insert(3);
+    ckpt.insert(4);
+    let s = Schedule::new(&wf, order, ckpt).expect("paper linearization");
+    (wf, s)
+}
+
+#[test]
+fn single_fault_recovery_sequence_matches_the_text() {
+    let (wf, s) = setup();
+    // Fault 3 s into T5 (which starts at t = 52 after T0 T3+c T1 T2 T4+c).
+    let mut inj = TraceInjector::new(vec![55.0]);
+    let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 0.0, record_trace: true });
+    assert_eq!(r.n_faults, 1);
+    // "To re-execute T5, one needs to recover the checkpointed output of
+    // T3. To execute T6, one then needs to recover the checkpointed output
+    // of T4 … One must therefore re-execute T1, T2, and then finally T7."
+    let trace = r.trace.expect("recorded");
+    let after_fault: Vec<(u32, UnitKind)> = trace
+        .iter()
+        .skip_while(|e| !matches!(e, Event::Fault { .. }))
+        .filter_map(|e| match e {
+            Event::UnitCompleted { task, kind, .. } => Some((task.0, *kind)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        after_fault,
+        vec![
+            (3, UnitKind::Recovery),
+            (5, UnitKind::Work),
+            (4, UnitKind::Recovery),
+            (6, UnitKind::Work),
+            (1, UnitKind::Rework),
+            (2, UnitKind::Rework),
+            (7, UnitKind::Work),
+        ],
+        "recovery sequence diverges from the paper's walk-through"
+    );
+    assert_eq!(r.makespan, 107.0);
+    let _ = wf;
+}
+
+#[test]
+fn analytic_value_matches_simulation_for_the_walkthrough_schedule() {
+    let (wf, s) = setup();
+    let model = FaultModel::new(2e-3, 0.0);
+    let analytic = expected_makespan(&wf, model, &s);
+    let stats = run_trials(&wf, &s, model, TrialSpec::new(40_000, 21));
+    let z = (stats.makespan.mean() - analytic) / stats.makespan.sem();
+    assert!(z.abs() < 5.0, "z = {z:.2}");
+}
+
+#[test]
+fn checkpointing_t3_t4_beats_no_checkpoints_at_moderate_lambda() {
+    let (wf, s) = setup();
+    let model = FaultModel::new(5e-3, 0.0);
+    let with = expected_makespan(&wf, model, &s);
+    let without = expected_makespan(
+        &wf,
+        model,
+        &Schedule::never(&wf, s.order().to_vec()).expect("valid"),
+    );
+    assert!(with < without, "checkpoints should pay off: {with} vs {without}");
+}
+
+#[test]
+fn evaluator_is_linearization_sensitive_on_figure1() {
+    // The paper's whole point: different linearizations of the same DAG
+    // with the same checkpoint set have different expected makespans.
+    let (wf, s) = setup();
+    let model = FaultModel::new(5e-3, 0.0);
+    let a = expected_makespan(&wf, model, &s);
+    // A breadth-first-ish alternative order.
+    let alt: Vec<NodeId> = [0u32, 1, 3, 2, 5, 4, 6, 7].iter().map(|&i| NodeId(i)).collect();
+    let s2 = Schedule::new(&wf, alt, s.checkpoints().clone()).expect("valid");
+    let b = expected_makespan(&wf, model, &s2);
+    assert!((a - b).abs() > 1e-6, "orders are indistinguishable: {a} vs {b}");
+}

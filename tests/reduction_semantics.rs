@@ -1,0 +1,65 @@
+//! Pins the data-dependency subtlety documented in `dagchkpt::dag::reduce`:
+//! transitive reduction preserves precedence but NOT the checkpoint model's
+//! recovery semantics, because redundant edges carry data.
+
+use dagchkpt::dag::reduce::{same_reachability, transitive_reduction};
+use dagchkpt::dag::DagBuilder;
+use dagchkpt::prelude::*;
+
+/// Chain `0 → 1 → 2` plus the redundant data edge `0 → 2`.
+fn shortcut_wf() -> (Workflow, Workflow) {
+    let mut b = DagBuilder::new(3);
+    b.add_edge(0usize, 1usize);
+    b.add_edge(1usize, 2usize);
+    b.add_edge(0usize, 2usize);
+    let dag = b.build().unwrap();
+    let red = transitive_reduction(&dag);
+    assert!(same_reachability(&dag, &red));
+    assert_eq!(red.n_edges(), 2);
+    let costs = vec![
+        TaskCosts::new(100.0, 1.0, 1.0), // T0: expensive to re-execute
+        TaskCosts::new(10.0, 1.0, 1.0),  // T1: checkpointed middle task
+        TaskCosts::new(10.0, 0.0, 0.0),  // T2: consumes T0 AND T1
+    ];
+    (
+        Workflow::new(dag, costs.clone()),
+        Workflow::new(red, costs),
+    )
+}
+
+#[test]
+fn reduction_can_change_expected_makespan() {
+    let (full, reduced) = shortcut_wf();
+    let model = FaultModel::new(5e-3, 0.0);
+    // Same linearization and checkpoint set (only T1 checkpointed).
+    let order: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+    let ckpt = FixedBitSet::from_indices(3, [1usize]);
+    let s_full = Schedule::new(&full, order.clone(), ckpt.clone()).unwrap();
+    let s_red = Schedule::new(&reduced, order, ckpt).unwrap();
+    let e_full = expected_makespan(&full, model, &s_full);
+    let e_red = expected_makespan(&reduced, model, &s_red);
+    // With the direct edge 0→2, a fault during X3 forces re-executing the
+    // 100-second T0 (T1's checkpoint does not shield it); without the edge
+    // only T1's checkpoint is recovered. The expectations must differ, with
+    // the full graph strictly more expensive.
+    assert!(
+        e_full > e_red * (1.0 + 1e-6),
+        "reduction silently preserved the makespan: {e_full} vs {e_red}"
+    );
+}
+
+#[test]
+fn simulator_agrees_with_both_variants() {
+    // The analytic difference is mirrored operationally.
+    let (full, reduced) = shortcut_wf();
+    let model = FaultModel::new(5e-3, 0.0);
+    let order: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+    let ckpt = FixedBitSet::from_indices(3, [1usize]);
+    for wf in [&full, &reduced] {
+        let s = Schedule::new(wf, order.clone(), ckpt.clone()).unwrap();
+        let analytic = expected_makespan(wf, model, &s);
+        let stats = run_trials(wf, &s, model, TrialSpec::new(60_000, 3));
+        let z = (stats.makespan.mean() - analytic) / stats.makespan.sem();
+        assert!(z.abs() < 5.0, "z = {z:.2} for {} edges", wf.dag().n_edges());
+    }
+}

@@ -1,0 +1,47 @@
+//! Serialization round trips across crates: workflow specs, schedules, and
+//! the evaluator's invariance under them.
+
+use dagchkpt::prelude::*;
+use dagchkpt::workflows::WorkflowSpec;
+
+#[test]
+fn workflow_spec_preserves_evaluation_exactly() {
+    for kind in PegasusKind::ALL {
+        let wf = kind.generate(50, CostRule::ProportionalToWork { ratio: 0.1 }, 13);
+        let model = FaultModel::new(kind.default_lambda(), 0.0);
+        let h = Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::ByDecreasingWork,
+        };
+        let r = run_heuristic(&wf, model, h, SweepPolicy::Exhaustive);
+
+        let json = WorkflowSpec::from_workflow(&wf, None).to_json();
+        let wf2 = WorkflowSpec::from_json(&json).unwrap().build().unwrap();
+        assert_eq!(wf2, wf, "{kind}");
+        let e2 = expected_makespan(&wf2, model, &r.schedule);
+        assert_eq!(e2, r.expected_makespan, "{kind}: evaluation changed");
+    }
+}
+
+#[test]
+fn schedule_serializes_with_serde() {
+    let wf = PegasusKind::Montage.generate(50, CostRule::Constant { value: 2.0 }, 3);
+    let order = dagchkpt::core::linearize(&wf, LinearizationStrategy::DepthFirst);
+    let s = Schedule::new(&wf, order, FixedBitSet::from_indices(50, [0usize, 7, 13]))
+        .expect("valid");
+    let json = serde_json::to_string(&s).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+    assert_eq!(back.n_checkpoints(), 3);
+}
+
+#[test]
+fn dag_spec_json_is_stable_for_fixture() {
+    let dag = dagchkpt::dag::generators::paper_figure1();
+    let spec = dagchkpt::dag::io::DagSpec::from(&dag);
+    let json = spec.to_json();
+    let parsed = dagchkpt::dag::io::DagSpec::from_json(&json).unwrap();
+    assert_eq!(parsed.build().unwrap(), dag);
+    assert_eq!(parsed.n, 8);
+    assert_eq!(parsed.edges.len(), 8);
+}
