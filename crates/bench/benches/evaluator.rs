@@ -8,11 +8,7 @@ use dagchkpt_workflows::PegasusKind;
 use std::hint::black_box;
 
 fn schedule_for(n: usize) -> (dagchkpt_core::Workflow, Schedule) {
-    let wf = PegasusKind::Montage.generate(
-        n,
-        CostRule::ProportionalToWork { ratio: 0.1 },
-        7,
-    );
+    let wf = PegasusKind::Montage.generate(n, CostRule::ProportionalToWork { ratio: 0.1 }, 7);
     let order = dagchkpt_core::linearize(&wf, LinearizationStrategy::DepthFirst);
     let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|i| i % 3 == 0));
     let s = Schedule::new(&wf, order, ckpt).expect("valid schedule");
@@ -40,7 +36,9 @@ fn bench_literal_vs_optimized(c: &mut Criterion) {
         let (wf, s) = schedule_for(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(evaluator::literal::expected_makespan_literal(&wf, model, &s))
+                black_box(evaluator::literal::expected_makespan_literal(
+                    &wf, model, &s,
+                ))
             });
         });
     }

@@ -12,11 +12,7 @@ fn bench_generators(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(k.generate(
-                    700,
-                    CostRule::ProportionalToWork { ratio: 0.1 },
-                    seed,
-                ))
+                black_box(k.generate(700, CostRule::ProportionalToWork { ratio: 0.1 }, seed))
             });
         });
     }

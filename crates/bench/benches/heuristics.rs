@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dagchkpt_core::{
-    run_heuristic, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
-    SweepPolicy,
+    run_heuristic, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy, SweepPolicy,
 };
 use dagchkpt_failure::FaultModel;
 use dagchkpt_workflows::PegasusKind;
@@ -14,11 +13,8 @@ fn bench_heuristic_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("heuristic/DF-CkptW");
     g.sample_size(10);
     for n in [50usize, 100, 200] {
-        let wf = PegasusKind::CyberShake.generate(
-            n,
-            CostRule::ProportionalToWork { ratio: 0.1 },
-            3,
-        );
+        let wf =
+            PegasusKind::CyberShake.generate(n, CostRule::ProportionalToWork { ratio: 0.1 }, 3);
         let model = FaultModel::new(1e-3, 0.0);
         let h = Heuristic {
             lin: LinearizationStrategy::DepthFirst,
@@ -46,7 +42,12 @@ fn bench_strided_vs_exhaustive(c: &mut Criterion) {
     });
     g.bench_function("strided8", |b| {
         b.iter(|| {
-            black_box(run_heuristic(&wf, model, h, SweepPolicy::Strided { stride: 8 }))
+            black_box(run_heuristic(
+                &wf,
+                model,
+                h,
+                SweepPolicy::Strided { stride: 8 },
+            ))
         });
     });
     g.finish();

@@ -6,8 +6,7 @@ use dagchkpt_workflows::PegasusKind;
 use std::hint::black_box;
 
 fn bench_linearize(c: &mut Criterion) {
-    let wf =
-        PegasusKind::Montage.generate(700, CostRule::ProportionalToWork { ratio: 0.1 }, 5);
+    let wf = PegasusKind::Montage.generate(700, CostRule::ProportionalToWork { ratio: 0.1 }, 5);
     let mut g = c.benchmark_group("linearize/700");
     for (name, strat) in [
         ("DF", LinearizationStrategy::DepthFirst),

@@ -14,11 +14,7 @@ use dagchkpt_workflows::PegasusKind;
 use std::hint::black_box;
 
 fn setup(n: usize) -> (dagchkpt_core::Workflow, Schedule, FaultModel) {
-    let wf = PegasusKind::CyberShake.generate(
-        n,
-        CostRule::ProportionalToWork { ratio: 0.1 },
-        9,
-    );
+    let wf = PegasusKind::CyberShake.generate(n, CostRule::ProportionalToWork { ratio: 0.1 }, 9);
     let order = dagchkpt_core::linearize(&wf, LinearizationStrategy::DepthFirst);
     let s = Schedule::always(&wf, order).expect("valid schedule");
     (wf, s, FaultModel::new(1e-3, 0.0))
@@ -45,7 +41,13 @@ fn bench_trial_batch(c: &mut Criterion) {
     let (wf, s, model) = setup(100);
     let mut g = c.benchmark_group("simulator/batch");
     g.sample_size(10);
-    g.bench_function("1000_trials", |b| {
+    // Sequential vs parallel over the same seeds: the two rows measure the
+    // multi-core speedup of the `TrialSpec::parallel` knob on statistics
+    // that are bit-identical by construction.
+    g.bench_function("1000_trials_sequential", |b| {
+        b.iter(|| black_box(run_trials(&wf, &s, model, TrialSpec::sequential(1000, 13))));
+    });
+    g.bench_function("1000_trials_parallel", |b| {
         b.iter(|| black_box(run_trials(&wf, &s, model, TrialSpec::new(1000, 13))));
     });
     g.finish();

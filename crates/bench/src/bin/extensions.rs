@@ -9,8 +9,8 @@
 use dagchkpt_bench::csvout::write_csv;
 use dagchkpt_bench::{auto_policy, Options};
 use dagchkpt_core::{
-    linearize, optimize_checkpoints, strategies::local_search, CheckpointStrategy,
-    CostRule, LinearizationStrategy,
+    linearize, optimize_checkpoints, strategies::local_search, CheckpointStrategy, CostRule,
+    LinearizationStrategy,
 };
 use dagchkpt_failure::FaultModel;
 use dagchkpt_workflows::PegasusKind;
@@ -42,9 +42,19 @@ fn main() {
                 let ratio = |e: f64| e / tinf;
 
                 let w = optimize_checkpoints(
-                    &wf, model, &order, CheckpointStrategy::ByDecreasingWork, policy);
+                    &wf,
+                    model,
+                    &order,
+                    CheckpointStrategy::ByDecreasingWork,
+                    policy,
+                );
                 let c = optimize_checkpoints(
-                    &wf, model, &order, CheckpointStrategy::ByIncreasingCkptCost, policy);
+                    &wf,
+                    model,
+                    &order,
+                    CheckpointStrategy::ByIncreasingCkptCost,
+                    policy,
+                );
                 let h = optimize_checkpoints(
                     &wf,
                     model,
@@ -52,13 +62,7 @@ fn main() {
                     CheckpointStrategy::ByDecreasingWorkOverCost,
                     policy,
                 );
-                let ls = local_search(
-                    &wf,
-                    model,
-                    &order,
-                    w.schedule.checkpoints().clone(),
-                    64,
-                );
+                let ls = local_search(&wf, model, &order, w.schedule.checkpoints().clone(), 64);
                 assert!(
                     ls.expected_makespan <= w.expected_makespan + 1e-9,
                     "local search must not lose to its seed"
@@ -88,7 +92,15 @@ fn main() {
     }
     write_csv(
         opts.out_dir.join("extensions.csv"),
-        &["workflow", "n", "rule", "ckptw", "ckptc", "ckpth", "w_localsearch"],
+        &[
+            "workflow",
+            "n",
+            "rule",
+            "ckptw",
+            "ckptc",
+            "ckpth",
+            "w_localsearch",
+        ],
         rows,
     )
     .expect("write extensions.csv");

@@ -5,8 +5,8 @@
 use dagchkpt_bench::csvout::write_csv;
 use dagchkpt_bench::Options;
 use dagchkpt_core::{
-    linearize, optimize_checkpoints, CheckpointStrategy, CostRule,
-    LinearizationStrategy, SweepPolicy,
+    linearize, optimize_checkpoints, CheckpointStrategy, CostRule, LinearizationStrategy,
+    SweepPolicy,
 };
 use dagchkpt_failure::{ExponentialInjector, FaultModel};
 use dagchkpt_sim::{
@@ -23,9 +23,7 @@ fn main() {
         dagchkpt_bench::Scale::Full => 20_000,
     };
     let rule = CostRule::ProportionalToWork { ratio: 0.1 };
-    println!(
-        "blocking vs non-blocking checkpoint writes ({trials} trials, DF-CkptW schedules)"
-    );
+    println!("blocking vs non-blocking checkpoint writes ({trials} trials, DF-CkptW schedules)");
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "workflow", "blocking", "nb α=1.0", "nb α=0.9", "nb α=0.8", "nb α=0.6"
@@ -47,20 +45,23 @@ fn main() {
             let stats = (0..trials)
                 .into_par_iter()
                 .map(|i| {
-                    let mut inj =
-                        ExponentialInjector::new(model.lambda(), spec.trial_seed(i));
+                    let mut inj = ExponentialInjector::new(model.lambda(), spec.trial_seed(i));
                     match alpha {
                         None => {
-                            simulate(&wf, &opt.schedule, &mut inj, SimConfig::default())
-                                .makespan
+                            simulate(&wf, &opt.schedule, &mut inj, SimConfig::default()).makespan
                         }
-                        Some(a) => simulate_nonblocking(
-                            &wf,
-                            &opt.schedule,
-                            &mut inj,
-                            NonBlockingConfig { compute_rate: a, ..Default::default() },
-                        )
-                        .makespan,
+                        Some(a) => {
+                            simulate_nonblocking(
+                                &wf,
+                                &opt.schedule,
+                                &mut inj,
+                                NonBlockingConfig {
+                                    compute_rate: a,
+                                    ..Default::default()
+                                },
+                            )
+                            .makespan
+                        }
                     }
                 })
                 .fold(Stats::new, |mut s, m| {
@@ -88,7 +89,9 @@ fn main() {
     }
     write_csv(
         opts.out_dir.join("nonblocking.csv"),
-        &["workflow", "blocking", "nb_1.0", "nb_0.9", "nb_0.8", "nb_0.6"],
+        &[
+            "workflow", "blocking", "nb_1.0", "nb_0.9", "nb_0.8", "nb_0.6",
+        ],
         rows,
     )
     .expect("write nonblocking.csv");

@@ -16,8 +16,10 @@ pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> S
     const HEIGHT: usize = 20;
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
-    let pts: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         out.push_str("(no data)\n");
         return out;
@@ -108,7 +110,10 @@ mod tests {
                 label: "DF-CkptW".into(),
                 points: vec![(50.0, 1.1), (100.0, 1.2), (200.0, 1.25)],
             },
-            Series { label: "DF-CkptNvr".into(), points: vec![(50.0, 1.3), (200.0, 1.5)] },
+            Series {
+                label: "DF-CkptNvr".into(),
+                points: vec![(50.0, 1.3), (200.0, 1.5)],
+            },
         ];
         let r = render("test", "n", "T/Tinf", &s);
         assert!(r.contains("## test"));
@@ -122,10 +127,16 @@ mod tests {
     #[test]
     fn empty_and_degenerate_input() {
         assert!(render("t", "x", "y", &[]).contains("(no data)"));
-        let s = vec![Series { label: "one".into(), points: vec![(1.0, 2.0)] }];
+        let s = vec![Series {
+            label: "one".into(),
+            points: vec![(1.0, 2.0)],
+        }];
         let r = render("t", "x", "y", &s);
         assert!(r.contains('A'));
-        let inf = vec![Series { label: "inf".into(), points: vec![(f64::INFINITY, 1.0)] }];
+        let inf = vec![Series {
+            label: "inf".into(),
+            points: vec![(f64::INFINITY, 1.0)],
+        }];
         assert!(render("t", "x", "y", &inf).contains("(no finite data)"));
     }
 }

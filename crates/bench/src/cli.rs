@@ -43,7 +43,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: Scale::Quick, out_dir: PathBuf::from("results"), seed: 42 }
+        Options {
+            scale: Scale::Quick,
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+        }
     }
 }
 

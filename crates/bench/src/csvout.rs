@@ -22,9 +22,21 @@ pub fn write_csv<P: AsRef<Path>>(
         std::fs::create_dir_all(dir)?;
     }
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(out, "{}", header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        out,
+        "{}",
+        header
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
-        writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+        )?;
     }
     out.flush()
 }
@@ -47,10 +59,7 @@ mod tests {
         )
         .unwrap();
         let s = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(
-            s,
-            "a,\"b,c\"\n1,plain\n2,\"with \"\"quote\"\", comma\"\n"
-        );
+        assert_eq!(s, "a,\"b,c\"\n1,plain\n2,\"with \"\"quote\"\", comma\"\n");
         std::fs::remove_dir_all(dir).ok();
     }
 }

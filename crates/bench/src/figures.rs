@@ -4,16 +4,13 @@ use crate::chart::{render, Series};
 use crate::cli::Options;
 use crate::csvout::write_csv;
 use crate::runner::{auto_policy, best_per_ckpt_strategy, run_cell, Cell, Row};
-use dagchkpt_core::{
-    CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
-};
+use dagchkpt_core::{CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy};
 use dagchkpt_workflows::PegasusKind;
 
 /// The paper's λ ticks for Figure 7 (Montage/Ligo/CyberShake axis).
 pub const FIG7_LAMBDAS: [f64; 7] = [1e-4, 2.5e-4, 3.8e-4, 5.2e-4, 6.6e-4, 8e-4, 9.3e-4];
 /// The paper's λ ticks for Figure 7d (Genome axis).
-pub const FIG7_LAMBDAS_GENOME: [f64; 7] =
-    [1e-6, 5e-5, 9e-5, 1.4e-4, 1.8e-4, 2.3e-4, 2.7e-4];
+pub const FIG7_LAMBDAS_GENOME: [f64; 7] = [1e-6, 5e-5, 9e-5, 1.4e-4, 1.8e-4, 2.3e-4, 2.7e-4];
 
 /// CkptW and CkptC under all three linearizations (Figures 2 and 4).
 pub fn w_c_heuristics(rf_seed: u64) -> Vec<Heuristic> {
@@ -68,7 +65,13 @@ fn panel_sizes(
 ) -> Vec<Row> {
     let mut rows = Vec::new();
     for &n in &opts.scale.sizes() {
-        let cell = Cell { kind, n, lambda, rule, seed: opts.seed ^ n as u64 };
+        let cell = Cell {
+            kind,
+            n,
+            lambda,
+            rule,
+            seed: opts.seed ^ n as u64,
+        };
         rows.extend(run_cell(&cell, heuristics, auto_policy(n)));
     }
     rows
@@ -87,7 +90,11 @@ pub fn fig2(opts: &Options) -> Vec<Row> {
     let mut all = Vec::new();
     for (kind, lambda) in panels {
         let rows = panel_sizes(opts, kind, lambda, rule, &hs);
-        write_rows(opts, &format!("fig2_{}.csv", kind.name().to_lowercase()), &rows);
+        write_rows(
+            opts,
+            &format!("fig2_{}.csv", kind.name().to_lowercase()),
+            &rows,
+        );
         println!(
             "{}",
             render(
@@ -111,12 +118,15 @@ fn checkpoint_strategy_figure(opts: &Options, fig: &str, rule: CostRule) -> Vec<
     for kind in PegasusKind::ALL {
         let lambda = kind.default_lambda();
         let rows = panel_sizes(opts, kind, lambda, rule, &hs);
-        write_rows(opts, &format!("{fig}_{}.csv", kind.name().to_lowercase()), &rows);
+        write_rows(
+            opts,
+            &format!("{fig}_{}.csv", kind.name().to_lowercase()),
+            &rows,
+        );
         // Best linearization per strategy, per size.
         let mut best_rows = Vec::new();
         for &n in &opts.scale.sizes() {
-            let per_n: Vec<Row> =
-                rows.iter().filter(|r| r.n == n).cloned().collect();
+            let per_n: Vec<Row> = rows.iter().filter(|r| r.n == n).cloned().collect();
             for mut b in best_per_ckpt_strategy(&per_n) {
                 // Label by strategy: the paper's legend is per checkpoint
                 // strategy (the linearization marker varies by point; keep
@@ -220,21 +230,42 @@ pub fn fig7(opts: &Options) -> Vec<Row> {
             .collect();
         let mut rows = Vec::new();
         for &lambda in &lambdas {
-            let cell = Cell { kind, n, lambda, rule, seed: opts.seed ^ n as u64 };
+            let cell = Cell {
+                kind,
+                n,
+                lambda,
+                rule,
+                seed: opts.seed ^ n as u64,
+            };
             rows.extend(run_cell(&cell, &hs, auto_policy(n)));
         }
-        write_rows(opts, &format!("fig7_{}.csv", kind.name().to_lowercase()), &rows);
+        write_rows(
+            opts,
+            &format!("fig7_{}.csv", kind.name().to_lowercase()),
+            &rows,
+        );
         let mut best_rows = Vec::new();
         for &lambda in &lambdas {
-            let per_l: Vec<Row> =
-                rows.iter().filter(|r| r.lambda == lambda).cloned().collect();
+            let per_l: Vec<Row> = rows
+                .iter()
+                .filter(|r| r.lambda == lambda)
+                .cloned()
+                .collect();
             for mut b in best_per_ckpt_strategy(&per_l) {
-                b.heuristic =
-                    b.heuristic.split('-').nth(1).unwrap_or(&b.heuristic).to_string();
+                b.heuristic = b
+                    .heuristic
+                    .split('-')
+                    .nth(1)
+                    .unwrap_or(&b.heuristic)
+                    .to_string();
                 best_rows.push(b);
             }
         }
-        write_rows(opts, &format!("fig7_{}_best.csv", kind.name().to_lowercase()), &best_rows);
+        write_rows(
+            opts,
+            &format!("fig7_{}_best.csv", kind.name().to_lowercase()),
+            &best_rows,
+        );
         println!(
             "{}",
             render(

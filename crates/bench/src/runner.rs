@@ -1,8 +1,6 @@
 //! Running heuristics over experiment cells.
 
-use dagchkpt_core::{
-    run_heuristic, CostRule, Heuristic, SweepPolicy, Workflow,
-};
+use dagchkpt_core::{run_heuristic, CostRule, Heuristic, SweepPolicy, Workflow};
 use dagchkpt_failure::FaultModel;
 use dagchkpt_workflows::PegasusKind;
 
@@ -60,8 +58,15 @@ pub struct Row {
 impl Row {
     /// CSV header matching [`Row::to_csv`].
     pub const CSV_HEADER: [&'static str; 9] = [
-        "workflow", "n", "lambda", "cost_rule", "heuristic", "expected_makespan",
-        "tinf", "ratio", "best_n",
+        "workflow",
+        "n",
+        "lambda",
+        "cost_rule",
+        "heuristic",
+        "expected_makespan",
+        "tinf",
+        "ratio",
+        "best_n",
     ];
 
     /// Serializes the row for [`crate::csvout::write_csv`].
@@ -88,7 +93,9 @@ pub fn auto_policy(n: usize) -> SweepPolicy {
     if n <= 300 {
         SweepPolicy::Exhaustive
     } else {
-        SweepPolicy::Strided { stride: (n / 64).max(2) }
+        SweepPolicy::Strided {
+            stride: (n / 64).max(2),
+        }
     }
 }
 
@@ -140,7 +147,10 @@ mod tests {
     fn auto_policy_switches_at_300() {
         assert_eq!(auto_policy(100), SweepPolicy::Exhaustive);
         assert_eq!(auto_policy(300), SweepPolicy::Exhaustive);
-        assert!(matches!(auto_policy(700), SweepPolicy::Strided { stride: 10 }));
+        assert!(matches!(
+            auto_policy(700),
+            SweepPolicy::Strided { stride: 10 }
+        ));
     }
 
     #[test]
@@ -177,7 +187,10 @@ mod tests {
         let best = best_per_ckpt_strategy(&rows);
         assert_eq!(best.len(), 6);
         // CkptW best-of-3 ≤ every CkptW row.
-        let w_best = best.iter().find(|r| r.heuristic.ends_with("CkptW")).unwrap();
+        let w_best = best
+            .iter()
+            .find(|r| r.heuristic.ends_with("CkptW"))
+            .unwrap();
         for r in rows.iter().filter(|r| r.heuristic.ends_with("CkptW")) {
             assert!(w_best.expected <= r.expected + 1e-9);
         }

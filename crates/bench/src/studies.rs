@@ -4,8 +4,8 @@
 use crate::cli::Options;
 use crate::csvout::write_csv;
 use dagchkpt_core::{
-    evaluator, exact, linearize_with_priority, optimize_checkpoints, CheckpointStrategy,
-    CostRule, LinearizationStrategy, Priority, SweepPolicy, Workflow,
+    evaluator, exact, linearize_with_priority, optimize_checkpoints, CheckpointStrategy, CostRule,
+    LinearizationStrategy, Priority, SweepPolicy, Workflow,
 };
 use dagchkpt_dag::generators;
 use dagchkpt_failure::{FaultModel, WeibullInjector};
@@ -32,7 +32,11 @@ pub fn validate(opts: &Options) -> f64 {
     let mut cases: Vec<(String, Workflow, f64)> = PegasusKind::ALL
         .iter()
         .map(|k| {
-            (k.name().to_string(), k.generate(60, rule, opts.seed), k.default_lambda())
+            (
+                k.name().to_string(),
+                k.generate(60, rule, opts.seed),
+                k.default_lambda(),
+            )
         })
         .collect();
     // Plus random layered DAGs — shapes the generators do not cover.
@@ -57,8 +61,7 @@ pub fn validate(opts: &Options) -> f64 {
             SweepPolicy::Exhaustive,
         );
         let analytic = opt.expected_makespan;
-        let stats =
-            run_trials(&wf, &opt.schedule, model, TrialSpec::new(trials, opts.seed));
+        let stats = run_trials(&wf, &opt.schedule, model, TrialSpec::new(trials, opts.seed));
         let z = (stats.makespan.mean() - analytic) / stats.makespan.sem();
         worst_z = worst_z.max(z.abs());
         println!(
@@ -97,8 +100,10 @@ pub fn optgap(opts: &Options) -> Vec<(String, f64, f64)> {
         crate::cli::Scale::Full => 60,
     };
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    let names: Vec<String> =
-        dagchkpt_core::paper_heuristics(opts.seed).iter().map(|h| h.name()).collect();
+    let names: Vec<String> = dagchkpt_core::paper_heuristics(opts.seed)
+        .iter()
+        .map(|h| h.name())
+        .collect();
     let mut gaps: std::collections::BTreeMap<String, Vec<f64>> =
         names.iter().map(|n| (n.clone(), Vec::new())).collect();
     let mut done = 0;
@@ -106,11 +111,8 @@ pub fn optgap(opts: &Options) -> Vec<(String, f64, f64)> {
         let n = rng.gen_range(4..8usize);
         let dag = generators::layered_random(&mut rng, n, 3, 0.35);
         let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(5.0..60.0)).collect();
-        let wf = Workflow::with_cost_rule(
-            dag,
-            weights,
-            CostRule::ProportionalToWork { ratio: 0.1 },
-        );
+        let wf =
+            Workflow::with_cost_rule(dag, weights, CostRule::ProportionalToWork { ratio: 0.1 });
         let model = FaultModel::new(rng.gen_range(2e-3..2e-2), 0.0);
         let Some(brute) =
             exact::brute::optimal_schedule(&wf, model, exact::brute::BruteLimits::default())
@@ -131,7 +133,11 @@ pub fn optgap(opts: &Options) -> Vec<(String, f64, f64)> {
         let mean = gs.iter().sum::<f64>() / gs.len() as f64;
         let max = gs.iter().cloned().fold(0.0, f64::max);
         println!("{:<12} {:>9.2}% {:>9.2}%", name, mean * 100.0, max * 100.0);
-        rows.push(vec![name.clone(), format!("{mean:.6}"), format!("{max:.6}")]);
+        rows.push(vec![
+            name.clone(),
+            format!("{mean:.6}"),
+            format!("{max:.6}"),
+        ]);
         out.push((name, mean, max));
     }
     write_csv(
@@ -151,7 +157,10 @@ pub fn ablation(opts: &Options) -> f64 {
 
     // (a) evaluator complexity ablation.
     println!("V3: evaluator — optimized O(n(n+|E|)) vs paper-literal O(n^4)");
-    println!("{:<6} {:>14} {:>14} {:>9}", "n", "optimized (ms)", "literal (ms)", "speedup");
+    println!(
+        "{:<6} {:>14} {:>14} {:>9}",
+        "n", "optimized (ms)", "literal (ms)", "speedup"
+    );
     let sizes = match opts.scale {
         crate::cli::Scale::Quick => vec![20usize, 40, 80, 160],
         crate::cli::Scale::Full => vec![20usize, 40, 80, 160, 320],
@@ -184,9 +193,18 @@ pub fn ablation(opts: &Options) -> f64 {
             b = evaluator::literal::expected_makespan_literal(&wf, model, &s);
         }
         let lit_ms = t1.elapsed().as_secs_f64() * 1e3 / reps as f64;
-        assert!((a - b).abs() <= 1e-9 * a, "implementations disagree: {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1e-9 * a,
+            "implementations disagree: {a} vs {b}"
+        );
         last_speedup = lit_ms / opt_ms.max(1e-9);
-        println!("{:<6} {:>14.3} {:>14.3} {:>8.1}x", wf.n_tasks(), opt_ms, lit_ms, last_speedup);
+        println!(
+            "{:<6} {:>14.3} {:>14.3} {:>8.1}x",
+            wf.n_tasks(),
+            opt_ms,
+            lit_ms,
+            last_speedup
+        );
         rows.push(vec![
             wf.n_tasks().to_string(),
             format!("{opt_ms:.4}"),
@@ -213,9 +231,12 @@ pub fn ablation(opts: &Options) -> f64 {
         let wf = kind.generate(n, rule, opts.seed);
         let model = FaultModel::new(kind.default_lambda(), 0.0);
         let mut ratios = Vec::new();
-        for p in [Priority::Outweight, Priority::DescendantWeight, Priority::None] {
-            let order =
-                linearize_with_priority(&wf, LinearizationStrategy::DepthFirst, p);
+        for p in [
+            Priority::Outweight,
+            Priority::DescendantWeight,
+            Priority::None,
+        ] {
+            let order = linearize_with_priority(&wf, LinearizationStrategy::DepthFirst, p);
             let opt = optimize_checkpoints(
                 &wf,
                 model,
@@ -269,7 +290,10 @@ pub fn weibull(opts: &Options) -> Vec<(f64, f64)> {
         SweepPolicy::Exhaustive,
     );
     let analytic = opt.expected_makespan;
-    println!("V5: Weibull faults (MTBF = {:.0} s), CyberShake n=60, DF-CkptW", 1.0 / lambda);
+    println!(
+        "V5: Weibull faults (MTBF = {:.0} s), CyberShake n=60, DF-CkptW",
+        1.0 / lambda
+    );
     println!("analytic (exponential): {analytic:.2}");
     println!("{:>7} {:>12} {:>10}", "shape", "mc_mean", "vs exp");
     let mut out = Vec::new();
@@ -283,7 +307,12 @@ pub fn weibull(opts: &Options) -> Vec<(f64, f64)> {
             |seed| WeibullInjector::with_mtbf(1.0 / lambda, shape, seed),
         );
         let rel = stats.makespan.mean() / analytic - 1.0;
-        println!("{:>7.2} {:>12.2} {:>9.2}%", shape, stats.makespan.mean(), rel * 100.0);
+        println!(
+            "{:>7.2} {:>12.2} {:>9.2}%",
+            shape,
+            stats.makespan.mean(),
+            rel * 100.0
+        );
         rows.push(vec![
             format!("{shape}"),
             format!("{:.6}", stats.makespan.mean()),

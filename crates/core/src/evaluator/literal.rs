@@ -61,7 +61,11 @@ pub fn recovery_matrices_literal(wf: &Workflow, schedule: &Schedule) -> LiteralM
             }
         }
     }
-    LiteralMatrices { n, w: wmat, r: rmat }
+    LiteralMatrices {
+        n,
+        w: wmat,
+        r: rmat,
+    }
 }
 
 /// procedure Traverse(l, i, k, tab_k) — recursion replaced by an explicit
@@ -79,8 +83,8 @@ fn traverse(
     while let Some(l) = stack.pop() {
         for &j in &preds[l] {
             match tab[i * (n + 1) + j] {
-                IN_MEMORY => {}                       // case 0 (line 20)
-                LOST_NOT_CKPT | LOST_CKPT => {}       // case 1, 2 (line 22)
+                IN_MEMORY => {}                 // case 0 (line 20)
+                LOST_NOT_CKPT | LOST_CKPT => {} // case 1, 2 (line 22)
                 _ => {
                     // case -1 (line 24): mark T_j in memory for all later
                     // rows (lines 25–27).
@@ -157,8 +161,10 @@ mod tests {
             vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
             CostRule::ProportionalToWork { ratio: 0.1 },
         );
-        let order: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let mut ckpt = FixedBitSet::new(8);
         ckpt.insert(3);
         ckpt.insert(4);

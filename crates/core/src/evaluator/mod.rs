@@ -104,8 +104,9 @@ pub(crate) fn assemble(
     let lambda = model.lambda();
     if lambda == 0.0 {
         // Fault-free limit: every task runs once; checkpointed tasks pay c_i.
-        let per: Vec<f64> =
-            (1..=n).map(|i| w[i] + if ckpt[i] { c[i] } else { 0.0 }).collect();
+        let per: Vec<f64> = (1..=n)
+            .map(|i| w[i] + if ckpt[i] { c[i] } else { 0.0 })
+            .collect();
         return EvalReport {
             expected_makespan: per.iter().sum(),
             per_position: per,
@@ -166,7 +167,11 @@ pub(crate) fn assemble(
         total += exi;
     }
 
-    EvalReport { expected_makespan: total, per_position, expected_faults: faults }
+    EvalReport {
+        expected_makespan: total,
+        per_position,
+        expected_faults: faults,
+    }
 }
 
 #[cfg(test)]
@@ -257,10 +262,18 @@ mod tests {
         let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
         let mut expect = et(&m, costs[0].work, costs[0].checkpoint, 0.0);
         for i in 1..4 {
-            expect += et(&m, costs[i].work, costs[i].checkpoint, costs[i - 1].recovery);
+            expect += et(
+                &m,
+                costs[i].work,
+                costs[i].checkpoint,
+                costs[i - 1].recovery,
+            );
         }
         let e = expected_makespan(&wf, m, &s);
-        assert!((e - expect).abs() / e < 1e-12, "evaluator {e} vs segments {expect}");
+        assert!(
+            (e - expect).abs() / e < 1e-12,
+            "evaluator {e} vs segments {expect}"
+        );
     }
 
     #[test]
@@ -280,7 +293,10 @@ mod tests {
         let s = Schedule::new(&wf, topo::topological_order(wf.dag()), ckpt).unwrap();
         let expect = et(&m, 35.0, 2.5, 0.0) + et(&m, 47.0, 0.0, 4.0);
         let e = expected_makespan(&wf, m, &s);
-        assert!((e - expect).abs() / e < 1e-12, "evaluator {e} vs segments {expect}");
+        assert!(
+            (e - expect).abs() / e < 1e-12,
+            "evaluator {e} vs segments {expect}"
+        );
     }
 
     #[test]
@@ -314,7 +330,10 @@ mod tests {
             expect += et(&m, costs[i].work, 0.0, costs[0].work);
         }
         let e = expected_makespan(&wf, m, &s);
-        assert!((e - expect).abs() / e < 1e-12, "no-ckpt fork: {e} vs {expect}");
+        assert!(
+            (e - expect).abs() / e < 1e-12,
+            "no-ckpt fork: {e} vs {expect}"
+        );
     }
 
     #[test]
@@ -374,7 +393,10 @@ mod tests {
                 + (l * (costs[2].work + costs[2].checkpoint)).exp_m1()
                 + (l * w_nckpt).exp_m1());
         let e = expected_makespan(&wf, m, &s);
-        assert!((e - expect).abs() / e < 1e-12, "evaluator {e} vs corollary 2 {expect}");
+        assert!(
+            (e - expect).abs() / e < 1e-12,
+            "evaluator {e} vs corollary 2 {expect}"
+        );
     }
 
     #[test]
@@ -385,8 +407,10 @@ mod tests {
             CostRule::ProportionalToWork { ratio: 0.1 },
         );
         let m = model(0.001, 0.0);
-        let order: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let mut ckpt = FixedBitSet::new(8);
         ckpt.insert(3);
         ckpt.insert(4);
@@ -482,11 +506,8 @@ mod tests {
             let n = rng.gen_range(2..18usize);
             let dag = generators::layered_random(&mut rng, n, 4, 0.35);
             let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..40.0)).collect();
-            let wf = Workflow::with_cost_rule(
-                dag,
-                weights,
-                CostRule::ProportionalToWork { ratio: 0.1 },
-            );
+            let wf =
+                Workflow::with_cost_rule(dag, weights, CostRule::ProportionalToWork { ratio: 0.1 });
             let order = topo::topological_order(wf.dag());
             let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(0.5)));
             let s = Schedule::new(&wf, order.clone(), ckpt.clone()).unwrap();
@@ -507,15 +528,14 @@ mod tests {
             let mut costs2 = vec![TaskCosts::new(0.0, 0.0, 0.0); n];
             for old in 0..n {
                 let v = NodeId::from(old);
-                costs2[perm[old]] = TaskCosts::new(
-                    wf.work(v),
-                    wf.checkpoint_cost(v),
-                    wf.recovery_cost(v),
-                );
+                costs2[perm[old]] =
+                    TaskCosts::new(wf.work(v), wf.checkpoint_cost(v), wf.recovery_cost(v));
             }
             let wf2 = Workflow::new(dag2, costs2);
-            let order2: Vec<NodeId> =
-                order.iter().map(|v| NodeId::from(perm[v.index()])).collect();
+            let order2: Vec<NodeId> = order
+                .iter()
+                .map(|v| NodeId::from(perm[v.index()]))
+                .collect();
             let ckpt2 = FixedBitSet::from_indices(n, ckpt.iter().map(|i| perm[i]));
             let s2 = Schedule::new(&wf2, order2, ckpt2).unwrap();
             let e2 = expected_makespan(&wf2, m, &s2);

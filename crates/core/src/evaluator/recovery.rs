@@ -38,7 +38,10 @@ impl RecoveryMatrices {
     /// `(W^i_k, R^i_k)` for `1 ≤ k ≤ i ≤ n`.
     #[inline]
     pub fn get(&self, i: usize, k: usize) -> (f64, f64) {
-        debug_assert!(1 <= k && k <= i && i <= self.n, "get({i}, {k}) out of range");
+        debug_assert!(
+            1 <= k && k <= i && i <= self.n,
+            "get({i}, {k}) out of range"
+        );
         let idx = i * (self.n + 1) + k;
         (self.w[idx], self.r[idx])
     }
@@ -128,8 +131,10 @@ mod tests {
             vec![1.0; 8],
             CostRule::ProportionalToWork { ratio: 0.1 },
         );
-        let order: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let mut ckpt = FixedBitSet::new(8);
         ckpt.insert(3);
         ckpt.insert(4);
@@ -227,8 +232,8 @@ mod tests {
         let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
         let m = RecoveryMatrices::compute(&wf, &s);
         assert_eq!(m.get(4, 4), (15.0, 0.0)); // T1 + T2 + T0, not T0 twice
-        // Fault at X_3 (T2): X_3 rebuilds T0 and T2; T1 was lost and is
-        // needed by T3 ⇒ W^4_3 = w1 only.
+                                              // Fault at X_3 (T2): X_3 rebuilds T0 and T2; T1 was lost and is
+                                              // needed by T3 ⇒ W^4_3 = w1 only.
         assert_eq!(m.get(4, 3), (5.0, 0.0));
     }
 }

@@ -19,7 +19,10 @@ pub struct BruteLimits {
 
 impl Default for BruteLimits {
     fn default() -> Self {
-        BruteLimits { max_tasks: 9, max_extensions: 20_000 }
+        BruteLimits {
+            max_tasks: 9,
+            max_extensions: 20_000,
+        }
     }
 }
 
@@ -47,7 +50,11 @@ pub fn optimal_schedule(
     }
     if n == 0 {
         let schedule = Schedule::never(wf, vec![]).expect("empty order");
-        return Some(BruteResult { schedule, expected_makespan: 0.0, evaluated: 1 });
+        return Some(BruteResult {
+            schedule,
+            expected_makespan: 0.0,
+            evaluated: 1,
+        });
     }
     if topo::count_linear_extensions(wf.dag()) > limits.max_extensions {
         return None;
@@ -64,8 +71,7 @@ pub fn optimal_schedule(
             if mask & (1 << last) != 0 {
                 continue;
             }
-            let set =
-                FixedBitSet::from_indices(n, (0..n).filter(|b| mask & (1 << b) != 0));
+            let set = FixedBitSet::from_indices(n, (0..n).filter(|b| mask & (1 << b) != 0));
             let s = base.with_checkpoints(set);
             let e = evaluator::expected_makespan(wf, model, &s);
             evaluated += 1;
@@ -76,7 +82,11 @@ pub fn optimal_schedule(
         true
     });
     let (schedule, expected_makespan) = best.expect("n ≥ 1 has at least one schedule");
-    Some(BruteResult { schedule, expected_makespan, evaluated })
+    Some(BruteResult {
+        schedule,
+        expected_makespan,
+        evaluated,
+    })
 }
 
 #[cfg(test)]
@@ -93,16 +103,14 @@ mod tests {
     #[test]
     fn limits_are_respected() {
         let wf = Workflow::uniform(generators::chain(12), 1.0, 0.1);
-        assert!(optimal_schedule(&wf, FaultModel::new(1e-3, 0.0), BruteLimits::default())
-            .is_none());
-        let anti = Workflow::uniform(
-            dagchkpt_dag::DagBuilder::new(8).build().unwrap(),
-            1.0,
-            0.1,
+        assert!(
+            optimal_schedule(&wf, FaultModel::new(1e-3, 0.0), BruteLimits::default()).is_none()
         );
+        let anti = Workflow::uniform(dagchkpt_dag::DagBuilder::new(8).build().unwrap(), 1.0, 0.1);
         // 8! = 40320 extensions exceeds the 20k default cap.
-        assert!(optimal_schedule(&anti, FaultModel::new(1e-3, 0.0), BruteLimits::default())
-            .is_none());
+        assert!(
+            optimal_schedule(&anti, FaultModel::new(1e-3, 0.0), BruteLimits::default()).is_none()
+        );
     }
 
     #[test]
@@ -139,9 +147,7 @@ mod tests {
                 rng.gen_range(0.5..10.0),
                 rng.gen_range(0.5..10.0),
             )];
-            costs.extend(
-                (0..k).map(|_| TaskCosts::new(rng.gen_range(1.0..50.0), 0.0, 0.0)),
-            );
+            costs.extend((0..k).map(|_| TaskCosts::new(rng.gen_range(1.0..50.0), 0.0, 0.0)));
             let wf = Workflow::new(generators::fork(k), costs);
             let m = FaultModel::new(rng.gen_range(1e-3..1e-2), 0.0);
             let brute = optimal_schedule(&wf, m, BruteLimits::default()).unwrap();
@@ -190,11 +196,8 @@ mod tests {
             let n = rng.gen_range(3..7usize);
             let dag = generators::layered_random(&mut rng, n, 3, 0.4);
             let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(5.0..50.0)).collect();
-            let wf = Workflow::with_cost_rule(
-                dag,
-                weights,
-                CostRule::ProportionalToWork { ratio: 0.1 },
-            );
+            let wf =
+                Workflow::with_cost_rule(dag, weights, CostRule::ProportionalToWork { ratio: 0.1 });
             let m = FaultModel::new(5e-3, 0.0);
             let Some(brute) = optimal_schedule(&wf, m, BruteLimits::default()) else {
                 continue;

@@ -70,7 +70,13 @@ pub fn solve_chain(wf: &Workflow, model: FaultModel) -> Option<(Schedule, f64)> 
     let seg_work = |i: usize, j: usize| prefix[j] - prefix[i];
     // Recovery cost of the checkpoint taken after 1-based position i
     // (i = 0 ⇒ virtual start, r = 0).
-    let rec = |i: usize| if i == 0 { 0.0 } else { wf.recovery_cost(order[i - 1]) };
+    let rec = |i: usize| {
+        if i == 0 {
+            0.0
+        } else {
+            wf.recovery_cost(order[i - 1])
+        }
+    };
 
     // best[j] = expected time to finish positions 1..=j with j checkpointed.
     let mut best = vec![f64::INFINITY; n + 1];
@@ -170,8 +176,7 @@ mod tests {
             let wf = chain_wf(costs);
             let m = FaultModel::new(rng.gen_range(1e-4..1e-2), rng.gen_range(0.0..3.0));
             let order = as_chain(&wf).unwrap();
-            let ckpt =
-                FixedBitSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(0.4)));
+            let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(0.4)));
             let s = Schedule::new(&wf, order, ckpt).unwrap();
             let seg = chain_segment_makespan(&wf, m, &s);
             let gen = evaluator::expected_makespan(&wf, m, &s);
@@ -201,8 +206,7 @@ mod tests {
             let order = as_chain(&wf).unwrap();
             let mut best = f64::INFINITY;
             for mask in 0u32..(1 << n) {
-                let set = FixedBitSet::from_indices(
-                    n, (0..n).filter(|b| mask & (1 << b) != 0));
+                let set = FixedBitSet::from_indices(n, (0..n).filter(|b| mask & (1 << b) != 0));
                 let s = Schedule::new(&wf, order.clone(), set).unwrap();
                 best = best.min(evaluator::expected_makespan(&wf, m, &s));
             }

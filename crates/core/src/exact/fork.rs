@@ -55,8 +55,7 @@ pub fn solve_fork(wf: &Workflow, model: FaultModel) -> Option<(Schedule, f64)> {
 /// The two closed-form expected makespans of Theorem 1:
 /// `(E with source checkpointed, E without)`.
 pub fn fork_expected_times(wf: &Workflow, model: FaultModel, src: NodeId) -> (f64, f64) {
-    let (w_src, c_src, r_src) =
-        (wf.work(src), wf.checkpoint_cost(src), wf.recovery_cost(src));
+    let (w_src, c_src, r_src) = (wf.work(src), wf.checkpoint_cost(src), wf.recovery_cost(src));
     let sinks = wf.dag().succs(src);
     let mut e_ckpt = model.expected_exec_time(w_src, c_src, 0.0);
     let mut e_nockpt = model.expected_exec_time(w_src, 0.0, 0.0);
@@ -120,12 +119,8 @@ mod tests {
         let m = FaultModel::new(4e-3, 2.0);
         let (e_ckpt, e_nockpt) = fork_expected_times(&wf, m, NodeId(0));
         let order: Vec<NodeId> = (0..5).map(|i| NodeId(i as u32)).collect();
-        let with = Schedule::new(
-            &wf,
-            order.clone(),
-            FixedBitSet::from_indices(5, [0usize]),
-        )
-        .unwrap();
+        let with =
+            Schedule::new(&wf, order.clone(), FixedBitSet::from_indices(5, [0usize])).unwrap();
         let without = Schedule::never(&wf, order).unwrap();
         let g_with = evaluator::expected_makespan(&wf, m, &with);
         let g_without = evaluator::expected_makespan(&wf, m, &without);

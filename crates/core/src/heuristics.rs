@@ -42,8 +42,14 @@ pub fn paper_heuristics(rf_seed: u64) -> Vec<Heuristic> {
         CheckpointStrategy::ByDecreasingOutweight,
     ];
     let mut hs = vec![
-        Heuristic { lin: LinearizationStrategy::DepthFirst, ckpt: CheckpointStrategy::Never },
-        Heuristic { lin: LinearizationStrategy::DepthFirst, ckpt: CheckpointStrategy::Always },
+        Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::Never,
+        },
+        Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::Always,
+        },
     ];
     for ckpt in swept {
         for lin in lins {
@@ -80,7 +86,11 @@ pub fn run_heuristic(
     let tinf = wf.total_work();
     HeuristicResult {
         name: h.name(),
-        ratio: if tinf > 0.0 { opt.expected_makespan / tinf } else { 1.0 },
+        ratio: if tinf > 0.0 {
+            opt.expected_makespan / tinf
+        } else {
+            1.0
+        },
         schedule: opt.schedule,
         expected_makespan: opt.expected_makespan,
         best_n: opt.best_n,
@@ -104,9 +114,7 @@ pub fn run_all(
 /// aggregation the paper plots in its Figures 3, 5, 6 and 7.
 pub fn best_linearization_per_ckpt(results: &[HeuristicResult]) -> Vec<&HeuristicResult> {
     let mut best: Vec<&HeuristicResult> = Vec::new();
-    for ckpt in [
-        "CkptNvr", "CkptAlws", "CkptPer", "CkptW", "CkptC", "CkptD",
-    ] {
+    for ckpt in ["CkptNvr", "CkptAlws", "CkptPer", "CkptW", "CkptC", "CkptD"] {
         if let Some(r) = results
             .iter()
             .filter(|r| r.name.ends_with(&format!("-{ckpt}")))
@@ -142,9 +150,20 @@ mod tests {
         assert_eq!(hs.len(), 14);
         let names: Vec<String> = hs.iter().map(|h| h.name()).collect();
         for expect in [
-            "DF-CkptNvr", "DF-CkptAlws", "DF-CkptPer", "BF-CkptPer", "RF-CkptPer",
-            "DF-CkptW", "BF-CkptW", "RF-CkptW", "DF-CkptC", "BF-CkptC", "RF-CkptC",
-            "DF-CkptD", "BF-CkptD", "RF-CkptD",
+            "DF-CkptNvr",
+            "DF-CkptAlws",
+            "DF-CkptPer",
+            "BF-CkptPer",
+            "RF-CkptPer",
+            "DF-CkptW",
+            "BF-CkptW",
+            "RF-CkptW",
+            "DF-CkptC",
+            "BF-CkptC",
+            "RF-CkptC",
+            "DF-CkptD",
+            "BF-CkptD",
+            "RF-CkptD",
         ] {
             assert!(names.contains(&expect.to_string()), "missing {expect}");
         }
@@ -161,7 +180,11 @@ mod tests {
         assert_eq!(results.len(), 14);
         let tinf = wf.total_work();
         for r in &results {
-            assert!(r.expected_makespan >= tinf - 1e-9, "{}: below T_inf", r.name);
+            assert!(
+                r.expected_makespan >= tinf - 1e-9,
+                "{}: below T_inf",
+                r.name
+            );
             assert!((r.ratio - r.expected_makespan / tinf).abs() < 1e-12);
             assert!(r.schedule.n_tasks() == 8);
         }

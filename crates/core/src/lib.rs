@@ -33,6 +33,5 @@ pub use linearize::{linearize, linearize_with_priority, LinearizationStrategy, P
 pub use model::{CostRule, TaskCosts, Workflow};
 pub use schedule::Schedule;
 pub use strategies::{
-    local_search, optimize_checkpoints, CheckpointStrategy, OptimizedSchedule,
-    SweepPolicy,
+    local_search, optimize_checkpoints, CheckpointStrategy, OptimizedSchedule, SweepPolicy,
 };

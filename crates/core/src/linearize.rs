@@ -231,13 +231,20 @@ mod tests {
     fn short_names() {
         assert_eq!(LinearizationStrategy::DepthFirst.short_name(), "DF");
         assert_eq!(LinearizationStrategy::BreadthFirst.short_name(), "BF");
-        assert_eq!(LinearizationStrategy::RandomFirst { seed: 0 }.short_name(), "RF");
+        assert_eq!(
+            LinearizationStrategy::RandomFirst { seed: 0 }.short_name(),
+            "RF"
+        );
     }
 
     #[test]
     fn priority_variants_stay_valid() {
         let wf = wf_fig1(vec![10.0, 5.0, 3.0, 20.0, 8.0, 2.0, 9.0, 1.0]);
-        for p in [Priority::Outweight, Priority::DescendantWeight, Priority::None] {
+        for p in [
+            Priority::Outweight,
+            Priority::DescendantWeight,
+            Priority::None,
+        ] {
             let o = linearize_with_priority(&wf, LinearizationStrategy::DepthFirst, p);
             assert!(topo::is_topological_order(wf.dag(), &o));
         }

@@ -18,10 +18,21 @@ pub struct TaskCosts {
 impl TaskCosts {
     /// Creates a cost triple; all components must be finite and ≥ 0.
     pub fn new(work: f64, checkpoint: f64, recovery: f64) -> Self {
-        for (name, v) in [("work", work), ("checkpoint", checkpoint), ("recovery", recovery)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative, got {v}");
+        for (name, v) in [
+            ("work", work),
+            ("checkpoint", checkpoint),
+            ("recovery", recovery),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative, got {v}"
+            );
         }
-        TaskCosts { work, checkpoint, recovery }
+        TaskCosts {
+            work,
+            checkpoint,
+            recovery,
+        }
     }
 }
 
@@ -83,7 +94,11 @@ impl Workflow {
     ///
     /// If `costs.len() != dag.n_nodes()` or any component is negative/NaN.
     pub fn new(dag: Dag, costs: Vec<TaskCosts>) -> Self {
-        assert_eq!(costs.len(), dag.n_nodes(), "one cost triple per task required");
+        assert_eq!(
+            costs.len(),
+            dag.n_nodes(),
+            "one cost triple per task required"
+        );
         for (i, c) in costs.iter().enumerate() {
             assert!(
                 c.work.is_finite() && c.work >= 0.0,
@@ -212,9 +227,15 @@ mod tests {
 
     #[test]
     fn cost_rules() {
-        assert_eq!(CostRule::ProportionalToWork { ratio: 0.1 }.cost_for(50.0), 5.0);
+        assert_eq!(
+            CostRule::ProportionalToWork { ratio: 0.1 }.cost_for(50.0),
+            5.0
+        );
         assert_eq!(CostRule::Constant { value: 5.0 }.cost_for(50.0), 5.0);
-        assert_eq!(CostRule::ProportionalToWork { ratio: 0.1 }.label(), "c=0.1w");
+        assert_eq!(
+            CostRule::ProportionalToWork { ratio: 0.1 }.label(),
+            "c=0.1w"
+        );
         assert_eq!(CostRule::Constant { value: 5.0 }.label(), "c=5s");
     }
 

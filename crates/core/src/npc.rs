@@ -122,8 +122,7 @@ mod tests {
         let m = inst.model;
         let sink = join::as_join(wf).unwrap();
         for mask in 0u32..16 {
-            let set = FixedBitSet::from_indices(
-                5, (0..4).filter(|b| mask & (1 << b) != 0));
+            let set = FixedBitSet::from_indices(5, (0..4).filter(|b| mask & (1 << b) != 0));
             let s = join::join_schedule_for_set(wf, m, sink, &set);
             let e = evaluator::expected_makespan(wf, m, &s);
             let w_nckpt: f64 = (0..4)
@@ -148,7 +147,10 @@ mod tests {
         let mut best = f64::INFINITY;
         let mut best_w = -1.0;
         for mask in 0u32..16 {
-            let w: f64 = (0..4).filter(|b| mask & (1 << b) != 0).map(|b| weights[b]).sum();
+            let w: f64 = (0..4)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| weights[b])
+                .sum();
             let e = rescaled_expected_time(&inst, w);
             if e < best {
                 best = e;
@@ -168,7 +170,10 @@ mod tests {
         let inst = subset_sum_instance(&[2.0, 4.0, 4.0], 5.0, 0.5);
         let weights = [2.0, 4.0, 4.0];
         for mask in 0u32..8 {
-            let w: f64 = (0..3).filter(|b| mask & (1 << b) != 0).map(|b| weights[b]).sum();
+            let w: f64 = (0..3)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| weights[b])
+                .sum();
             let e = rescaled_expected_time(&inst, w);
             assert!(
                 e > inst.t_min * (1.0 + 1e-12),
@@ -202,7 +207,10 @@ mod tests {
         let inst = instance();
         let (s, v) = join::solve_join_exact(&inst.workflow, inst.model, 8).unwrap();
         let expect = inst.t_min / inst.model.lambda();
-        assert!((v - expect).abs() / expect < 1e-9, "solver {v} vs t_min/λ {expect}");
+        assert!(
+            (v - expect).abs() / expect < 1e-9,
+            "solver {v} vs t_min/λ {expect}"
+        );
         // The winning non-checkpointed set sums to X = 12.
         let w_nckpt: f64 = (0..4)
             .filter(|&i| !s.is_checkpointed(NodeId::from(i)))

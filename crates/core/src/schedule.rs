@@ -69,7 +69,10 @@ impl Schedule {
     /// Returns a copy with a different checkpoint set (same order).
     pub fn with_checkpoints(&self, ckpt: FixedBitSet) -> Self {
         assert_eq!(ckpt.len(), self.order.len());
-        Schedule { order: self.order.clone(), ckpt }
+        Schedule {
+            order: self.order.clone(),
+            ckpt,
+        }
     }
 
     /// `position[v] = i` such that `order[i] = v`.
@@ -99,7 +102,10 @@ mod tests {
     #[test]
     fn valid_schedule_builds() {
         let wf = wf();
-        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let mut ckpt = FixedBitSet::new(8);
         ckpt.insert(3);
         ckpt.insert(4);
@@ -131,7 +137,10 @@ mod tests {
     #[test]
     fn positions_invert_order() {
         let wf = wf();
-        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let s = Schedule::never(&wf, order.clone()).unwrap();
         let pos = s.positions();
         for (i, v) in order.iter().enumerate() {

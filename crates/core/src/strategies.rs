@@ -20,8 +20,8 @@
 use crate::evaluator;
 use crate::model::Workflow;
 use crate::schedule::Schedule;
-use dagchkpt_failure::FaultModel;
 use dagchkpt_dag::{FixedBitSet, NodeId};
+use dagchkpt_failure::FaultModel;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -266,19 +266,31 @@ pub fn optimize_checkpoints(
         CheckpointStrategy::Never => {
             let schedule = Schedule::never(wf, order.to_vec()).expect("order is valid");
             let e = evaluator::expected_makespan(wf, model, &schedule);
-            OptimizedSchedule { schedule, expected_makespan: e, best_n: None, evaluated: 1 }
+            OptimizedSchedule {
+                schedule,
+                expected_makespan: e,
+                best_n: None,
+                evaluated: 1,
+            }
         }
         CheckpointStrategy::Always => {
             let schedule = Schedule::always(wf, order.to_vec()).expect("order is valid");
             let e = evaluator::expected_makespan(wf, model, &schedule);
-            OptimizedSchedule { schedule, expected_makespan: e, best_n: None, evaluated: 1 }
+            OptimizedSchedule {
+                schedule,
+                expected_makespan: e,
+                best_n: None,
+                evaluated: 1,
+            }
         }
-        CheckpointStrategy::Periodic => {
-            sweep(wf, model, order, policy, |n_ckpt| periodic_set(wf, order, n_ckpt))
-        }
+        CheckpointStrategy::Periodic => sweep(wf, model, order, policy, |n_ckpt| {
+            periodic_set(wf, order, n_ckpt)
+        }),
         ranked => {
             let rank = ranking(wf, ranked);
-            sweep(wf, model, order, policy, |n_ckpt| set_from_ranking(n, &rank, n_ckpt))
+            sweep(wf, model, order, policy, |n_ckpt| {
+                set_from_ranking(n, &rank, n_ckpt)
+            })
         }
     }
 }
@@ -303,7 +315,9 @@ fn sweep(
 
     let pick_best = |mut results: Vec<(usize, f64, Schedule)>| -> (usize, f64, Schedule) {
         results.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("makespans are comparable").then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1)
+                .expect("makespans are comparable")
+                .then(a.0.cmp(&b.0))
         });
         results.into_iter().next().expect("at least one candidate")
     };
@@ -320,8 +334,7 @@ fn sweep(
         }
     };
 
-    let results: Vec<(usize, f64, Schedule)> =
-        candidates.par_iter().map(|&k| eval_n(k)).collect();
+    let results: Vec<(usize, f64, Schedule)> = candidates.par_iter().map(|&k| eval_n(k)).collect();
     let mut evaluated = results.len();
     let (mut best_n, mut best_e, mut best_s) = pick_best(results);
 
@@ -372,8 +385,14 @@ mod tests {
         assert_eq!(CheckpointStrategy::Never.paper_name(), "CkptNvr");
         assert_eq!(CheckpointStrategy::Always.paper_name(), "CkptAlws");
         assert_eq!(CheckpointStrategy::ByDecreasingWork.paper_name(), "CkptW");
-        assert_eq!(CheckpointStrategy::ByIncreasingCkptCost.paper_name(), "CkptC");
-        assert_eq!(CheckpointStrategy::ByDecreasingOutweight.paper_name(), "CkptD");
+        assert_eq!(
+            CheckpointStrategy::ByIncreasingCkptCost.paper_name(),
+            "CkptC"
+        );
+        assert_eq!(
+            CheckpointStrategy::ByDecreasingOutweight.paper_name(),
+            "CkptD"
+        );
         assert_eq!(CheckpointStrategy::Periodic.paper_name(), "CkptPer");
         assert!(!CheckpointStrategy::Never.is_swept());
         assert!(CheckpointStrategy::Periodic.is_swept());
@@ -449,8 +468,10 @@ mod tests {
             vec![10.0; 8],
             CostRule::ProportionalToWork { ratio: 0.1 },
         );
-        let order: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         // 3 checkpoints over 80s of work → thresholds at 20, 40, 60:
         // completions are 10,20,30,… so tasks at positions 1 (T3), 3 (T2),
         // 5 (T5).
@@ -463,12 +484,22 @@ mod tests {
         let wf = chain_wf();
         let m = FaultModel::new(1e-3, 0.0);
         let order = topo::topological_order(wf.dag());
-        let never =
-            optimize_checkpoints(&wf, m, &order, CheckpointStrategy::Never, SweepPolicy::Exhaustive);
+        let never = optimize_checkpoints(
+            &wf,
+            m,
+            &order,
+            CheckpointStrategy::Never,
+            SweepPolicy::Exhaustive,
+        );
         assert_eq!(never.schedule.n_checkpoints(), 0);
         assert_eq!(never.best_n, None);
         let always = optimize_checkpoints(
-            &wf, m, &order, CheckpointStrategy::Always, SweepPolicy::Exhaustive);
+            &wf,
+            m,
+            &order,
+            CheckpointStrategy::Always,
+            SweepPolicy::Exhaustive,
+        );
         assert_eq!(always.schedule.n_checkpoints(), 6);
     }
 
@@ -482,16 +513,30 @@ mod tests {
         let m = FaultModel::new(5e-3, 0.0);
         let order = topo::topological_order(wf.dag());
         let never = optimize_checkpoints(
-            &wf, m, &order, CheckpointStrategy::Never, SweepPolicy::Exhaustive);
+            &wf,
+            m,
+            &order,
+            CheckpointStrategy::Never,
+            SweepPolicy::Exhaustive,
+        );
         let always = optimize_checkpoints(
-            &wf, m, &order, CheckpointStrategy::Always, SweepPolicy::Exhaustive);
+            &wf,
+            m,
+            &order,
+            CheckpointStrategy::Always,
+            SweepPolicy::Exhaustive,
+        );
         let ckptw = optimize_checkpoints(
-            &wf, m, &order, CheckpointStrategy::ByDecreasingWork, SweepPolicy::Exhaustive);
+            &wf,
+            m,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+        );
         assert!(ckptw.expected_makespan <= never.expected_makespan + 1e-9);
         assert!(ckptw.expected_makespan <= always.expected_makespan + 1e-9);
         assert!(
-            ckptw.expected_makespan
-                < never.expected_makespan.max(always.expected_makespan) - 1e-9,
+            ckptw.expected_makespan < never.expected_makespan.max(always.expected_makespan) - 1e-9,
             "sweep should strictly beat the worse baseline"
         );
         assert_eq!(ckptw.evaluated, 7); // N = 0..=6
@@ -503,7 +548,12 @@ mod tests {
         let m = FaultModel::new(2e-3, 0.0);
         let order = topo::topological_order(wf.dag());
         let ex = optimize_checkpoints(
-            &wf, m, &order, CheckpointStrategy::ByDecreasingWork, SweepPolicy::Exhaustive);
+            &wf,
+            m,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+        );
         let st = optimize_checkpoints(
             &wf,
             m,
@@ -512,10 +562,7 @@ mod tests {
             SweepPolicy::Strided { stride: 5 },
         );
         assert!(st.evaluated < ex.evaluated);
-        assert!(
-            (st.expected_makespan - ex.expected_makespan).abs()
-                <= 1e-9 * ex.expected_makespan
-        );
+        assert!((st.expected_makespan - ex.expected_makespan).abs() <= 1e-9 * ex.expected_makespan);
     }
 
     #[test]
@@ -532,7 +579,10 @@ mod tests {
         let r = ranking(&wf, CheckpointStrategy::ByDecreasingWorkOverCost);
         let ids: Vec<u32> = r.iter().map(|v| v.0).collect();
         assert_eq!(ids, vec![2, 0, 3, 1]);
-        assert_eq!(CheckpointStrategy::ByDecreasingWorkOverCost.paper_name(), "CkptH");
+        assert_eq!(
+            CheckpointStrategy::ByDecreasingWorkOverCost.paper_name(),
+            "CkptH"
+        );
         assert!(CheckpointStrategy::ByDecreasingWorkOverCost.is_swept());
     }
 
@@ -605,12 +655,22 @@ mod tests {
         let wf0 = Workflow::uniform(generators::chain(0), 1.0, 0.1);
         let m = FaultModel::new(1e-3, 0.0);
         let r = optimize_checkpoints(
-            &wf0, m, &[], CheckpointStrategy::ByDecreasingWork, SweepPolicy::Exhaustive);
+            &wf0,
+            m,
+            &[],
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+        );
         assert_eq!(r.expected_makespan, 0.0);
         let wf1 = Workflow::uniform(generators::chain(1), 5.0, 0.5);
         let order = topo::topological_order(wf1.dag());
         let r = optimize_checkpoints(
-            &wf1, m, &order, CheckpointStrategy::Periodic, SweepPolicy::Exhaustive);
+            &wf1,
+            m,
+            &order,
+            CheckpointStrategy::Periodic,
+            SweepPolicy::Exhaustive,
+        );
         assert!(r.expected_makespan > 0.0);
     }
 }

@@ -20,7 +20,10 @@ pub struct FixedBitSet {
 impl FixedBitSet {
     /// Creates an empty set with capacity for indices `0..len`.
     pub fn new(len: usize) -> Self {
-        FixedBitSet { words: vec![0; len.div_ceil(64)], len }
+        FixedBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a set containing every index in `0..len`.
@@ -53,7 +56,11 @@ impl FixedBitSet {
 
     #[inline]
     fn check(&self, i: usize) {
-        assert!(i < self.len, "bitset index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bitset index {i} out of range (len {})",
+            self.len
+        );
     }
 
     /// Inserts `i`; returns `true` if it was not already present.
@@ -120,7 +127,10 @@ impl FixedBitSet {
     /// `true` when every index of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &FixedBitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` when the two sets share no index.

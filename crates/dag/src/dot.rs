@@ -26,11 +26,12 @@ pub fn to_dot(dag: &Dag, label: impl Fn(NodeId) -> String, opts: &DotOptions) ->
     }
     writeln!(out, "  node [shape=circle];").unwrap();
     for v in dag.nodes() {
-        let shaded = opts
-            .shaded
-            .as_ref()
-            .is_some_and(|s| s.contains(v.index()));
-        let style = if shaded { ", style=filled, fillcolor=gray80" } else { "" };
+        let shaded = opts.shaded.as_ref().is_some_and(|s| s.contains(v.index()));
+        let style = if shaded {
+            ", style=filled, fillcolor=gray80"
+        } else {
+            ""
+        };
         writeln!(out, "  n{} [label=\"{}\"{style}];", v.0, escape(&label(v))).unwrap();
     }
     for (u, v) in dag.edges() {

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DagError::NodeOutOfRange { node: NodeId(7), n: 3 };
+        let e = DagError::NodeOutOfRange {
+            node: NodeId(7),
+            n: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
         let e = DagError::SelfLoop(NodeId(2));
@@ -73,7 +76,9 @@ mod tests {
         assert!(e.to_string().contains("duplicate"));
         let e = DagError::Cycle(vec![NodeId(0), NodeId(1)]);
         assert_eq!(e.to_string(), "cycle detected: 0 -> 1 -> 0");
-        assert!(DagError::NotAPermutation.to_string().contains("permutation"));
+        assert!(DagError::NotAPermutation
+            .to_string()
+            .contains("permutation"));
         let e = DagError::PrecedenceViolated(NodeId(3), NodeId(4));
         assert!(e.to_string().contains("precede"));
     }

@@ -267,8 +267,10 @@ mod tests {
         assert_eq!(d.preds(NodeId(6)), &[NodeId(4), NodeId(5)]);
         assert_eq!(d.preds(NodeId(5)), &[NodeId(3)]);
         // The linearization used in the paper is valid here.
-        let lin: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let lin: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         assert!(is_topological_order(&d, &lin));
     }
 

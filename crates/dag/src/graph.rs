@@ -119,7 +119,10 @@ pub struct DagBuilder {
 impl DagBuilder {
     /// Starts a builder with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        DagBuilder { n, edges: Vec::new() }
+        DagBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes currently declared.
@@ -178,7 +181,11 @@ impl DagBuilder {
                 return Err(DagError::DuplicateEdge(NodeId::from(u), w[0]));
             }
         }
-        let dag = Dag { preds, succs, n_edges: self.edges.len() };
+        let dag = Dag {
+            preds,
+            succs,
+            n_edges: self.edges.len(),
+        };
         if let Some(cycle) = find_cycle(&dag) {
             return Err(DagError::Cycle(cycle));
         }
@@ -287,7 +294,10 @@ mod tests {
         b.add_edge(0usize, 5usize);
         assert_eq!(
             b.build().unwrap_err(),
-            DagError::NodeOutOfRange { node: NodeId(5), n: 2 }
+            DagError::NodeOutOfRange {
+                node: NodeId(5),
+                n: 2
+            }
         );
     }
 

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn invalid_spec_is_rejected() {
-        let spec = DagSpec { n: 2, edges: vec![(0, 1), (1, 0)] };
+        let spec = DagSpec {
+            n: 2,
+            edges: vec![(0, 1), (1, 0)],
+        };
         assert!(matches!(spec.build(), Err(DagError::Cycle(_))));
     }
 

@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn chain_and_fork_are_already_reduced() {
-        for dag in [generators::chain(8), generators::fork(5), generators::grid(3, 3)] {
+        for dag in [
+            generators::chain(8),
+            generators::fork(5),
+            generators::grid(3, 3),
+        ] {
             assert_eq!(transitive_reduction(&dag), dag);
         }
     }

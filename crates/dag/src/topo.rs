@@ -111,7 +111,15 @@ pub fn for_each_linear_extension(dag: &Dag, mut f: impl FnMut(&[NodeId]) -> bool
         }
     }
 
-    recurse(dag, &mut indeg, &mut used, &mut prefix, &mut count, &mut stop, &mut f);
+    recurse(
+        dag,
+        &mut indeg,
+        &mut used,
+        &mut prefix,
+        &mut count,
+        &mut stop,
+        &mut f,
+    );
     count
 }
 
@@ -156,9 +164,15 @@ mod tests {
             DagError::PrecedenceViolated(NodeId(0), NodeId(1))
         );
         let short = vec![NodeId(0)];
-        assert_eq!(validate_order(&d, &short).unwrap_err(), DagError::NotAPermutation);
+        assert_eq!(
+            validate_order(&d, &short).unwrap_err(),
+            DagError::NotAPermutation
+        );
         let dup = vec![NodeId(0), NodeId(0), NodeId(1), NodeId(2)];
-        assert_eq!(validate_order(&d, &dup).unwrap_err(), DagError::NotAPermutation);
+        assert_eq!(
+            validate_order(&d, &dup).unwrap_err(),
+            DagError::NotAPermutation
+        );
     }
 
     #[test]

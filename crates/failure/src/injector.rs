@@ -40,7 +40,10 @@ impl ExponentialInjector {
     /// Creates an injector with rate `lambda ≥ 0`, seeded deterministically.
     pub fn new(lambda: f64, seed: u64) -> Self {
         assert!(lambda.is_finite() && lambda >= 0.0);
-        ExponentialInjector { lambda, rng: SmallRng::seed_from_u64(seed) }
+        ExponentialInjector {
+            lambda,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The failure rate.
@@ -76,7 +79,10 @@ impl WeibullInjector {
     /// Creates an injector with the given Weibull `scale` and `shape`.
     pub fn new(scale: f64, shape: f64, seed: u64) -> Self {
         let dist = Weibull::new(scale, shape).expect("valid Weibull parameters");
-        WeibullInjector { dist, rng: SmallRng::seed_from_u64(seed) }
+        WeibullInjector {
+            dist,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Creates a Weibull injector whose *mean* inter-arrival time matches

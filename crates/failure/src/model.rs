@@ -36,12 +36,18 @@ impl FaultModel {
 
     /// A platform that never fails (`λ = 0`).
     pub fn fault_free() -> Self {
-        FaultModel { lambda: 0.0, downtime: 0.0 }
+        FaultModel {
+            lambda: 0.0,
+            downtime: 0.0,
+        }
     }
 
     /// Builds the model from an MTBF `µ = 1/λ` instead of a rate.
     pub fn from_mtbf(mtbf: f64, downtime: f64) -> Self {
-        assert!(mtbf > 0.0 && mtbf.is_finite(), "MTBF must be positive and finite");
+        assert!(
+            mtbf > 0.0 && mtbf.is_finite(),
+            "MTBF must be positive and finite"
+        );
         Self::new(1.0 / mtbf, downtime)
     }
 
@@ -86,7 +92,10 @@ impl FaultModel {
     /// For `λ = 0` this degenerates to the failure-free time `w + c` (the
     /// first attempt always succeeds and never pays `r`).
     pub fn expected_exec_time(&self, w: f64, c: f64, r: f64) -> f64 {
-        debug_assert!(w >= 0.0 && c >= 0.0 && r >= 0.0, "times must be non-negative");
+        debug_assert!(
+            w >= 0.0 && c >= 0.0 && r >= 0.0,
+            "times must be non-negative"
+        );
         if self.lambda == 0.0 {
             return w + c;
         }
@@ -203,8 +212,7 @@ mod tests {
         let m = FaultModel::new(0.002, 7.0);
         let (w, c, r) = (300.0, 40.0, 25.0);
         let l = m.lambda();
-        let alt =
-            (1.0 - (-l * (w + c)).exp()) * (1.0 / l + m.downtime()) * (l * (r + w + c)).exp();
+        let alt = (1.0 - (-l * (w + c)).exp()) * (1.0 / l + m.downtime()) * (l * (r + w + c)).exp();
         assert!(close(m.expected_exec_time(w, c, r), alt, 1e-12));
     }
 

@@ -33,7 +33,11 @@ impl Platform {
             downtime.is_finite() && downtime >= 0.0,
             "downtime must be non-negative"
         );
-        Platform { n_procs, proc_mtbf, downtime }
+        Platform {
+            n_procs,
+            proc_mtbf,
+            downtime,
+        }
     }
 
     /// Effective failure rate of the macro-processor: `λ = p / µ_proc`.

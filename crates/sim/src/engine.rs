@@ -97,7 +97,10 @@ pub fn simulate(
             res.n_faults += 1;
             memory.wipe();
             if let Some(tr) = res.trace.as_mut() {
-                tr.push(Event::Fault { at: *t, downtime: config.downtime });
+                tr.push(Event::Fault {
+                    at: *t,
+                    downtime: config.downtime,
+                });
             }
             *t += config.downtime;
             res.time_downtime += config.downtime;
@@ -118,8 +121,13 @@ pub fn simulate(
         'block: loop {
             let plan = recovery_plan(wf, schedule, &memory, task);
             for step in &plan {
-                if !run_unit(&mut t, &mut next_fault, &mut memory, &mut res, step.duration)
-                {
+                if !run_unit(
+                    &mut t,
+                    &mut next_fault,
+                    &mut memory,
+                    &mut res,
+                    step.duration,
+                ) {
                     continue 'block;
                 }
                 match step.kind {
@@ -131,7 +139,11 @@ pub fn simulate(
                 // `memory` anyway, so storing immediately is exact.
                 memory.store(step.task);
                 if let Some(tr) = res.trace.as_mut() {
-                    tr.push(Event::UnitCompleted { task: step.task, kind: step.kind, at: t });
+                    tr.push(Event::UnitCompleted {
+                        task: step.task,
+                        kind: step.kind,
+                        at: t,
+                    });
                 }
             }
             if !run_unit(&mut t, &mut next_fault, &mut memory, &mut res, w) {
@@ -140,7 +152,11 @@ pub fn simulate(
             res.time_work += w;
             memory.store(task);
             if let Some(tr) = res.trace.as_mut() {
-                tr.push(Event::UnitCompleted { task, kind: UnitKind::Work, at: t });
+                tr.push(Event::UnitCompleted {
+                    task,
+                    kind: UnitKind::Work,
+                    at: t,
+                });
             }
             if c > 0.0 {
                 if !run_unit(&mut t, &mut next_fault, &mut memory, &mut res, c) {
@@ -148,7 +164,11 @@ pub fn simulate(
                 }
                 res.time_checkpoint += c;
                 if let Some(tr) = res.trace.as_mut() {
-                    tr.push(Event::UnitCompleted { task, kind: UnitKind::Checkpoint, at: t });
+                    tr.push(Event::UnitCompleted {
+                        task,
+                        kind: UnitKind::Checkpoint,
+                        at: t,
+                    });
                 }
             }
             if let Some(tr) = res.trace.as_mut() {
@@ -170,7 +190,10 @@ mod tests {
     use dagchkpt_failure::{NoFaults, TraceInjector};
 
     fn cfg(d: f64) -> SimConfig {
-        SimConfig { downtime: d, record_trace: true }
+        SimConfig {
+            downtime: d,
+            record_trace: true,
+        }
     }
 
     #[test]
@@ -218,7 +241,10 @@ mod tests {
     fn single_fault_with_checkpoint_recovers_instead() {
         // T0 (w=10, c=2, r=1, ckpt) → T1 (w=10). T0 done+ckpt at 12.
         // Fault at 14 (2s into T1): recover T0 (1s) + T1 (10s) ⇒ 25.
-        let costs = vec![TaskCosts::new(10.0, 2.0, 1.0), TaskCosts::new(10.0, 0.0, 0.0)];
+        let costs = vec![
+            TaskCosts::new(10.0, 2.0, 1.0),
+            TaskCosts::new(10.0, 0.0, 0.0),
+        ];
         let wf = Workflow::new(generators::chain(2), costs);
         let mut ckpt = FixedBitSet::new(2);
         ckpt.insert(0);
@@ -256,7 +282,15 @@ mod tests {
         // Faults at 5 and 18 (i.e. 3s into the second attempt, which starts
         // at 5 + D = 15 with D = 10… so fault at 18 wastes 3s).
         let mut inj = TraceInjector::new(vec![5.0, 18.0]);
-        let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 10.0, record_trace: false });
+        let r = simulate(
+            &wf,
+            &s,
+            &mut inj,
+            SimConfig {
+                downtime: 10.0,
+                record_trace: false,
+            },
+        );
         // 5 (lost) + 10 (down) + 3 (lost) + 10 (down) + 10 (work) = 38.
         assert!((r.makespan - 38.0).abs() < 1e-12, "makespan {}", r.makespan);
         assert_eq!(r.n_faults, 2);
@@ -284,15 +318,21 @@ mod tests {
             })
             .collect();
         let wf = Workflow::new(generators::paper_figure1(), costs);
-        let order: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let mut ckpt = FixedBitSet::new(8);
         ckpt.insert(3);
         ckpt.insert(4);
         let s = Schedule::new(&wf, order, ckpt).unwrap();
         let mut inj = TraceInjector::new(vec![55.0]);
         let r = simulate(&wf, &s, &mut inj, cfg(0.0));
-        assert!((r.makespan - 107.0).abs() < 1e-12, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan - 107.0).abs() < 1e-12,
+            "makespan {}",
+            r.makespan
+        );
         assert_eq!(r.n_faults, 1);
         assert!((r.time_recovery - 2.0).abs() < 1e-12); // r3 + r4
         assert!((r.time_rework - 20.0).abs() < 1e-12); // T1, T2

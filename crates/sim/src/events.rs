@@ -52,10 +52,17 @@ mod tests {
 
     #[test]
     fn events_serialize() {
-        let e = Event::Fault { at: 1.5, downtime: 2.0 };
+        let e = Event::Fault {
+            at: 1.5,
+            downtime: 2.0,
+        };
         let s = serde_json::to_string(&e).unwrap();
         assert!(s.contains("Fault"));
-        let u = Event::UnitCompleted { task: NodeId(3), kind: UnitKind::Rework, at: 9.0 };
+        let u = Event::UnitCompleted {
+            task: NodeId(3),
+            kind: UnitKind::Rework,
+            at: 9.0,
+        };
         assert!(serde_json::to_string(&u).unwrap().contains("Rework"));
     }
 }

@@ -12,7 +12,9 @@ pub struct MemoryState {
 impl MemoryState {
     /// Empty memory for `n` tasks.
     pub fn new(n: usize) -> Self {
-        MemoryState { resident: FixedBitSet::new(n) }
+        MemoryState {
+            resident: FixedBitSet::new(n),
+        }
     }
 
     /// `true` when `v`'s output is in memory.

@@ -6,7 +6,8 @@ use dagchkpt_core::{Schedule, Workflow};
 use dagchkpt_failure::{ExponentialInjector, FaultInjector, FaultModel};
 use rayon::prelude::*;
 
-/// How many trials to run and how to seed them.
+/// How many trials to run, how to seed them, and whether to fan them out
+/// over the rayon thread pool.
 #[derive(Debug, Clone, Copy)]
 pub struct TrialSpec {
     /// Number of independent trials.
@@ -14,12 +15,38 @@ pub struct TrialSpec {
     /// Master seed; trial `i` is seeded with a SplitMix64 scramble of
     /// `(seed, i)` so streams are decorrelated.
     pub seed: u64,
+    /// Run trials on the rayon thread pool (`true`, the default) or on the
+    /// calling thread (`false`). Because every trial owns a seed derived
+    /// only from `(seed, i)` and results are aggregated in trial order,
+    /// both paths produce **bit-identical** statistics — the parallel path
+    /// is purely a wall-clock optimization
+    /// (`tests::parallel_and_sequential_paths_are_bit_identical`).
+    pub parallel: bool,
 }
 
 impl TrialSpec {
-    /// `trials` trials from `seed`.
+    /// `trials` trials from `seed`, fanned out over the thread pool.
     pub fn new(trials: usize, seed: u64) -> Self {
-        TrialSpec { trials, seed }
+        TrialSpec {
+            trials,
+            seed,
+            parallel: true,
+        }
+    }
+
+    /// `trials` trials from `seed` on the calling thread only.
+    pub fn sequential(trials: usize, seed: u64) -> Self {
+        TrialSpec {
+            trials,
+            seed,
+            parallel: false,
+        }
+    }
+
+    /// Same spec with the parallelism knob set to `parallel`.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Seed for the `i`-th trial (SplitMix64 finalizer).
@@ -71,14 +98,21 @@ where
     I: FaultInjector,
     F: Fn(u64) -> I + Sync,
 {
-    let config = SimConfig { downtime, record_trace: false };
-    let results: Vec<SimResult> = (0..spec.trials)
-        .into_par_iter()
-        .map(|i| {
-            let mut inj = make_injector(spec.trial_seed(i));
-            simulate(wf, schedule, &mut inj, config)
-        })
-        .collect();
+    let config = SimConfig {
+        downtime,
+        record_trace: false,
+    };
+    let run_one = |i: usize| {
+        let mut inj = make_injector(spec.trial_seed(i));
+        simulate(wf, schedule, &mut inj, config)
+    };
+    // Both paths produce results in trial order and aggregate below in the
+    // same sequential fold, so the statistics are bit-identical.
+    let results: Vec<SimResult> = if spec.parallel {
+        (0..spec.trials).into_par_iter().map(run_one).collect()
+    } else {
+        (0..spec.trials).map(run_one).collect()
+    };
 
     let mut makespan = Stats::new();
     let mut faults = Stats::new();
@@ -99,7 +133,11 @@ where
     }
     let n = results.len().max(1) as f64;
     breakdown.iter_mut().for_each(|v| *v /= n);
-    TrialStats { makespan, faults, mean_breakdown: breakdown }
+    TrialStats {
+        makespan,
+        faults,
+        mean_breakdown: breakdown,
+    }
 }
 
 #[cfg(test)]
@@ -112,8 +150,7 @@ mod tests {
     #[test]
     fn trial_seeds_are_distinct_and_deterministic() {
         let spec = TrialSpec::new(1000, 42);
-        let seeds: std::collections::HashSet<u64> =
-            (0..1000).map(|i| spec.trial_seed(i)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| spec.trial_seed(i)).collect();
         assert_eq!(seeds.len(), 1000);
         assert_eq!(spec.trial_seed(7), TrialSpec::new(1000, 42).trial_seed(7));
         assert_ne!(spec.trial_seed(7), TrialSpec::new(1000, 43).trial_seed(7));
@@ -124,8 +161,7 @@ mod tests {
         let wf = Workflow::uniform(generators::fork_join(4), 10.0, 1.0);
         let order = topo::topological_order(wf.dag());
         let s = Schedule::always(&wf, order).unwrap();
-        let stats =
-            run_trials_with(&wf, &s, 0.0, TrialSpec::new(16, 1), |_| NoFaults);
+        let stats = run_trials_with(&wf, &s, 0.0, TrialSpec::new(16, 1), |_| NoFaults);
         assert_eq!(stats.makespan.n(), 16);
         assert!(stats.makespan.stddev() < 1e-12);
         assert!((stats.makespan.mean() - 66.0).abs() < 1e-9); // 6·10 + 6·1
@@ -175,6 +211,39 @@ mod tests {
                 report.expected_faults
             );
         }
+    }
+
+    /// The acceptance property of the `parallel` knob: for a fixed seed the
+    /// parallel and sequential paths produce bit-identical statistics,
+    /// regardless of thread count or scheduling.
+    #[test]
+    fn parallel_and_sequential_paths_are_bit_identical() {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let model = FaultModel::new(4e-3, 1.5);
+        let order = topo::topological_order(wf.dag());
+        let ckpt = FixedBitSet::from_indices(8, [0usize, 3, 5]);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let par = run_trials(&wf, &s, model, TrialSpec::new(3_000, 17));
+        let seq = run_trials(&wf, &s, model, TrialSpec::sequential(3_000, 17));
+        assert_eq!(par.makespan.n(), seq.makespan.n());
+        assert_eq!(par.makespan.mean().to_bits(), seq.makespan.mean().to_bits());
+        assert_eq!(
+            par.makespan.stddev().to_bits(),
+            seq.makespan.stddev().to_bits()
+        );
+        assert_eq!(par.makespan.min().to_bits(), seq.makespan.min().to_bits());
+        assert_eq!(par.makespan.max().to_bits(), seq.makespan.max().to_bits());
+        assert_eq!(par.faults.mean().to_bits(), seq.faults.mean().to_bits());
+        for (a, b) in par.mean_breakdown.iter().zip(seq.mean_breakdown.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the knob round-trips through the builder.
+        assert!(TrialSpec::new(5, 1).parallel);
+        assert!(!TrialSpec::new(5, 1).with_parallel(false).parallel);
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub struct NonBlockingConfig {
 
 impl Default for NonBlockingConfig {
     fn default() -> Self {
-        NonBlockingConfig { downtime: 0.0, compute_rate: 1.0, record_trace: false }
+        NonBlockingConfig {
+            downtime: 0.0,
+            compute_rate: 1.0,
+            record_trace: false,
+        }
     }
 }
 
@@ -78,7 +82,10 @@ impl State<'_> {
         self.memory.wipe();
         self.writes.clear();
         if let Some(tr) = self.res.trace.as_mut() {
-            tr.push(Event::Fault { at: self.t, downtime: self.cfg.downtime });
+            tr.push(Event::Fault {
+                at: self.t,
+                downtime: self.cfg.downtime,
+            });
         }
         self.t += self.cfg.downtime;
         self.res.time_downtime += self.cfg.downtime;
@@ -92,7 +99,11 @@ impl State<'_> {
         let start = self.t;
         let mut left = d;
         while left > 0.0 {
-            let rate = if self.writes.is_empty() { 1.0 } else { self.cfg.compute_rate };
+            let rate = if self.writes.is_empty() {
+                1.0
+            } else {
+                self.cfg.compute_rate
+            };
             // Wall time until the compute unit finishes at this rate, or
             // the front write completes, whichever first.
             let to_unit = left / rate;
@@ -120,7 +131,9 @@ impl State<'_> {
     fn drain_writes(&mut self, step: f64) {
         let mut left = step;
         while left > 0.0 {
-            let Some(front) = self.writes.front_mut() else { break };
+            let Some(front) = self.writes.front_mut() else {
+                break;
+            };
             if front.1 > left {
                 front.1 -= left;
                 break;
@@ -186,8 +199,7 @@ pub fn simulate_nonblocking(
     for &task in schedule.order() {
         let w = wf.work(task);
         'block: loop {
-            let plan =
-                recovery_plan_with(wf, &positions, &st.durable, &st.memory, task);
+            let plan = recovery_plan_with(wf, &positions, &st.durable, &st.memory, task);
             for step in &plan {
                 if !st.run_compute(step.duration, step.kind) {
                     continue 'block;
@@ -206,7 +218,8 @@ pub fn simulate_nonblocking(
                     && schedule.is_checkpointed(step.task)
                     && !st.durable.contains(step.task.index())
                 {
-                    st.writes.push_back((step.task, wf.checkpoint_cost(step.task)));
+                    st.writes
+                        .push_back((step.task, wf.checkpoint_cost(step.task)));
                 }
             }
             if !st.run_compute(w, UnitKind::Work) {
@@ -214,7 +227,11 @@ pub fn simulate_nonblocking(
             }
             st.memory.store(task);
             if let Some(tr) = st.res.trace.as_mut() {
-                tr.push(Event::UnitCompleted { task, kind: UnitKind::Work, at: st.t });
+                tr.push(Event::UnitCompleted {
+                    task,
+                    kind: UnitKind::Work,
+                    at: st.t,
+                });
                 tr.push(Event::TaskDone { task, at: st.t });
             }
             if schedule.is_checkpointed(task) {
@@ -238,7 +255,10 @@ mod tests {
     use dagchkpt_failure::{ExponentialInjector, NoFaults, TraceInjector};
 
     fn two_chain(c0: f64) -> (Workflow, Schedule) {
-        let costs = vec![TaskCosts::new(10.0, c0, 2.0), TaskCosts::new(10.0, 0.0, 0.0)];
+        let costs = vec![
+            TaskCosts::new(10.0, c0, 2.0),
+            TaskCosts::new(10.0, 0.0, 0.0),
+        ];
         let wf = Workflow::new(generators::chain(2), costs);
         let mut ckpt = FixedBitSet::new(2);
         ckpt.insert(0);
@@ -264,7 +284,10 @@ mod tests {
         // yield 2 s of work, then 8 s at full speed: 10 + 4 + 8 = 22.
         let (wf, s) = two_chain(4.0);
         let mut inj = NoFaults;
-        let cfg = NonBlockingConfig { compute_rate: 0.5, ..Default::default() };
+        let cfg = NonBlockingConfig {
+            compute_rate: 0.5,
+            ..Default::default()
+        };
         let r = simulate_nonblocking(&wf, &s, &mut inj, cfg);
         assert!((r.makespan - 22.0).abs() < 1e-12, "makespan {}", r.makespan);
         // Nominal buckets: 20 work + 2 interference.
@@ -278,7 +301,10 @@ mod tests {
         // Write of T0 (5 s) starts at t = 10; fault at t = 12 while T1 runs.
         // T0 is NOT durable ⇒ re-execute T0 (10 s), re-enqueue its write,
         // then T1 (10 s) overlapping the write at rate 1: done at 32.
-        let costs = vec![TaskCosts::new(10.0, 5.0, 2.0), TaskCosts::new(10.0, 0.0, 0.0)];
+        let costs = vec![
+            TaskCosts::new(10.0, 5.0, 2.0),
+            TaskCosts::new(10.0, 0.0, 0.0),
+        ];
         let wf = Workflow::new(generators::chain(2), costs);
         let mut ckpt = FixedBitSet::new(2);
         ckpt.insert(0);
@@ -296,7 +322,10 @@ mod tests {
     fn durable_checkpoint_is_recovered_not_reexecuted() {
         // Same chain, write done by t = 15; fault at t = 16 during T1:
         // recover T0 (2 s) + T1 (10 s) ⇒ 16 + 12 = 28.
-        let costs = vec![TaskCosts::new(10.0, 5.0, 2.0), TaskCosts::new(10.0, 0.0, 0.0)];
+        let costs = vec![
+            TaskCosts::new(10.0, 5.0, 2.0),
+            TaskCosts::new(10.0, 0.0, 0.0),
+        ];
         let wf = Workflow::new(generators::chain(2), costs);
         let mut ckpt = FixedBitSet::new(2);
         ckpt.insert(0);
@@ -332,8 +361,7 @@ mod tests {
         for i in 0..trials {
             let mut inj = ExponentialInjector::new(lambda, 1000 + i);
             nb_sum +=
-                simulate_nonblocking(&wf, &s, &mut inj, NonBlockingConfig::default())
-                    .makespan;
+                simulate_nonblocking(&wf, &s, &mut inj, NonBlockingConfig::default()).makespan;
             let mut inj = ExponentialInjector::new(lambda, 1000 + i);
             b_sum += simulate(&wf, &s, &mut inj, SimConfig::default()).makespan;
         }
@@ -350,7 +378,10 @@ mod tests {
             &wf,
             &s,
             &mut inj,
-            NonBlockingConfig { compute_rate: 0.0, ..Default::default() },
+            NonBlockingConfig {
+                compute_rate: 0.0,
+                ..Default::default()
+            },
         );
     }
 }

@@ -70,9 +70,17 @@ pub fn recovery_plan_with(
         .into_iter()
         .map(|v| {
             if recoverable.contains(v.index()) {
-                PlanStep { task: v, kind: UnitKind::Recovery, duration: wf.recovery_cost(v) }
+                PlanStep {
+                    task: v,
+                    kind: UnitKind::Recovery,
+                    duration: wf.recovery_cost(v),
+                }
             } else {
-                PlanStep { task: v, kind: UnitKind::Rework, duration: wf.work(v) }
+                PlanStep {
+                    task: v,
+                    kind: UnitKind::Rework,
+                    duration: wf.work(v),
+                }
             }
         })
         .collect()
@@ -91,8 +99,10 @@ mod tests {
             vec![1.0; 8],
             CostRule::ProportionalToWork { ratio: 0.1 },
         );
-        let order: Vec<NodeId> =
-            [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+        let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
         let mut ckpt = FixedBitSet::new(8);
         ckpt.insert(3);
         ckpt.insert(4);
@@ -151,8 +161,7 @@ mod tests {
         mem.store(NodeId(4));
         mem.store(NodeId(6));
         let plan = recovery_plan(&wf, &s, &mem, NodeId(7));
-        let steps: Vec<(u32, UnitKind)> =
-            plan.iter().map(|p| (p.task.0, p.kind)).collect();
+        let steps: Vec<(u32, UnitKind)> = plan.iter().map(|p| (p.task.0, p.kind)).collect();
         assert_eq!(steps, vec![(1, UnitKind::Rework), (2, UnitKind::Rework)]);
     }
 

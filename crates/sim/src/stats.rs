@@ -22,7 +22,13 @@ impl Default for Stats {
 impl Stats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Stats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Stats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.

@@ -1,8 +1,8 @@
 //! ASCII timeline rendering of execution traces — a quick visual check of
 //! what a failure-prone run actually did.
 
-use crate::events::{Event, UnitKind};
 use crate::engine::SimResult;
+use crate::events::{Event, UnitKind};
 use std::fmt::Write as _;
 
 /// Renders a recorded trace as a fixed-width strip plus an event list.
@@ -38,8 +38,13 @@ pub fn render_timeline(result: &SimResult, width: usize) -> String {
             Event::TaskDone { .. } => {}
         }
     }
-    writeln!(out, "0s {}|{:.1}s", String::from_utf8_lossy(&strip), result.makespan)
-        .expect("string write");
+    writeln!(
+        out,
+        "0s {}|{:.1}s",
+        String::from_utf8_lossy(&strip),
+        result.makespan
+    )
+    .expect("string write");
     writeln!(
         out,
         "   w=work r=re-execution R=recovery c=checkpoint X=fault ({} faults)",
@@ -73,7 +78,15 @@ mod tests {
         let wf = Workflow::uniform(generators::chain(3), 10.0, 1.0);
         let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
         let mut inj = NoFaults;
-        let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 0.0, record_trace: true });
+        let r = simulate(
+            &wf,
+            &s,
+            &mut inj,
+            SimConfig {
+                downtime: 0.0,
+                record_trace: true,
+            },
+        );
         let t = render_timeline(&r, 60);
         let strip = t.lines().next().unwrap();
         assert!(strip.contains('w'));
@@ -88,7 +101,15 @@ mod tests {
         let wf = Workflow::uniform(generators::chain(2), 10.0, 0.0);
         let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
         let mut inj = TraceInjector::new(vec![15.0]);
-        let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 0.0, record_trace: true });
+        let r = simulate(
+            &wf,
+            &s,
+            &mut inj,
+            SimConfig {
+                downtime: 0.0,
+                record_trace: true,
+            },
+        );
         let t = render_timeline(&r, 40);
         let strip = t.lines().next().unwrap();
         assert!(strip.contains('X'), "{t}");

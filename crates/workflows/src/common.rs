@@ -75,8 +75,7 @@ pub fn finish(
     rng: &mut SmallRng,
 ) -> Workflow {
     assert_eq!(type_of.len(), dag.n_nodes());
-    let mut weights: Vec<f64> =
-        type_of.iter().map(|&t| samplers[t].sample(rng)).collect();
+    let mut weights: Vec<f64> = type_of.iter().map(|&t| samplers[t].sample(rng)).collect();
     rescale_to_mean(&mut weights, mean_weight);
     Workflow::with_cost_rule(dag, weights, cost_rule)
 }

@@ -22,8 +22,13 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Task-type labels.
-pub const TYPES: [&str; 5] =
-    ["ExtractSGT", "SeismogramSynthesis", "ZipSeis", "PeakValCalc", "ZipPSA"];
+pub const TYPES: [&str; 5] = [
+    "ExtractSGT",
+    "SeismogramSynthesis",
+    "ZipSeis",
+    "PeakValCalc",
+    "ZipPSA",
+];
 
 const MEANS: [f64; 5] = [110.0, 48.0, 12.0, 1.0, 12.0];
 const CVS: [f64; 5] = [0.3, 0.4, 0.2, 0.3, 0.2];
@@ -47,7 +52,10 @@ pub fn generate_labeled(
     rule: CostRule,
     seed: u64,
 ) -> (Workflow, Vec<&'static str>) {
-    assert!(n_tasks >= MIN_TASKS, "CyberShake needs at least {MIN_TASKS} tasks");
+    assert!(
+        n_tasks >= MIN_TASKS,
+        "CyberShake needs at least {MIN_TASKS} tasks"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let n_sites = (n_tasks / SITE_SIZE).max(1);
     let budgets = split_evenly(n_tasks, n_sites);
@@ -60,7 +68,10 @@ pub fn generate_labeled(
     };
 
     for &t in &budgets {
-        assert!(t >= MIN_TASKS, "site budget {t} too small (n_tasks {n_tasks})");
+        assert!(
+            t >= MIN_TASKS,
+            "site budget {t} too small (n_tasks {n_tasks})"
+        );
         // t = 2 (SGT) + 2s + r + 2 (zips), r ∈ {0, 1}: r extra syntheses
         // without a paired peak-value task.
         let body = t - 4;
@@ -127,10 +138,17 @@ mod tests {
         }
         assert_eq!(dag.sinks().len(), 10);
         for v in dag.sinks() {
-            assert!(labels[v.index()].starts_with("Zip"), "{}", labels[v.index()]);
+            assert!(
+                labels[v.index()].starts_with("Zip"),
+                "{}",
+                labels[v.index()]
+            );
         }
         // Synthesis layer is the widest.
-        let s = labels.iter().filter(|&&l| l == "SeismogramSynthesis").count();
+        let s = labels
+            .iter()
+            .filter(|&&l| l == "SeismogramSynthesis")
+            .count();
         let p = labels.iter().filter(|&&l| l == "PeakValCalc").count();
         assert!(s >= p && p > 0);
         let o = topo::topological_order(dag);

@@ -58,7 +58,10 @@ pub fn generate_labeled(
     rule: CostRule,
     seed: u64,
 ) -> (Workflow, Vec<&'static str>) {
-    assert!(n_tasks >= MIN_TASKS, "Genome needs at least {MIN_TASKS} tasks");
+    assert!(
+        n_tasks >= MIN_TASKS,
+        "Genome needs at least {MIN_TASKS} tasks"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     // Two tasks are the global tail; the rest is split into lanes.
     let body = n_tasks - 2;
@@ -83,8 +86,8 @@ pub fn generate_labeled(
         let merge_ty = 5;
         let mut chain_ends = Vec::with_capacity(full + 1);
         let build_chain = |b: &mut DagBuilder,
-                               add: &mut dyn FnMut(&mut DagBuilder, usize) -> dagchkpt_dag::NodeId,
-                               len: usize| {
+                           add: &mut dyn FnMut(&mut DagBuilder, usize) -> dagchkpt_dag::NodeId,
+                           len: usize| {
             // Chain stages, shortened from the middle: len 4 = filter →
             // sol2sanger → fastq2bfq → map; len 3 drops sol2sanger; len 2
             // keeps filter → map; len 1 is just map.
@@ -105,7 +108,10 @@ pub fn generate_labeled(
                 }
                 prev = Some(v);
             }
-            (first.unwrap_or_else(|| prev.expect("non-empty chain")), prev.unwrap())
+            (
+                first.unwrap_or_else(|| prev.expect("non-empty chain")),
+                prev.unwrap(),
+            )
         };
         for _ in 0..full {
             let (head, tail) = build_chain(&mut b, &mut add, 4);
@@ -188,7 +194,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(generate(130, 1200.0, RULE, 5), generate(130, 1200.0, RULE, 5));
+        assert_eq!(
+            generate(130, 1200.0, RULE, 5),
+            generate(130, 1200.0, RULE, 5)
+        );
     }
 
     #[test]
@@ -196,7 +205,10 @@ mod tests {
         // Genome's per-chunk chains make it the deepest of the four — the
         // reason the paper runs it at lower λ.
         let (wf, _) = generate_labeled(200, 1200.0, RULE, 6);
-        let depth = *dagchkpt_dag::traverse::levels(wf.dag()).iter().max().unwrap();
+        let depth = *dagchkpt_dag::traverse::levels(wf.dag())
+            .iter()
+            .max()
+            .unwrap();
         assert!(depth >= 6, "depth {depth}");
     }
 }

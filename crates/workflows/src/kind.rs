@@ -84,9 +84,7 @@ impl PegasusKind {
         match self {
             PegasusKind::Montage => montage::generate(n_tasks, mean_weight, rule, seed),
             PegasusKind::Ligo => ligo::generate(n_tasks, mean_weight, rule, seed),
-            PegasusKind::CyberShake => {
-                cybershake::generate(n_tasks, mean_weight, rule, seed)
-            }
+            PegasusKind::CyberShake => cybershake::generate(n_tasks, mean_weight, rule, seed),
             PegasusKind::Genome => genome::generate(n_tasks, mean_weight, rule, seed),
         }
     }
@@ -102,9 +100,7 @@ impl PegasusKind {
         match self {
             PegasusKind::Montage => montage::generate_labeled(n_tasks, mw, rule, seed),
             PegasusKind::Ligo => ligo::generate_labeled(n_tasks, mw, rule, seed),
-            PegasusKind::CyberShake => {
-                cybershake::generate_labeled(n_tasks, mw, rule, seed)
-            }
+            PegasusKind::CyberShake => cybershake::generate_labeled(n_tasks, mw, rule, seed),
             PegasusKind::Genome => genome::generate_labeled(n_tasks, mw, rule, seed),
         }
     }

@@ -49,7 +49,10 @@ pub fn generate_labeled(
     rule: CostRule,
     seed: u64,
 ) -> (Workflow, Vec<&'static str>) {
-    assert!(n_tasks >= MIN_TASKS, "LIGO needs at least {MIN_TASKS} tasks");
+    assert!(
+        n_tasks >= MIN_TASKS,
+        "LIGO needs at least {MIN_TASKS} tasks"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let n_groups = (n_tasks / GROUP_SIZE).max(1);
     let budgets = split_evenly(n_tasks, n_groups);
@@ -62,7 +65,10 @@ pub fn generate_labeled(
     };
 
     for &t in &budgets {
-        assert!(t >= MIN_TASKS, "group budget {t} too small (n_tasks {n_tasks})");
+        assert!(
+            t >= MIN_TASKS,
+            "group budget {t} too small (n_tasks {n_tasks})"
+        );
         // t = 2k + r + 1 + 2k2 + 1 with r ∈ {0, 1}.
         let body = t - 2; // minus the two thinca stages
         let k2 = (body / 6).max(1);

@@ -60,7 +60,10 @@ pub fn generate_labeled(
     rule: CostRule,
     seed: u64,
 ) -> (Workflow, Vec<&'static str>) {
-    assert!(n_tasks >= MIN_TASKS, "Montage needs at least {MIN_TASKS} tasks");
+    assert!(
+        n_tasks >= MIN_TASKS,
+        "Montage needs at least {MIN_TASKS} tasks"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let m = ((n_tasks - 6) / 4).max(1);
     let d = n_tasks - 2 * m - 6;

@@ -39,8 +39,11 @@ impl WorkflowSpec {
     /// Rebuilds the workflow.
     pub fn build(&self) -> Result<Workflow, dagchkpt_dag::DagError> {
         let dag = self.dag.build()?;
-        let costs: Vec<TaskCosts> =
-            self.costs.iter().map(|&(w, c, r)| TaskCosts::new(w, c, r)).collect();
+        let costs: Vec<TaskCosts> = self
+            .costs
+            .iter()
+            .map(|&(w, c, r)| TaskCosts::new(w, c, r))
+            .collect();
         Ok(Workflow::new(dag, costs))
     }
 
@@ -64,8 +67,7 @@ mod tests {
     #[test]
     fn roundtrip_every_kind() {
         for kind in PegasusKind::ALL {
-            let (wf, labels) =
-                kind.generate_labeled(60, CostRule::Constant { value: 5.0 }, 3);
+            let (wf, labels) = kind.generate_labeled(60, CostRule::Constant { value: 5.0 }, 3);
             let spec = WorkflowSpec::from_workflow(&wf, Some(&labels));
             let json = spec.to_json();
             let parsed = WorkflowSpec::from_json(&json).unwrap();

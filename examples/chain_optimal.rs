@@ -15,8 +15,9 @@ use dagchkpt::prelude::*;
 fn main() {
     // A 40-stage simulation pipeline with heterogeneous stage lengths.
     let n = 40;
-    let weights: Vec<f64> =
-        (0..n).map(|i| 60.0 + 50.0 * ((i as f64 * 0.7).sin().abs())).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|i| 60.0 + 50.0 * ((i as f64 * 0.7).sin().abs()))
+        .collect();
     let wf = Workflow::with_cost_rule(
         generators::chain(n),
         weights,
@@ -30,8 +31,7 @@ fn main() {
     );
 
     // Exact optimum by dynamic programming.
-    let (opt_schedule, opt_value) =
-        chain::solve_chain(&wf, model).expect("workflow is a chain");
+    let (opt_schedule, opt_value) = chain::solve_chain(&wf, model).expect("workflow is a chain");
     println!(
         "\nToueg–Babaoglu DP : E[T] = {:.1} s with {} checkpoints",
         opt_value,
@@ -44,7 +44,10 @@ fn main() {
     println!("Young period {tau_young:.0} s, Daly period {tau_daly:.0} s");
     let order = opt_schedule.order().to_vec();
     for (name, n_ckpt) in [
-        ("Young-period", (wf.total_work() / tau_young).floor() as usize),
+        (
+            "Young-period",
+            (wf.total_work() / tau_young).floor() as usize,
+        ),
         ("Daly-period", (wf.total_work() / tau_daly).floor() as usize),
     ] {
         let set = dagchkpt::core::strategies::periodic_set(&wf, &order, n_ckpt);

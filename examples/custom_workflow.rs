@@ -46,7 +46,11 @@ fn main() {
     print!("execution order:");
     for v in best.schedule.order() {
         let label = &spec.labels[v.index()];
-        let mark = if best.schedule.is_checkpointed(*v) { "*" } else { "" };
+        let mark = if best.schedule.is_checkpointed(*v) {
+            "*"
+        } else {
+            ""
+        };
         print!(" {label}{mark}");
     }
     println!("   (* = checkpointed)");

@@ -21,8 +21,10 @@ fn main() {
         (8.0, 6.0, 1.5),
         (20.0, 2.0, 7.0),
     ];
-    let mut costs: Vec<TaskCosts> =
-        sources.iter().map(|&(w, c, r)| TaskCosts::new(w, c, r)).collect();
+    let mut costs: Vec<TaskCosts> = sources
+        .iter()
+        .map(|&(w, c, r)| TaskCosts::new(w, c, r))
+        .collect();
     costs.push(TaskCosts::new(6.0, 0.0, 0.0));
     let wf = Workflow::new(generators::join(4), costs);
     let model = FaultModel::new(0.008, 0.0);
@@ -34,12 +36,7 @@ fn main() {
     for (i, &(w, c, r)) in sources.iter().enumerate() {
         println!("T{i:<5} {w:>8} {c:>8} {r:>8}");
     }
-    println!(
-        "\n{:<6} {:>10} {:>10}",
-        "task",
-        "g (paper)",
-        "phi (fixed)"
-    );
+    println!("\n{:<6} {:>10} {:>10}", "task", "g (paper)", "phi (fixed)");
     for i in 0..4u32 {
         println!(
             "T{i:<5} {:>10.6} {:>10.6}",
@@ -61,7 +58,11 @@ fn main() {
     let paper = join::paper_g_order_schedule(&wf, model, sink, &all);
     let fixed = join::join_schedule_for_set(&wf, model, sink, &all);
     let name = |s: &Schedule| {
-        s.order()[..4].iter().map(|v| format!("T{v}")).collect::<Vec<_>>().join(" ")
+        s.order()[..4]
+            .iter()
+            .map(|v| format!("T{v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     println!("\nall 24 permutations, best to worst:");
     for (i, (perm, e)) in scored.iter().enumerate() {
@@ -77,7 +78,10 @@ fn main() {
             println!(
                 "  {:>2}. {}  E[T] = {e:.4}{tag}",
                 i + 1,
-                perm.iter().map(|x| format!("T{x}")).collect::<Vec<_>>().join(" ")
+                perm.iter()
+                    .map(|x| format!("T{x}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
         }
     }

@@ -9,11 +9,7 @@
 use dagchkpt::prelude::*;
 
 fn main() {
-    let wf = PegasusKind::Montage.generate(
-        200,
-        CostRule::ProportionalToWork { ratio: 0.1 },
-        2024,
-    );
+    let wf = PegasusKind::Montage.generate(200, CostRule::ProportionalToWork { ratio: 0.1 }, 2024);
     println!(
         "Montage: {} tasks, Tinf = {:.1} s, mean task weight {:.1} s",
         wf.n_tasks(),

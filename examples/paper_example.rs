@@ -21,8 +21,10 @@ fn main() {
         vec![10.0; 8],
         CostRule::ProportionalToWork { ratio: 0.1 },
     );
-    let order: Vec<NodeId> =
-        [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+    let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+        .iter()
+        .map(|&i| NodeId(i))
+        .collect();
     let mut ckpt = FixedBitSet::new(8);
     ckpt.insert(3);
     ckpt.insert(4);
@@ -43,9 +45,18 @@ fn main() {
     // Expected makespan under λ = 10⁻³ (MTBF 1000 s).
     let model = FaultModel::new(1e-3, 0.0);
     let report = dagchkpt::core::evaluate(&wf, model, &schedule);
-    println!("E[makespan] = {:.3} s (Tinf = {} s)", report.expected_makespan, wf.total_work());
+    println!(
+        "E[makespan] = {:.3} s (Tinf = {} s)",
+        report.expected_makespan,
+        wf.total_work()
+    );
     for (pos, e) in report.per_position.iter().enumerate() {
-        println!("  E[X_{}] (task T{}) = {:.4}", pos + 1, schedule.order()[pos], e);
+        println!(
+            "  E[X_{}] (task T{}) = {:.4}",
+            pos + 1,
+            schedule.order()[pos],
+            e
+        );
     }
 
     // Replay the paper's single-fault story: the fault strikes 3 s into
@@ -55,10 +66,16 @@ fn main() {
         &wf,
         &schedule,
         &mut injector,
-        SimConfig { downtime: 0.0, record_trace: true },
+        SimConfig {
+            downtime: 0.0,
+            record_trace: true,
+        },
     );
     println!("\n--- single fault during T5 (t = 55 s) ---");
-    println!("makespan: {} s, faults: {}", result.makespan, result.n_faults);
+    println!(
+        "makespan: {} s, faults: {}",
+        result.makespan, result.n_faults
+    );
     println!(
         "recovery time {} s (checkpoints of T3, T4), re-execution {} s (T1, T2)",
         result.time_recovery, result.time_rework

@@ -20,11 +20,7 @@ fn main() {
 
     // Task weights (seconds); checkpointing a task costs 10 % of its weight.
     let weights = vec![120.0, 300.0, 250.0, 400.0, 350.0, 60.0];
-    let wf = Workflow::with_cost_rule(
-        dag,
-        weights,
-        CostRule::ProportionalToWork { ratio: 0.1 },
-    );
+    let wf = Workflow::with_cost_rule(dag, weights, CostRule::ProportionalToWork { ratio: 0.1 });
 
     // A 256-processor platform whose processors have a 75-hour MTBF each:
     // the application sees MTBF ≈ 1054 s.
@@ -41,7 +37,10 @@ fn main() {
     // Run all 14 heuristics of the paper and rank them.
     let mut results = run_all(&wf, model, SweepPolicy::Exhaustive, 42);
     results.sort_by(|a, b| a.expected_makespan.total_cmp(&b.expected_makespan));
-    println!("{:<12} {:>12} {:>8} {:>8}", "heuristic", "E[makespan]", "T/Tinf", "#ckpt");
+    println!(
+        "{:<12} {:>12} {:>8} {:>8}",
+        "heuristic", "E[makespan]", "T/Tinf", "#ckpt"
+    );
     for r in &results {
         println!(
             "{:<12} {:>12.1} {:>8.4} {:>8}",

@@ -61,7 +61,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn req<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(|s| s.as_str()).ok_or_else(|| format!("missing --{name}"))
+    flags
+        .get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing --{name}"))
 }
 
 fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
@@ -80,16 +83,22 @@ fn parse_kind(s: &str) -> Result<PegasusKind, String> {
 
 fn parse_rule(s: &str) -> Result<CostRule, String> {
     if let Some(ratio) = s.strip_suffix('w') {
-        Ok(CostRule::ProportionalToWork { ratio: parse_f64(ratio, "rule ratio")? })
+        Ok(CostRule::ProportionalToWork {
+            ratio: parse_f64(ratio, "rule ratio")?,
+        })
     } else if let Some(v) = s.strip_suffix('s') {
-        Ok(CostRule::Constant { value: parse_f64(v, "rule constant")? })
+        Ok(CostRule::Constant {
+            value: parse_f64(v, "rule constant")?,
+        })
     } else {
         Err(format!("bad cost rule (want e.g. 0.1w or 5s): {s}"))
     }
 }
 
 fn parse_heuristic(s: &str) -> Result<Heuristic, String> {
-    let (lin, ckpt) = s.split_once('-').ok_or_else(|| format!("bad heuristic: {s}"))?;
+    let (lin, ckpt) = s
+        .split_once('-')
+        .ok_or_else(|| format!("bad heuristic: {s}"))?;
     let lin = match lin {
         "DF" => LinearizationStrategy::DepthFirst,
         "BF" => LinearizationStrategy::BreadthFirst,
@@ -110,18 +119,15 @@ fn parse_heuristic(s: &str) -> Result<Heuristic, String> {
 }
 
 fn load_workflow(path: &str) -> Result<Workflow, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let spec =
-        WorkflowSpec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    spec.build().map_err(|e| format!("building workflow from {path}: {e}"))
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec = WorkflowSpec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    spec.build()
+        .map_err(|e| format!("building workflow from {path}: {e}"))
 }
 
 fn load_schedule(path: &str, wf: &Workflow) -> Result<Schedule, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let s: Schedule =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let s: Schedule = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     // Re-validate against this workflow.
     Schedule::new(wf, s.order().to_vec(), s.checkpoints().clone())
         .map_err(|e| format!("schedule invalid for workflow: {e}"))
@@ -145,8 +151,9 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let kind = parse_kind(req(flags, "kind")?)?;
     let n: usize = req(flags, "n")?.parse().map_err(|_| "bad -n".to_string())?;
     let rule = parse_rule(flags.get("rule").map(|s| s.as_str()).unwrap_or("0.1w"))?;
-    let seed: u64 =
-        flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
     let (wf, labels) = kind.generate_labeled(n, rule, seed);
     let spec = WorkflowSpec::from_workflow(&wf, Some(&labels));
     let json = spec.to_json();
@@ -180,8 +187,9 @@ fn workflow_from_flags(flags: &HashMap<String, String>) -> Result<Workflow, Stri
         let kind = parse_kind(req(flags, "kind")?)?;
         let n: usize = req(flags, "n")?.parse().map_err(|_| "bad -n".to_string())?;
         let rule = parse_rule(flags.get("rule").map(|s| s.as_str()).unwrap_or("0.1w"))?;
-        let seed: u64 =
-            flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
+        let seed: u64 = flags
+            .get("seed")
+            .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
         Ok(kind.generate(n, rule, seed))
     }
 }
@@ -197,8 +205,9 @@ fn model_from_flags(flags: &HashMap<String, String>) -> Result<FaultModel, Strin
 fn solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let wf = workflow_from_flags(flags)?;
     let model = model_from_flags(flags)?;
-    let seed: u64 =
-        flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
     let which = flags.get("heuristic").map(|s| s.as_str()).unwrap_or("all");
     let mut results = if which == "all" {
         run_all(&wf, model, SweepPolicy::Exhaustive, seed)
@@ -247,12 +256,16 @@ fn eval(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("checkpoints = {}", schedule.n_checkpoints());
     // Top contributors.
-    let mut by_cost: Vec<(usize, f64)> =
-        report.per_position.iter().cloned().enumerate().collect();
+    let mut by_cost: Vec<(usize, f64)> = report.per_position.iter().cloned().enumerate().collect();
     by_cost.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("heaviest positions (task: E[X]):");
     for (pos, e) in by_cost.into_iter().take(5) {
-        println!("  T{} @ position {}: {:.3} s", schedule.order()[pos], pos + 1, e);
+        println!(
+            "  T{} @ position {}: {:.3} s",
+            schedule.order()[pos],
+            pos + 1,
+            e
+        );
     }
     Ok(())
 }
@@ -264,8 +277,9 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let trials: usize = flags
         .get("trials")
         .map_or(Ok(10_000), |s| s.parse().map_err(|_| "bad --trials"))?;
-    let seed: u64 =
-        flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
     let spec = TrialSpec::new(trials, seed);
     let stats = match flags.get("weibull-shape") {
         None => run_trials(&wf, &schedule, model, spec),
@@ -290,7 +304,14 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         stats.makespan.max()
     );
     println!("mean faults = {:.3}", stats.faults.mean());
-    let labels = ["work", "rework", "recovery", "checkpoint", "wasted", "downtime"];
+    let labels = [
+        "work",
+        "rework",
+        "recovery",
+        "checkpoint",
+        "wasted",
+        "downtime",
+    ];
     println!("mean time breakdown:");
     for (l, v) in labels.iter().zip(stats.mean_breakdown) {
         println!("  {l:<11} {v:>12.3} s");

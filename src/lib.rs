@@ -69,9 +69,9 @@ pub use dagchkpt_workflows as workflows;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use dagchkpt_core::{
-        evaluate, expected_makespan, linearize, optimize_checkpoints, run_all,
-        run_heuristic, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
-        Schedule, SweepPolicy, TaskCosts, Workflow,
+        evaluate, expected_makespan, linearize, optimize_checkpoints, run_all, run_heuristic,
+        CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy, Schedule, SweepPolicy,
+        TaskCosts, Workflow,
     };
     pub use dagchkpt_dag::{Dag, DagBuilder, FixedBitSet, NodeId};
     pub use dagchkpt_failure::{FaultModel, Platform};
@@ -85,11 +85,7 @@ mod tests {
 
     #[test]
     fn facade_exposes_the_whole_pipeline() {
-        let wf = PegasusKind::Montage.generate(
-            50,
-            CostRule::ProportionalToWork { ratio: 0.1 },
-            1,
-        );
+        let wf = PegasusKind::Montage.generate(50, CostRule::ProportionalToWork { ratio: 0.1 }, 1);
         let model = FaultModel::new(1e-3, 0.0);
         let results = run_all(&wf, model, SweepPolicy::Exhaustive, 1);
         assert_eq!(results.len(), 14);

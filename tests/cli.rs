@@ -25,7 +25,11 @@ fn generate_solve_eval_simulate_roundtrip() {
         .args(["--out", wf.to_str().unwrap()])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(wf.exists());
 
     let out = bin()
@@ -34,7 +38,11 @@ fn generate_solve_eval_simulate_roundtrip() {
         .args(["--out", sched.to_str().unwrap()])
         .output()
         .expect("run solve");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("DF-CkptW"), "{stdout}");
 
@@ -43,7 +51,11 @@ fn generate_solve_eval_simulate_roundtrip() {
         .args(["--schedule", sched.to_str().unwrap(), "--lambda", "1e-3"])
         .output()
         .expect("run eval");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("E[makespan]"), "{stdout}");
     assert!(stdout.contains("T/Tinf"), "{stdout}");
@@ -54,7 +66,11 @@ fn generate_solve_eval_simulate_roundtrip() {
         .args(["--lambda", "1e-3", "--trials", "2000", "--seed", "1"])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // The z-score line proves analytic and simulated agree in-band.
     let z_line = stdout.lines().find(|l| l.contains("z =")).expect("z line");
@@ -74,10 +90,18 @@ fn solve_from_kind_without_file() {
         .args(["solve", "--kind", "ligo", "-n", "40", "--lambda", "1e-3"])
         .output()
         .expect("run solve");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // All 14 heuristics reported.
-    assert_eq!(stdout.lines().filter(|l| l.contains("Ckpt")).count(), 14, "{stdout}");
+    assert_eq!(
+        stdout.lines().filter(|l| l.contains("Ckpt")).count(),
+        14,
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -86,7 +110,9 @@ fn bad_usage_fails_with_help() {
         vec!["frobnicate"],
         vec!["solve", "--lambda", "1e-3"], // no workflow source
         vec!["generate", "--kind", "nosuch", "-n", "50"],
-        vec!["generate", "--kind", "montage", "-n", "50", "--rule", "banana"],
+        vec![
+            "generate", "--kind", "montage", "-n", "50", "--rule", "banana",
+        ],
     ] {
         let out = bin().args(&args).output().expect("run");
         assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
@@ -119,9 +145,20 @@ fn weibull_simulation_flag() {
         .arg(&wf)
         .args(["--schedule"])
         .arg(&sched)
-        .args(["--lambda", "1e-3", "--trials", "500", "--weibull-shape", "0.7"])
+        .args([
+            "--lambda",
+            "1e-3",
+            "--trials",
+            "500",
+            "--weibull-shape",
+            "0.7",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_dir_all(dir).ok();
 }

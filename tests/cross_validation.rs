@@ -1,0 +1,125 @@
+//! Statistical cross-validation of the paper's central correctness claim:
+//! the analytic expected makespan of Theorem 3 matches the Monte-Carlo mean
+//! of operational schedule execution under exponential faults.
+//!
+//! For each instance the sample mean over `TRIALS` simulations must lie
+//! within a 3-sigma confidence band (3 standard errors) of the analytic
+//! value. Both the simulator and the instance generation are seeded, so
+//! every run draws exactly the same trials and the assertions are
+//! deterministic — the band is about honest statistical distance, not about
+//! taming run-to-run flakiness.
+
+use dagchkpt::core::evaluator;
+use dagchkpt::dag::generators;
+use dagchkpt::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const TRIALS: usize = 20_000;
+
+/// A small random layered DAG with gamma-free random costs.
+fn random_workflow(seed: u64, n: usize) -> Workflow {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dag = generators::layered_random(&mut rng, n, 4, 0.35);
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(2.0..40.0)).collect();
+    Workflow::with_cost_rule(dag, weights, CostRule::ProportionalToWork { ratio: 0.1 })
+}
+
+/// Solves the instance with the paper's best heuristic (DF + CkptW sweep)
+/// and cross-validates analytic vs Monte-Carlo on the resulting schedule.
+fn assert_within_3_sigma(wf: &Workflow, model: FaultModel, seed: u64, label: &str) {
+    let h = Heuristic {
+        lin: LinearizationStrategy::DepthFirst,
+        ckpt: CheckpointStrategy::ByDecreasingWork,
+    };
+    let r = run_heuristic(wf, model, h, SweepPolicy::Exhaustive);
+    let report = evaluator::evaluate(wf, model, &r.schedule);
+    let stats = run_trials(wf, &r.schedule, model, TrialSpec::new(TRIALS, seed));
+    let sem = stats.makespan.sem();
+    assert!(sem > 0.0, "{label}: degenerate sample");
+    let z = (stats.makespan.mean() - report.expected_makespan) / sem;
+    assert!(
+        z.abs() <= 3.0,
+        "{label}: Monte-Carlo mean {} ± {sem} is {z:.2} sigma from analytic {}",
+        stats.makespan.mean(),
+        report.expected_makespan,
+    );
+    // The expected fault count of Theorem 3 must match the injector too.
+    let fz = (stats.faults.mean() - report.expected_faults) / stats.faults.sem();
+    assert!(
+        fz.abs() <= 3.0,
+        "{label}: fault count {} is {fz:.2} sigma from analytic {}",
+        stats.faults.mean(),
+        report.expected_faults,
+    );
+}
+
+#[test]
+fn random_dags_match_theorem3_within_3_sigma() {
+    for (i, (n, lambda, downtime)) in [
+        (8, 3e-3, 0.0),
+        (12, 2e-3, 1.0),
+        (16, 1.5e-3, 2.0),
+        (20, 1e-3, 0.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let wf = random_workflow(1000 + i as u64, n);
+        let model = FaultModel::new(lambda, downtime);
+        assert_within_3_sigma(
+            &wf,
+            model,
+            31 + i as u64,
+            &format!("random dag #{i} (n={n})"),
+        );
+    }
+}
+
+#[test]
+fn structured_dags_match_theorem3_within_3_sigma() {
+    let cases: Vec<(Workflow, f64)> = vec![
+        (Workflow::uniform(generators::fork_join(5), 12.0, 1.2), 3e-3),
+        (Workflow::uniform(generators::grid(3, 4), 9.0, 0.9), 2e-3),
+        (
+            Workflow::with_cost_rule(
+                generators::paper_figure1(),
+                vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+                CostRule::Constant { value: 1.5 },
+            ),
+            4e-3,
+        ),
+    ];
+    for (i, (wf, lambda)) in cases.into_iter().enumerate() {
+        let model = FaultModel::new(lambda, 1.0);
+        assert_within_3_sigma(&wf, model, 77 + i as u64, &format!("structured #{i}"));
+    }
+}
+
+#[test]
+fn pegasus_workflow_matches_theorem3_within_3_sigma() {
+    let wf = PegasusKind::CyberShake.generate(40, CostRule::ProportionalToWork { ratio: 0.1 }, 5);
+    let model = FaultModel::new(5e-4, 2.0);
+    assert_within_3_sigma(&wf, model, 123, "cybershake-40");
+}
+
+/// The cross-validation holds identically on the sequential path — and the
+/// sequential statistics are bit-identical to the parallel ones, so the two
+/// assertions above and below are literally about the same numbers.
+#[test]
+fn sequential_path_reproduces_parallel_validation() {
+    let wf = random_workflow(2024, 10);
+    let model = FaultModel::new(2e-3, 1.0);
+    let order = dagchkpt::core::linearize(&wf, LinearizationStrategy::DepthFirst);
+    let s = Schedule::always(&wf, order).unwrap();
+    let par = run_trials(&wf, &s, model, TrialSpec::new(5_000, 9));
+    let seq = run_trials(&wf, &s, model, TrialSpec::sequential(5_000, 9));
+    assert_eq!(par.makespan.mean().to_bits(), seq.makespan.mean().to_bits());
+    assert_eq!(
+        par.makespan.stddev().to_bits(),
+        seq.makespan.stddev().to_bits()
+    );
+    let analytic = evaluator::expected_makespan(&wf, model, &s);
+    let z = (seq.makespan.mean() - analytic) / seq.makespan.sem();
+    assert!(z.abs() <= 3.0, "sequential validation off: {z:.2} sigma");
+}

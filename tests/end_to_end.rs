@@ -22,15 +22,26 @@ fn full_pipeline_on_every_application() {
             assert!(r.expected_makespan >= tinf - 1e-9, "{kind}/{}", r.name);
             assert!(r.ratio.is_finite(), "{kind}/{}", r.name);
         }
-        let nvr = results.iter().find(|r| r.name == "DF-CkptNvr").expect("nvr");
-        let alws = results.iter().find(|r| r.name == "DF-CkptAlws").expect("alws");
-        assert!(best.expected_makespan <= nvr.expected_makespan + 1e-9, "{kind}");
-        assert!(best.expected_makespan <= alws.expected_makespan + 1e-9, "{kind}");
+        let nvr = results
+            .iter()
+            .find(|r| r.name == "DF-CkptNvr")
+            .expect("nvr");
+        let alws = results
+            .iter()
+            .find(|r| r.name == "DF-CkptAlws")
+            .expect("alws");
+        assert!(
+            best.expected_makespan <= nvr.expected_makespan + 1e-9,
+            "{kind}"
+        );
+        assert!(
+            best.expected_makespan <= alws.expected_makespan + 1e-9,
+            "{kind}"
+        );
 
         // Simulation agrees with the analytic value for the best schedule.
         let stats = run_trials(&wf, &best.schedule, model, TrialSpec::new(8_000, 17));
-        let z =
-            (stats.makespan.mean() - best.expected_makespan) / stats.makespan.sem();
+        let z = (stats.makespan.mean() - best.expected_makespan) / stats.makespan.sem();
         assert!(
             z.abs() < 5.0,
             "{kind}: MC {} ± {} vs analytic {} (z = {z:.2})",
@@ -90,8 +101,7 @@ fn fault_free_platform_makes_checkpoints_useless() {
 
 #[test]
 fn deeper_failure_rates_monotonically_hurt_best_heuristic() {
-    let wf =
-        PegasusKind::CyberShake.generate(60, CostRule::ProportionalToWork { ratio: 0.1 }, 9);
+    let wf = PegasusKind::CyberShake.generate(60, CostRule::ProportionalToWork { ratio: 0.1 }, 9);
     let mut last = 0.0;
     for lambda in [0.0, 1e-4, 3e-4, 1e-3, 3e-3] {
         let model = FaultModel::new(lambda, 0.0);
@@ -100,7 +110,10 @@ fn deeper_failure_rates_monotonically_hurt_best_heuristic() {
             .iter()
             .map(|r| r.expected_makespan)
             .fold(f64::INFINITY, f64::min);
-        assert!(best >= last - 1e-9, "λ={lambda}: best {best} < previous {last}");
+        assert!(
+            best >= last - 1e-9,
+            "λ={lambda}: best {best} < previous {last}"
+        );
         last = best;
     }
 }

@@ -93,7 +93,10 @@ fn corollary1_uniform_join_reduces_to_weight_order() {
         .filter(|&&v| uni_s.is_checkpointed(v))
         .map(|&v| wf.work(v))
         .collect();
-    assert!(ck.windows(2).all(|w| w[0] >= w[1]), "not weight-sorted: {ck:?}");
+    assert!(
+        ck.windows(2).all(|w| w[0] >= w[1]),
+        "not weight-sorted: {ck:?}"
+    );
 }
 
 #[test]
@@ -102,11 +105,17 @@ fn npc_reduction_solved_by_join_solver() {
     let inst = dagchkpt::core::npc::subset_sum_instance(&[2.0, 3.0, 5.0, 7.0], 10.0, 0.5);
     let (s, v) = join::solve_join_exact(&inst.workflow, inst.model, 8).expect("join");
     let expect = inst.t_min / inst.model.lambda();
-    assert!((v - expect).abs() / expect < 1e-9, "solver {v} vs bound {expect}");
+    assert!(
+        (v - expect).abs() / expect < 1e-9,
+        "solver {v} vs bound {expect}"
+    );
     let w_nckpt: f64 = (0..4)
         .map(NodeId::from)
         .filter(|&v| !s.is_checkpointed(v))
         .map(|v| inst.workflow.work(v))
         .sum();
-    assert_eq!(w_nckpt, 10.0, "non-checkpointed weight must equal the target");
+    assert_eq!(
+        w_nckpt, 10.0,
+        "non-checkpointed weight must equal the target"
+    );
 }

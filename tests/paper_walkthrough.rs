@@ -20,8 +20,10 @@ fn setup() -> (Workflow, Schedule) {
             })
             .collect(),
     );
-    let order: Vec<NodeId> =
-        [0u32, 3, 1, 2, 4, 5, 6, 7].iter().map(|&i| NodeId(i)).collect();
+    let order: Vec<NodeId> = [0u32, 3, 1, 2, 4, 5, 6, 7]
+        .iter()
+        .map(|&i| NodeId(i))
+        .collect();
     let mut ckpt = FixedBitSet::new(8);
     ckpt.insert(3);
     ckpt.insert(4);
@@ -34,7 +36,15 @@ fn single_fault_recovery_sequence_matches_the_text() {
     let (wf, s) = setup();
     // Fault 3 s into T5 (which starts at t = 52 after T0 T3+c T1 T2 T4+c).
     let mut inj = TraceInjector::new(vec![55.0]);
-    let r = simulate(&wf, &s, &mut inj, SimConfig { downtime: 0.0, record_trace: true });
+    let r = simulate(
+        &wf,
+        &s,
+        &mut inj,
+        SimConfig {
+            downtime: 0.0,
+            record_trace: true,
+        },
+    );
     assert_eq!(r.n_faults, 1);
     // "To re-execute T5, one needs to recover the checkpointed output of
     // T3. To execute T6, one then needs to recover the checkpointed output
@@ -85,7 +95,10 @@ fn checkpointing_t3_t4_beats_no_checkpoints_at_moderate_lambda() {
         model,
         &Schedule::never(&wf, s.order().to_vec()).expect("valid"),
     );
-    assert!(with < without, "checkpoints should pay off: {with} vs {without}");
+    assert!(
+        with < without,
+        "checkpoints should pay off: {with} vs {without}"
+    );
 }
 
 #[test]
@@ -96,8 +109,14 @@ fn evaluator_is_linearization_sensitive_on_figure1() {
     let model = FaultModel::new(5e-3, 0.0);
     let a = expected_makespan(&wf, model, &s);
     // A breadth-first-ish alternative order.
-    let alt: Vec<NodeId> = [0u32, 1, 3, 2, 5, 4, 6, 7].iter().map(|&i| NodeId(i)).collect();
+    let alt: Vec<NodeId> = [0u32, 1, 3, 2, 5, 4, 6, 7]
+        .iter()
+        .map(|&i| NodeId(i))
+        .collect();
     let s2 = Schedule::new(&wf, alt, s.checkpoints().clone()).expect("valid");
     let b = expected_makespan(&wf, model, &s2);
-    assert!((a - b).abs() > 1e-6, "orders are indistinguishable: {a} vs {b}");
+    assert!(
+        (a - b).abs() > 1e-6,
+        "orders are indistinguishable: {a} vs {b}"
+    );
 }

@@ -21,10 +21,7 @@ fn shortcut_wf() -> (Workflow, Workflow) {
         TaskCosts::new(10.0, 1.0, 1.0),  // T1: checkpointed middle task
         TaskCosts::new(10.0, 0.0, 0.0),  // T2: consumes T0 AND T1
     ];
-    (
-        Workflow::new(dag, costs.clone()),
-        Workflow::new(red, costs),
-    )
+    (Workflow::new(dag, costs.clone()), Workflow::new(red, costs))
 }
 
 #[test]

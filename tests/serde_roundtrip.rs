@@ -27,8 +27,8 @@ fn workflow_spec_preserves_evaluation_exactly() {
 fn schedule_serializes_with_serde() {
     let wf = PegasusKind::Montage.generate(50, CostRule::Constant { value: 2.0 }, 3);
     let order = dagchkpt::core::linearize(&wf, LinearizationStrategy::DepthFirst);
-    let s = Schedule::new(&wf, order, FixedBitSet::from_indices(50, [0usize, 7, 13]))
-        .expect("valid");
+    let s =
+        Schedule::new(&wf, order, FixedBitSet::from_indices(50, [0usize, 7, 13])).expect("valid");
     let json = serde_json::to_string(&s).unwrap();
     let back: Schedule = serde_json::from_str(&json).unwrap();
     assert_eq!(back, s);

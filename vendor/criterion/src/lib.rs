@@ -1,0 +1,244 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion), providing
+//! the subset of the API this workspace's benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, `BenchmarkId::from_parameter`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed samples
+//! under a fixed wall-clock budget, reporting mean / min / max per
+//! benchmark. No statistics files, no HTML reports, no CLI parsing — but
+//! relative comparisons (e.g. sequential vs parallel Monte-Carlo trials)
+//! are directly readable from the printed table.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Wall-clock budget spent warming up each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(80);
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering just the parameter (`group/param`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter (`group/name/param`).
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Runs closures and accumulates timing samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the sample budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: establishes caches and an iteration-time estimate.
+        let warm_start = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < WARMUP_BUDGET && warm_iters < 1_000 {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            one = t.elapsed();
+            warm_iters += 1;
+        }
+        // Measurement: one sample per call, until the budget runs out.
+        let start = Instant::now();
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if start.elapsed() + one > self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let n = self.samples.len() as u32;
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / n;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{label:<50} time: [{} {} {}]  ({n} samples)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stand-in sizes samples by a
+    /// wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: MEASURE_BUDGET,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) -> &mut Self {
+        let id = id.to_string();
+        self.run(&id, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.id.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happened eagerly).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: MEASURE_BUDGET,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of the std
+/// implementation, which the real criterion also uses on recent toolchains).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(5),
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(!b.samples.is_empty());
+        b.report("test/add");
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains(" s"));
+    }
+}

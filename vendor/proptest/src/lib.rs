@@ -1,0 +1,315 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest), supporting
+//! the subset of the API this workspace uses:
+//!
+//! * the [`proptest!`] macro with `name in strategy` arguments and an
+//!   optional `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * range strategies (`0u64..400`, `0.0f64..1.0`, inclusive ranges);
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate: no shrinking (the failing case's test
+//! name and case index are reported instead), and the default case count is
+//! 64 (override per-block with `with_cases` or globally with the
+//! `PROPTEST_CASES` environment variable).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test random source, delegating to the sibling `rand`
+/// stand-in's `SmallRng` so there is a single PRNG implementation in tree.
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Seeds from a test's fully qualified name (FNV-1a hash), so every
+    /// test gets a distinct but reproducible stream.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Uniform in `[0, span)` (`span > 0`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.rng.gen_range(0..span)
+    }
+}
+
+/// Per-block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override, if set.
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can push `start + u·span` up to `end`; stay half-open.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                let off = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of values from `elem` with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with up to `size.end - 1` draws.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` of values from `elem`; draws a length in `size`, so the
+    /// set may be smaller when draws collide (as in the real crate's
+    /// minimum-size-0 usage).
+    pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let draws = self.size.clone().sample(rng);
+            (0..draws).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// `assert!` within a property (no shrinking; panics with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// `assert_eq!` within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::resolve_cases(__cfg.cases);
+                let mut __rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (re-run is \
+                             deterministic; cases are generated in order)",
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case,
+                            __cases,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` block macro: defines one `#[test]` per contained `fn`,
+/// each running its body over random samples of the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// The crate's usual glob import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.5f64..2.5, z in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        fn collections_respect_sizes(
+            v in collection::vec(0u32..100, 2..7),
+            s in collection::btree_set(0usize..50, 0..10),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = super::TestRng::deterministic("x::y");
+        let mut b = super::TestRng::deterministic("x::y");
+        let mut c = super::TestRng::deterministic("x::z");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

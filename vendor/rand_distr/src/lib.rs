@@ -1,0 +1,182 @@
+//! Offline stand-in for [`rand_distr` 0.4](https://docs.rs/rand_distr/0.4),
+//! providing the [`Distribution`] trait plus the [`Weibull`] and [`Gamma`]
+//! samplers this workspace uses.
+//!
+//! Weibull sampling is exact inverse-CDF; Gamma uses Marsaglia–Tsang
+//! squeeze sampling (with the Ahrens–Dieter boost for `shape < 1`), the same
+//! family of algorithms as the real crate.
+
+use rand::{RngCore, Standard};
+
+/// Types that can sample values of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Weibull distribution with `scale` λ and `shape` k.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull<F = f64> {
+    scale: F,
+    inv_shape: F,
+}
+
+impl Weibull<f64> {
+    /// Creates the distribution; both parameters must be finite and > 0.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(Error("Weibull scale must be finite and > 0"));
+        }
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(Error("Weibull shape must be finite and > 0"));
+        }
+        Ok(Weibull {
+            scale,
+            inv_shape: 1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Weibull<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: λ · (−ln(1−u))^{1/k}, u ∈ [0, 1).
+        let u: f64 = rand::Standard::sample_standard(rng);
+        self.scale * (-(1.0 - u).ln()).powf(self.inv_shape)
+    }
+}
+
+/// Gamma distribution with `shape` k and `scale` θ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma<F = f64> {
+    shape: F,
+    scale: F,
+}
+
+impl Gamma<f64> {
+    /// Creates the distribution; both parameters must be finite and > 0.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(Error("Gamma shape must be finite and > 0"));
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(Error("Gamma scale must be finite and > 0"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+/// One standard-normal draw (polar Box–Muller, first coordinate).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * f64::sample_standard(rng) - 1.0;
+        let v = 2.0 * f64::sample_standard(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Ahrens–Dieter boost: Γ(k) = Γ(k+1) · U^{1/k}.
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: self.scale,
+            };
+            let u: f64 = rand::Standard::sample_standard(rng);
+            // u == 0 would yield 0, which is a valid (measure-zero) draw.
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        // Marsaglia–Tsang (2000).
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u: f64 = rand::Standard::sample_standard(rng);
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2 {
+                return d * v * self.scale;
+            }
+            if u > 0.0 && u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn weibull_mean_matches_analytic() {
+        // k = 2 (Rayleigh): mean = λ·Γ(1.5) = λ·√π/2.
+        let d = Weibull::new(10.0, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = mean_of(200_000, || d.sample(&mut rng));
+        let expect = 10.0 * (std::f64::consts::PI).sqrt() / 2.0;
+        assert!((m - expect).abs() < 0.05 * expect, "{m} vs {expect}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(4.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let m = mean_of(200_000, || d.sample(&mut rng));
+        assert!((m - 4.0).abs() < 0.1, "{m}");
+    }
+
+    #[test]
+    fn gamma_mean_and_variance_match_analytic() {
+        for (shape, scale) in [(0.5, 3.0), (2.5, 1.5), (9.0, 0.25)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let mut rng = SmallRng::seed_from_u64(7);
+            let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let (em, ev) = (shape * scale, shape * scale * scale);
+            assert!(
+                (mean - em).abs() < 0.05 * em,
+                "shape {shape}: mean {mean} vs {em}"
+            );
+            assert!(
+                (var - ev).abs() < 0.1 * ev,
+                "shape {shape}: var {var} vs {ev}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, f64::NAN).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon), implementing the
+//! subset of the parallel-iterator API this workspace uses
+//! (`into_par_iter` / `par_iter` → `map` → `collect` / `fold` / `reduce`)
+//! on top of `std::thread::scope`.
+//!
+//! Work items are distributed over OS threads through a shared atomic
+//! cursor; results are written back into their original slot, so `collect`
+//! preserves input order and every pipeline is **deterministic regardless
+//! of thread count** — the property the Monte-Carlo validation tests rely
+//! on. `fold` partitions items into a fixed number of groups (independent
+//! of the thread count) so `fold(..).reduce(..)` chains are deterministic
+//! too.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for a batch of `n` items.
+fn thread_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving order.
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("no panics while holding slot lock")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let r = f(item);
+                *out[i].lock().expect("no panics while holding out lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker did not panic")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+/// An eagerly materialized "parallel iterator" over `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `map` adapter: items plus the mapping closure, evaluated at the sink.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Sinks that can be built from an ordered vector of results.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (evaluated in parallel at the sink).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Reduces materialized items sequentially (deterministic order).
+    pub fn reduce<ID: Fn() -> T, OP: Fn(T, T) -> T>(self, identity: ID, op: OP) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Runs the pipeline and collects results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(run_parallel(self.items, self.f))
+    }
+
+    /// Folds results into per-group accumulators (rayon's `fold`): the
+    /// number of groups is fixed, so downstream `reduce` is deterministic.
+    pub fn fold<A, ID, FF>(self, identity: ID, fold_op: FF) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        FF: Fn(A, R) -> A + Sync,
+    {
+        const GROUPS: usize = 16;
+        let results = run_parallel(self.items, self.f);
+        let per = results.len().div_ceil(GROUPS).max(1);
+        let mut groups: Vec<A> = Vec::new();
+        let mut it = results.into_iter().peekable();
+        while it.peek().is_some() {
+            let mut acc = identity();
+            for _ in 0..per {
+                match it.next() {
+                    Some(r) => acc = fold_op(acc, r),
+                    None => break,
+                }
+            }
+            groups.push(acc);
+        }
+        if groups.is_empty() {
+            groups.push(identity());
+        }
+        ParIter { items: groups }
+    }
+}
+
+/// Owned conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed conversion (`par_iter`) yielding `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Converts `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The crate's usual glob import.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of threads a batch of unbounded size would use.
+pub fn current_num_threads() -> usize {
+    thread_count(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice_matches_sequential() {
+        let data: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = data.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, data.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_is_deterministic_and_correct() {
+        let total = |n: usize| -> u64 {
+            (0..n)
+                .into_par_iter()
+                .map(|i| i as u64)
+                .fold(|| 0u64, |a, b| a + b)
+                .reduce(|| 0u64, |a, b| a + b)
+        };
+        assert_eq!(total(0), 0);
+        assert_eq!(total(1), 0);
+        assert_eq!(total(1000), 499_500);
+        assert_eq!(total(1000), total(1000));
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let n = seen.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(n > 1, "expected multiple worker threads, saw {n}");
+        }
+    }
+}

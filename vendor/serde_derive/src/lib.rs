@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`, written against the bare
+//! `proc_macro` API (no `syn`/`quote` available offline).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` per field);
+//! * tuple structs (one field → serde's newtype representation, more →
+//!   a sequence);
+//! * enums whose variants are unit or struct-like, in serde's default
+//!   externally-tagged representation (`"Variant"` /
+//!   `{"Variant": {fields}}`).
+//!
+//! Unsupported shapes (generics, tuple variants) produce a
+//! `compile_error!` naming the limitation rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name plus whether `#[serde(default)]` was present.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// A parsed enum variant.
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<Field>),
+}
+
+/// A parsed derive target.
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    Enum(String, Vec<Variant>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skips one attribute (`#` was just consumed); returns its body text.
+fn attr_body(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> String {
+    // Inner attributes (`#!`) do not occur on items handed to a derive.
+    match tokens.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+            let body = g.stream().to_string();
+            tokens.next();
+            body
+        }
+        _ => String::new(),
+    }
+}
+
+/// `true` when an attribute body is `serde (default)` (modulo spacing).
+fn is_serde_default(body: &str) -> bool {
+    let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+    compact == "serde(default)"
+}
+
+/// Parses the fields of a named-field brace group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        let mut default = false;
+        // Attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let body = attr_body(&mut tokens);
+                    if is_serde_default(&body) {
+                        default = true;
+                    } else if body.trim_start().starts_with("serde") {
+                        return Err(format!("unsupported serde attribute: #[{body}]"));
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Skip optional `pub(...)` restriction.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        fields.push(Field { name, default });
+    }
+}
+
+/// Counts top-level fields of a tuple-struct paren group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Parses the variants of an enum brace group.
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        // Attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let body = attr_body(&mut tokens);
+                    if body.trim_start().starts_with("serde") {
+                        return Err(format!("unsupported serde attribute: #[{body}]"));
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+            }
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                variants.push(Variant::Struct(name, fields));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by the offline serde_derive"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: consume the expression up to `,`.
+                tokens.next();
+                while let Some(t) = tokens.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    tokens.next();
+                }
+                variants.push(Variant::Unit(name));
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+    }
+}
+
+/// Parses a derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match tokens.next() {
+            None => return Err("empty derive input".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                attr_body(&mut tokens);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => return Err(format!("unexpected token before item: {other}")),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the offline serde_derive"
+            ));
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item::NamedStruct(name, parse_named_fields(g.stream())?))
+            } else {
+                Ok(Item::Enum(name, parse_variants(g.stream())?))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind == "struct" {
+                Ok(Item::TupleStruct(name, count_tuple_fields(g.stream())))
+            } else {
+                Err("unexpected parentheses after enum name".into())
+            }
+        }
+        other => Err(format!("expected item body, found {other:?}")),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "entries.push((::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(entries)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}\n"
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Seq(::std::vec![{}])\n\
+                 }}\n}}\n",
+                elems.join(", ")
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((::std::string::String::from(\"{n}\"), \
+                                 ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(inner))])\n\
+                             }},\n",
+                            pat = pat.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Generates the named-field construction `Name { f: ..., ... }` body used by
+/// both struct and struct-variant deserialization.
+fn gen_named_ctor(path: &str, ty_label: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fallback = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{n}\", \
+                 \"{ty_label}\"))",
+                n = f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match ::serde::map_get({map_expr}, \"{n}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {fallback},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let ctor = gen_named_ctor(name, name, fields, "entries");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let entries = v.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({ctor})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+             }}\n}}\n"
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let s = v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\", v))?;\n\
+                 if s.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"sequence of length {n}\", \"{name}\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({elems}))\n\
+                 }}\n}}\n",
+                elems = elems.join(", ")
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let ctor =
+                            gen_named_ctor(&format!("{name}::{vn}"), name, fields, "inner");
+                        struct_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let inner = payload.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", \"{name}::{vn}\", payload))?;\n\
+                             ::std::result::Result::Ok({ctor})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = &m[0];\n\
+                 match tag.as_str() {{\n\
+                 {struct_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"variant tag\", \"{name}\", other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
