@@ -11,6 +11,7 @@ use dagchkpt_core::{CostRule, LinearizationStrategy, Schedule};
 use dagchkpt_failure::{ExponentialInjector, FaultModel};
 use dagchkpt_sim::{run_trials, simulate, SimConfig, TrialSpec};
 use dagchkpt_workflows::PegasusKind;
+use rayon::prelude::*;
 use std::hint::black_box;
 
 fn setup(n: usize) -> (dagchkpt_core::Workflow, Schedule, FaultModel) {
@@ -53,5 +54,61 @@ fn bench_trial_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_trial, bench_trial_batch);
+/// Per-item overhead of the chunked executor on fine-grained work: 10⁵
+/// trivial map items, where dispatch cost dominates the payload. The
+/// sequential rows are the no-executor baselines; the chunked rows pay
+/// only a cursor claim + two lock acquisitions per *chunk* (the
+/// per-slot-locking era paid a `Mutex` round trip per *item*).
+fn bench_fine_grained_dispatch(c: &mut Criterion) {
+    const ITEMS: usize = 100_000;
+    let mut g = c.benchmark_group("simulator/fine_grained_dispatch");
+    g.sample_size(10);
+    g.bench_function("100k_map_sum_sequential_baseline", |b| {
+        b.iter(|| {
+            black_box(
+                (0..ITEMS)
+                    .map(|i| (black_box(i) as f64).sqrt())
+                    .sum::<f64>(),
+            )
+        });
+    });
+    g.bench_function("100k_map_fold_reduce_chunked", |b| {
+        b.iter(|| {
+            black_box(
+                (0..ITEMS)
+                    .into_par_iter()
+                    .map(|i| (black_box(i) as f64).sqrt())
+                    .fold(|| 0.0f64, |a, x| a + x)
+                    .reduce(|| 0.0, |a, b| a + b),
+            )
+        });
+    });
+    g.bench_function("100k_map_collect_sequential_baseline", |b| {
+        b.iter(|| {
+            black_box(
+                (0..ITEMS)
+                    .map(|i| (black_box(i) as f64).sqrt())
+                    .collect::<Vec<f64>>(),
+            )
+        });
+    });
+    g.bench_function("100k_map_collect_chunked", |b| {
+        b.iter(|| {
+            black_box(
+                (0..ITEMS)
+                    .into_par_iter()
+                    .map(|i| (black_box(i) as f64).sqrt())
+                    .collect::<Vec<f64>>(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_trial,
+    bench_trial_batch,
+    bench_fine_grained_dispatch
+);
 criterion_main!(benches);

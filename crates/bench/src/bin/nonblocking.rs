@@ -10,10 +10,9 @@ use dagchkpt_core::{
 };
 use dagchkpt_failure::{ExponentialInjector, FaultModel};
 use dagchkpt_sim::{
-    simulate, simulate_nonblocking, NonBlockingConfig, SimConfig, Stats, TrialSpec,
+    simulate, simulate_nonblocking, trial_metric_stats, NonBlockingConfig, SimConfig, TrialSpec,
 };
 use dagchkpt_workflows::PegasusKind;
-use rayon::prelude::*;
 
 fn main() {
     let opts = Options::from_args();
@@ -41,35 +40,28 @@ fn main() {
             SweepPolicy::Exhaustive,
         );
         let spec = TrialSpec::new(trials, opts.seed);
+        // Trial makespans stream into the chunk-folded accumulator shared
+        // with `run_trials` — O(chunks) memory, thread-count-invariant.
         let mean = |alpha: Option<f64>| -> f64 {
-            let stats = (0..trials)
-                .into_par_iter()
-                .map(|i| {
-                    let mut inj = ExponentialInjector::new(model.lambda(), spec.trial_seed(i));
-                    match alpha {
-                        None => {
-                            simulate(&wf, &opt.schedule, &mut inj, SimConfig::default()).makespan
-                        }
-                        Some(a) => {
-                            simulate_nonblocking(
-                                &wf,
-                                &opt.schedule,
-                                &mut inj,
-                                NonBlockingConfig {
-                                    compute_rate: a,
-                                    ..Default::default()
-                                },
-                            )
-                            .makespan
-                        }
+            trial_metric_stats(spec, |i| {
+                let mut inj = ExponentialInjector::new(model.lambda(), spec.trial_seed(i));
+                match alpha {
+                    None => simulate(&wf, &opt.schedule, &mut inj, SimConfig::default()).makespan,
+                    Some(a) => {
+                        simulate_nonblocking(
+                            &wf,
+                            &opt.schedule,
+                            &mut inj,
+                            NonBlockingConfig {
+                                compute_rate: a,
+                                ..Default::default()
+                            },
+                        )
+                        .makespan
                     }
-                })
-                .fold(Stats::new, |mut s, m| {
-                    s.push(m);
-                    s
-                })
-                .reduce(Stats::new, Stats::merge);
-            stats.mean()
+                }
+            })
+            .mean()
         };
         let blocking = mean(None);
         let alphas = [1.0, 0.9, 0.8, 0.6];

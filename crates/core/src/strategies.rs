@@ -156,7 +156,9 @@ pub fn local_search(
         evaluator::expected_makespan(wf, model, &base.with_checkpoints(current.clone()));
     let mut evaluated = 1usize;
     for _ in 0..max_rounds {
-        let candidates: Vec<(usize, f64)> = (0..n)
+        // Chunk-folded argmin: candidate evaluations stream into O(chunks)
+        // running minima instead of an O(n) materialized vector.
+        let best = (0..n)
             .into_par_iter()
             .map(|i| {
                 let mut set = current.clone();
@@ -164,14 +166,12 @@ pub fn local_search(
                     set.remove(i);
                 }
                 let s = base.with_checkpoints(set);
-                (i, evaluator::expected_makespan(wf, model, &s))
+                (i, evaluator::expected_makespan(wf, model, &s), ())
             })
-            .collect();
-        evaluated += candidates.len();
-        let Some(&(flip, e)) = candidates
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("comparable"))
-        else {
+            .fold(|| None, |best, cand| better_candidate(best, Some(cand)))
+            .reduce(|| None, better_candidate);
+        evaluated += n;
+        let Some((flip, e, ())) = best else {
             break;
         };
         if e >= best_e - 1e-12 * best_e.max(1.0) {
@@ -188,6 +188,28 @@ pub fn local_search(
         schedule,
         expected_makespan: best_e,
         evaluated,
+    }
+}
+
+/// Argmin combiner shared by [`sweep`] and [`local_search`] candidates
+/// `(index, expected makespan, payload)`: lower makespan wins, ties
+/// toward the smaller index (matching the pre-chunked `min_by`/sort
+/// behavior). Associative with a deterministic result for any grouping,
+/// so chunked fold/reduce chains are stable.
+#[allow(clippy::type_complexity)]
+fn better_candidate<T>(
+    a: Option<(usize, f64, T)>,
+    b: Option<(usize, f64, T)>,
+) -> Option<(usize, f64, T)> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(a), Some(b)) => {
+            if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+                Some(b)
+            } else {
+                Some(a)
+            }
+        }
     }
 }
 
@@ -296,7 +318,9 @@ pub fn optimize_checkpoints(
 }
 
 /// Sweeps candidate budgets, evaluating each schedule with the Theorem-3
-/// evaluator in parallel; ties broken toward smaller `N`.
+/// evaluator in parallel; ties broken toward smaller `N`. Candidate
+/// schedules stream through a chunked fold into O(chunks) running minima —
+/// the sweep never materializes one schedule per budget.
 fn sweep(
     wf: &Workflow,
     model: FaultModel,
@@ -313,13 +337,12 @@ fn sweep(
         (n_ckpt, e, s)
     };
 
-    let pick_best = |mut results: Vec<(usize, f64, Schedule)>| -> (usize, f64, Schedule) {
-        results.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("makespans are comparable")
-                .then(a.0.cmp(&b.0))
-        });
-        results.into_iter().next().expect("at least one candidate")
+    let best_of = |candidates: Vec<usize>| -> Option<(usize, f64, Schedule)> {
+        candidates
+            .into_par_iter()
+            .map(eval_n)
+            .fold(|| None, |best, cand| better_candidate(best, Some(cand)))
+            .reduce(|| None, better_candidate)
     };
 
     let candidates: Vec<usize> = match policy {
@@ -334,9 +357,8 @@ fn sweep(
         }
     };
 
-    let results: Vec<(usize, f64, Schedule)> = candidates.par_iter().map(|&k| eval_n(k)).collect();
-    let mut evaluated = results.len();
-    let (mut best_n, mut best_e, mut best_s) = pick_best(results);
+    let mut evaluated = candidates.len();
+    let (mut best_n, mut best_e, mut best_s) = best_of(candidates).expect("at least one candidate");
 
     // Local refinement around the coarse winner for strided sweeps.
     if let SweepPolicy::Strided { stride } = policy {
@@ -345,10 +367,8 @@ fn sweep(
             let lo = best_n.saturating_sub(stride - 1);
             let hi = (best_n + stride - 1).min(n);
             let refine: Vec<usize> = (lo..=hi).filter(|&k| k != best_n).collect();
-            let results: Vec<(usize, f64, Schedule)> =
-                refine.par_iter().map(|&k| eval_n(k)).collect();
-            evaluated += results.len();
-            for (k, e, s) in results {
+            evaluated += refine.len();
+            if let Some((k, e, s)) = best_of(refine) {
                 if e < best_e || (e == best_e && k < best_n) {
                     best_n = k;
                     best_e = e;

@@ -32,7 +32,7 @@ pub mod timeline;
 pub use engine::{simulate, SimConfig, SimResult};
 pub use events::{Event, UnitKind};
 pub use memory::MemoryState;
-pub use montecarlo::{run_trials, run_trials_with, TrialSpec};
+pub use montecarlo::{run_trials, run_trials_with, trial_metric_stats, TrialSpec, TrialStats};
 pub use nonblocking::{simulate_nonblocking, NonBlockingConfig};
 pub use plan::{recovery_plan, recovery_plan_with, PlanStep};
 pub use stats::Stats;

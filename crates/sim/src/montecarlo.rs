@@ -1,4 +1,12 @@
 //! Monte-Carlo trial runner: many independent simulations in parallel.
+//!
+//! Trial results stream into per-chunk accumulators ([`Stats`] plus a
+//! time-breakdown sum) as they are produced, so memory is `O(chunks)` —
+//! never an `O(trials)` buffer of [`SimResult`]s. Chunk boundaries come
+//! from [`rayon::fold_chunk_len`], a pure function of the trial count, and
+//! accumulators merge in chunk order; the sequential path replicates the
+//! exact same grouping, which is why parallel and sequential statistics are
+//! bit-identical for any thread count.
 
 use crate::engine::{simulate, SimConfig, SimResult};
 use crate::stats::Stats;
@@ -17,9 +25,10 @@ pub struct TrialSpec {
     pub seed: u64,
     /// Run trials on the rayon thread pool (`true`, the default) or on the
     /// calling thread (`false`). Because every trial owns a seed derived
-    /// only from `(seed, i)` and results are aggregated in trial order,
-    /// both paths produce **bit-identical** statistics — the parallel path
-    /// is purely a wall-clock optimization
+    /// only from `(seed, i)`, and both paths fold results into per-chunk
+    /// accumulators over the same item-count-derived chunk boundaries
+    /// (merged in chunk order), they produce **bit-identical** statistics
+    /// — the parallel path is purely a wall-clock optimization
     /// (`tests::parallel_and_sequential_paths_are_bit_identical`).
     pub parallel: bool,
 }
@@ -68,8 +77,98 @@ pub struct TrialStats {
     /// Fault-count statistics.
     pub faults: Stats,
     /// Mean time breakdown (work, rework, recovery, checkpoint, wasted,
-    /// downtime), averaged over trials.
+    /// downtime), averaged over trials. All `NaN` when zero trials were
+    /// run — coherent with [`Stats::mean`], which is also `NaN` when
+    /// empty.
     pub mean_breakdown: [f64; 6],
+}
+
+/// Per-chunk streaming accumulator: two [`Stats`] plus the running
+/// breakdown sum. `O(1)` per chunk, merged in chunk order.
+#[derive(Debug, Clone, Copy)]
+struct TrialAccum {
+    makespan: Stats,
+    faults: Stats,
+    breakdown: [f64; 6],
+}
+
+impl TrialAccum {
+    /// The fold identity: everything empty.
+    fn identity() -> Self {
+        TrialAccum {
+            makespan: Stats::new(),
+            faults: Stats::new(),
+            breakdown: [0.0; 6],
+        }
+    }
+
+    /// Absorbs one trial result.
+    fn push(mut self, r: SimResult) -> Self {
+        self.makespan.push(r.makespan);
+        self.faults.push(r.n_faults as f64);
+        for (acc, v) in self.breakdown.iter_mut().zip([
+            r.time_work,
+            r.time_rework,
+            r.time_recovery,
+            r.time_checkpoint,
+            r.time_wasted,
+            r.time_downtime,
+        ]) {
+            *acc += v;
+        }
+        self
+    }
+
+    /// Merges a later chunk's accumulator (order-sensitive in the last
+    /// floating-point bits, hence always called in chunk order).
+    fn merge(mut self, other: TrialAccum) -> Self {
+        self.makespan = self.makespan.merge(other.makespan);
+        self.faults = self.faults.merge(other.faults);
+        for (a, b) in self.breakdown.iter_mut().zip(other.breakdown) {
+            *a += b;
+        }
+        self
+    }
+
+    /// Final aggregate; the empty case yields `NaN` means throughout.
+    fn into_trial_stats(self) -> TrialStats {
+        let n = self.makespan.n();
+        let mean_breakdown = if n == 0 {
+            [f64::NAN; 6]
+        } else {
+            self.breakdown.map(|v| v / n as f64)
+        };
+        TrialStats {
+            makespan: self.makespan,
+            faults: self.faults,
+            mean_breakdown,
+        }
+    }
+}
+
+/// Sequential twin of the executor's chunked `fold(..).reduce(..)`: the
+/// same [`rayon::fold_chunk_len`] boundaries, per-chunk accumulation, and
+/// in-order merge — the bit-identity anchor for
+/// `TrialSpec { parallel: false }`.
+fn fold_sequential_chunks<A>(
+    n: usize,
+    identity: impl Fn() -> A,
+    push: impl Fn(A, usize) -> A,
+    merge: impl Fn(A, A) -> A,
+) -> A {
+    let chunk = rayon::fold_chunk_len(n);
+    let mut merged = identity();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        let mut acc = identity();
+        for i in lo..hi {
+            acc = push(acc, i);
+        }
+        merged = merge(merged, acc);
+        lo = hi;
+    }
+    merged
 }
 
 /// Runs `spec.trials` simulations under the exponential `model`
@@ -87,6 +186,10 @@ pub fn run_trials(
 
 /// Generic trial runner: `make_injector(seed)` builds the fault source for
 /// each trial (exponential, Weibull, traces, …).
+///
+/// With `spec.trials == 0` the aggregate is coherently empty: both [`Stats`]
+/// have `n() == 0` (so their means are `NaN`) and `mean_breakdown` is all
+/// `NaN`.
 pub fn run_trials_with<I, F>(
     wf: &Workflow,
     schedule: &Schedule,
@@ -106,37 +209,52 @@ where
         let mut inj = make_injector(spec.trial_seed(i));
         simulate(wf, schedule, &mut inj, config)
     };
-    // Both paths produce results in trial order and aggregate below in the
-    // same sequential fold, so the statistics are bit-identical.
-    let results: Vec<SimResult> = if spec.parallel {
-        (0..spec.trials).into_par_iter().map(run_one).collect()
+    // Both paths fold trial results into per-chunk accumulators over the
+    // same fixed chunk boundaries and merge them in chunk order, so the
+    // statistics are bit-identical and memory stays O(chunks).
+    let acc = if spec.parallel {
+        (0..spec.trials)
+            .into_par_iter()
+            .map(run_one)
+            .fold(TrialAccum::identity, TrialAccum::push)
+            .reduce(TrialAccum::identity, TrialAccum::merge)
     } else {
-        (0..spec.trials).map(run_one).collect()
+        fold_sequential_chunks(
+            spec.trials,
+            TrialAccum::identity,
+            |acc, i| acc.push(run_one(i)),
+            TrialAccum::merge,
+        )
     };
+    acc.into_trial_stats()
+}
 
-    let mut makespan = Stats::new();
-    let mut faults = Stats::new();
-    let mut breakdown = [0.0f64; 6];
-    for r in &results {
-        makespan.push(r.makespan);
-        faults.push(r.n_faults as f64);
-        for (acc, v) in breakdown.iter_mut().zip([
-            r.time_work,
-            r.time_rework,
-            r.time_recovery,
-            r.time_checkpoint,
-            r.time_wasted,
-            r.time_downtime,
-        ]) {
-            *acc += v;
-        }
-    }
-    let n = results.len().max(1) as f64;
-    breakdown.iter_mut().for_each(|v| *v /= n);
-    TrialStats {
-        makespan,
-        faults,
-        mean_breakdown: breakdown,
+/// Folds an arbitrary per-trial metric into [`Stats`] with the same
+/// deterministic chunk grouping as [`run_trials_with`]: `metric(i)` runs
+/// for every `i ∈ 0..spec.trials` (in parallel when `spec.parallel`), and
+/// per-chunk accumulators merge in chunk order, so the result is
+/// bit-identical for any thread count and for the sequential path.
+pub fn trial_metric_stats<F>(spec: TrialSpec, metric: F) -> Stats
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let push = |mut s: Stats, x: f64| {
+        s.push(x);
+        s
+    };
+    if spec.parallel {
+        (0..spec.trials)
+            .into_par_iter()
+            .map(&metric)
+            .fold(Stats::new, push)
+            .reduce(Stats::new, Stats::merge)
+    } else {
+        fold_sequential_chunks(
+            spec.trials,
+            Stats::new,
+            |s, i| push(s, metric(i)),
+            Stats::merge,
+        )
     }
 }
 
@@ -154,6 +272,61 @@ mod tests {
         assert_eq!(seeds.len(), 1000);
         assert_eq!(spec.trial_seed(7), TrialSpec::new(1000, 42).trial_seed(7));
         assert_ne!(spec.trial_seed(7), TrialSpec::new(1000, 43).trial_seed(7));
+    }
+
+    /// Satellite fix: zero trials used to report a contradictory aggregate
+    /// (all-zero breakdown next to a NaN makespan mean); now every mean is
+    /// NaN and the counts are 0, on both paths.
+    #[test]
+    fn zero_trials_yield_a_coherent_empty_aggregate() {
+        let wf = Workflow::uniform(generators::chain(3), 10.0, 1.0);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        for spec in [TrialSpec::new(0, 1), TrialSpec::sequential(0, 1)] {
+            let stats = run_trials_with(&wf, &s, 0.0, spec, |_| NoFaults);
+            assert_eq!(stats.makespan.n(), 0);
+            assert_eq!(stats.faults.n(), 0);
+            assert!(stats.makespan.mean().is_nan());
+            assert!(stats.faults.mean().is_nan());
+            assert!(
+                stats.mean_breakdown.iter().all(|v| v.is_nan()),
+                "breakdown must be NaN when no trials ran: {:?}",
+                stats.mean_breakdown
+            );
+        }
+    }
+
+    #[test]
+    fn trial_metric_stats_matches_run_trials_makespan() {
+        let wf = Workflow::uniform(generators::fork_join(4), 10.0, 1.0);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let model = FaultModel::new(3e-3, 1.0);
+        for spec in [TrialSpec::new(512, 5), TrialSpec::sequential(512, 5)] {
+            let direct = run_trials(&wf, &s, model, spec);
+            let via_metric = trial_metric_stats(spec, |i| {
+                let mut inj = ExponentialInjector::new(model.lambda(), spec.trial_seed(i));
+                simulate(
+                    &wf,
+                    &s,
+                    &mut inj,
+                    SimConfig {
+                        downtime: model.downtime(),
+                        record_trace: false,
+                    },
+                )
+                .makespan
+            });
+            assert_eq!(
+                direct.makespan.mean().to_bits(),
+                via_metric.mean().to_bits()
+            );
+            assert_eq!(
+                direct.makespan.stddev().to_bits(),
+                via_metric.stddev().to_bits()
+            );
+            assert_eq!(direct.makespan.n(), via_metric.n());
+        }
     }
 
     #[test]

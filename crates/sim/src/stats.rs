@@ -1,16 +1,71 @@
 //! Streaming statistics (Welford) with parallel merge.
 
-use serde::{Deserialize, Serialize};
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
 
 /// Mean/variance/extrema accumulator with numerically stable updates and a
 /// merge operation for parallel reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is implemented by hand rather than derived: the empty
+/// accumulator's extrema sentinels are `min = +∞` / `max = −∞`, which JSON
+/// cannot represent (`serde_json` writes non-finite floats as `null`, which
+/// a derived deserializer then rejects). The manual impls write non-finite
+/// extrema as `null` and restore the matching sentinel on read, so every
+/// accumulator — including the empty one — survives a
+/// serialize → deserialize round trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Serialize for Stats {
+    fn to_value(&self) -> Value {
+        // JSON has no ±inf: write the (empty-accumulator) sentinels as
+        // null; `Deserialize` below restores them.
+        let extremum = |x: f64| {
+            if x.is_finite() {
+                Value::Float(x)
+            } else {
+                Value::Null
+            }
+        };
+        Value::Map(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("mean".to_string(), Value::Float(self.mean)),
+            ("m2".to_string(), Value::Float(self.m2)),
+            ("min".to_string(), extremum(self.min)),
+            ("max".to_string(), extremum(self.max)),
+        ])
+    }
+}
+
+impl Deserialize for Stats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "Stats", v))?;
+        let field = |name: &str| {
+            map_get(entries, name).ok_or_else(|| DeError::missing_field(name, "Stats"))
+        };
+        let min = match field("min")? {
+            Value::Null => f64::INFINITY,
+            other => f64::from_value(other)?,
+        };
+        let max = match field("max")? {
+            Value::Null => f64::NEG_INFINITY,
+            other => f64::from_value(other)?,
+        };
+        Ok(Stats {
+            n: u64::from_value(field("n")?)?,
+            mean: f64::from_value(field("mean")?)?,
+            m2: f64::from_value(field("m2")?)?,
+            min,
+            max,
+        })
+    }
 }
 
 impl Default for Stats {
@@ -135,6 +190,31 @@ mod tests {
         s1.push(3.0);
         assert_eq!(s1.mean(), 3.0);
         assert!(s1.variance().is_nan());
+    }
+
+    /// Satellite fix: the empty accumulator's ±inf extrema have no JSON
+    /// representation; the manual serde impls write them as null and
+    /// restore them, so text round trips work for every state.
+    #[test]
+    fn json_roundtrip_including_empty_and_singleton() {
+        let mut single = Stats::new();
+        single.push(42.5);
+        let mut many = Stats::new();
+        for x in [2.0, -7.25, 11.0, 0.5] {
+            many.push(x);
+        }
+        for (name, s) in [("empty", Stats::new()), ("single", single), ("many", many)] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: Stats = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s, "{name}: {json}");
+        }
+        // The empty case really does hit the null path.
+        let json = serde_json::to_string(&Stats::new()).unwrap();
+        assert!(json.contains("\"min\":null"), "{json}");
+        assert!(json.contains("\"max\":null"), "{json}");
+        // A single observation keeps exact extrema.
+        let json = serde_json::to_string(&single).unwrap();
+        assert!(json.contains("\"min\":42.5"), "{json}");
     }
 
     proptest! {

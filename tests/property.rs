@@ -153,6 +153,109 @@ proptest! {
     }
 }
 
+/// Satellite property: the chunked executor's `map`/`fold`/`collect`
+/// pipelines and `run_trials` statistics are bit-identical across forced
+/// thread counts {1, 2, 8}, over item counts covering the degenerate
+/// cases (0, 1), a prime (97), and fold-chunk boundaries ±1 (63, 64, 65,
+/// 128 ± 1 around `fold_chunk_len` multiples).
+///
+/// One `#[test]` body (not a proptest) because it mutates the
+/// `RAYON_NUM_THREADS` process environment; determinism regardless of
+/// thread count is exactly the property that makes this safe to run next
+/// to the other tests in this binary.
+#[test]
+fn chunked_executor_is_invariant_under_forced_thread_counts() {
+    use dagchkpt::sim::{run_trials, TrialSpec};
+    use rayon::prelude::*;
+
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    let counts = [0usize, 1, 2, 63, 64, 65, 97, 127, 128, 129, 1000];
+
+    let collect_one = |n: usize| -> Vec<f64> {
+        (0..n)
+            .into_par_iter()
+            .map(|i| (i as f64 + 0.5).sqrt())
+            .collect()
+    };
+    let fold_one = |n: usize| -> f64 {
+        (0..n)
+            .into_par_iter()
+            .map(|i| 1.0 / (i as f64 + 1.0))
+            .fold(|| 0.0f64, |a, x| a + x)
+            .reduce(|| 0.0, |a, b| a + b)
+    };
+    let trials_one = || {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let model = FaultModel::new(4e-3, 1.5);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::new(&wf, order, FixedBitSet::from_indices(8, [0usize, 3, 5])).unwrap();
+        run_trials(&wf, &s, model, TrialSpec::new(500, 23))
+    };
+
+    // References under a forced single thread.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    assert_eq!(rayon::current_num_threads(), 1);
+    let ref_collect: Vec<Vec<f64>> = counts.iter().map(|&n| collect_one(n)).collect();
+    let ref_fold: Vec<f64> = counts.iter().map(|&n| fold_one(n)).collect();
+    let ref_trials = trials_one();
+
+    for threads in ["2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            rayon::current_num_threads(),
+            threads.parse::<usize>().unwrap()
+        );
+        for (idx, &n) in counts.iter().enumerate() {
+            let got = collect_one(n);
+            assert_eq!(got.len(), n, "collect len, n={n} threads={threads}");
+            let same = got
+                .iter()
+                .zip(&ref_collect[idx])
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "collect bits differ, n={n} threads={threads}");
+            assert_eq!(
+                fold_one(n).to_bits(),
+                ref_fold[idx].to_bits(),
+                "fold bits differ, n={n} threads={threads}"
+            );
+        }
+        let got = trials_one();
+        assert_eq!(
+            got.makespan.mean().to_bits(),
+            ref_trials.makespan.mean().to_bits(),
+            "run_trials mean differs under {threads} threads"
+        );
+        assert_eq!(
+            got.makespan.stddev().to_bits(),
+            ref_trials.makespan.stddev().to_bits()
+        );
+        assert_eq!(
+            got.faults.mean().to_bits(),
+            ref_trials.faults.mean().to_bits()
+        );
+        for (a, b) in got.mean_breakdown.iter().zip(ref_trials.mean_breakdown) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // Invalid values are ignored (fall back to the machine default).
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let default = rayon::current_num_threads();
+    for bad in ["0", "-2", "many"] {
+        std::env::set_var("RAYON_NUM_THREADS", bad);
+        assert_eq!(rayon::current_num_threads(), default, "value {bad:?}");
+    }
+
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}
+
 /// Sanity anchor outside the proptest loops: the fast and literal
 /// evaluators agree exactly on the paper's own Figure 1 instance.
 #[test]

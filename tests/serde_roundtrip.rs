@@ -35,6 +35,33 @@ fn schedule_serializes_with_serde() {
     assert_eq!(back.n_checkpoints(), 3);
 }
 
+/// Satellite fix: an empty `Stats` has `min = +inf` / `max = −inf`, which
+/// JSON cannot express — the manual serde impls write those sentinels as
+/// `null` and restore them, so every accumulator state survives the text
+/// round trip bit-exactly.
+#[test]
+fn stats_survive_json_roundtrip_including_empty_and_singleton() {
+    use dagchkpt::sim::Stats;
+    let mut single = Stats::new();
+    single.push(-3.25);
+    let mut many = Stats::new();
+    for x in [2.0, 4.0, 4.0, 5.0, 9.0] {
+        many.push(x);
+    }
+    for (name, s) in [("empty", Stats::new()), ("single", single), ("many", many)] {
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Stats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s, "{name} failed round trip via {json}");
+        assert_eq!(back.n(), s.n());
+        assert_eq!(back.min().to_bits(), s.min().to_bits());
+        assert_eq!(back.max().to_bits(), s.max().to_bits());
+    }
+    // The empty sentinels really are serialized as null, not rejected.
+    assert!(serde_json::to_string(&Stats::new())
+        .unwrap()
+        .contains("\"min\":null"));
+}
+
 #[test]
 fn dag_spec_json_is_stable_for_fixture() {
     let dag = dagchkpt::dag::generators::paper_figure1();

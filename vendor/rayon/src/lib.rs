@@ -1,73 +1,229 @@
 //! Offline stand-in for [`rayon`](https://docs.rs/rayon), implementing the
 //! subset of the parallel-iterator API this workspace uses
-//! (`into_par_iter` / `par_iter` → `map` → `collect` / `fold` / `reduce`)
-//! on top of `std::thread::scope`.
+//! (`into_par_iter` / `par_iter` → `map` / `map_init` → `collect` / `fold` /
+//! `fold_chunks` / `reduce`) on top of `std::thread::scope`.
 //!
-//! Work items are distributed over OS threads through a shared atomic
-//! cursor; results are written back into their original slot, so `collect`
-//! preserves input order and every pipeline is **deterministic regardless
-//! of thread count** — the property the Monte-Carlo validation tests rely
-//! on. `fold` partitions items into a fixed number of groups (independent
-//! of the thread count) so `fold(..).reduce(..)` chains are deterministic
-//! too.
+//! # Chunked execution model
+//!
+//! Work is dispatched in contiguous index **chunks**: a single atomic
+//! cursor hands each worker the next unclaimed chunk, the worker drains the
+//! chunk's items through the pipeline, and writes the chunk's result into a
+//! pre-allocated per-chunk output slot. Synchronization cost is therefore
+//! two uncontended lock acquisitions per *chunk* (claim the input, store
+//! the output) — never per item. Range sources (`0..n`) stay lazy: a chunk
+//! is just a sub-range, so no index vector is ever materialized.
+//!
+//! Two chunk granularities coexist, on purpose:
+//!
+//! * **dispatch chunks** (`collect`) may depend on the thread count — the
+//!   sink reassembles results from chunk indices, so any granularity
+//!   yields input order;
+//! * **fold chunks** (`fold` / `fold_chunks` / `map_init`) are a pure
+//!   function of the item count ([`fold_chunk_len`]) — group boundaries
+//!   never move with `RAYON_NUM_THREADS`, so `fold(..).reduce(..)` chains
+//!   are **bit-identical for any thread count**, the property the
+//!   Monte-Carlo validation tests rely on.
+//!
+//! The pool size honors `RAYON_NUM_THREADS` (positive integers, clamped;
+//! invalid or zero values are ignored, like real rayon), falling back to
+//! the machine's available parallelism.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads used for a batch of `n` items.
-fn thread_count(n: usize) -> usize {
+/// Hard cap on spawned workers; `RAYON_NUM_THREADS` is clamped to this.
+const MAX_THREADS: usize = 256;
+
+/// Dispatch chunks handed to each worker (load balancing headroom).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Fan-out of the deterministic fold grouping (see [`fold_chunk_len`]).
+const FOLD_GROUPS: usize = 64;
+
+/// Pool size: `RAYON_NUM_THREADS` when set to a valid positive integer
+/// (clamped to [`MAX_THREADS`]), otherwise the machine's parallelism.
+fn configured_threads() -> usize {
+    if let Some(v) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        if v >= 1 {
+            return v.min(MAX_THREADS);
+        }
+    }
     std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1)
-        .min(n)
-        .max(1)
 }
 
-/// Applies `f` to every item on a scoped thread pool, preserving order.
-fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    let threads = thread_count(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
+/// Number of worker threads used for a batch of `n` items.
+fn thread_count(n: usize) -> usize {
+    configured_threads().min(n).max(1)
+}
+
+/// Number of threads the pool would use for an unbounded batch.
+pub fn current_num_threads() -> usize {
+    configured_threads()
+}
+
+/// Chunk length of the deterministic fold grouping for `n` items: at most
+/// [`FOLD_GROUPS`] groups, boundaries a pure function of the item count
+/// (never the thread count). Exposed so sequential twins of a parallel
+/// `fold(..).reduce(..)` can replicate the exact grouping.
+pub fn fold_chunk_len(n: usize) -> usize {
+    n.div_ceil(FOLD_GROUPS).max(1)
+}
+
+/// Dispatch chunk length for order-preserving sinks: a few chunks per
+/// worker. Order is restored from chunk indices, so this may (and does)
+/// depend on the thread count.
+fn dispatch_chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil((threads * CHUNKS_PER_THREAD).max(1)).max(1)
+}
+
+/// A finite source of items splittable into contiguous index chunks, each
+/// yielded through an owning iterator. `split` runs once, on the
+/// dispatching thread; concatenating the chunks restores input order.
+/// Range sources return sub-ranges, so they dispatch lazily.
+pub trait ParallelSource: Send + Sized {
+    /// Item type produced.
+    type Item: Send;
+    /// Owning per-chunk iterator.
+    type Chunk: Iterator<Item = Self::Item> + Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// `true` when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    /// Splits into consecutive chunks of `chunk_len` items (the last may
+    /// be shorter).
+    fn split(self, chunk_len: usize) -> Vec<Self::Chunk>;
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParallelSource for Range<$t> {
+            type Item = $t;
+            type Chunk = Range<$t>;
+            fn len(&self) -> usize {
+                if self.end <= self.start {
+                    0
+                } else {
+                    usize::try_from(self.end - self.start).unwrap_or(usize::MAX)
+                }
+            }
+            fn split(self, chunk_len: usize) -> Vec<Range<$t>> {
+                let chunk_len = chunk_len.max(1);
+                let mut chunks = Vec::new();
+                let mut lo = self.start;
+                while lo < self.end {
+                    // Saturate to the range end on width/overflow issues.
+                    let hi = <$t>::try_from(chunk_len)
+                        .ok()
+                        .and_then(|c| lo.checked_add(c))
+                        .map_or(self.end, |h| h.min(self.end));
+                    chunks.push(lo..hi);
+                    lo = hi;
+                }
+                chunks
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u64, u32);
+
+impl<T: Send> ParallelSource for Vec<T> {
+    type Item = T;
+    type Chunk = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn split(self, chunk_len: usize) -> Vec<Self::Chunk> {
+        let chunk_len = chunk_len.max(1);
+        let mut chunks = Vec::with_capacity(self.len().div_ceil(chunk_len));
+        let mut it = self.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                return chunks;
+            }
+            chunks.push(chunk.into_iter());
+        }
+    }
+}
+
+impl<'a, T: Sync> ParallelSource for &'a [T] {
+    type Item = &'a T;
+    type Chunk = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn split(self, chunk_len: usize) -> Vec<Self::Chunk> {
+        self.chunks(chunk_len.max(1)).map(|c| c.iter()).collect()
+    }
+}
+
+/// Chunk-level engine: workers claim chunk indices from a single atomic
+/// cursor and write each processed chunk into its pre-allocated output
+/// slot, in any order; the returned vector is in chunk (= input) order.
+fn run_chunks<C, A, P>(chunks: Vec<C>, threads: usize, process: P) -> Vec<A>
+where
+    C: Send,
+    A: Send,
+    P: Fn(C) -> A + Sync,
+{
+    let n_chunks = chunks.len();
+    if threads <= 1 || n_chunks <= 1 {
+        return chunks.into_iter().map(process).collect();
+    }
+    let input: Vec<Mutex<Option<C>>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let output: Vec<Mutex<Option<A>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..threads.min(n_chunks) {
             scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n_chunks {
                     break;
                 }
-                let item = slots[i]
+                let chunk = input[k]
                     .lock()
-                    .expect("no panics while holding slot lock")
+                    .expect("no panics while holding chunk lock")
                     .take()
-                    .expect("each slot is taken exactly once");
-                let r = f(item);
-                *out[i].lock().expect("no panics while holding out lock") = Some(r);
+                    .expect("each chunk is claimed exactly once");
+                let result = process(chunk);
+                *output[k].lock().expect("no panics while holding out lock") = Some(result);
             });
         }
     });
-    out.into_iter()
+    output
+        .into_iter()
         .map(|m| {
             m.into_inner()
                 .expect("worker did not panic")
-                .expect("every slot was filled")
+                .expect("every chunk slot was filled")
         })
         .collect()
 }
 
-/// An eagerly materialized "parallel iterator" over `T`.
-pub struct ParIter<T> {
-    items: Vec<T>,
+/// A chunk-dispatched "parallel iterator" over the items of `S`.
+pub struct ParIter<S> {
+    source: S,
 }
 
-/// `map` adapter: items plus the mapping closure, evaluated at the sink.
-pub struct ParMap<T, F> {
-    items: Vec<T>,
+/// `map` adapter: source plus the mapping closure, evaluated at the sink.
+pub struct ParMap<S, F> {
+    source: S,
+    f: F,
+}
+
+/// `map_init` adapter: per-chunk state factory plus the mapping closure.
+pub struct ParMapInit<S, IF, F> {
+    source: S,
+    init: IF,
     f: F,
 }
 
@@ -83,138 +239,194 @@ impl<T> FromParallelIterator<T> for Vec<T> {
     }
 }
 
-impl<T: Send> ParIter<T> {
+impl<S: ParallelSource> ParIter<S> {
     /// Maps every item through `f` (evaluated in parallel at the sink).
-    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+    pub fn map<R: Send, F: Fn(S::Item) -> R + Sync>(self, f: F) -> ParMap<S, F> {
         ParMap {
-            items: self.items,
+            source: self.source,
             f,
         }
     }
 
-    /// Reduces materialized items sequentially (deterministic order).
-    pub fn reduce<ID: Fn() -> T, OP: Fn(T, T) -> T>(self, identity: ID, op: OP) -> T {
-        self.items.into_iter().fold(identity(), op)
+    /// Maps every item through `f`, threading a per-chunk state created by
+    /// `init` (rayon's `map_init`, e.g. for a scratch RNG or buffer). The
+    /// state restarts at [`fold_chunk_len`] boundaries — a pure function
+    /// of the item count — so results are deterministic for any thread
+    /// count whenever `f` is deterministic in `(state history, item)`.
+    pub fn map_init<St, R, IF, F>(self, init: IF, f: F) -> ParMapInit<S, IF, F>
+    where
+        St: Send,
+        R: Send,
+        IF: Fn() -> St + Sync,
+        F: Fn(&mut St, S::Item) -> R + Sync,
+    {
+        ParMapInit {
+            source: self.source,
+            init,
+            f,
+        }
+    }
+
+    /// Reduces the items sequentially in input order (deterministic).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        ID: Fn() -> S::Item,
+        OP: Fn(S::Item, S::Item) -> S::Item,
+    {
+        let mut acc = identity();
+        for chunk in self.source.split(usize::MAX) {
+            acc = chunk.fold(acc, &op);
+        }
+        acc
     }
 }
 
-impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
-    /// Runs the pipeline and collects results in input order.
+impl<S, R, F> ParMap<S, F>
+where
+    S: ParallelSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    /// Runs the pipeline and collects results in input order: each worker
+    /// fills a pre-allocated per-chunk buffer, and the buffers are
+    /// concatenated in chunk order.
     pub fn collect<C: FromParallelIterator<R>>(self) -> C {
-        C::from_ordered_vec(run_parallel(self.items, self.f))
+        let n = self.source.len();
+        let threads = thread_count(n);
+        let chunks = self.source.split(dispatch_chunk_len(n, threads));
+        let f = &self.f;
+        let parts = run_chunks(chunks, threads, |c| c.map(f).collect::<Vec<R>>());
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from_ordered_vec(out)
     }
 
-    /// Folds results into per-group accumulators (rayon's `fold`): the
-    /// number of groups is fixed, so downstream `reduce` is deterministic.
-    pub fn fold<A, ID, FF>(self, identity: ID, fold_op: FF) -> ParIter<A>
+    /// Folds results into per-chunk accumulators (rayon's `fold`) with the
+    /// deterministic [`fold_chunk_len`] grouping; per-item results are
+    /// never materialized. Downstream `reduce` merges the `O(chunks)`
+    /// accumulators in chunk order, so the full chain is bit-identical for
+    /// any thread count.
+    pub fn fold<A, ID, FF>(self, identity: ID, fold_op: FF) -> ParIter<Vec<A>>
     where
         A: Send,
         ID: Fn() -> A + Sync,
         FF: Fn(A, R) -> A + Sync,
     {
-        const GROUPS: usize = 16;
-        let results = run_parallel(self.items, self.f);
-        let per = results.len().div_ceil(GROUPS).max(1);
-        let mut groups: Vec<A> = Vec::new();
-        let mut it = results.into_iter().peekable();
-        while it.peek().is_some() {
-            let mut acc = identity();
-            for _ in 0..per {
-                match it.next() {
-                    Some(r) => acc = fold_op(acc, r),
-                    None => break,
-                }
-            }
-            groups.push(acc);
+        let chunk_len = fold_chunk_len(self.source.len());
+        self.fold_chunks(chunk_len, identity, fold_op)
+    }
+
+    /// [`fold`](Self::fold) with an explicit chunk length. Group
+    /// boundaries fall at multiples of `chunk_len` regardless of the
+    /// thread count, so the grouping is caller-controlled and
+    /// deterministic.
+    pub fn fold_chunks<A, ID, FF>(
+        self,
+        chunk_len: usize,
+        identity: ID,
+        fold_op: FF,
+    ) -> ParIter<Vec<A>>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        FF: Fn(A, R) -> A + Sync,
+    {
+        let n = self.source.len();
+        let threads = thread_count(n);
+        let chunks = self.source.split(chunk_len.max(1));
+        let f = &self.f;
+        let groups = run_chunks(chunks, threads, |c| {
+            c.fold(identity(), |acc, item| fold_op(acc, f(item)))
+        });
+        ParIter { source: groups }
+    }
+}
+
+impl<S, St, R, IF, F> ParMapInit<S, IF, F>
+where
+    S: ParallelSource,
+    St: Send,
+    R: Send,
+    IF: Fn() -> St + Sync,
+    F: Fn(&mut St, S::Item) -> R + Sync,
+{
+    /// Runs the pipeline and collects results in input order. One state
+    /// per [`fold_chunk_len`] chunk, created by `init` on the worker that
+    /// claims the chunk.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let n = self.source.len();
+        let threads = thread_count(n);
+        let chunks = self.source.split(fold_chunk_len(n));
+        let init = &self.init;
+        let f = &self.f;
+        let parts = run_chunks(chunks, threads, |c| {
+            let mut state = init();
+            c.map(|item| f(&mut state, item)).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
         }
-        if groups.is_empty() {
-            groups.push(identity());
-        }
-        ParIter { items: groups }
+        C::from_ordered_vec(out)
     }
 }
 
 /// Owned conversion into a parallel iterator.
 pub trait IntoParallelIterator {
-    /// Item type produced.
-    type Item: Send;
+    /// Source the iterator draws from.
+    type Source: ParallelSource;
     /// Converts `self`.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Source>;
 }
 
-impl IntoParallelIterator for Range<usize> {
-    type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
-}
-
-impl IntoParallelIterator for Range<u64> {
-    type Item = u64;
-    fn into_par_iter(self) -> ParIter<u64> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
-}
-
-impl IntoParallelIterator for Range<u32> {
-    type Item = u32;
-    fn into_par_iter(self) -> ParIter<u32> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
-}
-
-impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+impl<S: ParallelSource> IntoParallelIterator for S {
+    type Source = S;
+    fn into_par_iter(self) -> ParIter<S> {
+        ParIter { source: self }
     }
 }
 
 /// Borrowed conversion (`par_iter`) yielding `&T`.
 pub trait IntoParallelRefIterator<'a> {
-    /// Item type produced (a reference).
-    type Item: Send;
+    /// Borrowed source type.
+    type Source: ParallelSource + 'a;
     /// Converts `&self`.
-    fn par_iter(&'a self) -> ParIter<Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
-    type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
+    type Source = &'a [T];
+    fn par_iter(&'a self) -> ParIter<&'a [T]> {
+        ParIter { source: self }
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
+    type Source = &'a [T];
+    fn par_iter(&'a self) -> ParIter<&'a [T]> {
         ParIter {
-            items: self.iter().collect(),
+            source: self.as_slice(),
         }
     }
 }
 
 /// The crate's usual glob import.
 pub mod prelude {
-    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
-}
-
-/// Number of threads a batch of unbounded size would use.
-pub fn current_num_threads() -> usize {
-    thread_count(usize::MAX)
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelSource,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that mutate `RAYON_NUM_THREADS` against the
+    /// one that asserts on observed worker counts.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn collect_preserves_order() {
@@ -227,6 +439,16 @@ mod tests {
         let data: Vec<u64> = (0..257).collect();
         let out: Vec<u64> = data.par_iter().map(|&x| x * x).collect();
         assert_eq!(out, data.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_source_dispatches_all_items_in_order() {
+        let data: Vec<String> = (0..300).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = data.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(
+            out,
+            (0..300).map(|i| i.to_string().len()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -245,10 +467,96 @@ mod tests {
     }
 
     #[test]
+    fn fold_chunks_groups_fall_at_exact_multiples_of_chunk_len() {
+        // Each fold group collects its items into one inner vector; the
+        // reduce concatenates groups in chunk order, exposing boundaries.
+        let groups: Vec<Vec<usize>> = (0..10usize)
+            .into_par_iter()
+            .map(|i| i * 10)
+            .fold_chunks(
+                4,
+                || vec![Vec::new()],
+                |mut acc: Vec<Vec<usize>>, i| {
+                    acc.last_mut().expect("identity seeds one group").push(i);
+                    acc
+                },
+            )
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(
+            groups,
+            vec![vec![0, 10, 20, 30], vec![40, 50, 60, 70], vec![80, 90],]
+        );
+        // And the default fold grouping is a pure function of n.
+        assert_eq!(super::fold_chunk_len(0), 1);
+        assert_eq!(super::fold_chunk_len(1), 1);
+        assert_eq!(super::fold_chunk_len(64), 1);
+        assert_eq!(super::fold_chunk_len(65), 2);
+        assert_eq!(super::fold_chunk_len(6_400), 100);
+    }
+
+    #[test]
+    fn map_init_threads_state_per_chunk() {
+        // A counter state: each chunk restarts at 0, so the result for
+        // item i is its offset within its fold chunk — independent of the
+        // thread count by construction.
+        let n = 1000usize;
+        let chunk = super::fold_chunk_len(n);
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |count, _i| {
+                    let c = *count;
+                    *count += 1;
+                    c
+                },
+            )
+            .collect();
+        let expect: Vec<usize> = (0..n).map(|i| i % chunk).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn rayon_num_threads_env_is_honored_and_invalid_values_ignored() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let default = super::current_num_threads();
+        assert!(default >= 1);
+
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(super::current_num_threads(), 3);
+        std::env::set_var("RAYON_NUM_THREADS", " 8 ");
+        assert_eq!(super::current_num_threads(), 8);
+        // Clamped to the hard cap.
+        std::env::set_var("RAYON_NUM_THREADS", "999999");
+        assert_eq!(super::current_num_threads(), super::MAX_THREADS);
+        // Invalid and zero values fall back to the default.
+        for bad in ["0", "-4", "lots", ""] {
+            std::env::set_var("RAYON_NUM_THREADS", bad);
+            assert_eq!(super::current_num_threads(), default, "value {bad:?}");
+        }
+
+        // A forced pool still computes the right answer.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let out: Vec<usize> = (0..101usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..102).collect::<Vec<_>>());
+
+        match saved {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+
+    #[test]
     fn actually_uses_multiple_threads_when_available() {
         use std::collections::HashSet;
-        use std::sync::Mutex;
+        let _guard = ENV_LOCK.lock().unwrap();
         let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let threads = super::current_num_threads();
         let _: Vec<()> = (0..64usize)
             .into_par_iter()
             .map(|_| {
@@ -257,11 +565,7 @@ mod tests {
             })
             .collect();
         let n = seen.lock().unwrap().len();
-        if std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            > 1
-        {
+        if threads > 1 {
             assert!(n > 1, "expected multiple worker threads, saw {n}");
         }
     }
