@@ -1,7 +1,7 @@
-//! V3/V4: evaluator-complexity and DF-priority ablations.
+//! Thin alias over the `ablation` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign ablation`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    dagchkpt_bench::studies::ablation(&opts);
+    dagchkpt_bench::campaign::run_alias("ablation", &opts);
 }

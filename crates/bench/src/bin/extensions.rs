@@ -1,108 +1,7 @@
-//! Extension study: the CkptH protection-per-cost strategy and
-//! evaluator-driven local search against the paper's best heuristics.
-//!
-//! `CkptH` ranks tasks by `w_i/c_i`; local search hill-climbs single
-//! checkpoint flips under the exact Theorem-3 evaluator, seeded from the
-//! best sweep result. Both are enabled by the paper's evaluator and are not
-//! in the original paper.
-
-use dagchkpt_bench::csvout::write_csv;
-use dagchkpt_bench::{auto_policy, Options};
-use dagchkpt_core::{
-    linearize, optimize_checkpoints, strategies::local_search, CheckpointStrategy, CostRule,
-    LinearizationStrategy,
-};
-use dagchkpt_failure::FaultModel;
-use dagchkpt_workflows::PegasusKind;
+//! Thin alias over the `extensions` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign extensions`.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    let sizes: Vec<usize> = match opts.scale {
-        dagchkpt_bench::Scale::Quick => vec![100],
-        dagchkpt_bench::Scale::Full => vec![100, 200, 400],
-    };
-    let rules = [
-        CostRule::ProportionalToWork { ratio: 0.1 },
-        CostRule::Constant { value: 5.0 },
-    ];
-    println!(
-        "{:<12} {:>4} {:<8} {:>9} {:>9} {:>9} {:>11} {:>7}",
-        "workflow", "n", "rule", "CkptW", "CkptC", "CkptH", "W+localsrch", "rounds"
-    );
-    let mut rows = Vec::new();
-    for kind in PegasusKind::ALL {
-        for &n in &sizes {
-            for rule in rules {
-                let wf = kind.generate(n, rule, opts.seed);
-                let model = FaultModel::new(kind.default_lambda(), 0.0);
-                let order = linearize(&wf, LinearizationStrategy::DepthFirst);
-                let policy = auto_policy(n);
-                let tinf = wf.total_work();
-                let ratio = |e: f64| e / tinf;
-
-                let w = optimize_checkpoints(
-                    &wf,
-                    model,
-                    &order,
-                    CheckpointStrategy::ByDecreasingWork,
-                    policy,
-                );
-                let c = optimize_checkpoints(
-                    &wf,
-                    model,
-                    &order,
-                    CheckpointStrategy::ByIncreasingCkptCost,
-                    policy,
-                );
-                let h = optimize_checkpoints(
-                    &wf,
-                    model,
-                    &order,
-                    CheckpointStrategy::ByDecreasingWorkOverCost,
-                    policy,
-                );
-                let ls = local_search(&wf, model, &order, w.schedule.checkpoints().clone(), 64);
-                assert!(
-                    ls.expected_makespan <= w.expected_makespan + 1e-9,
-                    "local search must not lose to its seed"
-                );
-                println!(
-                    "{:<12} {:>4} {:<8} {:>9.4} {:>9.4} {:>9.4} {:>11.4} {:>7}",
-                    kind.name(),
-                    n,
-                    rule.label(),
-                    ratio(w.expected_makespan),
-                    ratio(c.expected_makespan),
-                    ratio(h.expected_makespan),
-                    ratio(ls.expected_makespan),
-                    ls.evaluated / wf.n_tasks().max(1),
-                );
-                rows.push(vec![
-                    kind.name().to_string(),
-                    n.to_string(),
-                    rule.label(),
-                    format!("{:.6}", ratio(w.expected_makespan)),
-                    format!("{:.6}", ratio(c.expected_makespan)),
-                    format!("{:.6}", ratio(h.expected_makespan)),
-                    format!("{:.6}", ratio(ls.expected_makespan)),
-                ]);
-            }
-        }
-    }
-    write_csv(
-        opts.out_dir.join("extensions.csv"),
-        &[
-            "workflow",
-            "n",
-            "rule",
-            "ckptw",
-            "ckptc",
-            "ckpth",
-            "w_localsearch",
-        ],
-        rows,
-    )
-    .expect("write extensions.csv");
-    println!("wrote {}", opts.out_dir.join("extensions.csv").display());
+    let opts = dagchkpt_bench::Options::from_args();
+    dagchkpt_bench::campaign::run_alias("extensions", &opts);
 }

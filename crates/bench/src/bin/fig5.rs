@@ -1,8 +1,7 @@
-//! Regenerates the paper's Figure 5 series. See `dagchkpt-bench` docs.
+//! Thin alias over the `fig5` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign fig5`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    let rows = dagchkpt_bench::figures::fig5(&opts);
-    println!("{} rows total", rows.len());
+    dagchkpt_bench::campaign::run_alias("fig5", &opts);
 }

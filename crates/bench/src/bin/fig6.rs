@@ -1,8 +1,7 @@
-//! Regenerates the paper's Figure 6 series. See `dagchkpt-bench` docs.
+//! Thin alias over the `fig6` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign fig6`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    let rows = dagchkpt_bench::figures::fig6(&opts);
-    println!("{} rows total", rows.len());
+    dagchkpt_bench::campaign::run_alias("fig6", &opts);
 }

@@ -1,91 +1,7 @@
-//! Non-blocking checkpointing study (the paper's Section-7 future work):
-//! Monte-Carlo comparison of the blocking engine against overlapped
-//! checkpoint writes at several interference levels.
-
-use dagchkpt_bench::csvout::write_csv;
-use dagchkpt_bench::Options;
-use dagchkpt_core::{
-    linearize, optimize_checkpoints, CheckpointStrategy, CostRule, LinearizationStrategy,
-    SweepPolicy,
-};
-use dagchkpt_failure::{ExponentialInjector, FaultModel};
-use dagchkpt_sim::{
-    simulate, simulate_nonblocking, trial_metric_stats, NonBlockingConfig, SimConfig, TrialSpec,
-};
-use dagchkpt_workflows::PegasusKind;
+//! Thin alias over the `nonblocking` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign nonblocking`.
 
 fn main() {
-    let opts = Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    let trials = match opts.scale {
-        dagchkpt_bench::Scale::Quick => 4_000,
-        dagchkpt_bench::Scale::Full => 20_000,
-    };
-    let rule = CostRule::ProportionalToWork { ratio: 0.1 };
-    println!("blocking vs non-blocking checkpoint writes ({trials} trials, DF-CkptW schedules)");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "workflow", "blocking", "nb α=1.0", "nb α=0.9", "nb α=0.8", "nb α=0.6"
-    );
-    let mut rows = Vec::new();
-    for kind in PegasusKind::ALL {
-        let wf = kind.generate(80, rule, opts.seed);
-        let model = FaultModel::new(kind.default_lambda(), 0.0);
-        let order = linearize(&wf, LinearizationStrategy::DepthFirst);
-        let opt = optimize_checkpoints(
-            &wf,
-            model,
-            &order,
-            CheckpointStrategy::ByDecreasingWork,
-            SweepPolicy::Exhaustive,
-        );
-        let spec = TrialSpec::new(trials, opts.seed);
-        // Trial makespans stream into the chunk-folded accumulator shared
-        // with `run_trials` — O(chunks) memory, thread-count-invariant.
-        let mean = |alpha: Option<f64>| -> f64 {
-            trial_metric_stats(spec, |i| {
-                let mut inj = ExponentialInjector::new(model.lambda(), spec.trial_seed(i));
-                match alpha {
-                    None => simulate(&wf, &opt.schedule, &mut inj, SimConfig::default()).makespan,
-                    Some(a) => {
-                        simulate_nonblocking(
-                            &wf,
-                            &opt.schedule,
-                            &mut inj,
-                            NonBlockingConfig {
-                                compute_rate: a,
-                                ..Default::default()
-                            },
-                        )
-                        .makespan
-                    }
-                }
-            })
-            .mean()
-        };
-        let blocking = mean(None);
-        let alphas = [1.0, 0.9, 0.8, 0.6];
-        let nb: Vec<f64> = alphas.iter().map(|&a| mean(Some(a))).collect();
-        println!(
-            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            kind.name(),
-            blocking,
-            nb[0],
-            nb[1],
-            nb[2],
-            nb[3]
-        );
-        let mut row = vec![kind.name().to_string(), format!("{blocking:.4}")];
-        row.extend(nb.iter().map(|v| format!("{v:.4}")));
-        rows.push(row);
-    }
-    write_csv(
-        opts.out_dir.join("nonblocking.csv"),
-        &[
-            "workflow", "blocking", "nb_1.0", "nb_0.9", "nb_0.8", "nb_0.6",
-        ],
-        rows,
-    )
-    .expect("write nonblocking.csv");
-    println!("wrote {}", opts.out_dir.join("nonblocking.csv").display());
+    let opts = dagchkpt_bench::Options::from_args();
+    dagchkpt_bench::campaign::run_alias("nonblocking", &opts);
 }

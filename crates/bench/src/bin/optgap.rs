@@ -1,7 +1,7 @@
-//! V2: heuristic optimality gap vs brute-force optimum on tiny DAGs.
+//! Thin alias over the `optgap` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign optgap`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    dagchkpt_bench::studies::optgap(&opts);
+    dagchkpt_bench::campaign::run_alias("optgap", &opts);
 }

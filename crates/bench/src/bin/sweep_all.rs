@@ -1,26 +1,7 @@
-//! Runs every experiment in sequence (Figures 2-7 plus the V-studies).
+//! Thin alias over the `sweep_all` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign sweep_all`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    println!("=== Figure 2 ===");
-    dagchkpt_bench::figures::fig2(&opts);
-    println!("=== Figure 3 ===");
-    dagchkpt_bench::figures::fig3(&opts);
-    println!("=== Figure 4 ===");
-    dagchkpt_bench::figures::fig4(&opts);
-    println!("=== Figure 5 ===");
-    dagchkpt_bench::figures::fig5(&opts);
-    println!("=== Figure 6 ===");
-    dagchkpt_bench::figures::fig6(&opts);
-    println!("=== Figure 7 ===");
-    dagchkpt_bench::figures::fig7(&opts);
-    println!("=== V1 validate ===");
-    dagchkpt_bench::studies::validate(&opts);
-    println!("=== V2 optgap ===");
-    dagchkpt_bench::studies::optgap(&opts);
-    println!("=== V3/V4 ablation ===");
-    dagchkpt_bench::studies::ablation(&opts);
-    println!("=== V5 weibull ===");
-    dagchkpt_bench::studies::weibull(&opts);
+    dagchkpt_bench::campaign::run_alias("sweep_all", &opts);
 }

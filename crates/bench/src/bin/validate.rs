@@ -1,12 +1,7 @@
-//! V1: analytic Theorem-3 evaluator vs Monte-Carlo simulation.
+//! Thin alias over the `validate` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign validate`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    let worst = dagchkpt_bench::studies::validate(&opts);
-    if worst > 5.0 {
-        eprintln!("VALIDATION FAILED: worst |z| = {worst:.2} > 5");
-        std::process::exit(1);
-    }
-    println!("validation passed");
+    dagchkpt_bench::campaign::run_alias("validate", &opts);
 }

@@ -1,8 +1,7 @@
-//! V5: Weibull (age-dependent) faults in the simulator vs the exponential
-//! analytic prediction.
+//! Thin alias over the `weibull` named campaign — kept for one release; prefer
+//! `dagchkpt-bench --campaign weibull`.
 
 fn main() {
     let opts = dagchkpt_bench::Options::from_args();
-    opts.ensure_out_dir().expect("create output dir");
-    dagchkpt_bench::studies::weibull(&opts);
+    dagchkpt_bench::campaign::run_alias("weibull", &opts);
 }

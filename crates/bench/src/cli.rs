@@ -1,4 +1,9 @@
-//! Minimal command-line handling shared by all experiment binaries.
+//! Command-line handling: the legacy per-binary [`Options`] plus the
+//! campaign CLI's [`CampaignArgs`].
+//!
+//! `Scale` is only a flag here — the task counts and λ grids it used to
+//! hard-code are spec data now (see [`crate::figures::scale_sizes`] and
+//! [`crate::figures::fig7_lambda_keep`]).
 
 use std::path::PathBuf;
 
@@ -11,26 +16,7 @@ pub enum Scale {
     Full,
 }
 
-impl Scale {
-    /// Task counts on the x-axis (the paper plots 100–700; 50 is the
-    /// smallest size it mentions generating).
-    pub fn sizes(&self) -> Vec<usize> {
-        match self {
-            Scale::Quick => vec![50, 100, 200],
-            Scale::Full => vec![50, 100, 200, 300, 400, 500, 700],
-        }
-    }
-
-    /// Number of λ points for the Figure-7 sweep.
-    pub fn lambda_points(&self) -> usize {
-        match self {
-            Scale::Quick => 4,
-            Scale::Full => 7,
-        }
-    }
-}
-
-/// Parsed options.
+/// Parsed options shared by every experiment binary.
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Quick or full scale.
@@ -51,13 +37,16 @@ impl Default for Options {
     }
 }
 
+/// Usage line of the legacy experiment binaries.
+pub const LEGACY_USAGE: &str = "usage: <bin> [--quick|--full] [--out DIR] [--seed S]";
+
 impl Options {
     /// Parses `--quick | --full`, `--out DIR`, `--seed S`; exits with a
     /// usage message on unknown flags.
     pub fn from_args() -> Options {
         Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("{e}");
-            eprintln!("usage: <bin> [--quick|--full] [--out DIR] [--seed S]");
+            eprintln!("{LEGACY_USAGE}");
             std::process::exit(2);
         })
     }
@@ -67,21 +56,33 @@ impl Options {
         let mut opts = Options::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
-            match a.as_str() {
-                "--quick" => opts.scale = Scale::Quick,
-                "--full" => opts.scale = Scale::Full,
-                "--out" => {
-                    let v = it.next().ok_or("--out needs a directory")?;
-                    opts.out_dir = PathBuf::from(v);
-                }
-                "--seed" => {
-                    let v = it.next().ok_or("--seed needs a value")?;
-                    opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
-                }
-                other => return Err(format!("unknown flag: {other}")),
+            if !opts.parse_common(&a, &mut it)? {
+                return Err(format!("unknown flag: {a}"));
             }
         }
         Ok(opts)
+    }
+
+    /// Handles one shared flag; returns `false` when `flag` is not one.
+    fn parse_common(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--quick" => self.scale = Scale::Quick,
+            "--full" => self.scale = Scale::Full,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                self.out_dir = PathBuf::from(v);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                self.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
     }
 
     /// Ensures the output directory exists.
@@ -90,12 +91,116 @@ impl Options {
     }
 }
 
+/// Usage line of the `dagchkpt-bench` campaign CLI.
+pub const CAMPAIGN_USAGE: &str =
+    "usage: dagchkpt-bench [--campaign NAME]... [--spec FILE.json]... \
+     [--quick|--full] [--out DIR] [--seed S] [--shard I/N] [--resume] [--no-charts] [--list]";
+
+/// Parsed arguments of the campaign CLI.
+#[derive(Debug, Clone)]
+pub struct CampaignArgs {
+    /// Shared scale/out/seed options.
+    pub base: Options,
+    /// Built-in campaign names to run, in order.
+    pub campaigns: Vec<String>,
+    /// Spec files to load and run, in order.
+    pub specs: Vec<PathBuf>,
+    /// `--shard I/N`: run only cells with `index % N == I`.
+    pub shard: Option<(usize, usize)>,
+    /// Resume from stage manifests, skipping completed cells.
+    pub resume: bool,
+    /// Print the built-in campaign names and exit.
+    pub list: bool,
+    /// Suppress ASCII charts.
+    pub no_charts: bool,
+    /// `--seed` was given explicitly (overrides spec-file seeds).
+    pub seed_explicit: bool,
+}
+
+impl CampaignArgs {
+    /// Parses the process arguments; exits with the usage message on error.
+    pub fn from_args() -> CampaignArgs {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            eprintln!("{CAMPAIGN_USAGE}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Testable parser.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CampaignArgs, String> {
+        let mut out = CampaignArgs {
+            base: Options::default(),
+            campaigns: Vec::new(),
+            specs: Vec::new(),
+            shard: None,
+            resume: false,
+            list: false,
+            no_charts: false,
+            seed_explicit: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--campaign" => {
+                    let v = it.next().ok_or("--campaign needs a name")?;
+                    out.campaigns.push(v);
+                }
+                "--spec" => {
+                    let v = it.next().ok_or("--spec needs a file")?;
+                    out.specs.push(PathBuf::from(v));
+                }
+                "--shard" => {
+                    let v = it.next().ok_or("--shard needs I/N")?;
+                    out.shard = Some(parse_shard(&v)?);
+                }
+                "--resume" => out.resume = true,
+                "--list" => out.list = true,
+                "--no-charts" => out.no_charts = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.base.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                    out.seed_explicit = true;
+                }
+                other => {
+                    if !out.base.parse_common(other, &mut it)? {
+                        return Err(format!("unknown flag: {other}"));
+                    }
+                }
+            }
+        }
+        if !out.list && out.campaigns.is_empty() && out.specs.is_empty() {
+            return Err(
+                "nothing to run: pass --campaign NAME and/or --spec FILE (or --list)".into(),
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// Parses `I/N` with `N ≥ 1` and `I < N`.
+fn parse_shard(v: &str) -> Result<(usize, usize), String> {
+    let (i, n) = v
+        .split_once('/')
+        .ok_or_else(|| format!("bad shard `{v}`: expected I/N"))?;
+    let i: usize = i.parse().map_err(|_| format!("bad shard index: {i}"))?;
+    let n: usize = n.parse().map_err(|_| format!("bad shard count: {n}"))?;
+    if n == 0 || i >= n {
+        return Err(format!("bad shard {i}/{n}: need N ≥ 1 and I < N"));
+    }
+    Ok((i, n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(args: &[&str]) -> Result<Options, String> {
         Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    fn pc(args: &[&str]) -> Result<CampaignArgs, String> {
+        CampaignArgs::parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -119,11 +224,63 @@ mod tests {
         assert!(p(&["--bogus"]).is_err());
         assert!(p(&["--seed"]).is_err());
         assert!(p(&["--seed", "x"]).is_err());
+        assert!(p(&["--out"]).is_err());
+        // Campaign-only flags are not legacy flags.
+        assert!(p(&["--campaign", "fig2"]).is_err());
     }
 
     #[test]
-    fn scale_sizes() {
-        assert_eq!(Scale::Quick.sizes(), vec![50, 100, 200]);
-        assert_eq!(Scale::Full.sizes().last(), Some(&700));
+    fn campaign_args_parse() {
+        let a = pc(&[
+            "--campaign",
+            "fig2",
+            "--campaign",
+            "validate",
+            "--spec",
+            "x.json",
+            "--full",
+            "--seed",
+            "7",
+            "--shard",
+            "1/4",
+            "--resume",
+            "--no-charts",
+        ])
+        .unwrap();
+        assert_eq!(a.campaigns, vec!["fig2", "validate"]);
+        assert_eq!(a.specs, vec![PathBuf::from("x.json")]);
+        assert_eq!(a.base.scale, Scale::Full);
+        assert_eq!(a.base.seed, 7);
+        assert!(a.seed_explicit);
+        assert_eq!(a.shard, Some((1, 4)));
+        assert!(a.resume && a.no_charts && !a.list);
+    }
+
+    #[test]
+    fn campaign_args_require_something_to_run() {
+        let e = pc(&[]).unwrap_err();
+        assert!(e.contains("nothing to run"), "{e}");
+        // --list alone is fine.
+        assert!(pc(&["--list"]).unwrap().list);
+    }
+
+    #[test]
+    fn campaign_args_errors() {
+        assert!(pc(&["--campaign"]).is_err());
+        assert!(pc(&["--spec"]).is_err());
+        assert!(pc(&["--campaign", "fig2", "--bogus"]).is_err());
+        assert!(pc(&["--campaign", "fig2", "--shard"]).is_err());
+        for bad in ["x", "1", "1/0", "4/4", "a/2", "1/b"] {
+            assert!(parse_shard(bad).is_err(), "shard `{bad}` should fail");
+        }
+        assert_eq!(parse_shard("0/1").unwrap(), (0, 1));
+        assert_eq!(parse_shard("3/8").unwrap(), (3, 8));
+    }
+
+    #[test]
+    fn seed_without_explicit_flag_keeps_default_marker() {
+        let a = pc(&["--campaign", "fig2"]).unwrap();
+        assert_eq!(a.base.seed, 42);
+        assert!(!a.seed_explicit);
     }
 }

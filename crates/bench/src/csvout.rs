@@ -1,4 +1,6 @@
-//! Tiny CSV writer (quoted where needed; no external dependency).
+//! Tiny CSV writer (quoted where needed; no external dependency), plus a
+//! streaming variant the campaign engine uses to flush rows as cells
+//! complete.
 
 use std::io::Write;
 use std::path::Path;
@@ -41,6 +43,52 @@ pub fn write_csv<P: AsRef<Path>>(
     out.flush()
 }
 
+/// Incremental CSV writer: rows stream to disk as they are produced (the
+/// campaign engine flushes after every cell, so a killed run leaves a
+/// valid, resumable file behind).
+pub struct CsvWriter {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl CsvWriter {
+    /// Creates (or, with `append`, reopens) `path`. The header is written
+    /// only on fresh files — appending resumes mid-table.
+    pub fn open<P: AsRef<Path>>(path: P, header: &[&str], append: bool) -> std::io::Result<Self> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .append(append)
+            .truncate(!append)
+            .open(&path)?;
+        let fresh = file.metadata()?.len() == 0;
+        let mut w = CsvWriter {
+            out: std::io::BufWriter::new(file),
+        };
+        if fresh {
+            w.write_row(header.iter().map(|h| h.to_string()))?;
+        }
+        Ok(w)
+    }
+
+    /// Writes one row.
+    pub fn write_row(&mut self, row: impl IntoIterator<Item = String>) -> std::io::Result<()> {
+        let line = row
+            .into_iter()
+            .map(|c| field(&c))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(self.out, "{line}")
+    }
+
+    /// Flushes buffered rows to disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +108,36 @@ mod tests {
         .unwrap();
         let s = std::fs::read_to_string(&path).unwrap();
         assert_eq!(s, "a,\"b,c\"\n1,plain\n2,\"with \"\"quote\"\", comma\"\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_and_appends() {
+        let dir = std::env::temp_dir().join("dagchkpt_csv_stream_test");
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        write_csv(
+            &a,
+            &["x", "y"],
+            vec![
+                vec!["1".to_string(), "2".to_string()],
+                vec!["3".to_string(), "4".to_string()],
+            ],
+        )
+        .unwrap();
+        let mut w = CsvWriter::open(&b, &["x", "y"], false).unwrap();
+        w.write_row(["1".to_string(), "2".to_string()]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        // Appending does not repeat the header.
+        let mut w = CsvWriter::open(&b, &["x", "y"], true).unwrap();
+        w.write_row(["3".to_string(), "4".to_string()]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap()
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 }

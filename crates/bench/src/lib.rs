@@ -1,10 +1,22 @@
-//! `dagchkpt-bench` — the experiment harness that regenerates every figure
+//! `dagchkpt-bench` — the experiment harness regenerating every figure
 //! of the paper's evaluation (Section 6), plus the validation, ablation and
 //! optimality-gap studies described in `DESIGN.md`.
 //!
-//! One binary per figure:
+//! The harness is driven by **declarative campaigns**: a [`ScenarioSpec`]
+//! (see [`scenario`]) names workflows × failure models × strategies ×
+//! simulators, and the engine (see [`campaign`]) expands the cross-product
+//! into cells and streams CSV/JSON rows. One CLI runs everything:
 //!
-//! | binary   | paper artifact | content |
+//! ```text
+//! dagchkpt-bench --campaign fig2 --quick          # built-in campaign
+//! dagchkpt-bench --spec my_scenario.json          # user scenario
+//! dagchkpt-bench --spec big.json --shard 0/8      # split across machines
+//! ```
+//!
+//! Built-in campaigns reproduce the paper byte-for-byte (golden corpus
+//! under `tests/golden/`):
+//!
+//! | campaign | paper artifact | content |
 //! |----------|----------------|---------|
 //! | `fig2`   | Figure 2 (a–c) | linearization impact: CkptW/CkptC × DF/BF/RF |
 //! | `fig3`   | Figure 3 (a–d) | checkpoint strategies, `c = 0.1 w`          |
@@ -13,19 +25,29 @@
 //! | `fig6`   | Figure 6 (a–d) | checkpoint strategies, `c = 5 s`            |
 //! | `fig7`   | Figure 7 (a–d) | λ sweep at 200 tasks                        |
 //!
-//! plus `validate` (analytic evaluator vs Monte-Carlo), `optgap` (heuristics
-//! vs brute-force optimum), `ablation` (priorities, evaluator variants) and
-//! `weibull` (non-exponential faults). Every binary accepts `--quick`
-//! (default) or `--full` (the paper's task counts up to 700), `--out DIR`
-//! and `--seed S`, writes CSV series under `results/`, and renders ASCII
-//! charts of the same series the paper plots.
+//! plus `validate` (analytic evaluator vs Monte-Carlo), `optgap`
+//! (heuristics vs brute-force optimum), `ablation` (priorities, evaluator
+//! variants), `weibull` (non-exponential faults), `nonblocking`
+//! (overlapped checkpoint writes), `extensions` (CkptH + local search) and
+//! `sweep_all`. The pre-refactor one-binary-per-figure entry points remain
+//! as thin aliases for one release.
 
+pub mod campaign;
 pub mod chart;
 pub mod cli;
 pub mod csvout;
 pub mod figures;
 pub mod runner;
+pub mod scenario;
 pub mod studies;
 
-pub use cli::{Options, Scale};
+pub use campaign::{
+    builtin, builtin_names, run_campaign, run_scenario, Campaign, CampaignReport, CellResult,
+    OutputFormat, OutputSpec, RunContext, Stage, StageReport, StudyKind,
+};
+pub use cli::{CampaignArgs, Options, Scale};
 pub use runner::{auto_policy, run_cell, Cell, Row};
+pub use scenario::{
+    CellPlan, FailureCell, FailureSpec, ScenarioError, ScenarioSpec, SeedPolicy, SimulatorSpec,
+    StrategyCell, StrategySpec, SweepSpec, WorkflowSource,
+};

@@ -1,0 +1,89 @@
+//! `dagchkpt-bench` — one CLI over every experiment campaign.
+//!
+//! ```text
+//! dagchkpt-bench --list
+//! dagchkpt-bench --campaign fig2 --quick
+//! dagchkpt-bench --campaign sweep_all --full --out results --seed 42
+//! dagchkpt-bench --spec examples/campaigns/chain_sweep.json
+//! dagchkpt-bench --spec big.json --shard 2/8 --resume
+//! ```
+//!
+//! Built-in campaigns reproduce the paper's figures and studies; spec
+//! files describe new scenarios declaratively (see the README's "Running
+//! campaigns" section).
+
+use dagchkpt_bench::campaign::{builtin, builtin_names, run_campaign, RunContext, Stage};
+use dagchkpt_bench::{Campaign, CampaignArgs};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = CampaignArgs::from_args();
+    if args.list {
+        println!("built-in campaigns:");
+        for name in builtin_names() {
+            let c = builtin(name, args.base.scale, args.base.seed).expect("listed builtin");
+            println!("  {name:<12} {} ({} stages)", c.description, c.stages.len());
+        }
+        return;
+    }
+
+    let mut campaigns: Vec<Campaign> = Vec::new();
+    for name in &args.campaigns {
+        match builtin(name, args.base.scale, args.base.seed) {
+            Some(c) => campaigns.push(c),
+            None => fail(&format!(
+                "unknown campaign `{name}`; available: {}",
+                builtin_names().join(", ")
+            )),
+        }
+    }
+    for path in &args.specs {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
+        let mut c = Campaign::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+        // An explicit --seed overrides whatever the file pinned.
+        if args.seed_explicit {
+            for stage in &mut c.stages {
+                match stage {
+                    Stage::Scenario { scenario, .. } => scenario.seed = args.base.seed,
+                    Stage::Study { seed, .. } => *seed = args.base.seed,
+                }
+            }
+        }
+        campaigns.push(c);
+    }
+
+    let ctx = RunContext {
+        out_dir: args.base.out_dir.clone(),
+        shard: args.shard,
+        resume: args.resume,
+        charts: !args.no_charts,
+    };
+    let mut worst_z = f64::NAN;
+    for c in &campaigns {
+        match run_campaign(c, &ctx) {
+            Ok(report) => {
+                let z = report.worst_abs_z();
+                if !z.is_nan() && (worst_z.is_nan() || z > worst_z) {
+                    worst_z = z;
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if worst_z.is_finite() {
+        println!("worst Monte-Carlo |z| = {worst_z:.2} (|z| ≤ 5 expected)");
+        if worst_z > 5.0 {
+            eprintln!("VALIDATION FAILED: worst |z| = {worst_z:.2} > 5");
+            std::process::exit(1);
+        }
+    }
+}

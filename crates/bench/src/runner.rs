@@ -36,7 +36,7 @@ impl Cell {
 #[derive(Debug, Clone)]
 pub struct Row {
     /// Application name.
-    pub workflow: &'static str,
+    pub workflow: String,
     /// Task count.
     pub n: usize,
     /// Failure rate.
@@ -72,7 +72,7 @@ impl Row {
     /// Serializes the row for [`crate::csvout::write_csv`].
     pub fn to_csv(&self) -> Vec<String> {
         vec![
-            self.workflow.to_string(),
+            self.workflow.clone(),
             self.n.to_string(),
             format!("{:e}", self.lambda),
             self.rule.clone(),
@@ -108,7 +108,7 @@ pub fn run_cell(cell: &Cell, heuristics: &[Heuristic], policy: SweepPolicy) -> V
         .map(|&h| {
             let r = run_heuristic(&wf, model, h, policy);
             Row {
-                workflow: cell.kind.name(),
+                workflow: cell.kind.name().to_string(),
                 n: cell.n,
                 lambda: cell.lambda,
                 rule: cell.rule.label(),

@@ -1,0 +1,1184 @@
+//! Declarative scenario specifications: the serde-backed data model behind
+//! the campaign engine (see [`crate::campaign`]).
+//!
+//! A [`ScenarioSpec`] names four orthogonal axes —
+//!
+//! * **workflows** ([`WorkflowSource`]): Pegasus-like generators, random
+//!   DAG families, or inline [`WorkflowSpec`] instances;
+//! * **failures** ([`FailureSpec`]): exponential, Weibull (age-dependent),
+//!   fixed traces, and λ / MTBF / shape sweeps;
+//! * **strategies** ([`StrategySpec`]): any of the paper's 14 heuristics,
+//!   the exact chain/fork/join solvers, or Young/Daly periodic budgets;
+//! * **simulators** ([`SimulatorSpec`]): the analytic Theorem-3 evaluator,
+//!   the blocking Monte-Carlo engine, or non-blocking checkpoint writes —
+//!
+//! and is *expanded* into a flat, deterministic list of [`CellPlan`]s (one
+//! per workflow instance × size × failure model). Strategies × simulators
+//! run inside each cell and become output rows. Per-cell seeds are fixed at
+//! expansion time by the [`SeedPolicy`], so executing cells in any order,
+//! or splitting them across shards/machines, cannot change any result.
+
+use crate::runner::auto_policy;
+use dagchkpt_core::{
+    paper_heuristics, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy, SweepPolicy,
+    Workflow,
+};
+use dagchkpt_failure::FaultModel;
+use dagchkpt_workflows::{PegasusKind, WorkflowSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Error raised by spec validation, expansion, or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl ScenarioError {
+    /// Shorthand constructor.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ScenarioError(msg.into())
+    }
+}
+
+/// Where workflow instances come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkflowSource {
+    /// One of the four Pegasus-like application generators.
+    Pegasus {
+        /// Application.
+        kind: PegasusKind,
+        /// Checkpoint/recovery cost rule.
+        rule: CostRule,
+    },
+    /// Random layered DAG ([`dagchkpt_dag::generators::layered_random`])
+    /// with weights uniform in `[min_weight, max_weight)`.
+    RandomLayered {
+        /// Maximum layer width.
+        max_width: usize,
+        /// Edge probability between consecutive layers.
+        edge_prob: f64,
+        /// Lower weight bound (seconds).
+        min_weight: f64,
+        /// Upper weight bound (seconds).
+        max_weight: f64,
+        /// Checkpoint/recovery cost rule.
+        rule: CostRule,
+        /// λ used by [`FailureSpec::SourceDefault`] (0 = none declared).
+        #[serde(default)]
+        default_lambda: f64,
+    },
+    /// Linear chain with weights uniform in `[min_weight, max_weight)` —
+    /// the shape the exact Toueg–Babaoglu solver covers.
+    RandomChain {
+        /// Lower weight bound (seconds).
+        min_weight: f64,
+        /// Upper weight bound (seconds).
+        max_weight: f64,
+        /// Checkpoint/recovery cost rule.
+        rule: CostRule,
+        /// λ used by [`FailureSpec::SourceDefault`] (0 = none declared).
+        #[serde(default)]
+        default_lambda: f64,
+    },
+    /// A fully specified instance (topology + costs), e.g. captured with
+    /// [`WorkflowSpec::from_workflow`]. Ignores the spec's `sizes`.
+    Inline {
+        /// Display name used in output rows.
+        name: String,
+        /// The instance.
+        workflow: WorkflowSpec,
+        /// λ used by [`FailureSpec::SourceDefault`] (0 = none declared).
+        #[serde(default)]
+        default_lambda: f64,
+    },
+}
+
+impl WorkflowSource {
+    /// Display name used in output rows.
+    pub fn display_name(&self) -> String {
+        match self {
+            WorkflowSource::Pegasus { kind, .. } => kind.name().to_string(),
+            WorkflowSource::RandomLayered { .. } => "layered".to_string(),
+            WorkflowSource::RandomChain { .. } => "chain".to_string(),
+            WorkflowSource::Inline { name, .. } => name.clone(),
+        }
+    }
+
+    /// Cost-rule label for output rows (`inline` for inline instances).
+    pub fn rule_label(&self) -> String {
+        match self {
+            WorkflowSource::Pegasus { rule, .. }
+            | WorkflowSource::RandomLayered { rule, .. }
+            | WorkflowSource::RandomChain { rule, .. } => rule.label(),
+            WorkflowSource::Inline { .. } => "inline".to_string(),
+        }
+    }
+
+    /// The source's calibrated failure rate, if it declares one.
+    pub fn default_lambda(&self) -> Option<f64> {
+        match self {
+            WorkflowSource::Pegasus { kind, .. } => Some(kind.default_lambda()),
+            WorkflowSource::RandomLayered { default_lambda, .. }
+            | WorkflowSource::RandomChain { default_lambda, .. }
+            | WorkflowSource::Inline { default_lambda, .. } => {
+                (*default_lambda > 0.0).then_some(*default_lambda)
+            }
+        }
+    }
+
+    /// Generates the source's instance with `n` tasks from `seed`
+    /// (inline sources return their fixed instance).
+    pub fn generate(&self, n: usize, seed: u64) -> Result<Workflow, ScenarioError> {
+        match self {
+            WorkflowSource::Pegasus { kind, rule } => Ok(kind.generate(n, *rule, seed)),
+            WorkflowSource::RandomLayered {
+                max_width,
+                edge_prob,
+                min_weight,
+                max_weight,
+                rule,
+                ..
+            } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let dag =
+                    dagchkpt_dag::generators::layered_random(&mut rng, n, *max_width, *edge_prob);
+                let weights: Vec<f64> = (0..n)
+                    .map(|_| rng.gen_range(*min_weight..*max_weight))
+                    .collect();
+                Ok(Workflow::with_cost_rule(dag, weights, *rule))
+            }
+            WorkflowSource::RandomChain {
+                min_weight,
+                max_weight,
+                rule,
+                ..
+            } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let dag = dagchkpt_dag::generators::chain(n);
+                let weights: Vec<f64> = (0..n)
+                    .map(|_| rng.gen_range(*min_weight..*max_weight))
+                    .collect();
+                Ok(Workflow::with_cost_rule(dag, weights, *rule))
+            }
+            WorkflowSource::Inline { workflow, name, .. } => workflow
+                .build()
+                .map_err(|e| ScenarioError::new(format!("inline workflow {name}: {e}"))),
+        }
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), ScenarioError> {
+        let err = |msg: String| Err(ScenarioError::new(format!("workflows[{idx}]: {msg}")));
+        match self {
+            WorkflowSource::Pegasus { .. } => Ok(()),
+            WorkflowSource::RandomLayered {
+                max_width,
+                edge_prob,
+                min_weight,
+                max_weight,
+                default_lambda,
+                ..
+            } => {
+                if *max_width == 0 {
+                    return err("max_width must be ≥ 1".into());
+                }
+                if !(0.0..=1.0).contains(edge_prob) {
+                    return err(format!("edge_prob {edge_prob} outside [0, 1]"));
+                }
+                validate_weight_range(*min_weight, *max_weight).or_else(err)?;
+                validate_lambda_field(*default_lambda).or_else(err)
+            }
+            WorkflowSource::RandomChain {
+                min_weight,
+                max_weight,
+                default_lambda,
+                ..
+            } => {
+                validate_weight_range(*min_weight, *max_weight).or_else(err)?;
+                validate_lambda_field(*default_lambda).or_else(err)
+            }
+            WorkflowSource::Inline {
+                name,
+                workflow,
+                default_lambda,
+            } => {
+                if name.is_empty() {
+                    return err("inline workflow needs a non-empty name".into());
+                }
+                workflow
+                    .build()
+                    .map_err(|e| ScenarioError::new(format!("workflows[{idx}] ({name}): {e}")))?;
+                validate_lambda_field(*default_lambda).or_else(err)
+            }
+        }
+    }
+}
+
+fn validate_weight_range(lo: f64, hi: f64) -> Result<(), String> {
+    if !(lo.is_finite() && hi.is_finite()) || lo < 0.0 || hi <= lo {
+        return Err(format!("bad weight range [{lo}, {hi})"));
+    }
+    Ok(())
+}
+
+fn validate_lambda_field(lambda: f64) -> Result<(), String> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(format!("default_lambda {lambda} must be finite and ≥ 0"));
+    }
+    Ok(())
+}
+
+/// A failure-model axis entry; sweeps expand into several [`FailureCell`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureSpec {
+    /// Exponential failures of rate `λ` with constant downtime.
+    Exponential {
+        /// Failure rate (per second).
+        lambda: f64,
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+    /// Exponential failures at each source's calibrated `default_lambda`
+    /// (the paper's per-application λ for Pegasus sources).
+    SourceDefault {
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+    /// One exponential cell per listed λ.
+    LambdaSweep {
+        /// Failure rates, one cell each.
+        lambdas: Vec<f64>,
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+    /// One exponential cell per listed MTBF (`λ = 1 / mtbf`).
+    MtbfSweep {
+        /// Mean times between failures, one cell each.
+        mtbfs: Vec<f64>,
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+    /// Weibull (age-dependent) failures calibrated to a target MTBF.
+    /// Monte-Carlo only; schedules are optimized under the rate-matched
+    /// exponential proxy `λ = 1 / mtbf`.
+    Weibull {
+        /// Mean time between failures (seconds).
+        mtbf: f64,
+        /// Weibull shape (`< 1` infant mortality, `> 1` wear-out).
+        shape: f64,
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+    /// One Weibull cell per listed shape at a fixed MTBF.
+    WeibullShapeSweep {
+        /// Mean time between failures (seconds).
+        mtbf: f64,
+        /// Weibull shapes, one cell each.
+        shapes: Vec<f64>,
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+    /// A fixed ascending list of absolute fault times, replayed in every
+    /// trial (deterministic). Monte-Carlo only; the analytic proxy is the
+    /// fault-free model.
+    Trace {
+        /// Absolute fault times (sorted ascending).
+        times: Vec<f64>,
+        /// Downtime `D` after each fault (seconds).
+        #[serde(default)]
+        downtime: f64,
+    },
+}
+
+impl FailureSpec {
+    /// Expands the entry into concrete cells, resolving
+    /// [`FailureSpec::SourceDefault`] against `source`.
+    pub fn expand(&self, source: &WorkflowSource) -> Result<Vec<FailureCell>, ScenarioError> {
+        match self {
+            FailureSpec::Exponential { lambda, downtime } => Ok(vec![FailureCell::Exponential {
+                lambda: *lambda,
+                downtime: *downtime,
+            }]),
+            FailureSpec::SourceDefault { downtime } => {
+                let lambda = source.default_lambda().ok_or_else(|| {
+                    ScenarioError::new(format!(
+                        "SourceDefault failure: source `{}` declares no default_lambda",
+                        source.display_name()
+                    ))
+                })?;
+                Ok(vec![FailureCell::Exponential {
+                    lambda,
+                    downtime: *downtime,
+                }])
+            }
+            FailureSpec::LambdaSweep { lambdas, downtime } => Ok(lambdas
+                .iter()
+                .map(|&lambda| FailureCell::Exponential {
+                    lambda,
+                    downtime: *downtime,
+                })
+                .collect()),
+            FailureSpec::MtbfSweep { mtbfs, downtime } => Ok(mtbfs
+                .iter()
+                .map(|&mtbf| FailureCell::Exponential {
+                    lambda: 1.0 / mtbf,
+                    downtime: *downtime,
+                })
+                .collect()),
+            FailureSpec::Weibull {
+                mtbf,
+                shape,
+                downtime,
+            } => Ok(vec![FailureCell::Weibull {
+                mtbf: *mtbf,
+                shape: *shape,
+                downtime: *downtime,
+            }]),
+            FailureSpec::WeibullShapeSweep {
+                mtbf,
+                shapes,
+                downtime,
+            } => Ok(shapes
+                .iter()
+                .map(|&shape| FailureCell::Weibull {
+                    mtbf: *mtbf,
+                    shape,
+                    downtime: *downtime,
+                })
+                .collect()),
+            FailureSpec::Trace { times, downtime } => Ok(vec![FailureCell::Trace {
+                times: times.clone(),
+                downtime: *downtime,
+            }]),
+        }
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), ScenarioError> {
+        let err = |msg: String| Err(ScenarioError::new(format!("failures[{idx}]: {msg}")));
+        let check_downtime = |d: f64| -> Result<(), ScenarioError> {
+            if !d.is_finite() || d < 0.0 {
+                return err(format!("downtime {d} must be finite and ≥ 0"));
+            }
+            Ok(())
+        };
+        let check_lambda = |l: f64| -> Result<(), ScenarioError> {
+            if !l.is_finite() || l < 0.0 {
+                return err(format!("lambda {l} must be finite and ≥ 0"));
+            }
+            Ok(())
+        };
+        match self {
+            FailureSpec::Exponential { lambda, downtime } => {
+                check_lambda(*lambda)?;
+                check_downtime(*downtime)
+            }
+            FailureSpec::SourceDefault { downtime } => check_downtime(*downtime),
+            FailureSpec::LambdaSweep { lambdas, downtime } => {
+                if lambdas.is_empty() {
+                    return err("empty lambda sweep".into());
+                }
+                for &l in lambdas {
+                    check_lambda(l)?;
+                }
+                check_downtime(*downtime)
+            }
+            FailureSpec::MtbfSweep { mtbfs, downtime } => {
+                if mtbfs.is_empty() {
+                    return err("empty MTBF sweep".into());
+                }
+                if mtbfs.iter().any(|&m| !m.is_finite() || m <= 0.0) {
+                    return err("every MTBF must be finite and > 0".into());
+                }
+                check_downtime(*downtime)
+            }
+            FailureSpec::Weibull {
+                mtbf,
+                shape,
+                downtime,
+            } => {
+                if !mtbf.is_finite() || *mtbf <= 0.0 || !shape.is_finite() || *shape <= 0.0 {
+                    return err(format!(
+                        "Weibull needs mtbf > 0 and shape > 0, got {mtbf}/{shape}"
+                    ));
+                }
+                check_downtime(*downtime)
+            }
+            FailureSpec::WeibullShapeSweep {
+                mtbf,
+                shapes,
+                downtime,
+            } => {
+                if shapes.is_empty() {
+                    return err("empty shape sweep".into());
+                }
+                if !mtbf.is_finite() || *mtbf <= 0.0 {
+                    return err(format!("mtbf {mtbf} must be finite and > 0"));
+                }
+                if shapes.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+                    return err("every shape must be finite and > 0".into());
+                }
+                check_downtime(*downtime)
+            }
+            FailureSpec::Trace { times, downtime } => {
+                if times.iter().any(|t| !t.is_finite()) {
+                    return err("trace times must be finite".into());
+                }
+                if times.windows(2).any(|w| w[0] > w[1]) {
+                    return err("trace times must be sorted ascending".into());
+                }
+                check_downtime(*downtime)
+            }
+        }
+    }
+}
+
+/// One concrete failure model (sweeps already expanded).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCell {
+    /// Exponential failures (the paper's model).
+    Exponential {
+        /// Failure rate (per second).
+        lambda: f64,
+        /// Downtime after each fault (seconds).
+        downtime: f64,
+    },
+    /// Weibull failures calibrated to `mtbf`.
+    Weibull {
+        /// Mean time between failures (seconds).
+        mtbf: f64,
+        /// Weibull shape.
+        shape: f64,
+        /// Downtime after each fault (seconds).
+        downtime: f64,
+    },
+    /// Fixed fault-time trace.
+    Trace {
+        /// Absolute fault times (sorted ascending).
+        times: Vec<f64>,
+        /// Downtime after each fault (seconds).
+        downtime: f64,
+    },
+}
+
+impl FailureCell {
+    /// The exponential model schedules are optimized (and analytic values
+    /// computed) under: the cell's own model for exponential cells, the
+    /// rate-matched proxy `λ = 1/mtbf` for Weibull, and the fault-free
+    /// model for traces.
+    pub fn proxy_model(&self) -> FaultModel {
+        match self {
+            FailureCell::Exponential { lambda, downtime } => FaultModel::new(*lambda, *downtime),
+            FailureCell::Weibull { mtbf, downtime, .. } => FaultModel::new(1.0 / mtbf, *downtime),
+            FailureCell::Trace { downtime, .. } => FaultModel::new(0.0, *downtime),
+        }
+    }
+
+    /// The downtime `D`.
+    pub fn downtime(&self) -> f64 {
+        match self {
+            FailureCell::Exponential { downtime, .. }
+            | FailureCell::Weibull { downtime, .. }
+            | FailureCell::Trace { downtime, .. } => *downtime,
+        }
+    }
+
+    /// Weibull shape, `NaN` for other models (used by the Weibull-study
+    /// output adapter).
+    pub fn shape(&self) -> f64 {
+        match self {
+            FailureCell::Weibull { shape, .. } => *shape,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Label for output rows.
+    pub fn label(&self) -> String {
+        match self {
+            FailureCell::Exponential { lambda, .. } => format!("exp({lambda:e})"),
+            FailureCell::Weibull { mtbf, shape, .. } => {
+                format!("weibull(mtbf={mtbf},shape={shape})")
+            }
+            FailureCell::Trace { times, .. } => format!("trace({} faults)", times.len()),
+        }
+    }
+}
+
+/// A strategy axis entry; expands into one or more [`StrategyCell`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrategySpec {
+    /// One heuristic: a linearization × checkpoint-strategy pair.
+    Heuristic {
+        /// Linearization.
+        lin: LinearizationStrategy,
+        /// Checkpoint strategy.
+        ckpt: CheckpointStrategy,
+    },
+    /// The paper's 14 heuristics (RF seeded from the spec's master seed).
+    Paper,
+    /// `CkptW` and `CkptC` under DF/BF/RF — the 6 heuristics of the
+    /// paper's Figures 2 and 4.
+    WorkAndCost,
+    /// Exact chain solver (Toueg–Babaoglu DP). Errors on non-chains.
+    ExactChain,
+    /// Exact fork solver (Theorem 1). Errors on non-forks.
+    ExactFork,
+    /// Exact join solver (uniform-cost weight-window sweep). Errors on
+    /// non-joins or non-uniform checkpoint costs.
+    ExactJoin,
+    /// `CkptPer` with the budget implied by Young's period (no sweep).
+    Young,
+    /// `CkptPer` with the budget implied by Daly's period (no sweep).
+    Daly,
+}
+
+impl StrategySpec {
+    /// Expands the entry; `rf_seed` seeds RF linearizations in the bundled
+    /// sets (explicit [`StrategySpec::Heuristic`] entries keep their own).
+    pub fn expand(&self, rf_seed: u64) -> Vec<StrategyCell> {
+        match self {
+            StrategySpec::Heuristic { lin, ckpt } => vec![StrategyCell::Heuristic(Heuristic {
+                lin: *lin,
+                ckpt: *ckpt,
+            })],
+            StrategySpec::Paper => paper_heuristics(rf_seed)
+                .into_iter()
+                .map(StrategyCell::Heuristic)
+                .collect(),
+            StrategySpec::WorkAndCost => {
+                let lins = [
+                    LinearizationStrategy::DepthFirst,
+                    LinearizationStrategy::BreadthFirst,
+                    LinearizationStrategy::RandomFirst { seed: rf_seed },
+                ];
+                let mut out = Vec::new();
+                for ckpt in [
+                    CheckpointStrategy::ByDecreasingWork,
+                    CheckpointStrategy::ByIncreasingCkptCost,
+                ] {
+                    for lin in lins {
+                        out.push(StrategyCell::Heuristic(Heuristic { lin, ckpt }));
+                    }
+                }
+                out
+            }
+            StrategySpec::ExactChain => vec![StrategyCell::ExactChain],
+            StrategySpec::ExactFork => vec![StrategyCell::ExactFork],
+            StrategySpec::ExactJoin => vec![StrategyCell::ExactJoin],
+            StrategySpec::Young => vec![StrategyCell::Young],
+            StrategySpec::Daly => vec![StrategyCell::Daly],
+        }
+    }
+}
+
+/// One concrete strategy to run inside a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyCell {
+    /// Linearize + optimize checkpoints with the budget sweep.
+    Heuristic(Heuristic),
+    /// Exact chain optimum.
+    ExactChain,
+    /// Exact fork optimum.
+    ExactFork,
+    /// Exact join optimum (uniform costs).
+    ExactJoin,
+    /// Periodic checkpoints at Young's budget on the DF linearization.
+    Young,
+    /// Periodic checkpoints at Daly's budget on the DF linearization.
+    Daly,
+}
+
+impl StrategyCell {
+    /// Display name used in output rows.
+    pub fn name(&self) -> String {
+        match self {
+            StrategyCell::Heuristic(h) => h.name(),
+            StrategyCell::ExactChain => "ExactChain".to_string(),
+            StrategyCell::ExactFork => "ExactFork".to_string(),
+            StrategyCell::ExactJoin => "ExactJoin".to_string(),
+            StrategyCell::Young => "DF-CkptYoung".to_string(),
+            StrategyCell::Daly => "DF-CkptDaly".to_string(),
+        }
+    }
+}
+
+/// A simulator axis entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimulatorSpec {
+    /// The Theorem-3 analytic evaluator (exact under exponential faults).
+    Analytic,
+    /// The blocking Monte-Carlo engine.
+    MonteCarlo {
+        /// Trials per cell.
+        trials: usize,
+    },
+    /// The non-blocking (overlapped checkpoint writes) Monte-Carlo engine.
+    NonBlocking {
+        /// Trials per cell.
+        trials: usize,
+        /// Computation rate while a write is in flight (`0 < rate ≤ 1`).
+        compute_rate: f64,
+    },
+}
+
+impl SimulatorSpec {
+    /// Column/row label (`analytic`, `mc`, `nb_0.9`, …).
+    pub fn label(&self) -> String {
+        match self {
+            SimulatorSpec::Analytic => "analytic".to_string(),
+            SimulatorSpec::MonteCarlo { .. } => "mc".to_string(),
+            SimulatorSpec::NonBlocking { compute_rate, .. } => {
+                if (compute_rate * 10.0).fract() == 0.0 {
+                    format!("nb_{compute_rate:.1}")
+                } else {
+                    format!("nb_{compute_rate}")
+                }
+            }
+        }
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), ScenarioError> {
+        let err = |msg: String| Err(ScenarioError::new(format!("simulators[{idx}]: {msg}")));
+        match self {
+            SimulatorSpec::Analytic => Ok(()),
+            SimulatorSpec::MonteCarlo { trials } => {
+                if *trials == 0 {
+                    return err("trials must be ≥ 1".into());
+                }
+                Ok(())
+            }
+            SimulatorSpec::NonBlocking {
+                trials,
+                compute_rate,
+            } => {
+                if *trials == 0 {
+                    return err("trials must be ≥ 1".into());
+                }
+                if !(*compute_rate > 0.0 && *compute_rate <= 1.0) {
+                    return err(format!("compute_rate {compute_rate} outside (0, 1]"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// How per-cell seeds derive from the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SeedPolicy {
+    /// SplitMix64 mix of the spec's stable hash and the cell index —
+    /// stable under sharding and re-ordering, decorrelated across cells.
+    #[default]
+    SpecHash,
+    /// `master ^ n` (the pre-refactor figure binaries' convention).
+    LegacyXorN,
+    /// The master seed verbatim for every cell (the pre-refactor study
+    /// binaries' convention).
+    Master,
+}
+
+/// Checkpoint-budget sweep policy, as spec data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepSpec {
+    /// The harness default: exhaustive up to 300 tasks, then strided with
+    /// local refinement ([`crate::runner::auto_policy`]).
+    #[default]
+    Auto,
+    /// Every budget `N ∈ 0..=n`.
+    Exhaustive,
+    /// Strided sweep with local refinement.
+    Strided {
+        /// Coarse step (≥ 1).
+        stride: usize,
+    },
+}
+
+impl SweepSpec {
+    /// Resolves the policy for an `n`-task instance.
+    pub fn policy(&self, n: usize) -> SweepPolicy {
+        match self {
+            SweepSpec::Auto => auto_policy(n),
+            SweepSpec::Exhaustive => SweepPolicy::Exhaustive,
+            SweepSpec::Strided { stride } => SweepPolicy::Strided { stride: *stride },
+        }
+    }
+}
+
+/// A declarative scenario: the full cross-product description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in manifests and reports).
+    pub name: String,
+    /// Free-form description.
+    #[serde(default)]
+    pub description: String,
+    /// Workflow sources (axis 1).
+    pub workflows: Vec<WorkflowSource>,
+    /// Task counts for generated sources (axis 2); ignored by inline
+    /// sources, which contribute one cell at their own size.
+    #[serde(default)]
+    pub sizes: Vec<usize>,
+    /// Failure models (axis 3); sweeps expand into several cells.
+    pub failures: Vec<FailureSpec>,
+    /// Strategies run inside every cell (one output row each).
+    pub strategies: Vec<StrategySpec>,
+    /// Simulators run per strategy (one output row each).
+    pub simulators: Vec<SimulatorSpec>,
+    /// Master seed: seeds RF linearizations and enters cell seeds.
+    #[serde(default)]
+    pub seed: u64,
+    /// Per-cell seed derivation.
+    #[serde(default)]
+    pub seed_policy: SeedPolicy,
+    /// Checkpoint-budget sweep policy.
+    #[serde(default)]
+    pub sweep: SweepSpec,
+}
+
+/// One expanded cell: a workflow instance under one failure model, with its
+/// seed already fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPlan {
+    /// Position in the spec's full expansion (stable across shards).
+    pub index: usize,
+    /// Index into [`ScenarioSpec::workflows`].
+    pub source: usize,
+    /// Task count.
+    pub n: usize,
+    /// Concrete failure model.
+    pub failure: FailureCell,
+    /// Workflow-generation and Monte-Carlo master seed for this cell.
+    pub seed: u64,
+}
+
+/// SplitMix64 finalizer (the same mix as `TrialSpec::trial_seed`).
+fn splitmix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ScenarioSpec {
+    /// Serializes to compact JSON (the canonical form the stable hash is
+    /// computed over).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serializes")
+    }
+
+    /// Serializes to human-friendly indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses a spec from JSON.
+    pub fn from_json(s: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(s).map_err(|e| ScenarioError::new(format!("parsing spec: {e}")))
+    }
+
+    /// FNV-1a hash of the canonical JSON — stable across processes,
+    /// machines, and serialize/parse round-trips (the vendored
+    /// `serde_json` round-trips `f64` exactly).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Checks every axis entry; returns the first problem found.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.is_empty() {
+            return Err(ScenarioError::new("scenario needs a non-empty name"));
+        }
+        if self.workflows.is_empty() {
+            return Err(ScenarioError::new("no workflow sources"));
+        }
+        if self.failures.is_empty() {
+            return Err(ScenarioError::new("no failure models"));
+        }
+        if self.strategies.is_empty() {
+            return Err(ScenarioError::new("no strategies"));
+        }
+        if self.simulators.is_empty() {
+            return Err(ScenarioError::new("no simulators"));
+        }
+        let needs_sizes = self
+            .workflows
+            .iter()
+            .any(|w| !matches!(w, WorkflowSource::Inline { .. }));
+        if needs_sizes && self.sizes.is_empty() {
+            return Err(ScenarioError::new(
+                "generated workflow sources need a non-empty `sizes` list",
+            ));
+        }
+        for (i, w) in self.workflows.iter().enumerate() {
+            w.validate(i)?;
+            if let WorkflowSource::Pegasus { kind, .. } = w {
+                for &n in &self.sizes {
+                    if n < kind.min_tasks() {
+                        return Err(ScenarioError::new(format!(
+                            "workflows[{i}]: {kind} needs ≥ {} tasks, got size {n}",
+                            kind.min_tasks()
+                        )));
+                    }
+                }
+            }
+        }
+        if !self.workflows.iter().all(is_inline) && self.sizes.contains(&0) {
+            return Err(ScenarioError::new("sizes must be ≥ 1"));
+        }
+        for (i, f) in self.failures.iter().enumerate() {
+            f.validate(i)?;
+            if matches!(f, FailureSpec::SourceDefault { .. }) {
+                for w in &self.workflows {
+                    if w.default_lambda().is_none() {
+                        return Err(ScenarioError::new(format!(
+                            "failures[{i}]: SourceDefault, but source `{}` declares no \
+                             default_lambda",
+                            w.display_name()
+                        )));
+                    }
+                }
+            }
+        }
+        for (i, s) in self.simulators.iter().enumerate() {
+            s.validate(i)?;
+        }
+        if let SweepSpec::Strided { stride } = self.sweep {
+            if stride == 0 {
+                return Err(ScenarioError::new("sweep stride must be ≥ 1"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The concrete strategies run in every cell, in axis order.
+    pub fn strategy_cells(&self) -> Vec<StrategyCell> {
+        self.strategies
+            .iter()
+            .flat_map(|s| s.expand(self.seed))
+            .collect()
+    }
+
+    /// Expands the cross-product into cells: sources (outer) × sizes ×
+    /// failure cells (inner), with seeds fixed by the [`SeedPolicy`].
+    pub fn expand(&self) -> Result<Vec<CellPlan>, ScenarioError> {
+        self.validate()?;
+        let hash = self.stable_hash();
+        let mut cells = Vec::new();
+        for (si, source) in self.workflows.iter().enumerate() {
+            let sizes: Vec<usize> = match source {
+                WorkflowSource::Inline { workflow, .. } => vec![workflow.costs.len()],
+                _ => self.sizes.clone(),
+            };
+            for &n in &sizes {
+                for f in &self.failures {
+                    for failure in f.expand(source)? {
+                        let index = cells.len();
+                        cells.push(CellPlan {
+                            index,
+                            source: si,
+                            n,
+                            failure,
+                            seed: self.cell_seed(hash, index, n),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Seed of cell `index` with `n` tasks, under the spec's policy.
+    fn cell_seed(&self, spec_hash: u64, index: usize, n: usize) -> u64 {
+        match self.seed_policy {
+            SeedPolicy::SpecHash => splitmix(spec_hash, index as u64),
+            SeedPolicy::LegacyXorN => self.seed ^ n as u64,
+            SeedPolicy::Master => self.seed,
+        }
+    }
+}
+
+fn is_inline(w: &WorkflowSource) -> bool {
+    matches!(w, WorkflowSource::Inline { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".to_string(),
+            description: String::new(),
+            workflows: vec![WorkflowSource::Pegasus {
+                kind: PegasusKind::Montage,
+                rule: CostRule::ProportionalToWork { ratio: 0.1 },
+            }],
+            sizes: vec![50, 100],
+            failures: vec![FailureSpec::LambdaSweep {
+                lambdas: vec![1e-3, 2e-3],
+                downtime: 0.0,
+            }],
+            strategies: vec![StrategySpec::Heuristic {
+                lin: LinearizationStrategy::DepthFirst,
+                ckpt: CheckpointStrategy::ByDecreasingWork,
+            }],
+            simulators: vec![SimulatorSpec::Analytic],
+            seed: 42,
+            seed_policy: SeedPolicy::SpecHash,
+            sweep: SweepSpec::Auto,
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_source_size_failure() {
+        let cells = tiny_spec().expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let key: Vec<(usize, f64)> = cells
+            .iter()
+            .map(|c| match &c.failure {
+                FailureCell::Exponential { lambda, .. } => (c.n, *lambda),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(key, vec![(50, 1e-3), (50, 2e-3), (100, 1e-3), (100, 2e-3)]);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn spec_hash_seeds_are_stable_and_distinct() {
+        let spec = tiny_spec();
+        let a = spec.expand().unwrap();
+        let b = spec.expand().unwrap();
+        assert_eq!(a, b);
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), a.len(), "cell seeds must be distinct");
+        // Changing the master seed changes every cell seed (it enters the
+        // canonical JSON, hence the hash).
+        let mut other = spec.clone();
+        other.seed = 43;
+        let c = other.expand().unwrap();
+        assert!(a.iter().zip(&c).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn legacy_policies_reproduce_binary_conventions() {
+        let mut spec = tiny_spec();
+        spec.seed_policy = SeedPolicy::LegacyXorN;
+        for c in spec.expand().unwrap() {
+            assert_eq!(c.seed, 42 ^ c.n as u64);
+        }
+        spec.seed_policy = SeedPolicy::Master;
+        for c in spec.expand().unwrap() {
+            assert_eq!(c.seed, 42);
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_spec_and_expansion() {
+        let spec = tiny_spec();
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.expand().unwrap(), spec.expand().unwrap());
+        assert_eq!(parsed.stable_hash(), spec.stable_hash());
+        // Pretty form parses to the same spec too.
+        let parsed = ScenarioSpec::from_json(&spec.to_json_pretty()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn paper_strategy_set_matches_registry() {
+        let spec = ScenarioSpec {
+            strategies: vec![StrategySpec::Paper],
+            ..tiny_spec()
+        };
+        let cells = spec.strategy_cells();
+        let names: Vec<String> = cells.iter().map(|c| c.name()).collect();
+        let expect: Vec<String> = paper_heuristics(42).iter().map(|h| h.name()).collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn work_and_cost_set_matches_figure2_order() {
+        let spec = ScenarioSpec {
+            strategies: vec![StrategySpec::WorkAndCost],
+            ..tiny_spec()
+        };
+        let names: Vec<String> = spec.strategy_cells().iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["DF-CkptW", "BF-CkptW", "RF-CkptW", "DF-CkptC", "BF-CkptC", "RF-CkptC"]
+        );
+    }
+
+    #[test]
+    fn source_default_resolves_per_source() {
+        let spec = ScenarioSpec {
+            workflows: vec![
+                WorkflowSource::Pegasus {
+                    kind: PegasusKind::Montage,
+                    rule: CostRule::Constant { value: 5.0 },
+                },
+                WorkflowSource::Pegasus {
+                    kind: PegasusKind::Genome,
+                    rule: CostRule::Constant { value: 5.0 },
+                },
+            ],
+            failures: vec![FailureSpec::SourceDefault { downtime: 0.0 }],
+            ..tiny_spec()
+        };
+        let cells = spec.expand().unwrap();
+        let lambdas: Vec<f64> = cells
+            .iter()
+            .map(|c| match c.failure {
+                FailureCell::Exponential { lambda, .. } => lambda,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lambdas, vec![1e-3, 1e-3, 1e-4, 1e-4]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut empty = tiny_spec();
+        empty.workflows.clear();
+        assert!(empty.expand().is_err());
+
+        let mut no_sizes = tiny_spec();
+        no_sizes.sizes.clear();
+        assert!(no_sizes.expand().is_err());
+
+        let mut bad_rate = tiny_spec();
+        bad_rate.simulators = vec![SimulatorSpec::NonBlocking {
+            trials: 10,
+            compute_rate: 1.5,
+        }];
+        assert!(bad_rate.expand().is_err());
+
+        let mut no_default = tiny_spec();
+        no_default.workflows = vec![WorkflowSource::RandomChain {
+            min_weight: 1.0,
+            max_weight: 2.0,
+            rule: CostRule::Constant { value: 1.0 },
+            default_lambda: 0.0,
+        }];
+        no_default.failures = vec![FailureSpec::SourceDefault { downtime: 0.0 }];
+        assert!(no_default.expand().is_err());
+
+        let mut unsorted = tiny_spec();
+        unsorted.failures = vec![FailureSpec::Trace {
+            times: vec![5.0, 1.0],
+            downtime: 0.0,
+        }];
+        assert!(unsorted.expand().is_err());
+
+        let mut too_small = tiny_spec();
+        too_small.sizes = vec![2];
+        assert!(too_small.expand().is_err());
+    }
+
+    #[test]
+    fn inline_sources_ignore_sizes() {
+        let wf = PegasusKind::Montage.generate(50, CostRule::Constant { value: 1.0 }, 1);
+        let spec = ScenarioSpec {
+            workflows: vec![WorkflowSource::Inline {
+                name: "cap".to_string(),
+                workflow: WorkflowSpec::from_workflow(&wf, None),
+                default_lambda: 1e-3,
+            }],
+            sizes: vec![],
+            failures: vec![FailureSpec::Exponential {
+                lambda: 1e-3,
+                downtime: 0.0,
+            }],
+            ..tiny_spec()
+        };
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].n, 50);
+        let built = spec.workflows[0].generate(50, 0).unwrap();
+        assert_eq!(built, wf);
+    }
+
+    #[test]
+    fn random_sources_are_seed_deterministic() {
+        let src = WorkflowSource::RandomLayered {
+            max_width: 4,
+            edge_prob: 0.3,
+            min_weight: 5.0,
+            max_weight: 50.0,
+            rule: CostRule::ProportionalToWork { ratio: 0.1 },
+            default_lambda: 2e-3,
+        };
+        assert_eq!(src.generate(20, 7).unwrap(), src.generate(20, 7).unwrap());
+        assert_ne!(src.generate(20, 7).unwrap(), src.generate(20, 8).unwrap());
+        let chain = WorkflowSource::RandomChain {
+            min_weight: 1.0,
+            max_weight: 9.0,
+            rule: CostRule::Constant { value: 0.5 },
+            default_lambda: 1e-3,
+        };
+        let wf = chain.generate(6, 3).unwrap();
+        assert_eq!(wf.n_tasks(), 6);
+        assert!(dagchkpt_core::exact::chain::as_chain(&wf).is_some());
+    }
+
+    #[test]
+    fn weibull_cells_use_rate_matched_proxy() {
+        let cell = FailureCell::Weibull {
+            mtbf: 1000.0,
+            shape: 1.5,
+            downtime: 2.0,
+        };
+        let m = cell.proxy_model();
+        assert!((m.lambda() - 1e-3).abs() < 1e-18);
+        assert_eq!(m.downtime(), 2.0);
+        assert_eq!(cell.shape(), 1.5);
+        assert!(FailureCell::Exponential {
+            lambda: 1e-3,
+            downtime: 0.0
+        }
+        .shape()
+        .is_nan());
+    }
+
+    #[test]
+    fn simulator_labels() {
+        assert_eq!(SimulatorSpec::Analytic.label(), "analytic");
+        assert_eq!(SimulatorSpec::MonteCarlo { trials: 5 }.label(), "mc");
+        assert_eq!(
+            SimulatorSpec::NonBlocking {
+                trials: 5,
+                compute_rate: 1.0
+            }
+            .label(),
+            "nb_1.0"
+        );
+        assert_eq!(
+            SimulatorSpec::NonBlocking {
+                trials: 5,
+                compute_rate: 0.85
+            }
+            .label(),
+            "nb_0.85"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `dagchkpt-bench` campaign CLI, including the
+//! `from_args` usage/exit paths that unit tests cannot reach (they call
+//! `process::exit`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dagchkpt-bench"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dagchkpt_bench_cli_{tag}"));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn no_arguments_exits_2_with_usage() {
+    let out = bench_bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("nothing to run"), "{err}");
+    assert!(err.contains("usage: dagchkpt-bench"), "{err}");
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = bench_bin().arg("--bogus").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag: --bogus"), "{err}");
+    assert!(err.contains("usage: dagchkpt-bench"), "{err}");
+}
+
+#[test]
+fn unknown_campaign_exits_2_and_lists_names() {
+    let out = bench_bin()
+        .args(["--campaign", "nope"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown campaign `nope`"), "{err}");
+    assert!(err.contains("fig2") && err.contains("sweep_all"), "{err}");
+}
+
+#[test]
+fn missing_spec_file_exits_2() {
+    let out = bench_bin()
+        .args(["--spec", "/definitely/not/here.json"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_shard_exits_2() {
+    let out = bench_bin()
+        .args(["--campaign", "fig2", "--shard", "4/4"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad shard"));
+}
+
+#[test]
+fn list_prints_builtins_and_exits_0() {
+    let out = bench_bin().arg("--list").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in dagchkpt_bench::builtin_names() {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn legacy_alias_keeps_its_usage_exit_path() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig2"))
+        .arg("--bogus")
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag: --bogus"), "{err}");
+    assert!(err.contains("usage: <bin>"), "{err}");
+}
+
+/// A tiny spec-file campaign runs end to end: CSV + JSON rows land in the
+/// output directory and an explicit `--seed` overrides the file's.
+#[test]
+fn spec_file_campaign_runs_end_to_end() {
+    let dir = tmpdir("spec_e2e");
+    let spec = dir.join("tiny.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "name": "tiny",
+  "workflows": [
+    { "RandomChain": { "min_weight": 5.0, "max_weight": 20.0,
+                       "rule": { "ProportionalToWork": { "ratio": 0.1 } },
+                       "default_lambda": 0.002 } }
+  ],
+  "sizes": [5],
+  "failures": [ { "SourceDefault": {} } ],
+  "strategies": [
+    { "Heuristic": { "lin": "DepthFirst", "ckpt": "ByDecreasingWork" } },
+    "ExactChain"
+  ],
+  "simulators": [ "Analytic", { "MonteCarlo": { "trials": 200 } } ],
+  "seed": 1
+}"#,
+    )
+    .unwrap();
+    let out = bench_bin()
+        .args(["--spec", spec.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .args(["--seed", "7", "--no-charts"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("tiny.csv")).unwrap();
+    // Header + 1 cell × 2 strategies × 2 simulators.
+    assert_eq!(csv.lines().count(), 5, "{csv}");
+    assert!(csv.starts_with("cell,workflow,n,lambda"), "{csv}");
+    assert!(csv.contains("ExactChain"), "{csv}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("worst Monte-Carlo |z|"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The checked-in example spec stays valid.
+#[test]
+fn example_campaign_spec_parses() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/campaigns/chain_sweep.json");
+    let text = std::fs::read_to_string(&path).expect("example spec exists");
+    let campaign = dagchkpt_bench::Campaign::from_json(&text).expect("example spec parses");
+    assert_eq!(campaign.name, "chain_sweep");
+    for stage in &campaign.stages {
+        if let dagchkpt_bench::Stage::Scenario { scenario, .. } = stage {
+            scenario.validate().expect("example scenario is valid");
+        }
+    }
+}

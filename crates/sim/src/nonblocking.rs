@@ -127,13 +127,13 @@ impl State<'_> {
 
     /// Advances every front-of-queue write by elapsed wall time `step`,
     /// marking completions durable. (Writes serialize: only the front
-    /// write progresses.)
+    /// write progresses.) Writes with no remaining duration complete even
+    /// when `step == 0` — otherwise a zero-cost checkpoint would yield a
+    /// zero-length compute step that never drains it (an infinite loop the
+    /// scenario differential tests caught).
     fn drain_writes(&mut self, step: f64) {
         let mut left = step;
-        while left > 0.0 {
-            let Some(front) = self.writes.front_mut() else {
-                break;
-            };
+        while let Some(front) = self.writes.front_mut() {
             if front.1 > left {
                 front.1 -= left;
                 break;
@@ -367,6 +367,39 @@ mod tests {
         }
         let (nb, bl) = (nb_sum / trials as f64, b_sum / trials as f64);
         assert!(nb < bl, "non-blocking {nb} should beat blocking {bl}");
+    }
+
+    /// Regression: a zero-cost checkpoint write used to spin forever (the
+    /// zero-length compute step never drained it). It must complete
+    /// instantly and behave exactly like the blocking engine.
+    #[test]
+    fn zero_cost_writes_terminate_and_match_blocking() {
+        let wf = Workflow::uniform(generators::chain(4), 10.0, 0.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        for faults in [vec![], vec![15.0], vec![15.0, 26.0]] {
+            let mut inj = TraceInjector::new(faults.clone());
+            let cfg = NonBlockingConfig {
+                compute_rate: 0.5,
+                downtime: 1.0,
+                ..Default::default()
+            };
+            let nb = simulate_nonblocking(&wf, &s, &mut inj, cfg);
+            let mut inj = TraceInjector::new(faults);
+            let bl = simulate(
+                &wf,
+                &s,
+                &mut inj,
+                SimConfig {
+                    downtime: 1.0,
+                    record_trace: false,
+                },
+            );
+            assert_eq!(nb.makespan, bl.makespan);
+            assert_eq!(nb.n_faults, bl.n_faults);
+            // Instantly durable: faults recover (r = 0) instead of
+            // re-executing.
+            assert_eq!(nb.time_rework, bl.time_rework);
+        }
     }
 
     #[test]

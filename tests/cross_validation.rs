@@ -103,6 +103,182 @@ fn pegasus_workflow_matches_theorem3_within_3_sigma() {
     assert_within_3_sigma(&wf, model, 123, "cybershake-40");
 }
 
+// ---------------------------------------------------------------------------
+// Scenario-spec-driven differential validation: the declarative campaign
+// engine runs a grid of small workflows × fault rates through the analytic
+// evaluator, the blocking Monte-Carlo engine, and (where its semantics
+// provably coincide with blocking) the non-blocking engine, and the three
+// must agree within 3 standard errors.
+// ---------------------------------------------------------------------------
+
+mod differential {
+    use dagchkpt_bench::{
+        run_scenario, CellResult, FailureSpec, ScenarioSpec, SeedPolicy, SimulatorSpec,
+        StrategySpec, SweepSpec, WorkflowSource,
+    };
+    use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
+
+    fn base_spec(name: &str, workflows: Vec<WorkflowSource>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.to_string(),
+            description: String::new(),
+            workflows,
+            sizes: vec![6, 10],
+            failures: vec![FailureSpec::LambdaSweep {
+                lambdas: vec![2e-3, 8e-3],
+                downtime: 1.0,
+            }],
+            strategies: vec![],
+            simulators: vec![],
+            seed: 2027,
+            seed_policy: SeedPolicy::SpecHash,
+            sweep: SweepSpec::Exhaustive,
+        }
+    }
+
+    fn heuristic(ckpt: CheckpointStrategy) -> StrategySpec {
+        StrategySpec::Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt,
+        }
+    }
+
+    /// Groups a scenario's rows into (analytic, mc, nb) triples per
+    /// (cell, strategy) and applies `check`.
+    fn for_each_triple(rows: &[CellResult], check: impl Fn(&CellResult, &CellResult, &CellResult)) {
+        assert!(!rows.is_empty());
+        for triple in rows.chunks(3) {
+            let [a, m, nb] = triple else {
+                panic!("expected (analytic, mc, nb) triples, got {}", triple.len());
+            };
+            assert_eq!(a.simulator, "analytic");
+            assert_eq!(m.simulator, "mc");
+            assert!(nb.simulator.starts_with("nb_"), "{}", nb.simulator);
+            check(a, m, nb);
+        }
+    }
+
+    const TRIALS: usize = 6_000;
+
+    fn sims(compute_rate: f64) -> Vec<SimulatorSpec> {
+        vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: TRIALS },
+            SimulatorSpec::NonBlocking {
+                trials: TRIALS,
+                compute_rate,
+            },
+        ]
+    }
+
+    /// Checkpoint-free chain schedules: with no checkpoints there are no
+    /// writes to overlap, so the non-blocking engine degenerates to the
+    /// blocking one and all three estimates must agree.
+    #[test]
+    fn chain_without_checkpoints_blocking_nonblocking_analytic_agree() {
+        let mut spec = base_spec(
+            "diff-ckptnvr",
+            vec![WorkflowSource::RandomChain {
+                min_weight: 4.0,
+                max_weight: 30.0,
+                rule: CostRule::ProportionalToWork { ratio: 0.1 },
+                default_lambda: 2e-3,
+            }],
+        );
+        spec.strategies = vec![heuristic(CheckpointStrategy::Never)];
+        spec.simulators = sims(1.0);
+        let rows = run_scenario(&spec).unwrap();
+        assert_eq!(rows.len(), 2 * 2 * 3);
+        for_each_triple(&rows, |a, m, nb| {
+            assert!(m.z.abs() <= 3.0, "blocking MC: z = {:.2}", m.z);
+            let z_nb = (nb.mc_mean - a.expected) / nb.mc_sem;
+            assert!(z_nb.abs() <= 3.0, "non-blocking MC: z = {z_nb:.2}");
+            // Identical trial seeds and coinciding semantics: per-trial
+            // makespans match, so the means do too (up to float op order).
+            let rel = (nb.mc_mean - m.mc_mean).abs() / m.mc_mean;
+            assert!(rel <= 1e-9, "nb vs blocking drifted: rel {rel:e}");
+        });
+    }
+
+    /// Zero-cost checkpoints: writes complete instantly, so blocking and
+    /// non-blocking coincide even with every task checkpointed — at any
+    /// interference factor.
+    #[test]
+    fn chain_with_free_checkpoints_blocking_nonblocking_analytic_agree() {
+        let mut spec = base_spec(
+            "diff-freeckpt",
+            vec![WorkflowSource::RandomChain {
+                min_weight: 4.0,
+                max_weight: 30.0,
+                rule: CostRule::Constant { value: 0.0 },
+                default_lambda: 2e-3,
+            }],
+        );
+        spec.strategies = vec![heuristic(CheckpointStrategy::Always)];
+        spec.simulators = sims(0.7);
+        let rows = run_scenario(&spec).unwrap();
+        for_each_triple(&rows, |a, m, nb| {
+            assert!(m.z.abs() <= 3.0, "blocking MC: z = {:.2}", m.z);
+            let z_nb = (nb.mc_mean - a.expected) / nb.mc_sem;
+            assert!(z_nb.abs() <= 3.0, "non-blocking MC: z = {z_nb:.2}");
+            let rel = (nb.mc_mean - m.mc_mean).abs() / m.mc_mean;
+            assert!(rel <= 1e-9, "nb vs blocking drifted: rel {rel:e}");
+        });
+    }
+
+    /// General DAGs (where non-blocking genuinely differs): the blocking
+    /// engine still matches the analytic evaluator on every grid point,
+    /// and the swept CkptW schedule is exercised end to end.
+    #[test]
+    fn layered_grid_blocking_matches_analytic() {
+        let mut spec = base_spec(
+            "diff-layered",
+            vec![
+                WorkflowSource::RandomLayered {
+                    max_width: 4,
+                    edge_prob: 0.35,
+                    min_weight: 2.0,
+                    max_weight: 40.0,
+                    rule: CostRule::ProportionalToWork { ratio: 0.1 },
+                    default_lambda: 2e-3,
+                },
+                WorkflowSource::RandomChain {
+                    min_weight: 4.0,
+                    max_weight: 30.0,
+                    rule: CostRule::Constant { value: 1.5 },
+                    default_lambda: 2e-3,
+                },
+            ],
+        );
+        spec.sizes = vec![8, 14];
+        spec.strategies = vec![
+            heuristic(CheckpointStrategy::ByDecreasingWork),
+            heuristic(CheckpointStrategy::Always),
+        ];
+        spec.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: TRIALS },
+        ];
+        let rows = run_scenario(&spec).unwrap();
+        // 2 sources × 2 sizes × 2 λ × 2 strategies × 2 simulators.
+        assert_eq!(rows.len(), 32);
+        for pair in rows.chunks(2) {
+            let (a, m) = (&pair[0], &pair[1]);
+            assert_eq!(a.simulator, "analytic");
+            assert_eq!(m.simulator, "mc");
+            assert!(
+                m.z.abs() <= 3.0,
+                "{} {} n={} λ={:e}: z = {:.2}",
+                m.workflow,
+                m.strategy,
+                m.n,
+                m.lambda,
+                m.z
+            );
+        }
+    }
+}
+
 /// The cross-validation holds identically on the sequential path — and the
 /// sequential statistics are bit-identical to the parallel ones, so the two
 /// assertions above and below are literally about the same numbers.

@@ -1,0 +1,177 @@
+//! Property tests of the declarative scenario layer:
+//!
+//! * **JSON round-trip** — serialize → parse yields the identical spec,
+//!   the identical cell expansion, and the identical stable hash;
+//! * **cell-seed stability** — the same spec produces the same per-cell
+//!   seeds regardless of shard count or the order cells are executed in
+//!   (seeds are fixed at expansion time, keyed by cell index).
+
+use dagchkpt_bench::{
+    FailureSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+};
+use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
+use dagchkpt_workflows::PegasusKind;
+use proptest::prelude::*;
+
+/// Builds a randomized-but-valid spec from plain scalars (the vendored
+/// proptest has no `Arbitrary` derive; composing from ranges keeps every
+/// sample valid by construction).
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    seed: u64,
+    src_kind: u8,
+    fail_kind: u8,
+    policy_kind: u8,
+    sizes: Vec<usize>,
+    lambda_exp: f64,
+    downtime: f64,
+    trials: usize,
+) -> ScenarioSpec {
+    let lambda = 10f64.powf(-lambda_exp);
+    let rule = if src_kind.is_multiple_of(2) {
+        CostRule::ProportionalToWork { ratio: 0.1 }
+    } else {
+        CostRule::Constant { value: 2.5 }
+    };
+    let source = match src_kind % 3 {
+        0 => WorkflowSource::Pegasus {
+            kind: PegasusKind::ALL[(src_kind / 3) as usize % 4],
+            rule,
+        },
+        1 => WorkflowSource::RandomLayered {
+            max_width: 3 + (src_kind / 3) as usize % 4,
+            edge_prob: 0.3,
+            min_weight: 2.0,
+            max_weight: 40.0,
+            rule,
+            default_lambda: lambda,
+        },
+        _ => WorkflowSource::RandomChain {
+            min_weight: 1.0,
+            max_weight: 25.0,
+            rule,
+            default_lambda: lambda,
+        },
+    };
+    let failure = match fail_kind % 5 {
+        0 => FailureSpec::Exponential { lambda, downtime },
+        1 => FailureSpec::LambdaSweep {
+            lambdas: vec![lambda, lambda * 2.0, lambda * 4.0],
+            downtime,
+        },
+        2 => FailureSpec::MtbfSweep {
+            mtbfs: vec![1.0 / lambda, 2.0 / lambda],
+            downtime,
+        },
+        3 => FailureSpec::WeibullShapeSweep {
+            mtbf: 1.0 / lambda,
+            shapes: vec![0.7, 1.0, 1.6],
+            downtime,
+        },
+        _ => FailureSpec::SourceDefault { downtime },
+    };
+    // Pegasus generators need a minimum size; keep every sampled size safe
+    // for all four applications.
+    let sizes: Vec<usize> = sizes.into_iter().map(|n| n.max(30)).collect();
+    ScenarioSpec {
+        name: "prop".to_string(),
+        description: "property-test spec".to_string(),
+        workflows: vec![source],
+        sizes,
+        failures: vec![failure],
+        strategies: vec![
+            StrategySpec::Heuristic {
+                lin: LinearizationStrategy::DepthFirst,
+                ckpt: CheckpointStrategy::ByDecreasingWork,
+            },
+            StrategySpec::WorkAndCost,
+        ],
+        simulators: vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials },
+        ],
+        seed,
+        seed_policy: match policy_kind % 3 {
+            0 => SeedPolicy::SpecHash,
+            1 => SeedPolicy::LegacyXorN,
+            _ => SeedPolicy::Master,
+        },
+        sweep: SweepSpec::Auto,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn json_round_trip_preserves_spec_expansion_and_hash(
+        seed in 0u64..1 << 48,
+        src_kind in 0u8..12,
+        fail_kind in 0u8..10,
+        policy_kind in 0u8..6,
+        sizes in collection::vec(30usize..80, 1..4),
+        lambda_exp in 2.0f64..5.0,
+        downtime in 0.0f64..3.0,
+        trials in 1usize..5000,
+    ) {
+        let spec = spec_from(
+            seed, src_kind, fail_kind, policy_kind, sizes, lambda_exp, downtime, trials,
+        );
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).expect("round-trip parses");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.stable_hash(), spec.stable_hash());
+        prop_assert_eq!(parsed.expand().unwrap(), spec.expand().unwrap());
+        // Pretty serialization parses identically too.
+        let pretty = ScenarioSpec::from_json(&spec.to_json_pretty()).expect("pretty parses");
+        prop_assert_eq!(&pretty, &spec);
+    }
+
+    fn cell_seeds_are_stable_under_sharding_and_reordering(
+        seed in 0u64..1 << 48,
+        src_kind in 0u8..12,
+        fail_kind in 0u8..10,
+        policy_kind in 0u8..6,
+        sizes in collection::vec(30usize..80, 1..4),
+        shards in 1usize..6,
+    ) {
+        let spec = spec_from(seed, src_kind, fail_kind, policy_kind, sizes, 3.0, 0.0, 100);
+        let cells = spec.expand().unwrap();
+        prop_assert!(!cells.is_empty());
+        // Indices are dense and seeds are a pure function of the index.
+        for (i, c) in cells.iter().enumerate() {
+            prop_assert_eq!(c.index, i);
+        }
+        // Executing in any order cannot change seeds: a fresh expansion
+        // visited in reverse order still maps index → the same seed.
+        let again = spec.expand().unwrap();
+        for b in again.iter().rev() {
+            prop_assert_eq!(cells[b.index].seed, b.seed);
+            prop_assert_eq!(&cells[b.index].failure, &b.failure);
+        }
+        // Union over any shard decomposition reproduces exactly the
+        // unsharded (index, seed) pairs.
+        let mut merged: Vec<(usize, u64)> = (0..shards)
+            .flat_map(|i| {
+                cells
+                    .iter()
+                    .filter(move |c| c.index % shards == i)
+                    .map(|c| (c.index, c.seed))
+            })
+            .collect();
+        merged.sort_unstable();
+        let all: Vec<(usize, u64)> = cells.iter().map(|c| (c.index, c.seed)).collect();
+        prop_assert_eq!(merged, all);
+    }
+
+    fn spec_hash_distinguishes_semantic_edits(
+        seed in 0u64..1 << 48,
+        sizes in collection::vec(30usize..80, 1..4),
+    ) {
+        let spec = spec_from(seed, 0, 0, 0, sizes, 3.0, 0.0, 100);
+        let mut edited = spec.clone();
+        edited.seed = spec.seed.wrapping_add(1);
+        prop_assert!(edited.stable_hash() != spec.stable_hash());
+        let mut edited = spec.clone();
+        edited.sizes.push(99);
+        prop_assert!(edited.stable_hash() != spec.stable_hash());
+    }
+}
