@@ -38,7 +38,8 @@ use dagchkpt_failure::{
     daly, ExponentialInjector, FaultInjector, FaultModel, TraceInjector, WeibullInjector,
 };
 use dagchkpt_sim::{
-    run_trials_with, simulate_nonblocking, trial_metric_stats, NonBlockingConfig, TrialSpec,
+    run_replicated_trials_with, run_trials_with, simulate_nonblocking,
+    simulate_replicated_nonblocking, trial_metric_stats, NonBlockingConfig, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -255,6 +256,10 @@ pub struct CellResult {
     pub shape: f64,
     /// Cost-rule label.
     pub rule: String,
+    /// Platform label (empty without a `platforms` axis).
+    pub platform: String,
+    /// Replication label (empty without a `replications` axis).
+    pub replication: String,
     /// Strategy name.
     pub strategy: String,
     /// Simulator label.
@@ -431,7 +436,55 @@ fn make_injector(failure: &FailureCell, seed: u64) -> CellInjector {
     }
 }
 
+/// Fault source for one processor of a resolved platform: exponential at
+/// the processor's own rate, or Weibull of the same mean when a shape is
+/// set (cell-level or per-processor override).
+fn make_proc_injector(proc: &dagchkpt_failure::Processor, seed: u64) -> CellInjector {
+    match proc.shape {
+        Some(shape) if proc.lambda > 0.0 => {
+            CellInjector::Weibull(WeibullInjector::with_mtbf(1.0 / proc.lambda, shape, seed))
+        }
+        _ => CellInjector::Exp(ExponentialInjector::new(proc.lambda, seed)),
+    }
+}
+
+/// A cell's resolved heterogeneous execution context: the platform plus
+/// per-task replication degrees. `None` when the cell runs on the paper's
+/// single reference machine — including the **degenerate collapse**: a
+/// single-reference-processor platform with all degrees 1 takes the
+/// homogeneous code path outright, which is what makes it reproduce the
+/// homogeneous outputs byte for byte.
+fn resolve_hetero(
+    plan: &CellPlan,
+    wf: &Workflow,
+    model: FaultModel,
+) -> Result<Option<(dagchkpt_failure::HeteroPlatform, Vec<usize>)>, ScenarioError> {
+    let Some(pspec) = &plan.platform else {
+        return Ok(None);
+    };
+    let platform = pspec.resolve(&plan.failure)?;
+    let strategy = plan
+        .replication
+        .map(|r| r.strategy())
+        .unwrap_or(dagchkpt_core::ReplicationStrategy::None);
+    let degrees = strategy.degrees(wf, platform.n_procs());
+    let degenerate = platform.is_degenerate()
+        && platform.procs()[0].lambda == model.lambda()
+        && degrees.iter().all(|&d| d == 1);
+    Ok(if degenerate {
+        None
+    } else {
+        Some((platform, degrees))
+    })
+}
+
 /// Executes one cell: every strategy × simulator, in axis order.
+///
+/// Schedules are always optimized under the cell's proxy [`FaultModel`]
+/// (the paper's single-machine view); on a heterogeneous platform the
+/// `expected` column and the Monte-Carlo engines then re-evaluate the
+/// optimized schedule under replication — so the comparison isolates what
+/// the platform and replication change, not the optimizer.
 pub fn run_cell_plan(
     spec: &ScenarioSpec,
     plan: &CellPlan,
@@ -451,20 +504,37 @@ pub fn run_cell_plan(
             e.0
         ))
     };
+    let hetero = resolve_hetero(plan, &wf, model).map_err(&ctx)?;
     let mut rows = Vec::new();
     for strat in spec.strategy_cells() {
         let out = run_strategy(&wf, model, strat, policy).map_err(&ctx)?;
+        let expected = match &hetero {
+            None => out.expected,
+            Some((platform, degrees)) => {
+                dagchkpt_core::expected_makespan_replicated(&wf, platform, &out.schedule, degrees)
+            }
+        };
         for sim in &spec.simulators {
             let (mc_mean, mc_sem) = match *sim {
                 SimulatorSpec::Analytic => (f64::NAN, f64::NAN),
                 SimulatorSpec::MonteCarlo { trials } => {
-                    let stats = run_trials_with(
-                        &wf,
-                        &out.schedule,
-                        plan.failure.downtime(),
-                        TrialSpec::new(trials, plan.seed),
-                        |seed| make_injector(&plan.failure, seed),
-                    );
+                    let stats = match &hetero {
+                        None => run_trials_with(
+                            &wf,
+                            &out.schedule,
+                            plan.failure.downtime(),
+                            TrialSpec::new(trials, plan.seed),
+                            |seed| make_injector(&plan.failure, seed),
+                        ),
+                        Some((platform, degrees)) => run_replicated_trials_with(
+                            &wf,
+                            &out.schedule,
+                            platform,
+                            degrees,
+                            TrialSpec::new(trials, plan.seed),
+                            |rank, seed| make_proc_injector(&platform.procs()[rank], seed),
+                        ),
+                    };
                     (stats.makespan.mean(), stats.makespan.sem())
                 }
                 SimulatorSpec::NonBlocking {
@@ -472,15 +542,45 @@ pub fn run_cell_plan(
                     compute_rate,
                 } => {
                     let tspec = TrialSpec::new(trials, plan.seed);
-                    let cfg = NonBlockingConfig {
-                        downtime: plan.failure.downtime(),
-                        compute_rate,
-                        record_trace: false,
+                    let stats = match &hetero {
+                        None => {
+                            let cfg = NonBlockingConfig {
+                                downtime: plan.failure.downtime(),
+                                compute_rate,
+                                record_trace: false,
+                            };
+                            trial_metric_stats(tspec, |i| {
+                                let mut inj = make_injector(&plan.failure, tspec.trial_seed(i));
+                                simulate_nonblocking(&wf, &out.schedule, &mut inj, cfg).makespan
+                            })
+                        }
+                        Some((platform, degrees)) => trial_metric_stats(tspec, |i| {
+                            // One injector per used replica rank (like the
+                            // blocking runner), not per platform processor.
+                            let ranks = degrees
+                                .iter()
+                                .map(|&d| d.clamp(1, platform.n_procs()))
+                                .max()
+                                .unwrap_or(1);
+                            let mut injectors: Vec<CellInjector> = (0..ranks)
+                                .map(|rank| {
+                                    make_proc_injector(
+                                        &platform.procs()[rank],
+                                        tspec.proc_seed(i, rank),
+                                    )
+                                })
+                                .collect();
+                            simulate_replicated_nonblocking(
+                                &wf,
+                                &out.schedule,
+                                platform,
+                                degrees,
+                                &mut injectors,
+                                compute_rate,
+                            )
+                            .makespan
+                        }),
                     };
-                    let stats = trial_metric_stats(tspec, |i| {
-                        let mut inj = make_injector(&plan.failure, tspec.trial_seed(i));
-                        simulate_nonblocking(&wf, &out.schedule, &mut inj, cfg).makespan
-                    });
                     (stats.mean(), stats.sem())
                 }
             };
@@ -492,15 +592,23 @@ pub fn run_cell_plan(
                 failure: plan.failure.label(),
                 shape: plan.failure.shape(),
                 rule: source.rule_label(),
+                platform: plan
+                    .platform
+                    .as_ref()
+                    .map_or_else(String::new, |p| p.label()),
+                replication: plan
+                    .replication
+                    .as_ref()
+                    .map_or_else(String::new, |r| r.label()),
                 strategy: out.name.clone(),
                 simulator: sim.label(),
-                expected: out.expected,
+                expected,
                 tinf,
-                ratio: if tinf > 0.0 { out.expected / tinf } else { 1.0 },
+                ratio: if tinf > 0.0 { expected / tinf } else { 1.0 },
                 best_n: out.best_n,
                 mc_mean,
                 mc_sem,
-                z: (mc_mean - out.expected) / mc_sem,
+                z: (mc_mean - expected) / mc_sem,
             });
         }
     }
@@ -518,13 +626,15 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<Vec<CellResult>, ScenarioErro
 }
 
 /// The generic long-format CSV header.
-pub const GENERIC_HEADER: [&str; 15] = [
+pub const GENERIC_HEADER: [&str; 17] = [
     "cell",
     "workflow",
     "n",
     "lambda",
     "failure",
     "cost_rule",
+    "platform",
+    "replication",
     "strategy",
     "simulator",
     "expected",
@@ -571,6 +681,8 @@ fn cell_csv_rows(format: OutputFormat, rows: &[CellResult]) -> Vec<Vec<String>> 
                     format!("{:e}", r.lambda),
                     r.failure.clone(),
                     r.rule.clone(),
+                    r.platform.clone(),
+                    r.replication.clone(),
                     r.strategy.clone(),
                     r.simulator.clone(),
                     fnum(r.expected, 6),
@@ -863,9 +975,15 @@ fn run_scenario_stage(
         }
         let rows = run_cell_plan(spec, plan)?;
         // |z| gates validation only where the analytic value is the ground
-        // truth: the blocking engine under exponential faults. Weibull,
-        // trace and non-blocking rows deviate from the proxy by design.
-        if matches!(plan.failure, FailureCell::Exponential { .. }) {
+        // truth: the blocking engine under exponential faults (replicated
+        // or not). Weibull, trace, shape-overridden-platform and
+        // non-blocking rows deviate from the proxy by design.
+        let gate = matches!(plan.failure, FailureCell::Exponential { .. })
+            && plan
+                .platform
+                .as_ref()
+                .is_none_or(|p| !p.has_shape_overrides());
+        if gate {
             for r in rows.iter().filter(|r| r.simulator == "mc") {
                 let az = r.z.abs();
                 if !az.is_nan() && (report.worst_abs_z.is_nan() || az > report.worst_abs_z) {
@@ -1050,6 +1168,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "weibull",
         "nonblocking",
         "extensions",
+        "hetero_replication",
         "sweep_all",
     ]
 }
@@ -1080,6 +1199,7 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
         "validate" => Some(crate::studies::validate_campaign(scale, seed)),
         "weibull" => Some(crate::studies::weibull_campaign(scale, seed)),
         "nonblocking" => Some(crate::studies::nonblocking_campaign(scale, seed)),
+        "hetero_replication" => Some(crate::studies::hetero_replication_campaign(scale, seed)),
         "optgap" => Some(study_campaign("optgap", StudyKind::Optgap, scale, seed)),
         "ablation" => Some(study_campaign("ablation", StudyKind::Ablation, scale, seed)),
         "extensions" => Some(study_campaign(
@@ -1139,6 +1259,8 @@ mod tests {
             seed: 9,
             seed_policy: SeedPolicy::SpecHash,
             sweep: SweepSpec::Auto,
+            platforms: vec![],
+            replications: vec![],
         }
     }
 
@@ -1398,6 +1520,88 @@ mod tests {
         let err = Campaign::from_json(&broken).unwrap_err();
         assert!(err.0.contains("as a campaign:"), "{err}");
         assert!(err.0.contains("as a spec:"), "{err}");
+    }
+
+    /// A degenerate single-processor platform with degree-1 replication
+    /// takes the homogeneous code path outright: every numeric field is
+    /// **bit identical** to the platform-less run (the engine-level anchor
+    /// of the golden-CSV acceptance criterion).
+    #[test]
+    fn degenerate_platform_cells_reproduce_homogeneous_rows_bitwise() {
+        use crate::scenario::{PlatformSpec, ReplicationSpec};
+        let mut plain = mini_spec("degen");
+        plain.seed_policy = SeedPolicy::LegacyXorN; // seeds independent of the spec hash
+        let mut degen = plain.clone();
+        degen.platforms = vec![PlatformSpec::Uniform { count: 1 }];
+        degen.replications = vec![ReplicationSpec::Uniform { degree: 1 }];
+        let a = run_scenario(&plain).unwrap();
+        let b = run_scenario(&degen).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.expected.to_bits(), y.expected.to_bits());
+            assert_eq!(x.mc_mean.to_bits(), y.mc_mean.to_bits());
+            assert_eq!(x.mc_sem.to_bits(), y.mc_sem.to_bits());
+            assert_eq!(x.best_n, y.best_n);
+            // Only the labels differ.
+            assert_eq!(y.platform, "p1");
+            assert_eq!(y.replication, "r1");
+            assert_eq!(x.platform, "");
+        }
+    }
+
+    /// Replicated cells run end to end: the analytic column is the
+    /// replication-aware evaluator and the blocking Monte-Carlo engine
+    /// agrees with it.
+    #[test]
+    fn replicated_cells_validate_against_replicated_evaluator() {
+        use crate::scenario::{PlatformSpec, ReplicationSpec};
+        let mut spec = mini_spec("hetero");
+        spec.strategies = vec![StrategySpec::Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::ByDecreasingWork,
+        }];
+        spec.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: 3000 },
+        ];
+        spec.platforms = vec![PlatformSpec::Spread {
+            count: 3,
+            speed_spread: 2.0,
+            rate_spread: 3.0,
+        }];
+        spec.replications = vec![
+            ReplicationSpec::None,
+            ReplicationSpec::Uniform { degree: 2 },
+        ];
+        let rows = run_scenario(&spec).unwrap();
+        // 2 cells-before-platform-axes × 1 platform × 2 replications ×
+        // 1 strategy × 2 simulators.
+        assert_eq!(rows.len(), 8);
+        for pair in rows.chunks(2) {
+            let (a, m) = (&pair[0], &pair[1]);
+            assert_eq!(a.simulator, "analytic");
+            assert!(a.expected.is_finite() && a.expected > 0.0);
+            assert_eq!(m.simulator, "mc");
+            assert!(
+                m.z.abs() <= 4.0,
+                "{} {}: z = {:.2}",
+                m.platform,
+                m.replication,
+                m.z
+            );
+        }
+        // Replication is a genuine trade-off, not a free win: a failed
+        // group attempt lasts until the *last* replica dies, so a slow,
+        // unreliable second replica can lose to running solo. Both
+        // directions are legitimate; the rows just have to be comparable.
+        for quad in rows.chunks(4) {
+            let none = &quad[0];
+            let r2 = &quad[2];
+            assert_eq!(none.replication, "none");
+            assert_eq!(r2.replication, "r2");
+            assert!(r2.expected.is_finite() && none.expected.is_finite());
+            assert_eq!(none.platform, r2.platform);
+        }
     }
 
     #[test]

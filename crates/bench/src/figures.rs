@@ -75,6 +75,8 @@ fn figure_stage(
             seed,
             seed_policy: SeedPolicy::LegacyXorN,
             sweep: SweepSpec::Auto,
+            platforms: vec![],
+            replications: vec![],
             name: name.clone(),
         },
         output: OutputSpec {
@@ -234,6 +236,8 @@ pub fn fig7_campaign(scale: Scale, seed: u64) -> Campaign {
                     seed,
                     seed_policy: SeedPolicy::LegacyXorN,
                     sweep: SweepSpec::Auto,
+                    platforms: vec![],
+                    replications: vec![],
                 },
                 output: OutputSpec {
                     file: format!("{stem}.csv"),

@@ -48,6 +48,7 @@ pub use campaign::{
 pub use cli::{CampaignArgs, Options, Scale};
 pub use runner::{auto_policy, run_cell, Cell, Row};
 pub use scenario::{
-    CellPlan, FailureCell, FailureSpec, ScenarioError, ScenarioSpec, SeedPolicy, SimulatorSpec,
-    StrategyCell, StrategySpec, SweepSpec, WorkflowSource,
+    CellPlan, FailureCell, FailureSpec, PlatformSpec, ProcessorSpec, ReplicationSpec,
+    ScenarioError, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategyCell, StrategySpec, SweepSpec,
+    WorkflowSource, MAX_REPLICATION_DEGREE,
 };

@@ -1,29 +1,35 @@
 //! Declarative scenario specifications: the serde-backed data model behind
 //! the campaign engine (see [`crate::campaign`]).
 //!
-//! A [`ScenarioSpec`] names four orthogonal axes —
+//! A [`ScenarioSpec`] names up to six orthogonal axes —
 //!
 //! * **workflows** ([`WorkflowSource`]): Pegasus-like generators, random
 //!   DAG families, or inline [`WorkflowSpec`] instances;
 //! * **failures** ([`FailureSpec`]): exponential, Weibull (age-dependent),
 //!   fixed traces, and λ / MTBF / shape sweeps;
+//! * **platforms** ([`PlatformSpec`], optional): heterogeneous processor
+//!   pools (per-processor speed, failure-rate multiplier, Weibull shape,
+//!   checkpoint read/write bandwidth) resolved against each failure cell;
+//! * **replications** ([`ReplicationSpec`], optional): task-replication
+//!   strategies run on those platforms (first surviving replica wins);
 //! * **strategies** ([`StrategySpec`]): any of the paper's 14 heuristics,
 //!   the exact chain/fork/join solvers, or Young/Daly periodic budgets;
 //! * **simulators** ([`SimulatorSpec`]): the analytic Theorem-3 evaluator,
 //!   the blocking Monte-Carlo engine, or non-blocking checkpoint writes —
 //!
 //! and is *expanded* into a flat, deterministic list of [`CellPlan`]s (one
-//! per workflow instance × size × failure model). Strategies × simulators
-//! run inside each cell and become output rows. Per-cell seeds are fixed at
-//! expansion time by the [`SeedPolicy`], so executing cells in any order,
-//! or splitting them across shards/machines, cannot change any result.
+//! per workflow instance × size × failure model × platform × replication).
+//! Strategies × simulators run inside each cell and become output rows.
+//! Per-cell seeds are fixed at expansion time by the [`SeedPolicy`], so
+//! executing cells in any order, or splitting them across shards/machines,
+//! cannot change any result.
 
 use crate::runner::auto_policy;
 use dagchkpt_core::{
-    paper_heuristics, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy, SweepPolicy,
-    Workflow,
+    paper_heuristics, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
+    ReplicationStrategy, SweepPolicy, Workflow,
 };
-use dagchkpt_failure::FaultModel;
+use dagchkpt_failure::{FaultModel, HeteroPlatform, Processor};
 use dagchkpt_workflows::{PegasusKind, WorkflowSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -516,6 +522,312 @@ impl FailureCell {
     }
 }
 
+/// Replication degrees are capped so the exact replication-aware evaluator
+/// (whose failed-attempt closed form is a `2^r`-term inclusion–exclusion)
+/// stays fast.
+pub const MAX_REPLICATION_DEGREE: usize = 8;
+
+/// One processor of a [`PlatformSpec::Explicit`] platform. Failure rates
+/// are *relative*: the processor's λ is `rel_rate ×` the failure cell's
+/// base rate, so one platform composes with λ/MTBF sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorSpec {
+    /// Relative compute speed (`1.0` = reference).
+    pub speed: f64,
+    /// Failure-rate multiplier over the cell's base λ.
+    pub rel_rate: f64,
+    /// Weibull shape override for Monte-Carlo fault sampling
+    /// (`0` = inherit the failure cell's distribution).
+    #[serde(default)]
+    pub shape: f64,
+    /// Recovery-read bandwidth factor (`0` = `1.0`).
+    #[serde(default)]
+    pub read_bw: f64,
+    /// Checkpoint-write bandwidth factor (`0` = `1.0`).
+    #[serde(default)]
+    pub write_bw: f64,
+}
+
+impl ProcessorSpec {
+    /// A reference processor (unit speed, unit rate, inherited faults).
+    pub fn reference() -> Self {
+        ProcessorSpec {
+            speed: 1.0,
+            rel_rate: 1.0,
+            shape: 0.0,
+            read_bw: 0.0,
+            write_bw: 0.0,
+        }
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), String> {
+        if !(self.speed.is_finite() && self.speed > 0.0) {
+            return Err(format!("processor {idx}: speed must be finite and > 0"));
+        }
+        if !(self.rel_rate.is_finite() && self.rel_rate >= 0.0) {
+            return Err(format!("processor {idx}: rel_rate must be finite and ≥ 0"));
+        }
+        if !(self.shape.is_finite() && self.shape >= 0.0) {
+            return Err(format!("processor {idx}: shape must be finite and ≥ 0"));
+        }
+        let bw_ok = |bw: f64| bw.is_finite() && bw >= 0.0;
+        if !bw_ok(self.read_bw) || !bw_ok(self.write_bw) {
+            return Err(format!(
+                "processor {idx}: bandwidths must be finite and ≥ 0"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolves against a failure cell's base rate and shape.
+    fn resolve(&self, base_lambda: f64, base_shape: Option<f64>) -> Processor {
+        let or_one = |v: f64| if v == 0.0 { 1.0 } else { v };
+        let shape = if self.shape > 0.0 {
+            Some(self.shape)
+        } else {
+            base_shape
+        };
+        Processor {
+            speed: self.speed,
+            lambda: base_lambda * self.rel_rate,
+            shape,
+            read_bw: or_one(self.read_bw),
+            write_bw: or_one(self.write_bw),
+        }
+    }
+}
+
+/// A platform axis entry: the heterogeneous processor pool the cell's
+/// replica sets draw from. A spec without a `platforms` axis runs on the
+/// paper's single reference machine, exactly as before.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformSpec {
+    /// `count` identical reference processors (`Uniform { count: 1 }` is
+    /// the degenerate platform that reproduces the homogeneous results bit
+    /// for bit).
+    Uniform {
+        /// Number of processors (≥ 1).
+        count: u32,
+    },
+    /// `count` processors interpolating geometrically from the reference
+    /// (speed 1, rate 1) down to speed `1/speed_spread` and up to rate
+    /// `rate_spread` — the heterogeneity-spread knob the built-in
+    /// `hetero_replication` campaign sweeps.
+    Spread {
+        /// Number of processors (≥ 1).
+        count: u32,
+        /// Slowest processor is `1/speed_spread` as fast (≥ 1).
+        speed_spread: f64,
+        /// Least reliable processor fails `rate_spread ×` as often (≥ 1).
+        rate_spread: f64,
+    },
+    /// Fully explicit processor list.
+    Explicit {
+        /// The processors (order is irrelevant: the resolved platform is
+        /// canonically sorted, fastest first).
+        processors: Vec<ProcessorSpec>,
+    },
+}
+
+impl PlatformSpec {
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        match self {
+            PlatformSpec::Uniform { count } | PlatformSpec::Spread { count, .. } => *count as usize,
+            PlatformSpec::Explicit { processors } => processors.len(),
+        }
+    }
+
+    /// Label for output rows (`p4`, `p4s2r4`, `custom3`).
+    pub fn label(&self) -> String {
+        match self {
+            PlatformSpec::Uniform { count } => format!("p{count}"),
+            PlatformSpec::Spread {
+                count,
+                speed_spread,
+                rate_spread,
+            } => format!("p{count}s{speed_spread}r{rate_spread}"),
+            PlatformSpec::Explicit { processors } => format!("custom{}", processors.len()),
+        }
+    }
+
+    /// `true` when some processor overrides the Weibull shape (those cells
+    /// are Monte-Carlo-only territory, like the homogeneous Weibull study,
+    /// so the engine's |z| validation gate skips them).
+    pub fn has_shape_overrides(&self) -> bool {
+        match self {
+            PlatformSpec::Explicit { processors } => processors.iter().any(|p| p.shape > 0.0),
+            _ => false,
+        }
+    }
+
+    /// The relative processor list before rate resolution.
+    fn processor_specs(&self) -> Vec<ProcessorSpec> {
+        match self {
+            PlatformSpec::Uniform { count } => {
+                vec![ProcessorSpec::reference(); *count as usize]
+            }
+            PlatformSpec::Spread {
+                count,
+                speed_spread,
+                rate_spread,
+            } => {
+                let count = *count as usize;
+                (0..count)
+                    .map(|k| {
+                        let x = if count <= 1 {
+                            0.0
+                        } else {
+                            k as f64 / (count - 1) as f64
+                        };
+                        ProcessorSpec {
+                            speed: speed_spread.powf(-x),
+                            rel_rate: rate_spread.powf(x),
+                            ..ProcessorSpec::reference()
+                        }
+                    })
+                    .collect()
+            }
+            PlatformSpec::Explicit { processors } => processors.clone(),
+        }
+    }
+
+    /// Resolves the platform against a failure cell: per-processor rates
+    /// are `rel_rate ×` the cell's base λ, shapes inherit the cell's
+    /// Weibull shape unless overridden. Trace cells have no rate to scale
+    /// and are rejected at validation.
+    pub fn resolve(&self, failure: &FailureCell) -> Result<HeteroPlatform, ScenarioError> {
+        let (base_lambda, base_shape) = match failure {
+            FailureCell::Exponential { lambda, .. } => (*lambda, None),
+            FailureCell::Weibull { mtbf, shape, .. } => (1.0 / mtbf, Some(*shape)),
+            FailureCell::Trace { .. } => {
+                return Err(ScenarioError::new(
+                    "platforms cannot be combined with fixed fault traces",
+                ))
+            }
+        };
+        let procs: Vec<Processor> = self
+            .processor_specs()
+            .iter()
+            .map(|p| p.resolve(base_lambda, base_shape))
+            .collect();
+        HeteroPlatform::new(procs, failure.downtime())
+            .map_err(|e| ScenarioError::new(format!("resolving platform: {e}")))
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), ScenarioError> {
+        let err = |msg: String| Err(ScenarioError::new(format!("platforms[{idx}]: {msg}")));
+        if self.n_procs() == 0 {
+            return err("a platform needs at least one processor".into());
+        }
+        match self {
+            PlatformSpec::Uniform { .. } => Ok(()),
+            PlatformSpec::Spread {
+                speed_spread,
+                rate_spread,
+                ..
+            } => {
+                for (name, v) in [("speed_spread", speed_spread), ("rate_spread", rate_spread)] {
+                    if !(v.is_finite() && *v >= 1.0) {
+                        return err(format!("{name} {v} must be finite and ≥ 1"));
+                    }
+                }
+                Ok(())
+            }
+            PlatformSpec::Explicit { processors } => {
+                for (i, p) in processors.iter().enumerate() {
+                    p.validate(i).or_else(err)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A replication axis entry, mirroring
+/// [`dagchkpt_core::ReplicationStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationSpec {
+    /// No replication (every task on the single best processor).
+    None,
+    /// Every task on `degree` processors.
+    Uniform {
+        /// Replication degree.
+        degree: u32,
+    },
+    /// The `count` heaviest tasks on `degree` processors.
+    Heaviest {
+        /// Replication degree for the selected tasks.
+        degree: u32,
+        /// How many tasks to replicate.
+        count: u32,
+    },
+    /// Tasks with `w_i ≥ work_fraction · max w` on `degree` processors.
+    Threshold {
+        /// Replication degree for the selected tasks.
+        degree: u32,
+        /// Weight threshold as a fraction of the heaviest task.
+        work_fraction: f64,
+    },
+}
+
+impl ReplicationSpec {
+    /// The core strategy this entry denotes.
+    pub fn strategy(&self) -> ReplicationStrategy {
+        match self {
+            ReplicationSpec::None => ReplicationStrategy::None,
+            ReplicationSpec::Uniform { degree } => ReplicationStrategy::Uniform {
+                degree: *degree as usize,
+            },
+            ReplicationSpec::Heaviest { degree, count } => ReplicationStrategy::Heaviest {
+                degree: *degree as usize,
+                count: *count as usize,
+            },
+            ReplicationSpec::Threshold {
+                degree,
+                work_fraction,
+            } => ReplicationStrategy::Threshold {
+                degree: *degree as usize,
+                work_fraction: *work_fraction,
+            },
+        }
+    }
+
+    /// Label for output rows (delegates to the core strategy).
+    pub fn label(&self) -> String {
+        self.strategy().label()
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), ScenarioError> {
+        let err = |msg: String| Err(ScenarioError::new(format!("replications[{idx}]: {msg}")));
+        let degree = match self {
+            ReplicationSpec::None => return Ok(()),
+            ReplicationSpec::Uniform { degree } | ReplicationSpec::Heaviest { degree, .. } => {
+                *degree
+            }
+            ReplicationSpec::Threshold {
+                degree,
+                work_fraction,
+            } => {
+                if !(work_fraction.is_finite() && (0.0..=1.0).contains(work_fraction)) {
+                    return err(format!("work_fraction {work_fraction} outside [0, 1]"));
+                }
+                *degree
+            }
+        };
+        if degree == 0 {
+            return err("degree must be ≥ 1".into());
+        }
+        if degree as usize > MAX_REPLICATION_DEGREE {
+            return err(format!(
+                "degree {degree} exceeds the cap of {MAX_REPLICATION_DEGREE} \
+                 (the exact evaluator enumerates 2^degree terms)"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A strategy axis entry; expands into one or more [`StrategyCell`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StrategySpec {
@@ -745,10 +1057,18 @@ pub struct ScenarioSpec {
     /// Checkpoint-budget sweep policy.
     #[serde(default)]
     pub sweep: SweepSpec,
+    /// Heterogeneous platforms (axis 4, optional): empty runs every cell
+    /// on the paper's single reference machine.
+    #[serde(default)]
+    pub platforms: Vec<PlatformSpec>,
+    /// Task-replication strategies (axis 5, optional; needs `platforms`).
+    #[serde(default)]
+    pub replications: Vec<ReplicationSpec>,
 }
 
-/// One expanded cell: a workflow instance under one failure model, with its
-/// seed already fixed.
+/// One expanded cell: a workflow instance under one failure model (and
+/// optionally one platform × replication combination), with its seed
+/// already fixed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellPlan {
     /// Position in the spec's full expansion (stable across shards).
@@ -759,6 +1079,10 @@ pub struct CellPlan {
     pub n: usize,
     /// Concrete failure model.
     pub failure: FailureCell,
+    /// Heterogeneous platform, when the spec has a `platforms` axis.
+    pub platform: Option<PlatformSpec>,
+    /// Replication strategy, when the spec has a `replications` axis.
+    pub replication: Option<ReplicationSpec>,
     /// Workflow-generation and Monte-Carlo master seed for this cell.
     pub seed: u64,
 }
@@ -864,6 +1188,28 @@ impl ScenarioSpec {
                 return Err(ScenarioError::new("sweep stride must be ≥ 1"));
             }
         }
+        for (i, p) in self.platforms.iter().enumerate() {
+            p.validate(i)?;
+        }
+        for (i, r) in self.replications.iter().enumerate() {
+            r.validate(i)?;
+        }
+        if !self.replications.is_empty() && self.platforms.is_empty() {
+            return Err(ScenarioError::new(
+                "replications need a `platforms` axis to draw replicas from",
+            ));
+        }
+        if !self.platforms.is_empty()
+            && self
+                .failures
+                .iter()
+                .any(|f| matches!(f, FailureSpec::Trace { .. }))
+        {
+            return Err(ScenarioError::new(
+                "platforms cannot be combined with fixed fault traces \
+                 (traces have no per-processor rate to scale)",
+            ));
+        }
         Ok(())
     }
 
@@ -876,10 +1222,22 @@ impl ScenarioSpec {
     }
 
     /// Expands the cross-product into cells: sources (outer) × sizes ×
-    /// failure cells (inner), with seeds fixed by the [`SeedPolicy`].
+    /// failure cells × platforms × replications (inner), with seeds fixed
+    /// by the [`SeedPolicy`]. Specs without the optional axes expand to
+    /// exactly the cells they always did.
     pub fn expand(&self) -> Result<Vec<CellPlan>, ScenarioError> {
         self.validate()?;
         let hash = self.stable_hash();
+        let platforms: Vec<Option<&PlatformSpec>> = if self.platforms.is_empty() {
+            vec![None]
+        } else {
+            self.platforms.iter().map(Some).collect()
+        };
+        let replications: Vec<Option<&ReplicationSpec>> = if self.replications.is_empty() {
+            vec![None]
+        } else {
+            self.replications.iter().map(Some).collect()
+        };
         let mut cells = Vec::new();
         for (si, source) in self.workflows.iter().enumerate() {
             let sizes: Vec<usize> = match source {
@@ -889,14 +1247,20 @@ impl ScenarioSpec {
             for &n in &sizes {
                 for f in &self.failures {
                     for failure in f.expand(source)? {
-                        let index = cells.len();
-                        cells.push(CellPlan {
-                            index,
-                            source: si,
-                            n,
-                            failure,
-                            seed: self.cell_seed(hash, index, n),
-                        });
+                        for platform in &platforms {
+                            for replication in &replications {
+                                let index = cells.len();
+                                cells.push(CellPlan {
+                                    index,
+                                    source: si,
+                                    n,
+                                    failure: failure.clone(),
+                                    platform: platform.cloned(),
+                                    replication: replication.copied(),
+                                    seed: self.cell_seed(hash, index, n),
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -943,6 +1307,8 @@ mod tests {
             seed: 42,
             seed_policy: SeedPolicy::SpecHash,
             sweep: SweepSpec::Auto,
+            platforms: vec![],
+            replications: vec![],
         }
     }
 
@@ -1179,6 +1545,269 @@ mod tests {
             }
             .label(),
             "nb_0.85"
+        );
+    }
+
+    #[test]
+    fn platform_and_replication_axes_multiply_cells() {
+        let mut spec = tiny_spec();
+        spec.platforms = vec![
+            PlatformSpec::Uniform { count: 2 },
+            PlatformSpec::Spread {
+                count: 4,
+                speed_spread: 2.0,
+                rate_spread: 4.0,
+            },
+        ];
+        spec.replications = vec![
+            ReplicationSpec::None,
+            ReplicationSpec::Uniform { degree: 2 },
+            ReplicationSpec::Heaviest {
+                degree: 2,
+                count: 5,
+            },
+        ];
+        let cells = spec.expand().unwrap();
+        // 2 sizes × 2 λ × 2 platforms × 3 replications.
+        assert_eq!(cells.len(), 24);
+        // Replications innermost, platforms next.
+        assert_eq!(cells[0].platform, Some(PlatformSpec::Uniform { count: 2 }));
+        assert_eq!(cells[0].replication, Some(ReplicationSpec::None));
+        assert_eq!(
+            cells[1].replication,
+            Some(ReplicationSpec::Uniform { degree: 2 })
+        );
+        assert_eq!(cells[3].platform.as_ref().unwrap().label(), "p4s2r4");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Without the axes, expansion is untouched.
+        assert_eq!(tiny_spec().expand().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn spread_platform_interpolates_and_sorts_canonically() {
+        let spec = PlatformSpec::Spread {
+            count: 3,
+            speed_spread: 4.0,
+            rate_spread: 9.0,
+        };
+        let failure = FailureCell::Exponential {
+            lambda: 1e-3,
+            downtime: 2.0,
+        };
+        let platform = spec.resolve(&failure).unwrap();
+        assert_eq!(platform.n_procs(), 3);
+        assert_eq!(platform.downtime(), 2.0);
+        let procs = platform.procs();
+        // Fastest (reference) first: speeds 1, 1/2, 1/4; rates λ, 3λ, 9λ.
+        assert!((procs[0].speed - 1.0).abs() < 1e-12);
+        assert!((procs[1].speed - 0.5).abs() < 1e-12);
+        assert!((procs[2].speed - 0.25).abs() < 1e-12);
+        assert!((procs[0].lambda - 1e-3).abs() < 1e-15);
+        assert!((procs[1].lambda - 3e-3).abs() < 1e-12);
+        assert!((procs[2].lambda - 9e-3).abs() < 1e-12);
+        assert!(procs.iter().all(|p| p.shape.is_none()));
+    }
+
+    #[test]
+    fn platform_resolution_inherits_and_overrides_shapes() {
+        // A Weibull cell hands its shape to every processor…
+        let weibull = FailureCell::Weibull {
+            mtbf: 1000.0,
+            shape: 0.7,
+            downtime: 0.0,
+        };
+        let uniform = PlatformSpec::Uniform { count: 2 };
+        let platform = uniform.resolve(&weibull).unwrap();
+        assert!(platform.procs().iter().all(|p| p.shape == Some(0.7)));
+        assert!((platform.procs()[0].lambda - 1e-3).abs() < 1e-15);
+        assert!(!uniform.has_shape_overrides());
+        // …unless a processor overrides it.
+        let explicit = PlatformSpec::Explicit {
+            processors: vec![
+                ProcessorSpec::reference(),
+                ProcessorSpec {
+                    shape: 1.5,
+                    ..ProcessorSpec::reference()
+                },
+            ],
+        };
+        assert!(explicit.has_shape_overrides());
+        let platform = explicit.resolve(&weibull).unwrap();
+        let shapes: Vec<Option<f64>> = platform.procs().iter().map(|p| p.shape).collect();
+        assert!(shapes.contains(&Some(0.7)) && shapes.contains(&Some(1.5)));
+        // Zero bandwidth fields mean "reference".
+        assert!(platform
+            .procs()
+            .iter()
+            .all(|p| p.read_bw == 1.0 && p.write_bw == 1.0));
+        // Explicit processor lists resolve to the same platform in any
+        // order (canonical sort).
+        let a = PlatformSpec::Explicit {
+            processors: vec![
+                ProcessorSpec {
+                    speed: 2.0,
+                    ..ProcessorSpec::reference()
+                },
+                ProcessorSpec::reference(),
+            ],
+        };
+        let b = PlatformSpec::Explicit {
+            processors: vec![
+                ProcessorSpec::reference(),
+                ProcessorSpec {
+                    speed: 2.0,
+                    ..ProcessorSpec::reference()
+                },
+            ],
+        };
+        let exp = FailureCell::Exponential {
+            lambda: 2e-3,
+            downtime: 1.0,
+        };
+        assert_eq!(a.resolve(&exp).unwrap(), b.resolve(&exp).unwrap());
+    }
+
+    #[test]
+    fn platform_replication_validation_errors() {
+        // Zero-processor platforms fail at validation, not in the engine.
+        let mut zero = tiny_spec();
+        zero.platforms = vec![PlatformSpec::Uniform { count: 0 }];
+        let err = zero.expand().unwrap_err();
+        assert!(err.0.contains("at least one processor"), "{err}");
+
+        let mut empty_explicit = tiny_spec();
+        empty_explicit.platforms = vec![PlatformSpec::Explicit { processors: vec![] }];
+        assert!(empty_explicit.expand().is_err());
+
+        // Replication needs a platform axis.
+        let mut no_platform = tiny_spec();
+        no_platform.replications = vec![ReplicationSpec::Uniform { degree: 2 }];
+        let err = no_platform.expand().unwrap_err();
+        assert!(err.0.contains("platforms"), "{err}");
+
+        // Degree 0 and the 2^r cap are rejected.
+        let mut bad_degree = tiny_spec();
+        bad_degree.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        bad_degree.replications = vec![ReplicationSpec::Uniform { degree: 0 }];
+        assert!(bad_degree.expand().is_err());
+        bad_degree.replications = vec![ReplicationSpec::Uniform {
+            degree: MAX_REPLICATION_DEGREE as u32 + 1,
+        }];
+        let err = bad_degree.expand().unwrap_err();
+        assert!(err.0.contains("cap"), "{err}");
+
+        // Threshold fraction outside [0, 1].
+        let mut bad_frac = tiny_spec();
+        bad_frac.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        bad_frac.replications = vec![ReplicationSpec::Threshold {
+            degree: 2,
+            work_fraction: 1.5,
+        }];
+        assert!(bad_frac.expand().is_err());
+
+        // Platforms cannot ride on fixed fault traces.
+        let mut traced = tiny_spec();
+        traced.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        traced.failures = vec![FailureSpec::Trace {
+            times: vec![1.0, 5.0],
+            downtime: 0.0,
+        }];
+        let err = traced.expand().unwrap_err();
+        assert!(err.0.contains("traces"), "{err}");
+
+        // Bad spread parameters.
+        let mut bad_spread = tiny_spec();
+        bad_spread.platforms = vec![PlatformSpec::Spread {
+            count: 2,
+            speed_spread: 0.5,
+            rate_spread: 1.0,
+        }];
+        assert!(bad_spread.expand().is_err());
+
+        // Bad explicit processor.
+        let mut bad_proc = tiny_spec();
+        bad_proc.platforms = vec![PlatformSpec::Explicit {
+            processors: vec![ProcessorSpec {
+                speed: -1.0,
+                ..ProcessorSpec::reference()
+            }],
+        }];
+        assert!(bad_proc.expand().is_err());
+    }
+
+    #[test]
+    fn platform_replication_specs_round_trip_through_json() {
+        let mut spec = tiny_spec();
+        spec.platforms = vec![
+            PlatformSpec::Uniform { count: 1 },
+            PlatformSpec::Spread {
+                count: 4,
+                speed_spread: 2.0,
+                rate_spread: 4.0,
+            },
+            PlatformSpec::Explicit {
+                processors: vec![ProcessorSpec {
+                    speed: 1.5,
+                    rel_rate: 0.5,
+                    shape: 0.8,
+                    read_bw: 2.0,
+                    write_bw: 0.5,
+                }],
+            },
+        ];
+        spec.replications = vec![
+            ReplicationSpec::None,
+            ReplicationSpec::Uniform { degree: 3 },
+            ReplicationSpec::Heaviest {
+                degree: 2,
+                count: 10,
+            },
+            ReplicationSpec::Threshold {
+                degree: 2,
+                work_fraction: 0.25,
+            },
+        ];
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.stable_hash(), spec.stable_hash());
+        assert_eq!(parsed.expand().unwrap(), spec.expand().unwrap());
+        // Legacy documents without the new axes still parse (defaults).
+        let legacy = tiny_spec();
+        let mut json = legacy.to_json();
+        json = json.replace(",\"platforms\":[],\"replications\":[]", "");
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed, legacy);
+    }
+
+    #[test]
+    fn replication_labels() {
+        assert_eq!(ReplicationSpec::None.label(), "none");
+        assert_eq!(ReplicationSpec::Uniform { degree: 2 }.label(), "r2");
+        assert_eq!(
+            ReplicationSpec::Heaviest {
+                degree: 3,
+                count: 8
+            }
+            .label(),
+            "heavy3x8"
+        );
+        assert_eq!(
+            ReplicationSpec::Threshold {
+                degree: 2,
+                work_fraction: 0.5
+            }
+            .label(),
+            "thr2@0.5"
+        );
+        assert_eq!(PlatformSpec::Uniform { count: 4 }.label(), "p4");
+        assert_eq!(
+            PlatformSpec::Explicit {
+                processors: vec![ProcessorSpec::reference(); 3]
+            }
+            .label(),
+            "custom3"
         );
     }
 }

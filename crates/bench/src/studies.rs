@@ -79,6 +79,8 @@ pub fn validate_campaign(scale: Scale, seed: u64) -> Campaign {
                 seed,
                 seed_policy: SeedPolicy::Master,
                 sweep: SweepSpec::Exhaustive,
+                platforms: vec![],
+                replications: vec![],
             },
             output: OutputSpec {
                 file: "validate.csv".to_string(),
@@ -122,6 +124,8 @@ pub fn weibull_campaign(scale: Scale, seed: u64) -> Campaign {
                 seed,
                 seed_policy: SeedPolicy::Master,
                 sweep: SweepSpec::Exhaustive,
+                platforms: vec![],
+                replications: vec![],
             },
             output: OutputSpec {
                 file: "weibull.csv".to_string(),
@@ -170,6 +174,8 @@ pub fn nonblocking_campaign(scale: Scale, seed: u64) -> Campaign {
                 seed,
                 seed_policy: SeedPolicy::Master,
                 sweep: SweepSpec::Exhaustive,
+                platforms: vec![],
+                replications: vec![],
             },
             output: OutputSpec {
                 file: "nonblocking.csv".to_string(),
@@ -178,6 +184,79 @@ pub fn nonblocking_campaign(scale: Scale, seed: u64) -> Campaign {
                 json_file: String::new(),
                 chart: false,
             },
+        }],
+    }
+}
+
+/// The heterogeneous-platform × task-replication scenario family: the
+/// paper's 14 homogeneous heuristics re-evaluated on processor pools of
+/// growing size and heterogeneity spread, under replication degrees from
+/// none to heaviest-only — the analytic column is the replication-aware
+/// Theorem-3 evaluator, validated in-run by the blocking replicated
+/// Monte-Carlo engine (the |z| gate applies to every exponential cell).
+pub fn hetero_replication_campaign(scale: Scale, seed: u64) -> Campaign {
+    use crate::scenario::{PlatformSpec, ReplicationSpec};
+    let (trials, sizes) = match scale {
+        Scale::Quick => (2_000, vec![50]),
+        Scale::Full => (20_000, vec![100, 200]),
+    };
+    let mut platforms = vec![
+        // Two identical machines: pure redundancy.
+        PlatformSpec::Uniform { count: 2 },
+        // Four machines, 2× speed spread, 4× failure-rate spread.
+        PlatformSpec::Spread {
+            count: 4,
+            speed_spread: 2.0,
+            rate_spread: 4.0,
+        },
+    ];
+    let mut replications = vec![
+        ReplicationSpec::None,
+        ReplicationSpec::Uniform { degree: 2 },
+        ReplicationSpec::Heaviest {
+            degree: 2,
+            count: 8,
+        },
+    ];
+    if scale == Scale::Full {
+        platforms.push(PlatformSpec::Spread {
+            count: 8,
+            speed_spread: 4.0,
+            rate_spread: 8.0,
+        });
+        replications.push(ReplicationSpec::Uniform { degree: 3 });
+        replications.push(ReplicationSpec::Threshold {
+            degree: 2,
+            work_fraction: 0.5,
+        });
+    }
+    Campaign {
+        name: "hetero_replication".to_string(),
+        description: "heterogeneous processors × task replication vs the 14 heuristics".to_string(),
+        stages: vec![Stage::Scenario {
+            scenario: ScenarioSpec {
+                name: "hetero_replication".to_string(),
+                description: format!(
+                    "processor-count × heterogeneity-spread × replication, {trials} trials"
+                ),
+                workflows: vec![WorkflowSource::Pegasus {
+                    kind: PegasusKind::CyberShake,
+                    rule: RULE_01W,
+                }],
+                sizes,
+                failures: vec![FailureSpec::SourceDefault { downtime: 1.0 }],
+                strategies: vec![StrategySpec::Paper],
+                simulators: vec![
+                    SimulatorSpec::Analytic,
+                    SimulatorSpec::MonteCarlo { trials },
+                ],
+                seed,
+                seed_policy: SeedPolicy::SpecHash,
+                sweep: SweepSpec::Auto,
+                platforms,
+                replications,
+            },
+            output: OutputSpec::rows("hetero_replication.csv"),
         }],
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod literal;
 pub mod recovery;
+pub mod replicated;
 
 use crate::model::Workflow;
 use crate::schedule::Schedule;

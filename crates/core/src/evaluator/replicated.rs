@@ -1,0 +1,514 @@
+//! Replication-aware extension of the Theorem-3 evaluator: exact expected
+//! makespan when each task's block runs redundantly on a replica set of a
+//! heterogeneous platform ([`dagchkpt_failure::HeteroPlatform`]).
+//!
+//! # Model
+//!
+//! Task `T_i` (replication degree `r_i`) executes its block `X_i`
+//! (recovery plan + work + optional checkpoint) simultaneously on the
+//! `r_i` best processors of the platform. Replica `p` needs
+//!
+//! ```text
+//! d_p = (W + w_i)/s_p + R/ρ_p + δ_i c_i/ω_p
+//! ```
+//!
+//! seconds (rework and work scaled by its speed `s_p`, recovery reads by
+//! its read bandwidth `ρ_p`, the checkpoint write by its write bandwidth
+//! `ω_p`) and draws its first fault `F_p ~ Exp(λ_p)`, independently, with
+//! the fault clock renewed at every attempt start. The **first surviving
+//! replica wins**: the attempt succeeds at `min{d_p : F_p ≥ d_p}`. When
+//! *every* replica faults before finishing (a *group failure*, probability
+//! `q = Π_p (1 − e^{−λ_p d_p})`), the attempt is abandoned when its last
+//! replica dies (`max_p F_p`), memory is wiped, the platform pays the
+//! downtime `D`, and the block restarts with the full-closure recovery —
+//! exactly the paper's fault semantics lifted from one machine to a
+//! replica group.
+//!
+//! # Why Theorem 3 survives
+//!
+//! The `Z^i_k` partition ("the last *memory wipe* happened during `X_k`")
+//! is untouched: only group failures wipe memory, attempts are independent
+//! by construction, and the two ingredients of the homogeneous assembly
+//! generalize cleanly:
+//!
+//! * the survival factor `e^{−λ S(j,k)}` of property A becomes the
+//!   first-attempt success probability `1 − q_{j,k}`;
+//! * the conditional block expectation `E[t(a + w_i; c_i; b − a)]` of
+//!   property C becomes a first-attempt/retry recursion over per-attempt
+//!   statistics: with `M(x)` the unconditional mean elapsed time of one
+//!   attempt with content `x` and `q_x` its group-failure probability,
+//!
+//!   ```text
+//!   E[X_i | Z^i_k] = M(a) + q_a · (D + E_retry),
+//!   E_retry        = (M(b) + q_b · D) / (1 − q_b).
+//!   ```
+//!
+//! `M(x) = N_s + N_f` splits into the success part
+//! `N_s = Σ_p d_p e^{−λ_p d_p} Π_{p' ≺ p} (1 − e^{−λ_{p'} d_{p'}})`
+//! (replicas ordered by completion time) and the group-failure part
+//! `N_f = E[max_p F_p ; all fail]`, computed in closed form by
+//! inclusion–exclusion over the (≤ 2^r-term) expansion of
+//! `Π_p (1 − e^{−λ_p t})` on each segment between sorted `d_p` — which is
+//! why replication degrees are kept small (the scenario layer caps them
+//! at 8).
+//!
+//! On a **degenerate** platform (one reference processor) with all degrees
+//! 1 the function delegates to [`crate::evaluator::evaluate`], so the
+//! homogeneous results are reproduced bit for bit; the non-delegated
+//! formulas agree with Equation (1) to floating-point accuracy (see the
+//! tests).
+
+use crate::evaluator::{self, recovery::RecoveryMatrices, EvalReport};
+use crate::model::Workflow;
+use crate::schedule::Schedule;
+use dagchkpt_failure::HeteroPlatform;
+
+/// One replica's view of a block attempt.
+#[derive(Debug, Clone, Copy)]
+struct Replica {
+    lambda: f64,
+    d: f64,
+}
+
+/// Probability that an attempt fails on every replica:
+/// `q = Π_p (1 − e^{−λ_p d_p})`.
+fn group_fail_prob(reps: &[Replica]) -> f64 {
+    reps.iter().map(|r| -(-r.lambda * r.d).exp_m1()).product()
+}
+
+/// `(q, M)`: group-failure probability and unconditional mean elapsed time
+/// of one attempt (success wins at the first surviving completion, failure
+/// ends when the last replica dies).
+fn attempt_stats(reps: &mut [Replica]) -> (f64, f64) {
+    // The inclusion–exclusion below enumerates subsets through a u32 mask;
+    // a silent shift-masking overflow at ≥ 32 replicas would corrupt the
+    // result, so fail loudly (the scenario layer caps degrees at 8 long
+    // before this, purely for cost).
+    assert!(
+        reps.len() < 32,
+        "replication degree must be < 32 (got {})",
+        reps.len()
+    );
+    // Completion order: earliest deterministic finish first (ties are
+    // interchangeable — the elapsed time is the same either way).
+    reps.sort_by(|a, b| a.d.partial_cmp(&b.d).expect("durations are finite"));
+    let surv: Vec<f64> = reps.iter().map(|r| (-r.lambda * r.d).exp()).collect();
+    let fail: Vec<f64> = reps.iter().map(|r| -(-r.lambda * r.d).exp_m1()).collect();
+    let q: f64 = fail.iter().product();
+
+    // N_s = Σ_p d_p · surv_p · Π_{p' ≺ p} fail_{p'}.
+    let mut n_s = 0.0;
+    let mut prefix = 1.0;
+    for (p, r) in reps.iter().enumerate() {
+        n_s += r.d * surv[p] * prefix;
+        prefix *= fail[p];
+    }
+    if q == 0.0 {
+        // Some replica never faults: a group failure is impossible.
+        return (0.0, n_s);
+    }
+
+    // N_f = ∫_0^{d_max} [q − Π_p P(F_p ≤ min(t, d_p))] dt, segment by
+    // segment between sorted d_p. On a segment (lo, hi] replicas with
+    // d ≤ lo contribute their frozen fail probability (`done`), the rest
+    // expand by inclusion–exclusion: Π_{p∈A}(1 − e^{−λ_p t}) =
+    // Σ_{S⊆A} (−1)^{|S|} e^{−Λ_S t}.
+    let mut n_f = 0.0;
+    let mut done = 1.0;
+    let mut lo = 0.0;
+    let mut j = 0;
+    while j < reps.len() {
+        let hi = reps[j].d;
+        if hi > lo {
+            let active = &reps[j..];
+            let mut integral = 0.0;
+            for mask in 0u32..(1 << active.len()) {
+                let bits = mask.count_ones();
+                let lam: f64 = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| mask >> idx & 1 == 1)
+                    .map(|(_, r)| r.lambda)
+                    .sum();
+                let seg = if lam == 0.0 {
+                    hi - lo
+                } else {
+                    ((-lam * lo).exp() - (-lam * hi).exp()) / lam
+                };
+                integral += if bits % 2 == 0 { seg } else { -seg };
+            }
+            n_f += q * (hi - lo) - done * integral;
+            lo = hi;
+        }
+        // Freeze every replica completing exactly at `hi`.
+        while j < reps.len() && reps[j].d == hi {
+            done *= fail[j];
+            j += 1;
+        }
+    }
+    (q, n_s + n_f.max(0.0))
+}
+
+/// Expected makespan of `schedule` on `platform` with per-task replication
+/// `degrees` (indexed by task id, clamped to `[1, n_procs]`).
+pub fn expected_makespan_replicated(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    schedule: &Schedule,
+    degrees: &[usize],
+) -> f64 {
+    evaluate_replicated(wf, platform, schedule, degrees).expected_makespan
+}
+
+/// Full replication-aware evaluation (Theorem 3 generalized to replica
+/// groups — see the module docs). `expected_faults` counts **group
+/// failures** (memory wipes), the event the Monte-Carlo engines report as
+/// `n_faults`.
+///
+/// # Panics
+///
+/// If `degrees.len() != wf.n_tasks()`, or if an effective replication
+/// degree reaches 32 (the failed-attempt closed form enumerates subsets
+/// through a 32-bit mask; the scenario layer caps degrees at 8 anyway).
+pub fn evaluate_replicated(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    schedule: &Schedule,
+    degrees: &[usize],
+) -> EvalReport {
+    let n = wf.n_tasks();
+    assert_eq!(degrees.len(), n, "one replication degree per task");
+    if platform.is_degenerate() && degrees.iter().all(|&d| d == 1) {
+        // Bit-for-bit reproduction of the homogeneous evaluator.
+        return evaluator::evaluate(wf, platform.fault_model(), schedule);
+    }
+    if n == 0 {
+        return EvalReport {
+            expected_makespan: 0.0,
+            per_position: Vec::new(),
+            expected_faults: 0.0,
+        };
+    }
+
+    let m = RecoveryMatrices::compute(wf, schedule);
+    let order = schedule.order();
+    let p_all = platform.procs();
+    let downtime = platform.downtime();
+
+    // Per-position cost views (1-based positions, index 0 unused).
+    let mut w = vec![0.0f64; n + 1];
+    let mut c = vec![0.0f64; n + 1];
+    let mut ckpt = vec![false; n + 1];
+    let mut deg = vec![1usize; n + 1];
+    for (idx, &t) in order.iter().enumerate() {
+        let i = idx + 1;
+        w[i] = wf.work(t);
+        c[i] = wf.checkpoint_cost(t);
+        ckpt[i] = schedule.is_checkpointed(t);
+        deg[i] = degrees[t.index()].clamp(1, p_all.len());
+    }
+
+    // Replica durations for block `j` with rework `wk` and recovery `rk`.
+    let replicas = |j: usize, wk: f64, rk: f64| -> Vec<Replica> {
+        let write = if ckpt[j] { c[j] } else { 0.0 };
+        p_all[..deg[j]]
+            .iter()
+            .map(|p| Replica {
+                lambda: p.lambda,
+                d: (wk + w[j]) / p.speed + rk / p.read_bw + write / p.write_bw,
+            })
+            .collect()
+    };
+    // Rework/recovery amounts of block `j` given the last wipe was in `k`.
+    let lost = |j: usize, k: usize| -> (f64, f64) {
+        if k == 0 {
+            (0.0, 0.0)
+        } else {
+            m.get(j, k)
+        }
+    };
+
+    // Rolling row of P(Z^i_k), updated in place as i advances.
+    let mut pz = vec![0.0f64; n + 1];
+    let mut per_position = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    let mut faults = 0.0f64;
+
+    for i in 1..=n {
+        if i == 1 {
+            pz[0] = 1.0;
+        } else {
+            // Property A: survive block i−1 without a group failure.
+            let mut sum = 0.0f64;
+            for (k, p) in pz.iter_mut().enumerate().take(i - 1) {
+                let (wk, rk) = lost(i - 1, k);
+                *p *= 1.0 - group_fail_prob(&replicas(i - 1, wk, rk));
+                sum += *p;
+            }
+            pz[i - 1] = (1.0 - sum).clamp(0.0, 1.0);
+        }
+
+        // Retry attempts always pay the full-closure recovery `b`.
+        let (wii, rii) = m.get(i, i);
+        let (q_b, mean_b) = attempt_stats(&mut replicas(i, wii, rii));
+        let e_retry = if q_b >= 1.0 {
+            f64::INFINITY
+        } else {
+            (mean_b + q_b * downtime) / (1.0 - q_b)
+        };
+
+        let mut exi = 0.0f64;
+        for (k, &p) in pz.iter().enumerate().take(i) {
+            if p == 0.0 {
+                continue;
+            }
+            let (wk, rk) = lost(i, k);
+            let (q_a, mean_a) = attempt_stats(&mut replicas(i, wk, rk));
+            exi += p * (mean_a + q_a * (downtime + e_retry));
+            faults += p * if q_b >= 1.0 {
+                if q_a > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            } else {
+                q_a / (1.0 - q_b)
+            };
+        }
+        per_position.push(exi);
+        total += exi;
+    }
+
+    EvalReport {
+        expected_makespan: total,
+        per_position,
+        expected_faults: faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CostRule, TaskCosts};
+    use crate::strategies::ReplicationStrategy;
+    use dagchkpt_dag::{generators, topo, FixedBitSet, NodeId};
+    use dagchkpt_failure::{FaultModel, Processor};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn single(lambda: f64, downtime: f64) -> HeteroPlatform {
+        HeteroPlatform::homogeneous(1, lambda, downtime).unwrap()
+    }
+
+    fn fig1_schedule() -> (Workflow, Schedule) {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let order = topo::topological_order(wf.dag());
+        let ckpt = FixedBitSet::from_indices(8, [1usize, 3, 6]);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        (wf, s)
+    }
+
+    /// Degenerate platform + degree 1 delegates: the report is **bit
+    /// identical** to the homogeneous evaluator.
+    #[test]
+    fn degenerate_platform_delegates_bit_for_bit() {
+        let (wf, s) = fig1_schedule();
+        let platform = single(3e-3, 1.5);
+        let hom = evaluator::evaluate(&wf, FaultModel::new(3e-3, 1.5), &s);
+        let rep = evaluate_replicated(&wf, &platform, &s, &[1; 8]);
+        assert_eq!(
+            rep.expected_makespan.to_bits(),
+            hom.expected_makespan.to_bits()
+        );
+        assert_eq!(rep.expected_faults.to_bits(), hom.expected_faults.to_bits());
+        for (a, b) in rep.per_position.iter().zip(hom.per_position.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The non-delegated group formulas reduce to Equation (1) for a single
+    /// reference replica (the recursion is an algebraic rearrangement).
+    #[test]
+    fn single_replica_formulas_match_equation_one() {
+        let (wf, s) = fig1_schedule();
+        // Two identical processors, degree 1 everywhere: the replica set is
+        // one reference processor, but the platform is *not* degenerate, so
+        // the group recursion runs.
+        let platform = HeteroPlatform::new(vec![Processor::reference(4e-3); 2], 2.0).unwrap();
+        let rep = evaluate_replicated(&wf, &platform, &s, &[1; 8]);
+        let hom = evaluator::evaluate(&wf, FaultModel::new(4e-3, 2.0), &s);
+        let rel = (rep.expected_makespan - hom.expected_makespan).abs() / hom.expected_makespan;
+        assert!(
+            rel < 1e-12,
+            "group {} vs Eq.(1) {}",
+            rep.expected_makespan,
+            hom.expected_makespan
+        );
+        let frel = (rep.expected_faults - hom.expected_faults).abs() / hom.expected_faults;
+        assert!(frel < 1e-12);
+        for (a, b) in rep.per_position.iter().zip(hom.per_position.iter()) {
+            assert!((a - b).abs() <= 1e-12 * b.max(1.0));
+        }
+    }
+
+    /// Single replicated task: the analytic value matches a direct
+    /// Monte-Carlo simulation of the group-attempt process.
+    #[test]
+    fn two_heterogeneous_replicas_match_direct_simulation() {
+        let wf = Workflow::new(generators::chain(1), vec![TaskCosts::new(40.0, 6.0, 3.0)]);
+        let s = Schedule::always(&wf, vec![NodeId(0)]).unwrap();
+        let procs = vec![
+            Processor {
+                speed: 2.0,
+                lambda: 8e-3,
+                ..Processor::reference(8e-3)
+            },
+            Processor {
+                speed: 1.0,
+                lambda: 2e-3,
+                ..Processor::reference(2e-3)
+            },
+        ];
+        let downtime = 4.0;
+        let platform = HeteroPlatform::new(procs.clone(), downtime).unwrap();
+        let analytic = expected_makespan_replicated(&wf, &platform, &s, &[2]);
+
+        // Direct simulation of the attempt loop (content w + c, replicas
+        // redraw their fault per attempt, success = first surviving d).
+        let mut rng = SmallRng::seed_from_u64(0x5E17AB);
+        let trials = 400_000;
+        let mut sum = 0.0f64;
+        let sorted = platform.procs();
+        for _ in 0..trials {
+            let mut t = 0.0f64;
+            loop {
+                let mut best: Option<f64> = None;
+                let mut max_f = 0.0f64;
+                for p in sorted {
+                    // Work scaled by speed, the write by write_bw (= 1).
+                    let d = 40.0 / p.speed + 6.0;
+                    let u: f64 = rng.gen_range(0.0..1.0f64);
+                    let f = -(1.0 - u).ln() / p.lambda;
+                    if f >= d {
+                        best = Some(best.map_or(d, |b: f64| b.min(d)));
+                    } else if f > max_f {
+                        max_f = f;
+                    }
+                }
+                match best {
+                    Some(d) => {
+                        t += d;
+                        break;
+                    }
+                    None => t += max_f + downtime,
+                }
+            }
+            sum += t;
+        }
+        let mc = sum / trials as f64;
+        let rel = (mc - analytic).abs() / analytic;
+        assert!(rel < 0.01, "MC {mc} vs analytic {analytic} (rel {rel})");
+    }
+
+    /// More replicas of the same processor never hurt; a fault-free replica
+    /// pins the expectation at the deterministic minimum.
+    #[test]
+    fn replication_monotonicity_and_fault_free_floor() {
+        let (wf, s) = fig1_schedule();
+        let mut last = f64::INFINITY;
+        for count in 1..=4usize {
+            let platform = HeteroPlatform::homogeneous(4, 6e-3, 1.0).unwrap();
+            let e = expected_makespan_replicated(&wf, &platform, &s, &[count; 8]);
+            assert!(
+                e <= last + 1e-9 * e,
+                "degree {count}: {e} worse than {last}"
+            );
+            assert!(e.is_finite() && e > 0.0);
+            last = e;
+        }
+        // A replica that never faults caps every block at its failure-free
+        // duration: the total is the failure-free time.
+        let platform = HeteroPlatform::new(
+            vec![Processor::reference(5e-3), Processor::reference(0.0)],
+            1.0,
+        )
+        .unwrap();
+        let e = expected_makespan_replicated(&wf, &platform, &s, &[2; 8]);
+        let floor: f64 = wf.total_work()
+            + s.checkpoints()
+                .iter()
+                .map(|i| wf.checkpoint_cost(NodeId::from(i)))
+                .sum::<f64>();
+        assert!((e - floor).abs() <= 1e-9 * floor, "e {e} vs floor {floor}");
+    }
+
+    /// Degrees from the strategy family plug straight in; clamping keeps
+    /// oversubscribed degrees legal.
+    #[test]
+    fn strategy_degrees_integrate_and_clamp() {
+        let (wf, s) = fig1_schedule();
+        let platform = HeteroPlatform::homogeneous(3, 5e-3, 0.0).unwrap();
+        let d_all = ReplicationStrategy::Uniform { degree: 9 }.degrees(&wf, platform.n_procs());
+        assert!(d_all.iter().all(|&d| d == 3));
+        let e_all = expected_makespan_replicated(&wf, &platform, &s, &d_all);
+        let d_heavy = ReplicationStrategy::Heaviest {
+            degree: 3,
+            count: 3,
+        }
+        .degrees(&wf, platform.n_procs());
+        let e_heavy = expected_makespan_replicated(&wf, &platform, &s, &d_heavy);
+        let e_none = expected_makespan_replicated(
+            &wf,
+            &platform,
+            &s,
+            &ReplicationStrategy::None.degrees(&wf, platform.n_procs()),
+        );
+        assert!(e_all <= e_heavy + 1e-9 * e_all);
+        assert!(e_heavy <= e_none + 1e-9 * e_none);
+    }
+
+    /// Faster processors shrink the makespan proportionally in the
+    /// fault-free limit.
+    #[test]
+    fn speed_scales_fault_free_duration() {
+        let wf = Workflow::uniform(generators::chain(3), 10.0, 2.0);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let fast = HeteroPlatform::new(
+            vec![Processor {
+                speed: 2.0,
+                ..Processor::reference(0.0)
+            }],
+            0.0,
+        )
+        .unwrap();
+        let e = expected_makespan_replicated(&wf, &fast, &s, &[1, 1, 1]);
+        // 30 work / 2 + 6 checkpoints at unit write bandwidth.
+        assert!((e - 21.0).abs() < 1e-12, "e = {e}");
+        // Bandwidths scale only the checkpoint component.
+        let slow_writes = HeteroPlatform::new(
+            vec![Processor {
+                write_bw: 0.5,
+                ..Processor::reference(0.0)
+            }],
+            0.0,
+        )
+        .unwrap();
+        let e = expected_makespan_replicated(&wf, &slow_writes, &s, &[1, 1, 1]);
+        assert!((e - 42.0).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn empty_workflow_is_zero() {
+        let wf = Workflow::uniform(generators::chain(0), 1.0, 0.0);
+        let s = Schedule::never(&wf, vec![]).unwrap();
+        let platform = HeteroPlatform::homogeneous(2, 1e-3, 0.0).unwrap();
+        let rep = evaluate_replicated(&wf, &platform, &s, &[]);
+        assert_eq!(rep.expected_makespan, 0.0);
+        assert_eq!(rep.expected_faults, 0.0);
+    }
+}

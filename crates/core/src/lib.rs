@@ -9,7 +9,9 @@
 //!   cross-validation);
 //! * [`linearize`] — the DF/BF/RF linearization strategies;
 //! * [`strategies`] — CkptNvr/CkptAlws/CkptW/CkptC/CkptD/CkptPer with the
-//!   checkpoint-budget sweep;
+//!   checkpoint-budget sweep, plus the task-replication strategy family
+//!   ([`ReplicationStrategy`]) evaluated exactly by
+//!   [`evaluator::replicated`] on heterogeneous platforms;
 //! * [`heuristics`] — the paper's 14 heuristic combinations;
 //! * [`exact`] — fork (Theorem 1), join (Lemmas 1–2, Corollaries 1–2),
 //!   chain (Toueg–Babaoglu DP) and brute-force optima;
@@ -24,6 +26,7 @@ pub mod npc;
 pub mod schedule;
 pub mod strategies;
 
+pub use evaluator::replicated::{evaluate_replicated, expected_makespan_replicated};
 pub use evaluator::{evaluate, expected_makespan, EvalReport};
 pub use heuristics::{
     best_linearization_per_ckpt, paper_heuristics, run_all, run_heuristic, Heuristic,
@@ -33,5 +36,6 @@ pub use linearize::{linearize, linearize_with_priority, LinearizationStrategy, P
 pub use model::{CostRule, TaskCosts, Workflow};
 pub use schedule::Schedule;
 pub use strategies::{
-    local_search, optimize_checkpoints, CheckpointStrategy, OptimizedSchedule, SweepPolicy,
+    local_search, optimize_checkpoints, CheckpointStrategy, OptimizedSchedule, ReplicationStrategy,
+    SweepPolicy,
 };

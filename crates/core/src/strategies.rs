@@ -67,6 +67,94 @@ impl CheckpointStrategy {
     }
 }
 
+/// Task-replication strategy: how many processors of a heterogeneous
+/// platform redundantly execute each task's block (the block succeeds on
+/// the first surviving replica's completion — see
+/// `crate::evaluator::replicated` and the `dagchkpt-sim` replicated
+/// engines).
+///
+/// Degrees are always clamped to `[1, P]` for a `P`-processor platform, so
+/// a strategy asking for more replicas than exist degrades gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationStrategy {
+    /// No replication: every task runs on the single best processor.
+    None,
+    /// Every task on `degree` processors.
+    Uniform {
+        /// Replication degree `r ≥ 1`.
+        degree: usize,
+    },
+    /// The `count` heaviest tasks (by weight, ties toward smaller ids) on
+    /// `degree` processors; everything else unreplicated.
+    Heaviest {
+        /// Replication degree for the selected tasks.
+        degree: usize,
+        /// How many tasks to replicate.
+        count: usize,
+    },
+    /// Tasks with `w_i ≥ work_fraction · max_j w_j` on `degree` processors.
+    Threshold {
+        /// Replication degree for the selected tasks.
+        degree: usize,
+        /// Weight threshold as a fraction of the heaviest task.
+        work_fraction: f64,
+    },
+}
+
+impl ReplicationStrategy {
+    /// Short label for output rows (`none`, `r3`, `heavy3x8`, `thr2@0.5`).
+    pub fn label(&self) -> String {
+        match self {
+            ReplicationStrategy::None => "none".to_string(),
+            ReplicationStrategy::Uniform { degree } => format!("r{degree}"),
+            ReplicationStrategy::Heaviest { degree, count } => format!("heavy{degree}x{count}"),
+            ReplicationStrategy::Threshold {
+                degree,
+                work_fraction,
+            } => format!("thr{degree}@{work_fraction}"),
+        }
+    }
+
+    /// Per-task replication degrees (indexed by task id), clamped to
+    /// `[1, n_procs]`.
+    pub fn degrees(&self, wf: &Workflow, n_procs: usize) -> Vec<usize> {
+        let n = wf.n_tasks();
+        let clamp = |d: usize| d.clamp(1, n_procs.max(1));
+        match self {
+            ReplicationStrategy::None => vec![1; n],
+            ReplicationStrategy::Uniform { degree } => vec![clamp(*degree); n],
+            ReplicationStrategy::Heaviest { degree, count } => {
+                let mut out = vec![1; n];
+                for v in ranking(wf, CheckpointStrategy::ByDecreasingWork)
+                    .into_iter()
+                    .take(*count)
+                {
+                    out[v.index()] = clamp(*degree);
+                }
+                out
+            }
+            ReplicationStrategy::Threshold {
+                degree,
+                work_fraction,
+            } => {
+                let max_w = (0..n)
+                    .map(|i| wf.work(NodeId::from(i)))
+                    .fold(0.0f64, f64::max);
+                let cut = work_fraction * max_w;
+                (0..n)
+                    .map(|i| {
+                        if wf.work(NodeId::from(i)) >= cut {
+                            clamp(*degree)
+                        } else {
+                            1
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Candidate-`N` selection policy for the sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SweepPolicy {
@@ -668,6 +756,66 @@ mod tests {
             16,
         );
         assert!((ls.expected_makespan - opt_value).abs() <= 1e-9 * opt_value);
+    }
+
+    #[test]
+    fn replication_degree_families_and_clamping() {
+        let wf = chain_wf(); // weights 50, 10, 40, 20, 60, 30
+        assert_eq!(ReplicationStrategy::None.degrees(&wf, 4), vec![1; 6]);
+        assert_eq!(
+            ReplicationStrategy::Uniform { degree: 3 }.degrees(&wf, 4),
+            vec![3; 6]
+        );
+        // Clamped to the platform size and to ≥ 1.
+        assert_eq!(
+            ReplicationStrategy::Uniform { degree: 9 }.degrees(&wf, 4),
+            vec![4; 6]
+        );
+        assert_eq!(
+            ReplicationStrategy::Uniform { degree: 0 }.degrees(&wf, 4),
+            vec![1; 6]
+        );
+        // Heaviest 2: tasks 4 (w=60) and 0 (w=50).
+        assert_eq!(
+            ReplicationStrategy::Heaviest {
+                degree: 2,
+                count: 2
+            }
+            .degrees(&wf, 4),
+            vec![2, 1, 1, 1, 2, 1]
+        );
+        // Threshold at 0.5·60 = 30: tasks 0, 2, 4, 5.
+        assert_eq!(
+            ReplicationStrategy::Threshold {
+                degree: 3,
+                work_fraction: 0.5
+            }
+            .degrees(&wf, 8),
+            vec![3, 1, 3, 1, 3, 3]
+        );
+        // Degree-1 uniform is exactly the no-replication strategy.
+        assert_eq!(
+            ReplicationStrategy::Uniform { degree: 1 }.degrees(&wf, 4),
+            ReplicationStrategy::None.degrees(&wf, 4)
+        );
+        assert_eq!(ReplicationStrategy::None.label(), "none");
+        assert_eq!(ReplicationStrategy::Uniform { degree: 2 }.label(), "r2");
+        assert_eq!(
+            ReplicationStrategy::Heaviest {
+                degree: 3,
+                count: 8
+            }
+            .label(),
+            "heavy3x8"
+        );
+        assert_eq!(
+            ReplicationStrategy::Threshold {
+                degree: 2,
+                work_fraction: 0.5
+            }
+            .label(),
+            "thr2@0.5"
+        );
     }
 
     #[test]

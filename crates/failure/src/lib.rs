@@ -10,6 +10,9 @@
 //! * [`Platform`] — a `p`-processor platform with per-processor MTBF
 //!   `µ_proc`, collapsed to the single macro-processor of the paper
 //!   (`λ = p · λ_proc`, i.e. MTBF `µ_proc / p`);
+//! * [`HeteroPlatform`] — a heterogeneous processor pool (per-processor
+//!   speed, failure rate / Weibull shape, checkpoint read/write
+//!   bandwidth), the substrate of the task-replication scenario family;
 //! * [`daly`] — the classical Young / Daly checkpointing periods used to
 //!   discuss the `CkptPer` strategy;
 //! * [`injector`] — pluggable fault injectors for the Monte-Carlo simulator:
@@ -23,4 +26,4 @@ pub mod platform;
 
 pub use injector::{ExponentialInjector, FaultInjector, NoFaults, TraceInjector, WeibullInjector};
 pub use model::FaultModel;
-pub use platform::Platform;
+pub use platform::{HeteroPlatform, Platform, PlatformError, Processor};

@@ -1,4 +1,6 @@
-//! The `p`-processor platform collapsed to the paper's macro-processor.
+//! Platforms: the paper's macro-processor collapse ([`Platform`]) and the
+//! heterogeneous processor pool behind task replication
+//! ([`HeteroPlatform`]).
 
 use crate::model::FaultModel;
 use serde::{Deserialize, Serialize};
@@ -56,6 +58,180 @@ impl Platform {
     }
 }
 
+/// Error raised by [`HeteroPlatform`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformError(pub String);
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "platform error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// One processor of a heterogeneous platform.
+///
+/// `speed` scales compute durations (work and re-execution run in `w / speed`
+/// seconds), `read_bw`/`write_bw` scale recovery reads and checkpoint writes
+/// (`r / read_bw`, `c / write_bw`), `lambda` is the processor's own
+/// exponential failure rate, and `shape`, when set, switches the
+/// *Monte-Carlo* fault process to a Weibull of the same mean (the analytic
+/// evaluator always uses the rate-matched exponential, exactly like the
+/// homogeneous Weibull study).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Processor {
+    /// Relative compute speed (`1.0` = the reference processor).
+    pub speed: f64,
+    /// Failure rate `λ_p` (per second).
+    pub lambda: f64,
+    /// Optional Weibull shape for Monte-Carlo fault sampling.
+    pub shape: Option<f64>,
+    /// Recovery-read bandwidth factor (`1.0` = reference).
+    pub read_bw: f64,
+    /// Checkpoint-write bandwidth factor (`1.0` = reference).
+    pub write_bw: f64,
+}
+
+impl Processor {
+    /// A unit-speed, unit-bandwidth exponential processor of rate `lambda`.
+    pub fn reference(lambda: f64) -> Self {
+        Processor {
+            speed: 1.0,
+            lambda,
+            shape: None,
+            read_bw: 1.0,
+            write_bw: 1.0,
+        }
+    }
+
+    fn validate(&self, idx: usize) -> Result<(), PlatformError> {
+        let err = |msg: String| Err(PlatformError(format!("processor {idx}: {msg}")));
+        if !(self.speed.is_finite() && self.speed > 0.0) {
+            return err(format!("speed {} must be finite and > 0", self.speed));
+        }
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return err(format!("lambda {} must be finite and ≥ 0", self.lambda));
+        }
+        if let Some(s) = self.shape {
+            if !(s.is_finite() && s > 0.0) {
+                return err(format!("shape {s} must be finite and > 0"));
+            }
+        }
+        for (name, bw) in [("read_bw", self.read_bw), ("write_bw", self.write_bw)] {
+            if !(bw.is_finite() && bw > 0.0) {
+                return err(format!("{name} {bw} must be finite and > 0"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical sort key: fastest first, then most reliable; ties broken by
+    /// the remaining parameters so identical processors are interchangeable
+    /// and the sorted order never depends on the order they were listed in.
+    fn rank_key(&self) -> (f64, f64, f64, f64, f64) {
+        (
+            -self.speed,
+            self.lambda,
+            self.shape.unwrap_or(f64::NEG_INFINITY),
+            -self.read_bw,
+            -self.write_bw,
+        )
+    }
+}
+
+/// A heterogeneous pool of failure-prone processors — the substrate of the
+/// task-replication scenario family.
+///
+/// Unlike [`Platform`] (where every processor runs the *same* work and any
+/// fault interrupts the application), a `HeteroPlatform` executes each task
+/// of the linearized workflow on a *replica set*: the `r_i` best processors
+/// run the task's block redundantly and the first surviving replica's
+/// completion wins. Processors are stored in a canonical order (fastest
+/// first — see [`Processor::rank_key`]), so replica sets, per-processor
+/// seed assignment, and every downstream result are invariant under
+/// re-ordering of the constructor's input list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroPlatform {
+    procs: Vec<Processor>,
+    downtime: f64,
+}
+
+impl HeteroPlatform {
+    /// Builds a platform from processors (any order) and a platform-wide
+    /// downtime `D`. Errors on an empty pool or invalid parameters — the
+    /// zero-processor case is a *validation* error, never an engine panic.
+    pub fn new(procs: Vec<Processor>, downtime: f64) -> Result<Self, PlatformError> {
+        if procs.is_empty() {
+            return Err(PlatformError(
+                "a platform needs at least one processor".to_string(),
+            ));
+        }
+        for (i, p) in procs.iter().enumerate() {
+            p.validate(i)?;
+        }
+        if !(downtime.is_finite() && downtime >= 0.0) {
+            return Err(PlatformError(format!(
+                "downtime {downtime} must be finite and ≥ 0"
+            )));
+        }
+        let mut procs = procs;
+        procs.sort_by(|a, b| {
+            a.rank_key()
+                .partial_cmp(&b.rank_key())
+                .expect("validated parameters are comparable")
+        });
+        Ok(HeteroPlatform { procs, downtime })
+    }
+
+    /// `count` identical exponential processors of rate `lambda`.
+    pub fn homogeneous(count: usize, lambda: f64, downtime: f64) -> Result<Self, PlatformError> {
+        Self::new(vec![Processor::reference(lambda); count], downtime)
+    }
+
+    /// Processors in canonical order (fastest / most reliable first). The
+    /// replica set of degree `r` is the first `r` entries.
+    pub fn procs(&self) -> &[Processor] {
+        &self.procs
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Platform-wide downtime `D` paid after a group failure.
+    pub fn downtime(&self) -> f64 {
+        self.downtime
+    }
+
+    /// `true` when the platform is a single reference processor (unit speed
+    /// and bandwidths, exponential faults) — exactly the paper's machine.
+    /// The replicated evaluator and engines delegate to the homogeneous
+    /// implementations in this case, which is what makes a degenerate
+    /// platform reproduce the homogeneous results bit for bit.
+    pub fn is_degenerate(&self) -> bool {
+        self.procs.len() == 1 && {
+            let p = &self.procs[0];
+            p.speed == 1.0 && p.read_bw == 1.0 && p.write_bw == 1.0 && p.shape.is_none()
+        }
+    }
+
+    /// The [`FaultModel`] of the single processor of a degenerate platform.
+    ///
+    /// # Panics
+    ///
+    /// If the platform is not degenerate (the collapse is only meaningful
+    /// for the paper's machine).
+    pub fn fault_model(&self) -> FaultModel {
+        assert!(
+            self.is_degenerate(),
+            "fault_model() is only defined for degenerate platforms"
+        );
+        FaultModel::new(self.procs[0].lambda, self.downtime)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +264,92 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_mtbf_rejected() {
         Platform::new(4, 0.0, 0.0);
+    }
+
+    fn proc(speed: f64, lambda: f64) -> Processor {
+        Processor {
+            speed,
+            lambda,
+            ..Processor::reference(lambda)
+        }
+    }
+
+    #[test]
+    fn hetero_platform_sorts_canonically_and_reordering_is_invisible() {
+        let a = proc(1.0, 2e-3);
+        let b = proc(2.0, 1e-3);
+        let c = proc(2.0, 5e-4);
+        let p1 = HeteroPlatform::new(vec![a, b, c], 1.0).unwrap();
+        let p2 = HeteroPlatform::new(vec![c, a, b], 1.0).unwrap();
+        assert_eq!(p1, p2);
+        // Fastest first; equal speeds ranked by reliability.
+        assert_eq!(p1.procs()[0], c);
+        assert_eq!(p1.procs()[1], b);
+        assert_eq!(p1.procs()[2], a);
+        assert_eq!(p1.n_procs(), 3);
+        assert_eq!(p1.downtime(), 1.0);
+        assert!(!p1.is_degenerate());
+    }
+
+    #[test]
+    fn degenerate_platform_collapses_to_the_paper_machine() {
+        let p = HeteroPlatform::homogeneous(1, 3e-3, 2.0).unwrap();
+        assert!(p.is_degenerate());
+        let m = p.fault_model();
+        assert_eq!(m.lambda(), 3e-3);
+        assert_eq!(m.downtime(), 2.0);
+        // Any deviation from the reference processor breaks degeneracy.
+        for bad in [
+            Processor {
+                speed: 2.0,
+                ..Processor::reference(1e-3)
+            },
+            Processor {
+                read_bw: 0.5,
+                ..Processor::reference(1e-3)
+            },
+            Processor {
+                shape: Some(1.5),
+                ..Processor::reference(1e-3)
+            },
+        ] {
+            let p = HeteroPlatform::new(vec![bad], 0.0).unwrap();
+            assert!(!p.is_degenerate());
+        }
+        assert!(!HeteroPlatform::homogeneous(2, 1e-3, 0.0)
+            .unwrap()
+            .is_degenerate());
+    }
+
+    #[test]
+    fn hetero_platform_validation_errors() {
+        // Zero processors is a validation error, not a panic.
+        let e = HeteroPlatform::new(vec![], 0.0).unwrap_err();
+        assert!(e.0.contains("at least one processor"), "{e}");
+        assert!(HeteroPlatform::homogeneous(0, 1e-3, 0.0).is_err());
+        let e = HeteroPlatform::new(vec![proc(0.0, 1e-3)], 0.0).unwrap_err();
+        assert!(e.0.contains("speed"), "{e}");
+        let e = HeteroPlatform::new(vec![proc(1.0, -1.0)], 0.0).unwrap_err();
+        assert!(e.0.contains("lambda"), "{e}");
+        let e = HeteroPlatform::new(
+            vec![Processor {
+                shape: Some(0.0),
+                ..Processor::reference(1e-3)
+            }],
+            0.0,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("shape"), "{e}");
+        let e = HeteroPlatform::new(
+            vec![Processor {
+                write_bw: f64::NAN,
+                ..Processor::reference(1e-3)
+            }],
+            0.0,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("write_bw"), "{e}");
+        let e = HeteroPlatform::new(vec![proc(1.0, 1e-3)], -1.0).unwrap_err();
+        assert!(e.0.contains("downtime"), "{e}");
     }
 }

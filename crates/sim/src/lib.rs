@@ -26,6 +26,7 @@ pub mod memory;
 pub mod montecarlo;
 pub mod nonblocking;
 pub mod plan;
+pub mod replicated;
 pub mod stats;
 pub mod timeline;
 
@@ -35,4 +36,7 @@ pub use memory::MemoryState;
 pub use montecarlo::{run_trials, run_trials_with, trial_metric_stats, TrialSpec, TrialStats};
 pub use nonblocking::{simulate_nonblocking, NonBlockingConfig};
 pub use plan::{recovery_plan, recovery_plan_with, PlanStep};
+pub use replicated::{
+    run_replicated_trials_with, simulate_replicated, simulate_replicated_nonblocking,
+};
 pub use stats::Stats;

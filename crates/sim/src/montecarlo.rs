@@ -60,13 +60,30 @@ impl TrialSpec {
 
     /// Seed for the `i`-th trial (SplitMix64 finalizer).
     pub fn trial_seed(&self, i: usize) -> u64 {
-        let mut z = self
-            .seed
-            .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix(self.seed, i as u64)
     }
+
+    /// Seed for processor `rank` of the `i`-th trial of a replicated run.
+    /// Rank 0 gets [`TrialSpec::trial_seed`] verbatim, so the first
+    /// (reference) processor's fault stream is exactly the homogeneous
+    /// stream — the anchor of the degenerate-platform bit-identity — and
+    /// higher ranks get decorrelated SplitMix64 scrambles.
+    pub fn proc_seed(&self, i: usize, rank: usize) -> u64 {
+        let s = self.trial_seed(i);
+        if rank == 0 {
+            s
+        } else {
+            splitmix(s, rank as u64)
+        }
+    }
+}
+
+/// SplitMix64 finalizer over `(seed, i)`.
+fn splitmix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Aggregate over trials.
@@ -205,13 +222,22 @@ where
         downtime,
         record_trace: false,
     };
-    let run_one = |i: usize| {
+    sim_result_stats(spec, |i| {
         let mut inj = make_injector(spec.trial_seed(i));
         simulate(wf, schedule, &mut inj, config)
-    };
-    // Both paths fold trial results into per-chunk accumulators over the
-    // same fixed chunk boundaries and merge them in chunk order, so the
-    // statistics are bit-identical and memory stays O(chunks).
+    })
+}
+
+/// Aggregates one [`SimResult`] per trial into [`TrialStats`] with the
+/// shared deterministic chunk grouping: both paths fold into per-chunk
+/// accumulators over the same item-count-derived boundaries and merge in
+/// chunk order, so the statistics are bit-identical for any thread count
+/// and memory stays O(chunks). Zero trials yield the coherent all-NaN
+/// aggregate. Shared by the homogeneous and replicated trial runners.
+pub(crate) fn sim_result_stats<F>(spec: TrialSpec, run_one: F) -> TrialStats
+where
+    F: Fn(usize) -> SimResult + Sync,
+{
     let acc = if spec.parallel {
         (0..spec.trials)
             .into_par_iter()

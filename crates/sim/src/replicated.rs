@@ -1,0 +1,632 @@
+//! Operational twins of the replication-aware analytic evaluator
+//! (`dagchkpt_core::evaluator::replicated`): Monte-Carlo engines that run
+//! each task's block redundantly on the replica set of a heterogeneous
+//! platform and let the earliest surviving replica win.
+//!
+//! # Shared semantics
+//!
+//! For every block attempt, replica `p` (the first `r_i` processors of the
+//! platform's canonical order) computes its deterministic completion time
+//! `d_p` from its speed and bandwidths and draws its first fault from its
+//! own injector, **renewed at the attempt start**. The attempt succeeds at
+//! `min{d_p : F_p ≥ d_p}`; when every replica faults first (a *group
+//! failure*) the attempt is abandoned at `max_p F_p`, memory is wiped, the
+//! platform pays the downtime, and the block restarts with a freshly
+//! computed recovery plan. `n_faults` counts group failures — the event the
+//! analytic evaluator's `expected_faults` counts.
+//!
+//! # Blocking vs non-blocking
+//!
+//! [`simulate_replicated`] folds the winner's checkpoint write into its
+//! block (synchronous writes). [`simulate_replicated_nonblocking`] instead
+//! enqueues the write on a platform-wide FIFO (the shared stable-storage
+//! channel): while writes are in flight every replica computes at
+//! `compute_rate`, a checkpoint becomes durable (recoverable) only when
+//! its write completes, and a group failure kills the in-flight queue —
+//! the Section-7 semantics of `crate::nonblocking`, lifted to replica
+//! groups. One deliberate simplification: writes spawned by a block
+//! (rework re-enqueues and the winner's own write) enter the queue at the
+//! *end* of the successful attempt rather than mid-attempt; with no
+//! checkpoints, or zero-cost writes, the engine therefore coincides with
+//! the blocking one trial by trial — the regimes the differential suite
+//! pins.
+//!
+//! # Degenerate delegation
+//!
+//! On a degenerate platform (one reference processor) with all degrees 1,
+//! both engines and the trial runner delegate to their homogeneous
+//! counterparts, with processor rank 0 seeded by `TrialSpec::trial_seed`
+//! verbatim ([`TrialSpec::proc_seed`]) — so a degenerate platform
+//! reproduces the homogeneous statistics **bit for bit**.
+
+use crate::engine::{simulate, SimConfig, SimResult};
+use crate::events::UnitKind;
+use crate::memory::MemoryState;
+use crate::montecarlo::{sim_result_stats, TrialSpec, TrialStats};
+use crate::nonblocking::{simulate_nonblocking, NonBlockingConfig};
+use crate::plan::{recovery_plan, recovery_plan_with, PlanStep};
+use dagchkpt_core::{Schedule, Workflow};
+use dagchkpt_dag::{FixedBitSet, NodeId};
+use dagchkpt_failure::{FaultInjector, HeteroPlatform, Processor};
+use std::collections::VecDeque;
+
+/// Outcome of one group attempt.
+enum Attempt {
+    /// Winning replica's rank and its elapsed time.
+    Success { rank: usize, elapsed: f64 },
+    /// All replicas faulted; elapsed time until the last one died.
+    GroupFailure { elapsed: f64 },
+}
+
+/// Runs one group attempt: per-replica deterministic durations from
+/// `duration_of`, per-replica fault draws renewed at the attempt start.
+fn group_attempt<I: FaultInjector>(
+    reps: &[Processor],
+    injectors: &mut [I],
+    duration_of: impl Fn(&Processor) -> f64,
+) -> Attempt {
+    let mut best: Option<(f64, usize)> = None;
+    let mut max_f = 0.0f64;
+    for (rank, p) in reps.iter().enumerate() {
+        let d = duration_of(p);
+        let f = injectors[rank].next_fault_after(0.0);
+        if f >= d {
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, rank));
+            }
+        } else if f > max_f {
+            max_f = f;
+        }
+    }
+    match best {
+        Some((elapsed, rank)) => Attempt::Success { rank, elapsed },
+        None => Attempt::GroupFailure { elapsed: max_f },
+    }
+}
+
+/// Sums a recovery plan into (rework, recovery) nominal amounts.
+fn plan_amounts(plan: &[PlanStep]) -> (f64, f64) {
+    let mut rework = 0.0;
+    let mut recovery = 0.0;
+    for step in plan {
+        match step.kind {
+            UnitKind::Rework => rework += step.duration,
+            UnitKind::Recovery => recovery += step.duration,
+            _ => unreachable!("plans only recover or re-execute"),
+        }
+    }
+    (rework, recovery)
+}
+
+fn empty_result() -> SimResult {
+    SimResult {
+        makespan: 0.0,
+        n_faults: 0,
+        time_work: 0.0,
+        time_rework: 0.0,
+        time_recovery: 0.0,
+        time_checkpoint: 0.0,
+        time_wasted: 0.0,
+        time_downtime: 0.0,
+        trace: None,
+    }
+}
+
+fn delegates(platform: &HeteroPlatform, degrees: &[usize]) -> bool {
+    platform.is_degenerate() && degrees.iter().all(|&d| d == 1)
+}
+
+fn max_degree(platform: &HeteroPlatform, degrees: &[usize]) -> usize {
+    degrees
+        .iter()
+        .map(|&d| d.clamp(1, platform.n_procs()))
+        .max()
+        .unwrap_or(1)
+}
+
+/// Simulates `schedule` once on `platform` with per-task replication
+/// `degrees` (indexed by task id) and synchronous checkpoint writes.
+/// `injectors[rank]` is processor rank `rank`'s fault source; at least
+/// `max(degrees)` injectors are required.
+pub fn simulate_replicated<I: FaultInjector>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    degrees: &[usize],
+    injectors: &mut [I],
+) -> SimResult {
+    let n = wf.n_tasks();
+    assert_eq!(degrees.len(), n, "one replication degree per task");
+    if delegates(platform, degrees) {
+        return simulate(
+            wf,
+            schedule,
+            &mut injectors[0],
+            SimConfig {
+                downtime: platform.downtime(),
+                record_trace: false,
+            },
+        );
+    }
+    assert!(
+        injectors.len() >= max_degree(platform, degrees),
+        "need one injector per replica rank"
+    );
+    let procs = platform.procs();
+    let downtime = platform.downtime();
+    let mut t = 0.0f64;
+    let mut memory = MemoryState::new(n);
+    let mut res = empty_result();
+
+    for &task in schedule.order() {
+        let r = degrees[task.index()].clamp(1, procs.len());
+        let w = wf.work(task);
+        let c = if schedule.is_checkpointed(task) {
+            wf.checkpoint_cost(task)
+        } else {
+            0.0
+        };
+        loop {
+            let plan = recovery_plan(wf, schedule, &memory, task);
+            let (rework, recovery) = plan_amounts(&plan);
+            let attempt = group_attempt(&procs[..r], injectors, |p| {
+                (rework + w) / p.speed + recovery / p.read_bw + c / p.write_bw
+            });
+            match attempt {
+                Attempt::Success { rank, elapsed } => {
+                    t += elapsed;
+                    let p = &procs[rank];
+                    res.time_rework += rework / p.speed;
+                    res.time_recovery += recovery / p.read_bw;
+                    res.time_work += w / p.speed;
+                    res.time_checkpoint += c / p.write_bw;
+                    for step in &plan {
+                        memory.store(step.task);
+                    }
+                    memory.store(task);
+                    break;
+                }
+                Attempt::GroupFailure { elapsed } => {
+                    t += elapsed + downtime;
+                    res.time_wasted += elapsed;
+                    res.time_downtime += downtime;
+                    res.n_faults += 1;
+                    memory.wipe();
+                }
+            }
+        }
+    }
+    res.makespan = t;
+    res
+}
+
+/// Simulates `schedule` once on `platform` with replication and
+/// **non-blocking** checkpoint writes overlapping subsequent computation at
+/// `compute_rate` (see the module docs for the exact semantics).
+pub fn simulate_replicated_nonblocking<I: FaultInjector>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    degrees: &[usize],
+    injectors: &mut [I],
+    compute_rate: f64,
+) -> SimResult {
+    assert!(
+        compute_rate > 0.0 && compute_rate <= 1.0,
+        "compute_rate must be in (0, 1]"
+    );
+    let n = wf.n_tasks();
+    assert_eq!(degrees.len(), n, "one replication degree per task");
+    if delegates(platform, degrees) {
+        return simulate_nonblocking(
+            wf,
+            schedule,
+            &mut injectors[0],
+            NonBlockingConfig {
+                downtime: platform.downtime(),
+                compute_rate,
+                record_trace: false,
+            },
+        );
+    }
+    assert!(
+        injectors.len() >= max_degree(platform, degrees),
+        "need one injector per replica rank"
+    );
+    let procs = platform.procs();
+    let downtime = platform.downtime();
+    let positions = schedule.positions();
+    let mut t = 0.0f64;
+    let mut memory = MemoryState::new(n);
+    let mut durable = FixedBitSet::new(n);
+    let mut writes: VecDeque<(NodeId, f64)> = VecDeque::new();
+    let mut res = empty_result();
+
+    // Completes queued writes worth `wall` seconds of front-of-queue time.
+    let drain = |writes: &mut VecDeque<(NodeId, f64)>, durable: &mut FixedBitSet, wall: f64| {
+        let mut left = wall;
+        while let Some(front) = writes.front_mut() {
+            if front.1 > left {
+                front.1 -= left;
+                break;
+            }
+            left -= front.1;
+            let (task, _) = writes.pop_front().expect("front exists");
+            durable.insert(task.index());
+        }
+    };
+
+    for &task in schedule.order() {
+        let r = degrees[task.index()].clamp(1, procs.len());
+        let w = wf.work(task);
+        loop {
+            let plan = recovery_plan_with(wf, &positions, &durable, &memory, task);
+            let (rework, recovery) = plan_amounts(&plan);
+            // Wall time at which the queue (as of the attempt start) empties.
+            let queue_wall: f64 = writes.iter().map(|(_, rem)| rem).sum();
+            let content = |p: &Processor| (rework + w) / p.speed + recovery / p.read_bw;
+            let attempt = group_attempt(&procs[..r], injectors, |p| {
+                let c = content(p);
+                // At rate `compute_rate` until the queue drains, then full
+                // speed.
+                if c <= queue_wall * compute_rate {
+                    c / compute_rate
+                } else {
+                    queue_wall + (c - queue_wall * compute_rate)
+                }
+            });
+            match attempt {
+                Attempt::Success { rank, elapsed } => {
+                    t += elapsed;
+                    drain(&mut writes, &mut durable, elapsed);
+                    let p = &procs[rank];
+                    res.time_rework += rework / p.speed;
+                    res.time_recovery += recovery / p.read_bw;
+                    res.time_work += w / p.speed;
+                    // Interference stretch goes to the checkpoint bucket,
+                    // like the single-processor non-blocking engine.
+                    res.time_checkpoint += elapsed - content(p);
+                    for step in &plan {
+                        memory.store(step.task);
+                        // A re-executed task the schedule wants checkpointed
+                        // lost its write to an earlier group failure:
+                        // re-enqueue it on the winner's write channel.
+                        if step.kind == UnitKind::Rework
+                            && schedule.is_checkpointed(step.task)
+                            && !durable.contains(step.task.index())
+                        {
+                            writes
+                                .push_back((step.task, wf.checkpoint_cost(step.task) / p.write_bw));
+                        }
+                    }
+                    memory.store(task);
+                    if schedule.is_checkpointed(task) {
+                        writes.push_back((task, wf.checkpoint_cost(task) / p.write_bw));
+                    }
+                    // Zero-cost writes are durable immediately.
+                    drain(&mut writes, &mut durable, 0.0);
+                    break;
+                }
+                Attempt::GroupFailure { elapsed } => {
+                    // Writes completing before the last replica died are
+                    // durable; the rest die with the fault.
+                    drain(&mut writes, &mut durable, elapsed);
+                    writes.clear();
+                    t += elapsed + downtime;
+                    res.time_wasted += elapsed;
+                    res.time_downtime += downtime;
+                    res.n_faults += 1;
+                    memory.wipe();
+                }
+            }
+        }
+    }
+    res.makespan = t;
+    res
+}
+
+/// Replicated Monte-Carlo trial runner: `make_injector(rank, seed)` builds
+/// processor rank `rank`'s fault source for one trial, seeded by
+/// [`TrialSpec::proc_seed`]. Statistics aggregate through the same chunked
+/// accumulators as [`crate::run_trials_with`] — bit-identical for any
+/// thread count, all-NaN for zero trials — and the degenerate platform
+/// delegates to the homogeneous runner bit for bit.
+pub fn run_replicated_trials_with<I, F>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    degrees: &[usize],
+    spec: TrialSpec,
+    make_injector: F,
+) -> TrialStats
+where
+    I: FaultInjector,
+    F: Fn(usize, u64) -> I + Sync,
+{
+    if delegates(platform, degrees) {
+        return crate::montecarlo::run_trials_with(
+            wf,
+            schedule,
+            platform.downtime(),
+            spec,
+            |seed| make_injector(0, seed),
+        );
+    }
+    let ranks = max_degree(platform, degrees);
+    sim_result_stats(spec, |i| {
+        let mut injectors: Vec<I> = (0..ranks)
+            .map(|rank| make_injector(rank, spec.proc_seed(i, rank)))
+            .collect();
+        simulate_replicated(wf, schedule, platform, degrees, &mut injectors)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::run_trials_with;
+    use dagchkpt_core::evaluator::replicated::evaluate_replicated;
+    use dagchkpt_core::{CostRule, ReplicationStrategy, TaskCosts};
+    use dagchkpt_dag::{generators, topo};
+    use dagchkpt_failure::ExponentialInjector;
+
+    /// Test-local injector replaying per-attempt relative fault times.
+    struct SeqInjector {
+        times: std::vec::IntoIter<f64>,
+    }
+
+    impl SeqInjector {
+        fn new(times: Vec<f64>) -> Self {
+            SeqInjector {
+                times: times.into_iter(),
+            }
+        }
+    }
+
+    impl FaultInjector for SeqInjector {
+        fn next_fault_after(&mut self, t: f64) -> f64 {
+            t + self.times.next().unwrap_or(f64::INFINITY)
+        }
+    }
+
+    fn hetero2(downtime: f64) -> HeteroPlatform {
+        HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 2.0,
+                    ..Processor::reference(4e-3)
+                },
+                Processor::reference(1e-3),
+            ],
+            downtime,
+        )
+        .unwrap()
+    }
+
+    /// Deterministic walkthrough of the blocking group engine: winner
+    /// selection, group failure, recovery pricing, and the accounting
+    /// identity.
+    #[test]
+    fn blocking_walkthrough_with_hand_faults() {
+        let costs = vec![
+            TaskCosts::new(10.0, 4.0, 2.0),
+            TaskCosts::new(10.0, 0.0, 0.0),
+        ];
+        let wf = Workflow::new(generators::chain(2), costs);
+        let mut ckpt = FixedBitSet::new(2);
+        ckpt.insert(0);
+        let s = Schedule::new(&wf, topo::topological_order(wf.dag()), ckpt).unwrap();
+        let platform = hetero2(1.0);
+        // Rank 0 = speed-2 processor. Block T0: d0 = 10/2 + 4 = 9,
+        // d1 = 14. Rank 0 faults at 3, rank 1 survives → winner rank 1 at
+        // 14. Block T1: d0 = 5, d1 = 10; both fault (1, 2) → group failure
+        // at 2, downtime 1. Retry recovers T0 (r = 2): d0 = 5 + 2 = 7,
+        // d1 = 12; rank 0 survives → +7. Makespan 14 + 3 + 7 = 24.
+        let mut injectors = vec![
+            SeqInjector::new(vec![3.0, 1.0, 100.0]),
+            SeqInjector::new(vec![20.0, 2.0, 0.5]),
+        ];
+        let r = simulate_replicated(&wf, &s, &platform, &[2, 2], &mut injectors);
+        assert!((r.makespan - 24.0).abs() < 1e-12, "makespan {}", r.makespan);
+        assert_eq!(r.n_faults, 1);
+        assert!((r.time_work - 15.0).abs() < 1e-12); // 10 (rank 1) + 5 (rank 0)
+        assert!((r.time_checkpoint - 4.0).abs() < 1e-12);
+        assert!((r.time_recovery - 2.0).abs() < 1e-12);
+        assert!((r.time_wasted - 2.0).abs() < 1e-12);
+        assert!((r.time_downtime - 1.0).abs() < 1e-12);
+        assert!((r.accounted_time() - r.makespan).abs() < 1e-9);
+    }
+
+    /// Degenerate platform + degree 1: the trial runner delegates and the
+    /// statistics are bit-identical to the homogeneous runner.
+    #[test]
+    fn degenerate_trials_are_bit_identical_to_homogeneous() {
+        let wf = Workflow::uniform(generators::fork_join(4), 10.0, 1.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = HeteroPlatform::homogeneous(1, 3e-3, 1.0).unwrap();
+        let spec = TrialSpec::new(2_000, 11);
+        let rep = run_replicated_trials_with(&wf, &s, &platform, &[1; 10], spec, |_, seed| {
+            ExponentialInjector::new(3e-3, seed)
+        });
+        let hom = run_trials_with(&wf, &s, 1.0, spec, |seed| {
+            ExponentialInjector::new(3e-3, seed)
+        });
+        assert_eq!(rep.makespan.mean().to_bits(), hom.makespan.mean().to_bits());
+        assert_eq!(
+            rep.makespan.stddev().to_bits(),
+            hom.makespan.stddev().to_bits()
+        );
+        assert_eq!(rep.faults.mean().to_bits(), hom.faults.mean().to_bits());
+    }
+
+    /// The blocking group engine converges to the replication-aware
+    /// analytic evaluator (the sim-side half of the cross-validation).
+    #[test]
+    fn replicated_monte_carlo_matches_replicated_evaluator() {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let order = topo::topological_order(wf.dag());
+        let ckpt = FixedBitSet::from_indices(8, [1usize, 3, 6]);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let platform = hetero2(2.0);
+        for degrees in [
+            ReplicationStrategy::Uniform { degree: 2 }.degrees(&wf, 2),
+            ReplicationStrategy::Heaviest {
+                degree: 2,
+                count: 3,
+            }
+            .degrees(&wf, 2),
+        ] {
+            let report = evaluate_replicated(&wf, &platform, &s, &degrees);
+            let stats = run_replicated_trials_with(
+                &wf,
+                &s,
+                &platform,
+                &degrees,
+                TrialSpec::new(40_000, 23),
+                |rank, seed| ExponentialInjector::new(platform.procs()[rank].lambda, seed),
+            );
+            let z = (stats.makespan.mean() - report.expected_makespan) / stats.makespan.sem();
+            assert!(
+                z.abs() <= 4.0,
+                "makespan z = {z:.2}: MC {} vs analytic {}",
+                stats.makespan.mean(),
+                report.expected_makespan
+            );
+            let fz = (stats.faults.mean() - report.expected_faults) / stats.faults.sem();
+            assert!(
+                fz.abs() <= 4.0,
+                "faults z = {fz:.2}: MC {} vs analytic {}",
+                stats.faults.mean(),
+                report.expected_faults
+            );
+        }
+    }
+
+    /// With no checkpoints (nothing to write) the non-blocking engine
+    /// coincides with the blocking one trial by trial.
+    #[test]
+    fn nonblocking_without_checkpoints_equals_blocking() {
+        let wf = Workflow::uniform(generators::chain(5), 12.0, 3.0);
+        let s = Schedule::never(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(1.5);
+        let spec = TrialSpec::new(300, 7);
+        for i in 0..spec.trials {
+            let mut a: Vec<ExponentialInjector> = (0..2)
+                .map(|rank| {
+                    ExponentialInjector::new(platform.procs()[rank].lambda, spec.proc_seed(i, rank))
+                })
+                .collect();
+            let mut b: Vec<ExponentialInjector> = (0..2)
+                .map(|rank| {
+                    ExponentialInjector::new(platform.procs()[rank].lambda, spec.proc_seed(i, rank))
+                })
+                .collect();
+            let blocking = simulate_replicated(&wf, &s, &platform, &[2; 5], &mut a);
+            let nb = simulate_replicated_nonblocking(&wf, &s, &platform, &[2; 5], &mut b, 0.6);
+            assert_eq!(nb.makespan.to_bits(), blocking.makespan.to_bits());
+            assert_eq!(nb.n_faults, blocking.n_faults);
+        }
+    }
+
+    /// Zero-cost checkpoint writes are durable instantly: non-blocking and
+    /// blocking coincide even fully checkpointed, and nothing spins.
+    #[test]
+    fn nonblocking_zero_cost_writes_equal_blocking() {
+        let wf = Workflow::uniform(generators::chain(4), 10.0, 0.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(1.0);
+        let spec = TrialSpec::new(200, 3);
+        for i in 0..spec.trials {
+            let build = || -> Vec<ExponentialInjector> {
+                (0..2)
+                    .map(|rank| {
+                        ExponentialInjector::new(
+                            platform.procs()[rank].lambda,
+                            spec.proc_seed(i, rank),
+                        )
+                    })
+                    .collect()
+            };
+            let blocking = simulate_replicated(&wf, &s, &platform, &[2; 4], &mut build());
+            let nb =
+                simulate_replicated_nonblocking(&wf, &s, &platform, &[2; 4], &mut build(), 0.5);
+            assert_eq!(nb.makespan.to_bits(), blocking.makespan.to_bits());
+            assert_eq!(nb.time_rework.to_bits(), blocking.time_rework.to_bits());
+        }
+    }
+
+    /// Non-blocking overlap hides write time when faults are rare, and the
+    /// accounting identity holds.
+    #[test]
+    fn nonblocking_hides_writes_and_accounts_time() {
+        let wf = Workflow::uniform(generators::chain(6), 20.0, 5.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(0.0);
+        let mut injectors = vec![SeqInjector::new(vec![]), SeqInjector::new(vec![])];
+        let nb = simulate_replicated_nonblocking(&wf, &s, &platform, &[2; 6], &mut injectors, 1.0);
+        let mut injectors = vec![SeqInjector::new(vec![]), SeqInjector::new(vec![])];
+        let blocking = simulate_replicated(&wf, &s, &platform, &[2; 6], &mut injectors);
+        // Fault-free: rank 0 (speed 2) always wins; blocking pays 6 writes
+        // of 5 s, non-blocking hides all but nothing of the compute.
+        assert!((blocking.makespan - (60.0 + 30.0)).abs() < 1e-12);
+        assert!((nb.makespan - 60.0).abs() < 1e-12, "nb {}", nb.makespan);
+        assert!((nb.accounted_time() - nb.makespan).abs() < 1e-9);
+        assert!((blocking.accounted_time() - blocking.makespan).abs() < 1e-9);
+    }
+
+    /// Zero trials yield the coherent all-NaN aggregate (the PR 2
+    /// convention), replicated runner included.
+    #[test]
+    fn zero_trials_are_all_nan() {
+        let wf = Workflow::uniform(generators::chain(3), 10.0, 1.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(0.0);
+        for spec in [TrialSpec::new(0, 1), TrialSpec::sequential(0, 1)] {
+            let stats =
+                run_replicated_trials_with(&wf, &s, &platform, &[2; 3], spec, |rank, seed| {
+                    ExponentialInjector::new(platform.procs()[rank].lambda, seed)
+                });
+            assert_eq!(stats.makespan.n(), 0);
+            assert!(stats.makespan.mean().is_nan());
+            assert!(stats.mean_breakdown.iter().all(|v| v.is_nan()));
+        }
+    }
+
+    /// Parallel and sequential replicated statistics are bit-identical
+    /// (chunked accumulation is shared with the homogeneous runner).
+    #[test]
+    fn replicated_parallel_sequential_bit_identity() {
+        let wf = Workflow::uniform(generators::grid(3, 3), 8.0, 0.8);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(1.0);
+        let run = |spec: TrialSpec| {
+            run_replicated_trials_with(&wf, &s, &platform, &[2; 9], spec, |rank, seed| {
+                ExponentialInjector::new(platform.procs()[rank].lambda, seed)
+            })
+        };
+        let par = run(TrialSpec::new(3_000, 19));
+        let seq = run(TrialSpec::sequential(3_000, 19));
+        assert_eq!(par.makespan.mean().to_bits(), seq.makespan.mean().to_bits());
+        assert_eq!(
+            par.makespan.stddev().to_bits(),
+            seq.makespan.stddev().to_bits()
+        );
+        for (a, b) in par.mean_breakdown.iter().zip(seq.mean_breakdown.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn proc_seed_rank_zero_is_the_trial_seed() {
+        let spec = TrialSpec::new(10, 99);
+        for i in 0..10 {
+            assert_eq!(spec.proc_seed(i, 0), spec.trial_seed(i));
+            assert_ne!(spec.proc_seed(i, 1), spec.proc_seed(i, 0));
+            assert_ne!(spec.proc_seed(i, 1), spec.proc_seed(i, 2));
+        }
+    }
+}

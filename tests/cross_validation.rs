@@ -133,6 +133,8 @@ mod differential {
             seed: 2027,
             seed_policy: SeedPolicy::SpecHash,
             sweep: SweepSpec::Exhaustive,
+            platforms: vec![],
+            replications: vec![],
         }
     }
 
@@ -274,6 +276,226 @@ mod differential {
                 m.n,
                 m.lambda,
                 m.z
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication cells: the replication-aware analytic evaluator, the blocking
+// replicated engine and the non-blocking replicated engine must agree within
+// 3 standard errors on chains, forks, joins and two Pegasus workflows — and
+// a degenerate single-processor platform must reproduce today's homogeneous
+// results bit for bit.
+// ---------------------------------------------------------------------------
+
+mod replication {
+    use dagchkpt::core::{CheckpointStrategy, CostRule, LinearizationStrategy};
+    use dagchkpt::dag::generators;
+    use dagchkpt::prelude::*;
+    use dagchkpt_bench::{
+        run_scenario, CellResult, FailureSpec, PlatformSpec, ReplicationSpec, ScenarioSpec,
+        SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+    };
+    use dagchkpt_workflows::WorkflowSpec;
+
+    const TRIALS: usize = 6_000;
+
+    fn inline(name: &str, wf: &Workflow) -> WorkflowSource {
+        WorkflowSource::Inline {
+            name: name.to_string(),
+            workflow: WorkflowSpec::from_workflow(wf, None),
+            default_lambda: 2e-3,
+        }
+    }
+
+    /// The regression grid: a random chain, a fork, a join, and two Pegasus
+    /// applications (CyberShake and Genome at 50 tasks).
+    fn shapes() -> Vec<WorkflowSource> {
+        let rule = CostRule::ProportionalToWork { ratio: 0.1 };
+        vec![
+            WorkflowSource::RandomChain {
+                min_weight: 4.0,
+                max_weight: 30.0,
+                rule,
+                default_lambda: 2e-3,
+            },
+            inline("fork", &Workflow::uniform(generators::fork(8), 14.0, 1.4)),
+            inline("join", &Workflow::uniform(generators::join(8), 14.0, 1.4)),
+            WorkflowSource::Pegasus {
+                kind: PegasusKind::CyberShake,
+                rule,
+            },
+            WorkflowSource::Pegasus {
+                kind: PegasusKind::Genome,
+                rule,
+            },
+        ]
+    }
+
+    fn base_spec(name: &str, ckpt: CheckpointStrategy) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.to_string(),
+            description: String::new(),
+            workflows: shapes(),
+            sizes: vec![50],
+            // Each application at its calibrated λ (Genome's tasks are an
+            // order of magnitude heavier — at a chain-ish λ its per-block
+            // success probability collapses to ~e^{−10} and the Monte-Carlo
+            // attempt count explodes, exactly like the homogeneous case).
+            failures: vec![FailureSpec::SourceDefault { downtime: 1.0 }],
+            strategies: vec![StrategySpec::Heuristic {
+                lin: LinearizationStrategy::DepthFirst,
+                ckpt,
+            }],
+            simulators: vec![],
+            seed: 2028,
+            seed_policy: SeedPolicy::SpecHash,
+            sweep: SweepSpec::Auto,
+            platforms: vec![PlatformSpec::Spread {
+                count: 3,
+                speed_spread: 2.0,
+                rate_spread: 3.0,
+            }],
+            replications: vec![
+                ReplicationSpec::Uniform { degree: 2 },
+                ReplicationSpec::Heaviest {
+                    degree: 3,
+                    count: 10,
+                },
+            ],
+        }
+    }
+
+    /// Blocking replicated Monte-Carlo vs the replication-aware analytic
+    /// evaluator, with real swept checkpoints, on every shape of the grid.
+    #[test]
+    fn replicated_blocking_mc_matches_replicated_evaluator_within_3_sigma() {
+        let mut spec = base_spec("rep-blocking", CheckpointStrategy::ByDecreasingWork);
+        spec.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: TRIALS },
+        ];
+        let rows = run_scenario(&spec).unwrap();
+        // 5 shapes × 1 failure × 1 platform × 2 replications × 2 sims.
+        assert_eq!(rows.len(), 20);
+        for pair in rows.chunks(2) {
+            let (a, m) = (&pair[0], &pair[1]);
+            assert_eq!(a.simulator, "analytic");
+            assert_eq!(m.simulator, "mc");
+            assert!(
+                m.z.abs() <= 3.0,
+                "{} {} {}: z = {:.2} (MC {} vs analytic {})",
+                m.workflow,
+                m.platform,
+                m.replication,
+                m.z,
+                m.mc_mean,
+                m.expected
+            );
+        }
+    }
+
+    /// With no checkpoints there is nothing to write: the non-blocking
+    /// replicated engine coincides with the blocking one trial by trial,
+    /// and both sit within 3σ of the analytic value.
+    #[test]
+    fn replicated_blocking_nonblocking_analytic_agree_without_checkpoints() {
+        let mut spec = base_spec("rep-triple", CheckpointStrategy::Never);
+        spec.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: TRIALS },
+            SimulatorSpec::NonBlocking {
+                trials: TRIALS,
+                compute_rate: 0.7,
+            },
+        ];
+        let rows = run_scenario(&spec).unwrap();
+        assert_eq!(rows.len(), 30);
+        for triple in rows.chunks(3) {
+            let [a, m, nb] = triple else { unreachable!() };
+            assert_eq!(a.simulator, "analytic");
+            assert_eq!(m.simulator, "mc");
+            assert_eq!(nb.simulator, "nb_0.7");
+            assert!(m.z.abs() <= 3.0, "blocking z = {:.2}", m.z);
+            let z_nb = (nb.mc_mean - a.expected) / nb.mc_sem;
+            assert!(z_nb.abs() <= 3.0, "non-blocking z = {z_nb:.2}");
+            let rel = (nb.mc_mean - m.mc_mean).abs() / m.mc_mean;
+            assert!(rel <= 1e-9, "nb vs blocking drifted: rel {rel:e}");
+        }
+    }
+
+    /// Zero-cost checkpoints are durable instantly: blocking and
+    /// non-blocking replicated engines coincide even fully checkpointed.
+    #[test]
+    fn replicated_free_checkpoints_blocking_equals_nonblocking() {
+        let mut spec = base_spec("rep-free", CheckpointStrategy::Always);
+        spec.workflows = vec![WorkflowSource::RandomChain {
+            min_weight: 4.0,
+            max_weight: 30.0,
+            rule: CostRule::Constant { value: 0.0 },
+            default_lambda: 2e-3,
+        }];
+        spec.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: TRIALS },
+            SimulatorSpec::NonBlocking {
+                trials: TRIALS,
+                compute_rate: 1.0,
+            },
+        ];
+        let rows = run_scenario(&spec).unwrap();
+        for triple in rows.chunks(3) {
+            let [a, m, nb] = triple else { unreachable!() };
+            assert!(m.z.abs() <= 3.0, "blocking z = {:.2}", m.z);
+            let z_nb = (nb.mc_mean - a.expected) / nb.mc_sem;
+            assert!(z_nb.abs() <= 3.0, "non-blocking z = {z_nb:.2}");
+            let rel = (nb.mc_mean - m.mc_mean).abs() / m.mc_mean;
+            assert!(rel <= 1e-9, "nb vs blocking drifted: rel {rel:e}");
+        }
+    }
+
+    fn numeric_fields(r: &CellResult) -> (u64, u64, u64, Option<usize>) {
+        (
+            r.expected.to_bits(),
+            r.mc_mean.to_bits(),
+            r.mc_sem.to_bits(),
+            r.best_n,
+        )
+    }
+
+    /// A degenerate single-processor platform with degree-1 replication
+    /// reproduces today's homogeneous rows **bit for bit**, across every
+    /// shape and both Monte-Carlo engines.
+    #[test]
+    fn degenerate_platform_reproduces_homogeneous_rows_bit_for_bit() {
+        let mut plain = base_spec("rep-degen", CheckpointStrategy::ByDecreasingWork);
+        // Seeds must not depend on the spec hash (the two specs differ).
+        plain.seed_policy = SeedPolicy::LegacyXorN;
+        plain.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: 2_000 },
+            SimulatorSpec::NonBlocking {
+                trials: 2_000,
+                compute_rate: 0.8,
+            },
+        ];
+        plain.platforms = vec![];
+        plain.replications = vec![];
+        let mut degen = plain.clone();
+        degen.platforms = vec![PlatformSpec::Uniform { count: 1 }];
+        degen.replications = vec![ReplicationSpec::None];
+        let a = run_scenario(&plain).unwrap();
+        let b = run_scenario(&degen).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                numeric_fields(x),
+                numeric_fields(y),
+                "{} {} {} differs on the degenerate platform",
+                x.workflow,
+                x.strategy,
+                x.simulator
             );
         }
     }
