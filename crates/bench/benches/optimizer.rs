@@ -1,0 +1,128 @@
+//! Optimizer hot path: the replication-aware checkpoint-budget sweep with
+//! memoized incremental evaluation vs the naive full-recompute sweep, on a
+//! 200-task Pegasus workflow over a 3-processor heterogeneous platform.
+//!
+//! Adjacent candidate budgets differ in a handful of checkpoint bits, so
+//! most per-block attempt statistics are shared between candidates; the
+//! memoized evaluator turns those into hash lookups while the naive
+//! evaluator re-runs the `2^r` inclusion–exclusion for every `(i, k)` pair
+//! of every candidate. Both produce **bit-identical** winners (asserted
+//! here before timing, and property-pinned in `tests/optimizer_property.rs`).
+//!
+//! Besides the criterion table, this bench emits `BENCH_optimizer.json`
+//! (working directory) with the measured means and the speedup, so CI and
+//! tooling can track the hot path without parsing the table.
+
+use criterion::{criterion_group, Criterion};
+use dagchkpt_core::{
+    optimize_checkpoints_with, CheckpointStrategy, CostRule, LinearizationStrategy,
+    OptimizedSchedule, ReplicatedEvaluator, SweepPolicy, Workflow,
+};
+use dagchkpt_dag::NodeId;
+use dagchkpt_failure::{HeteroPlatform, Processor};
+use dagchkpt_workflows::PegasusKind;
+use std::time::Instant;
+
+const N_TASKS: usize = 200;
+
+fn setup() -> (Workflow, Vec<NodeId>, HeteroPlatform, Vec<usize>) {
+    let wf =
+        PegasusKind::CyberShake.generate(N_TASKS, CostRule::ProportionalToWork { ratio: 0.1 }, 9);
+    let order = dagchkpt_core::linearize(&wf, LinearizationStrategy::DepthFirst);
+    let lambda = PegasusKind::CyberShake.default_lambda();
+    let platform = HeteroPlatform::new(
+        vec![
+            Processor {
+                speed: 1.4,
+                ..Processor::reference(4.0 * lambda)
+            },
+            Processor::reference(lambda),
+            Processor {
+                speed: 0.7,
+                ..Processor::reference(0.5 * lambda)
+            },
+        ],
+        1.0,
+    )
+    .expect("valid platform");
+    let degrees = vec![2usize; N_TASKS];
+    (wf, order, platform, degrees)
+}
+
+fn sweep(
+    wf: &Workflow,
+    order: &[NodeId],
+    platform: &HeteroPlatform,
+    degrees: &[usize],
+    memoize: bool,
+) -> OptimizedSchedule {
+    let obj = ReplicatedEvaluator::from_degrees(wf, platform, degrees).with_memoization(memoize);
+    optimize_checkpoints_with(
+        wf,
+        &obj,
+        order,
+        CheckpointStrategy::ByDecreasingWork,
+        SweepPolicy::Exhaustive,
+    )
+}
+
+/// Mean wall-clock nanoseconds of `f` over `reps` runs (after one warmup).
+fn mean_ns<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn bench_sweep_memoized(c: &mut Criterion) {
+    let (wf, order, platform, degrees) = setup();
+
+    // Correctness anchor before any timing: identical winners, bit for bit.
+    let a = sweep(&wf, &order, &platform, &degrees, true);
+    let b = sweep(&wf, &order, &platform, &degrees, false);
+    assert_eq!(a.expected_makespan.to_bits(), b.expected_makespan.to_bits());
+    assert_eq!(a.best_n, b.best_n);
+    assert_eq!(
+        a.schedule.checkpoints().iter().collect::<Vec<_>>(),
+        b.schedule.checkpoints().iter().collect::<Vec<_>>()
+    );
+
+    let mut g = c.benchmark_group("optimizer/sweep_memoized");
+    g.sample_size(10);
+    g.bench_function("memoized", |bch| {
+        bch.iter(|| sweep(&wf, &order, &platform, &degrees, true))
+    });
+    g.bench_function("naive_full_recompute", |bch| {
+        bch.iter(|| sweep(&wf, &order, &platform, &degrees, false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_memoized);
+
+fn main() {
+    benches();
+
+    // The JSON artifact: independent Instant-based means (the vendored
+    // criterion does not expose its samples).
+    let (wf, order, platform, degrees) = setup();
+    let memoized = mean_ns(3, || sweep(&wf, &order, &platform, &degrees, true));
+    let naive = mean_ns(3, || sweep(&wf, &order, &platform, &degrees, false));
+    let json = format!(
+        "{{\n  \"bench\": \"optimizer/sweep_memoized\",\n  \
+         \"workflow\": \"CyberShake\",\n  \"n_tasks\": {N_TASKS},\n  \
+         \"n_procs\": {},\n  \"replication_degree\": 2,\n  \
+         \"memoized_mean_ns\": {memoized:.0},\n  \
+         \"naive_mean_ns\": {naive:.0},\n  \"speedup\": {:.3},\n  \
+         \"bit_identical\": true\n}}\n",
+        platform.n_procs(),
+        naive / memoized
+    );
+    std::fs::write("BENCH_optimizer.json", &json).expect("write BENCH_optimizer.json");
+    println!(
+        "\nwrote BENCH_optimizer.json: speedup {:.2}x",
+        naive / memoized
+    );
+}

@@ -28,18 +28,19 @@ use crate::cli::{Options, Scale};
 use crate::csvout::CsvWriter;
 use crate::runner::{best_per_ckpt_strategy, Row};
 use crate::scenario::{
-    CellPlan, FailureCell, ScenarioError, ScenarioSpec, SimulatorSpec, StrategyCell,
+    CellPlan, FailureCell, OptimizerSpec, ScenarioError, ScenarioSpec, SimulatorSpec, StrategyCell,
 };
 use dagchkpt_core::{
-    evaluator, exact, linearize, run_heuristic, LinearizationStrategy, Schedule, SweepPolicy,
-    Workflow,
+    evaluator, exact, linearize, optimize_joint, run_heuristic, run_heuristic_with,
+    LinearizationStrategy, ReplicatedEvaluator, Schedule, SweepPolicy, Workflow,
 };
 use dagchkpt_failure::{
     daly, ExponentialInjector, FaultInjector, FaultModel, TraceInjector, WeibullInjector,
 };
 use dagchkpt_sim::{
-    run_replicated_trials_with, run_trials_with, simulate_nonblocking,
-    simulate_replicated_nonblocking, trial_metric_stats, NonBlockingConfig, TrialSpec,
+    run_replicated_sets_trials_with, run_replicated_trials_with, run_trials_with,
+    simulate_nonblocking, simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,
+    trial_metric_stats, NonBlockingConfig, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -317,28 +318,60 @@ impl CampaignReport {
     }
 }
 
-/// A strategy's optimized schedule plus its analytic value.
+/// A strategy's optimized schedule plus its analytic value. `replica_sets`
+/// is `Some` only when the joint optimizer re-selected per-task replica
+/// sets (they then replace the cell's static degree assignment everywhere
+/// downstream: the analytic column and both Monte-Carlo engines).
 struct StrategyOutcome {
     name: String,
     schedule: Schedule,
     expected: f64,
     best_n: Option<usize>,
+    replica_sets: Option<Vec<Vec<usize>>>,
 }
+
+/// Joint coordinate-descent rounds per heuristic (sweep + replica
+/// selection per round; the descent stops early at a fixed point).
+const JOINT_ROUNDS: usize = 4;
 
 fn run_strategy(
     wf: &Workflow,
     model: FaultModel,
     strat: StrategyCell,
     policy: SweepPolicy,
+    optimizer: OptimizerSpec,
+    hetero: Option<&(dagchkpt_failure::HeteroPlatform, Vec<usize>)>,
 ) -> Result<StrategyOutcome, ScenarioError> {
     match strat {
         StrategyCell::Heuristic(h) => {
-            let r = run_heuristic(wf, model, h, policy);
+            let r = match (optimizer, hetero) {
+                // The proxy optimizer — and any optimizer on a cell the
+                // degenerate collapse routed to the homogeneous path —
+                // optimizes under the single-machine model, as ever.
+                (OptimizerSpec::Proxy, _) | (_, None) => run_heuristic(wf, model, h, policy),
+                (OptimizerSpec::ReplicationAware, Some((platform, degrees))) => {
+                    let obj = ReplicatedEvaluator::from_degrees(wf, platform, degrees);
+                    run_heuristic_with(wf, &obj, h, policy)
+                }
+                (OptimizerSpec::Joint, Some((platform, degrees))) => {
+                    let order = linearize(wf, h.lin);
+                    let j =
+                        optimize_joint(wf, platform, &order, h.ckpt, policy, degrees, JOINT_ROUNDS);
+                    return Ok(StrategyOutcome {
+                        name: h.name(),
+                        expected: j.expected_makespan,
+                        best_n: j.best_n,
+                        replica_sets: Some(j.replica_sets),
+                        schedule: j.schedule,
+                    });
+                }
+            };
             Ok(StrategyOutcome {
                 name: r.name,
                 schedule: r.schedule,
                 expected: r.expected_makespan,
                 best_n: r.best_n,
+                replica_sets: None,
             })
         }
         StrategyCell::ExactChain => {
@@ -392,6 +425,7 @@ fn run_strategy(
                 schedule,
                 expected,
                 best_n: Some(budget),
+                replica_sets: None,
             })
         }
     }
@@ -404,6 +438,7 @@ fn exact_outcome(name: &str, schedule: Schedule, expected: f64) -> StrategyOutco
         schedule,
         expected,
         best_n,
+        replica_sets: None,
     }
 }
 
@@ -480,11 +515,16 @@ fn resolve_hetero(
 
 /// Executes one cell: every strategy × simulator, in axis order.
 ///
-/// Schedules are always optimized under the cell's proxy [`FaultModel`]
-/// (the paper's single-machine view); on a heterogeneous platform the
-/// `expected` column and the Monte-Carlo engines then re-evaluate the
-/// optimized schedule under replication — so the comparison isolates what
-/// the platform and replication change, not the optimizer.
+/// Under the default `proxy` optimizer, schedules are optimized under the
+/// cell's proxy [`FaultModel`] (the paper's single-machine view); on a
+/// heterogeneous platform the `expected` column and the Monte-Carlo
+/// engines then re-evaluate the optimized schedule under replication — so
+/// the comparison isolates what the platform and replication change, not
+/// the optimizer. The `replication_aware` and `joint` optimizers instead
+/// dispatch each heuristic through the backend matching the cell's
+/// platform/replication axes (the replicated evaluator, or the joint
+/// coordinate descent whose per-task replica sets then replace the static
+/// degrees downstream).
 pub fn run_cell_plan(
     spec: &ScenarioSpec,
     plan: &CellPlan,
@@ -507,9 +547,17 @@ pub fn run_cell_plan(
     let hetero = resolve_hetero(plan, &wf, model).map_err(&ctx)?;
     let mut rows = Vec::new();
     for strat in spec.strategy_cells() {
-        let out = run_strategy(&wf, model, strat, policy).map_err(&ctx)?;
+        let out = run_strategy(&wf, model, strat, policy, plan.optimizer, hetero.as_ref())
+            .map_err(&ctx)?;
         let expected = match &hetero {
             None => out.expected,
+            // The aware and joint optimizers already optimized against —
+            // and reported — the exact replicated value (pinned
+            // bit-identical to a fresh evaluation by the optimizer tests);
+            // re-deriving it would double the analytic cost of the cell.
+            Some(_) if plan.optimizer != OptimizerSpec::Proxy => out.expected,
+            // Proxy: the schedule was optimized under the single-machine
+            // model, so the replicated value must be computed here.
             Some((platform, degrees)) => {
                 dagchkpt_core::expected_makespan_replicated(&wf, platform, &out.schedule, degrees)
             }
@@ -518,15 +566,23 @@ pub fn run_cell_plan(
             let (mc_mean, mc_sem) = match *sim {
                 SimulatorSpec::Analytic => (f64::NAN, f64::NAN),
                 SimulatorSpec::MonteCarlo { trials } => {
-                    let stats = match &hetero {
-                        None => run_trials_with(
+                    let stats = match (&hetero, &out.replica_sets) {
+                        (None, _) => run_trials_with(
                             &wf,
                             &out.schedule,
                             plan.failure.downtime(),
                             TrialSpec::new(trials, plan.seed),
                             |seed| make_injector(&plan.failure, seed),
                         ),
-                        Some((platform, degrees)) => run_replicated_trials_with(
+                        (Some((platform, _)), Some(sets)) => run_replicated_sets_trials_with(
+                            &wf,
+                            &out.schedule,
+                            platform,
+                            sets,
+                            TrialSpec::new(trials, plan.seed),
+                            |rank, seed| make_proc_injector(&platform.procs()[rank], seed),
+                        ),
+                        (Some((platform, degrees)), None) => run_replicated_trials_with(
                             &wf,
                             &out.schedule,
                             platform,
@@ -542,8 +598,8 @@ pub fn run_cell_plan(
                     compute_rate,
                 } => {
                     let tspec = TrialSpec::new(trials, plan.seed);
-                    let stats = match &hetero {
-                        None => {
+                    let stats = match (&hetero, &out.replica_sets) {
+                        (None, _) => {
                             let cfg = NonBlockingConfig {
                                 downtime: plan.failure.downtime(),
                                 compute_rate,
@@ -554,7 +610,31 @@ pub fn run_cell_plan(
                                 simulate_nonblocking(&wf, &out.schedule, &mut inj, cfg).makespan
                             })
                         }
-                        Some((platform, degrees)) => trial_metric_stats(tspec, |i| {
+                        (Some((platform, _)), Some(sets)) => {
+                            // One injector per used replica rank, indexed
+                            // by processor (like the set trial runner).
+                            let ranks = dagchkpt_core::replica_rank_count(sets);
+                            trial_metric_stats(tspec, |i| {
+                                let mut injectors: Vec<CellInjector> = (0..ranks)
+                                    .map(|rank| {
+                                        make_proc_injector(
+                                            &platform.procs()[rank],
+                                            tspec.proc_seed(i, rank),
+                                        )
+                                    })
+                                    .collect();
+                                simulate_replicated_nonblocking_sets(
+                                    &wf,
+                                    &out.schedule,
+                                    platform,
+                                    sets,
+                                    &mut injectors,
+                                    compute_rate,
+                                )
+                                .makespan
+                            })
+                        }
+                        (Some((platform, degrees)), None) => {
                             // One injector per used replica rank (like the
                             // blocking runner), not per platform processor.
                             let ranks = degrees
@@ -562,24 +642,26 @@ pub fn run_cell_plan(
                                 .map(|&d| d.clamp(1, platform.n_procs()))
                                 .max()
                                 .unwrap_or(1);
-                            let mut injectors: Vec<CellInjector> = (0..ranks)
-                                .map(|rank| {
-                                    make_proc_injector(
-                                        &platform.procs()[rank],
-                                        tspec.proc_seed(i, rank),
-                                    )
-                                })
-                                .collect();
-                            simulate_replicated_nonblocking(
-                                &wf,
-                                &out.schedule,
-                                platform,
-                                degrees,
-                                &mut injectors,
-                                compute_rate,
-                            )
-                            .makespan
-                        }),
+                            trial_metric_stats(tspec, |i| {
+                                let mut injectors: Vec<CellInjector> = (0..ranks)
+                                    .map(|rank| {
+                                        make_proc_injector(
+                                            &platform.procs()[rank],
+                                            tspec.proc_seed(i, rank),
+                                        )
+                                    })
+                                    .collect();
+                                simulate_replicated_nonblocking(
+                                    &wf,
+                                    &out.schedule,
+                                    platform,
+                                    degrees,
+                                    &mut injectors,
+                                    compute_rate,
+                                )
+                                .makespan
+                            })
+                        }
                     };
                     (stats.mean(), stats.sem())
                 }
@@ -1128,31 +1210,6 @@ pub fn run_campaign(
     Ok(report)
 }
 
-/// Runs a built-in campaign under legacy-binary [`Options`] — the body of
-/// the thin alias binaries kept for one release. Exits non-zero on error
-/// (and, for Monte-Carlo campaigns, when any |z| exceeds 5, mirroring the
-/// pre-refactor `validate` binary).
-pub fn run_alias(name: &str, opts: &Options) -> CampaignReport {
-    let campaign = builtin(name, opts.scale, opts.seed).expect("known builtin alias");
-    let ctx = RunContext::new(opts.out_dir.clone());
-    let report = match run_campaign(&campaign, &ctx) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    };
-    let worst = report.worst_abs_z();
-    if worst.is_finite() {
-        println!("worst |z| = {worst:.2} (|z| ≤ 5 expected)");
-        if worst > 5.0 {
-            eprintln!("VALIDATION FAILED: worst |z| = {worst:.2} > 5");
-            std::process::exit(1);
-        }
-    }
-    report
-}
-
 /// The built-in campaign names, in presentation order.
 pub fn builtin_names() -> &'static [&'static str] {
     &[
@@ -1169,6 +1226,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "nonblocking",
         "extensions",
         "hetero_replication",
+        "replication_aware",
         "sweep_all",
     ]
 }
@@ -1200,6 +1258,7 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
         "weibull" => Some(crate::studies::weibull_campaign(scale, seed)),
         "nonblocking" => Some(crate::studies::nonblocking_campaign(scale, seed)),
         "hetero_replication" => Some(crate::studies::hetero_replication_campaign(scale, seed)),
+        "replication_aware" => Some(crate::studies::replication_aware_campaign(scale, seed)),
         "optgap" => Some(study_campaign("optgap", StudyKind::Optgap, scale, seed)),
         "ablation" => Some(study_campaign("ablation", StudyKind::Ablation, scale, seed)),
         "extensions" => Some(study_campaign(
@@ -1261,6 +1320,7 @@ mod tests {
             sweep: SweepSpec::Auto,
             platforms: vec![],
             replications: vec![],
+            optimizer: OptimizerSpec::Proxy,
         }
     }
 
@@ -1602,6 +1662,84 @@ mod tests {
             assert!(r2.expected.is_finite() && none.expected.is_finite());
             assert_eq!(none.platform, r2.platform);
         }
+    }
+
+    /// The optimizer axis dispatches cells through the matching backend:
+    /// on the same cells, `replication_aware` never loses to `proxy`, and
+    /// `joint` never loses to `replication_aware` (the analytic column is
+    /// the exact replicated value in all three cases). The joint rows'
+    /// blocking Monte-Carlo runs on the *selected* replica sets and must
+    /// agree with the analytic column.
+    #[test]
+    fn optimizer_axis_dispatches_and_dominates() {
+        use crate::scenario::{OptimizerSpec, PlatformSpec, ProcessorSpec, ReplicationSpec};
+        let mut spec = mini_spec("optdispatch");
+        spec.seed_policy = SeedPolicy::LegacyXorN; // same cells across optimizers
+        spec.strategies = vec![StrategySpec::Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::ByDecreasingWork,
+        }];
+        spec.simulators = vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: 4000 },
+        ];
+        // Anti-correlated pool so replica selection has something to find.
+        spec.platforms = vec![PlatformSpec::Explicit {
+            processors: vec![
+                ProcessorSpec {
+                    speed: 1.4,
+                    rel_rate: 10.0,
+                    ..ProcessorSpec::reference()
+                },
+                ProcessorSpec::reference(),
+            ],
+        }];
+        spec.replications = vec![ReplicationSpec::Uniform { degree: 2 }];
+        let run = |o: OptimizerSpec| {
+            let mut s = spec.clone();
+            s.optimizer = o;
+            run_scenario(&s).unwrap()
+        };
+        let proxy = run(OptimizerSpec::Proxy);
+        let aware = run(OptimizerSpec::ReplicationAware);
+        let joint = run(OptimizerSpec::Joint);
+        assert_eq!(proxy.len(), aware.len());
+        assert_eq!(proxy.len(), joint.len());
+        for ((p, a), j) in proxy.iter().zip(&aware).zip(&joint) {
+            assert_eq!(p.cell, a.cell);
+            assert!(
+                a.expected <= p.expected + 1e-9 * p.expected,
+                "cell {}: aware {} vs proxy {}",
+                p.cell,
+                a.expected,
+                p.expected
+            );
+            assert!(
+                j.expected <= a.expected + 1e-9 * a.expected,
+                "cell {}: joint {} vs aware {}",
+                p.cell,
+                j.expected,
+                a.expected
+            );
+            if j.simulator == "mc" {
+                assert!(
+                    j.z.abs() <= 4.0,
+                    "cell {}: joint MC z = {:.2} (mc {} vs analytic {})",
+                    j.cell,
+                    j.z,
+                    j.mc_mean,
+                    j.expected
+                );
+            }
+        }
+        // The backend matters on this platform: at least one strict win.
+        assert!(
+            aware
+                .iter()
+                .zip(&proxy)
+                .any(|(a, p)| a.expected < p.expected - 1e-9 * p.expected),
+            "replication-aware sweep never beat the proxy"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Command-line handling: the legacy per-binary [`Options`] plus the
+//! Command-line handling: the procedural studies' [`Options`] plus the
 //! campaign CLI's [`CampaignArgs`].
 //!
 //! `Scale` is only a flag here — the task counts and λ grids it used to
@@ -16,7 +16,8 @@ pub enum Scale {
     Full,
 }
 
-/// Parsed options shared by every experiment binary.
+/// Scale/out/seed options shared by the campaign CLI and the procedural
+/// studies ([`crate::studies`]).
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Quick or full scale.
@@ -37,21 +38,8 @@ impl Default for Options {
     }
 }
 
-/// Usage line of the legacy experiment binaries.
-pub const LEGACY_USAGE: &str = "usage: <bin> [--quick|--full] [--out DIR] [--seed S]";
-
 impl Options {
-    /// Parses `--quick | --full`, `--out DIR`, `--seed S`; exits with a
-    /// usage message on unknown flags.
-    pub fn from_args() -> Options {
-        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            eprintln!("{LEGACY_USAGE}");
-            std::process::exit(2);
-        })
-    }
-
-    /// Testable parser.
+    /// Testable parser for `--quick | --full`, `--out DIR`, `--seed S`.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
         let mut opts = Options::default();
         let mut it = args.into_iter();

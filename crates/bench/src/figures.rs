@@ -8,7 +8,8 @@
 use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::Scale;
 use crate::scenario::{
-    FailureSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+    FailureSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
+    WorkflowSource,
 };
 use dagchkpt_core::CostRule;
 use dagchkpt_workflows::PegasusKind;
@@ -77,6 +78,7 @@ fn figure_stage(
             sweep: SweepSpec::Auto,
             platforms: vec![],
             replications: vec![],
+            optimizer: OptimizerSpec::Proxy,
             name: name.clone(),
         },
         output: OutputSpec {
@@ -238,6 +240,7 @@ pub fn fig7_campaign(scale: Scale, seed: u64) -> Campaign {
                     sweep: SweepSpec::Auto,
                     platforms: vec![],
                     replications: vec![],
+                    optimizer: OptimizerSpec::Proxy,
                 },
                 output: OutputSpec {
                     file: format!("{stem}.csv"),

@@ -28,9 +28,12 @@
 //! plus `validate` (analytic evaluator vs Monte-Carlo), `optgap`
 //! (heuristics vs brute-force optimum), `ablation` (priorities, evaluator
 //! variants), `weibull` (non-exponential faults), `nonblocking`
-//! (overlapped checkpoint writes), `extensions` (CkptH + local search) and
-//! `sweep_all`. The pre-refactor one-binary-per-figure entry points remain
-//! as thin aliases for one release.
+//! (overlapped checkpoint writes), `extensions` (CkptH + local search),
+//! `hetero_replication` (heterogeneous platforms × replication),
+//! `replication_aware` (proxy vs replication-aware vs joint optimizer
+//! gaps) and `sweep_all`. The pre-refactor one-binary-per-figure entry
+//! points were kept as thin aliases for one release and have since been
+//! removed — `dagchkpt-bench --campaign <name>` is the only entry point.
 
 pub mod campaign;
 pub mod chart;
@@ -48,7 +51,7 @@ pub use campaign::{
 pub use cli::{CampaignArgs, Options, Scale};
 pub use runner::{auto_policy, run_cell, Cell, Row};
 pub use scenario::{
-    CellPlan, FailureCell, FailureSpec, PlatformSpec, ProcessorSpec, ReplicationSpec,
-    ScenarioError, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategyCell, StrategySpec, SweepSpec,
-    WorkflowSource, MAX_REPLICATION_DEGREE,
+    CellPlan, FailureCell, FailureSpec, OptimizerSpec, PlatformSpec, ProcessorSpec,
+    ReplicationSpec, ScenarioError, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategyCell,
+    StrategySpec, SweepSpec, WorkflowSource, MAX_REPLICATION_DEGREE,
 };

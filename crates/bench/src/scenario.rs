@@ -522,10 +522,7 @@ impl FailureCell {
     }
 }
 
-/// Replication degrees are capped so the exact replication-aware evaluator
-/// (whose failed-attempt closed form is a `2^r`-term inclusion–exclusion)
-/// stays fast.
-pub const MAX_REPLICATION_DEGREE: usize = 8;
+pub use dagchkpt_core::MAX_REPLICATION_DEGREE;
 
 /// One processor of a [`PlatformSpec::Explicit`] platform. Failure rates
 /// are *relative*: the processor's λ is `rel_rate ×` the failure cell's
@@ -819,12 +816,66 @@ impl ReplicationSpec {
             return err("degree must be ≥ 1".into());
         }
         if degree as usize > MAX_REPLICATION_DEGREE {
+            // The cap is a documented property of the exact evaluator, not
+            // an arbitrary limit — see `dagchkpt_core::evaluator::replicated`
+            // ("The replica-degree cap") for why no O(r²) recurrence can
+            // replace the 2^r closed form. The exact text is pinned by a
+            // test; keep them in sync.
             return err(format!(
-                "degree {degree} exceeds the cap of {MAX_REPLICATION_DEGREE} \
-                 (the exact evaluator enumerates 2^degree terms)"
+                "degree {degree} exceeds the replication-degree cap of \
+                 {MAX_REPLICATION_DEGREE}: the exact replicated evaluator's \
+                 failed-attempt closed form is a 2^degree-term \
+                 inclusion–exclusion over distinct subset rate-sums, which \
+                 no lower-order recurrence reproduces for distinct \
+                 per-processor rates and truncation points"
             ));
         }
         Ok(())
+    }
+}
+
+/// Which objective the per-cell schedule optimizer runs against — the
+/// optimizer axis of the objective-driven core
+/// (`dagchkpt_core::objective`).
+///
+/// The default, [`OptimizerSpec::Proxy`], is the paper's behavior: every
+/// strategy optimizes its checkpoint budget under the cell's
+/// single-machine exponential proxy, and heterogeneous platforms only
+/// *re-evaluate* the resulting schedule. The field is serialized **only
+/// when non-default** (`skip_serializing_if`), so specs written before the
+/// axis existed — and every spec that keeps the default — have byte-
+/// identical canonical JSON, hence unchanged spec hashes, `SpecHash` cell
+/// seeds and golden CSVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Optimize under the single-machine proxy model; platforms and
+    /// replication re-evaluate the schedule afterwards (the paper's view).
+    #[default]
+    Proxy,
+    /// Sweep each heuristic's checkpoint budget directly against the
+    /// exact replication-aware evaluator on the cell's platform ×
+    /// replication degrees (memoized incremental evaluation).
+    ReplicationAware,
+    /// Coordinate descent over (checkpoint budget × per-task replica
+    /// sets): the replication-aware sweep plus per-task replica
+    /// *selection* (`dagchkpt_core::optimize_joint`). Never worse than
+    /// `ReplicationAware` on the same cell.
+    Joint,
+}
+
+impl OptimizerSpec {
+    /// `true` for the default proxy optimizer (the serde skip predicate).
+    pub fn is_proxy(v: &OptimizerSpec) -> bool {
+        matches!(v, OptimizerSpec::Proxy)
+    }
+
+    /// Label for reports and file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptimizerSpec::Proxy => "proxy",
+            OptimizerSpec::ReplicationAware => "replication_aware",
+            OptimizerSpec::Joint => "joint",
+        }
     }
 }
 
@@ -1064,6 +1115,11 @@ pub struct ScenarioSpec {
     /// Task-replication strategies (axis 5, optional; needs `platforms`).
     #[serde(default)]
     pub replications: Vec<ReplicationSpec>,
+    /// Objective the per-cell optimizer runs against (default: the
+    /// paper's single-machine proxy). Serialized only when non-default,
+    /// so pre-existing specs keep their canonical JSON and seeds.
+    #[serde(default, skip_serializing_if = "OptimizerSpec::is_proxy")]
+    pub optimizer: OptimizerSpec,
 }
 
 /// One expanded cell: a workflow instance under one failure model (and
@@ -1083,6 +1139,8 @@ pub struct CellPlan {
     pub platform: Option<PlatformSpec>,
     /// Replication strategy, when the spec has a `replications` axis.
     pub replication: Option<ReplicationSpec>,
+    /// Objective the cell's optimizer runs against.
+    pub optimizer: OptimizerSpec,
     /// Workflow-generation and Monte-Carlo master seed for this cell.
     pub seed: u64,
 }
@@ -1210,6 +1268,29 @@ impl ScenarioSpec {
                  (traces have no per-processor rate to scale)",
             ));
         }
+        if self.optimizer != OptimizerSpec::Proxy {
+            if self.platforms.is_empty() {
+                return Err(ScenarioError::new(format!(
+                    "optimizer `{}` needs a `platforms` axis \
+                     (without one there is nothing beyond the proxy model to optimize against)",
+                    self.optimizer.label()
+                )));
+            }
+            if let Some(s) = self.strategies.iter().find(|s| {
+                !matches!(
+                    s,
+                    StrategySpec::Heuristic { .. }
+                        | StrategySpec::Paper
+                        | StrategySpec::WorkAndCost
+                )
+            }) {
+                return Err(ScenarioError::new(format!(
+                    "optimizer `{}` only applies to heuristic strategies; \
+                     {s:?} optimizes under its own proxy-model closed form",
+                    self.optimizer.label()
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -1257,6 +1338,7 @@ impl ScenarioSpec {
                                     failure: failure.clone(),
                                     platform: platform.cloned(),
                                     replication: replication.copied(),
+                                    optimizer: self.optimizer,
                                     seed: self.cell_seed(hash, index, n),
                                 });
                             }
@@ -1309,6 +1391,7 @@ mod tests {
             sweep: SweepSpec::Auto,
             platforms: vec![],
             replications: vec![],
+            optimizer: OptimizerSpec::Proxy,
         }
     }
 
@@ -1779,6 +1862,101 @@ mod tests {
         json = json.replace(",\"platforms\":[],\"replications\":[]", "");
         let parsed = ScenarioSpec::from_json(&json).unwrap();
         assert_eq!(parsed, legacy);
+    }
+
+    /// The acceptance anchor of the optimizer axis: a spec with the
+    /// default `proxy` optimizer serializes to **exactly** the canonical
+    /// JSON it had before the field existed — no `optimizer` key, so the
+    /// stable hash and every `SpecHash` cell seed are unchanged, which is
+    /// what keeps all pre-existing golden CSVs byte-identical.
+    #[test]
+    fn default_optimizer_is_invisible_in_canonical_json() {
+        let spec = tiny_spec();
+        assert_eq!(spec.optimizer, OptimizerSpec::Proxy);
+        let json = spec.to_json();
+        assert!(
+            !json.contains("optimizer"),
+            "proxy optimizer must not serialize: {json}"
+        );
+        // Round trip fills the default back in.
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.stable_hash(), spec.stable_hash());
+        // Every expanded cell carries the optimizer.
+        assert!(spec
+            .expand()
+            .unwrap()
+            .iter()
+            .all(|c| c.optimizer == OptimizerSpec::Proxy));
+    }
+
+    /// Non-default optimizers serialize, round-trip, and change the spec
+    /// hash (they are a different experiment).
+    #[test]
+    fn non_default_optimizer_round_trips_and_rehashes() {
+        let mut spec = tiny_spec();
+        spec.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        let base_hash = spec.stable_hash();
+        for (o, label) in [
+            (OptimizerSpec::ReplicationAware, "replication_aware"),
+            (OptimizerSpec::Joint, "joint"),
+        ] {
+            let mut s = spec.clone();
+            s.optimizer = o;
+            assert_eq!(o.label(), label);
+            let json = s.to_json();
+            assert!(json.contains("optimizer"), "{json}");
+            let parsed = ScenarioSpec::from_json(&json).unwrap();
+            assert_eq!(parsed, s);
+            assert_ne!(s.stable_hash(), base_hash);
+            assert!(s.expand().unwrap().iter().all(|c| c.optimizer == o));
+        }
+    }
+
+    /// Non-proxy optimizers need a platform axis and heuristic strategies.
+    #[test]
+    fn optimizer_validation_rules() {
+        let mut no_platform = tiny_spec();
+        no_platform.optimizer = OptimizerSpec::ReplicationAware;
+        let err = no_platform.expand().unwrap_err();
+        assert!(err.0.contains("needs a `platforms` axis"), "{err}");
+
+        let mut exact = tiny_spec();
+        exact.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        exact.optimizer = OptimizerSpec::Joint;
+        exact.strategies.push(StrategySpec::ExactChain);
+        let err = exact.expand().unwrap_err();
+        assert!(
+            err.0.contains("only applies to heuristic strategies"),
+            "{err}"
+        );
+
+        // Heuristic bundles are fine.
+        let mut ok = tiny_spec();
+        ok.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        ok.optimizer = OptimizerSpec::ReplicationAware;
+        ok.strategies = vec![StrategySpec::Paper, StrategySpec::WorkAndCost];
+        assert!(ok.expand().is_ok());
+    }
+
+    /// The replication-degree cap error names the 2^r closed form and the
+    /// impossibility of a lower-order recurrence — pinned verbatim (the
+    /// documented alternative to "lift the cap"; see
+    /// `dagchkpt_core::evaluator::replicated`'s module docs).
+    #[test]
+    fn replication_degree_cap_error_text_is_pinned() {
+        let mut spec = tiny_spec();
+        spec.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        spec.replications = vec![ReplicationSpec::Uniform { degree: 9 }];
+        let err = spec.expand().unwrap_err();
+        assert_eq!(
+            err.0,
+            "replications[0]: degree 9 exceeds the replication-degree cap \
+             of 8: the exact replicated evaluator's failed-attempt closed \
+             form is a 2^degree-term inclusion–exclusion over distinct \
+             subset rate-sums, which no lower-order recurrence reproduces \
+             for distinct per-processor rates and truncation points"
+        );
     }
 
     #[test]

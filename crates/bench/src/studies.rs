@@ -13,7 +13,8 @@ use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::{Options, Scale};
 use crate::csvout::write_csv;
 use crate::scenario::{
-    FailureSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+    FailureSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
+    WorkflowSource,
 };
 use dagchkpt_core::{
     exact, linearize, linearize_with_priority, optimize_checkpoints, strategies::local_search,
@@ -37,7 +38,7 @@ fn df_ckptw() -> StrategySpec {
 /// **V1** — analytic evaluator vs Monte-Carlo simulation: the four Pegasus
 /// applications at 60 tasks plus three random layered DAGs, each solved
 /// with DF-CkptW and simulated at its calibrated λ. A healthy run keeps
-/// every |z| below ~5 (the CLI and the `validate` alias enforce that).
+/// every |z| below ~5 (the CLI enforces that).
 pub fn validate_campaign(scale: Scale, seed: u64) -> Campaign {
     let trials = match scale {
         Scale::Quick => 10_000,
@@ -81,6 +82,7 @@ pub fn validate_campaign(scale: Scale, seed: u64) -> Campaign {
                 sweep: SweepSpec::Exhaustive,
                 platforms: vec![],
                 replications: vec![],
+                optimizer: OptimizerSpec::Proxy,
             },
             output: OutputSpec {
                 file: "validate.csv".to_string(),
@@ -126,6 +128,7 @@ pub fn weibull_campaign(scale: Scale, seed: u64) -> Campaign {
                 sweep: SweepSpec::Exhaustive,
                 platforms: vec![],
                 replications: vec![],
+                optimizer: OptimizerSpec::Proxy,
             },
             output: OutputSpec {
                 file: "weibull.csv".to_string(),
@@ -176,6 +179,7 @@ pub fn nonblocking_campaign(scale: Scale, seed: u64) -> Campaign {
                 sweep: SweepSpec::Exhaustive,
                 platforms: vec![],
                 replications: vec![],
+                optimizer: OptimizerSpec::Proxy,
             },
             output: OutputSpec {
                 file: "nonblocking.csv".to_string(),
@@ -255,9 +259,103 @@ pub fn hetero_replication_campaign(scale: Scale, seed: u64) -> Campaign {
                 sweep: SweepSpec::Auto,
                 platforms,
                 replications,
+                optimizer: OptimizerSpec::Proxy,
             },
             output: OutputSpec::rows("hetero_replication.csv"),
         }],
+    }
+}
+
+/// The objective-driven optimizer study: the **same cells** (CyberShake ×
+/// one heterogeneous platform × uniform degree-2 replication × the 14
+/// paper heuristics) run three times — once per optimizer backend — into
+/// three CSVs whose `expected` columns are directly comparable row by
+/// row:
+///
+/// * `replication_aware_proxy.csv` — budgets swept under the
+///   single-machine proxy, re-evaluated replicated (the pre-optimizer
+///   behavior);
+/// * `replication_aware_aware.csv` — budgets swept directly against the
+///   replicated evaluator (memoized);
+/// * `replication_aware_joint.csv` — the coordinate descent over
+///   (budget × per-task replica sets).
+///
+/// Cell seeds use [`SeedPolicy::LegacyXorN`] (`master ^ n`), which does
+/// **not** depend on the spec hash — the three stages differ only in the
+/// `optimizer` field, so they generate identical workflow instances and
+/// the per-row `expected` differences are pure optimality gaps:
+/// `aware ≤ proxy` and `joint ≤ aware` row by row (pinned by
+/// `tests/optimizer_gap.rs` against the golden corpus).
+pub fn replication_aware_campaign(scale: Scale, seed: u64) -> Campaign {
+    use crate::scenario::PlatformSpec;
+    let sizes = match scale {
+        Scale::Quick => vec![50],
+        Scale::Full => vec![100, 200],
+    };
+    // An anti-correlated pool: the fastest processor is also the most
+    // failure-prone, the slowest the most reliable. On such platforms the
+    // fastest-first prefix family (static replication strategies) is
+    // genuinely suboptimal, which is what separates the three optimizers:
+    // the aware sweep fixes the checkpoint budget, the joint descent
+    // additionally walks tasks off the flaky fast machine.
+    let platform = PlatformSpec::Explicit {
+        processors: vec![
+            crate::scenario::ProcessorSpec {
+                speed: 1.4,
+                rel_rate: 8.0,
+                ..crate::scenario::ProcessorSpec::reference()
+            },
+            crate::scenario::ProcessorSpec::reference(),
+            crate::scenario::ProcessorSpec {
+                speed: 0.7,
+                rel_rate: 0.25,
+                ..crate::scenario::ProcessorSpec::reference()
+            },
+        ],
+    };
+    let scenario = move |optimizer: OptimizerSpec| ScenarioSpec {
+        name: format!("replication_aware_{}", stage_tag(optimizer)),
+        description: format!("{} optimizer over the 14 heuristics", optimizer.label()),
+        workflows: vec![WorkflowSource::Pegasus {
+            kind: PegasusKind::CyberShake,
+            rule: RULE_01W,
+        }],
+        sizes: sizes.clone(),
+        failures: vec![FailureSpec::SourceDefault { downtime: 1.0 }],
+        strategies: vec![StrategySpec::Paper],
+        simulators: vec![SimulatorSpec::Analytic],
+        seed,
+        // LegacyXorN: seeds independent of the spec hash, so the three
+        // stages (which differ in `optimizer`) see identical instances.
+        seed_policy: SeedPolicy::LegacyXorN,
+        sweep: SweepSpec::Auto,
+        platforms: vec![platform.clone()],
+        replications: vec![crate::scenario::ReplicationSpec::Uniform { degree: 2 }],
+        optimizer,
+    };
+    Campaign {
+        name: "replication_aware".to_string(),
+        description: "proxy vs replication-aware vs joint optimizer gaps".to_string(),
+        stages: [
+            OptimizerSpec::Proxy,
+            OptimizerSpec::ReplicationAware,
+            OptimizerSpec::Joint,
+        ]
+        .into_iter()
+        .map(|o| Stage::Scenario {
+            output: OutputSpec::rows(format!("replication_aware_{}.csv", stage_tag(o))),
+            scenario: scenario(o),
+        })
+        .collect(),
+    }
+}
+
+/// Short per-stage tag (`proxy`, `aware`, `joint`).
+fn stage_tag(o: OptimizerSpec) -> &'static str {
+    match o {
+        OptimizerSpec::Proxy => "proxy",
+        OptimizerSpec::ReplicationAware => "aware",
+        OptimizerSpec::Joint => "joint",
     }
 }
 

@@ -75,18 +75,6 @@ fn list_prints_builtins_and_exits_0() {
     }
 }
 
-#[test]
-fn legacy_alias_keeps_its_usage_exit_path() {
-    let out = Command::new(env!("CARGO_BIN_EXE_fig2"))
-        .arg("--bogus")
-        .output()
-        .expect("run");
-    assert_eq!(out.status.code(), Some(2));
-    let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("unknown flag: --bogus"), "{err}");
-    assert!(err.contains("usage: <bin>"), "{err}");
-}
-
 /// A tiny spec-file campaign runs end to end: CSV + JSON rows land in the
 /// output directory and an explicit `--seed` overrides the file's.
 #[test]

@@ -4,9 +4,12 @@
 //!
 //! # Model
 //!
-//! Task `T_i` (replication degree `r_i`) executes its block `X_i`
-//! (recovery plan + work + optional checkpoint) simultaneously on the
-//! `r_i` best processors of the platform. Replica `p` needs
+//! Task `T_i` executes its block `X_i` (recovery plan + work + optional
+//! checkpoint) simultaneously on a **replica set** — a subset of the
+//! platform's processors (historically the `r_i` fastest, i.e. a prefix of
+//! the canonical order; [`ReplicatedEvaluator::from_sets`] accepts any
+//! subset, which is what per-task replica *selection* optimizes over).
+//! Replica `p` needs
 //!
 //! ```text
 //! d_p = (W + w_i)/s_p + R/ρ_p + δ_i c_i/ω_p
@@ -48,12 +51,40 @@
 //! (replicas ordered by completion time) and the group-failure part
 //! `N_f = E[max_p F_p ; all fail]`, computed in closed form by
 //! inclusion–exclusion over the (≤ 2^r-term) expansion of
-//! `Π_p (1 − e^{−λ_p t})` on each segment between sorted `d_p` — which is
-//! why replication degrees are kept small (the scenario layer caps them
-//! at 8).
+//! `Π_p (1 − e^{−λ_p t})` on each segment between sorted `d_p`.
+//!
+//! # The replica-degree cap (why no `O(r²)` recurrence)
+//!
+//! `N_f = ∫_0^{d_max} [q − Π_p P(F_p ≤ min(t, d_p))] dt` integrates a
+//! product of `r` *truncated-exponential* CDFs with (in general) pairwise
+//! distinct rates `λ_p` and distinct truncation points `d_p`. The exact
+//! antiderivative of such a product is a sum of exponentials `e^{−Λ_S t}`
+//! over **subset rate-sums** `Λ_S = Σ_{p∈S} λ_p`; with distinct rates the
+//! `2^r` values `Λ_S` are pairwise distinct, so no pair of terms merges
+//! and no lower-order (e.g. `O(r²)`) recurrence can reproduce the exact
+//! value — the telescoping that makes `E[max]` of *identical* exponentials
+//! `O(r)` (harmonic sums) relies precisely on coinciding rates. The closed
+//! form is therefore inherently `Θ(2^r)`, and the cap is **validated, not
+//! silently clamped**: the scenario layer rejects degrees above
+//! [`MAX_REPLICATION_DEGREE`] at spec validation with an explicit error
+//! (`tests` pin the text), and this module asserts the hard `u32`-mask
+//! bound of 32 replicas loudly rather than overflowing.
+//!
+//! # Memoized incremental evaluation
+//!
+//! A checkpoint-budget sweep evaluates `n` candidate schedules that differ
+//! in a handful of checkpoint bits: most `(block, rework, recovery)`
+//! attempt contents — hence their `2^r` statistics — are **shared between
+//! candidates**. [`ReplicatedEvaluator`] caches per-attempt statistics
+//! keyed on the exact bit patterns of the attempt content, so a candidate
+//! that changes only a few block boundaries recomputes only the affected
+//! blocks' statistics; everything else is a hash lookup. The cache is
+//! *transparent*: on a miss it runs the very same code the uncached path
+//! runs, so memoized and naive evaluations are **bit-identical** (pinned
+//! by tests and the `optimizer/sweep_memoized` bench).
 //!
 //! On a **degenerate** platform (one reference processor) with all degrees
-//! 1 the function delegates to [`crate::evaluator::evaluate`], so the
+//! 1 the evaluator delegates to [`crate::evaluator::evaluate`], so the
 //! homogeneous results are reproduced bit for bit; the non-delegated
 //! formulas agree with Equation (1) to floating-point accuracy (see the
 //! tests).
@@ -62,6 +93,13 @@ use crate::evaluator::{self, recovery::RecoveryMatrices, EvalReport};
 use crate::model::Workflow;
 use crate::schedule::Schedule;
 use dagchkpt_failure::HeteroPlatform;
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Replication degrees above this are rejected at scenario validation: the
+/// exact failed-attempt closed form enumerates `2^r` inclusion–exclusion
+/// terms (see the module docs for why no `O(r²)` recurrence exists).
+pub const MAX_REPLICATION_DEGREE: usize = 8;
 
 /// One replica's view of a block attempt.
 #[derive(Debug, Clone, Copy)]
@@ -71,7 +109,7 @@ struct Replica {
 }
 
 /// Probability that an attempt fails on every replica:
-/// `q = Π_p (1 − e^{−λ_p d_p})`.
+/// `q = Π_p (1 − e^{−λ_p d_p})`, in pool order (the property-A product).
 fn group_fail_prob(reps: &[Replica]) -> f64 {
     reps.iter().map(|r| -(-r.lambda * r.d).exp_m1()).product()
 }
@@ -82,8 +120,8 @@ fn group_fail_prob(reps: &[Replica]) -> f64 {
 fn attempt_stats(reps: &mut [Replica]) -> (f64, f64) {
     // The inclusion–exclusion below enumerates subsets through a u32 mask;
     // a silent shift-masking overflow at ≥ 32 replicas would corrupt the
-    // result, so fail loudly (the scenario layer caps degrees at 8 long
-    // before this, purely for cost).
+    // result, so fail loudly (the scenario layer caps degrees at
+    // MAX_REPLICATION_DEGREE long before this, purely for cost).
     assert!(
         reps.len() < 32,
         "replication degree must be < 32 (got {})",
@@ -149,6 +187,339 @@ fn attempt_stats(reps: &mut [Replica]) -> (f64, f64) {
     (q, n_s + n_f.max(0.0))
 }
 
+/// Normalizes one replica set against a `n_procs`-processor pool: indices
+/// clamped into range, deduplicated, sorted ascending (the platform's
+/// canonical fastest-first order — a degree-`r` prefix normalizes to
+/// `[0, 1, …, r−1]`). An empty or fully out-of-range set falls back to the
+/// best processor, `[0]`.
+pub fn normalize_replica_set(set: &[usize], n_procs: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = set.iter().copied().filter(|&p| p < n_procs).collect();
+    out.sort_unstable();
+    out.dedup();
+    if out.is_empty() {
+        out.push(0);
+    }
+    out
+}
+
+/// Number of processor/injector ranks a replica assignment needs: one per
+/// processor index up to the largest any set uses (1 for an all-empty
+/// assignment — normalization never produces one). Shared by the analytic
+/// evaluator's callers, the Monte-Carlo `*_sets` engines, and the
+/// campaign layer, so the rank convention cannot drift between them.
+pub fn replica_rank_count<S: AsRef<[usize]>>(sets: &[S]) -> usize {
+    sets.iter()
+        .flat_map(|s| s.as_ref().iter().copied())
+        .max()
+        .map_or(1, |m| m + 1)
+}
+
+/// Cached per-attempt statistics, filled lazily: the property-A
+/// pool-order group-failure product (`O(r)`, needed for every `(j, k)`
+/// pair), and the sorted-order `(q, M)` pair of the assembly (the `2^r`
+/// inclusion–exclusion, needed only where `P(Z^i_k) > 0`). The two `q`s
+/// are the same probability accumulated in different floating-point
+/// orders; both are kept so the memoized evaluator reproduces the
+/// uncached arithmetic bit for bit.
+#[derive(Debug, Clone, Copy)]
+struct AttemptEntry {
+    q_pool: f64,
+    /// Sorted-order `(q, M)` — `None` until some assembly needs it.
+    full: Option<(f64, f64)>,
+}
+
+/// Cache key: the attempt content's exact bit patterns. Given a fixed
+/// platform and replica assignment, `(task, checkpointed?, rework,
+/// recovery)` fully determines every replica duration, hence the entry.
+type AttemptKey = (u32, bool, u64, u64);
+
+/// Replication-aware Theorem-3 evaluator over per-task **replica sets**,
+/// with transparent memoization of per-attempt statistics (see the module
+/// docs). Construct once per (platform × assignment), then evaluate many
+/// candidate schedules — a checkpoint-budget sweep or a local search hits
+/// the cache for every block a candidate did not change.
+pub struct ReplicatedEvaluator<'a> {
+    wf: &'a Workflow,
+    platform: &'a HeteroPlatform,
+    sets: Vec<Vec<usize>>,
+    memo: RwLock<HashMap<AttemptKey, AttemptEntry>>,
+    memoize: bool,
+}
+
+impl<'a> ReplicatedEvaluator<'a> {
+    /// Evaluator over explicit per-task replica sets (processor indices
+    /// into `platform.procs()`, one set per task id). Sets are normalized
+    /// with [`normalize_replica_set`].
+    pub fn from_sets(wf: &'a Workflow, platform: &'a HeteroPlatform, sets: &[Vec<usize>]) -> Self {
+        assert_eq!(sets.len(), wf.n_tasks(), "one replica set per task");
+        let n_procs = platform.n_procs();
+        ReplicatedEvaluator {
+            wf,
+            platform,
+            sets: sets
+                .iter()
+                .map(|s| normalize_replica_set(s, n_procs))
+                .collect(),
+            memo: RwLock::new(HashMap::new()),
+            memoize: true,
+        }
+    }
+
+    /// Evaluator over fastest-first prefix sets of the given degrees (the
+    /// historical [`crate::ReplicationStrategy`] shape).
+    pub fn from_degrees(wf: &'a Workflow, platform: &'a HeteroPlatform, degrees: &[usize]) -> Self {
+        assert_eq!(
+            degrees.len(),
+            wf.n_tasks(),
+            "one replication degree per task"
+        );
+        let n_procs = platform.n_procs().max(1);
+        let sets: Vec<Vec<usize>> = degrees
+            .iter()
+            .map(|&d| (0..d.clamp(1, n_procs)).collect())
+            .collect();
+        ReplicatedEvaluator {
+            wf,
+            platform,
+            sets,
+            memo: RwLock::new(HashMap::new()),
+            memoize: true,
+        }
+    }
+
+    /// Disables (or re-enables) the attempt-statistics cache — the "naive
+    /// full recompute" half of the `optimizer/sweep_memoized` bench.
+    /// Results are bit-identical either way.
+    pub fn with_memoization(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
+    /// The normalized per-task replica sets.
+    pub fn sets(&self) -> &[Vec<usize>] {
+        &self.sets
+    }
+
+    /// Replaces task `t`'s replica set (normalized), keeping the cache:
+    /// entries are keyed by task id, and stale keys of the changed task
+    /// can never collide with the new set's contents only by also having
+    /// identical durations — so they are dropped explicitly.
+    pub fn set_replicas(&mut self, task: usize, set: &[usize]) {
+        self.sets[task] = normalize_replica_set(set, self.platform.n_procs());
+        let t = task as u32;
+        self.memo
+            .write()
+            .expect("memo lock")
+            .retain(|k, _| k.0 != t);
+    }
+
+    /// Number of cached attempt entries (bench/test introspection).
+    pub fn cached_entries(&self) -> usize {
+        self.memo.read().expect("memo lock").len()
+    }
+
+    /// `true` when this evaluator delegates to the homogeneous evaluator
+    /// outright (single reference processor, every set `[0]`).
+    fn is_degenerate(&self) -> bool {
+        self.platform.is_degenerate() && self.sets.iter().all(|s| s == &[0])
+    }
+
+    /// Replica views of task `t`'s block with rework `wk`, recovery `rk`
+    /// and (iff `ckpt`) the task's checkpoint write. The write duration is
+    /// derived here — not passed in — so the memo key `(t, ckpt, wk, rk)`
+    /// always uniquely determines every replica duration.
+    fn replicas(&self, t: usize, ckpt: bool, wk: f64, rk: f64) -> Vec<Replica> {
+        let id = dagchkpt_dag::NodeId::from(t);
+        let w = self.wf.work(id);
+        let write = if ckpt {
+            self.wf.checkpoint_cost(id)
+        } else {
+            0.0
+        };
+        let procs = self.platform.procs();
+        self.sets[t]
+            .iter()
+            .map(|&p| {
+                let p = &procs[p];
+                Replica {
+                    lambda: p.lambda,
+                    d: (wk + w) / p.speed + rk / p.read_bw + write / p.write_bw,
+                }
+            })
+            .collect()
+    }
+
+    /// The pool-order group-failure probability of task `t`'s block with
+    /// content `(ckpt, wk, rk)` — the property-A factor. `O(r)`; never
+    /// triggers the `2^r` closed form.
+    fn q_pool(&self, t: usize, ckpt: bool, wk: f64, rk: f64) -> f64 {
+        let key: AttemptKey = (t as u32, ckpt, wk.to_bits(), rk.to_bits());
+        if self.memoize {
+            if let Some(e) = self.memo.read().expect("memo lock").get(&key) {
+                return e.q_pool;
+            }
+        }
+        let q_pool = group_fail_prob(&self.replicas(t, ckpt, wk, rk));
+        if self.memoize {
+            self.memo
+                .write()
+                .expect("memo lock")
+                .entry(key)
+                .or_insert(AttemptEntry { q_pool, full: None });
+        }
+        q_pool
+    }
+
+    /// The sorted-order `(q, M)` attempt statistics of task `t`'s block —
+    /// the `2^r` closed form, through the cache when memoization is on. On
+    /// a miss the value is computed by the exact same `attempt_stats` call
+    /// the uncached path makes — bit-identical.
+    fn full_stats(&self, t: usize, ckpt: bool, wk: f64, rk: f64) -> (f64, f64) {
+        let key: AttemptKey = (t as u32, ckpt, wk.to_bits(), rk.to_bits());
+        if self.memoize {
+            if let Some(e) = self.memo.read().expect("memo lock").get(&key) {
+                if let Some(full) = e.full {
+                    return full;
+                }
+            }
+        }
+        let mut reps = self.replicas(t, ckpt, wk, rk);
+        // Pool-order product before `attempt_stats` sorts the replicas —
+        // the two accumulation orders differ in their float rounding.
+        let q_pool = group_fail_prob(&reps);
+        let full = attempt_stats(&mut reps);
+        if self.memoize {
+            let mut memo = self.memo.write().expect("memo lock");
+            match memo.get_mut(&key) {
+                Some(e) => e.full = Some(full),
+                None => {
+                    memo.insert(
+                        key,
+                        AttemptEntry {
+                            q_pool,
+                            full: Some(full),
+                        },
+                    );
+                }
+            }
+        }
+        full
+    }
+
+    /// Expected makespan of `schedule` (see [`Self::evaluate`]).
+    pub fn expected_makespan(&self, schedule: &Schedule) -> f64 {
+        self.evaluate(schedule).expected_makespan
+    }
+
+    /// Full replication-aware evaluation (Theorem 3 generalized to replica
+    /// groups — see the module docs). `expected_faults` counts **group
+    /// failures** (memory wipes), the event the Monte-Carlo engines report
+    /// as `n_faults`.
+    pub fn evaluate(&self, schedule: &Schedule) -> EvalReport {
+        let wf = self.wf;
+        let n = wf.n_tasks();
+        if self.is_degenerate() {
+            // Bit-for-bit reproduction of the homogeneous evaluator.
+            return evaluator::evaluate(wf, self.platform.fault_model(), schedule);
+        }
+        if n == 0 {
+            return EvalReport {
+                expected_makespan: 0.0,
+                per_position: Vec::new(),
+                expected_faults: 0.0,
+            };
+        }
+
+        let m = RecoveryMatrices::compute(wf, schedule);
+        let order = schedule.order();
+        let downtime = self.platform.downtime();
+
+        // Per-position views (1-based positions, index 0 unused).
+        let mut ckpt = vec![false; n + 1];
+        let mut task = vec![0usize; n + 1];
+        for (idx, &t) in order.iter().enumerate() {
+            let i = idx + 1;
+            ckpt[i] = schedule.is_checkpointed(t);
+            task[i] = t.index();
+        }
+
+        // Block content of position `j` given the last wipe was in `k`
+        // (0 = no wipe yet): `(rework, recovery)`.
+        let content = |j: usize, k: usize| -> (f64, f64) {
+            if k == 0 {
+                (0.0, 0.0)
+            } else {
+                m.get(j, k)
+            }
+        };
+        // Property-A factor (O(r)) and assembly statistics (2^r closed
+        // form) of that block — split so the probability row never pays
+        // the inclusion–exclusion.
+        let q_pool_of = |j: usize, k: usize| -> f64 {
+            let (wk, rk) = content(j, k);
+            self.q_pool(task[j], ckpt[j], wk, rk)
+        };
+        let stats_of = |j: usize, k: usize| -> (f64, f64) {
+            let (wk, rk) = content(j, k);
+            self.full_stats(task[j], ckpt[j], wk, rk)
+        };
+
+        // Rolling row of P(Z^i_k), updated in place as i advances.
+        let mut pz = vec![0.0f64; n + 1];
+        let mut per_position = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        let mut faults = 0.0f64;
+
+        for i in 1..=n {
+            if i == 1 {
+                pz[0] = 1.0;
+            } else {
+                // Property A: survive block i−1 without a group failure.
+                let mut sum = 0.0f64;
+                for (k, p) in pz.iter_mut().enumerate().take(i - 1) {
+                    *p *= 1.0 - q_pool_of(i - 1, k);
+                    sum += *p;
+                }
+                pz[i - 1] = (1.0 - sum).clamp(0.0, 1.0);
+            }
+
+            // Retry attempts always pay the full-closure recovery `b`.
+            let (q_b, mean_b) = stats_of(i, i);
+            let e_retry = if q_b >= 1.0 {
+                f64::INFINITY
+            } else {
+                (mean_b + q_b * downtime) / (1.0 - q_b)
+            };
+
+            let mut exi = 0.0f64;
+            for (k, &p) in pz.iter().enumerate().take(i) {
+                if p == 0.0 {
+                    continue;
+                }
+                let (q_a, mean_a) = stats_of(i, k);
+                exi += p * (mean_a + q_a * (downtime + e_retry));
+                faults += p * if q_b >= 1.0 {
+                    if q_a > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    }
+                } else {
+                    q_a / (1.0 - q_b)
+                };
+            }
+            per_position.push(exi);
+            total += exi;
+        }
+
+        EvalReport {
+            expected_makespan: total,
+            per_position,
+            expected_faults: faults,
+        }
+    }
+}
+
 /// Expected makespan of `schedule` on `platform` with per-task replication
 /// `degrees` (indexed by task id, clamped to `[1, n_procs]`).
 pub fn expected_makespan_replicated(
@@ -160,130 +531,43 @@ pub fn expected_makespan_replicated(
     evaluate_replicated(wf, platform, schedule, degrees).expected_makespan
 }
 
-/// Full replication-aware evaluation (Theorem 3 generalized to replica
-/// groups — see the module docs). `expected_faults` counts **group
-/// failures** (memory wipes), the event the Monte-Carlo engines report as
-/// `n_faults`.
+/// Full replication-aware evaluation over fastest-first prefix replica
+/// sets of the given `degrees` — the one-shot entry point
+/// ([`ReplicatedEvaluator`] is the amortized one).
 ///
 /// # Panics
 ///
 /// If `degrees.len() != wf.n_tasks()`, or if an effective replication
 /// degree reaches 32 (the failed-attempt closed form enumerates subsets
-/// through a 32-bit mask; the scenario layer caps degrees at 8 anyway).
+/// through a 32-bit mask; the scenario layer caps degrees at
+/// [`MAX_REPLICATION_DEGREE`] anyway).
 pub fn evaluate_replicated(
     wf: &Workflow,
     platform: &HeteroPlatform,
     schedule: &Schedule,
     degrees: &[usize],
 ) -> EvalReport {
-    let n = wf.n_tasks();
-    assert_eq!(degrees.len(), n, "one replication degree per task");
+    assert_eq!(
+        degrees.len(),
+        wf.n_tasks(),
+        "one replication degree per task"
+    );
     if platform.is_degenerate() && degrees.iter().all(|&d| d == 1) {
         // Bit-for-bit reproduction of the homogeneous evaluator.
         return evaluator::evaluate(wf, platform.fault_model(), schedule);
     }
-    if n == 0 {
-        return EvalReport {
-            expected_makespan: 0.0,
-            per_position: Vec::new(),
-            expected_faults: 0.0,
-        };
-    }
+    ReplicatedEvaluator::from_degrees(wf, platform, degrees).evaluate(schedule)
+}
 
-    let m = RecoveryMatrices::compute(wf, schedule);
-    let order = schedule.order();
-    let p_all = platform.procs();
-    let downtime = platform.downtime();
-
-    // Per-position cost views (1-based positions, index 0 unused).
-    let mut w = vec![0.0f64; n + 1];
-    let mut c = vec![0.0f64; n + 1];
-    let mut ckpt = vec![false; n + 1];
-    let mut deg = vec![1usize; n + 1];
-    for (idx, &t) in order.iter().enumerate() {
-        let i = idx + 1;
-        w[i] = wf.work(t);
-        c[i] = wf.checkpoint_cost(t);
-        ckpt[i] = schedule.is_checkpointed(t);
-        deg[i] = degrees[t.index()].clamp(1, p_all.len());
-    }
-
-    // Replica durations for block `j` with rework `wk` and recovery `rk`.
-    let replicas = |j: usize, wk: f64, rk: f64| -> Vec<Replica> {
-        let write = if ckpt[j] { c[j] } else { 0.0 };
-        p_all[..deg[j]]
-            .iter()
-            .map(|p| Replica {
-                lambda: p.lambda,
-                d: (wk + w[j]) / p.speed + rk / p.read_bw + write / p.write_bw,
-            })
-            .collect()
-    };
-    // Rework/recovery amounts of block `j` given the last wipe was in `k`.
-    let lost = |j: usize, k: usize| -> (f64, f64) {
-        if k == 0 {
-            (0.0, 0.0)
-        } else {
-            m.get(j, k)
-        }
-    };
-
-    // Rolling row of P(Z^i_k), updated in place as i advances.
-    let mut pz = vec![0.0f64; n + 1];
-    let mut per_position = Vec::with_capacity(n);
-    let mut total = 0.0f64;
-    let mut faults = 0.0f64;
-
-    for i in 1..=n {
-        if i == 1 {
-            pz[0] = 1.0;
-        } else {
-            // Property A: survive block i−1 without a group failure.
-            let mut sum = 0.0f64;
-            for (k, p) in pz.iter_mut().enumerate().take(i - 1) {
-                let (wk, rk) = lost(i - 1, k);
-                *p *= 1.0 - group_fail_prob(&replicas(i - 1, wk, rk));
-                sum += *p;
-            }
-            pz[i - 1] = (1.0 - sum).clamp(0.0, 1.0);
-        }
-
-        // Retry attempts always pay the full-closure recovery `b`.
-        let (wii, rii) = m.get(i, i);
-        let (q_b, mean_b) = attempt_stats(&mut replicas(i, wii, rii));
-        let e_retry = if q_b >= 1.0 {
-            f64::INFINITY
-        } else {
-            (mean_b + q_b * downtime) / (1.0 - q_b)
-        };
-
-        let mut exi = 0.0f64;
-        for (k, &p) in pz.iter().enumerate().take(i) {
-            if p == 0.0 {
-                continue;
-            }
-            let (wk, rk) = lost(i, k);
-            let (q_a, mean_a) = attempt_stats(&mut replicas(i, wk, rk));
-            exi += p * (mean_a + q_a * (downtime + e_retry));
-            faults += p * if q_b >= 1.0 {
-                if q_a > 0.0 {
-                    f64::INFINITY
-                } else {
-                    0.0
-                }
-            } else {
-                q_a / (1.0 - q_b)
-            };
-        }
-        per_position.push(exi);
-        total += exi;
-    }
-
-    EvalReport {
-        expected_makespan: total,
-        per_position,
-        expected_faults: faults,
-    }
+/// Full replication-aware evaluation over explicit per-task replica
+/// `sets` (processor indices into `platform.procs()`).
+pub fn evaluate_replicated_sets(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    schedule: &Schedule,
+    sets: &[Vec<usize>],
+) -> EvalReport {
+    ReplicatedEvaluator::from_sets(wf, platform, sets).evaluate(schedule)
 }
 
 #[cfg(test)]
@@ -328,6 +612,17 @@ mod tests {
         for (a, b) in rep.per_position.iter().zip(hom.per_position.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        // The amortized evaluator and the set API delegate identically.
+        let via_eval = ReplicatedEvaluator::from_degrees(&wf, &platform, &[1; 8]).evaluate(&s);
+        assert_eq!(
+            via_eval.expected_makespan.to_bits(),
+            hom.expected_makespan.to_bits()
+        );
+        let via_sets = evaluate_replicated_sets(&wf, &platform, &s, &vec![vec![0]; 8]);
+        assert_eq!(
+            via_sets.expected_makespan.to_bits(),
+            hom.expected_makespan.to_bits()
+        );
     }
 
     /// The non-delegated group formulas reduce to Equation (1) for a single
@@ -510,5 +805,158 @@ mod tests {
         let rep = evaluate_replicated(&wf, &platform, &s, &[]);
         assert_eq!(rep.expected_makespan, 0.0);
         assert_eq!(rep.expected_faults, 0.0);
+    }
+
+    /// Prefix replica sets reproduce the degree API **bit for bit** — the
+    /// anchor that lets per-task selection generalize the evaluator without
+    /// touching any golden value.
+    #[test]
+    fn prefix_sets_are_bit_identical_to_degrees() {
+        let (wf, s) = fig1_schedule();
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 2.0,
+                    ..Processor::reference(6e-3)
+                },
+                Processor::reference(2e-3),
+                Processor {
+                    speed: 0.5,
+                    ..Processor::reference(1e-3)
+                },
+            ],
+            1.0,
+        )
+        .unwrap();
+        let degrees = [2usize, 1, 3, 2, 1, 3, 2, 1];
+        let by_deg = evaluate_replicated(&wf, &platform, &s, &degrees);
+        let sets: Vec<Vec<usize>> = degrees.iter().map(|&d| (0..d).collect()).collect();
+        let by_set = evaluate_replicated_sets(&wf, &platform, &s, &sets);
+        assert_eq!(
+            by_deg.expected_makespan.to_bits(),
+            by_set.expected_makespan.to_bits()
+        );
+        assert_eq!(
+            by_deg.expected_faults.to_bits(),
+            by_set.expected_faults.to_bits()
+        );
+        for (a, b) in by_deg.per_position.iter().zip(by_set.per_position.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Memoized and naive evaluations are bit-identical, across many
+    /// candidate schedules sharing one cache — the correctness half of the
+    /// `optimizer/sweep_memoized` bench.
+    #[test]
+    fn memoized_evaluation_is_bit_identical_to_naive() {
+        let (wf, _) = fig1_schedule();
+        let order = topo::topological_order(wf.dag());
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.5,
+                    ..Processor::reference(5e-3)
+                },
+                Processor::reference(2e-3),
+            ],
+            0.5,
+        )
+        .unwrap();
+        let degrees = vec![2usize; 8];
+        let memo = ReplicatedEvaluator::from_degrees(&wf, &platform, &degrees);
+        let naive =
+            ReplicatedEvaluator::from_degrees(&wf, &platform, &degrees).with_memoization(false);
+        let base = Schedule::never(&wf, order).unwrap();
+        for n_ckpt in 0..=8usize {
+            let set = FixedBitSet::from_indices(8, 0..n_ckpt);
+            let s = base.with_checkpoints(set);
+            let a = memo.evaluate(&s);
+            let b = naive.evaluate(&s);
+            assert_eq!(
+                a.expected_makespan.to_bits(),
+                b.expected_makespan.to_bits(),
+                "budget {n_ckpt}"
+            );
+            assert_eq!(a.expected_faults.to_bits(), b.expected_faults.to_bits());
+        }
+        // The cache actually filled (and the naive one stayed empty).
+        assert!(memo.cached_entries() > 0);
+        assert_eq!(naive.cached_entries(), 0);
+    }
+
+    /// A non-prefix replica set is a genuinely different (and sometimes
+    /// better) choice: with a fast-but-flaky rank 0 and a reliable rank 1,
+    /// selecting `[1]` alone can beat both the prefix `[0]` and the pair
+    /// `[0, 1]` — the reliability-vs-speed trade per-task selection
+    /// optimizes over.
+    #[test]
+    fn non_prefix_sets_change_the_answer() {
+        let wf = Workflow::new(generators::chain(1), vec![TaskCosts::new(100.0, 0.0, 0.0)]);
+        let s = Schedule::never(&wf, vec![NodeId(0)]).unwrap();
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.2,
+                    ..Processor::reference(5e-2)
+                },
+                Processor::reference(1e-4),
+            ],
+            10.0,
+        )
+        .unwrap();
+        let fast_only = evaluate_replicated_sets(&wf, &platform, &s, &[vec![0]]);
+        let reliable_only = evaluate_replicated_sets(&wf, &platform, &s, &[vec![1]]);
+        let both = evaluate_replicated_sets(&wf, &platform, &s, &[vec![0, 1]]);
+        assert!(
+            reliable_only.expected_makespan < fast_only.expected_makespan,
+            "reliable {} vs fast {}",
+            reliable_only.expected_makespan,
+            fast_only.expected_makespan
+        );
+        // The pair is at most as good as its best member plus group-failure
+        // drag; all three must be finite and distinct choices.
+        assert!(both.expected_makespan.is_finite());
+        assert_ne!(
+            reliable_only.expected_makespan.to_bits(),
+            both.expected_makespan.to_bits()
+        );
+    }
+
+    /// `set_replicas` invalidates only the changed task's cache entries and
+    /// subsequent evaluations match a fresh evaluator bit for bit.
+    #[test]
+    fn set_replicas_invalidates_cache_correctly() {
+        let (wf, s) = fig1_schedule();
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 2.0,
+                    ..Processor::reference(4e-3)
+                },
+                Processor::reference(1e-3),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let mut ev = ReplicatedEvaluator::from_degrees(&wf, &platform, &[2; 8]);
+        let _ = ev.evaluate(&s);
+        ev.set_replicas(3, &[1]);
+        let via_mutation = ev.evaluate(&s);
+        let mut sets = vec![vec![0usize, 1]; 8];
+        sets[3] = vec![1];
+        let fresh = evaluate_replicated_sets(&wf, &platform, &s, &sets);
+        assert_eq!(
+            via_mutation.expected_makespan.to_bits(),
+            fresh.expected_makespan.to_bits()
+        );
+    }
+
+    #[test]
+    fn normalize_replica_set_clamps_sorts_dedups() {
+        assert_eq!(normalize_replica_set(&[2, 0, 2, 9], 3), vec![0, 2]);
+        assert_eq!(normalize_replica_set(&[], 3), vec![0]);
+        assert_eq!(normalize_replica_set(&[7, 9], 3), vec![0]);
+        assert_eq!(normalize_replica_set(&[1, 0], 2), vec![0, 1]);
     }
 }

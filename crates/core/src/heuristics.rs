@@ -83,6 +83,28 @@ pub fn run_heuristic(
 ) -> HeuristicResult {
     let order = linearize(wf, h.lin);
     let opt = optimize_checkpoints(wf, model, &order, h.ckpt, policy);
+    finish_heuristic(wf, h, opt)
+}
+
+/// Runs one heuristic against an arbitrary [`Objective`] backend (e.g. the
+/// replication-aware evaluator): linearize, sweep the checkpoint budget
+/// under `obj`, report `obj`'s value.
+pub fn run_heuristic_with<O: crate::objective::Objective + ?Sized>(
+    wf: &Workflow,
+    obj: &O,
+    h: Heuristic,
+    policy: SweepPolicy,
+) -> HeuristicResult {
+    let order = linearize(wf, h.lin);
+    let opt = crate::strategies::optimize_checkpoints_with(wf, obj, &order, h.ckpt, policy);
+    finish_heuristic(wf, h, opt)
+}
+
+fn finish_heuristic(
+    wf: &Workflow,
+    h: Heuristic,
+    opt: crate::strategies::OptimizedSchedule,
+) -> HeuristicResult {
     let tinf = wf.total_work();
     HeuristicResult {
         name: h.name(),

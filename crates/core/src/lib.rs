@@ -8,8 +8,13 @@
 //!   in `O(n(n+|E|))` (plus a paper-literal `O(n⁴)` Algorithm 1 for
 //!   cross-validation);
 //! * [`linearize`] — the DF/BF/RF linearization strategies;
+//! * [`objective`] — pluggable optimization backends ([`Objective`]): the
+//!   homogeneous proxy, the memoized replication-aware evaluator, or a
+//!   Monte-Carlo estimator (in `dagchkpt-sim`);
 //! * [`strategies`] — CkptNvr/CkptAlws/CkptW/CkptC/CkptD/CkptPer with the
-//!   checkpoint-budget sweep, plus the task-replication strategy family
+//!   objective-generic checkpoint-budget sweep, per-task replica
+//!   *selection* ([`select_replicas`]) and the joint coordinate descent
+//!   ([`optimize_joint`]), plus the task-replication strategy family
 //!   ([`ReplicationStrategy`]) evaluated exactly by
 //!   [`evaluator::replicated`] on heterogeneous platforms;
 //! * [`heuristics`] — the paper's 14 heuristic combinations;
@@ -23,19 +28,25 @@ pub mod heuristics;
 pub mod linearize;
 pub mod model;
 pub mod npc;
+pub mod objective;
 pub mod schedule;
 pub mod strategies;
 
-pub use evaluator::replicated::{evaluate_replicated, expected_makespan_replicated};
+pub use evaluator::replicated::{
+    evaluate_replicated, evaluate_replicated_sets, expected_makespan_replicated,
+    normalize_replica_set, replica_rank_count, ReplicatedEvaluator, MAX_REPLICATION_DEGREE,
+};
 pub use evaluator::{evaluate, expected_makespan, EvalReport};
 pub use heuristics::{
-    best_linearization_per_ckpt, paper_heuristics, run_all, run_heuristic, Heuristic,
-    HeuristicResult,
+    best_linearization_per_ckpt, paper_heuristics, run_all, run_heuristic, run_heuristic_with,
+    Heuristic, HeuristicResult,
 };
 pub use linearize::{linearize, linearize_with_priority, LinearizationStrategy, Priority};
 pub use model::{CostRule, TaskCosts, Workflow};
+pub use objective::{Objective, ProxyObjective};
 pub use schedule::Schedule;
 pub use strategies::{
-    local_search, optimize_checkpoints, CheckpointStrategy, OptimizedSchedule, ReplicationStrategy,
-    SweepPolicy,
+    local_search, local_search_with, optimize_checkpoints, optimize_checkpoints_with,
+    optimize_joint, replica_candidates, select_replicas, CheckpointStrategy, JointSchedule,
+    OptimizedSchedule, ReplicationStrategy, SweepPolicy,
 };

@@ -16,12 +16,32 @@
 //! by the Theorem-3 evaluator. [`optimize_checkpoints`] does exactly that
 //! (including the trivial endpoints `N = 0` and `N = n`, which can only
 //! improve on the paper's range), in parallel via rayon.
+//!
+//! # Objective-driven optimization
+//!
+//! The sweep and the local search are **generic over the evaluation
+//! backend** ([`crate::objective::Objective`]): [`optimize_checkpoints`]
+//! is the paper's proxy-model entry point, [`optimize_checkpoints_with`]
+//! runs the same enumeration against any objective — notably the memoized
+//! replication-aware evaluator
+//! ([`crate::evaluator::replicated::ReplicatedEvaluator`]), which makes
+//! the sweep *replication-aware* instead of optimizing under the
+//! single-machine proxy and merely re-scoring afterwards.
+//!
+//! On top of the budget sweep, [`select_replicas`] optimizes the second
+//! decision dimension — each task's **replica set** (which processors run
+//! it redundantly, a reliability-vs-speed trade, not just fastest-first
+//! prefixes) — and [`optimize_joint`] coordinate-descends over
+//! (checkpoint budget × per-task replica sets) until a joint fixed point.
 
-use crate::evaluator;
+use crate::evaluator::replicated::{
+    normalize_replica_set, ReplicatedEvaluator, MAX_REPLICATION_DEGREE,
+};
 use crate::model::Workflow;
+use crate::objective::{Objective, ProxyObjective};
 use crate::schedule::Schedule;
 use dagchkpt_dag::{FixedBitSet, NodeId};
-use dagchkpt_failure::FaultModel;
+use dagchkpt_failure::{FaultModel, HeteroPlatform};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -237,11 +257,23 @@ pub fn local_search(
     init: FixedBitSet,
     max_rounds: usize,
 ) -> OptimizedSchedule {
+    local_search_with(wf, &ProxyObjective::new(wf, model), order, init, max_rounds)
+}
+
+/// [`local_search`] against an arbitrary [`Objective`] backend — the
+/// proxy-model wrapper above is `local_search_with(wf, &ProxyObjective, …)`
+/// and produces bit-identical results to the pre-generic implementation.
+pub fn local_search_with<O: Objective + ?Sized>(
+    wf: &Workflow,
+    obj: &O,
+    order: &[NodeId],
+    init: FixedBitSet,
+    max_rounds: usize,
+) -> OptimizedSchedule {
     let n = wf.n_tasks();
     let base = Schedule::never(wf, order.to_vec()).expect("order is valid");
     let mut current = init;
-    let mut best_e =
-        evaluator::expected_makespan(wf, model, &base.with_checkpoints(current.clone()));
+    let mut best_e = obj.cost(&base.with_checkpoints(current.clone()));
     let mut evaluated = 1usize;
     for _ in 0..max_rounds {
         // Chunk-folded argmin: candidate evaluations stream into O(chunks)
@@ -254,7 +286,7 @@ pub fn local_search(
                     set.remove(i);
                 }
                 let s = base.with_checkpoints(set);
-                (i, evaluator::expected_makespan(wf, model, &s), ())
+                (i, obj.cost(&s), ())
             })
             .fold(|| None, |best, cand| better_candidate(best, Some(cand)))
             .reduce(|| None, better_candidate);
@@ -363,10 +395,25 @@ pub struct OptimizedSchedule {
 }
 
 /// Applies `strategy` on the fixed linearization `order`, sweeping the
-/// checkpoint budget under `policy` and returning the best schedule.
+/// checkpoint budget under `policy` against the paper's proxy model and
+/// returning the best schedule.
 pub fn optimize_checkpoints(
     wf: &Workflow,
     model: FaultModel,
+    order: &[NodeId],
+    strategy: CheckpointStrategy,
+    policy: SweepPolicy,
+) -> OptimizedSchedule {
+    optimize_checkpoints_with(wf, &ProxyObjective::new(wf, model), order, strategy, policy)
+}
+
+/// [`optimize_checkpoints`] against an arbitrary [`Objective`] backend:
+/// the same candidate family and tie-breaks, evaluated by `obj` — pass a
+/// [`ReplicatedEvaluator`] to make the sweep replication-aware. With
+/// [`ProxyObjective`] this is bit-identical to the pre-generic sweep.
+pub fn optimize_checkpoints_with<O: Objective + ?Sized>(
+    wf: &Workflow,
+    obj: &O,
     order: &[NodeId],
     strategy: CheckpointStrategy,
     policy: SweepPolicy,
@@ -375,7 +422,7 @@ pub fn optimize_checkpoints(
     match strategy {
         CheckpointStrategy::Never => {
             let schedule = Schedule::never(wf, order.to_vec()).expect("order is valid");
-            let e = evaluator::expected_makespan(wf, model, &schedule);
+            let e = obj.cost(&schedule);
             OptimizedSchedule {
                 schedule,
                 expected_makespan: e,
@@ -385,7 +432,7 @@ pub fn optimize_checkpoints(
         }
         CheckpointStrategy::Always => {
             let schedule = Schedule::always(wf, order.to_vec()).expect("order is valid");
-            let e = evaluator::expected_makespan(wf, model, &schedule);
+            let e = obj.cost(&schedule);
             OptimizedSchedule {
                 schedule,
                 expected_makespan: e,
@@ -393,25 +440,25 @@ pub fn optimize_checkpoints(
                 evaluated: 1,
             }
         }
-        CheckpointStrategy::Periodic => sweep(wf, model, order, policy, |n_ckpt| {
+        CheckpointStrategy::Periodic => sweep_with(wf, obj, order, policy, |n_ckpt| {
             periodic_set(wf, order, n_ckpt)
         }),
         ranked => {
             let rank = ranking(wf, ranked);
-            sweep(wf, model, order, policy, |n_ckpt| {
+            sweep_with(wf, obj, order, policy, |n_ckpt| {
                 set_from_ranking(n, &rank, n_ckpt)
             })
         }
     }
 }
 
-/// Sweeps candidate budgets, evaluating each schedule with the Theorem-3
-/// evaluator in parallel; ties broken toward smaller `N`. Candidate
-/// schedules stream through a chunked fold into O(chunks) running minima —
-/// the sweep never materializes one schedule per budget.
-fn sweep(
+/// Sweeps candidate budgets, evaluating each schedule with `obj` in
+/// parallel; ties broken toward smaller `N`. Candidate schedules stream
+/// through a chunked fold into O(chunks) running minima — the sweep never
+/// materializes one schedule per budget.
+fn sweep_with<O: Objective + ?Sized>(
     wf: &Workflow,
-    model: FaultModel,
+    obj: &O,
     order: &[NodeId],
     policy: SweepPolicy,
     set_for: impl Fn(usize) -> FixedBitSet + Sync,
@@ -421,7 +468,7 @@ fn sweep(
 
     let eval_n = |n_ckpt: usize| -> (usize, f64, Schedule) {
         let s = base.with_checkpoints(set_for(n_ckpt));
-        let e = evaluator::expected_makespan(wf, model, &s);
+        let e = obj.cost(&s);
         (n_ckpt, e, s)
     };
 
@@ -472,6 +519,210 @@ fn sweep(
         best_n: Some(best_n),
         evaluated,
     }
+}
+
+/// The candidate replica sets per-task selection searches, for a given
+/// platform: every **speed prefix** (fastest `r` processors, the
+/// historical family), every **reliability prefix** (the `r` processors of
+/// lowest failure rate — the other end of the reliability-vs-speed trade),
+/// and every **singleton**, for `r = 1 ..= min(P, max_degree)`, normalized
+/// and deduplicated in that order (which fixes tie-breaking). Small by
+/// construction — `O(P)` candidates — yet it contains the choices that
+/// matter: run fast, run safe, mix, or run solo on any one machine.
+pub fn replica_candidates(platform: &HeteroPlatform, max_degree: usize) -> Vec<Vec<usize>> {
+    let procs = platform.procs();
+    let p = procs.len();
+    let cap = max_degree.clamp(1, p).min(MAX_REPLICATION_DEGREE);
+    // Reliability order: lowest λ first, ties toward the canonical
+    // (fastest-first) index so the order is deterministic.
+    let mut by_reliability: Vec<usize> = (0..p).collect();
+    by_reliability.sort_by(|&a, &b| {
+        procs[a]
+            .lambda
+            .partial_cmp(&procs[b].lambda)
+            .expect("rates are finite")
+            .then(a.cmp(&b))
+    });
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut push = |set: Vec<usize>| {
+        let set = normalize_replica_set(&set, p);
+        if !out.contains(&set) {
+            out.push(set);
+        }
+    };
+    for r in 1..=cap {
+        push((0..r).collect());
+    }
+    for r in 1..=cap {
+        push(by_reliability[..r].to_vec());
+    }
+    for i in 0..p {
+        push(vec![i]);
+    }
+    out
+}
+
+/// Result of a joint (checkpoint budget × replica selection) optimization.
+#[derive(Debug, Clone)]
+pub struct JointSchedule {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// The per-task replica sets it runs on (processor indices into the
+    /// platform's canonical order).
+    pub replica_sets: Vec<Vec<usize>>,
+    /// Its expected makespan under [`ReplicatedEvaluator`] on those sets.
+    pub expected_makespan: f64,
+    /// Winning checkpoint budget of the final sweep.
+    pub best_n: Option<usize>,
+    /// Total candidate evaluations across all coordinate rounds.
+    pub evaluated: usize,
+    /// Coordinate-descent rounds executed.
+    pub rounds: usize,
+}
+
+/// Per-task replica **selection**: starting from `init` (one replica set
+/// per task), repeatedly re-assigns each task the candidate set (from
+/// [`replica_candidates`]) minimizing the exact replicated expected
+/// makespan of `schedule`, task by task in id order, until a full pass
+/// improves nothing or `max_rounds` is exhausted. Returns the selected
+/// sets, their expected makespan, and the number of candidate evaluations.
+///
+/// Each candidate evaluation is a full Theorem-3 recursion, but the
+/// evaluator's memoized attempt statistics make the unchanged tasks'
+/// blocks cache hits, so a pass costs far less than `n × |candidates|`
+/// cold evaluations. The result is never worse than `init`.
+pub fn select_replicas(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    schedule: &Schedule,
+    init: &[Vec<usize>],
+    max_degree: usize,
+    max_rounds: usize,
+) -> (Vec<Vec<usize>>, f64, usize) {
+    let candidates = replica_candidates(platform, max_degree);
+    let mut ev = ReplicatedEvaluator::from_sets(wf, platform, init);
+    let mut best_e = ev.expected_makespan(schedule);
+    let mut evaluated = 1usize;
+    for _ in 0..max_rounds {
+        if !select_replicas_pass(&mut ev, schedule, &candidates, &mut best_e, &mut evaluated) {
+            break;
+        }
+    }
+    (ev.sets().to_vec(), best_e, evaluated)
+}
+
+/// One coordinate pass of [`select_replicas`] over an existing evaluator
+/// (so callers iterating selection — notably [`optimize_joint`] — keep its
+/// attempt-statistics cache warm across passes and stages). `best_e` must
+/// hold the expected makespan of `schedule` under `ev`'s current sets;
+/// returns whether any task moved.
+fn select_replicas_pass(
+    ev: &mut ReplicatedEvaluator,
+    schedule: &Schedule,
+    candidates: &[Vec<usize>],
+    best_e: &mut f64,
+    evaluated: &mut usize,
+) -> bool {
+    let n = ev.sets().len();
+    let mut improved = false;
+    for t in 0..n {
+        let current = ev.sets()[t].clone();
+        let mut best_set = current.clone();
+        for cand in candidates {
+            if *cand == current || *cand == best_set {
+                continue;
+            }
+            ev.set_replicas(t, cand);
+            let e = ev.expected_makespan(schedule);
+            *evaluated += 1;
+            // `best_e - tol` would be NaN when best_e is +∞ (an
+            // assignment whose group-failure probability rounds to 1),
+            // and a NaN comparison would reject every finite escape —
+            // so infinite incumbents are beaten by any finite value.
+            let improves = if best_e.is_finite() {
+                e < *best_e - 1e-12 * best_e.max(1.0)
+            } else {
+                e < *best_e
+            };
+            if improves {
+                *best_e = e;
+                best_set = cand.clone();
+                improved = true;
+            }
+        }
+        ev.set_replicas(t, &best_set);
+    }
+    improved
+}
+
+/// Joint optimization by coordinate descent over the two decision
+/// dimensions: (1) sweep the checkpoint budget of `strategy` under the
+/// replication-aware objective for the current replica assignment, then
+/// (2) re-select each task's replica set for the winning schedule
+/// ([`select_replicas`]); repeat until neither coordinate improves or
+/// `max_rounds` joint rounds pass. `init_degrees` seeds the assignment
+/// with fastest-first prefixes (the static strategy family), so the result
+/// is **never worse than the replication-aware sweep alone** — round 1's
+/// sweep *is* that sweep, and every later move is accepted only on strict
+/// improvement.
+pub fn optimize_joint(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    order: &[NodeId],
+    strategy: CheckpointStrategy,
+    policy: SweepPolicy,
+    init_degrees: &[usize],
+    max_rounds: usize,
+) -> JointSchedule {
+    let n_procs = platform.n_procs().max(1);
+    let max_degree = init_degrees
+        .iter()
+        .map(|&d| d.clamp(1, n_procs))
+        .max()
+        .unwrap_or(1)
+        .clamp(1, MAX_REPLICATION_DEGREE.min(n_procs));
+    let init_sets: Vec<Vec<usize>> = init_degrees
+        .iter()
+        .map(|&d| (0..d.clamp(1, n_procs)).collect())
+        .collect();
+    // One evaluator for the whole descent: its attempt-statistics cache
+    // stays warm across both coordinates and across rounds (only the
+    // entries of tasks whose replica set actually moves are invalidated).
+    let mut ev = ReplicatedEvaluator::from_sets(wf, platform, &init_sets);
+    let candidates = replica_candidates(platform, max_degree);
+    let mut best: Option<JointSchedule> = None;
+    let mut evaluated = 0usize;
+    let mut rounds = 0usize;
+    for _ in 0..max_rounds.max(1) {
+        rounds += 1;
+        let opt = optimize_checkpoints_with(wf, &ev, order, strategy, policy);
+        evaluated += opt.evaluated;
+        // One selection pass per joint round; the outer loop provides the
+        // iteration.
+        let mut e = ev.expected_makespan(&opt.schedule);
+        evaluated += 1;
+        select_replicas_pass(&mut ev, &opt.schedule, &candidates, &mut e, &mut evaluated);
+        let tol = 1e-12 * e.abs().max(1.0);
+        let better = best.as_ref().is_none_or(|b| e < b.expected_makespan - tol);
+        let stalled = !better;
+        if better {
+            best = Some(JointSchedule {
+                best_n: opt.best_n,
+                schedule: opt.schedule,
+                replica_sets: ev.sets().to_vec(),
+                expected_makespan: e,
+                evaluated,
+                rounds,
+            });
+        }
+        if stalled {
+            break;
+        }
+    }
+    let mut out = best.expect("at least one joint round ran");
+    out.evaluated = evaluated;
+    out.rounds = rounds;
+    out
 }
 
 #[cfg(test)]
@@ -816,6 +1067,227 @@ mod tests {
             .label(),
             "thr2@0.5"
         );
+    }
+
+    #[test]
+    fn replica_candidates_cover_speed_reliability_and_singletons() {
+        use dagchkpt_failure::Processor;
+        // Fastest-first canonical order: 0 fast/flaky, 1 medium, 2 slow/safe.
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 2.0,
+                    ..Processor::reference(8e-3)
+                },
+                Processor::reference(2e-3),
+                Processor {
+                    speed: 0.5,
+                    ..Processor::reference(5e-4)
+                },
+            ],
+            1.0,
+        )
+        .unwrap();
+        let cands = replica_candidates(&platform, 3);
+        // Speed prefixes.
+        assert!(cands.contains(&vec![0]));
+        assert!(cands.contains(&vec![0, 1]));
+        assert!(cands.contains(&vec![0, 1, 2]));
+        // Reliability prefixes (λ ascending: 2, 1, 0).
+        assert!(cands.contains(&vec![2]));
+        assert!(cands.contains(&vec![1, 2]));
+        // Singletons.
+        assert!(cands.contains(&vec![1]));
+        // Deduplicated and degree-capped.
+        let unique: std::collections::BTreeSet<_> = cands.iter().cloned().collect();
+        assert_eq!(unique.len(), cands.len());
+        for c in &replica_candidates(&platform, 2) {
+            assert!(c.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn select_replicas_prefers_reliable_solo_over_flaky_prefix() {
+        use dagchkpt_failure::Processor;
+        // Rank 0 is barely faster but fails 500× as often: running the
+        // reliable rank 1 alone beats both the fastest-first prefix and
+        // the pair (a failed group attempt lasts until the *last* death).
+        let wf = Workflow::uniform(generators::chain(4), 50.0, 1.0);
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.1,
+                    ..Processor::reference(5e-2)
+                },
+                Processor::reference(1e-4),
+            ],
+            5.0,
+        )
+        .unwrap();
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let init: Vec<Vec<usize>> = vec![vec![0]; 4];
+        let before =
+            crate::evaluator::replicated::evaluate_replicated_sets(&wf, &platform, &s, &init)
+                .expected_makespan;
+        let (sets, e, evaluated) = select_replicas(&wf, &platform, &s, &init, 2, 8);
+        assert!(e <= before + 1e-9 * before, "selection made things worse");
+        assert!(e < before, "selection should strictly improve here");
+        assert!(evaluated > 1);
+        // Every task ends on the reliable machine (solo or paired).
+        for set in &sets {
+            assert!(set.contains(&1), "sets {sets:?}");
+        }
+        // And the reported value matches a fresh evaluation bitwise.
+        let fresh =
+            crate::evaluator::replicated::evaluate_replicated_sets(&wf, &platform, &s, &sets)
+                .expected_makespan;
+        assert_eq!(e.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn select_replicas_escapes_infinite_makespan_assignments() {
+        use dagchkpt_failure::Processor;
+        // One 2000-unit block on a machine with λ = 5e-2: λ·d ≈ 91, the
+        // per-attempt failure probability rounds to exactly 1.0 in f64 and
+        // the expected makespan is +∞. Selection must still escape to the
+        // reliable machine (a NaN-propagating improvement test would not).
+        let wf = Workflow::uniform(generators::chain(1), 2000.0, 0.0);
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.1,
+                    ..Processor::reference(5e-2)
+                },
+                Processor::reference(1e-4),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::never(&wf, order.clone()).unwrap();
+        let init = vec![vec![0usize]];
+        let stuck =
+            crate::evaluator::replicated::evaluate_replicated_sets(&wf, &platform, &s, &init)
+                .expected_makespan;
+        assert!(stuck.is_infinite(), "premise: init must be infinite");
+        let (sets, e, _) = select_replicas(&wf, &platform, &s, &init, 2, 4);
+        assert!(e.is_finite(), "selection failed to escape +∞: {sets:?}");
+        assert!(sets[0].contains(&1), "sets {sets:?}");
+        // And the joint optimizer built on it escapes too.
+        let joint = optimize_joint(
+            &wf,
+            &platform,
+            &order,
+            CheckpointStrategy::Never,
+            SweepPolicy::Exhaustive,
+            &[1],
+            3,
+        );
+        assert!(joint.expected_makespan.is_finite());
+    }
+
+    #[test]
+    fn aware_sweep_and_joint_dominate_the_proxy_chain() {
+        use dagchkpt_failure::Processor;
+        let wf = chain_wf();
+        let lambda = 5e-3;
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.5,
+                    ..Processor::reference(4.0 * lambda)
+                },
+                Processor::reference(lambda),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let order = topo::topological_order(wf.dag());
+        let degrees = vec![2usize; 6];
+        // Proxy: optimize under the single-machine model, re-score
+        // replicated (what the engine did before this refactor).
+        let proxy = optimize_checkpoints(
+            &wf,
+            FaultModel::new(lambda, 1.0),
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+        );
+        let proxy_e = crate::evaluator::replicated::expected_makespan_replicated(
+            &wf,
+            &platform,
+            &proxy.schedule,
+            &degrees,
+        );
+        // Aware: the same sweep against the replicated objective.
+        let obj = ReplicatedEvaluator::from_degrees(&wf, &platform, &degrees);
+        let aware = optimize_checkpoints_with(
+            &wf,
+            &obj,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+        );
+        // Same candidate family, aware picks its argmin: never worse.
+        assert!(
+            aware.expected_makespan <= proxy_e + 1e-9 * proxy_e,
+            "aware {} vs proxy {}",
+            aware.expected_makespan,
+            proxy_e
+        );
+        // Joint adds replica selection on top: never worse than aware.
+        let joint = optimize_joint(
+            &wf,
+            &platform,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+            &degrees,
+            4,
+        );
+        assert!(
+            joint.expected_makespan <= aware.expected_makespan + 1e-9 * aware.expected_makespan,
+            "joint {} vs aware {}",
+            joint.expected_makespan,
+            aware.expected_makespan
+        );
+        assert_eq!(joint.replica_sets.len(), 6);
+        assert!(joint.rounds >= 1);
+        // The joint value matches a fresh set evaluation of its schedule.
+        let fresh = crate::evaluator::replicated::evaluate_replicated_sets(
+            &wf,
+            &platform,
+            &joint.schedule,
+            &joint.replica_sets,
+        )
+        .expected_makespan;
+        assert_eq!(joint.expected_makespan.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn generic_sweep_with_proxy_objective_is_bit_identical() {
+        let wf = chain_wf();
+        let m = FaultModel::new(5e-3, 0.5);
+        let order = topo::topological_order(wf.dag());
+        for strat in [
+            CheckpointStrategy::Never,
+            CheckpointStrategy::Always,
+            CheckpointStrategy::Periodic,
+            CheckpointStrategy::ByDecreasingWork,
+        ] {
+            let a = optimize_checkpoints(&wf, m, &order, strat, SweepPolicy::Exhaustive);
+            let b = optimize_checkpoints_with(
+                &wf,
+                &crate::objective::ProxyObjective::new(&wf, m),
+                &order,
+                strat,
+                SweepPolicy::Exhaustive,
+            );
+            assert_eq!(a.expected_makespan.to_bits(), b.expected_makespan.to_bits());
+            assert_eq!(a.best_n, b.best_n);
+            assert_eq!(a.evaluated, b.evaluated);
+        }
     }
 
     #[test]

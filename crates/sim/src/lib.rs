@@ -25,6 +25,7 @@ pub mod events;
 pub mod memory;
 pub mod montecarlo;
 pub mod nonblocking;
+pub mod objective;
 pub mod plan;
 pub mod replicated;
 pub mod stats;
@@ -35,8 +36,11 @@ pub use events::{Event, UnitKind};
 pub use memory::MemoryState;
 pub use montecarlo::{run_trials, run_trials_with, trial_metric_stats, TrialSpec, TrialStats};
 pub use nonblocking::{simulate_nonblocking, NonBlockingConfig};
+pub use objective::McObjective;
 pub use plan::{recovery_plan, recovery_plan_with, PlanStep};
 pub use replicated::{
-    run_replicated_trials_with, simulate_replicated, simulate_replicated_nonblocking,
+    run_replicated_sets_trials_with, run_replicated_trials_with, simulate_replicated,
+    simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,
+    simulate_replicated_sets,
 };
 pub use stats::Stats;

@@ -5,8 +5,11 @@
 //!
 //! # Shared semantics
 //!
-//! For every block attempt, replica `p` (the first `r_i` processors of the
-//! platform's canonical order) computes its deterministic completion time
+//! For every block attempt, replica `p` (a member of the task's **replica
+//! set** — historically the first `r_i` processors of the platform's
+//! canonical order, or any explicit subset through the `*_sets` entry
+//! points, which is what the joint optimizer's per-task replica selection
+//! produces) computes its deterministic completion time
 //! `d_p` from its speed and bandwidths and draws its first fault from its
 //! own injector, **renewed at the attempt start**. The attempt succeeds at
 //! `min{d_p : F_p ≥ d_p}`; when every replica faults first (a *group
@@ -58,16 +61,21 @@ enum Attempt {
     GroupFailure { elapsed: f64 },
 }
 
-/// Runs one group attempt: per-replica deterministic durations from
-/// `duration_of`, per-replica fault draws renewed at the attempt start.
+/// Runs one group attempt over the replica `set` (processor indices into
+/// `procs`, which also index `injectors`): per-replica deterministic
+/// durations from `duration_of`, per-replica fault draws renewed at the
+/// attempt start. For a prefix set `[0, …, r−1]` this is exactly the
+/// historical degree-`r` attempt, draw for draw.
 fn group_attempt<I: FaultInjector>(
-    reps: &[Processor],
+    procs: &[Processor],
+    set: &[usize],
     injectors: &mut [I],
     duration_of: impl Fn(&Processor) -> f64,
 ) -> Attempt {
     let mut best: Option<(f64, usize)> = None;
     let mut max_f = 0.0f64;
-    for (rank, p) in reps.iter().enumerate() {
+    for &rank in set {
+        let p = &procs[rank];
         let d = duration_of(p);
         let f = injectors[rank].next_fault_after(0.0);
         if f >= d {
@@ -116,12 +124,30 @@ fn delegates(platform: &HeteroPlatform, degrees: &[usize]) -> bool {
     platform.is_degenerate() && degrees.iter().all(|&d| d == 1)
 }
 
+fn delegates_sets(platform: &HeteroPlatform, sets: &[Vec<usize>]) -> bool {
+    platform.is_degenerate() && sets.iter().all(|s| s.as_slice() == [0])
+}
+
 fn max_degree(platform: &HeteroPlatform, degrees: &[usize]) -> usize {
     degrees
         .iter()
         .map(|&d| d.clamp(1, platform.n_procs()))
         .max()
         .unwrap_or(1)
+}
+
+/// Normalizes per-task replica sets against the platform (sorted, deduped,
+/// clamped — see `dagchkpt_core::normalize_replica_set`).
+fn normalized_sets(platform: &HeteroPlatform, sets: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    sets.iter()
+        .map(|s| dagchkpt_core::normalize_replica_set(s, platform.n_procs()))
+        .collect()
+}
+
+/// The canonical prefix table `[0, 1, …, P−1]`; a degree-`r` replica set
+/// is `&prefix[..r]`.
+fn prefix_table(platform: &HeteroPlatform) -> Vec<usize> {
+    (0..platform.n_procs()).collect()
 }
 
 /// Simulates `schedule` once on `platform` with per-task replication
@@ -148,8 +174,54 @@ pub fn simulate_replicated<I: FaultInjector>(
             },
         );
     }
+    let prefix = prefix_table(platform);
+    let sets: Vec<&[usize]> = degrees
+        .iter()
+        .map(|&d| &prefix[..d.clamp(1, prefix.len())])
+        .collect();
+    simulate_replicated_on(wf, schedule, platform, &sets, injectors)
+}
+
+/// [`simulate_replicated`] over explicit per-task replica **sets**
+/// (processor indices into `platform.procs()`; `injectors` is indexed by
+/// processor, so it must cover the largest index any set uses). Sets are
+/// normalized like the analytic evaluator's. A prefix assignment
+/// reproduces the degree API draw for draw.
+pub fn simulate_replicated_sets<I: FaultInjector>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    sets: &[Vec<usize>],
+    injectors: &mut [I],
+) -> SimResult {
+    assert_eq!(sets.len(), wf.n_tasks(), "one replica set per task");
+    let sets = normalized_sets(platform, sets);
+    if delegates_sets(platform, &sets) {
+        return simulate(
+            wf,
+            schedule,
+            &mut injectors[0],
+            SimConfig {
+                downtime: platform.downtime(),
+                record_trace: false,
+            },
+        );
+    }
+    let refs: Vec<&[usize]> = sets.iter().map(|s| s.as_slice()).collect();
+    simulate_replicated_on(wf, schedule, platform, &refs, injectors)
+}
+
+/// Shared blocking group engine over per-task replica sets.
+fn simulate_replicated_on<I: FaultInjector>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    sets: &[&[usize]],
+    injectors: &mut [I],
+) -> SimResult {
+    let n = wf.n_tasks();
     assert!(
-        injectors.len() >= max_degree(platform, degrees),
+        injectors.len() >= dagchkpt_core::replica_rank_count(sets),
         "need one injector per replica rank"
     );
     let procs = platform.procs();
@@ -159,7 +231,7 @@ pub fn simulate_replicated<I: FaultInjector>(
     let mut res = empty_result();
 
     for &task in schedule.order() {
-        let r = degrees[task.index()].clamp(1, procs.len());
+        let set = sets[task.index()];
         let w = wf.work(task);
         let c = if schedule.is_checkpointed(task) {
             wf.checkpoint_cost(task)
@@ -169,7 +241,7 @@ pub fn simulate_replicated<I: FaultInjector>(
         loop {
             let plan = recovery_plan(wf, schedule, &memory, task);
             let (rework, recovery) = plan_amounts(&plan);
-            let attempt = group_attempt(&procs[..r], injectors, |p| {
+            let attempt = group_attempt(procs, set, injectors, |p| {
                 (rework + w) / p.speed + recovery / p.read_bw + c / p.write_bw
             });
             match attempt {
@@ -229,8 +301,58 @@ pub fn simulate_replicated_nonblocking<I: FaultInjector>(
             },
         );
     }
+    let prefix = prefix_table(platform);
+    let sets: Vec<&[usize]> = degrees
+        .iter()
+        .map(|&d| &prefix[..d.clamp(1, prefix.len())])
+        .collect();
+    simulate_replicated_nonblocking_on(wf, schedule, platform, &sets, injectors, compute_rate)
+}
+
+/// [`simulate_replicated_nonblocking`] over explicit per-task replica
+/// sets (see [`simulate_replicated_sets`] for the indexing convention).
+pub fn simulate_replicated_nonblocking_sets<I: FaultInjector>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    sets: &[Vec<usize>],
+    injectors: &mut [I],
+    compute_rate: f64,
+) -> SimResult {
     assert!(
-        injectors.len() >= max_degree(platform, degrees),
+        compute_rate > 0.0 && compute_rate <= 1.0,
+        "compute_rate must be in (0, 1]"
+    );
+    assert_eq!(sets.len(), wf.n_tasks(), "one replica set per task");
+    let sets = normalized_sets(platform, sets);
+    if delegates_sets(platform, &sets) {
+        return simulate_nonblocking(
+            wf,
+            schedule,
+            &mut injectors[0],
+            NonBlockingConfig {
+                downtime: platform.downtime(),
+                compute_rate,
+                record_trace: false,
+            },
+        );
+    }
+    let refs: Vec<&[usize]> = sets.iter().map(|s| s.as_slice()).collect();
+    simulate_replicated_nonblocking_on(wf, schedule, platform, &refs, injectors, compute_rate)
+}
+
+/// Shared non-blocking group engine over per-task replica sets.
+fn simulate_replicated_nonblocking_on<I: FaultInjector>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    sets: &[&[usize]],
+    injectors: &mut [I],
+    compute_rate: f64,
+) -> SimResult {
+    let n = wf.n_tasks();
+    assert!(
+        injectors.len() >= dagchkpt_core::replica_rank_count(sets),
         "need one injector per replica rank"
     );
     let procs = platform.procs();
@@ -257,7 +379,7 @@ pub fn simulate_replicated_nonblocking<I: FaultInjector>(
     };
 
     for &task in schedule.order() {
-        let r = degrees[task.index()].clamp(1, procs.len());
+        let set = sets[task.index()];
         let w = wf.work(task);
         loop {
             let plan = recovery_plan_with(wf, &positions, &durable, &memory, task);
@@ -265,7 +387,7 @@ pub fn simulate_replicated_nonblocking<I: FaultInjector>(
             // Wall time at which the queue (as of the attempt start) empties.
             let queue_wall: f64 = writes.iter().map(|(_, rem)| rem).sum();
             let content = |p: &Processor| (rework + w) / p.speed + recovery / p.read_bw;
-            let attempt = group_attempt(&procs[..r], injectors, |p| {
+            let attempt = group_attempt(procs, set, injectors, |p| {
                 let c = content(p);
                 // At rate `compute_rate` until the queue drains, then full
                 // speed.
@@ -358,6 +480,46 @@ where
             .map(|rank| make_injector(rank, spec.proc_seed(i, rank)))
             .collect();
         simulate_replicated(wf, schedule, platform, degrees, &mut injectors)
+    })
+}
+
+/// [`run_replicated_trials_with`] over explicit per-task replica sets —
+/// the Monte-Carlo twin of `dagchkpt_core::evaluate_replicated_sets`, and
+/// the engine that cross-validates the joint optimizer's winning
+/// (schedule, assignment) pairs. Injectors are created for every processor
+/// rank up to the largest index any set uses, seeded by
+/// [`TrialSpec::proc_seed`]; a prefix assignment reproduces
+/// [`run_replicated_trials_with`] bit for bit.
+pub fn run_replicated_sets_trials_with<I, F>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    sets: &[Vec<usize>],
+    spec: TrialSpec,
+    make_injector: F,
+) -> TrialStats
+where
+    I: FaultInjector,
+    F: Fn(usize, u64) -> I + Sync,
+{
+    assert_eq!(sets.len(), wf.n_tasks(), "one replica set per task");
+    let sets = normalized_sets(platform, sets);
+    if delegates_sets(platform, &sets) {
+        return crate::montecarlo::run_trials_with(
+            wf,
+            schedule,
+            platform.downtime(),
+            spec,
+            |seed| make_injector(0, seed),
+        );
+    }
+    let ranks = dagchkpt_core::replica_rank_count(&sets);
+    let refs: Vec<&[usize]> = sets.iter().map(|s| s.as_slice()).collect();
+    sim_result_stats(spec, |i| {
+        let mut injectors: Vec<I> = (0..ranks)
+            .map(|rank| make_injector(rank, spec.proc_seed(i, rank)))
+            .collect();
+        simulate_replicated_on(wf, schedule, platform, &refs, &mut injectors)
     })
 }
 
@@ -618,6 +780,103 @@ mod tests {
         for (a, b) in par.mean_breakdown.iter().zip(seq.mean_breakdown.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Prefix replica sets reproduce the degree API **bit for bit** across
+    /// both engines and the trial runner — the sim-side anchor that lets
+    /// per-task replica selection generalize the engines without touching
+    /// any golden value.
+    #[test]
+    fn prefix_sets_are_bit_identical_to_degrees() {
+        let wf = Workflow::uniform(generators::grid(3, 3), 8.0, 0.8);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(1.0);
+        let degrees = [2usize, 1, 2, 1, 2, 1, 2, 1, 2];
+        let sets: Vec<Vec<usize>> = degrees.iter().map(|&d| (0..d).collect()).collect();
+        let build = |i: usize, spec: &TrialSpec| -> Vec<ExponentialInjector> {
+            (0..2)
+                .map(|rank| {
+                    ExponentialInjector::new(platform.procs()[rank].lambda, spec.proc_seed(i, rank))
+                })
+                .collect()
+        };
+        let spec = TrialSpec::new(200, 17);
+        for i in 0..spec.trials {
+            let a = simulate_replicated(&wf, &s, &platform, &degrees, &mut build(i, &spec));
+            let b = simulate_replicated_sets(&wf, &s, &platform, &sets, &mut build(i, &spec));
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.n_faults, b.n_faults);
+            let a = simulate_replicated_nonblocking(
+                &wf,
+                &s,
+                &platform,
+                &degrees,
+                &mut build(i, &spec),
+                0.7,
+            );
+            let b = simulate_replicated_nonblocking_sets(
+                &wf,
+                &s,
+                &platform,
+                &sets,
+                &mut build(i, &spec),
+                0.7,
+            );
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        }
+        let by_deg =
+            run_replicated_trials_with(&wf, &s, &platform, &degrees, spec, |rank, seed| {
+                ExponentialInjector::new(platform.procs()[rank].lambda, seed)
+            });
+        let by_set =
+            run_replicated_sets_trials_with(&wf, &s, &platform, &sets, spec, |rank, seed| {
+                ExponentialInjector::new(platform.procs()[rank].lambda, seed)
+            });
+        assert_eq!(
+            by_deg.makespan.mean().to_bits(),
+            by_set.makespan.mean().to_bits()
+        );
+        assert_eq!(
+            by_deg.makespan.stddev().to_bits(),
+            by_set.makespan.stddev().to_bits()
+        );
+    }
+
+    /// Non-prefix sets run end to end: a task pinned to the reliable slow
+    /// processor only draws that processor's injector, and the stats agree
+    /// with the exact set evaluator.
+    #[test]
+    fn non_prefix_sets_validate_against_set_evaluator() {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let order = topo::topological_order(wf.dag());
+        let ckpt = FixedBitSet::from_indices(8, [1usize, 3, 6]);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let platform = hetero2(2.0);
+        let mut sets = vec![vec![0usize, 1]; 8];
+        sets[3] = vec![1];
+        sets[6] = vec![1];
+        let report = dagchkpt_core::evaluate_replicated_sets(&wf, &platform, &s, &sets);
+        let stats = run_replicated_sets_trials_with(
+            &wf,
+            &s,
+            &platform,
+            &sets,
+            TrialSpec::new(40_000, 29),
+            |rank, seed| ExponentialInjector::new(platform.procs()[rank].lambda, seed),
+        );
+        let z = (stats.makespan.mean() - report.expected_makespan) / stats.makespan.sem();
+        assert!(
+            z.abs() <= 4.0,
+            "makespan z = {z:.2}: MC {} vs analytic {}",
+            stats.makespan.mean(),
+            report.expected_makespan
+        );
+        let fz = (stats.faults.mean() - report.expected_faults) / stats.faults.sem();
+        assert!(fz.abs() <= 4.0, "faults z = {fz:.2}");
     }
 
     #[test]

@@ -113,8 +113,8 @@ fn pegasus_workflow_matches_theorem3_within_3_sigma() {
 
 mod differential {
     use dagchkpt_bench::{
-        run_scenario, CellResult, FailureSpec, ScenarioSpec, SeedPolicy, SimulatorSpec,
-        StrategySpec, SweepSpec, WorkflowSource,
+        run_scenario, CellResult, FailureSpec, OptimizerSpec, ScenarioSpec, SeedPolicy,
+        SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 
@@ -135,6 +135,7 @@ mod differential {
             sweep: SweepSpec::Exhaustive,
             platforms: vec![],
             replications: vec![],
+            optimizer: OptimizerSpec::Proxy,
         }
     }
 
@@ -294,8 +295,8 @@ mod replication {
     use dagchkpt::dag::generators;
     use dagchkpt::prelude::*;
     use dagchkpt_bench::{
-        run_scenario, CellResult, FailureSpec, PlatformSpec, ReplicationSpec, ScenarioSpec,
-        SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+        run_scenario, CellResult, FailureSpec, OptimizerSpec, PlatformSpec, ReplicationSpec,
+        ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
     };
     use dagchkpt_workflows::WorkflowSpec;
 
@@ -364,6 +365,7 @@ mod replication {
                     count: 10,
                 },
             ],
+            optimizer: OptimizerSpec::Proxy,
         }
     }
 
@@ -498,6 +500,103 @@ mod replication {
                 x.simulator
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The joint optimizer's winners against blocking Monte-Carlo: the
+// coordinate descent over (checkpoint budget × per-task replica sets)
+// produces a (schedule, assignment) pair, and the blocking replicated
+// engine run on exactly those replica sets must agree with the exact
+// set evaluator within 3σ — the analytic/operational contract extended to
+// optimizer-selected, possibly non-prefix assignments.
+// ---------------------------------------------------------------------------
+
+mod joint_optimizer {
+    use dagchkpt::core::{
+        evaluate_replicated_sets, optimize_joint, CheckpointStrategy, CostRule,
+        LinearizationStrategy, SweepPolicy,
+    };
+    use dagchkpt::prelude::*;
+    use dagchkpt::sim::{run_replicated_sets_trials_with, TrialSpec};
+    use dagchkpt_failure::{ExponentialInjector, HeteroPlatform, Processor};
+
+    /// An anti-correlated pool (fast-but-flaky, reference, slow-but-safe):
+    /// the shape on which per-task selection genuinely leaves the
+    /// fastest-first prefix family.
+    fn pool(lambda: f64) -> HeteroPlatform {
+        HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.4,
+                    ..Processor::reference(8.0 * lambda)
+                },
+                Processor::reference(lambda),
+                Processor {
+                    speed: 0.7,
+                    ..Processor::reference(0.25 * lambda)
+                },
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn joint_winner_matches_blocking_mc_within_3_sigma() {
+        // The exact DF-CkptW cell of the golden `replication_aware`
+        // campaign (CyberShake n = 50, LegacyXorN seed 42 ^ 50), where the
+        // descent is known to leave the prefix family — its golden joint
+        // row strictly beats the aware row.
+        let wf = PegasusKind::CyberShake.generate(
+            50,
+            CostRule::ProportionalToWork { ratio: 0.1 },
+            42 ^ 50,
+        );
+        let lambda = PegasusKind::CyberShake.default_lambda();
+        let platform = pool(lambda);
+        let order = dagchkpt::core::linearize(&wf, LinearizationStrategy::DepthFirst);
+        let joint = optimize_joint(
+            &wf,
+            &platform,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+            &vec![2; 50],
+            4,
+        );
+        // The descent must have left the prefix family somewhere on this
+        // pool (otherwise this test regressed into the prefix case).
+        assert!(
+            joint.replica_sets.iter().any(|s| s.as_slice() != [0, 1]),
+            "selection stayed on the uniform prefix: {:?}",
+            joint.replica_sets
+        );
+        let report = evaluate_replicated_sets(&wf, &platform, &joint.schedule, &joint.replica_sets);
+        assert!(
+            (report.expected_makespan - joint.expected_makespan).abs()
+                <= 1e-9 * joint.expected_makespan,
+            "joint value {} vs fresh evaluation {}",
+            joint.expected_makespan,
+            report.expected_makespan
+        );
+        let stats = run_replicated_sets_trials_with(
+            &wf,
+            &joint.schedule,
+            &platform,
+            &joint.replica_sets,
+            TrialSpec::new(20_000, 2029),
+            |rank, seed| ExponentialInjector::new(platform.procs()[rank].lambda, seed),
+        );
+        let z = (stats.makespan.mean() - report.expected_makespan) / stats.makespan.sem();
+        assert!(
+            z.abs() <= 3.0,
+            "joint winner off by {z:.2} sigma: MC {} vs analytic {}",
+            stats.makespan.mean(),
+            report.expected_makespan
+        );
+        let fz = (stats.faults.mean() - report.expected_faults) / stats.faults.sem();
+        assert!(fz.abs() <= 3.0, "faults off by {fz:.2} sigma");
     }
 }
 

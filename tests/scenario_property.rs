@@ -14,8 +14,8 @@
 //!   heuristic.
 
 use dagchkpt_bench::{
-    FailureSpec, PlatformSpec, ProcessorSpec, ReplicationSpec, ScenarioSpec, SeedPolicy,
-    SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+    FailureSpec, OptimizerSpec, PlatformSpec, ProcessorSpec, ReplicationSpec, ScenarioSpec,
+    SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
 };
 use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 use dagchkpt_workflows::PegasusKind;
@@ -201,6 +201,7 @@ fn spec_raw(
         sweep: SweepSpec::Auto,
         platforms: vec![],
         replications: vec![],
+        optimizer: OptimizerSpec::Proxy,
     }
 }
 
@@ -313,6 +314,7 @@ fn execution_spec(strategies: Vec<StrategySpec>, trials: usize) -> ScenarioSpec 
         sweep: SweepSpec::Exhaustive,
         platforms: vec![],
         replications: vec![],
+        optimizer: OptimizerSpec::Proxy,
     }
 }
 

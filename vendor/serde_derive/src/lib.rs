@@ -3,7 +3,9 @@
 //!
 //! Supports exactly the shapes this workspace derives on:
 //!
-//! * structs with named fields (honouring `#[serde(default)]` per field);
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` per field, separately or
+//!   combined as `#[serde(default, skip_serializing_if = "path")]`);
 //! * tuple structs (one field → serde's newtype representation, more →
 //!   a sequence);
 //! * enums whose variants are unit or struct-like, in serde's default
@@ -16,10 +18,12 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A parsed field: name plus whether `#[serde(default)]` was present.
+/// A parsed field: name, whether `#[serde(default)]` was present, and the
+/// predicate path of `#[serde(skip_serializing_if = "...")]` if any.
 struct Field {
     name: String,
     default: bool,
+    skip_if: Option<String>,
 }
 
 /// A parsed enum variant.
@@ -54,10 +58,42 @@ fn attr_body(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter
     }
 }
 
-/// `true` when an attribute body is `serde (default)` (modulo spacing).
-fn is_serde_default(body: &str) -> bool {
+/// Parsed content of one `#[serde(...)]` field attribute.
+#[derive(Default)]
+struct SerdeFieldAttr {
+    default: bool,
+    skip_if: Option<String>,
+}
+
+/// Parses a `serde(...)` attribute body into its supported field options,
+/// or `Err` for anything the stand-in does not implement. Non-serde
+/// attribute bodies return an empty option set.
+fn parse_serde_field_attr(body: &str) -> Result<SerdeFieldAttr, String> {
     let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
-    compact == "serde(default)"
+    let mut out = SerdeFieldAttr::default();
+    let Some(inner) = compact
+        .strip_prefix("serde(")
+        .and_then(|s| s.strip_suffix(')'))
+    else {
+        if compact.starts_with("serde") {
+            return Err(format!("unsupported serde attribute: #[{body}]"));
+        }
+        return Ok(out);
+    };
+    for part in inner.split(',') {
+        if part == "default" {
+            out.default = true;
+        } else if let Some(path) = part.strip_prefix("skip_serializing_if=") {
+            let path = path.trim_matches('"');
+            if path.is_empty() {
+                return Err(format!("empty skip_serializing_if path in #[{body}]"));
+            }
+            out.skip_if = Some(path.to_string());
+        } else {
+            return Err(format!("unsupported serde attribute: #[{body}]"));
+        }
+    }
+    Ok(out)
 }
 
 /// Parses the fields of a named-field brace group.
@@ -66,16 +102,17 @@ fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
     let mut tokens = group.into_iter().peekable();
     loop {
         let mut default = false;
+        let mut skip_if = None;
         // Attributes and visibility before the field name.
         let name = loop {
             match tokens.next() {
                 None => return Ok(fields),
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     let body = attr_body(&mut tokens);
-                    if is_serde_default(&body) {
-                        default = true;
-                    } else if body.trim_start().starts_with("serde") {
-                        return Err(format!("unsupported serde attribute: #[{body}]"));
+                    let attr = parse_serde_field_attr(&body)?;
+                    default |= attr.default;
+                    if attr.skip_if.is_some() {
+                        skip_if = attr.skip_if;
                     }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -109,7 +146,11 @@ fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
             }
             tokens.next();
         }
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
     }
 }
 
@@ -240,11 +281,16 @@ fn gen_serialize(item: &Item) -> String {
         Item::NamedStruct(name, fields) => {
             let mut pushes = String::new();
             for f in fields {
-                pushes.push_str(&format!(
+                let push = format!(
                     "entries.push((::std::string::String::from(\"{n}\"), \
                      ::serde::Serialize::to_value(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.skip_if {
+                    Some(path) => pushes
+                        .push_str(&format!("if !{path}(&self.{n}) {{\n{push}}}\n", n = f.name)),
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -284,11 +330,18 @@ fn gen_serialize(item: &Item) -> String {
                         let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut pushes = String::new();
                         for f in fields {
-                            pushes.push_str(&format!(
+                            let push = format!(
                                 "inner.push((::std::string::String::from(\"{n}\"), \
                                  ::serde::Serialize::to_value({n})));\n",
                                 n = f.name
-                            ));
+                            );
+                            match &f.skip_if {
+                                Some(path) => pushes.push_str(&format!(
+                                    "if !{path}({n}) {{\n{push}}}\n",
+                                    n = f.name
+                                )),
+                                None => pushes.push_str(&push),
+                            }
                         }
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {pat} }} => {{\n\
