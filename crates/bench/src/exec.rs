@@ -1,0 +1,646 @@
+//! Shared cell execution: turns one [`CellPlan`] of a [`ScenarioSpec`]
+//! into result rows (and, for callers that need them, the optimized
+//! schedules themselves).
+//!
+//! Factored out of the campaign engine so the batch CLI
+//! (`dagchkpt-bench`) and the serving daemon (`dagchkpt-serve`) execute
+//! requests through literally the same code path — a served answer is
+//! byte-identical to the batch CSV because both are produced by
+//! [`run_cell_full`] + [`cell_csv_rows`] with the same per-cell seeds.
+
+use crate::campaign::OutputFormat;
+use crate::runner::{best_per_ckpt_strategy, Row};
+use crate::scenario::{
+    CellPlan, FailureCell, OptimizerSpec, ScenarioError, ScenarioSpec, SimulatorSpec, StrategyCell,
+};
+use dagchkpt_core::{
+    evaluator, exact, linearize, optimize_joint, run_heuristic, run_heuristic_with,
+    LinearizationStrategy, ReplicatedEvaluator, Schedule, SweepPolicy, Workflow,
+};
+use dagchkpt_failure::{
+    daly, ExponentialInjector, FaultInjector, FaultModel, TraceInjector, WeibullInjector,
+};
+use dagchkpt_sim::{
+    run_replicated_sets_trials_with, run_replicated_trials_with, run_trials_with,
+    simulate_nonblocking, simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,
+    trial_metric_stats, NonBlockingConfig, TrialSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// One output row: a (cell, strategy, simulator) outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Cell index in the scenario's expansion.
+    pub cell: usize,
+    /// Workflow display name.
+    pub workflow: String,
+    /// Task count.
+    pub n: usize,
+    /// Proxy failure rate (the exponential λ the schedule was optimized
+    /// under).
+    pub lambda: f64,
+    /// Failure-model label.
+    pub failure: String,
+    /// Weibull shape (`NaN` for other models).
+    pub shape: f64,
+    /// Cost-rule label.
+    pub rule: String,
+    /// Platform label (empty without a `platforms` axis).
+    pub platform: String,
+    /// Replication label (empty without a `replications` axis).
+    pub replication: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Simulator label.
+    pub simulator: String,
+    /// Analytic expected makespan under the proxy model.
+    pub expected: f64,
+    /// Failure-free, checkpoint-free time `Σ w_i`.
+    pub tinf: f64,
+    /// `expected / tinf`.
+    pub ratio: f64,
+    /// Winning checkpoint budget for swept strategies.
+    pub best_n: Option<usize>,
+    /// Monte-Carlo mean makespan (`NaN` for the analytic simulator).
+    pub mc_mean: f64,
+    /// Standard error of the Monte-Carlo mean.
+    pub mc_sem: f64,
+    /// `(mc_mean − expected) / mc_sem`.
+    pub z: f64,
+}
+
+/// A strategy's optimized schedule plus its analytic value. `replica_sets`
+/// is `Some` only when the joint optimizer re-selected per-task replica
+/// sets (they then replace the cell's static degree assignment everywhere
+/// downstream: the analytic column and both Monte-Carlo engines).
+struct StrategyOutcome {
+    name: String,
+    schedule: Schedule,
+    expected: f64,
+    best_n: Option<usize>,
+    replica_sets: Option<Vec<Vec<usize>>>,
+}
+
+/// Joint coordinate-descent rounds per heuristic (sweep + replica
+/// selection per round; the descent stops early at a fixed point).
+const JOINT_ROUNDS: usize = 4;
+
+fn run_strategy(
+    wf: &Workflow,
+    model: FaultModel,
+    strat: StrategyCell,
+    policy: SweepPolicy,
+    optimizer: OptimizerSpec,
+    hetero: Option<&(dagchkpt_failure::HeteroPlatform, Vec<usize>)>,
+) -> Result<StrategyOutcome, ScenarioError> {
+    match strat {
+        StrategyCell::Heuristic(h) => {
+            let r = match (optimizer, hetero) {
+                // The proxy optimizer — and any optimizer on a cell the
+                // degenerate collapse routed to the homogeneous path —
+                // optimizes under the single-machine model, as ever.
+                (OptimizerSpec::Proxy, _) | (_, None) => run_heuristic(wf, model, h, policy),
+                (OptimizerSpec::ReplicationAware, Some((platform, degrees))) => {
+                    let obj = ReplicatedEvaluator::from_degrees(wf, platform, degrees);
+                    run_heuristic_with(wf, &obj, h, policy)
+                }
+                (OptimizerSpec::Joint, Some((platform, degrees))) => {
+                    let order = linearize(wf, h.lin);
+                    let j =
+                        optimize_joint(wf, platform, &order, h.ckpt, policy, degrees, JOINT_ROUNDS);
+                    return Ok(StrategyOutcome {
+                        name: h.name(),
+                        expected: j.expected_makespan,
+                        best_n: j.best_n,
+                        replica_sets: Some(j.replica_sets),
+                        schedule: j.schedule,
+                    });
+                }
+            };
+            Ok(StrategyOutcome {
+                name: r.name,
+                schedule: r.schedule,
+                expected: r.expected_makespan,
+                best_n: r.best_n,
+                replica_sets: None,
+            })
+        }
+        StrategyCell::ExactChain => {
+            let (schedule, expected) = exact::chain::solve_chain(wf, model)
+                .ok_or_else(|| ScenarioError::new("ExactChain: workflow is not a chain"))?;
+            Ok(exact_outcome("ExactChain", schedule, expected))
+        }
+        StrategyCell::ExactFork => {
+            let (schedule, expected) = exact::fork::solve_fork(wf, model)
+                .ok_or_else(|| ScenarioError::new("ExactFork: workflow is not a fork"))?;
+            Ok(exact_outcome("ExactFork", schedule, expected))
+        }
+        StrategyCell::ExactJoin => {
+            let (schedule, expected) =
+                exact::join::solve_join_uniform(wf, model).ok_or_else(|| {
+                    ScenarioError::new(
+                        "ExactJoin: workflow is not a join with uniform checkpoint costs",
+                    )
+                })?;
+            Ok(exact_outcome("ExactJoin", schedule, expected))
+        }
+        StrategyCell::Young | StrategyCell::Daly => {
+            let n = wf.n_tasks();
+            let order = linearize(wf, LinearizationStrategy::DepthFirst);
+            let mean_c = if n == 0 {
+                0.0
+            } else {
+                wf.checkpoint_costs().iter().sum::<f64>() / n as f64
+            };
+            let budget = if model.lambda() <= 0.0 || mean_c <= 0.0 {
+                0
+            } else {
+                let mtbf = 1.0 / model.lambda();
+                let period = match strat {
+                    StrategyCell::Young => daly::young_period(mean_c, mtbf),
+                    _ => daly::daly_period(mean_c, mtbf),
+                };
+                if period > 0.0 {
+                    (wf.total_work() / period).floor() as usize
+                } else {
+                    n
+                }
+            }
+            .min(n);
+            let set = dagchkpt_core::strategies::periodic_set(wf, &order, budget);
+            let schedule = Schedule::new(wf, order, set)
+                .map_err(|e| ScenarioError::new(format!("periodic schedule: {e}")))?;
+            let expected = evaluator::expected_makespan(wf, model, &schedule);
+            Ok(StrategyOutcome {
+                name: strat.name(),
+                schedule,
+                expected,
+                best_n: Some(budget),
+                replica_sets: None,
+            })
+        }
+    }
+}
+
+fn exact_outcome(name: &str, schedule: Schedule, expected: f64) -> StrategyOutcome {
+    let best_n = Some(schedule.n_checkpoints());
+    StrategyOutcome {
+        name: name.to_string(),
+        schedule,
+        expected,
+        best_n,
+        replica_sets: None,
+    }
+}
+
+/// Fault source for one trial, matched to the cell's failure model.
+enum CellInjector {
+    Exp(ExponentialInjector),
+    Weibull(WeibullInjector),
+    Trace(TraceInjector),
+}
+
+impl FaultInjector for CellInjector {
+    fn next_fault_after(&mut self, t: f64) -> f64 {
+        match self {
+            CellInjector::Exp(i) => i.next_fault_after(t),
+            CellInjector::Weibull(i) => i.next_fault_after(t),
+            CellInjector::Trace(i) => i.next_fault_after(t),
+        }
+    }
+}
+
+fn make_injector(failure: &FailureCell, seed: u64) -> CellInjector {
+    match failure {
+        FailureCell::Exponential { lambda, .. } => {
+            CellInjector::Exp(ExponentialInjector::new(*lambda, seed))
+        }
+        FailureCell::Weibull { mtbf, shape, .. } => {
+            CellInjector::Weibull(WeibullInjector::with_mtbf(*mtbf, *shape, seed))
+        }
+        FailureCell::Trace { times, .. } => CellInjector::Trace(TraceInjector::new(times.clone())),
+    }
+}
+
+/// Fault source for one processor of a resolved platform: exponential at
+/// the processor's own rate, or Weibull of the same mean when a shape is
+/// set (cell-level or per-processor override).
+fn make_proc_injector(proc: &dagchkpt_failure::Processor, seed: u64) -> CellInjector {
+    match proc.shape {
+        Some(shape) if proc.lambda > 0.0 => {
+            CellInjector::Weibull(WeibullInjector::with_mtbf(1.0 / proc.lambda, shape, seed))
+        }
+        _ => CellInjector::Exp(ExponentialInjector::new(proc.lambda, seed)),
+    }
+}
+
+/// A cell's resolved heterogeneous execution context: the platform plus
+/// per-task replication degrees. `None` when the cell runs on the paper's
+/// single reference machine — including the **degenerate collapse**: a
+/// single-reference-processor platform with all degrees 1 takes the
+/// homogeneous code path outright, which is what makes it reproduce the
+/// homogeneous outputs byte for byte.
+fn resolve_hetero(
+    plan: &CellPlan,
+    wf: &Workflow,
+    model: FaultModel,
+) -> Result<Option<(dagchkpt_failure::HeteroPlatform, Vec<usize>)>, ScenarioError> {
+    let Some(pspec) = &plan.platform else {
+        return Ok(None);
+    };
+    let platform = pspec.resolve(&plan.failure)?;
+    let strategy = plan
+        .replication
+        .map(|r| r.strategy())
+        .unwrap_or(dagchkpt_core::ReplicationStrategy::None);
+    let degrees = strategy.degrees(wf, platform.n_procs());
+    let degenerate = platform.is_degenerate()
+        && platform.procs()[0].lambda == model.lambda()
+        && degrees.iter().all(|&d| d == 1);
+    Ok(if degenerate {
+        None
+    } else {
+        Some((platform, degrees))
+    })
+}
+
+/// Executes one cell: every strategy × simulator, in axis order.
+///
+/// Under the default `proxy` optimizer, schedules are optimized under the
+/// cell's proxy [`FaultModel`] (the paper's single-machine view); on a
+/// heterogeneous platform the `expected` column and the Monte-Carlo
+/// engines then re-evaluate the optimized schedule under replication — so
+/// the comparison isolates what the platform and replication change, not
+/// the optimizer. The `replication_aware` and `joint` optimizers instead
+/// dispatch each heuristic through the backend matching the cell's
+/// platform/replication axes (the replicated evaluator, or the joint
+/// coordinate descent whose per-task replica sets then replace the static
+/// degrees downstream).
+pub fn run_cell_plan(
+    spec: &ScenarioSpec,
+    plan: &CellPlan,
+) -> Result<Vec<CellResult>, ScenarioError> {
+    run_cell_full(spec, plan).map(|e| e.rows)
+}
+
+/// The optimized schedule behind one strategy's rows — what a serving
+/// client gets beyond the CSV-shaped numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleDetail {
+    /// Strategy display name (`DF-CkptW`, `exact-chain`, …).
+    pub strategy: String,
+    /// The linearization, as task indices.
+    pub order: Vec<usize>,
+    /// Checkpointed task indices, ascending.
+    pub checkpoints: Vec<usize>,
+    /// Winning checkpoint budget, when the strategy sweeps one.
+    pub best_n: Option<usize>,
+    /// Expected makespan under the cell's objective.
+    pub expected: f64,
+    /// Per-task replica processor sets (joint optimizer only).
+    pub replica_sets: Option<Vec<Vec<usize>>>,
+}
+
+/// Everything one cell produces: CSV-shaped rows plus the schedules.
+#[derive(Debug, Clone)]
+pub struct CellExecution {
+    /// One row per strategy × simulator, in stage order.
+    pub rows: Vec<CellResult>,
+    /// One entry per strategy, in stage order.
+    pub schedules: Vec<ScheduleDetail>,
+}
+
+/// Executes one cell and returns rows *and* schedules — the entry point
+/// the serving daemon answers requests through.
+pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecution, ScenarioError> {
+    let source = &spec.workflows[plan.source];
+    let wf = source.generate(plan.n, plan.seed)?;
+    let model = plan.failure.proxy_model();
+    let policy = spec.sweep.policy(plan.n);
+    let tinf = wf.total_work();
+    let ctx = |e: ScenarioError| {
+        ScenarioError::new(format!(
+            "cell {} ({}, n={}, {}): {}",
+            plan.index,
+            source.display_name(),
+            plan.n,
+            plan.failure.label(),
+            e.0
+        ))
+    };
+    let hetero = resolve_hetero(plan, &wf, model).map_err(&ctx)?;
+    let mut rows = Vec::new();
+    let mut schedules = Vec::new();
+    for strat in spec.strategy_cells() {
+        let out = run_strategy(&wf, model, strat, policy, plan.optimizer, hetero.as_ref())
+            .map_err(&ctx)?;
+        let expected = match &hetero {
+            None => out.expected,
+            // The aware and joint optimizers already optimized against —
+            // and reported — the exact replicated value (pinned
+            // bit-identical to a fresh evaluation by the optimizer tests);
+            // re-deriving it would double the analytic cost of the cell.
+            Some(_) if plan.optimizer != OptimizerSpec::Proxy => out.expected,
+            // Proxy: the schedule was optimized under the single-machine
+            // model, so the replicated value must be computed here.
+            Some((platform, degrees)) => {
+                dagchkpt_core::expected_makespan_replicated(&wf, platform, &out.schedule, degrees)
+            }
+        };
+        schedules.push(ScheduleDetail {
+            strategy: out.name.clone(),
+            order: out.schedule.order().iter().map(|v| v.index()).collect(),
+            checkpoints: out.schedule.checkpoints().iter().collect(),
+            best_n: out.best_n,
+            expected,
+            replica_sets: out.replica_sets.clone(),
+        });
+        for sim in &spec.simulators {
+            let (mc_mean, mc_sem) = match *sim {
+                SimulatorSpec::Analytic => (f64::NAN, f64::NAN),
+                SimulatorSpec::MonteCarlo { trials } => {
+                    let stats = match (&hetero, &out.replica_sets) {
+                        (None, _) => run_trials_with(
+                            &wf,
+                            &out.schedule,
+                            plan.failure.downtime(),
+                            TrialSpec::new(trials, plan.seed),
+                            |seed| make_injector(&plan.failure, seed),
+                        ),
+                        (Some((platform, _)), Some(sets)) => run_replicated_sets_trials_with(
+                            &wf,
+                            &out.schedule,
+                            platform,
+                            sets,
+                            TrialSpec::new(trials, plan.seed),
+                            |rank, seed| make_proc_injector(&platform.procs()[rank], seed),
+                        ),
+                        (Some((platform, degrees)), None) => run_replicated_trials_with(
+                            &wf,
+                            &out.schedule,
+                            platform,
+                            degrees,
+                            TrialSpec::new(trials, plan.seed),
+                            |rank, seed| make_proc_injector(&platform.procs()[rank], seed),
+                        ),
+                    };
+                    (stats.makespan.mean(), stats.makespan.sem())
+                }
+                SimulatorSpec::NonBlocking {
+                    trials,
+                    compute_rate,
+                } => {
+                    let tspec = TrialSpec::new(trials, plan.seed);
+                    let stats = match (&hetero, &out.replica_sets) {
+                        (None, _) => {
+                            let cfg = NonBlockingConfig {
+                                downtime: plan.failure.downtime(),
+                                compute_rate,
+                                record_trace: false,
+                            };
+                            trial_metric_stats(tspec, |i| {
+                                let mut inj = make_injector(&plan.failure, tspec.trial_seed(i));
+                                simulate_nonblocking(&wf, &out.schedule, &mut inj, cfg).makespan
+                            })
+                        }
+                        (Some((platform, _)), Some(sets)) => {
+                            // One injector per used replica rank, indexed
+                            // by processor (like the set trial runner).
+                            let ranks = dagchkpt_core::replica_rank_count(sets);
+                            trial_metric_stats(tspec, |i| {
+                                let mut injectors: Vec<CellInjector> = (0..ranks)
+                                    .map(|rank| {
+                                        make_proc_injector(
+                                            &platform.procs()[rank],
+                                            tspec.proc_seed(i, rank),
+                                        )
+                                    })
+                                    .collect();
+                                simulate_replicated_nonblocking_sets(
+                                    &wf,
+                                    &out.schedule,
+                                    platform,
+                                    sets,
+                                    &mut injectors,
+                                    compute_rate,
+                                )
+                                .makespan
+                            })
+                        }
+                        (Some((platform, degrees)), None) => {
+                            // One injector per used replica rank (like the
+                            // blocking runner), not per platform processor.
+                            let ranks = degrees
+                                .iter()
+                                .map(|&d| d.clamp(1, platform.n_procs()))
+                                .max()
+                                .unwrap_or(1);
+                            trial_metric_stats(tspec, |i| {
+                                let mut injectors: Vec<CellInjector> = (0..ranks)
+                                    .map(|rank| {
+                                        make_proc_injector(
+                                            &platform.procs()[rank],
+                                            tspec.proc_seed(i, rank),
+                                        )
+                                    })
+                                    .collect();
+                                simulate_replicated_nonblocking(
+                                    &wf,
+                                    &out.schedule,
+                                    platform,
+                                    degrees,
+                                    &mut injectors,
+                                    compute_rate,
+                                )
+                                .makespan
+                            })
+                        }
+                    };
+                    (stats.mean(), stats.sem())
+                }
+            };
+            rows.push(CellResult {
+                cell: plan.index,
+                workflow: source.display_name(),
+                n: wf.n_tasks(),
+                lambda: model.lambda(),
+                failure: plan.failure.label(),
+                shape: plan.failure.shape(),
+                rule: source.rule_label(),
+                platform: plan
+                    .platform
+                    .as_ref()
+                    .map_or_else(String::new, |p| p.label()),
+                replication: plan
+                    .replication
+                    .as_ref()
+                    .map_or_else(String::new, |r| r.label()),
+                strategy: out.name.clone(),
+                simulator: sim.label(),
+                expected,
+                tinf,
+                ratio: if tinf > 0.0 { expected / tinf } else { 1.0 },
+                best_n: out.best_n,
+                mc_mean,
+                mc_sem,
+                z: (mc_mean - expected) / mc_sem,
+            });
+        }
+    }
+    Ok(CellExecution { rows, schedules })
+}
+
+/// Executes every cell of a scenario and returns the rows — the pure,
+/// no-IO entry point the differential and property tests drive.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<Vec<CellResult>, ScenarioError> {
+    let mut out = Vec::new();
+    for plan in spec.expand()? {
+        out.extend(run_cell_plan(spec, &plan)?);
+    }
+    Ok(out)
+}
+
+/// The generic long-format CSV header.
+pub const GENERIC_HEADER: [&str; 17] = [
+    "cell",
+    "workflow",
+    "n",
+    "lambda",
+    "failure",
+    "cost_rule",
+    "platform",
+    "replication",
+    "strategy",
+    "simulator",
+    "expected",
+    "tinf",
+    "ratio",
+    "best_n",
+    "mc_mean",
+    "mc_sem",
+    "z",
+];
+
+fn fnum(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        String::new()
+    }
+}
+
+fn legacy_row(r: &CellResult) -> Row {
+    Row {
+        workflow: r.workflow.clone(),
+        n: r.n,
+        lambda: r.lambda,
+        rule: r.rule.clone(),
+        heuristic: r.strategy.clone(),
+        expected: r.expected,
+        tinf: r.tinf,
+        ratio: r.ratio,
+        best_n: r.best_n,
+    }
+}
+
+/// Formats one cell's results under `format`.
+pub fn cell_csv_rows(format: OutputFormat, rows: &[CellResult]) -> Vec<Vec<String>> {
+    match format {
+        OutputFormat::Rows => rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.cell.to_string(),
+                    r.workflow.clone(),
+                    r.n.to_string(),
+                    format!("{:e}", r.lambda),
+                    r.failure.clone(),
+                    r.rule.clone(),
+                    r.platform.clone(),
+                    r.replication.clone(),
+                    r.strategy.clone(),
+                    r.simulator.clone(),
+                    fnum(r.expected, 6),
+                    fnum(r.tinf, 6),
+                    fnum(r.ratio, 6),
+                    r.best_n.map_or(String::new(), |n| n.to_string()),
+                    fnum(r.mc_mean, 6),
+                    fnum(r.mc_sem, 6),
+                    fnum(r.z, 4),
+                ]
+            })
+            .collect(),
+        OutputFormat::Figure => rows.iter().map(|r| legacy_row(r).to_csv()).collect(),
+        OutputFormat::Validate => rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workflow.clone(),
+                    r.n.to_string(),
+                    format!("{:.6}", r.expected),
+                    format!("{:.6}", r.mc_mean),
+                    format!("{:.6}", r.mc_sem),
+                    format!("{:.4}", r.z),
+                ]
+            })
+            .collect(),
+        OutputFormat::WeibullStudy => rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.shape),
+                    format!("{:.6}", r.mc_mean),
+                    format!("{:.6}", r.mc_sem),
+                    format!("{:.6}", r.mc_mean / r.expected - 1.0),
+                ]
+            })
+            .collect(),
+        OutputFormat::NonBlockingPivot => {
+            let mut row = vec![rows[0].workflow.clone()];
+            row.extend(rows.iter().map(|r| format!("{:.4}", r.mc_mean)));
+            vec![row]
+        }
+    }
+}
+
+/// The `*_best.csv` rows of one cell: best linearization per checkpoint
+/// strategy, labelled by the strategy suffix (exactly the pre-refactor
+/// figure binaries' transformation).
+pub fn cell_best_rows(rows: &[CellResult]) -> Vec<Vec<String>> {
+    let legacy: Vec<Row> = rows.iter().map(legacy_row).collect();
+    best_per_ckpt_strategy(&legacy)
+        .into_iter()
+        .map(|mut b| {
+            b.heuristic = b
+                .heuristic
+                .split('-')
+                .nth(1)
+                .unwrap_or(&b.heuristic)
+                .to_string();
+            b.to_csv()
+        })
+        .collect()
+}
+
+pub fn stage_header(format: OutputFormat, simulators: &[SimulatorSpec]) -> Vec<String> {
+    match format {
+        OutputFormat::Rows => GENERIC_HEADER.iter().map(|s| s.to_string()).collect(),
+        OutputFormat::Figure => Row::CSV_HEADER.iter().map(|s| s.to_string()).collect(),
+        OutputFormat::Validate => ["case", "n", "analytic", "mc_mean", "mc_sem", "z"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        OutputFormat::WeibullStudy => ["shape", "mc_mean", "mc_sem", "rel_vs_exponential"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        OutputFormat::NonBlockingPivot => {
+            let mut h = vec!["workflow".to_string()];
+            h.extend(simulators.iter().map(|s| match s {
+                SimulatorSpec::MonteCarlo { .. } => "blocking".to_string(),
+                other => other.label(),
+            }));
+            h
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod campaign;
 pub mod chart;
 pub mod cli;
 pub mod csvout;
+pub mod exec;
 pub mod figures;
 pub mod runner;
 pub mod scenario;
@@ -49,6 +50,10 @@ pub use campaign::{
     OutputFormat, OutputSpec, RunContext, Stage, StageReport, StudyKind,
 };
 pub use cli::{CampaignArgs, Options, Scale};
+pub use exec::{
+    cell_best_rows, cell_csv_rows, run_cell_full, run_cell_plan, stage_header, CellExecution,
+    ScheduleDetail, GENERIC_HEADER,
+};
 pub use runner::{auto_policy, run_cell, Cell, Row};
 pub use scenario::{
     CellPlan, FailureCell, FailureSpec, OptimizerSpec, PlatformSpec, ProcessorSpec,

@@ -25,8 +25,16 @@ fn main() {
     if args.list {
         println!("built-in campaigns:");
         for name in builtin_names() {
-            let c = builtin(name, args.base.scale, args.base.seed).expect("listed builtin");
-            println!("  {name:<12} {} ({} stages)", c.description, c.stages.len());
+            // A registry entry that fails to build is a bug, but it must
+            // surface through the CLI error path, not a panic.
+            match builtin(name, args.base.scale, args.base.seed) {
+                Some(c) => {
+                    println!("  {name:<12} {} ({} stages)", c.description, c.stages.len())
+                }
+                None => fail(&format!(
+                    "internal error: listed campaign `{name}` failed to build"
+                )),
+            }
         }
         return;
     }

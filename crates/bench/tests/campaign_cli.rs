@@ -73,6 +73,25 @@ fn list_prints_builtins_and_exits_0() {
     for name in dagchkpt_bench::builtin_names() {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
+    // `--list` must never die on a panic: a registry entry that fails to
+    // build is routed through the CLI error path (exit 2, message on
+    // stderr), so no thread-panic banner can appear either way.
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("panicked"),
+        "--list panicked"
+    );
+}
+
+/// `--list` works at every scale flag (each scale rebuilds every builtin,
+/// so a scale-dependent construction bug would surface here as exit 2
+/// rather than a panic).
+#[test]
+fn list_builds_every_builtin_at_every_scale() {
+    for scale in ["--quick", "--full"] {
+        let out = bench_bin().args(["--list", scale]).output().expect("run");
+        assert!(out.status.success(), "--list {scale} failed");
+        assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+    }
 }
 
 /// A tiny spec-file campaign runs end to end: CSV + JSON rows land in the

@@ -140,11 +140,7 @@ pub fn best_linearization_per_ckpt(results: &[HeuristicResult]) -> Vec<&Heuristi
         if let Some(r) = results
             .iter()
             .filter(|r| r.name.ends_with(&format!("-{ckpt}")))
-            .min_by(|a, b| {
-                a.expected_makespan
-                    .partial_cmp(&b.expected_makespan)
-                    .expect("makespans are comparable")
-            })
+            .min_by(|a, b| a.expected_makespan.total_cmp(&b.expected_makespan))
         {
             best.push(r);
         }

@@ -42,11 +42,11 @@ pub use heuristics::{
     Heuristic, HeuristicResult,
 };
 pub use linearize::{linearize, linearize_with_priority, LinearizationStrategy, Priority};
-pub use model::{CostRule, TaskCosts, Workflow};
+pub use model::{CostRule, ModelError, TaskCosts, Workflow};
 pub use objective::{Objective, ProxyObjective};
 pub use schedule::Schedule;
 pub use strategies::{
     local_search, local_search_with, optimize_checkpoints, optimize_checkpoints_with,
-    optimize_joint, replica_candidates, select_replicas, CheckpointStrategy, JointSchedule,
-    OptimizedSchedule, ReplicationStrategy, SweepPolicy,
+    optimize_joint, ranking, replica_candidates, select_replicas, CheckpointStrategy,
+    JointSchedule, NoRankingError, OptimizedSchedule, ReplicationStrategy, SweepPolicy,
 };

@@ -3,6 +3,25 @@
 use dagchkpt_dag::{Dag, NodeId};
 use serde::{Deserialize, Serialize};
 
+/// A rejected workflow or cost triple: a non-finite or negative component,
+/// or a cost list that does not match the DAG.
+///
+/// The panicking constructors ([`TaskCosts::new`], [`Workflow::new`])
+/// enforce the same invariants for programmatic callers; the `try_`
+/// variants exist so spec-driven inputs (JSON requests, scenario files)
+/// surface a typed error instead of killing the process — one NaN weight
+/// in a served request must never panic a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError(pub String);
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// Costs of one task: failure-free execution time `w`, checkpoint time `c`,
 /// recovery time `r` (all in seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,22 +36,34 @@ pub struct TaskCosts {
 
 impl TaskCosts {
     /// Creates a cost triple; all components must be finite and ≥ 0.
+    ///
+    /// # Panics
+    ///
+    /// On a non-finite or negative component; use [`TaskCosts::try_new`]
+    /// for untrusted inputs.
     pub fn new(work: f64, checkpoint: f64, recovery: f64) -> Self {
+        Self::try_new(work, checkpoint, recovery).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TaskCosts::new`]: rejects non-finite (NaN/±∞) or
+    /// negative components with a [`ModelError`].
+    pub fn try_new(work: f64, checkpoint: f64, recovery: f64) -> Result<Self, ModelError> {
         for (name, v) in [
             ("work", work),
             ("checkpoint", checkpoint),
             ("recovery", recovery),
         ] {
-            assert!(
-                v.is_finite() && v >= 0.0,
-                "{name} must be finite and non-negative, got {v}"
-            );
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ModelError(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
         }
-        TaskCosts {
+        Ok(TaskCosts {
             work,
             checkpoint,
             recovery,
-        }
+        })
     }
 }
 
@@ -92,33 +123,44 @@ impl Workflow {
     ///
     /// # Panics
     ///
-    /// If `costs.len() != dag.n_nodes()` or any component is negative/NaN.
+    /// If `costs.len() != dag.n_nodes()` or any component is negative/NaN;
+    /// use [`Workflow::try_new`] for untrusted inputs.
     pub fn new(dag: Dag, costs: Vec<TaskCosts>) -> Self {
-        assert_eq!(
-            costs.len(),
-            dag.n_nodes(),
-            "one cost triple per task required"
-        );
-        for (i, c) in costs.iter().enumerate() {
-            assert!(
-                c.work.is_finite() && c.work >= 0.0,
-                "task {i}: work must be finite and non-negative"
-            );
-            assert!(
-                c.checkpoint.is_finite() && c.checkpoint >= 0.0,
-                "task {i}: checkpoint must be finite and non-negative"
-            );
-            assert!(
-                c.recovery.is_finite() && c.recovery >= 0.0,
-                "task {i}: recovery must be finite and non-negative"
-            );
+        Self::try_new(dag, costs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Workflow::new`]: rejects a cost list of the wrong length
+    /// or any non-finite/negative component with a [`ModelError`]. The
+    /// components are re-validated here because [`TaskCosts`] has public
+    /// fields, so a NaN can be smuggled past [`TaskCosts::try_new`] by
+    /// literal construction.
+    pub fn try_new(dag: Dag, costs: Vec<TaskCosts>) -> Result<Self, ModelError> {
+        if costs.len() != dag.n_nodes() {
+            return Err(ModelError(format!(
+                "one cost triple per task required: {} costs for {} tasks",
+                costs.len(),
+                dag.n_nodes()
+            )));
         }
-        Workflow {
+        for (i, c) in costs.iter().enumerate() {
+            for (name, v) in [
+                ("work", c.work),
+                ("checkpoint", c.checkpoint),
+                ("recovery", c.recovery),
+            ] {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(ModelError(format!(
+                        "task {i}: {name} must be finite and non-negative, got {v}"
+                    )));
+                }
+            }
+        }
+        Ok(Workflow {
             work: costs.iter().map(|c| c.work).collect(),
             checkpoint: costs.iter().map(|c| c.checkpoint).collect(),
             recovery: costs.iter().map(|c| c.recovery).collect(),
             dag,
-        }
+        })
     }
 
     /// Builds a workflow from weights and a [`CostRule`] (`c_i = r_i`, the
@@ -223,6 +265,36 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_cost_rejected() {
         TaskCosts::new(1.0, -0.1, 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_components_with_typed_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let e = TaskCosts::try_new(bad, 0.1, 0.1).unwrap_err();
+            assert!(e.0.contains("work"), "{e}");
+            let e = TaskCosts::try_new(1.0, bad, 0.1).unwrap_err();
+            assert!(e.0.contains("checkpoint"), "{e}");
+            let e = TaskCosts::try_new(1.0, 0.1, bad).unwrap_err();
+            assert!(e.0.contains("recovery"), "{e}");
+        }
+        assert!(TaskCosts::try_new(1.0, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn workflow_try_new_rejects_smuggled_nan() {
+        // TaskCosts fields are public, so a literal can carry NaN past
+        // try_new; the workflow constructor must still catch it.
+        let bad = TaskCosts {
+            work: f64::NAN,
+            checkpoint: 0.0,
+            recovery: 0.0,
+        };
+        let ok = TaskCosts::new(1.0, 0.0, 0.0);
+        let e = Workflow::try_new(generators::chain(2), vec![ok, bad]).unwrap_err();
+        assert!(e.0.contains("task 1"), "{e}");
+        assert!(e.0.contains("work"), "{e}");
+        let e = Workflow::try_new(generators::chain(3), vec![ok]).unwrap_err();
+        assert!(e.0.contains("one cost triple per task"), "{e}");
     }
 
     #[test]

@@ -146,6 +146,7 @@ impl ReplicationStrategy {
             ReplicationStrategy::Heaviest { degree, count } => {
                 let mut out = vec![1; n];
                 for v in ranking(wf, CheckpointStrategy::ByDecreasingWork)
+                    .expect("CkptW is a ranked strategy")
                     .into_iter()
                     .take(*count)
                 {
@@ -189,25 +190,52 @@ pub enum SweepPolicy {
     },
 }
 
+/// Error returned by [`ranking`] for the strategies that select checkpoint
+/// sets without ordering tasks (`Never`, `Always`, `Periodic`).
+///
+/// This used to be a library panic, reachable from spec-driven dispatch;
+/// callers handing user-controlled strategies to [`ranking`] must surface
+/// it as a validation error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoRankingError {
+    /// The strategy that does not rank tasks.
+    pub strategy: CheckpointStrategy,
+}
+
+impl std::fmt::Display for NoRankingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} has no task ranking (only CkptW, CkptC, CkptD and CkptH rank tasks)",
+            self.strategy.paper_name()
+        )
+    }
+}
+
+impl std::error::Error for NoRankingError {}
+
 /// Ranking of tasks for the ranked strategies: position 0 is checkpointed
 /// first. Ties broken by task id for determinism.
-pub fn ranking(wf: &Workflow, strategy: CheckpointStrategy) -> Vec<NodeId> {
+///
+/// The sorts use [`f64::total_cmp`], so even a pathological workflow whose
+/// weights bypassed validation can never panic the comparator — NaN keys
+/// order deterministically (above `+∞` in the total order) instead of
+/// aborting the worker mid-sort.
+pub fn ranking(wf: &Workflow, strategy: CheckpointStrategy) -> Result<Vec<NodeId>, NoRankingError> {
     let n = wf.n_tasks();
     let mut ids: Vec<NodeId> = (0..n).map(NodeId::from).collect();
     match strategy {
         CheckpointStrategy::ByDecreasingWork => {
             ids.sort_by(|a, b| {
                 wf.work(*b)
-                    .partial_cmp(&wf.work(*a))
-                    .expect("weights are finite")
+                    .total_cmp(&wf.work(*a))
                     .then(a.index().cmp(&b.index()))
             });
         }
         CheckpointStrategy::ByIncreasingCkptCost => {
             ids.sort_by(|a, b| {
                 wf.checkpoint_cost(*a)
-                    .partial_cmp(&wf.checkpoint_cost(*b))
-                    .expect("costs are finite")
+                    .total_cmp(&wf.checkpoint_cost(*b))
                     .then(a.index().cmp(&b.index()))
             });
         }
@@ -215,8 +243,7 @@ pub fn ranking(wf: &Workflow, strategy: CheckpointStrategy) -> Vec<NodeId> {
             let d = wf.outweights();
             ids.sort_by(|a, b| {
                 d[b.index()]
-                    .partial_cmp(&d[a.index()])
-                    .expect("outweights are finite")
+                    .total_cmp(&d[a.index()])
                     .then(a.index().cmp(&b.index()))
             });
         }
@@ -232,14 +259,13 @@ pub fn ranking(wf: &Workflow, strategy: CheckpointStrategy) -> Vec<NodeId> {
             };
             ids.sort_by(|a, b| {
                 score(*b)
-                    .partial_cmp(&score(*a))
-                    .expect("ratios are comparable")
+                    .total_cmp(&score(*a))
                     .then(a.index().cmp(&b.index()))
             });
         }
-        _ => panic!("{:?} has no ranking", strategy),
+        unranked => return Err(NoRankingError { strategy: unranked }),
     }
-    ids
+    Ok(ids)
 }
 
 /// Evaluator-driven local search over checkpoint sets (this repository's
@@ -444,7 +470,9 @@ pub fn optimize_checkpoints_with<O: Objective + ?Sized>(
             periodic_set(wf, order, n_ckpt)
         }),
         ranked => {
-            let rank = ranking(wf, ranked);
+            // Infallible here: the Never/Always/Periodic arms above are
+            // exactly the strategies `ranking` rejects.
+            let rank = ranking(wf, ranked).expect("every unmatched strategy is ranked");
             sweep_with(wf, obj, order, policy, |n_ckpt| {
                 set_from_ranking(n, &rank, n_ckpt)
             })
@@ -536,13 +564,7 @@ pub fn replica_candidates(platform: &HeteroPlatform, max_degree: usize) -> Vec<V
     // Reliability order: lowest λ first, ties toward the canonical
     // (fastest-first) index so the order is deterministic.
     let mut by_reliability: Vec<usize> = (0..p).collect();
-    by_reliability.sort_by(|&a, &b| {
-        procs[a]
-            .lambda
-            .partial_cmp(&procs[b].lambda)
-            .expect("rates are finite")
-            .then(a.cmp(&b))
-    });
+    by_reliability.sort_by(|&a, &b| procs[a].lambda.total_cmp(&procs[b].lambda).then(a.cmp(&b)));
     let mut out: Vec<Vec<usize>> = Vec::new();
     let mut push = |set: Vec<usize>| {
         let set = normalize_replica_set(&set, p);
@@ -760,7 +782,7 @@ mod tests {
     #[test]
     fn ranking_by_work_desc() {
         let wf = chain_wf();
-        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWork);
+        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWork).unwrap();
         let ids: Vec<u32> = r.iter().map(|v| v.0).collect();
         assert_eq!(ids, vec![4, 0, 2, 5, 3, 1]);
     }
@@ -768,7 +790,7 @@ mod tests {
     #[test]
     fn ranking_by_ckpt_cost_asc() {
         let wf = chain_wf(); // c = 0.1 w, so increasing c == increasing w
-        let r = ranking(&wf, CheckpointStrategy::ByIncreasingCkptCost);
+        let r = ranking(&wf, CheckpointStrategy::ByIncreasingCkptCost).unwrap();
         let ids: Vec<u32> = r.iter().map(|v| v.0).collect();
         assert_eq!(ids, vec![1, 3, 5, 2, 0, 4]);
     }
@@ -777,7 +799,7 @@ mod tests {
     fn ranking_by_outweight_desc() {
         // Chain: outweight of i is w_{i+1}; last task has 0.
         let wf = chain_wf();
-        let r = ranking(&wf, CheckpointStrategy::ByDecreasingOutweight);
+        let r = ranking(&wf, CheckpointStrategy::ByDecreasingOutweight).unwrap();
         let ids: Vec<u32> = r.iter().map(|v| v.0).collect();
         // outweights: [10, 40, 20, 60, 30, 0] → sorted desc: 3, 1, 4, 2, 0, 5
         assert_eq!(ids, vec![3, 1, 4, 2, 0, 5]);
@@ -786,15 +808,29 @@ mod tests {
     #[test]
     fn ties_in_ranking_break_by_id() {
         let wf = Workflow::uniform(generators::chain(4), 10.0, 1.0);
-        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWork);
+        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWork).unwrap();
         let ids: Vec<u32> = r.iter().map(|v| v.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
     }
 
     #[test]
+    fn unranked_strategies_return_error_not_panic() {
+        let wf = chain_wf();
+        for s in [
+            CheckpointStrategy::Never,
+            CheckpointStrategy::Always,
+            CheckpointStrategy::Periodic,
+        ] {
+            let e = ranking(&wf, s).unwrap_err();
+            assert_eq!(e.strategy, s);
+            assert!(e.to_string().contains("no task ranking"), "{e}");
+        }
+    }
+
+    #[test]
     fn set_from_ranking_takes_prefix() {
         let wf = chain_wf();
-        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWork);
+        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWork).unwrap();
         let s = set_from_ranking(6, &r, 2);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 4]);
         assert_eq!(set_from_ranking(6, &r, 0).count(), 0);
@@ -935,7 +971,7 @@ mod tests {
             TaskCosts::new(25.0, 5.0, 5.0),
         ];
         let wf = Workflow::new(generators::chain(4), costs);
-        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWorkOverCost);
+        let r = ranking(&wf, CheckpointStrategy::ByDecreasingWorkOverCost).unwrap();
         let ids: Vec<u32> = r.iter().map(|v| v.0).collect();
         assert_eq!(ids, vec![2, 0, 3, 1]);
         assert_eq!(

@@ -1,0 +1,180 @@
+//! The shared cross-request answer cache.
+//!
+//! Keyed exactly like the replication-aware optimizer's per-attempt
+//! memoization: by the *canonical* spec JSON ([`ScenarioSpec::to_json`]
+//! is deterministic field order), the cell index and the output format —
+//! so two clients asking the same question share one computation, and a
+//! spec that differs in any axis can never alias.
+//!
+//! Size-bounded with FIFO eviction: answers are immutable (`Arc`), so a
+//! hit hands out a shared pointer without copying rows. Eviction can only
+//! cost recomputation, never change an answer — pinned by the
+//! `cache_property` tests.
+
+use crate::protocol::Response;
+use dagchkpt_bench::ScheduleDetail;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One computed cell answer (the body of [`Response::Cell`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAnswer {
+    /// CSV header under the requested format.
+    pub header: Vec<String>,
+    /// Formatted rows, byte-identical to the batch CSV.
+    pub rows: Vec<Vec<String>>,
+    /// One optimized schedule per strategy.
+    pub schedules: Vec<ScheduleDetail>,
+}
+
+impl CellAnswer {
+    /// Renders the answer as a response frame body.
+    pub fn to_response(&self, cached: bool) -> Response {
+        Response::Cell {
+            header: self.header.clone(),
+            rows: self.rows.clone(),
+            schedules: self.schedules.clone(),
+            cached,
+        }
+    }
+}
+
+struct Inner {
+    map: HashMap<String, Arc<CellAnswer>>,
+    /// Insertion order, oldest first (FIFO eviction).
+    order: VecDeque<String>,
+}
+
+/// Counter snapshot for [`Request::Stats`](crate::protocol::Request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+}
+
+/// Thread-safe bounded answer cache shared by all worker threads.
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` answers. `capacity == 0`
+    /// disables storage entirely (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// The cache key for one cell query. The spec component is the
+    /// canonical JSON, so semantically identical requests share a key.
+    pub fn key(spec_json: &str, cell: usize, format: dagchkpt_bench::OutputFormat) -> String {
+        format!("{format:?}|{cell}|{spec_json}")
+    }
+
+    /// Looks up an answer, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<CellAnswer>> {
+        let inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key) {
+            Some(a) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(a))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an answer, evicting the oldest entry when full. Answers
+    /// are computed *outside* the lock; if two workers raced on the same
+    /// key, the results are identical (deterministic evaluation), so
+    /// last-writer-wins is safe.
+    pub fn insert(&self, key: String, answer: Arc<CellAnswer>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key.clone(), answer).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache lock").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(tag: &str) -> Arc<CellAnswer> {
+        Arc::new(CellAnswer {
+            header: vec!["h".to_string()],
+            rows: vec![vec![tag.to_string()]],
+            schedules: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = ResponseCache::new(2);
+        cache.insert("a".to_string(), answer("a"));
+        cache.insert("b".to_string(), answer("b"));
+        cache.insert("c".to_string(), answer("c"));
+        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (2, 1, 2, 2));
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_grow_the_queue() {
+        let cache = ResponseCache::new(2);
+        for _ in 0..10 {
+            cache.insert("a".to_string(), answer("a"));
+        }
+        cache.insert("b".to_string(), answer("b"));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResponseCache::new(0);
+        cache.insert("a".to_string(), answer("a"));
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,478 @@
+//! The load generator: replays campaign cells against a running daemon.
+//!
+//! Two passes, matching the bench contract:
+//!
+//! 1. **Correctness replay** ([`replay_campaign`]) — every scenario
+//!    stage's cells in expansion order, writing the served rows through
+//!    the same [`CsvWriter`] the batch engine uses. The files must
+//!    byte-diff clean against `dagchkpt-bench` output (CI pins this
+//!    against the golden corpus).
+//! 2. **Sustained load** ([`bench_load`]) — the same cells replayed for
+//!    `rounds` rounds over `connections` parallel connections,
+//!    measuring sustained req/s and latency percentiles; the repeat
+//!    rounds hit the shared answer cache, so the cache hit rate is
+//!    reported alongside.
+//!
+//! Plus the malformed-input corpus ([`run_malformed_corpus`]): NaN and
+//! `1e400` weights, truncated and oversized frames, unknown strategies —
+//! every probe must come back as a structured error frame (or a clean
+//! close for framing errors) with the daemon still alive afterwards.
+
+use crate::protocol::{read_frame, write_frame, write_request, FrameRead, Request, Response};
+use dagchkpt_bench::csvout::CsvWriter;
+use dagchkpt_bench::{
+    Campaign, FailureSpec, OutputFormat, ScenarioSpec, Stage, StrategySpec, SweepSpec,
+    WorkflowSource,
+};
+use dagchkpt_core::CostRule;
+use serde::Serialize;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Instant;
+
+/// A blocking protocol client over one connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects (blocking reads, no timeout: cell evaluation at full
+    /// scale can legitimately take a while).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, String> {
+        write_request(&mut self.writer, req).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        self.recv()
+    }
+
+    /// Sends raw bytes as one frame (malformed-payload probes).
+    pub fn send_frame(&mut self, payload: &[u8]) -> Result<(), String> {
+        write_frame(&mut self.writer, payload).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads one response frame.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        match read_frame(&mut self.reader) {
+            FrameRead::Payload(bytes) => {
+                serde_json::from_str(std::str::from_utf8(&bytes).map_err(|e| format!("recv: {e}"))?)
+                    .map_err(|e| format!("recv: {e}"))
+            }
+            other => Err(format!("recv: {other:?}")),
+        }
+    }
+
+    /// The underlying stream (probe helpers shut down halves of it).
+    pub fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+}
+
+/// The `(spec, cell, format)` work-list of every scenario stage, with the
+/// stage's output file name.
+fn stage_requests(campaign: &Campaign) -> Vec<(String, OutputFormat, ScenarioSpec, usize)> {
+    let mut out = Vec::new();
+    for stage in &campaign.stages {
+        if let Stage::Scenario { scenario, output } = stage {
+            if let Ok(plans) = scenario.expand() {
+                for i in 0..plans.len() {
+                    out.push((output.file.clone(), output.format, scenario.clone(), i));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of the correctness replay.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Cell requests issued.
+    pub requests: usize,
+    /// Per-request latencies (milliseconds).
+    pub latencies_ms: Vec<f64>,
+    /// Answers served from the daemon's cache.
+    pub cached: usize,
+    /// CSV files written (relative names, in stage order).
+    pub files: Vec<String>,
+}
+
+/// Replays every scenario stage cell-by-cell and writes the served rows
+/// as CSV under `out_dir` — byte-identical to the batch engine's output.
+pub fn replay_campaign(
+    addr: &str,
+    campaign: &Campaign,
+    out_dir: &Path,
+) -> Result<ReplayReport, String> {
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut report = ReplayReport {
+        requests: 0,
+        latencies_ms: Vec::new(),
+        cached: 0,
+        files: Vec::new(),
+    };
+    for stage in &campaign.stages {
+        let Stage::Scenario { scenario, output } = stage else {
+            // Procedural studies have no cell decomposition to serve.
+            continue;
+        };
+        if !output.best_file.is_empty() {
+            return Err(format!(
+                "stage {}: best-file outputs are not replayable over the wire",
+                output.file
+            ));
+        }
+        let plans = scenario
+            .expand()
+            .map_err(|e| format!("stage {}: {e}", output.file))?;
+        let mut writer: Option<CsvWriter> = None;
+        for i in 0..plans.len() {
+            let started = Instant::now();
+            let resp = client.call(&Request::Cell {
+                spec: scenario.clone(),
+                cell: i,
+                format: output.format,
+            })?;
+            report
+                .latencies_ms
+                .push(started.elapsed().as_secs_f64() * 1e3);
+            report.requests += 1;
+            let Response::Cell {
+                header,
+                rows,
+                cached,
+                ..
+            } = resp
+            else {
+                return Err(format!("stage {} cell {i}: {resp:?}", output.file));
+            };
+            if cached {
+                report.cached += 1;
+            }
+            let w = match &mut writer {
+                Some(w) => w,
+                None => {
+                    let head: Vec<&str> = header.iter().map(String::as_str).collect();
+                    writer = Some(
+                        CsvWriter::open(out_dir.join(&output.file), &head, false)
+                            .map_err(|e| format!("{}: {e}", output.file))?,
+                    );
+                    writer.as_mut().expect("just opened")
+                }
+            };
+            for row in rows {
+                w.write_row(row)
+                    .map_err(|e| format!("{}: {e}", output.file))?;
+            }
+        }
+        if let Some(mut w) = writer {
+            w.flush().map_err(|e| format!("{}: {e}", output.file))?;
+            report.files.push(output.file.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// The serving benchmark summary, written as `BENCH_serve.json`.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// Cell requests issued across both passes.
+    pub requests: u64,
+    /// Wall-clock of the sustained-load pass (seconds).
+    pub elapsed_s: f64,
+    /// Sustained requests per second over the load pass.
+    pub rps: f64,
+    /// Median latency (milliseconds, load pass).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (milliseconds, load pass).
+    pub p99_ms: f64,
+    /// Daemon-side cache hits at the end of the run.
+    pub cache_hits: u64,
+    /// Daemon-side cache misses at the end of the run.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replays the campaign's cells for `rounds` rounds over `connections`
+/// parallel connections, then queries the daemon's counters.
+pub fn bench_load(
+    addr: &str,
+    campaign: &Campaign,
+    rounds: usize,
+    connections: usize,
+) -> Result<BenchReport, String> {
+    let work = stage_requests(campaign);
+    if work.is_empty() {
+        return Err("campaign has no scenario cells to replay".to_string());
+    }
+    let connections = connections.max(1);
+    let started = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut total: u64 = 0;
+    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let work = &work;
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut latencies = Vec::with_capacity(rounds * work.len());
+                    for _ in 0..rounds {
+                        for (_, format, spec, cell) in work {
+                            let t = Instant::now();
+                            let resp = client.call(&Request::Cell {
+                                spec: spec.clone(),
+                                cell: *cell,
+                                format: *format,
+                            })?;
+                            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                            if let Response::Error { code, message } = resp {
+                                return Err(format!("cell {cell}: {code}: {message}"));
+                            }
+                        }
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    });
+    for r in results {
+        let lat = r?;
+        total += lat.len() as u64;
+        all_latencies.extend(lat);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    all_latencies.sort_by(|a, b| a.total_cmp(b));
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (hits, misses) = match client.call(&Request::Stats)? {
+        Response::Stats { hits, misses, .. } => (hits, misses),
+        other => return Err(format!("stats: {other:?}")),
+    };
+    let lookups = hits + misses;
+    Ok(BenchReport {
+        requests: total,
+        elapsed_s: elapsed,
+        rps: if elapsed > 0.0 {
+            total as f64 / elapsed
+        } else {
+            f64::NAN
+        },
+        p50_ms: percentile(&all_latencies, 50.0),
+        p99_ms: percentile(&all_latencies, 99.0),
+        cache_hits: hits,
+        cache_misses: misses,
+        hit_rate: if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+/// A tiny valid scheduling query to mutate in probes.
+fn probe_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "probe".to_string(),
+        description: String::new(),
+        workflows: vec![WorkflowSource::RandomChain {
+            min_weight: 5.0,
+            max_weight: 20.0,
+            rule: CostRule::Constant { value: 1.0 },
+            default_lambda: 0.0,
+        }],
+        sizes: vec![6],
+        failures: vec![FailureSpec::Exponential {
+            lambda: 1e-3,
+            downtime: 0.0,
+        }],
+        strategies: vec![StrategySpec::WorkAndCost],
+        simulators: vec![dagchkpt_bench::SimulatorSpec::Analytic],
+        seed: 7,
+        seed_policy: Default::default(),
+        sweep: SweepSpec::Auto,
+        platforms: Vec::new(),
+        replications: Vec::new(),
+        optimizer: Default::default(),
+    }
+}
+
+fn probe_request(spec: &ScenarioSpec, cell: usize) -> String {
+    serde_json::to_string(&Request::Cell {
+        spec: spec.clone(),
+        cell,
+        format: OutputFormat::Rows,
+    })
+    .expect("request serializes")
+}
+
+fn expect_error(
+    addr: &str,
+    what: &str,
+    payload: &[u8],
+    want_code: &str,
+    failures: &mut Vec<String>,
+) {
+    let outcome = (|| -> Result<(), String> {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        c.send_frame(payload)?;
+        match c.recv()? {
+            Response::Error { code, .. } if code == want_code => Ok(()),
+            other => Err(format!("expected {want_code} error, got {other:?}")),
+        }
+    })();
+    if let Err(e) = outcome {
+        failures.push(format!("{what}: {e}"));
+    }
+}
+
+/// Runs the malformed-input corpus. Returns the list of probe failures —
+/// empty means the daemon answered every probe with a structured error
+/// and stayed alive throughout.
+pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    let spec = probe_spec();
+
+    // 1. A frame that is not JSON at all.
+    expect_error(
+        addr,
+        "garbage frame",
+        b"{ not json",
+        "bad_request",
+        &mut failures,
+    );
+
+    // 2. Valid JSON that is not a request.
+    expect_error(
+        addr,
+        "non-request JSON",
+        b"42",
+        "bad_request",
+        &mut failures,
+    );
+
+    // 3. An unknown strategy name (string surgery on a valid request).
+    let unknown = probe_request(&spec, 0).replace("WorkAndCost", "MagicStrategy");
+    expect_error(
+        addr,
+        "unknown strategy",
+        unknown.as_bytes(),
+        "bad_request",
+        &mut failures,
+    );
+
+    // 4. An infinite weight smuggled in as `1e400` (parses to +∞).
+    let infinite = probe_request(&spec, 0).replace("20.0", "1e400");
+    expect_error(
+        addr,
+        "1e400 weight",
+        infinite.as_bytes(),
+        "invalid_spec",
+        &mut failures,
+    );
+
+    // 5. A NaN weight: serde_json writes non-finite floats as `null`,
+    //    which the deserializer rejects as not-a-number.
+    let mut nan_spec = spec.clone();
+    if let Some(FailureSpec::Exponential { lambda, .. }) = nan_spec.failures.first_mut() {
+        *lambda = f64::NAN;
+    }
+    expect_error(
+        addr,
+        "NaN lambda",
+        probe_request(&nan_spec, 0).as_bytes(),
+        "bad_request",
+        &mut failures,
+    );
+
+    // 6. A negative cost.
+    let mut neg_spec = spec.clone();
+    if let Some(WorkflowSource::RandomChain { min_weight, .. }) = neg_spec.workflows.first_mut() {
+        *min_weight = -5.0;
+    }
+    expect_error(
+        addr,
+        "negative weight",
+        probe_request(&neg_spec, 0).as_bytes(),
+        "invalid_spec",
+        &mut failures,
+    );
+
+    // 7. A cell index past the expansion.
+    expect_error(
+        addr,
+        "cell out of range",
+        probe_request(&spec, 9999).as_bytes(),
+        "cell_out_of_range",
+        &mut failures,
+    );
+
+    // 8. An oversized length prefix.
+    if let Err(e) = (|| -> Result<(), String> {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let stream = c.stream().try_clone().map_err(|e| e.to_string())?;
+        let mut raw = BufWriter::new(stream);
+        raw.write_all(&0x7fff_ffffu32.to_be_bytes())
+            .and_then(|_| raw.flush())
+            .map_err(|e| e.to_string())?;
+        match c.recv()? {
+            Response::Error { code, .. } if code == "oversized_frame" => Ok(()),
+            other => Err(format!("expected oversized_frame, got {other:?}")),
+        }
+    })() {
+        failures.push(format!("oversized frame: {e}"));
+    }
+
+    // 9. A truncated frame: promise 64 bytes, deliver 3, close the write
+    //    half. The daemon must answer with a framing error, not hang.
+    if let Err(e) = (|| -> Result<(), String> {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let stream = c.stream().try_clone().map_err(|e| e.to_string())?;
+        let mut raw = BufWriter::new(stream);
+        raw.write_all(&64u32.to_be_bytes())
+            .and_then(|_| raw.write_all(b"abc"))
+            .and_then(|_| raw.flush())
+            .map_err(|e| e.to_string())?;
+        c.stream()
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| e.to_string())?;
+        match c.recv()? {
+            Response::Error { code, .. } if code == "truncated_frame" => Ok(()),
+            other => Err(format!("expected truncated_frame, got {other:?}")),
+        }
+    })() {
+        failures.push(format!("truncated frame: {e}"));
+    }
+
+    // Liveness: after the whole corpus, a fresh connection still answers.
+    let mut c = Client::connect(addr).map_err(|e| format!("liveness connect: {e}"))?;
+    match c.call(&Request::Ping)? {
+        Response::Pong => {}
+        other => failures.push(format!("liveness ping: {other:?}")),
+    }
+    Ok(failures)
+}

@@ -1,0 +1,258 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! The build environment has no crates registry, so there is no HTTP
+//! stack to lean on; the protocol is deliberately minimal and hand-rolled
+//! on `std::net` alone (see `vendor/README.md`):
+//!
+//! ```text
+//! frame := u32 (big-endian payload length) ++ payload (UTF-8 JSON)
+//! ```
+//!
+//! Every request frame carries one [`Request`]; the daemon answers each
+//! with exactly one [`Response`] frame, in order. Malformed input — a
+//! frame that is not valid JSON, a spec that fails validation, a
+//! non-finite cost smuggled in as `1e400` — is answered with
+//! [`Response::Error`], never by killing the connection's worker.
+
+use dagchkpt_bench::{OutputFormat, ScenarioSpec, ScheduleDetail};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Frames above this size are rejected before buffering the payload, so a
+/// hostile length prefix cannot make a worker allocate gigabytes.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// One client request.
+///
+/// `Cell` inlines the full `ScenarioSpec` (the vendored serde stand-in has
+/// no `Box<T>` impls to indirect through); a request is deserialized once
+/// per frame and dropped after answering, so the variant-size skew is
+/// irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// The scheduling query: optimize one cell of a scenario and return
+    /// its rows and schedules.
+    Cell {
+        /// The scenario (workflows × failures × strategies × simulators ×
+        /// optimizer) — the same serde types `dagchkpt-bench --spec` reads.
+        spec: ScenarioSpec,
+        /// Cell index into the scenario's deterministic expansion.
+        cell: usize,
+        /// Row layout of the answer (defaults to the generic long format).
+        #[serde(default)]
+        format: OutputFormat,
+    },
+    /// Server counters (served requests, cache hits/misses).
+    Stats,
+    /// Graceful shutdown: the daemon answers [`Response::Bye`], stops
+    /// accepting, drains in-flight connections and exits.
+    Shutdown,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Cell`]: the same strings the batch engine
+    /// writes to CSV, plus the optimized schedules behind them.
+    Cell {
+        /// CSV header for `rows` under the requested format.
+        header: Vec<String>,
+        /// One row per strategy × simulator, already formatted — joining
+        /// with commas reproduces the batch CSV bytes exactly.
+        rows: Vec<Vec<String>>,
+        /// One optimized schedule per strategy.
+        schedules: Vec<ScheduleDetail>,
+        /// Whether the answer came from the shared cross-request cache.
+        cached: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Requests answered since startup (all kinds).
+        served: u64,
+        /// Cell answers returned from the shared cache.
+        hits: u64,
+        /// Cell answers computed fresh.
+        misses: u64,
+        /// Entries currently cached.
+        entries: usize,
+        /// Cache capacity (entries).
+        capacity: usize,
+    },
+    /// Answer to [`Request::Shutdown`].
+    Bye,
+    /// Any failure: the connection stays usable (except after framing
+    /// errors, which lose sync and close after this reply).
+    Error {
+        /// Stable machine-readable code: `bad_request`, `invalid_spec`,
+        /// `cell_out_of_range`, `cell_error`, `truncated_frame`,
+        /// `oversized_frame`, `internal`.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Shorthand error constructor.
+    pub fn error(code: &str, message: impl Into<String>) -> Self {
+        Response::Error {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Outcome of reading one frame from a (possibly timed-out) stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// The read timed out before the first byte of a frame — the peer is
+    /// idle, not broken; poll again.
+    Idle,
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// The stream ended (or timed out) in the middle of a frame.
+    Truncated,
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized(usize),
+    /// A hard I/O error.
+    Err(io::Error),
+}
+
+/// Writes one frame (length prefix + payload) without flushing, so
+/// batched responses share one syscall on flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Serializes `resp` and writes it as one frame.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let payload = serde_json::to_string(resp).expect("response serializes");
+    write_frame(w, payload.as_bytes())
+}
+
+/// Serializes `req` and writes it as one frame.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    let payload = serde_json::to_string(req).expect("request serializes");
+    write_frame(w, payload.as_bytes())
+}
+
+/// Reads exactly `buf.len()` bytes. `started` reports whether any byte of
+/// the enclosing frame was already consumed, which decides whether a
+/// timeout means "idle" or "truncated".
+fn read_exact_frame<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    mut started: bool,
+) -> Result<(), FrameRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started || filled > 0 {
+                    FrameRead::Truncated
+                } else {
+                    FrameRead::Eof
+                })
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(if started || filled > 0 {
+                    FrameRead::Truncated
+                } else {
+                    FrameRead::Idle
+                })
+            }
+            Err(e) => return Err(FrameRead::Err(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame. On a stream with a read timeout, a timeout before the
+/// first byte is [`FrameRead::Idle`]; a timeout mid-frame is
+/// [`FrameRead::Truncated`] (the connection has lost sync).
+pub fn read_frame<R: Read>(r: &mut R) -> FrameRead {
+    let mut len_buf = [0u8; 4];
+    if let Err(outcome) = read_exact_frame(r, &mut len_buf, false) {
+        return outcome;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return FrameRead::Oversized(len);
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_frame(r, &mut payload, true) {
+        Ok(()) => FrameRead::Payload(payload),
+        Err(FrameRead::Idle) => FrameRead::Truncated,
+        Err(outcome) => outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 5]);
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            FrameRead::Payload(p) => assert_eq!(p, b"hello"),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r) {
+            FrameRead::Eof => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // cut mid-payload
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), FrameRead::Truncated));
+
+        let mut r: &[u8] = &[0x7f, 0xff, 0xff, 0xff];
+        match read_frame(&mut r) {
+            FrameRead::Oversized(n) => assert_eq!(n, 0x7fff_ffff),
+            other => panic!("{other:?}"),
+        }
+
+        // Cut inside the length prefix itself.
+        let mut r: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut r), FrameRead::Truncated));
+    }
+
+    #[test]
+    fn request_and_response_roundtrip_through_json() {
+        for req in [Request::Ping, Request::Stats, Request::Shutdown] {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req);
+        }
+        let resp = Response::error("bad_request", "nope");
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+}

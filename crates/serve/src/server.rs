@@ -1,0 +1,332 @@
+//! The daemon: a nonblocking accept loop feeding a fixed pool of
+//! per-core worker threads, each draining whole connections.
+//!
+//! Design notes:
+//!
+//! * **Sharding** — one worker thread per core by default
+//!   ([`std::thread::available_parallelism`]); a connection is owned by
+//!   exactly one worker at a time, so per-connection state needs no
+//!   locking. The heavy per-cell evaluation itself fans out through the
+//!   chunk-folded parallel executor, which is safe to enter from several
+//!   workers at once.
+//! * **Batching** — responses are buffered and flushed only when the
+//!   connection's input buffer drains (no more pipelined requests in
+//!   flight) or [`BATCH`] responses accumulate, so a pipelining client
+//!   pays one syscall per batch, not per answer.
+//! * **Isolation** — each request is answered under
+//!   [`std::panic::catch_unwind`]; a panic becomes an
+//!   `Error { code: "internal" }` frame instead of killing the worker.
+//!   Everything reachable from a request is validated first, so this is
+//!   a backstop, not a control path.
+//! * **Graceful shutdown** — a [`Request::Shutdown`] answers `Bye`, stops
+//!   the accept loop, closes the queue and lets every worker finish its
+//!   current connection before [`Server::run`] returns.
+
+use crate::cache::{CellAnswer, ResponseCache};
+use crate::protocol::{read_frame, write_response, FrameRead, Request, Response};
+use dagchkpt_bench::{cell_csv_rows, run_cell_full, stage_header, OutputFormat, ScenarioSpec};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Flush after this many unflushed responses even if more requests are
+/// already buffered.
+pub const BATCH: usize = 32;
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout per worker read; an idle timeout is the moment a worker
+/// checks the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+struct ConnQueue {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// The listening daemon. [`Server::run`] blocks until a client asks for
+/// shutdown.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    cache: Arc<ResponseCache>,
+    served: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) with
+    /// `workers` threads (0 = one per core) and a `cache_capacity`-entry
+    /// shared answer cache.
+    pub fn bind(addr: &str, workers: usize, cache_capacity: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        Ok(Server {
+            listener,
+            workers,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            cache: Arc::new(ResponseCache::new(cache_capacity)),
+            served: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a [`Request::Shutdown`] arrives, then drains in-flight
+    /// connections and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let queue = Arc::new((
+            Mutex::new(ConnQueue {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            Condvar::new(),
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let queue = Arc::clone(&queue);
+                let shutdown = Arc::clone(&self.shutdown);
+                let cache = Arc::clone(&self.cache);
+                let served = Arc::clone(&self.served);
+                scope.spawn(move || worker_loop(&queue, &shutdown, &cache, &served));
+            }
+            while !self.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let (lock, cv) = &*queue;
+                        lock.lock().expect("conn queue").conns.push_back(stream);
+                        cv.notify_one();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("accept: {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            let (lock, cv) = &*queue;
+            lock.lock().expect("conn queue").closed = true;
+            cv.notify_all();
+        });
+        Ok(())
+    }
+}
+
+fn worker_loop(
+    queue: &(Mutex<ConnQueue>, Condvar),
+    shutdown: &AtomicBool,
+    cache: &ResponseCache,
+    served: &AtomicU64,
+) {
+    let (lock, cv) = queue;
+    loop {
+        let stream = {
+            let mut q = lock.lock().expect("conn queue");
+            loop {
+                if let Some(s) = q.conns.pop_front() {
+                    break s;
+                }
+                if q.closed {
+                    return;
+                }
+                q = cv.wait(q).expect("conn queue");
+            }
+        };
+        match handle_connection(stream, shutdown, cache, served) {
+            // The connection went idle: hand it back to the queue so a
+            // single worker can't starve peers waiting behind a client
+            // that holds its connection open between requests.
+            Ok(Some(stream)) => {
+                let mut q = lock.lock().expect("conn queue");
+                q.conns.push_back(stream);
+                cv.notify_one();
+            }
+            Ok(None) => {}
+            // A peer that vanished mid-write is routine, not a server
+            // fault; log and move on to the next connection.
+            Err(e) => eprintln!("connection: {e}"),
+        }
+    }
+}
+
+/// Drains one connection. Returns `Ok(Some(stream))` when the peer went
+/// idle at a frame boundary — the caller requeues it so other
+/// connections get worker time — and `Ok(None)` when it is finished.
+fn handle_connection(
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    cache: &ResponseCache,
+    served: &AtomicU64,
+) -> std::io::Result<Option<TcpStream>> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let handle = stream.try_clone()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut pending = 0usize;
+    loop {
+        match read_frame(&mut reader) {
+            FrameRead::Idle => {
+                // An idle timeout lands exactly at a frame boundary, so
+                // the buffered reader holds no partial frame and the raw
+                // stream can be handed back safely.
+                if pending > 0 {
+                    writer.flush()?;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                return Ok(Some(handle));
+            }
+            FrameRead::Eof => {
+                writer.flush()?;
+                return Ok(None);
+            }
+            FrameRead::Truncated => {
+                write_response(
+                    &mut writer,
+                    &Response::error("truncated_frame", "stream ended inside a frame"),
+                )?;
+                writer.flush()?;
+                return Ok(None);
+            }
+            FrameRead::Oversized(n) => {
+                write_response(
+                    &mut writer,
+                    &Response::error(
+                        "oversized_frame",
+                        format!("frame of {n} bytes exceeds the {} limit", crate::MAX_FRAME),
+                    ),
+                )?;
+                writer.flush()?;
+                return Ok(None);
+            }
+            FrameRead::Err(e) => return Err(e),
+            FrameRead::Payload(bytes) => {
+                served.fetch_add(1, Ordering::Relaxed);
+                let (resp, bye) = answer_frame(&bytes, cache, served);
+                write_response(&mut writer, &resp)?;
+                pending += 1;
+                if bye {
+                    writer.flush()?;
+                    shutdown.store(true, Ordering::SeqCst);
+                    return Ok(None);
+                }
+                // Batch: flush only once the pipeline drains (no further
+                // request already buffered) or the batch cap is hit.
+                if reader.buffer().is_empty() || pending >= BATCH {
+                    writer.flush()?;
+                    pending = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Decodes and answers one request frame; the bool asks the caller to
+/// close down after replying (shutdown acknowledged).
+fn answer_frame(bytes: &[u8], cache: &ResponseCache, served: &AtomicU64) -> (Response, bool) {
+    let text = match std::str::from_utf8(bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            return (
+                Response::error("bad_request", format!("frame is not UTF-8: {e}")),
+                false,
+            )
+        }
+    };
+    let req: Request = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return (Response::error("bad_request", format!("{e}")), false),
+    };
+    match req {
+        Request::Ping => (Response::Pong, false),
+        Request::Shutdown => (Response::Bye, true),
+        Request::Stats => {
+            let s = cache.stats();
+            (
+                Response::Stats {
+                    served: served.load(Ordering::Relaxed),
+                    hits: s.hits,
+                    misses: s.misses,
+                    entries: s.entries,
+                    capacity: s.capacity,
+                },
+                false,
+            )
+        }
+        Request::Cell { spec, cell, format } => {
+            // One bad cell must never take the worker down: anything that
+            // slips past validation and panics becomes an error frame.
+            let resp = catch_unwind(AssertUnwindSafe(|| answer_cell(&spec, cell, format, cache)))
+                .unwrap_or_else(|_| {
+                    Response::error("internal", "panic while answering; request rejected")
+                });
+            (resp, false)
+        }
+    }
+}
+
+/// Validates and answers one scheduling query through *the same code
+/// path as the batch engine*: `run_cell_full` + `cell_csv_rows`, so the
+/// served strings are byte-identical to `dagchkpt-bench` CSV output.
+fn answer_cell(
+    spec: &ScenarioSpec,
+    cell: usize,
+    format: OutputFormat,
+    cache: &ResponseCache,
+) -> Response {
+    if let Err(e) = spec.validate() {
+        return Response::error("invalid_spec", e.to_string());
+    }
+    if format == OutputFormat::NonBlockingPivot && spec.strategy_cells().len() != 1 {
+        return Response::error(
+            "invalid_spec",
+            "NonBlockingPivot output requires exactly one strategy",
+        );
+    }
+    let plans = match spec.expand() {
+        Ok(p) => p,
+        Err(e) => return Response::error("invalid_spec", e.to_string()),
+    };
+    let Some(plan) = plans.get(cell) else {
+        return Response::error(
+            "cell_out_of_range",
+            format!(
+                "cell {cell} out of range (scenario expands to {} cells)",
+                plans.len()
+            ),
+        );
+    };
+    let key = ResponseCache::key(&spec.to_json(), cell, format);
+    if let Some(answer) = cache.get(&key) {
+        return answer.to_response(true);
+    }
+    let exec = match run_cell_full(spec, plan) {
+        Ok(e) => e,
+        Err(e) => return Response::error("cell_error", e.to_string()),
+    };
+    let answer = Arc::new(CellAnswer {
+        header: stage_header(format, &spec.simulators),
+        rows: cell_csv_rows(format, &exec.rows),
+        schedules: exec.schedules,
+    });
+    cache.insert(key, Arc::clone(&answer));
+    answer.to_response(false)
+}

@@ -1,0 +1,257 @@
+//! End-to-end tests of the daemon: served answers must be byte-identical
+//! to the batch engine, malformed input must come back as error frames
+//! (never a dead worker), and shutdown must drain gracefully.
+
+use dagchkpt_bench::{
+    cell_csv_rows, run_campaign, run_cell_full, stage_header, Campaign, FailureSpec, OutputFormat,
+    OutputSpec, RunContext, ScenarioSpec, SimulatorSpec, Stage, StrategySpec, SweepSpec,
+    WorkflowSource,
+};
+use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
+use dagchkpt_serve::loadgen::{replay_campaign, run_malformed_corpus, Client};
+use dagchkpt_serve::protocol::{Request, Response};
+use dagchkpt_serve::Server;
+use dagchkpt_workflows::{PegasusKind, WorkflowSpec};
+use std::path::PathBuf;
+
+fn start_server(workers: usize, capacity: usize) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", workers, capacity).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn stop_server(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(matches!(c.call(&Request::Shutdown), Ok(Response::Bye)));
+    handle.join().expect("server thread");
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dagchkpt_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("tmpdir");
+    d
+}
+
+/// A small three-cell scenario with both the analytic evaluator and the
+/// blocking Monte-Carlo engine, so byte-identity covers seeded trials.
+fn mini_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "serve_mini".to_string(),
+        description: String::new(),
+        workflows: vec![WorkflowSource::RandomChain {
+            min_weight: 5.0,
+            max_weight: 20.0,
+            rule: CostRule::Constant { value: 1.0 },
+            default_lambda: 0.0,
+        }],
+        sizes: vec![6, 8, 10],
+        failures: vec![FailureSpec::Exponential {
+            lambda: 1e-3,
+            downtime: 1.0,
+        }],
+        strategies: vec![StrategySpec::Heuristic {
+            lin: LinearizationStrategy::DepthFirst,
+            ckpt: CheckpointStrategy::ByDecreasingWork,
+        }],
+        simulators: vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: 40 },
+        ],
+        seed: 11,
+        seed_policy: Default::default(),
+        sweep: SweepSpec::Exhaustive,
+        platforms: Vec::new(),
+        replications: Vec::new(),
+        optimizer: Default::default(),
+    }
+}
+
+#[test]
+fn served_cells_are_bit_identical_to_batch_execution() {
+    let spec = mini_spec();
+    let plans = spec.expand().unwrap();
+    let (addr, handle) = start_server(2, 16);
+    let mut client = Client::connect(&addr).expect("connect");
+    for (i, plan) in plans.iter().enumerate() {
+        let local = run_cell_full(&spec, plan).unwrap();
+        let resp = client
+            .call(&Request::Cell {
+                spec: spec.clone(),
+                cell: i,
+                format: OutputFormat::Rows,
+            })
+            .unwrap();
+        let Response::Cell {
+            header,
+            rows,
+            schedules,
+            cached,
+        } = resp
+        else {
+            panic!("cell {i}: unexpected response");
+        };
+        assert!(!cached, "first request for cell {i} cannot be a hit");
+        assert_eq!(header, stage_header(OutputFormat::Rows, &spec.simulators));
+        assert_eq!(rows, cell_csv_rows(OutputFormat::Rows, &local.rows));
+        assert_eq!(schedules, local.schedules);
+        // A repeat is served from the shared cache, bit-identical.
+        let Ok(Response::Cell {
+            rows: again,
+            cached: true,
+            ..
+        }) = client.call(&Request::Cell {
+            spec: spec.clone(),
+            cell: i,
+            format: OutputFormat::Rows,
+        })
+        else {
+            panic!("cell {i}: repeat was not a cache hit");
+        };
+        assert_eq!(again, rows);
+    }
+    stop_server(&addr, handle);
+}
+
+#[test]
+fn loadgen_replay_byte_diffs_clean_against_the_batch_csv() {
+    let campaign = Campaign {
+        name: "serve_mini".to_string(),
+        description: String::new(),
+        stages: vec![Stage::Scenario {
+            scenario: mini_spec(),
+            output: OutputSpec::rows("serve_mini.csv"),
+        }],
+    };
+    let batch_dir = tmpdir("batch");
+    run_campaign(
+        &campaign,
+        &RunContext {
+            out_dir: batch_dir.clone(),
+            shard: None,
+            resume: false,
+            charts: false,
+        },
+    )
+    .unwrap();
+
+    let (addr, handle) = start_server(2, 16);
+    let served_dir = tmpdir("served");
+    let report = replay_campaign(&addr, &campaign, &served_dir).unwrap();
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.files, vec!["serve_mini.csv".to_string()]);
+    let batch = std::fs::read(batch_dir.join("serve_mini.csv")).unwrap();
+    let served = std::fs::read(served_dir.join("serve_mini.csv")).unwrap();
+    assert_eq!(batch, served, "served CSV differs from batch CSV");
+    stop_server(&addr, handle);
+}
+
+/// Satellite regression: a served request smuggling non-finite weights —
+/// `1e400` (parses to `+∞`) or NaN (serialized as `null`) — must get a
+/// structured error frame, and the worker must keep serving.
+#[test]
+fn non_finite_weights_in_a_served_request_get_an_error_frame() {
+    let (addr, handle) = start_server(1, 4);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // An inline workflow whose cost was rewritten to 1e400 in the JSON.
+    let wf = PegasusKind::Montage.generate(12, CostRule::Constant { value: 123.25 }, 1);
+    let mut spec = mini_spec();
+    spec.workflows = vec![WorkflowSource::Inline {
+        name: "m10".to_string(),
+        workflow: WorkflowSpec::from_workflow(&wf, None),
+        default_lambda: 0.0,
+    }];
+    let req = serde_json::to_string(&Request::Cell {
+        spec: spec.clone(),
+        cell: 0,
+        format: OutputFormat::Rows,
+    })
+    .unwrap()
+    .replace("123.25", "1e400");
+    client.send_frame(req.as_bytes()).unwrap();
+    match client.recv().unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, "invalid_spec");
+            assert!(message.contains("finite"), "{message}");
+        }
+        other => panic!("expected invalid_spec, got {other:?}"),
+    }
+
+    // NaN weights serialize as `null`, which the deserializer rejects.
+    let mut nan_spec = spec.clone();
+    if let WorkflowSource::Inline { workflow, .. } = &mut nan_spec.workflows[0] {
+        workflow.costs[2].0 = f64::NAN;
+    }
+    let resp = client
+        .call(&Request::Cell {
+            spec: nan_spec,
+            cell: 0,
+            format: OutputFormat::Rows,
+        })
+        .unwrap();
+    match resp {
+        Response::Error { code, .. } => assert_eq!(code, "bad_request"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // The same worker still answers real queries afterwards.
+    let ok = client
+        .call(&Request::Cell {
+            spec: mini_spec(),
+            cell: 0,
+            format: OutputFormat::Rows,
+        })
+        .unwrap();
+    assert!(matches!(ok, Response::Cell { .. }));
+    stop_server(&addr, handle);
+}
+
+#[test]
+fn malformed_corpus_leaves_the_daemon_alive() {
+    let (addr, handle) = start_server(2, 4);
+    let failures = run_malformed_corpus(&addr).unwrap();
+    assert!(failures.is_empty(), "{failures:#?}");
+    stop_server(&addr, handle);
+}
+
+#[test]
+fn nonblocking_pivot_format_requires_one_strategy() {
+    let (addr, handle) = start_server(1, 4);
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut spec = mini_spec();
+    spec.strategies = vec![StrategySpec::WorkAndCost]; // six strategies
+    match client
+        .call(&Request::Cell {
+            spec,
+            cell: 0,
+            format: OutputFormat::NonBlockingPivot,
+        })
+        .unwrap()
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, "invalid_spec");
+            assert!(message.contains("exactly one strategy"), "{message}");
+        }
+        other => panic!("expected invalid_spec, got {other:?}"),
+    }
+    stop_server(&addr, handle);
+}
+
+#[test]
+fn ping_stats_and_shutdown_roundtrip() {
+    let (addr, handle) = start_server(1, 4);
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(matches!(client.call(&Request::Ping), Ok(Response::Pong)));
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats {
+            served, capacity, ..
+        } => {
+            assert!(served >= 1);
+            assert_eq!(capacity, 4);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    stop_server(&addr, handle);
+}

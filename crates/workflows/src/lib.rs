@@ -28,4 +28,4 @@ pub mod montage;
 pub mod spec;
 
 pub use kind::PegasusKind;
-pub use spec::WorkflowSpec;
+pub use spec::{SpecError, WorkflowSpec};
