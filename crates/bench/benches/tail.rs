@@ -1,0 +1,151 @@
+//! Tail-sketch hot path: what the streaming P² quantile sketch adds on
+//! top of plain mean/variance accumulation, per observation and per
+//! chunk merge.
+//!
+//! The chunked Monte-Carlo executor folds one `TrialAccum` per chunk and
+//! merges them in chunk order; since the distribution-aware cost spine,
+//! every accumulator also carries a three-bank P² sketch. This bench
+//! isolates that cost on a synthetic heavy-tailed stream (1M
+//! observations, Pareto-like mixture shaped like makespan noise):
+//!
+//! * `fold/mean_only` — Welford mean/variance, the pre-sketch fold;
+//! * `fold/with_sketch` — the same fold plus `QuantileSketch::push`;
+//! * `merge/64_chunks` — merging 64 chunk sketches left-to-right, the
+//!   per-dispatch reduction the executor pays once per chunk.
+//!
+//! Besides the criterion table, this bench emits `BENCH_tail.json`
+//! (working directory) with the per-observation means and the sketch
+//! overhead, so CI and tooling can track the fold without parsing the
+//! table.
+
+use criterion::{criterion_group, Criterion};
+use dagchkpt_sim::QuantileSketch;
+use std::time::Instant;
+
+const N_OBS: usize = 1_000_000;
+const N_CHUNKS: usize = 64;
+
+/// A deterministic heavy-tailed stream: uniform body with a Pareto-like
+/// upper tail, roughly the shape of Monte-Carlo makespans under rare
+/// re-execution storms.
+fn stream() -> Vec<f64> {
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    (0..N_OBS)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 33) as f64 / (1u64 << 31) as f64;
+            if u < 0.95 {
+                1000.0 + 200.0 * (u / 0.95)
+            } else {
+                1200.0 + 50.0 / (1.0 - u.min(0.9999))
+            }
+        })
+        .collect()
+}
+
+/// Welford mean/variance fold — the scalar accumulator the executor used
+/// before the sketch rode along.
+fn mean_only(values: &[f64]) -> (f64, f64) {
+    let (mut mean, mut m2) = (0.0f64, 0.0f64);
+    for (i, &x) in values.iter().enumerate() {
+        let d = x - mean;
+        mean += d / (i + 1) as f64;
+        m2 += d * (x - mean);
+    }
+    (mean, m2 / (values.len().max(2) - 1) as f64)
+}
+
+fn with_sketch(values: &[f64]) -> (f64, f64, f64) {
+    let (mut mean, mut m2) = (0.0f64, 0.0f64);
+    let mut sketch = QuantileSketch::new();
+    for (i, &x) in values.iter().enumerate() {
+        let d = x - mean;
+        mean += d / (i + 1) as f64;
+        m2 += d * (x - mean);
+        sketch.push(x);
+    }
+    (mean, m2 / (values.len().max(2) - 1) as f64, sketch.p99())
+}
+
+fn chunk_sketches(values: &[f64]) -> Vec<QuantileSketch> {
+    values
+        .chunks(values.len().div_ceil(N_CHUNKS))
+        .map(|c| {
+            let mut s = QuantileSketch::new();
+            for &v in c {
+                s.push(v);
+            }
+            s
+        })
+        .collect()
+}
+
+fn merge_all(chunks: &[QuantileSketch]) -> QuantileSketch {
+    chunks
+        .iter()
+        .cloned()
+        .fold(QuantileSketch::new(), QuantileSketch::merge)
+}
+
+/// Mean wall-clock nanoseconds of `f` over `reps` runs (after one warmup).
+fn mean_ns<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn bench_tail_fold(c: &mut Criterion) {
+    let values = stream();
+    let chunks = chunk_sketches(&values);
+
+    // Sanity anchor before timing: the sketch's p99 sits in the tail
+    // region, above the mean.
+    let (mean, _, p99) = with_sketch(&values);
+    assert!(p99 > mean, "p99 {p99} should exceed the mean {mean}");
+
+    let mut g = c.benchmark_group("tail/fold");
+    g.sample_size(10);
+    g.bench_function("mean_only", |b| b.iter(|| mean_only(&values)));
+    g.bench_function("with_sketch", |b| b.iter(|| with_sketch(&values)));
+    g.finish();
+
+    let mut g = c.benchmark_group("tail/merge");
+    g.sample_size(10);
+    g.bench_function("64_chunks", |b| b.iter(|| merge_all(&chunks)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tail_fold);
+
+fn main() {
+    benches();
+
+    // The JSON artifact: independent Instant-based means (the vendored
+    // criterion does not expose its samples).
+    let values = stream();
+    let chunks = chunk_sketches(&values);
+    let base = mean_ns(5, || mean_only(&values));
+    let sketched = mean_ns(5, || with_sketch(&values));
+    let merged = mean_ns(20, || merge_all(&chunks));
+    let json = format!(
+        "{{\n  \"bench\": \"tail/fold\",\n  \"observations\": {N_OBS},\n  \
+         \"mean_only_ns_per_obs\": {:.3},\n  \
+         \"with_sketch_ns_per_obs\": {:.3},\n  \
+         \"sketch_overhead_pct\": {:.1},\n  \
+         \"merge_64_chunks_ns\": {:.0}\n}}\n",
+        base / N_OBS as f64,
+        sketched / N_OBS as f64,
+        100.0 * (sketched - base) / base,
+        merged
+    );
+    std::fs::write("BENCH_tail.json", &json).expect("write BENCH_tail.json");
+    println!(
+        "\nwrote BENCH_tail.json: sketch overhead {:.1}% per observation",
+        100.0 * (sketched - base) / base
+    );
+}

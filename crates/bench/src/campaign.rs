@@ -45,6 +45,10 @@ pub enum OutputFormat {
     /// with every axis labelled.
     #[default]
     Rows,
+    /// [`OutputFormat::Rows`] plus three tail-latency columns
+    /// (`mc_p50`, `mc_p95`, `mc_p99`) filled from the Monte-Carlo
+    /// quantile sketch (empty on analytic rows).
+    RowsTail,
     /// The paper figures' legacy 9-column schema (analytic rows only).
     Figure,
     /// The V1 validation schema: `case,n,analytic,mc_mean,mc_sem,z`.
@@ -88,6 +92,14 @@ impl OutputSpec {
             best_file: String::new(),
             json_file: String::new(),
             chart: false,
+        }
+    }
+
+    /// A generic-rows output with the three tail-quantile columns.
+    pub fn rows_tail(file: impl Into<String>) -> Self {
+        OutputSpec {
+            format: OutputFormat::RowsTail,
+            ..OutputSpec::rows(file)
         }
     }
 }
@@ -643,6 +655,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "extensions",
         "hetero_replication",
         "replication_aware",
+        "tail_latency",
         "sweep_all",
     ]
 }
@@ -675,6 +688,7 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
         "nonblocking" => Some(crate::studies::nonblocking_campaign(scale, seed)),
         "hetero_replication" => Some(crate::studies::hetero_replication_campaign(scale, seed)),
         "replication_aware" => Some(crate::studies::replication_aware_campaign(scale, seed)),
+        "tail_latency" => Some(crate::studies::tail_latency_campaign(scale, seed)),
         "optgap" => Some(study_campaign("optgap", StudyKind::Optgap, scale, seed)),
         "ablation" => Some(study_campaign("ablation", StudyKind::Ablation, scale, seed)),
         "extensions" => Some(study_campaign(
@@ -705,8 +719,8 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
 mod tests {
     use super::*;
     use crate::scenario::{
-        FailureSpec, OptimizerSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
-        WorkflowSource,
+        FailureSpec, ObjectiveSpec, OptimizerSpec, SeedPolicy, SimulatorSpec, StrategySpec,
+        SweepSpec, WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
     use dagchkpt_workflows::PegasusKind;
@@ -740,6 +754,7 @@ mod tests {
             platforms: vec![],
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
+            objective: ObjectiveSpec::Mean,
         }
     }
 

@@ -11,11 +11,13 @@
 use crate::campaign::OutputFormat;
 use crate::runner::{best_per_ckpt_strategy, Row};
 use crate::scenario::{
-    CellPlan, FailureCell, OptimizerSpec, ScenarioError, ScenarioSpec, SimulatorSpec, StrategyCell,
+    CellPlan, FailureCell, ObjectiveSpec, OptimizerSpec, ScenarioError, ScenarioSpec,
+    SimulatorSpec, StrategyCell,
 };
 use dagchkpt_core::{
-    evaluator, exact, linearize, optimize_joint, run_heuristic, run_heuristic_with,
-    LinearizationStrategy, ReplicatedEvaluator, Schedule, SweepPolicy, Workflow,
+    evaluator, exact, linearize, optimize_checkpoints_quantile, optimize_joint, run_heuristic,
+    run_heuristic_with, LinearizationStrategy, ReplicatedEvaluator, Schedule, SweepPolicy,
+    Workflow,
 };
 use dagchkpt_failure::{
     daly, ExponentialInjector, FaultInjector, FaultModel, TraceInjector, WeibullInjector,
@@ -23,7 +25,7 @@ use dagchkpt_failure::{
 use dagchkpt_sim::{
     run_replicated_sets_trials_with, run_replicated_trials_with, run_trials_with,
     simulate_nonblocking, simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,
-    trial_metric_stats, NonBlockingConfig, TrialSpec,
+    trial_metric_tail_stats, McObjective, NonBlockingConfig, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +69,13 @@ pub struct CellResult {
     pub mc_sem: f64,
     /// `(mc_mean − expected) / mc_sem`.
     pub z: f64,
+    /// Monte-Carlo median makespan estimate (`NaN` for the analytic
+    /// simulator), from the trial runs' streaming tail sketch.
+    pub mc_p50: f64,
+    /// Monte-Carlo 95th-percentile makespan estimate (`NaN` analytic).
+    pub mc_p95: f64,
+    /// Monte-Carlo 99th-percentile makespan estimate (`NaN` analytic).
+    pub mc_p99: f64,
 }
 
 /// A strategy's optimized schedule plus its analytic value. `replica_sets`
@@ -85,16 +94,48 @@ struct StrategyOutcome {
 /// selection per round; the descent stops early at a fixed point).
 const JOINT_ROUNDS: usize = 4;
 
+/// XOR salt on the cell seed for the quantile objective's own trial
+/// stream, so the optimizer's Monte-Carlo draws are decorrelated from the
+/// row simulators' (which use the unsalted cell seed).
+const TAIL_OBJECTIVE_SALT: u64 = 0x9D3C_55F2_71E4_A0B7;
+
+#[allow(clippy::too_many_arguments)]
 fn run_strategy(
     wf: &Workflow,
     model: FaultModel,
     strat: StrategyCell,
     policy: SweepPolicy,
     optimizer: OptimizerSpec,
+    objective: ObjectiveSpec,
+    seed: u64,
     hetero: Option<&(dagchkpt_failure::HeteroPlatform, Vec<usize>)>,
 ) -> Result<StrategyOutcome, ScenarioError> {
     match strat {
         StrategyCell::Heuristic(h) => {
+            if let Some((q, trials)) = objective.quantile_target() {
+                // Quantile objectives sweep each heuristic's budget
+                // against a seeded Monte-Carlo quantile estimate under
+                // the cell's homogeneous exponential proxy (validation
+                // pins `optimizer == Proxy` for them). The `expected`
+                // column keeps its meaning — the analytic proxy mean of
+                // the chosen schedule — so arms optimizing different
+                // objectives stay comparable at the mean.
+                let mc = McObjective::homogeneous(
+                    wf,
+                    model,
+                    TrialSpec::new(trials, seed ^ TAIL_OBJECTIVE_SALT),
+                );
+                let order = linearize(wf, h.lin);
+                let r = optimize_checkpoints_quantile(wf, &mc, &order, h.ckpt, policy, q);
+                let expected = evaluator::expected_makespan(wf, model, &r.schedule);
+                return Ok(StrategyOutcome {
+                    name: h.name(),
+                    schedule: r.schedule,
+                    expected,
+                    best_n: r.best_n,
+                    replica_sets: None,
+                });
+            }
             let r = match (optimizer, hetero) {
                 // The proxy optimizer — and any optimizer on a cell the
                 // degenerate collapse routed to the homogeneous path —
@@ -332,8 +373,17 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
     let mut rows = Vec::new();
     let mut schedules = Vec::new();
     for strat in spec.strategy_cells() {
-        let out = run_strategy(&wf, model, strat, policy, plan.optimizer, hetero.as_ref())
-            .map_err(&ctx)?;
+        let out = run_strategy(
+            &wf,
+            model,
+            strat,
+            policy,
+            plan.optimizer,
+            spec.objective,
+            plan.seed,
+            hetero.as_ref(),
+        )
+        .map_err(&ctx)?;
         let expected = match &hetero {
             None => out.expected,
             // The aware and joint optimizers already optimized against —
@@ -356,8 +406,9 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
             replica_sets: out.replica_sets.clone(),
         });
         for sim in &spec.simulators {
-            let (mc_mean, mc_sem) = match *sim {
-                SimulatorSpec::Analytic => (f64::NAN, f64::NAN),
+            let nan5 = (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+            let (mc_mean, mc_sem, mc_p50, mc_p95, mc_p99) = match *sim {
+                SimulatorSpec::Analytic => nan5,
                 SimulatorSpec::MonteCarlo { trials } => {
                     let stats = match (&hetero, &out.replica_sets) {
                         (None, _) => run_trials_with(
@@ -384,21 +435,27 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                             |rank, seed| make_proc_injector(&platform.procs()[rank], seed),
                         ),
                     };
-                    (stats.makespan.mean(), stats.makespan.sem())
+                    (
+                        stats.makespan.mean(),
+                        stats.makespan.sem(),
+                        stats.tail.p50(),
+                        stats.tail.p95(),
+                        stats.tail.p99(),
+                    )
                 }
                 SimulatorSpec::NonBlocking {
                     trials,
                     compute_rate,
                 } => {
                     let tspec = TrialSpec::new(trials, plan.seed);
-                    let stats = match (&hetero, &out.replica_sets) {
+                    let (stats, sketch) = match (&hetero, &out.replica_sets) {
                         (None, _) => {
                             let cfg = NonBlockingConfig {
                                 downtime: plan.failure.downtime(),
                                 compute_rate,
                                 record_trace: false,
                             };
-                            trial_metric_stats(tspec, |i| {
+                            trial_metric_tail_stats(tspec, |i| {
                                 let mut inj = make_injector(&plan.failure, tspec.trial_seed(i));
                                 simulate_nonblocking(&wf, &out.schedule, &mut inj, cfg).makespan
                             })
@@ -407,7 +464,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                             // One injector per used replica rank, indexed
                             // by processor (like the set trial runner).
                             let ranks = dagchkpt_core::replica_rank_count(sets);
-                            trial_metric_stats(tspec, |i| {
+                            trial_metric_tail_stats(tspec, |i| {
                                 let mut injectors: Vec<CellInjector> = (0..ranks)
                                     .map(|rank| {
                                         make_proc_injector(
@@ -435,7 +492,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                                 .map(|&d| d.clamp(1, platform.n_procs()))
                                 .max()
                                 .unwrap_or(1);
-                            trial_metric_stats(tspec, |i| {
+                            trial_metric_tail_stats(tspec, |i| {
                                 let mut injectors: Vec<CellInjector> = (0..ranks)
                                     .map(|rank| {
                                         make_proc_injector(
@@ -456,7 +513,13 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                             })
                         }
                     };
-                    (stats.mean(), stats.sem())
+                    (
+                        stats.mean(),
+                        stats.sem(),
+                        sketch.p50(),
+                        sketch.p95(),
+                        sketch.p99(),
+                    )
                 }
             };
             rows.push(CellResult {
@@ -484,6 +547,9 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                 mc_mean,
                 mc_sem,
                 z: (mc_mean - expected) / mc_sem,
+                mc_p50,
+                mc_p95,
+                mc_p99,
             });
         }
     }
@@ -543,31 +609,41 @@ fn legacy_row(r: &CellResult) -> Row {
     }
 }
 
+/// The generic (`Rows`) CSV encoding of one result row.
+fn generic_row(r: &CellResult) -> Vec<String> {
+    vec![
+        r.cell.to_string(),
+        r.workflow.clone(),
+        r.n.to_string(),
+        format!("{:e}", r.lambda),
+        r.failure.clone(),
+        r.rule.clone(),
+        r.platform.clone(),
+        r.replication.clone(),
+        r.strategy.clone(),
+        r.simulator.clone(),
+        fnum(r.expected, 6),
+        fnum(r.tinf, 6),
+        fnum(r.ratio, 6),
+        r.best_n.map_or(String::new(), |n| n.to_string()),
+        fnum(r.mc_mean, 6),
+        fnum(r.mc_sem, 6),
+        fnum(r.z, 4),
+    ]
+}
+
 /// Formats one cell's results under `format`.
 pub fn cell_csv_rows(format: OutputFormat, rows: &[CellResult]) -> Vec<Vec<String>> {
     match format {
-        OutputFormat::Rows => rows
+        OutputFormat::Rows => rows.iter().map(generic_row).collect(),
+        OutputFormat::RowsTail => rows
             .iter()
             .map(|r| {
-                vec![
-                    r.cell.to_string(),
-                    r.workflow.clone(),
-                    r.n.to_string(),
-                    format!("{:e}", r.lambda),
-                    r.failure.clone(),
-                    r.rule.clone(),
-                    r.platform.clone(),
-                    r.replication.clone(),
-                    r.strategy.clone(),
-                    r.simulator.clone(),
-                    fnum(r.expected, 6),
-                    fnum(r.tinf, 6),
-                    fnum(r.ratio, 6),
-                    r.best_n.map_or(String::new(), |n| n.to_string()),
-                    fnum(r.mc_mean, 6),
-                    fnum(r.mc_sem, 6),
-                    fnum(r.z, 4),
-                ]
+                let mut row = generic_row(r);
+                row.push(fnum(r.mc_p50, 6));
+                row.push(fnum(r.mc_p95, 6));
+                row.push(fnum(r.mc_p99, 6));
+                row
             })
             .collect(),
         OutputFormat::Figure => rows.iter().map(|r| legacy_row(r).to_csv()).collect(),
@@ -625,6 +701,11 @@ pub fn cell_best_rows(rows: &[CellResult]) -> Vec<Vec<String>> {
 pub fn stage_header(format: OutputFormat, simulators: &[SimulatorSpec]) -> Vec<String> {
     match format {
         OutputFormat::Rows => GENERIC_HEADER.iter().map(|s| s.to_string()).collect(),
+        OutputFormat::RowsTail => GENERIC_HEADER
+            .iter()
+            .chain(["mc_p50", "mc_p95", "mc_p99"].iter())
+            .map(|s| s.to_string())
+            .collect(),
         OutputFormat::Figure => Row::CSV_HEADER.iter().map(|s| s.to_string()).collect(),
         OutputFormat::Validate => ["case", "n", "analytic", "mc_mean", "mc_sem", "z"]
             .iter()

@@ -8,8 +8,8 @@
 use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::Scale;
 use crate::scenario::{
-    FailureSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
-    WorkflowSource,
+    FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec,
+    StrategySpec, SweepSpec, WorkflowSource,
 };
 use dagchkpt_core::CostRule;
 use dagchkpt_workflows::PegasusKind;
@@ -79,6 +79,7 @@ fn figure_stage(
             platforms: vec![],
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
+            objective: ObjectiveSpec::Mean,
             name: name.clone(),
         },
         output: OutputSpec {
@@ -241,6 +242,7 @@ pub fn fig7_campaign(scale: Scale, seed: u64) -> Campaign {
                     platforms: vec![],
                     replications: vec![],
                     optimizer: OptimizerSpec::Proxy,
+                    objective: ObjectiveSpec::Mean,
                 },
                 output: OutputSpec {
                     file: format!("{stem}.csv"),

@@ -56,7 +56,7 @@ pub use exec::{
 };
 pub use runner::{auto_policy, run_cell, Cell, Row};
 pub use scenario::{
-    CellPlan, FailureCell, FailureSpec, OptimizerSpec, PlatformSpec, ProcessorSpec,
+    CellPlan, FailureCell, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec, ProcessorSpec,
     ReplicationSpec, ScenarioError, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategyCell,
     StrategySpec, SweepSpec, WorkflowSource, MAX_REPLICATION_DEGREE,
 };

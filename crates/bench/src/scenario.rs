@@ -879,6 +879,83 @@ impl OptimizerSpec {
     }
 }
 
+/// What scalar the per-cell checkpoint optimizer minimizes — the
+/// objective axis of the distribution-aware cost spine.
+///
+/// Like [`OptimizerSpec`], the field is serialized **only when
+/// non-default**, so every spec written before the axis existed — and
+/// every spec keeping the default — has byte-identical canonical JSON,
+/// hence unchanged spec hashes, `SpecHash` cell seeds and golden CSVs.
+///
+/// Non-mean objectives optimize each swept heuristic against a seeded
+/// Monte-Carlo quantile estimate under the cell's **homogeneous
+/// exponential proxy** (`McObjective` + `optimize_checkpoints_quantile`)
+/// — the same proxy-model convention the optimizer axis uses for Weibull
+/// cells. Closed-form strategies (`Exact*`, `Young`, `Daly`) are
+/// unaffected: their budgets are not swept.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ObjectiveSpec {
+    /// Minimize the expected makespan (the paper's objective).
+    #[default]
+    Mean,
+    /// Minimize the 99th-percentile makespan estimated from `trials`
+    /// seeded Monte-Carlo trials per candidate.
+    P99 {
+        /// Trials per candidate evaluation.
+        trials: usize,
+    },
+    /// Minimize an arbitrary makespan quantile `q ∈ (0, 1)`.
+    Quantile {
+        /// Target quantile, exclusive on both ends.
+        q: f64,
+        /// Trials per candidate evaluation.
+        trials: usize,
+    },
+}
+
+impl ObjectiveSpec {
+    /// `true` for the default mean objective (the serde skip predicate).
+    pub fn is_mean(v: &ObjectiveSpec) -> bool {
+        matches!(v, ObjectiveSpec::Mean)
+    }
+
+    /// The `(quantile, trials)` target, `None` for the mean objective.
+    pub fn quantile_target(&self) -> Option<(f64, usize)> {
+        match self {
+            ObjectiveSpec::Mean => None,
+            ObjectiveSpec::P99 { trials } => Some((0.99, *trials)),
+            ObjectiveSpec::Quantile { q, trials } => Some((*q, *trials)),
+        }
+    }
+
+    /// Label for reports and error messages.
+    pub fn label(&self) -> String {
+        match self {
+            ObjectiveSpec::Mean => "mean".to_string(),
+            ObjectiveSpec::P99 { .. } => "p99".to_string(),
+            ObjectiveSpec::Quantile { q, .. } => format!("q{q}"),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        if let ObjectiveSpec::Quantile { q, .. } = self {
+            if !(q.is_finite() && *q > 0.0 && *q < 1.0) {
+                return Err(ScenarioError::new(format!(
+                    "objective: quantile q = {q} outside the open interval (0, 1)"
+                )));
+            }
+        }
+        if let Some((_, trials)) = self.quantile_target() {
+            if trials == 0 {
+                return Err(ScenarioError::new(
+                    "objective: a quantile objective needs at least one Monte-Carlo trial",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A strategy axis entry; expands into one or more [`StrategyCell`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StrategySpec {
@@ -1120,6 +1197,11 @@ pub struct ScenarioSpec {
     /// so pre-existing specs keep their canonical JSON and seeds.
     #[serde(default, skip_serializing_if = "OptimizerSpec::is_proxy")]
     pub optimizer: OptimizerSpec,
+    /// Scalar the per-cell checkpoint sweep minimizes (default: the
+    /// expected makespan). Serialized only when non-default, so
+    /// pre-existing specs keep their canonical JSON and seeds.
+    #[serde(default, skip_serializing_if = "ObjectiveSpec::is_mean")]
+    pub objective: ObjectiveSpec,
 }
 
 /// One expanded cell: a workflow instance under one failure model (and
@@ -1268,6 +1350,14 @@ impl ScenarioSpec {
                  (traces have no per-processor rate to scale)",
             ));
         }
+        self.objective.validate()?;
+        if !ObjectiveSpec::is_mean(&self.objective) && self.optimizer != OptimizerSpec::Proxy {
+            return Err(ScenarioError::new(format!(
+                "objective `{}` requires the default proxy optimizer \
+                 (quantile sweeps run under the homogeneous exponential proxy)",
+                self.objective.label()
+            )));
+        }
         if self.optimizer != OptimizerSpec::Proxy {
             if self.platforms.is_empty() {
                 return Err(ScenarioError::new(format!(
@@ -1392,6 +1482,7 @@ mod tests {
             platforms: vec![],
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
+            objective: ObjectiveSpec::Mean,
         }
     }
 
@@ -1956,6 +2047,39 @@ mod tests {
              form is a 2^degree-term inclusion–exclusion over distinct \
              subset rate-sums, which no lower-order recurrence reproduces \
              for distinct per-processor rates and truncation points"
+        );
+    }
+
+    /// The objective axis rejects malformed quantile requests at spec
+    /// validation, with the error text pinned verbatim (a NaN or
+    /// out-of-range `q` must never reach the sketch or the optimizer).
+    #[test]
+    fn objective_validation_error_text_is_pinned() {
+        let at = |objective: ObjectiveSpec| {
+            let spec = ScenarioSpec {
+                objective,
+                ..tiny_spec()
+            };
+            spec.expand().unwrap_err().0
+        };
+        for q in [0.0, 1.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                at(ObjectiveSpec::Quantile { q, trials: 100 }),
+                format!("objective: quantile q = {q} outside the open interval (0, 1)")
+            );
+        }
+        assert_eq!(
+            at(ObjectiveSpec::P99 { trials: 0 }),
+            "objective: a quantile objective needs at least one Monte-Carlo trial"
+        );
+        let mut aware = tiny_spec();
+        aware.platforms = vec![PlatformSpec::Uniform { count: 2 }];
+        aware.optimizer = OptimizerSpec::ReplicationAware;
+        aware.objective = ObjectiveSpec::P99 { trials: 100 };
+        assert_eq!(
+            aware.expand().unwrap_err().0,
+            "objective `p99` requires the default proxy optimizer \
+             (quantile sweeps run under the homogeneous exponential proxy)"
         );
     }
 

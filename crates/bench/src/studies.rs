@@ -13,8 +13,8 @@ use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::{Options, Scale};
 use crate::csvout::write_csv;
 use crate::scenario::{
-    FailureSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
-    WorkflowSource,
+    FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec,
+    StrategySpec, SweepSpec, WorkflowSource,
 };
 use dagchkpt_core::{
     exact, linearize, linearize_with_priority, optimize_checkpoints, strategies::local_search,
@@ -83,6 +83,7 @@ pub fn validate_campaign(scale: Scale, seed: u64) -> Campaign {
                 platforms: vec![],
                 replications: vec![],
                 optimizer: OptimizerSpec::Proxy,
+                objective: ObjectiveSpec::Mean,
             },
             output: OutputSpec {
                 file: "validate.csv".to_string(),
@@ -129,6 +130,7 @@ pub fn weibull_campaign(scale: Scale, seed: u64) -> Campaign {
                 platforms: vec![],
                 replications: vec![],
                 optimizer: OptimizerSpec::Proxy,
+                objective: ObjectiveSpec::Mean,
             },
             output: OutputSpec {
                 file: "weibull.csv".to_string(),
@@ -180,6 +182,7 @@ pub fn nonblocking_campaign(scale: Scale, seed: u64) -> Campaign {
                 platforms: vec![],
                 replications: vec![],
                 optimizer: OptimizerSpec::Proxy,
+                objective: ObjectiveSpec::Mean,
             },
             output: OutputSpec {
                 file: "nonblocking.csv".to_string(),
@@ -260,6 +263,7 @@ pub fn hetero_replication_campaign(scale: Scale, seed: u64) -> Campaign {
                 platforms,
                 replications,
                 optimizer: OptimizerSpec::Proxy,
+                objective: ObjectiveSpec::Mean,
             },
             output: OutputSpec::rows("hetero_replication.csv"),
         }],
@@ -332,6 +336,7 @@ pub fn replication_aware_campaign(scale: Scale, seed: u64) -> Campaign {
         platforms: vec![platform.clone()],
         replications: vec![crate::scenario::ReplicationSpec::Uniform { degree: 2 }],
         optimizer,
+        objective: ObjectiveSpec::Mean,
     };
     Campaign {
         name: "replication_aware".to_string(),
@@ -344,6 +349,76 @@ pub fn replication_aware_campaign(scale: Scale, seed: u64) -> Campaign {
         .into_iter()
         .map(|o| Stage::Scenario {
             output: OutputSpec::rows(format!("replication_aware_{}.csv", stage_tag(o))),
+            scenario: scenario(o),
+        })
+        .collect(),
+    }
+}
+
+/// The tail-latency objective study: the **same cells** (one random chain
+/// × exponential faults × DF-CkptW) swept twice — once minimizing the
+/// expected makespan, once minimizing its Monte-Carlo p99 — into two
+/// [`OutputFormat::RowsTail`] CSVs whose rows are directly comparable:
+///
+/// * `tail_latency_mean.csv` — checkpoint count chosen by the analytic
+///   mean (the classic sweep);
+/// * `tail_latency_p99.csv` — checkpoint count chosen by the streaming
+///   P² p99 estimate of the same proxy, on a salted trial stream.
+///
+/// Cell seeds use [`SeedPolicy::LegacyXorN`], which does **not** depend
+/// on the spec hash — the two stages differ only in the `objective`
+/// field, so they generate identical chain instances and identical row
+/// simulators; the per-row `mc_mean`/`mc_p99` differences are pure
+/// objective trade-offs. `tests/tail_divergence.rs` pins the divergence
+/// both ways against the golden corpus: the mean stage wins on
+/// `mc_mean`, the p99 stage wins on `mc_p99`.
+pub fn tail_latency_campaign(scale: Scale, seed: u64) -> Campaign {
+    let (mc_trials, obj_trials) = match scale {
+        Scale::Quick => (6_000, 3_000),
+        Scale::Full => (30_000, 12_000),
+    };
+    // A short chain under a harsh failure rate: re-execution noise is
+    // heavy-tailed, so the p99-optimal checkpoint count sits above the
+    // mean-optimal one and the two objectives pick different schedules.
+    let scenario = move |objective: ObjectiveSpec| ScenarioSpec {
+        name: format!("tail_latency_{}", objective.label()),
+        description: format!(
+            "checkpoint sweep minimizing the {} makespan",
+            objective.label()
+        ),
+        workflows: vec![WorkflowSource::RandomChain {
+            min_weight: 20.0,
+            max_weight: 80.0,
+            rule: RULE_01W,
+            default_lambda: 0.0,
+        }],
+        sizes: vec![12, 16],
+        failures: vec![FailureSpec::Exponential {
+            lambda: 2e-3,
+            downtime: 1.0,
+        }],
+        strategies: vec![df_ckptw()],
+        simulators: vec![SimulatorSpec::MonteCarlo { trials: mc_trials }],
+        seed,
+        // LegacyXorN: seeds independent of the spec hash, so the two
+        // stages (which differ in `objective`) see identical instances.
+        seed_policy: SeedPolicy::LegacyXorN,
+        sweep: SweepSpec::Exhaustive,
+        platforms: Vec::new(),
+        replications: Vec::new(),
+        optimizer: OptimizerSpec::Proxy,
+        objective,
+    };
+    Campaign {
+        name: "tail_latency".to_string(),
+        description: "mean- vs p99-minimizing checkpoint sweeps".to_string(),
+        stages: [
+            ObjectiveSpec::Mean,
+            ObjectiveSpec::P99 { trials: obj_trials },
+        ]
+        .into_iter()
+        .map(|o| Stage::Scenario {
+            output: OutputSpec::rows_tail(format!("tail_latency_{}.csv", o.label())),
             scenario: scenario(o),
         })
         .collect(),

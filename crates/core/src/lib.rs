@@ -43,10 +43,12 @@ pub use heuristics::{
 };
 pub use linearize::{linearize, linearize_with_priority, LinearizationStrategy, Priority};
 pub use model::{CostRule, ModelError, TaskCosts, Workflow};
-pub use objective::{Objective, ProxyObjective};
+pub use objective::{CostSummary, Objective, ProxyObjective};
 pub use schedule::Schedule;
 pub use strategies::{
-    local_search, local_search_with, optimize_checkpoints, optimize_checkpoints_with,
-    optimize_joint, ranking, replica_candidates, select_replicas, CheckpointStrategy,
-    JointSchedule, NoRankingError, OptimizedSchedule, ReplicationStrategy, SweepPolicy,
+    local_search, local_search_with, optimize_checkpoints, optimize_checkpoints_quantile,
+    optimize_checkpoints_with, optimize_joint, optimize_joint_with, ranking, replica_candidates,
+    replica_candidates_with, select_replicas, select_replicas_with, CheckpointStrategy,
+    ExhaustiveSelectionError, JointSchedule, NoRankingError, OptimizedSchedule,
+    ReplicationStrategy, SelectionSpec, SweepPolicy,
 };

@@ -41,9 +41,10 @@ use crate::model::Workflow;
 use crate::objective::{Objective, ProxyObjective};
 use crate::schedule::Schedule;
 use dagchkpt_dag::{FixedBitSet, NodeId};
-use dagchkpt_failure::{FaultModel, HeteroPlatform};
+use dagchkpt_failure::{FaultModel, HeteroPlatform, Processor};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Which tasks to checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -444,11 +445,49 @@ pub fn optimize_checkpoints_with<O: Objective + ?Sized>(
     strategy: CheckpointStrategy,
     policy: SweepPolicy,
 ) -> OptimizedSchedule {
+    optimize_with_cost(wf, order, strategy, policy, |s| obj.cost(s))
+}
+
+/// [`optimize_checkpoints_with`] minimizing the `q`-quantile of `obj`'s
+/// cost distribution ([`Objective::cost_quantile`]) instead of its mean:
+/// the same candidate family, sweep policy, and smaller-budget tie-breaks,
+/// keyed on the quantile. A `NaN` quantile (a backend whose sketch has no
+/// estimate) maps to `+∞` so it can never displace a finite candidate —
+/// the argmin fold compares with a raw `<` that would otherwise let a
+/// first-seen `NaN` win. On analytic backends `cost_quantile` falls back
+/// to the mean, so this degenerates to [`optimize_checkpoints_with`].
+pub fn optimize_checkpoints_quantile<O: Objective + ?Sized>(
+    wf: &Workflow,
+    obj: &O,
+    order: &[NodeId],
+    strategy: CheckpointStrategy,
+    policy: SweepPolicy,
+    q: f64,
+) -> OptimizedSchedule {
+    optimize_with_cost(wf, order, strategy, policy, |s| {
+        let c = obj.cost_quantile(s, q);
+        if c.is_nan() {
+            f64::INFINITY
+        } else {
+            c
+        }
+    })
+}
+
+/// The strategy dispatch behind both optimizers, generic over the scalar
+/// each candidate schedule is keyed on (mean cost, quantile cost, …).
+fn optimize_with_cost(
+    wf: &Workflow,
+    order: &[NodeId],
+    strategy: CheckpointStrategy,
+    policy: SweepPolicy,
+    cost: impl Fn(&Schedule) -> f64 + Sync,
+) -> OptimizedSchedule {
     let n = wf.n_tasks();
     match strategy {
         CheckpointStrategy::Never => {
             let schedule = Schedule::never(wf, order.to_vec()).expect("order is valid");
-            let e = obj.cost(&schedule);
+            let e = cost(&schedule);
             OptimizedSchedule {
                 schedule,
                 expected_makespan: e,
@@ -458,7 +497,7 @@ pub fn optimize_checkpoints_with<O: Objective + ?Sized>(
         }
         CheckpointStrategy::Always => {
             let schedule = Schedule::always(wf, order.to_vec()).expect("order is valid");
-            let e = obj.cost(&schedule);
+            let e = cost(&schedule);
             OptimizedSchedule {
                 schedule,
                 expected_makespan: e,
@@ -466,29 +505,29 @@ pub fn optimize_checkpoints_with<O: Objective + ?Sized>(
                 evaluated: 1,
             }
         }
-        CheckpointStrategy::Periodic => sweep_with(wf, obj, order, policy, |n_ckpt| {
+        CheckpointStrategy::Periodic => sweep_with_cost(wf, order, policy, &cost, |n_ckpt| {
             periodic_set(wf, order, n_ckpt)
         }),
         ranked => {
             // Infallible here: the Never/Always/Periodic arms above are
             // exactly the strategies `ranking` rejects.
             let rank = ranking(wf, ranked).expect("every unmatched strategy is ranked");
-            sweep_with(wf, obj, order, policy, |n_ckpt| {
+            sweep_with_cost(wf, order, policy, &cost, |n_ckpt| {
                 set_from_ranking(n, &rank, n_ckpt)
             })
         }
     }
 }
 
-/// Sweeps candidate budgets, evaluating each schedule with `obj` in
+/// Sweeps candidate budgets, evaluating each schedule's `cost` key in
 /// parallel; ties broken toward smaller `N`. Candidate schedules stream
 /// through a chunked fold into O(chunks) running minima — the sweep never
 /// materializes one schedule per budget.
-fn sweep_with<O: Objective + ?Sized>(
+fn sweep_with_cost(
     wf: &Workflow,
-    obj: &O,
     order: &[NodeId],
     policy: SweepPolicy,
+    cost: &(impl Fn(&Schedule) -> f64 + Sync),
     set_for: impl Fn(usize) -> FixedBitSet + Sync,
 ) -> OptimizedSchedule {
     let n = wf.n_tasks();
@@ -496,7 +535,7 @@ fn sweep_with<O: Objective + ?Sized>(
 
     let eval_n = |n_ckpt: usize| -> (usize, f64, Schedule) {
         let s = base.with_checkpoints(set_for(n_ckpt));
-        let e = obj.cost(&s);
+        let e = cost(&s);
         (n_ckpt, e, s)
     };
 
@@ -561,6 +600,75 @@ pub fn replica_candidates(platform: &HeteroPlatform, max_degree: usize) -> Vec<V
     let procs = platform.procs();
     let p = procs.len();
     let cap = max_degree.clamp(1, p).min(MAX_REPLICATION_DEGREE);
+    replica_candidates_prefixes(procs, p, cap)
+}
+
+/// How per-task replica selection enumerates its candidate sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionSpec {
+    /// The structured `O(P)` family of [`replica_candidates`]: speed
+    /// prefixes, reliability prefixes, and singletons. The default —
+    /// cheap at any platform size.
+    #[default]
+    Prefixes,
+    /// Every non-empty subset of the platform's processors — `2^P − 1`
+    /// candidates, the provably complete family. Only allowed for
+    /// `P ≤ 8` processors ([`MAX_REPLICATION_DEGREE`]); larger platforms
+    /// are rejected with [`ExhaustiveSelectionError`]. The `max_degree`
+    /// cap is ignored: the whole point is the full subset lattice.
+    Exhaustive,
+}
+
+/// Exhaustive replica-subset enumeration was requested on a platform too
+/// large for `2^P` candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveSelectionError {
+    /// The offending platform's processor count.
+    pub n_procs: usize,
+}
+
+impl fmt::Display for ExhaustiveSelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exhaustive replica-subset enumeration needs 2^P candidate sets per task; \
+             P = {} processors exceeds the cap of {}",
+            self.n_procs, MAX_REPLICATION_DEGREE
+        )
+    }
+}
+
+impl std::error::Error for ExhaustiveSelectionError {}
+
+/// [`replica_candidates`] under an explicit [`SelectionSpec`]:
+/// `Prefixes` is the infallible structured family; `Exhaustive`
+/// enumerates every non-empty processor subset in ascending bitmask order
+/// (a deterministic order, so downstream tie-breaks are stable), failing
+/// on platforms with more than [`MAX_REPLICATION_DEGREE`] processors.
+pub fn replica_candidates_with(
+    platform: &HeteroPlatform,
+    max_degree: usize,
+    selection: SelectionSpec,
+) -> Result<Vec<Vec<usize>>, ExhaustiveSelectionError> {
+    let p = platform.procs().len();
+    match selection {
+        SelectionSpec::Prefixes => Ok(replica_candidates(platform, max_degree)),
+        SelectionSpec::Exhaustive => {
+            if p > MAX_REPLICATION_DEGREE {
+                return Err(ExhaustiveSelectionError { n_procs: p });
+            }
+            Ok((1u32..(1u32 << p))
+                .map(|mask| {
+                    let set: Vec<usize> = (0..p).filter(|i| mask & (1 << i) != 0).collect();
+                    normalize_replica_set(&set, p)
+                })
+                .collect())
+        }
+    }
+}
+
+/// The structured candidate family shared by [`replica_candidates`].
+fn replica_candidates_prefixes(procs: &[Processor], p: usize, cap: usize) -> Vec<Vec<usize>> {
     // Reliability order: lowest λ first, ties toward the canonical
     // (fastest-first) index so the order is deterministic.
     let mut by_reliability: Vec<usize> = (0..p).collect();
@@ -621,7 +729,33 @@ pub fn select_replicas(
     max_degree: usize,
     max_rounds: usize,
 ) -> (Vec<Vec<usize>>, f64, usize) {
-    let candidates = replica_candidates(platform, max_degree);
+    select_replicas_with(
+        wf,
+        platform,
+        schedule,
+        init,
+        max_degree,
+        max_rounds,
+        SelectionSpec::Prefixes,
+    )
+    .expect("the prefix family is infallible")
+}
+
+/// [`select_replicas`] under an explicit candidate family
+/// ([`SelectionSpec`]): `Exhaustive` searches every non-empty processor
+/// subset per task — the complete lattice, affordable only for `P ≤ 8` —
+/// and fails with the typed [`ExhaustiveSelectionError`] beyond that.
+#[allow(clippy::too_many_arguments)]
+pub fn select_replicas_with(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    schedule: &Schedule,
+    init: &[Vec<usize>],
+    max_degree: usize,
+    max_rounds: usize,
+    selection: SelectionSpec,
+) -> Result<(Vec<Vec<usize>>, f64, usize), ExhaustiveSelectionError> {
+    let candidates = replica_candidates_with(platform, max_degree, selection)?;
     let mut ev = ReplicatedEvaluator::from_sets(wf, platform, init);
     let mut best_e = ev.expected_makespan(schedule);
     let mut evaluated = 1usize;
@@ -630,7 +764,7 @@ pub fn select_replicas(
             break;
         }
     }
-    (ev.sets().to_vec(), best_e, evaluated)
+    Ok((ev.sets().to_vec(), best_e, evaluated))
 }
 
 /// One coordinate pass of [`select_replicas`] over an existing evaluator
@@ -696,6 +830,32 @@ pub fn optimize_joint(
     init_degrees: &[usize],
     max_rounds: usize,
 ) -> JointSchedule {
+    optimize_joint_with(
+        wf,
+        platform,
+        order,
+        strategy,
+        policy,
+        init_degrees,
+        max_rounds,
+        SelectionSpec::Prefixes,
+    )
+    .expect("the prefix family is infallible")
+}
+
+/// [`optimize_joint`] under an explicit candidate family
+/// ([`SelectionSpec`]); see [`select_replicas_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_joint_with(
+    wf: &Workflow,
+    platform: &HeteroPlatform,
+    order: &[NodeId],
+    strategy: CheckpointStrategy,
+    policy: SweepPolicy,
+    init_degrees: &[usize],
+    max_rounds: usize,
+    selection: SelectionSpec,
+) -> Result<JointSchedule, ExhaustiveSelectionError> {
     let n_procs = platform.n_procs().max(1);
     let max_degree = init_degrees
         .iter()
@@ -711,7 +871,7 @@ pub fn optimize_joint(
     // stays warm across both coordinates and across rounds (only the
     // entries of tasks whose replica set actually moves are invalidated).
     let mut ev = ReplicatedEvaluator::from_sets(wf, platform, &init_sets);
-    let candidates = replica_candidates(platform, max_degree);
+    let candidates = replica_candidates_with(platform, max_degree, selection)?;
     let mut best: Option<JointSchedule> = None;
     let mut evaluated = 0usize;
     let mut rounds = 0usize;
@@ -744,7 +904,7 @@ pub fn optimize_joint(
     let mut out = best.expect("at least one joint round ran");
     out.evaluated = evaluated;
     out.rounds = rounds;
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1348,5 +1508,170 @@ mod tests {
             SweepPolicy::Exhaustive,
         );
         assert!(r.expected_makespan > 0.0);
+    }
+
+    /// Satellite: the P > 8 rejection is a typed error with pinned text.
+    #[test]
+    fn exhaustive_selection_error_text_is_pinned() {
+        let platform = HeteroPlatform::homogeneous(9, 1e-3, 1.0).unwrap();
+        let err = replica_candidates_with(&platform, 2, SelectionSpec::Exhaustive).unwrap_err();
+        assert_eq!(err, ExhaustiveSelectionError { n_procs: 9 });
+        assert_eq!(
+            err.to_string(),
+            "exhaustive replica-subset enumeration needs 2^P candidate sets per task; \
+             P = 9 processors exceeds the cap of 8"
+        );
+        // The error propagates through the selection entry points too.
+        let wf = chain_wf();
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order.clone()).unwrap();
+        let init = vec![vec![0usize]; wf.n_tasks()];
+        assert!(
+            select_replicas_with(&wf, &platform, &s, &init, 2, 1, SelectionSpec::Exhaustive)
+                .is_err()
+        );
+        assert!(optimize_joint_with(
+            &wf,
+            &platform,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+            &[1; 6],
+            1,
+            SelectionSpec::Exhaustive,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn exhaustive_candidates_enumerate_every_subset() {
+        let platform = HeteroPlatform::homogeneous(3, 1e-3, 1.0).unwrap();
+        let cands = replica_candidates_with(&platform, 1, SelectionSpec::Exhaustive).unwrap();
+        // 2^3 − 1 subsets, unique, ignoring the degree cap.
+        assert_eq!(cands.len(), 7);
+        let unique: std::collections::BTreeSet<_> = cands.iter().cloned().collect();
+        assert_eq!(unique.len(), 7);
+        for set in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![0, 1, 2],
+        ] {
+            assert!(cands.contains(&set), "missing {set:?}");
+        }
+        // Prefixes via the `_with` entry point is the legacy family.
+        assert_eq!(
+            replica_candidates_with(&platform, 2, SelectionSpec::Prefixes).unwrap(),
+            replica_candidates(&platform, 2)
+        );
+    }
+
+    /// The complete subset lattice contains every structured candidate,
+    /// so exhaustive selection never ends up worse on this instance (and
+    /// is strictly better when the optimum is a non-prefix mixed set).
+    #[test]
+    fn exhaustive_selection_never_loses_to_prefixes() {
+        use dagchkpt_failure::Processor;
+        let wf = Workflow::uniform(generators::chain(4), 50.0, 1.0);
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.1,
+                    ..Processor::reference(5e-2)
+                },
+                Processor::reference(1e-4),
+                Processor {
+                    speed: 0.9,
+                    ..Processor::reference(3e-4)
+                },
+            ],
+            5.0,
+        )
+        .unwrap();
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let init = vec![vec![0usize]; wf.n_tasks()];
+        let (_, e_prefix, _) = select_replicas(&wf, &platform, &s, &init, 3, 4);
+        let (sets, e_exh, _) =
+            select_replicas_with(&wf, &platform, &s, &init, 3, 4, SelectionSpec::Exhaustive)
+                .unwrap();
+        assert!(
+            e_exh <= e_prefix * (1.0 + 1e-12),
+            "exhaustive {e_exh} vs prefixes {e_prefix}"
+        );
+        assert_eq!(sets.len(), wf.n_tasks());
+    }
+
+    /// Quantile-targeted sweeps on an analytic backend degenerate to the
+    /// mean sweep bitwise (`cost_quantile` defaults to `cost`).
+    #[test]
+    fn quantile_sweep_on_analytic_backend_degenerates_to_mean() {
+        let wf = chain_wf();
+        let m = FaultModel::new(5e-3, 0.5);
+        let order = topo::topological_order(wf.dag());
+        let obj = crate::objective::ProxyObjective::new(&wf, m);
+        for strat in [
+            CheckpointStrategy::Never,
+            CheckpointStrategy::Periodic,
+            CheckpointStrategy::ByDecreasingWork,
+        ] {
+            let mean = optimize_checkpoints_with(&wf, &obj, &order, strat, SweepPolicy::Exhaustive);
+            let q99 = optimize_checkpoints_quantile(
+                &wf,
+                &obj,
+                &order,
+                strat,
+                SweepPolicy::Exhaustive,
+                0.99,
+            );
+            assert_eq!(
+                mean.expected_makespan.to_bits(),
+                q99.expected_makespan.to_bits()
+            );
+            assert_eq!(mean.best_n, q99.best_n);
+            assert_eq!(mean.evaluated, q99.evaluated);
+        }
+    }
+
+    /// A NaN quantile key maps to +∞ inside the sweep, so an objective
+    /// with no estimate for some candidate can never displace a finite
+    /// one (the argmin fold compares with a raw `<`).
+    #[test]
+    fn quantile_sweep_maps_nan_keys_to_infinity() {
+        struct NanAtZero<'a>(ProxyObjective<'a>);
+        impl Objective for NanAtZero<'_> {
+            fn cost(&self, s: &Schedule) -> f64 {
+                self.0.cost(s)
+            }
+            fn label(&self) -> &'static str {
+                "nan-at-zero"
+            }
+            fn cost_quantile(&self, s: &Schedule, _q: f64) -> f64 {
+                // No estimate for the checkpoint-free candidate.
+                if s.checkpoints().count() == 0 {
+                    f64::NAN
+                } else {
+                    self.0.cost(s)
+                }
+            }
+        }
+        let wf = chain_wf();
+        let m = FaultModel::new(5e-3, 0.5);
+        let order = topo::topological_order(wf.dag());
+        let obj = NanAtZero(ProxyObjective::new(&wf, m));
+        let r = optimize_checkpoints_quantile(
+            &wf,
+            &obj,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+            0.5,
+        );
+        // The winner carries a finite key and at least one checkpoint.
+        assert!(r.expected_makespan.is_finite());
+        assert!(r.schedule.checkpoints().count() > 0);
     }
 }

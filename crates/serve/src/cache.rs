@@ -11,7 +11,7 @@
 //! cost recomputation, never change an answer — pinned by the
 //! `cache_property` tests.
 
-use crate::protocol::Response;
+use crate::protocol::{Response, TailSummary};
 use dagchkpt_bench::ScheduleDetail;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +26,8 @@ pub struct CellAnswer {
     pub rows: Vec<Vec<String>>,
     /// One optimized schedule per strategy.
     pub schedules: Vec<ScheduleDetail>,
+    /// Tail quantiles of the Monte-Carlo rows (finite ones only).
+    pub tails: Vec<TailSummary>,
 }
 
 impl CellAnswer {
@@ -36,6 +38,7 @@ impl CellAnswer {
             rows: self.rows.clone(),
             schedules: self.schedules.clone(),
             cached,
+            tails: self.tails.clone(),
         }
     }
 }
@@ -143,6 +146,7 @@ mod tests {
             header: vec!["h".to_string()],
             rows: vec![vec![tag.to_string()]],
             schedules: Vec::new(),
+            tails: Vec::new(),
         })
     }
 

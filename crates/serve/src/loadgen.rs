@@ -25,6 +25,7 @@ use dagchkpt_bench::{
     WorkflowSource,
 };
 use dagchkpt_core::CostRule;
+use dagchkpt_sim::QuantileSketch;
 use serde::Serialize;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -206,16 +207,10 @@ pub struct BenchReport {
     pub hit_rate: f64,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// Replays the campaign's cells for `rounds` rounds over `connections`
-/// parallel connections, then queries the daemon's counters.
+/// parallel connections, then queries the daemon's counters. Latency
+/// quantiles come from the same streaming P² sketch the simulator folds
+/// over Monte-Carlo trials: one sketch per connection, merged at the end.
 pub fn bench_load(
     addr: &str,
     campaign: &Campaign,
@@ -228,16 +223,15 @@ pub fn bench_load(
     }
     let connections = connections.max(1);
     let started = Instant::now();
-    let mut all_latencies: Vec<f64> = Vec::new();
-    let mut total: u64 = 0;
-    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|scope| {
+    let mut latency_sketch = QuantileSketch::new();
+    let results: Vec<Result<QuantileSketch, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|_| {
                 let work = &work;
                 scope.spawn(move || {
                     let mut client =
                         Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-                    let mut latencies = Vec::with_capacity(rounds * work.len());
+                    let mut latencies = QuantileSketch::new();
                     for _ in 0..rounds {
                         for (_, format, spec, cell) in work {
                             let t = Instant::now();
@@ -262,12 +256,10 @@ pub fn bench_load(
             .collect()
     });
     for r in results {
-        let lat = r?;
-        total += lat.len() as u64;
-        all_latencies.extend(lat);
+        latency_sketch = latency_sketch.merge(r?);
     }
+    let total = latency_sketch.count();
     let elapsed = started.elapsed().as_secs_f64();
-    all_latencies.sort_by(|a, b| a.total_cmp(b));
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let (hits, misses) = match client.call(&Request::Stats)? {
         Response::Stats { hits, misses, .. } => (hits, misses),
@@ -282,8 +274,8 @@ pub fn bench_load(
         } else {
             f64::NAN
         },
-        p50_ms: percentile(&all_latencies, 50.0),
-        p99_ms: percentile(&all_latencies, 99.0),
+        p50_ms: latency_sketch.p50(),
+        p99_ms: latency_sketch.p99(),
         cache_hits: hits,
         cache_misses: misses,
         hit_rate: if lookups > 0 {
@@ -318,6 +310,7 @@ fn probe_spec() -> ScenarioSpec {
         platforms: Vec::new(),
         replications: Vec::new(),
         optimizer: Default::default(),
+        objective: Default::default(),
     }
 }
 

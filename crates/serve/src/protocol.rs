@@ -69,6 +69,12 @@ pub enum Response {
         schedules: Vec<ScheduleDetail>,
         /// Whether the answer came from the shared cross-request cache.
         cached: bool,
+        /// Tail-latency summaries of the Monte-Carlo rows (one entry per
+        /// row whose simulator produced a quantile sketch; analytic rows
+        /// are skipped rather than shipped as nulls). Absent on answers
+        /// from pre-upgrade servers — deserializes as empty.
+        #[serde(default)]
+        tails: Vec<TailSummary>,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -95,6 +101,22 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+}
+
+/// Tail-latency quantiles of one Monte-Carlo row of a [`Response::Cell`],
+/// estimated by the same streaming P² sketch the batch engine folds.
+/// Only rows with finite quantiles are summarized, so the JSON never
+/// carries NaN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TailSummary {
+    /// Index into the answer's `rows`.
+    pub row: usize,
+    /// Median makespan estimate.
+    pub p50: f64,
+    /// 95th-percentile makespan estimate.
+    pub p95: f64,
+    /// 99th-percentile makespan estimate.
+    pub p99: f64,
 }
 
 impl Response {

@@ -23,7 +23,7 @@
 //!   current connection before [`Server::run`] returns.
 
 use crate::cache::{CellAnswer, ResponseCache};
-use crate::protocol::{read_frame, write_response, FrameRead, Request, Response};
+use crate::protocol::{read_frame, write_response, FrameRead, Request, Response, TailSummary};
 use dagchkpt_bench::{cell_csv_rows, run_cell_full, stage_header, OutputFormat, ScenarioSpec};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -322,10 +322,25 @@ fn answer_cell(
         Ok(e) => e,
         Err(e) => return Response::error("cell_error", e.to_string()),
     };
+    // Tail quantiles ride along for every format; analytic rows (NaN
+    // quantiles) are skipped so the frame never carries non-finite JSON.
+    let tails = exec
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.mc_p50.is_finite())
+        .map(|(row, r)| TailSummary {
+            row,
+            p50: r.mc_p50,
+            p95: r.mc_p95,
+            p99: r.mc_p99,
+        })
+        .collect();
     let answer = Arc::new(CellAnswer {
         header: stage_header(format, &spec.simulators),
         rows: cell_csv_rows(format, &exec.rows),
         schedules: exec.schedules,
+        tails,
     });
     cache.insert(key, Arc::clone(&answer));
     answer.to_response(false)

@@ -56,6 +56,7 @@ fn spec_with(seed: u64, sizes: Vec<usize>) -> ScenarioSpec {
         platforms: Vec::new(),
         replications: Vec::new(),
         optimizer: Default::default(),
+        objective: Default::default(),
     }
 }
 

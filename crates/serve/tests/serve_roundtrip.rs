@@ -65,6 +65,7 @@ fn mini_spec() -> ScenarioSpec {
         platforms: Vec::new(),
         replications: Vec::new(),
         optimizer: Default::default(),
+        objective: Default::default(),
     }
 }
 
@@ -88,6 +89,7 @@ fn served_cells_are_bit_identical_to_batch_execution() {
             rows,
             schedules,
             cached,
+            tails,
         } = resp
         else {
             panic!("cell {i}: unexpected response");
@@ -96,6 +98,22 @@ fn served_cells_are_bit_identical_to_batch_execution() {
         assert_eq!(header, stage_header(OutputFormat::Rows, &spec.simulators));
         assert_eq!(rows, cell_csv_rows(OutputFormat::Rows, &local.rows));
         assert_eq!(schedules, local.schedules);
+        // Tail summaries cover exactly the Monte-Carlo rows, bit-identical
+        // to the batch engine's sketch quantiles, and never carry NaN.
+        let mc_rows: Vec<usize> = local
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.mc_p50.is_finite())
+            .map(|(j, _)| j)
+            .collect();
+        assert_eq!(tails.iter().map(|t| t.row).collect::<Vec<_>>(), mc_rows);
+        for t in &tails {
+            assert_eq!(t.p50.to_bits(), local.rows[t.row].mc_p50.to_bits());
+            assert_eq!(t.p95.to_bits(), local.rows[t.row].mc_p95.to_bits());
+            assert_eq!(t.p99.to_bits(), local.rows[t.row].mc_p99.to_bits());
+            assert!(t.p50.is_finite() && t.p95.is_finite() && t.p99.is_finite());
+        }
         // A repeat is served from the shared cache, bit-identical.
         let Ok(Response::Cell {
             rows: again,

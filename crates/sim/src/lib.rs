@@ -27,6 +27,7 @@ pub mod montecarlo;
 pub mod nonblocking;
 pub mod objective;
 pub mod plan;
+pub mod quantile;
 pub mod replicated;
 pub mod stats;
 pub mod timeline;
@@ -34,10 +35,13 @@ pub mod timeline;
 pub use engine::{simulate, SimConfig, SimResult};
 pub use events::{Event, UnitKind};
 pub use memory::MemoryState;
-pub use montecarlo::{run_trials, run_trials_with, trial_metric_stats, TrialSpec, TrialStats};
+pub use montecarlo::{
+    run_trials, run_trials_with, trial_metric_stats, trial_metric_tail_stats, TrialSpec, TrialStats,
+};
 pub use nonblocking::{simulate_nonblocking, NonBlockingConfig};
 pub use objective::McObjective;
 pub use plan::{recovery_plan, recovery_plan_with, PlanStep};
+pub use quantile::{QuantileSketch, TAIL_TARGETS};
 pub use replicated::{
     run_replicated_sets_trials_with, run_replicated_trials_with, simulate_replicated,
     simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,

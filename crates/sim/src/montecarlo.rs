@@ -9,6 +9,7 @@
 //! bit-identical for any thread count.
 
 use crate::engine::{simulate, SimConfig, SimResult};
+use crate::quantile::QuantileSketch;
 use crate::stats::Stats;
 use dagchkpt_core::{Schedule, Workflow};
 use dagchkpt_failure::{ExponentialInjector, FaultInjector, FaultModel};
@@ -98,15 +99,19 @@ pub struct TrialStats {
     /// run — coherent with [`Stats::mean`], which is also `NaN` when
     /// empty.
     pub mean_breakdown: [f64; 6],
+    /// Makespan tail sketch (p50/p95/p99); all-`NaN` quantiles when zero
+    /// trials were run, matching the `NaN` means above.
+    pub tail: QuantileSketch,
 }
 
-/// Per-chunk streaming accumulator: two [`Stats`] plus the running
-/// breakdown sum. `O(1)` per chunk, merged in chunk order.
-#[derive(Debug, Clone, Copy)]
+/// Per-chunk streaming accumulator: two [`Stats`], the tail sketch, plus
+/// the running breakdown sum. `O(1)` per chunk, merged in chunk order.
+#[derive(Debug, Clone)]
 struct TrialAccum {
     makespan: Stats,
     faults: Stats,
     breakdown: [f64; 6],
+    tail: QuantileSketch,
 }
 
 impl TrialAccum {
@@ -116,6 +121,7 @@ impl TrialAccum {
             makespan: Stats::new(),
             faults: Stats::new(),
             breakdown: [0.0; 6],
+            tail: QuantileSketch::new(),
         }
     }
 
@@ -123,6 +129,7 @@ impl TrialAccum {
     fn push(mut self, r: SimResult) -> Self {
         self.makespan.push(r.makespan);
         self.faults.push(r.n_faults as f64);
+        self.tail.push(r.makespan);
         for (acc, v) in self.breakdown.iter_mut().zip([
             r.time_work,
             r.time_rework,
@@ -141,6 +148,7 @@ impl TrialAccum {
     fn merge(mut self, other: TrialAccum) -> Self {
         self.makespan = self.makespan.merge(other.makespan);
         self.faults = self.faults.merge(other.faults);
+        self.tail = self.tail.merge(other.tail);
         for (a, b) in self.breakdown.iter_mut().zip(other.breakdown) {
             *a += b;
         }
@@ -159,6 +167,7 @@ impl TrialAccum {
             makespan: self.makespan,
             faults: self.faults,
             mean_breakdown,
+            tail: self.tail,
         }
     }
 }
@@ -264,23 +273,35 @@ pub fn trial_metric_stats<F>(spec: TrialSpec, metric: F) -> Stats
 where
     F: Fn(usize) -> f64 + Sync,
 {
-    let push = |mut s: Stats, x: f64| {
-        s.push(x);
-        s
+    trial_metric_tail_stats(spec, metric).0
+}
+
+/// [`trial_metric_stats`] plus the tail sketch of the same metric stream:
+/// one fold produces both the moment statistics and the p50/p95/p99
+/// sketch, with the identical deterministic chunk grouping (the [`Stats`]
+/// half is bit-identical to what [`trial_metric_stats`] returned before
+/// the sketch existed — the sketch rides in the same accumulator without
+/// touching the moment arithmetic).
+pub fn trial_metric_tail_stats<F>(spec: TrialSpec, metric: F) -> (Stats, QuantileSketch)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let identity = || (Stats::new(), QuantileSketch::new());
+    let push = |mut acc: (Stats, QuantileSketch), x: f64| {
+        acc.0.push(x);
+        acc.1.push(x);
+        acc
     };
+    let merge =
+        |a: (Stats, QuantileSketch), b: (Stats, QuantileSketch)| (a.0.merge(b.0), a.1.merge(b.1));
     if spec.parallel {
         (0..spec.trials)
             .into_par_iter()
             .map(&metric)
-            .fold(Stats::new, push)
-            .reduce(Stats::new, Stats::merge)
+            .fold(identity, push)
+            .reduce(identity, merge)
     } else {
-        fold_sequential_chunks(
-            spec.trials,
-            Stats::new,
-            |s, i| push(s, metric(i)),
-            Stats::merge,
-        )
+        fold_sequential_chunks(spec.trials, identity, |acc, i| push(acc, metric(i)), merge)
     }
 }
 
@@ -318,6 +339,11 @@ mod tests {
                 stats.mean_breakdown.iter().all(|v| v.is_nan()),
                 "breakdown must be NaN when no trials ran: {:?}",
                 stats.mean_breakdown
+            );
+            assert_eq!(stats.tail.count(), 0);
+            assert!(
+                stats.tail.p50().is_nan() && stats.tail.p95().is_nan() && stats.tail.p99().is_nan(),
+                "empty tail sketch must report NaN quantiles"
             );
         }
     }
@@ -440,9 +466,49 @@ mod tests {
         for (a, b) in par.mean_breakdown.iter().zip(seq.mean_breakdown.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        // The tail sketch obeys the same contract: identical chunk
+        // boundaries + chunk-ordered merge ⇒ bit-identical marker state.
+        assert_eq!(par.tail, seq.tail);
+        assert_eq!(par.tail.p50().to_bits(), seq.tail.p50().to_bits());
+        assert_eq!(par.tail.p99().to_bits(), seq.tail.p99().to_bits());
         // And the knob round-trips through the builder.
         assert!(TrialSpec::new(5, 1).parallel);
         assert!(!TrialSpec::new(5, 1).with_parallel(false).parallel);
+    }
+
+    /// The sketch-extended thread-invariance guarantee, exercised
+    /// in-process: the vendored executor reads `RAYON_NUM_THREADS` at
+    /// every dispatch, so running the same seeded trials under pools of
+    /// 1, 2 and 8 workers must produce bit-identical statistics *and*
+    /// bit-identical tail sketches. (Concurrently running tests only see
+    /// their pool size change mid-run, which the guarantee explicitly
+    /// covers — results never depend on the worker count.)
+    #[test]
+    fn tail_sketch_is_bit_identical_across_thread_counts() {
+        let wf = Workflow::uniform(generators::chain(5), 12.0, 1.2);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let model = FaultModel::new(4e-3, 1.0);
+        let saved = std::env::var("RAYON_NUM_THREADS").ok();
+        let runs: Vec<TrialStats> = ["1", "2", "8"]
+            .iter()
+            .map(|n| {
+                std::env::set_var("RAYON_NUM_THREADS", n);
+                run_trials(&wf, &s, model, TrialSpec::new(2_048, 23))
+            })
+            .collect();
+        match saved {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        for r in &runs[1..] {
+            assert_eq!(
+                r.makespan.mean().to_bits(),
+                runs[0].makespan.mean().to_bits()
+            );
+            assert_eq!(r.tail, runs[0].tail, "sketch state must not move");
+            assert_eq!(r.tail.p95().to_bits(), runs[0].tail.p95().to_bits());
+        }
     }
 
     #[test]

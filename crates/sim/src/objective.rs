@@ -15,9 +15,9 @@
 //!   per-trial seeds), which is what makes it usable inside the parallel
 //!   sweeps at all — but a different master seed is a different objective.
 
-use crate::montecarlo::{run_trials_with, TrialSpec};
+use crate::montecarlo::{run_trials_with, TrialSpec, TrialStats};
 use crate::replicated::run_replicated_sets_trials_with;
-use dagchkpt_core::{Objective, Schedule, Workflow};
+use dagchkpt_core::{CostSummary, Objective, Schedule, Workflow};
 use dagchkpt_failure::{ExponentialInjector, FaultModel, HeteroPlatform};
 
 /// Which platform the Monte-Carlo estimate runs on.
@@ -64,17 +64,16 @@ impl<'a> McObjective<'a> {
             backend: Backend::Replicated { platform, sets },
         }
     }
-}
 
-impl Objective for McObjective<'_> {
-    fn cost(&self, schedule: &Schedule) -> f64 {
+    /// The seeded trial run behind every cost query — one code path, so
+    /// `cost`, `cost_summary` and `cost_quantile` all see the same trials
+    /// (and the mean stays bit-identical whichever is asked).
+    fn trial_stats(&self, schedule: &Schedule) -> TrialStats {
         match &self.backend {
             Backend::Homogeneous { model } => {
                 run_trials_with(self.wf, schedule, model.downtime(), self.spec, |seed| {
                     ExponentialInjector::new(model.lambda(), seed)
                 })
-                .makespan
-                .mean()
             }
             Backend::Replicated { platform, sets } => run_replicated_sets_trials_with(
                 self.wf,
@@ -83,14 +82,34 @@ impl Objective for McObjective<'_> {
                 sets,
                 self.spec,
                 |rank, seed| ExponentialInjector::new(platform.procs()[rank].lambda, seed),
-            )
-            .makespan
-            .mean(),
+            ),
         }
+    }
+}
+
+impl Objective for McObjective<'_> {
+    fn cost(&self, schedule: &Schedule) -> f64 {
+        self.trial_stats(schedule).makespan.mean()
     }
 
     fn label(&self) -> &'static str {
         "mc"
+    }
+
+    fn cost_summary(&self, schedule: &Schedule) -> CostSummary {
+        let stats = self.trial_stats(schedule);
+        CostSummary {
+            mean: stats.makespan.mean(),
+            variance: stats.makespan.variance(),
+            p50: stats.tail.p50(),
+            p95: stats.tail.p95(),
+            p99: stats.tail.p99(),
+            trials: stats.tail.count(),
+        }
+    }
+
+    fn cost_quantile(&self, schedule: &Schedule, q: f64) -> f64 {
+        self.trial_stats(schedule).tail.quantile(q)
     }
 }
 
@@ -188,5 +207,53 @@ mod tests {
             dagchkpt_core::evaluate_replicated_sets(&wf, &platform, &s, &sets).expected_makespan;
         let rel = (mc - exact).abs() / exact;
         assert!(rel < 0.02, "MC {mc} vs exact {exact} (rel {rel})");
+    }
+
+    /// The summary's mean is the cost, bitwise — both run the same seeded
+    /// trials — and its quantiles come from the same run's tail sketch.
+    #[test]
+    fn cost_summary_mean_is_cost_bitwise_and_carries_quantiles() {
+        let wf = wf();
+        let model = FaultModel::new(5e-3, 1.0);
+        let s = dagchkpt_core::Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let obj = McObjective::homogeneous(&wf, model, TrialSpec::new(4_000, 13));
+        let summary = obj.cost_summary(&s);
+        assert_eq!(summary.mean.to_bits(), obj.cost(&s).to_bits());
+        assert_eq!(summary.trials, 4_000);
+        assert!(!summary.is_mean_only());
+        assert!(summary.variance > 0.0);
+        // Heavy-tailed makespans: the quantile ladder is ordered and the
+        // p99 sits above the mean.
+        assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+        assert!(summary.p99 > summary.mean);
+        assert_eq!(
+            obj.cost_quantile(&s, 0.99).to_bits(),
+            summary.p99.to_bits(),
+            "cost_quantile must agree with the summary on the same trials"
+        );
+    }
+
+    /// A quantile-targeted sweep against the MC backend runs end to end
+    /// and returns a schedule whose p99 key is finite and no worse than
+    /// the endpoints' (it searched the same family).
+    #[test]
+    fn quantile_sweep_against_mc_backend_runs_end_to_end() {
+        use dagchkpt_core::optimize_checkpoints_quantile;
+        let wf = wf();
+        let model = FaultModel::new(5e-3, 1.0);
+        let order = topo::topological_order(wf.dag());
+        let obj = McObjective::homogeneous(&wf, model, TrialSpec::new(4_000, 19));
+        let r = optimize_checkpoints_quantile(
+            &wf,
+            &obj,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+            0.99,
+        );
+        assert!(r.expected_makespan.is_finite());
+        assert_eq!(r.evaluated, wf.n_tasks() + 1);
+        let p99_winner = obj.cost_quantile(&r.schedule, 0.99);
+        assert_eq!(p99_winner.to_bits(), r.expected_makespan.to_bits());
     }
 }

@@ -1,0 +1,672 @@
+//! Streaming quantile estimation: the P² algorithm (Jain & Chlamtac,
+//! CACM 1985) over the three tail targets the cost spine reports
+//! (p50/p95/p99), with a deterministic merge for the chunked executor.
+//!
+//! Why P² and not a vendored t-digest: the sketch must ride inside the
+//! per-chunk `TrialAccum`s of `montecarlo::sim_result_stats`, whose
+//! bit-identity guarantee (same statistics for any `RAYON_NUM_THREADS`)
+//! rests on two properties — chunk boundaries that are a pure function of
+//! the item count ([`rayon::fold_chunk_len`]) and an accumulator merge
+//! that is deterministic in its two operands. P² is ~25 floats of state
+//! per target, needs no allocation after the first five observations, and
+//! its CDF-averaging merge below is a pure function of the operands; a
+//! t-digest's centroid compression is heavily tuning- and
+//! insertion-order-sensitive, far more code, and would buy accuracy this
+//! use (three fixed quantiles of a unimodal makespan distribution) does
+//! not need. See `vendor/README.md`.
+//!
+//! Determinism contract: for a fixed observation sequence split at fixed
+//! chunk boundaries and merged left-to-right in chunk order, the sketch
+//! state — hence every reported quantile — is bit-identical regardless of
+//! which threads executed which chunk. The merge is *not* equal to
+//! single-stream insertion (P² is order-sensitive by design); it is the
+//! same deterministic approximation on every run.
+//!
+//! Zero observations report `NaN` for every quantile, matching the
+//! all-`NaN` empty `TrialStats` convention, and the manual serde impls
+//! write non-finite values as `null` (the `Stats` pattern), so an empty
+//! sketch survives a JSON round trip.
+
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
+
+/// The quantile targets every sketch tracks, in reporting order.
+pub const TAIL_TARGETS: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// Observations buffered exactly before the P² markers initialize.
+const INIT_OBS: usize = 5;
+
+/// One P² marker bank tracking a single target quantile `q`: five marker
+/// heights straddling `{min, q/2, q, (1+q)/2, max}`, with integer actual
+/// positions and fractional desired positions updated per observation.
+#[derive(Debug, Clone, PartialEq)]
+struct P2Markers {
+    /// Target quantile in (0, 1).
+    q: f64,
+    /// Marker heights; `heights[2]` is the running estimate.
+    heights: [f64; 5],
+    /// Actual marker positions (1-based counts; integers stored as `f64`).
+    pos: [f64; 5],
+    /// Desired marker positions (fractional).
+    desired: [f64; 5],
+}
+
+impl P2Markers {
+    /// Initializes from the first five observations, pre-sorted ascending.
+    fn init(q: f64, sorted: &[f64; 5]) -> Self {
+        P2Markers {
+            q,
+            heights: *sorted,
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+        }
+    }
+
+    /// Per-observation desired-position increments.
+    fn increments(&self) -> [f64; 5] {
+        let q = self.q;
+        [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+    }
+
+    /// Absorbs one observation of height `x` — the classic P² update.
+    fn observe(&mut self, x: f64) {
+        // Locate the cell and update the extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = self.heights[4].max(x);
+            3
+        } else {
+            // Largest i in 0..=3 with heights[i] <= x; NaN-total ordering
+            // is irrelevant here because the branches above caught every
+            // non-interior x.
+            (0..4).rev().find(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+        for p in self.pos.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        let inc = self.increments();
+        for (d, di) in self.desired.iter_mut().zip(inc) {
+            *d += di;
+        }
+        // Move interior markers toward their desired positions, one step
+        // at a time, until none is off by a full position (merged banks
+        // can start with fractional positions, so a single observation may
+        // unlock several steps; each pass moves every eligible marker at
+        // most once, so the loop terminates).
+        loop {
+            let mut moved = false;
+            for i in 1..4 {
+                moved |= self.adjust(i);
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    /// One P² adjustment step for interior marker `i`; returns whether it
+    /// moved.
+    fn adjust(&mut self, i: usize) -> bool {
+        let d = self.desired[i] - self.pos[i];
+        let up = d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0;
+        let down = d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0;
+        if !(up || down) {
+            return false;
+        }
+        let s: f64 = if up { 1.0 } else { -1.0 };
+        let si = if up { i + 1 } else { i - 1 };
+        // Piecewise-parabolic prediction; fall back to linear when it
+        // would break marker monotonicity.
+        let parabolic = self.heights[i]
+            + s / (self.pos[i + 1] - self.pos[i - 1])
+                * ((self.pos[i] - self.pos[i - 1] + s) * (self.heights[i + 1] - self.heights[i])
+                    / (self.pos[i + 1] - self.pos[i])
+                    + (self.pos[i + 1] - self.pos[i] - s)
+                        * (self.heights[i] - self.heights[i - 1])
+                        / (self.pos[i] - self.pos[i - 1]));
+        self.heights[i] = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+            parabolic
+        } else {
+            self.heights[i]
+                + s * (self.heights[si] - self.heights[i]) / (self.pos[si] - self.pos[i])
+        };
+        self.pos[i] += s;
+        true
+    }
+
+    /// The bank's five `(level, height)` CDF sample points: a marker at
+    /// position `p` of `n = pos[4]` observations estimates the empirical
+    /// level `(p − 1)/(n − 1)`, so the points span level 0 (min) to 1
+    /// (max).
+    fn level_points(&self) -> [(f64, f64); 5] {
+        let denom = (self.pos[4] - 1.0).max(1.0);
+        let mut out = [(0.0, 0.0); 5];
+        for (slot, (&p, &h)) in out.iter_mut().zip(self.pos.iter().zip(self.heights.iter())) {
+            *slot = ((p - 1.0) / denom, h);
+        }
+        out
+    }
+
+    /// Merges two banks tracking the same target by averaging their
+    /// piecewise-linear CDF estimates (weighted by observation count) and
+    /// re-deriving the five markers from the merged distribution at the
+    /// target's canonical levels. A pure function of the two operands, so
+    /// the chunk-ordered fold stays deterministic; the result starts at a
+    /// steady state (`desired == pos`).
+    fn merged(a: &P2Markers, b: &P2Markers) -> P2Markers {
+        let q = a.q;
+        let (na, nb) = (a.pos[4], b.pos[4]);
+        let n = na + nb;
+        let pa = a.level_points();
+        let pb = b.level_points();
+        // The union of both banks' marker heights, ascending, with the
+        // merged CDF level at each.
+        let mut xs = [0.0; 10];
+        xs[..5].copy_from_slice(&a.heights);
+        xs[5..].copy_from_slice(&b.heights);
+        xs.sort_by(f64::total_cmp);
+        let pts = xs.map(|x| {
+            (
+                (na * interp_level(&pa, x) + nb * interp_level(&pb, x)) / n,
+                x,
+            )
+        });
+        // Invert the merged CDF at the marker levels {0, q/2, q,
+        // (1+q)/2, 1} and restore height monotonicity (independent
+        // interpolations can cross by rounding).
+        let targets = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0];
+        let mut heights = [xs[0], 0.0, 0.0, 0.0, xs[9]];
+        for i in 1..4 {
+            heights[i] = interp_height(&pts, targets[i]);
+        }
+        for i in 1..5 {
+            if heights[i] < heights[i - 1] {
+                heights[i] = heights[i - 1];
+            }
+        }
+        let pos = targets.map(|t| 1.0 + t * (n - 1.0));
+        P2Markers {
+            q,
+            heights,
+            pos,
+            desired: pos,
+        }
+    }
+}
+
+/// The level (CDF estimate) of height `x` under a bank's piecewise-linear
+/// marker curve: 0 at or below the min marker, 1 at or above the max.
+fn interp_level(pts: &[(f64, f64); 5], x: f64) -> f64 {
+    if x <= pts[0].1 {
+        return 0.0;
+    }
+    if x >= pts[4].1 {
+        return 1.0;
+    }
+    for i in (0..4).rev() {
+        let (l0, h0) = pts[i];
+        if h0 <= x {
+            let (l1, h1) = pts[i + 1];
+            return if h1 > h0 {
+                l0 + (x - h0) / (h1 - h0) * (l1 - l0)
+            } else {
+                l1
+            };
+        }
+    }
+    0.0
+}
+
+/// The height at `level` under a merged `(level, height)` curve sorted by
+/// level, clamping at the ends.
+fn interp_height(pts: &[(f64, f64); 10], level: f64) -> f64 {
+    match pts.iter().position(|p| p.0 >= level) {
+        Some(0) => pts[0].1,
+        None => pts[9].1,
+        Some(i) => {
+            let (l0, h0) = pts[i - 1];
+            let (l1, h1) = pts[i];
+            if l1 > l0 {
+                h0 + (level - l0) / (l1 - l0) * (h1 - h0)
+            } else {
+                h1
+            }
+        }
+    }
+}
+
+/// Streaming three-target (p50/p95/p99) P² quantile sketch with a
+/// deterministic merge — the distribution-carrying half of the cost spine.
+///
+/// The first five observations are buffered exactly (so tiny samples
+/// report exact order statistics); the sixth initializes one marker bank
+/// per target. Memory is constant from then on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Total observations.
+    count: u64,
+    /// The first observations, exact, until the markers initialize.
+    buffer: Vec<f64>,
+    /// One marker bank per [`TAIL_TARGETS`] entry, `None` while buffered.
+    banks: Option<Box<[P2Markers; 3]>>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Empty sketch: every quantile is `NaN`.
+    pub fn new() -> Self {
+        QuantileSketch {
+            count: 0,
+            buffer: Vec::new(),
+            banks: None,
+        }
+    }
+
+    /// Number of observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        match &mut self.banks {
+            None if self.buffer.len() < INIT_OBS => self.buffer.push(x),
+            None => {
+                self.init_banks();
+                self.observe_banks(x);
+            }
+            Some(_) => self.observe_banks(x),
+        }
+    }
+
+    fn init_banks(&mut self) {
+        let mut sorted = [0.0; INIT_OBS];
+        sorted.copy_from_slice(&self.buffer);
+        sorted.sort_by(f64::total_cmp);
+        self.banks = Some(Box::new(TAIL_TARGETS.map(|q| P2Markers::init(q, &sorted))));
+        self.buffer.clear();
+    }
+
+    fn observe_banks(&mut self, x: f64) {
+        for bank in self.banks.as_mut().expect("banks initialized").iter_mut() {
+            bank.observe(x);
+        }
+    }
+
+    /// Merges a later chunk's sketch. Deterministic in the two operands
+    /// (see the module docs): buffered operands replay their exact
+    /// observations; two initialized sketches merge bank-by-bank by
+    /// averaging their CDF estimates ([`P2Markers::merged`]).
+    #[must_use]
+    pub fn merge(mut self, other: QuantileSketch) -> QuantileSketch {
+        if other.count == 0 {
+            return self;
+        }
+        if self.count == 0 {
+            return other;
+        }
+        match (self.banks.is_some(), other.banks.is_some()) {
+            (_, false) => {
+                for &x in &other.buffer {
+                    self.push(x);
+                }
+                self
+            }
+            (false, true) => {
+                // Only the right side has marker state: replay our exact
+                // buffer into it (the result is a function of the operand
+                // values only, so determinism holds; `push` counts each
+                // replayed observation).
+                let mut big = other;
+                for &x in &self.buffer {
+                    big.push(x);
+                }
+                big
+            }
+            (true, true) => {
+                let other_banks = other.banks.as_ref().expect("initialized");
+                let own_banks = self.banks.as_mut().expect("initialized");
+                for (own, bank) in own_banks.iter_mut().zip(other_banks.iter()) {
+                    *own = P2Markers::merged(own, bank);
+                }
+                self.count += other.count;
+                self
+            }
+        }
+    }
+
+    /// The estimate for quantile `q` ∈ (0, 1): exact (linear-interpolated
+    /// order statistics) while ≤ 5 observations are buffered; the middle
+    /// marker of the matching bank for the [`TAIL_TARGETS`]; a
+    /// monotone interpolation over the pooled marker positions of all
+    /// three banks for any other `q`. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let Some(banks) = &self.banks else {
+            return exact_quantile(&self.buffer, q);
+        };
+        for bank in banks.iter() {
+            if bank.q == q {
+                return bank.heights[2];
+            }
+        }
+        // Pool every marker as a (level, height) point, where a marker at
+        // position p estimates the (p−1)/(n−1) empirical level; enforce
+        // height monotonicity (banks are independent approximations) and
+        // interpolate.
+        let n = self.count as f64;
+        let mut points: Vec<(f64, f64)> = banks
+            .iter()
+            .flat_map(|b| {
+                b.pos
+                    .iter()
+                    .zip(b.heights)
+                    .map(|(&p, h)| (if n > 1.0 { (p - 1.0) / (n - 1.0) } else { 0.5 }, h))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut run_max = f64::NEG_INFINITY;
+        for p in &mut points {
+            run_max = run_max.max(p.1);
+            p.1 = run_max;
+        }
+        match points.iter().position(|p| p.0 >= q) {
+            Some(0) => points[0].1,
+            None => points.last().expect("non-empty").1,
+            Some(i) => {
+                let (l0, h0) = points[i - 1];
+                let (l1, h1) = points[i];
+                if l1 > l0 {
+                    h0 + (q - l0) / (l1 - l0) * (h1 - h0)
+                } else {
+                    h1
+                }
+            }
+        }
+    }
+
+    /// Median estimate (`NaN` when empty).
+    pub fn p50(&self) -> f64 {
+        self.quantile(TAIL_TARGETS[0])
+    }
+
+    /// 95th-percentile estimate (`NaN` when empty).
+    pub fn p95(&self) -> f64 {
+        self.quantile(TAIL_TARGETS[1])
+    }
+
+    /// 99th-percentile estimate (`NaN` when empty).
+    pub fn p99(&self) -> f64 {
+        self.quantile(TAIL_TARGETS[2])
+    }
+}
+
+/// Exact linear-interpolated quantile of a small unsorted sample.
+fn exact_quantile(sample: &[f64], q: f64) -> f64 {
+    if sample.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let h = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+}
+
+/// JSON has no non-finite floats: write them as `null` (the `Stats`
+/// pattern); [`de_f64`] restores `NaN`. Observations are makespans —
+/// finite by construction — so in practice only the empty sketch and NaN
+/// summaries hit this path.
+fn ser_f64(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Float(x)
+    } else {
+        Value::Null
+    }
+}
+
+fn de_f64(v: &Value) -> Result<f64, DeError> {
+    match v {
+        Value::Null => Ok(f64::NAN),
+        other => f64::from_value(other),
+    }
+}
+
+fn ser_f64s(xs: &[f64]) -> Value {
+    Value::Seq(xs.iter().map(|&x| ser_f64(x)).collect())
+}
+
+fn de_f64s<const N: usize>(v: &Value, what: &'static str) -> Result<[f64; N], DeError> {
+    let Value::Seq(items) = v else {
+        return Err(DeError::expected("sequence", what, v));
+    };
+    if items.len() != N {
+        return Err(DeError::expected("5-element sequence", what, v));
+    }
+    let mut out = [0.0; N];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = de_f64(item)?;
+    }
+    Ok(out)
+}
+
+impl Serialize for P2Markers {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("q".to_string(), Value::Float(self.q)),
+            ("heights".to_string(), ser_f64s(&self.heights)),
+            ("pos".to_string(), ser_f64s(&self.pos)),
+            ("desired".to_string(), ser_f64s(&self.desired)),
+        ])
+    }
+}
+
+impl Deserialize for P2Markers {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "P2Markers", v))?;
+        let field = |name: &'static str| {
+            map_get(entries, name).ok_or_else(|| DeError::missing_field(name, "P2Markers"))
+        };
+        Ok(P2Markers {
+            q: f64::from_value(field("q")?)?,
+            heights: de_f64s(field("heights")?, "P2Markers.heights")?,
+            pos: de_f64s(field("pos")?, "P2Markers.pos")?,
+            desired: de_f64s(field("desired")?, "P2Markers.desired")?,
+        })
+    }
+}
+
+impl Serialize for QuantileSketch {
+    fn to_value(&self) -> Value {
+        let banks = match &self.banks {
+            None => Value::Null,
+            Some(b) => Value::Seq(b.iter().map(|m| m.to_value()).collect()),
+        };
+        Value::Map(vec![
+            ("count".to_string(), self.count.to_value()),
+            (
+                "buffer".to_string(),
+                Value::Seq(self.buffer.iter().map(|&x| ser_f64(x)).collect()),
+            ),
+            ("banks".to_string(), banks),
+        ])
+    }
+}
+
+impl Deserialize for QuantileSketch {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "QuantileSketch", v))?;
+        let field = |name: &'static str| {
+            map_get(entries, name).ok_or_else(|| DeError::missing_field(name, "QuantileSketch"))
+        };
+        let buffer = match field("buffer")? {
+            Value::Seq(items) => items.iter().map(de_f64).collect::<Result<Vec<_>, _>>()?,
+            other => {
+                return Err(DeError::expected(
+                    "sequence",
+                    "QuantileSketch.buffer",
+                    other,
+                ))
+            }
+        };
+        let banks = match field("banks")? {
+            Value::Null => None,
+            Value::Seq(items) if items.len() == 3 => {
+                let mut parsed = items
+                    .iter()
+                    .map(P2Markers::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let c = parsed.pop().expect("3 banks");
+                let b = parsed.pop().expect("3 banks");
+                let a = parsed.pop().expect("3 banks");
+                Some(Box::new([a, b, c]))
+            }
+            other => {
+                return Err(DeError::expected(
+                    "null or 3-element sequence",
+                    "QuantileSketch.banks",
+                    other,
+                ))
+            }
+        };
+        Ok(QuantileSketch {
+            count: u64::from_value(field("count")?)?,
+            buffer,
+            banks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(xs: &[f64]) -> QuantileSketch {
+        let mut s = QuantileSketch::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Satellite: the empty sketch matches the all-NaN `TrialStats`
+    /// convention for every quantile.
+    #[test]
+    fn empty_sketch_reports_all_nan_quantiles() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        for q in [0.01, 0.5, 0.95, 0.99, 0.999] {
+            assert!(s.quantile(q).is_nan(), "q={q}");
+        }
+        assert!(s.p50().is_nan() && s.p95().is_nan() && s.p99().is_nan());
+    }
+
+    #[test]
+    fn tiny_samples_are_exact_order_statistics() {
+        let one = sketch_of(&[7.5]);
+        assert_eq!(one.p50(), 7.5);
+        assert_eq!(one.p99(), 7.5);
+        let five = sketch_of(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(five.p50(), 3.0);
+        assert_eq!(five.quantile(0.25), 2.0);
+        assert!((five.p95() - 4.8).abs() < 1e-12);
+        assert_eq!(five.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn median_of_a_known_stream_is_close() {
+        // 0..=100 shuffled deterministically: exact p50 = 50.
+        let xs: Vec<f64> = (0..101).map(|i| ((i * 37) % 101) as f64).collect();
+        let s = sketch_of(&xs);
+        assert_eq!(s.count(), 101);
+        assert!((s.p50() - 50.0).abs() < 3.0, "p50 {}", s.p50());
+        assert!(s.p99() >= s.p95() - 1e-9 && s.p95() >= s.p50() - 1e-9);
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_tracks_the_distribution() {
+        // An LCG-mixed stream so every 250-chunk is a representative
+        // sample of the same distribution, as MC trial chunks are.
+        let mut state = 1u64;
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 * 2000.0
+            })
+            .collect();
+        let chunks: Vec<&[f64]> = xs.chunks(250).collect();
+        let fold = |_: ()| {
+            chunks
+                .iter()
+                .map(|c| sketch_of(c))
+                .fold(QuantileSketch::new(), QuantileSketch::merge)
+        };
+        let a = fold(());
+        let b = fold(());
+        assert_eq!(a, b, "merge must be deterministic");
+        assert_eq!(a.count(), 2000);
+        let exact50 = exact_quantile(&xs, 0.5);
+        let exact99 = exact_quantile(&xs, 0.99);
+        assert!(
+            (a.p50() - exact50).abs() < 40.0,
+            "p50 {} vs {exact50}",
+            a.p50()
+        );
+        assert!(
+            (a.p99() - exact99).abs() < 25.0,
+            "p99 {} vs {exact99}",
+            a.p99()
+        );
+    }
+
+    #[test]
+    fn merge_handles_buffered_operands() {
+        let empty = QuantileSketch::new();
+        let small = sketch_of(&[3.0, 1.0]);
+        let big = sketch_of(&(0..100).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(empty.clone().merge(small.clone()), small);
+        assert_eq!(small.clone().merge(empty.clone()), small);
+        let m = big.clone().merge(small.clone());
+        assert_eq!(m.count(), 102);
+        let m2 = small.merge(big);
+        assert_eq!(m2.count(), 102);
+        assert!(m2.p50().is_finite());
+    }
+
+    /// Satellite: the empty sketch round-trips through JSON (its `banks`
+    /// field is `null`, and any non-finite state writes as `null`).
+    #[test]
+    fn json_roundtrip_including_empty() {
+        for (name, s) in [
+            ("empty", QuantileSketch::new()),
+            ("buffered", sketch_of(&[2.0, -1.5, 7.0])),
+            (
+                "initialized",
+                sketch_of(&(0..50).map(|i| (i as f64).sin() * 10.0).collect::<Vec<_>>()),
+            ),
+        ] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: QuantileSketch = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s, "{name}: {json}");
+        }
+        let json = serde_json::to_string(&QuantileSketch::new()).unwrap();
+        assert!(json.contains("\"banks\":null"), "{json}");
+    }
+}

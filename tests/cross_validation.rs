@@ -113,8 +113,8 @@ fn pegasus_workflow_matches_theorem3_within_3_sigma() {
 
 mod differential {
     use dagchkpt_bench::{
-        run_scenario, CellResult, FailureSpec, OptimizerSpec, ScenarioSpec, SeedPolicy,
-        SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+        run_scenario, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec,
+        SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 
@@ -136,6 +136,7 @@ mod differential {
             platforms: vec![],
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
+            objective: ObjectiveSpec::Mean,
         }
     }
 
@@ -295,8 +296,9 @@ mod replication {
     use dagchkpt::dag::generators;
     use dagchkpt::prelude::*;
     use dagchkpt_bench::{
-        run_scenario, CellResult, FailureSpec, OptimizerSpec, PlatformSpec, ReplicationSpec,
-        ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+        run_scenario, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec,
+        ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
+        WorkflowSource,
     };
     use dagchkpt_workflows::WorkflowSpec;
 
@@ -366,6 +368,7 @@ mod replication {
                 },
             ],
             optimizer: OptimizerSpec::Proxy,
+            objective: ObjectiveSpec::Mean,
         }
     }
 

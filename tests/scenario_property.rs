@@ -14,8 +14,8 @@
 //!   heuristic.
 
 use dagchkpt_bench::{
-    FailureSpec, OptimizerSpec, PlatformSpec, ProcessorSpec, ReplicationSpec, ScenarioSpec,
-    SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+    FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec, ProcessorSpec, ReplicationSpec,
+    ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
 };
 use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 use dagchkpt_workflows::PegasusKind;
@@ -202,6 +202,7 @@ fn spec_raw(
         platforms: vec![],
         replications: vec![],
         optimizer: OptimizerSpec::Proxy,
+        objective: ObjectiveSpec::Mean,
     }
 }
 
@@ -315,6 +316,7 @@ fn execution_spec(strategies: Vec<StrategySpec>, trials: usize) -> ScenarioSpec 
         platforms: vec![],
         replications: vec![],
         optimizer: OptimizerSpec::Proxy,
+        objective: ObjectiveSpec::Mean,
     }
 }
 
