@@ -26,16 +26,16 @@
 use crate::chart::{render, Series};
 use crate::cli::{Options, Scale};
 use crate::csvout::CsvWriter;
-use crate::exec::{cell_best_rows, cell_csv_rows, stage_header};
+use crate::exec::{cell_best_rows, cell_csv_rows, stage_header, tenant_csv_rows};
 use crate::runner::Row;
-use crate::scenario::{FailureCell, ScenarioError, ScenarioSpec};
+use crate::scenario::{ArrivalSpec, FailureCell, ScenarioError, ScenarioSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use crate::exec::{
     run_cell_full, run_cell_plan, run_scenario, CellExecution, CellResult, ScheduleDetail,
-    GENERIC_HEADER,
+    TenantRow, GENERIC_HEADER, TENANT_HEADER,
 };
 
 /// How a scenario stage's rows are laid out on disk.
@@ -59,6 +59,10 @@ pub enum OutputFormat {
     /// One row per cell, one mean column per simulator (the legacy
     /// `nonblocking.csv` wide layout). Requires exactly one strategy.
     NonBlockingPivot,
+    /// One row per cell × strategy × tenant from the multi-tenant
+    /// contention engine (SLO hit rate, response/slowdown means, response
+    /// tails). Requires an `arrivals` stream on the stage's spec.
+    TenantRows,
 }
 
 /// Output configuration of a scenario stage.
@@ -99,6 +103,14 @@ impl OutputSpec {
     pub fn rows_tail(file: impl Into<String>) -> Self {
         OutputSpec {
             format: OutputFormat::RowsTail,
+            ..OutputSpec::rows(file)
+        }
+    }
+
+    /// A per-tenant contention-engine output.
+    pub fn tenant_rows(file: impl Into<String>) -> Self {
+        OutputSpec {
+            format: OutputFormat::TenantRows,
             ..OutputSpec::rows(file)
         }
     }
@@ -394,6 +406,11 @@ fn run_scenario_stage(
             "best_file is only meaningful with the Figure output format",
         ));
     }
+    if output.format == OutputFormat::TenantRows && ArrivalSpec::is_off(&spec.arrivals) {
+        return Err(ScenarioError::new(
+            "TenantRows output requires an `arrivals` stream on the stage's spec",
+        ));
+    }
 
     let hash = spec.stable_hash();
     let mpath = manifest_path(ctx, campaign, stage_idx, &spec.name);
@@ -483,7 +500,8 @@ fn run_scenario_stage(
             report.cells_skipped += 1;
             continue;
         }
-        let rows = run_cell_plan(spec, plan)?;
+        let exec = run_cell_full(spec, plan)?;
+        let rows = exec.rows;
         // |z| gates validation only where the analytic value is the ground
         // truth: the blocking engine under exponential faults (replicated
         // or not). Weibull, trace, shape-overridden-platform and
@@ -501,7 +519,12 @@ fn run_scenario_stage(
                 }
             }
         }
-        for line in cell_csv_rows(output.format, &rows) {
+        let body = if output.format == OutputFormat::TenantRows {
+            tenant_csv_rows(&exec.tenants)
+        } else {
+            cell_csv_rows(output.format, &rows)
+        };
+        for line in body {
             csv.write_row(line)
                 .map_err(|e| io_err("writing", &report.files[0], e))?;
             report.rows_written += 1;
@@ -514,9 +537,18 @@ fn run_scenario_stage(
         }
         if let Some(w) = json.as_mut() {
             use std::io::Write;
-            for r in &rows {
-                let line = serde_json::to_string(r)
-                    .map_err(|e| ScenarioError::new(format!("serializing row: {e}")))?;
+            // The JSON mirror follows the CSV body: tenant rows for a
+            // TenantRows stage, generic rows otherwise.
+            let lines: Vec<String> = if output.format == OutputFormat::TenantRows {
+                exec.tenants
+                    .iter()
+                    .map(serde_json::to_string)
+                    .collect::<Result<_, _>>()
+            } else {
+                rows.iter().map(serde_json::to_string).collect()
+            }
+            .map_err(|e| ScenarioError::new(format!("serializing row: {e}")))?;
+            for line in lines {
                 writeln!(w, "{line}")
                     .map_err(|e| ScenarioError::new(format!("writing json rows: {e}")))?;
             }
@@ -656,6 +688,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "hetero_replication",
         "replication_aware",
         "tail_latency",
+        "multi_tenant",
         "sweep_all",
     ]
 }
@@ -689,6 +722,7 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
         "hetero_replication" => Some(crate::studies::hetero_replication_campaign(scale, seed)),
         "replication_aware" => Some(crate::studies::replication_aware_campaign(scale, seed)),
         "tail_latency" => Some(crate::studies::tail_latency_campaign(scale, seed)),
+        "multi_tenant" => Some(crate::studies::multi_tenant_campaign(scale, seed)),
         "optgap" => Some(study_campaign("optgap", StudyKind::Optgap, scale, seed)),
         "ablation" => Some(study_campaign("ablation", StudyKind::Ablation, scale, seed)),
         "extensions" => Some(study_campaign(
@@ -719,8 +753,8 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
 mod tests {
     use super::*;
     use crate::scenario::{
-        FailureSpec, ObjectiveSpec, OptimizerSpec, SeedPolicy, SimulatorSpec, StrategySpec,
-        SweepSpec, WorkflowSource,
+        ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, SeedPolicy, SimulatorSpec,
+        StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
     use dagchkpt_workflows::PegasusKind;
@@ -755,6 +789,8 @@ mod tests {
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
             objective: ObjectiveSpec::Mean,
+            arrivals: ArrivalSpec::Off,
+            tenancy: TenancySpec::default(),
         }
     }
 

@@ -11,8 +11,8 @@
 use crate::campaign::OutputFormat;
 use crate::runner::{best_per_ckpt_strategy, Row};
 use crate::scenario::{
-    CellPlan, FailureCell, ObjectiveSpec, OptimizerSpec, ScenarioError, ScenarioSpec,
-    SimulatorSpec, StrategyCell,
+    AdmissionPolicy, ArrivalSpec, CellPlan, FailureCell, ObjectiveSpec, OptimizerSpec,
+    ScenarioError, ScenarioSpec, SimulatorSpec, StrategyCell,
 };
 use dagchkpt_core::{
     evaluator, exact, linearize, optimize_checkpoints_quantile, optimize_joint, run_heuristic,
@@ -23,9 +23,10 @@ use dagchkpt_failure::{
     daly, ExponentialInjector, FaultInjector, FaultModel, TraceInjector, WeibullInjector,
 };
 use dagchkpt_sim::{
-    run_replicated_sets_trials_with, run_replicated_trials_with, run_trials_with,
-    simulate_nonblocking, simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,
-    trial_metric_tail_stats, McObjective, NonBlockingConfig, TrialSpec,
+    run_replicated_sets_trials_with, run_replicated_trials_with, run_tenant_trials_with,
+    run_trials_with, simulate_nonblocking, simulate_replicated_nonblocking,
+    simulate_replicated_nonblocking_sets, trial_metric_tail_stats, McObjective, NonBlockingConfig,
+    TenantConfig, TenantJob, TenantPolicy, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -342,6 +343,50 @@ pub struct ScheduleDetail {
     pub replica_sets: Option<Vec<Vec<usize>>>,
 }
 
+/// One per-tenant output row of the multi-tenant contention engine: a
+/// (cell, strategy, tenant) outcome under the spec's arrival stream and
+/// admission policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantRow {
+    /// Cell index in the scenario's expansion.
+    pub cell: usize,
+    /// Workflow display name.
+    pub workflow: String,
+    /// Task count.
+    pub n: usize,
+    /// Proxy failure rate.
+    pub lambda: f64,
+    /// Failure-model label.
+    pub failure: String,
+    /// Platform label (empty without a `platforms` axis).
+    pub platform: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Admission-policy label.
+    pub policy: String,
+    /// Arrival-stream label.
+    pub arrivals: String,
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs submitted (admitted + rejected) across all trials.
+    pub jobs: u64,
+    /// Jobs rejected by `reject_over_capacity`.
+    pub rejected: u64,
+    /// Fraction of submitted jobs meeting the tenant's SLO deadline
+    /// (`NaN` when the tenant saw no jobs).
+    pub slo_rate: f64,
+    /// Mean response time (finish − arrival) of completed jobs.
+    pub mean_response: f64,
+    /// Mean slowdown (response ÷ contention-free execution time).
+    pub mean_slowdown: f64,
+    /// Median response time.
+    pub p50_response: f64,
+    /// 95th-percentile response time.
+    pub p95_response: f64,
+    /// 99th-percentile response time.
+    pub p99_response: f64,
+}
+
 /// Everything one cell produces: CSV-shaped rows plus the schedules.
 #[derive(Debug, Clone)]
 pub struct CellExecution {
@@ -349,6 +394,10 @@ pub struct CellExecution {
     pub rows: Vec<CellResult>,
     /// One entry per strategy, in stage order.
     pub schedules: Vec<ScheduleDetail>,
+    /// One row per strategy × tenant when the spec has an `arrivals`
+    /// stream; empty otherwise. Purely additive: the classic `rows` are
+    /// computed identically whether or not a stream runs.
+    pub tenants: Vec<TenantRow>,
 }
 
 /// Executes one cell and returns rows *and* schedules — the entry point
@@ -370,8 +419,10 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
         ))
     };
     let hetero = resolve_hetero(plan, &wf, model).map_err(&ctx)?;
+    let stream = tenant_stream(spec, plan, tinf).map_err(&ctx)?;
     let mut rows = Vec::new();
     let mut schedules = Vec::new();
+    let mut tenants = Vec::new();
     for strat in spec.strategy_cells() {
         let out = run_strategy(
             &wf,
@@ -405,6 +456,41 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
             expected,
             replica_sets: out.replica_sets.clone(),
         });
+        if let Some(stream) = &stream {
+            let stats = run_tenant_trials_with(
+                &wf,
+                &out.schedule,
+                &stream.jobs,
+                &stream.config,
+                TrialSpec::new(stream.trials, plan.seed),
+                |seed| make_injector(&plan.failure, seed),
+            );
+            for (names, t) in stream.names.iter().zip(&stats) {
+                tenants.push(TenantRow {
+                    cell: plan.index,
+                    workflow: source.display_name(),
+                    n: wf.n_tasks(),
+                    lambda: model.lambda(),
+                    failure: plan.failure.label(),
+                    platform: plan
+                        .platform
+                        .as_ref()
+                        .map_or_else(String::new, |p| p.label()),
+                    strategy: out.name.clone(),
+                    policy: spec.tenancy.policy.label().to_string(),
+                    arrivals: spec.arrivals.label(),
+                    tenant: names.clone(),
+                    jobs: t.jobs,
+                    rejected: t.rejected,
+                    slo_rate: t.slo_rate(),
+                    mean_response: t.response.mean(),
+                    mean_slowdown: t.slowdown.mean(),
+                    p50_response: t.tail.p50(),
+                    p95_response: t.tail.p95(),
+                    p99_response: t.tail.p99(),
+                });
+            }
+        }
         for sim in &spec.simulators {
             let nan5 = (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN);
             let (mc_mean, mc_sem, mc_p50, mc_p95, mc_p99) = match *sim {
@@ -553,7 +639,95 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
             });
         }
     }
-    Ok(CellExecution { rows, schedules })
+    Ok(CellExecution {
+        rows,
+        schedules,
+        tenants,
+    })
+}
+
+/// The resolved arrival stream of one cell, shared by every strategy.
+struct TenantStream {
+    jobs: Vec<TenantJob>,
+    config: TenantConfig,
+    names: Vec<String>,
+    trials: usize,
+}
+
+/// Resolves the spec's `arrivals`/`tenancy` axes for one cell: concrete
+/// arrival instants from the cell seed, round-robin tenant assignment,
+/// per-tenant SLO deadlines of `slo_factor × T∞` (strategy-independent,
+/// so heuristics compete against the same deadline), and the platform's
+/// processor speeds. The per-job fault streams use the cell's reference
+/// failure model; processor speed scales each job's whole execution — an
+/// approximation that is exact on uniform platforms. Returns `None` when
+/// the spec has no stream.
+fn tenant_stream(
+    spec: &ScenarioSpec,
+    plan: &CellPlan,
+    tinf: f64,
+) -> Result<Option<TenantStream>, ScenarioError> {
+    if ArrivalSpec::is_off(&spec.arrivals) {
+        return Ok(None);
+    }
+    let tenants = spec.tenancy.effective_tenants();
+    let jobs: Vec<TenantJob> = spec
+        .arrivals
+        .times(plan.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(k, arrival)| TenantJob {
+            arrival,
+            tenant: k % tenants.len(),
+        })
+        .collect();
+    let speeds: Vec<f64> = match &plan.platform {
+        None => vec![1.0],
+        Some(p) => p
+            .resolve(&plan.failure)?
+            .procs()
+            .iter()
+            .map(|pr| pr.speed)
+            .collect(),
+    };
+    let policy = match spec.tenancy.policy {
+        AdmissionPolicy::Fcfs => TenantPolicy::Fcfs,
+        AdmissionPolicy::Priority => TenantPolicy::Priority,
+        AdmissionPolicy::FairShare => TenantPolicy::FairShare,
+        AdmissionPolicy::RejectOverCapacity => TenantPolicy::RejectOverCapacity,
+    };
+    let config = TenantConfig {
+        speeds,
+        downtime: plan.failure.downtime(),
+        policy,
+        weights: tenants.iter().map(|t| t.weight).collect(),
+        deadlines: tenants
+            .iter()
+            .map(|t| {
+                if t.slo_factor > 0.0 {
+                    t.slo_factor * tinf
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect(),
+    };
+    let trials = spec
+        .simulators
+        .iter()
+        .find_map(|s| match s {
+            SimulatorSpec::MonteCarlo { trials } => Some(*trials),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            ScenarioError::new("arrivals need a montecarlo simulator to draw per-job trials from")
+        })?;
+    Ok(Some(TenantStream {
+        jobs,
+        config,
+        names: tenants.into_iter().map(|t| t.name).collect(),
+        trials,
+    }))
 }
 
 /// Executes every cell of a scenario and returns the rows — the pure,
@@ -586,6 +760,58 @@ pub const GENERIC_HEADER: [&str; 17] = [
     "mc_sem",
     "z",
 ];
+
+/// The per-tenant CSV header (`OutputFormat::TenantRows`).
+pub const TENANT_HEADER: [&str; 18] = [
+    "cell",
+    "workflow",
+    "n",
+    "lambda",
+    "failure",
+    "platform",
+    "strategy",
+    "policy",
+    "arrivals",
+    "tenant",
+    "jobs",
+    "rejected",
+    "slo_rate",
+    "mean_response",
+    "mean_slowdown",
+    "p50_response",
+    "p95_response",
+    "p99_response",
+];
+
+/// Formats one cell's per-tenant rows (the `TenantRows` stage body);
+/// same `fnum` float encoding as the generic rows, so non-finite values
+/// render as empty fields.
+pub fn tenant_csv_rows(rows: &[TenantRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.cell.to_string(),
+                r.workflow.clone(),
+                r.n.to_string(),
+                format!("{:e}", r.lambda),
+                r.failure.clone(),
+                r.platform.clone(),
+                r.strategy.clone(),
+                r.policy.clone(),
+                r.arrivals.clone(),
+                r.tenant.clone(),
+                r.jobs.to_string(),
+                r.rejected.to_string(),
+                fnum(r.slo_rate, 6),
+                fnum(r.mean_response, 6),
+                fnum(r.mean_slowdown, 6),
+                fnum(r.p50_response, 6),
+                fnum(r.p95_response, 6),
+                fnum(r.p99_response, 6),
+            ]
+        })
+        .collect()
+}
 
 fn fnum(v: f64, decimals: usize) -> String {
     if v.is_finite() {
@@ -676,6 +902,9 @@ pub fn cell_csv_rows(format: OutputFormat, rows: &[CellResult]) -> Vec<Vec<Strin
             row.extend(rows.iter().map(|r| format!("{:.4}", r.mc_mean)));
             vec![row]
         }
+        // Tenant rows come from `CellExecution::tenants` via
+        // [`tenant_csv_rows`], not from the per-simulator results.
+        OutputFormat::TenantRows => Vec::new(),
     }
 }
 
@@ -723,5 +952,6 @@ pub fn stage_header(format: OutputFormat, simulators: &[SimulatorSpec]) -> Vec<S
             }));
             h
         }
+        OutputFormat::TenantRows => TENANT_HEADER.iter().map(|s| s.to_string()).collect(),
     }
 }

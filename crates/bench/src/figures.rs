@@ -8,8 +8,8 @@
 use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::Scale;
 use crate::scenario::{
-    FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec,
-    StrategySpec, SweepSpec, WorkflowSource,
+    ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec, SeedPolicy,
+    SimulatorSpec, StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
 };
 use dagchkpt_core::CostRule;
 use dagchkpt_workflows::PegasusKind;
@@ -80,6 +80,8 @@ fn figure_stage(
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
             objective: ObjectiveSpec::Mean,
+            arrivals: ArrivalSpec::Off,
+            tenancy: TenancySpec::default(),
             name: name.clone(),
         },
         output: OutputSpec {
@@ -243,6 +245,8 @@ pub fn fig7_campaign(scale: Scale, seed: u64) -> Campaign {
                     replications: vec![],
                     optimizer: OptimizerSpec::Proxy,
                     objective: ObjectiveSpec::Mean,
+                    arrivals: ArrivalSpec::Off,
+                    tenancy: TenancySpec::default(),
                 },
                 output: OutputSpec {
                     file: format!("{stem}.csv"),

@@ -956,6 +956,249 @@ impl ObjectiveSpec {
     }
 }
 
+/// The concurrent-workflows arrival axis: when non-default, every cell
+/// *additionally* runs the online multi-tenant contention engine
+/// (`dagchkpt_sim::tenant`) over a stream of copies of the cell's
+/// workflow instance arriving at these instants — the classic per-cell
+/// rows are computed exactly as before and are untouched by this axis.
+///
+/// Like [`OptimizerSpec`], the field is serialized **only when
+/// non-default** (`skip_serializing_if`), so every spec written before
+/// the axis existed — and every spec keeping the default — has
+/// byte-identical canonical JSON, hence unchanged spec hashes,
+/// `SpecHash` cell seeds and golden CSVs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// No arrival stream: the classic one-workflow-per-cell campaign.
+    #[default]
+    Off,
+    /// `count` jobs; job 0 arrives at `t = 0` and later inter-arrival
+    /// gaps are i.i.d. exponential with mean `mean_gap` seconds, drawn
+    /// deterministically from the cell seed (see [`ArrivalSpec::times`]).
+    Poisson {
+        /// Number of arriving jobs (≥ 1).
+        count: usize,
+        /// Mean inter-arrival gap in seconds (finite, > 0).
+        mean_gap: f64,
+    },
+    /// Explicit arrival instants in seconds (finite, ≥ 0, non-decreasing).
+    Trace {
+        /// One arrival time per job.
+        times: Vec<f64>,
+    },
+}
+
+impl ArrivalSpec {
+    /// `true` for the default no-stream axis (the serde skip predicate).
+    pub fn is_off(v: &ArrivalSpec) -> bool {
+        matches!(v, ArrivalSpec::Off)
+    }
+
+    /// Number of jobs the stream submits.
+    pub fn count(&self) -> usize {
+        match self {
+            ArrivalSpec::Off => 0,
+            ArrivalSpec::Poisson { count, .. } => *count,
+            ArrivalSpec::Trace { times } => times.len(),
+        }
+    }
+
+    /// Label for reports and error messages.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalSpec::Off => "off".to_string(),
+            ArrivalSpec::Poisson { count, mean_gap } => format!("poisson{count}@{mean_gap}"),
+            ArrivalSpec::Trace { times } => format!("trace{}", times.len()),
+        }
+    }
+
+    /// The concrete arrival instants for one cell, a pure function of
+    /// `(self, seed)` — the determinism anchor for the whole tenant axis.
+    /// Poisson gap `k` inverts the exponential CDF at a uniform drawn
+    /// from `splitmix(seed, k)` (the same SplitMix64 finalizer as every
+    /// other seed path), so the stream is identical across shards,
+    /// stage orderings, and thread counts.
+    pub fn times(&self, seed: u64) -> Vec<f64> {
+        match self {
+            ArrivalSpec::Off => Vec::new(),
+            ArrivalSpec::Poisson { count, mean_gap } => {
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(*count);
+                for k in 0..*count {
+                    if k > 0 {
+                        // 53-bit mantissa uniform in [0, 1); 1-u keeps the
+                        // log argument in (0, 1].
+                        let u = (splitmix(seed, k as u64) >> 11) as f64 / (1u64 << 53) as f64;
+                        t += -mean_gap * (1.0 - u).ln();
+                    }
+                    out.push(t);
+                }
+                out
+            }
+            ArrivalSpec::Trace { times } => times.clone(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        match self {
+            ArrivalSpec::Off => Ok(()),
+            ArrivalSpec::Poisson { count, mean_gap } => {
+                if *count == 0 {
+                    return Err(ScenarioError::new(
+                        "arrivals: a Poisson stream needs at least one job",
+                    ));
+                }
+                if !(mean_gap.is_finite() && *mean_gap > 0.0) {
+                    return Err(ScenarioError::new(format!(
+                        "arrivals: mean_gap = {mean_gap} must be finite and > 0"
+                    )));
+                }
+                Ok(())
+            }
+            ArrivalSpec::Trace { times } => {
+                if times.is_empty() {
+                    return Err(ScenarioError::new(
+                        "arrivals: a trace stream needs at least one arrival time",
+                    ));
+                }
+                let mut prev = 0.0f64;
+                for (i, &t) in times.iter().enumerate() {
+                    if !(t.is_finite() && t >= 0.0) {
+                        return Err(ScenarioError::new(format!(
+                            "arrivals: times[{i}] = {t} must be finite and ≥ 0"
+                        )));
+                    }
+                    if t < prev {
+                        return Err(ScenarioError::new(format!(
+                            "arrivals: times[{i}] = {t} decreases (arrivals must be \
+                             non-decreasing)"
+                        )));
+                    }
+                    prev = t;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One tenant class of the multi-tenant axis: arriving jobs are assigned
+/// to tenants round-robin in arrival order, so every tenant sees a
+/// deterministic slice of the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name, reported in the output rows (non-empty, unique).
+    pub name: String,
+    /// Scheduling weight (finite, > 0): `priority` admits the heaviest
+    /// tenant first, `fair_share` targets allocations proportional to it.
+    pub weight: f64,
+    /// SLO deadline factor (finite, ≥ 0): a job meets its SLO when its
+    /// response time is ≤ `slo_factor × T∞` of the cell's workflow (the
+    /// checkpoint-free fault-free makespan — strategy-independent, so
+    /// heuristics compete against the same deadline). `0` disables the
+    /// SLO (every completed job counts as a hit).
+    pub slo_factor: f64,
+}
+
+/// How contending jobs are admitted to free processors.
+///
+/// The policy only matters *under contention*: when a processor is free
+/// and one job waits, every policy admits it identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// First-come first-served: admit the earliest-arrived waiting job.
+    #[default]
+    Fcfs,
+    /// Admit the waiting job of the heaviest tenant (earliest arrival
+    /// breaks ties).
+    Priority,
+    /// Admit the waiting job of the tenant with the smallest
+    /// jobs-started-to-weight ratio (earliest arrival breaks ties).
+    FairShare,
+    /// FCFS admission, but an arriving job is *rejected outright* when
+    /// no processor is free and the queue already holds one waiting job
+    /// per processor; rejected jobs count as SLO misses.
+    RejectOverCapacity,
+}
+
+impl AdmissionPolicy {
+    /// Label for reports and file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fcfs => "fcfs",
+            AdmissionPolicy::Priority => "priority",
+            AdmissionPolicy::FairShare => "fair_share",
+            AdmissionPolicy::RejectOverCapacity => "reject_over_capacity",
+        }
+    }
+}
+
+/// The tenant table + admission policy of the multi-tenant axis.
+///
+/// Serialized only when non-default (like [`OptimizerSpec`]), so
+/// pre-existing specs keep their canonical JSON, spec hashes and golden
+/// CSVs. An empty tenant table with a stream running means one implicit
+/// unweighted tenant with no SLO (see [`TenancySpec::effective_tenants`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TenancySpec {
+    /// Tenant classes; jobs are assigned round-robin in arrival order.
+    #[serde(default)]
+    pub tenants: Vec<TenantSpec>,
+    /// Admission policy applied when jobs contend for processors.
+    #[serde(default)]
+    pub policy: AdmissionPolicy,
+}
+
+impl TenancySpec {
+    /// `true` for the default tenancy (the serde skip predicate).
+    pub fn is_off(v: &TenancySpec) -> bool {
+        v.tenants.is_empty() && v.policy == AdmissionPolicy::Fcfs
+    }
+
+    /// The concrete tenant table: the declared tenants, or one implicit
+    /// unweighted no-SLO tenant named `all` when none are declared.
+    pub fn effective_tenants(&self) -> Vec<TenantSpec> {
+        if self.tenants.is_empty() {
+            vec![TenantSpec {
+                name: "all".to_string(),
+                weight: 1.0,
+                slo_factor: 0.0,
+            }]
+        } else {
+            self.tenants.clone()
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.name.is_empty() {
+                return Err(ScenarioError::new(format!(
+                    "tenancy.tenants[{i}]: needs a non-empty name"
+                )));
+            }
+            if !(t.weight.is_finite() && t.weight > 0.0) {
+                return Err(ScenarioError::new(format!(
+                    "tenancy.tenants[{i}]: weight = {} must be finite and > 0",
+                    t.weight
+                )));
+            }
+            if !(t.slo_factor.is_finite() && t.slo_factor >= 0.0) {
+                return Err(ScenarioError::new(format!(
+                    "tenancy.tenants[{i}]: slo_factor = {} must be finite and ≥ 0",
+                    t.slo_factor
+                )));
+            }
+            if self.tenants[..i].iter().any(|p| p.name == t.name) {
+                return Err(ScenarioError::new(format!(
+                    "tenancy.tenants[{i}]: duplicate tenant name `{}`",
+                    t.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A strategy axis entry; expands into one or more [`StrategyCell`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StrategySpec {
@@ -1202,6 +1445,18 @@ pub struct ScenarioSpec {
     /// pre-existing specs keep their canonical JSON and seeds.
     #[serde(default, skip_serializing_if = "ObjectiveSpec::is_mean")]
     pub objective: ObjectiveSpec,
+    /// Online arrival stream (axis 6, optional): when set, every cell
+    /// additionally runs the multi-tenant contention engine over a
+    /// stream of copies of its workflow instance. Serialized only when
+    /// non-default, so pre-existing specs keep their canonical JSON and
+    /// seeds.
+    #[serde(default, skip_serializing_if = "ArrivalSpec::is_off")]
+    pub arrivals: ArrivalSpec,
+    /// Tenant table + admission policy for the arrival stream (default:
+    /// one implicit unweighted tenant under FCFS). Serialized only when
+    /// non-default, like `arrivals`.
+    #[serde(default, skip_serializing_if = "TenancySpec::is_off")]
+    pub tenancy: TenancySpec,
 }
 
 /// One expanded cell: a workflow instance under one failure model (and
@@ -1358,6 +1613,37 @@ impl ScenarioSpec {
                 self.objective.label()
             )));
         }
+        self.arrivals.validate()?;
+        self.tenancy.validate()?;
+        if !TenancySpec::is_off(&self.tenancy) && ArrivalSpec::is_off(&self.arrivals) {
+            return Err(ScenarioError::new(
+                "tenancy needs an `arrivals` stream to admit (set arrivals: poisson or trace)",
+            ));
+        }
+        if !ArrivalSpec::is_off(&self.arrivals) {
+            if self.optimizer != OptimizerSpec::Proxy {
+                return Err(ScenarioError::new(format!(
+                    "arrivals require the default proxy optimizer (the contention engine \
+                     reuses each strategy's proxy-optimized schedule), got `{}`",
+                    self.optimizer.label()
+                )));
+            }
+            if !self.replications.is_empty() {
+                return Err(ScenarioError::new(
+                    "arrivals cannot be combined with a `replications` axis \
+                     (the contention engine runs one replica per job)",
+                ));
+            }
+            if !self
+                .simulators
+                .iter()
+                .any(|s| matches!(s, SimulatorSpec::MonteCarlo { .. }))
+            {
+                return Err(ScenarioError::new(
+                    "arrivals need a montecarlo simulator to draw per-job fault trials from",
+                ));
+            }
+        }
         if self.optimizer != OptimizerSpec::Proxy {
             if self.platforms.is_empty() {
                 return Err(ScenarioError::new(format!(
@@ -1483,6 +1769,8 @@ mod tests {
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
             objective: ObjectiveSpec::Mean,
+            arrivals: ArrivalSpec::Off,
+            tenancy: TenancySpec::default(),
         }
     }
 
@@ -2110,6 +2398,125 @@ mod tests {
             }
             .label(),
             "custom3"
+        );
+    }
+
+    /// The golden-corpus invariant of the tenant axis: a spec keeping the
+    /// default (no) arrival stream serializes to canonical JSON that
+    /// never mentions the new fields — byte-identical to pre-axis specs,
+    /// so spec hashes and `SpecHash` cell seeds are unchanged. A spec
+    /// that does set the axes round-trips through JSON losslessly.
+    #[test]
+    fn default_arrival_axes_are_invisible_in_canonical_json() {
+        let plain = tiny_spec();
+        let json = plain.to_json();
+        assert!(
+            !json.contains("arrivals") && !json.contains("tenancy"),
+            "default axes must not appear in canonical JSON: {json}"
+        );
+        let hash_before = plain.stable_hash();
+
+        let mut streamed = tiny_spec();
+        streamed.arrivals = ArrivalSpec::Poisson {
+            count: 6,
+            mean_gap: 100.0,
+        };
+        streamed.tenancy = TenancySpec {
+            tenants: vec![
+                TenantSpec {
+                    name: "gold".to_string(),
+                    weight: 4.0,
+                    slo_factor: 1.5,
+                },
+                TenantSpec {
+                    name: "bronze".to_string(),
+                    weight: 1.0,
+                    slo_factor: 3.0,
+                },
+            ],
+            policy: AdmissionPolicy::Priority,
+        };
+        let json = streamed.to_json();
+        assert!(json.contains("arrivals") && json.contains("tenancy"));
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, streamed, "arrival axes must round-trip losslessly");
+        assert_ne!(
+            streamed.stable_hash(),
+            hash_before,
+            "setting the axes must change the spec hash (no seed aliasing)"
+        );
+    }
+
+    /// Arrival-stream and tenancy validation rejects malformed axes with
+    /// the error text pinned verbatim.
+    #[test]
+    fn arrival_and_tenancy_validation_error_text_is_pinned() {
+        let with = |arrivals: ArrivalSpec, tenancy: TenancySpec| {
+            let spec = ScenarioSpec {
+                arrivals,
+                tenancy,
+                ..tiny_spec()
+            };
+            spec.validate().unwrap_err().0
+        };
+        let gold = |slo_factor: f64, weight: f64| TenancySpec {
+            tenants: vec![TenantSpec {
+                name: "gold".to_string(),
+                weight,
+                slo_factor,
+            }],
+            policy: AdmissionPolicy::Fcfs,
+        };
+        assert_eq!(
+            with(
+                ArrivalSpec::Poisson {
+                    count: 0,
+                    mean_gap: 10.0
+                },
+                TenancySpec::default()
+            ),
+            "arrivals: a Poisson stream needs at least one job"
+        );
+        assert_eq!(
+            with(
+                ArrivalSpec::Poisson {
+                    count: 3,
+                    mean_gap: f64::NAN
+                },
+                TenancySpec::default()
+            ),
+            "arrivals: mean_gap = NaN must be finite and > 0"
+        );
+        assert_eq!(
+            with(
+                ArrivalSpec::Trace {
+                    times: vec![0.0, 5.0, 2.0]
+                },
+                TenancySpec::default()
+            ),
+            "arrivals: times[2] = 2 decreases (arrivals must be non-decreasing)"
+        );
+        assert_eq!(
+            with(ArrivalSpec::Off, gold(1.5, 2.0)),
+            "tenancy needs an `arrivals` stream to admit (set arrivals: poisson or trace)"
+        );
+        let stream = ArrivalSpec::Poisson {
+            count: 3,
+            mean_gap: 10.0,
+        };
+        assert_eq!(
+            with(stream.clone(), gold(1.5, 0.0)),
+            "tenancy.tenants[0]: weight = 0 must be finite and > 0"
+        );
+        assert_eq!(
+            with(stream.clone(), gold(-1.0, 2.0)),
+            "tenancy.tenants[0]: slo_factor = -1 must be finite and ≥ 0"
+        );
+        let mut dup = gold(1.5, 2.0);
+        dup.tenants.push(dup.tenants[0].clone());
+        assert_eq!(
+            with(stream, dup),
+            "tenancy.tenants[1]: duplicate tenant name `gold`"
         );
     }
 }

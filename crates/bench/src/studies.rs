@@ -13,8 +13,9 @@ use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::{Options, Scale};
 use crate::csvout::write_csv;
 use crate::scenario::{
-    FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec, SeedPolicy, SimulatorSpec,
-    StrategySpec, SweepSpec, WorkflowSource,
+    AdmissionPolicy, ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec,
+    ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec, TenantSpec,
+    WorkflowSource,
 };
 use dagchkpt_core::{
     exact, linearize, linearize_with_priority, optimize_checkpoints, strategies::local_search,
@@ -84,6 +85,8 @@ pub fn validate_campaign(scale: Scale, seed: u64) -> Campaign {
                 replications: vec![],
                 optimizer: OptimizerSpec::Proxy,
                 objective: ObjectiveSpec::Mean,
+                arrivals: ArrivalSpec::Off,
+                tenancy: TenancySpec::default(),
             },
             output: OutputSpec {
                 file: "validate.csv".to_string(),
@@ -131,6 +134,8 @@ pub fn weibull_campaign(scale: Scale, seed: u64) -> Campaign {
                 replications: vec![],
                 optimizer: OptimizerSpec::Proxy,
                 objective: ObjectiveSpec::Mean,
+                arrivals: ArrivalSpec::Off,
+                tenancy: TenancySpec::default(),
             },
             output: OutputSpec {
                 file: "weibull.csv".to_string(),
@@ -183,6 +188,8 @@ pub fn nonblocking_campaign(scale: Scale, seed: u64) -> Campaign {
                 replications: vec![],
                 optimizer: OptimizerSpec::Proxy,
                 objective: ObjectiveSpec::Mean,
+                arrivals: ArrivalSpec::Off,
+                tenancy: TenancySpec::default(),
             },
             output: OutputSpec {
                 file: "nonblocking.csv".to_string(),
@@ -264,6 +271,8 @@ pub fn hetero_replication_campaign(scale: Scale, seed: u64) -> Campaign {
                 replications,
                 optimizer: OptimizerSpec::Proxy,
                 objective: ObjectiveSpec::Mean,
+                arrivals: ArrivalSpec::Off,
+                tenancy: TenancySpec::default(),
             },
             output: OutputSpec::rows("hetero_replication.csv"),
         }],
@@ -337,6 +346,8 @@ pub fn replication_aware_campaign(scale: Scale, seed: u64) -> Campaign {
         replications: vec![crate::scenario::ReplicationSpec::Uniform { degree: 2 }],
         optimizer,
         objective: ObjectiveSpec::Mean,
+        arrivals: ArrivalSpec::Off,
+        tenancy: TenancySpec::default(),
     };
     Campaign {
         name: "replication_aware".to_string(),
@@ -408,6 +419,8 @@ pub fn tail_latency_campaign(scale: Scale, seed: u64) -> Campaign {
         replications: Vec::new(),
         optimizer: OptimizerSpec::Proxy,
         objective,
+        arrivals: ArrivalSpec::Off,
+        tenancy: TenancySpec::default(),
     };
     Campaign {
         name: "tail_latency".to_string(),
@@ -421,6 +434,134 @@ pub fn tail_latency_campaign(scale: Scale, seed: u64) -> Campaign {
             output: OutputSpec::rows_tail(format!("tail_latency_{}.csv", o.label())),
             scenario: scenario(o),
         })
+        .collect(),
+    }
+}
+
+/// The multi-tenant contention study: the **same cells** (one random
+/// layered DAG × expensive checkpoints × exponential faults × eight
+/// heuristics on a two-processor platform) run through the online
+/// contention engine under five arrival/policy regimes, into
+/// [`OutputFormat::TenantRows`] CSVs:
+///
+/// * `multi_tenant_baseline.csv` — near-uncontended Poisson stream under
+///   FCFS: every job effectively has the platform to itself;
+/// * `multi_tenant_{fcfs,priority,fair_share,reject}.csv` — the same job
+///   count at a heavily oversubscribed rate, one stage per admission
+///   policy.
+///
+/// The strategy set spans the checkpointing spectrum: the six swept
+/// work-and-cost heuristics (mean-optimal budgets) plus the `CkptAlws`
+/// and `CkptNvr` extremes under DF. At `c = 0.3 w` the sweeps keep few
+/// checkpoints, so a fault re-executes a large chunk — a fat service
+/// tail — while `CkptAlws` pays ~30% overhead for a near-deterministic
+/// runtime. That trade-off makes the SLO winner regime-dependent:
+/// uncontended, the deadline sits in the service tail and `DF-CkptAlws`
+/// wins by never blowing it; contended, queueing delay dwarfs the fault
+/// tail and the lean swept schedules win by draining the convoy faster.
+/// `tests/tenant_flip.rs` pins against the golden corpus that every
+/// contended policy stage crowns a different winner than the baseline.
+///
+/// Two tenants share the platform: `gold` (weight 4, tight SLO) and
+/// `bronze` (weight 1, loose SLO), with deadlines at `slo_factor × T∞`
+/// so every heuristic competes against the same clock.
+///
+/// Cell seeds use [`SeedPolicy::LegacyXorN`], which does **not** depend
+/// on the spec hash — the stages differ only in `arrivals`/`tenancy`, so
+/// they generate identical DAG instances and identical per-job fault
+/// streams; row differences are pure contention-policy trade-offs.
+pub fn multi_tenant_campaign(scale: Scale, seed: u64) -> Campaign {
+    let mc_trials = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 10_000,
+    };
+    // 10 jobs on 2 processors: the contended mean gap feeds work ~7× as
+    // fast as the platform drains it, so late jobs queue behind the
+    // convoy and the SLO clock rewards drain rate over tail safety.
+    let jobs = 10;
+    let uncontended_gap = 50_000.0;
+    let contended_gap = 300.0;
+    let scenario = move |tag: &str, mean_gap: f64, policy: AdmissionPolicy| ScenarioSpec {
+        name: format!("multi_tenant_{tag}"),
+        description: format!(
+            "two-tenant Poisson stream (gap {mean_gap}) under {} admission",
+            policy.label()
+        ),
+        workflows: vec![WorkflowSource::RandomLayered {
+            max_width: 6,
+            edge_prob: 0.3,
+            min_weight: 20.0,
+            max_weight: 80.0,
+            // Expensive checkpoints: the swept budgets stay small, so the
+            // mean-optimal schedules carry a fat fault-re-execution tail
+            // that CkptAlws trades ~30% overhead to eliminate.
+            rule: CostRule::ProportionalToWork { ratio: 0.3 },
+            default_lambda: 0.0,
+        }],
+        sizes: vec![16],
+        failures: vec![FailureSpec::Exponential {
+            lambda: 8e-4,
+            downtime: 5.0,
+        }],
+        strategies: vec![
+            StrategySpec::WorkAndCost,
+            StrategySpec::Heuristic {
+                lin: LinearizationStrategy::DepthFirst,
+                ckpt: CheckpointStrategy::Always,
+            },
+            StrategySpec::Heuristic {
+                lin: LinearizationStrategy::DepthFirst,
+                ckpt: CheckpointStrategy::Never,
+            },
+        ],
+        simulators: vec![SimulatorSpec::MonteCarlo { trials: mc_trials }],
+        seed,
+        // LegacyXorN: seeds independent of the spec hash, so all five
+        // stages (which differ in arrivals/tenancy only) see identical
+        // DAG instances and identical per-job fault streams.
+        seed_policy: SeedPolicy::LegacyXorN,
+        sweep: SweepSpec::Exhaustive,
+        platforms: vec![PlatformSpec::Uniform { count: 2 }],
+        replications: Vec::new(),
+        optimizer: OptimizerSpec::Proxy,
+        objective: ObjectiveSpec::Mean,
+        arrivals: ArrivalSpec::Poisson {
+            count: jobs,
+            mean_gap,
+        },
+        tenancy: TenancySpec {
+            tenants: vec![
+                TenantSpec {
+                    name: "gold".to_string(),
+                    weight: 4.0,
+                    slo_factor: 1.7,
+                },
+                TenantSpec {
+                    name: "bronze".to_string(),
+                    weight: 1.0,
+                    slo_factor: 2.7,
+                },
+            ],
+            policy,
+        },
+    };
+    let contended = [
+        ("fcfs", AdmissionPolicy::Fcfs),
+        ("priority", AdmissionPolicy::Priority),
+        ("fair_share", AdmissionPolicy::FairShare),
+        ("reject", AdmissionPolicy::RejectOverCapacity),
+    ];
+    Campaign {
+        name: "multi_tenant".to_string(),
+        description: "admission policies under concurrent workflow arrivals".to_string(),
+        stages: std::iter::once(Stage::Scenario {
+            output: OutputSpec::tenant_rows("multi_tenant_baseline.csv"),
+            scenario: scenario("baseline", uncontended_gap, AdmissionPolicy::Fcfs),
+        })
+        .chain(contended.into_iter().map(|(tag, policy)| Stage::Scenario {
+            output: OutputSpec::tenant_rows(format!("multi_tenant_{tag}.csv")),
+            scenario: scenario(tag, contended_gap, policy),
+        }))
         .collect(),
     }
 }

@@ -12,7 +12,7 @@
 //! `cache_property` tests.
 
 use crate::protocol::{Response, TailSummary};
-use dagchkpt_bench::ScheduleDetail;
+use dagchkpt_bench::{ScheduleDetail, TenantRow};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -28,6 +28,9 @@ pub struct CellAnswer {
     pub schedules: Vec<ScheduleDetail>,
     /// Tail quantiles of the Monte-Carlo rows (finite ones only).
     pub tails: Vec<TailSummary>,
+    /// Per-tenant contention summaries (finite ones only; empty when the
+    /// spec has no `arrivals` stream).
+    pub tenants: Vec<TenantRow>,
 }
 
 impl CellAnswer {
@@ -39,6 +42,7 @@ impl CellAnswer {
             schedules: self.schedules.clone(),
             cached,
             tails: self.tails.clone(),
+            tenants: self.tenants.clone(),
         }
     }
 }
@@ -92,8 +96,16 @@ impl ResponseCache {
     }
 
     /// Looks up an answer, counting the hit or miss.
+    ///
+    /// Lock poisoning is recovered, not propagated: the cache holds only
+    /// plain-old-data behind `Arc`s, every mutation leaves `map` and
+    /// `order` individually consistent, and the worst inconsistency a
+    /// panic mid-insert can leave behind is a missing or extra FIFO entry
+    /// — which costs a recomputation, never a wrong answer. Propagating
+    /// the poison instead would cascade the one panicking worker's fate
+    /// onto every other worker despite their per-request `catch_unwind`.
     pub fn get(&self, key: &str) -> Option<Arc<CellAnswer>> {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.map.get(key) {
             Some(a) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -114,7 +126,7 @@ impl ResponseCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.map.insert(key.clone(), answer).is_none() {
             inner.order.push_back(key);
             while inner.order.len() > self.capacity {
@@ -125,9 +137,25 @@ impl ResponseCache {
         }
     }
 
+    /// Test hook: poisons the inner lock by panicking while holding it,
+    /// exactly as a worker dying mid-critical-section would. Used by the
+    /// daemon regression test; not part of the serving API.
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("deliberate poison");
+        }));
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().expect("cache lock").map.len();
+        let entries = self
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -147,6 +175,7 @@ mod tests {
             rows: vec![vec![tag.to_string()]],
             schedules: Vec::new(),
             tails: Vec::new(),
+            tenants: Vec::new(),
         })
     }
 
@@ -172,6 +201,30 @@ mod tests {
         cache.insert("b".to_string(), answer("b"));
         assert!(cache.get("a").is_some());
         assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let cache = Arc::new(ResponseCache::new(2));
+        cache.insert("a".to_string(), answer("a"));
+        // Poison the inner mutex: panic while holding the lock.
+        let poisoner = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the cache lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(
+            cache.inner.lock().is_err(),
+            "lock must actually be poisoned"
+        );
+        // Every entry point keeps working on the recovered data.
+        assert_eq!(cache.get("a").unwrap().rows, vec![vec!["a".to_string()]]);
+        cache.insert("b".to_string(), answer("b"));
+        assert!(cache.get("b").is_some());
+        let s = cache.stats();
+        assert_eq!((s.entries, s.capacity), (2, 2));
     }
 
     #[test]

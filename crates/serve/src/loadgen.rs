@@ -311,6 +311,8 @@ fn probe_spec() -> ScenarioSpec {
         replications: Vec::new(),
         optimizer: Default::default(),
         objective: Default::default(),
+        arrivals: Default::default(),
+        tenancy: Default::default(),
     }
 }
 

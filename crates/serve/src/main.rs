@@ -11,11 +11,13 @@
 use dagchkpt_bench::{builtin, builtin_names, Scale};
 use dagchkpt_serve::loadgen::{bench_load, replay_campaign, run_malformed_corpus, Client};
 use dagchkpt_serve::protocol::{Request, Response};
-use dagchkpt_serve::server::Server;
+use dagchkpt_serve::server::{Server, DEFAULT_READ_TIMEOUT_MS};
 use std::path::PathBuf;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
-  dagchkpt-serve --listen ADDR [--workers N] [--cache-capacity N] [--addr-file PATH]
+  dagchkpt-serve --listen ADDR [--workers N] [--cache-capacity N]
+                 [--read-timeout-ms N] [--addr-file PATH]
   dagchkpt-serve --loadgen ADDR --campaign NAME [--quick|--full] [--seed S]
                  [--out DIR] [--rounds N] [--connections N]
   dagchkpt-serve --probe ADDR
@@ -37,6 +39,7 @@ struct Args {
     out: PathBuf,
     workers: usize,
     cache_capacity: usize,
+    read_timeout_ms: u64,
     rounds: usize,
     connections: usize,
     addr_file: Option<PathBuf>,
@@ -54,6 +57,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         workers: 0,
         cache_capacity: 256,
+        read_timeout_ms: DEFAULT_READ_TIMEOUT_MS,
         rounds: 3,
         connections: 4,
         addr_file: None,
@@ -87,6 +91,11 @@ fn parse_args() -> Args {
                 args.cache_capacity = value(&mut it, "--cache-capacity")
                     .parse()
                     .unwrap_or_else(|_| fail("--cache-capacity needs an integer"))
+            }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = value(&mut it, "--read-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--read-timeout-ms needs an integer"))
             }
             "--rounds" => {
                 args.rounds = value(&mut it, "--rounds")
@@ -122,8 +131,13 @@ fn main() {
     }
 
     if let Some(addr) = &args.listen {
-        let server = Server::bind(addr, args.workers, args.cache_capacity)
-            .unwrap_or_else(|e| fail(&format!("bind {addr}: {e}")));
+        let server = Server::bind_with_timeout(
+            addr,
+            args.workers,
+            args.cache_capacity,
+            Duration::from_millis(args.read_timeout_ms),
+        )
+        .unwrap_or_else(|e| fail(&format!("bind {addr}: {e}")));
         let bound = server
             .local_addr()
             .unwrap_or_else(|e| fail(&format!("local_addr: {e}")));

@@ -14,7 +14,7 @@
 //! non-finite cost smuggled in as `1e400` — is answered with
 //! [`Response::Error`], never by killing the connection's worker.
 
-use dagchkpt_bench::{OutputFormat, ScenarioSpec, ScheduleDetail};
+use dagchkpt_bench::{OutputFormat, ScenarioSpec, ScheduleDetail, TenantRow};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 
@@ -75,6 +75,13 @@ pub enum Response {
         /// from pre-upgrade servers — deserializes as empty.
         #[serde(default)]
         tails: Vec<TailSummary>,
+        /// Per-tenant contention summaries, populated when the spec
+        /// carries an `arrivals` stream. Like `tails`, only rows whose
+        /// statistics are all finite ride along (a tenant that saw no
+        /// jobs has NaN rates), so the JSON never carries NaN. Empty
+        /// without a stream and on answers from pre-upgrade servers.
+        #[serde(default)]
+        tenants: Vec<TenantRow>,
     },
     /// Answer to [`Request::Stats`].
     Stats {

@@ -24,7 +24,10 @@
 
 use crate::cache::{CellAnswer, ResponseCache};
 use crate::protocol::{read_frame, write_response, FrameRead, Request, Response, TailSummary};
-use dagchkpt_bench::{cell_csv_rows, run_cell_full, stage_header, OutputFormat, ScenarioSpec};
+use dagchkpt_bench::{
+    cell_csv_rows, run_cell_full, stage_header, tenant_csv_rows, ArrivalSpec, OutputFormat,
+    ScenarioSpec, TenantRow,
+};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,9 +43,19 @@ pub const BATCH: usize = 32;
 /// Poll interval of the nonblocking accept loop.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// Read timeout per worker read; an idle timeout is the moment a worker
-/// checks the shutdown flag.
-const READ_TIMEOUT: Duration = Duration::from_millis(500);
+/// Default read timeout per worker read (`--read-timeout-ms`); an idle
+/// timeout is the moment a worker checks the shutdown flag and requeues
+/// the connection, so this bounds both shutdown latency and the time a
+/// pipelined client waits behind an idle peer holding a worker.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 50;
+
+/// The connection queue lock guards a [`VecDeque`] of owned streams and a
+/// flag; every mutation is a single push/pop/store, so a worker that
+/// panicked while holding the lock cannot have left it inconsistent —
+/// recover from poisoning instead of cascading the panic to every peer.
+fn queue_lock<'a>(lock: &'a Mutex<ConnQueue>) -> std::sync::MutexGuard<'a, ConnQueue> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct ConnQueue {
     conns: VecDeque<TcpStream>,
@@ -54,6 +67,7 @@ struct ConnQueue {
 pub struct Server {
     listener: TcpListener,
     workers: usize,
+    read_timeout: Duration,
     shutdown: Arc<AtomicBool>,
     cache: Arc<ResponseCache>,
     served: Arc<AtomicU64>,
@@ -62,8 +76,25 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) with
     /// `workers` threads (0 = one per core) and a `cache_capacity`-entry
-    /// shared answer cache.
+    /// shared answer cache, using the default idle-requeue read timeout.
     pub fn bind(addr: &str, workers: usize, cache_capacity: usize) -> std::io::Result<Self> {
+        Self::bind_with_timeout(
+            addr,
+            workers,
+            cache_capacity,
+            Duration::from_millis(DEFAULT_READ_TIMEOUT_MS),
+        )
+    }
+
+    /// [`Server::bind`] with an explicit idle-requeue read timeout
+    /// (`--read-timeout-ms`). A zero timeout is rounded up to 1 ms: the
+    /// OS treats zero as "block forever", which would undo the requeue.
+    pub fn bind_with_timeout(
+        addr: &str,
+        workers: usize,
+        cache_capacity: usize,
+        read_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let workers = if workers == 0 {
@@ -74,6 +105,7 @@ impl Server {
         Ok(Server {
             listener,
             workers,
+            read_timeout: read_timeout.max(Duration::from_millis(1)),
             shutdown: Arc::new(AtomicBool::new(false)),
             cache: Arc::new(ResponseCache::new(cache_capacity)),
             served: Arc::new(AtomicU64::new(0)),
@@ -83,6 +115,12 @@ impl Server {
     /// The bound address (useful after binding port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// A handle to the shared answer cache ([`Server::run`] consumes
+    /// `self`, so grab this first to inspect the cache from outside).
+    pub fn cache(&self) -> Arc<ResponseCache> {
+        Arc::clone(&self.cache)
     }
 
     /// Serves until a [`Request::Shutdown`] arrives, then drains in-flight
@@ -101,13 +139,14 @@ impl Server {
                 let shutdown = Arc::clone(&self.shutdown);
                 let cache = Arc::clone(&self.cache);
                 let served = Arc::clone(&self.served);
-                scope.spawn(move || worker_loop(&queue, &shutdown, &cache, &served));
+                let read_timeout = self.read_timeout;
+                scope.spawn(move || worker_loop(&queue, &shutdown, &cache, &served, read_timeout));
             }
             while !self.shutdown.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         let (lock, cv) = &*queue;
-                        lock.lock().expect("conn queue").conns.push_back(stream);
+                        queue_lock(lock).conns.push_back(stream);
                         cv.notify_one();
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -121,7 +160,7 @@ impl Server {
                 }
             }
             let (lock, cv) = &*queue;
-            lock.lock().expect("conn queue").closed = true;
+            queue_lock(lock).closed = true;
             cv.notify_all();
         });
         Ok(())
@@ -133,11 +172,12 @@ fn worker_loop(
     shutdown: &AtomicBool,
     cache: &ResponseCache,
     served: &AtomicU64,
+    read_timeout: Duration,
 ) {
     let (lock, cv) = queue;
     loop {
         let stream = {
-            let mut q = lock.lock().expect("conn queue");
+            let mut q = queue_lock(lock);
             loop {
                 if let Some(s) = q.conns.pop_front() {
                     break s;
@@ -145,15 +185,15 @@ fn worker_loop(
                 if q.closed {
                     return;
                 }
-                q = cv.wait(q).expect("conn queue");
+                q = cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        match handle_connection(stream, shutdown, cache, served) {
+        match handle_connection(stream, shutdown, cache, served, read_timeout) {
             // The connection went idle: hand it back to the queue so a
             // single worker can't starve peers waiting behind a client
             // that holds its connection open between requests.
             Ok(Some(stream)) => {
-                let mut q = lock.lock().expect("conn queue");
+                let mut q = queue_lock(lock);
                 q.conns.push_back(stream);
                 cv.notify_one();
             }
@@ -173,8 +213,9 @@ fn handle_connection(
     shutdown: &AtomicBool,
     cache: &ResponseCache,
     served: &AtomicU64,
+    read_timeout: Duration,
 ) -> std::io::Result<Option<TcpStream>> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_read_timeout(Some(read_timeout))?;
     stream.set_nodelay(true).ok();
     let handle = stream.try_clone()?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -301,6 +342,12 @@ fn answer_cell(
             "NonBlockingPivot output requires exactly one strategy",
         );
     }
+    if format == OutputFormat::TenantRows && ArrivalSpec::is_off(&spec.arrivals) {
+        return Response::error(
+            "invalid_spec",
+            "TenantRows output requires an `arrivals` stream on the spec",
+        );
+    }
     let plans = match spec.expand() {
         Ok(p) => p,
         Err(e) => return Response::error("invalid_spec", e.to_string()),
@@ -336,11 +383,40 @@ fn answer_cell(
             p99: r.mc_p99,
         })
         .collect();
+    // Per-tenant summaries ride along whenever the spec ran an arrival
+    // stream; a tenant that saw no jobs (or completed none) carries NaN
+    // statistics and is skipped, same rule as the tail quantiles.
+    let tenants: Vec<TenantRow> = exec
+        .tenants
+        .iter()
+        .filter(|t| {
+            t.jobs > 0
+                && [
+                    t.slo_rate,
+                    t.mean_response,
+                    t.mean_slowdown,
+                    t.p50_response,
+                    t.p95_response,
+                    t.p99_response,
+                ]
+                .iter()
+                .all(|v| v.is_finite())
+        })
+        .cloned()
+        .collect();
+    // A TenantRows answer's row body comes from the contention engine,
+    // exactly as the batch engine writes it (`run_scenario_stage`).
+    let rows = if format == OutputFormat::TenantRows {
+        tenant_csv_rows(&exec.tenants)
+    } else {
+        cell_csv_rows(format, &exec.rows)
+    };
     let answer = Arc::new(CellAnswer {
         header: stage_header(format, &spec.simulators),
-        rows: cell_csv_rows(format, &exec.rows),
+        rows,
         schedules: exec.schedules,
         tails,
+        tenants,
     });
     cache.insert(key, Arc::clone(&answer));
     answer.to_response(false)

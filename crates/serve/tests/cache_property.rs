@@ -57,6 +57,8 @@ fn spec_with(seed: u64, sizes: Vec<usize>) -> ScenarioSpec {
         replications: Vec::new(),
         optimizer: Default::default(),
         objective: Default::default(),
+        arrivals: Default::default(),
+        tenancy: Default::default(),
     }
 }
 

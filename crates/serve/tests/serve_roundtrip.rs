@@ -3,9 +3,10 @@
 //! (never a dead worker), and shutdown must drain gracefully.
 
 use dagchkpt_bench::{
-    cell_csv_rows, run_campaign, run_cell_full, stage_header, Campaign, FailureSpec, OutputFormat,
-    OutputSpec, RunContext, ScenarioSpec, SimulatorSpec, Stage, StrategySpec, SweepSpec,
-    WorkflowSource,
+    cell_csv_rows, run_campaign, run_cell_full, stage_header, tenant_csv_rows, AdmissionPolicy,
+    ArrivalSpec, Campaign, FailureSpec, OutputFormat, OutputSpec, RunContext, ScenarioSpec,
+    SimulatorSpec, Stage, StrategySpec, SweepSpec, TenancySpec, TenantSpec, WorkflowSource,
+    TENANT_HEADER,
 };
 use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 use dagchkpt_serve::loadgen::{replay_campaign, run_malformed_corpus, Client};
@@ -66,6 +67,8 @@ fn mini_spec() -> ScenarioSpec {
         replications: Vec::new(),
         optimizer: Default::default(),
         objective: Default::default(),
+        arrivals: Default::default(),
+        tenancy: Default::default(),
     }
 }
 
@@ -90,10 +93,15 @@ fn served_cells_are_bit_identical_to_batch_execution() {
             schedules,
             cached,
             tails,
+            tenants,
         } = resp
         else {
             panic!("cell {i}: unexpected response");
         };
+        assert!(
+            tenants.is_empty(),
+            "a spec without an arrival stream serves no tenant rows"
+        );
         assert!(!cached, "first request for cell {i} cannot be a hit");
         assert_eq!(header, stage_header(OutputFormat::Rows, &spec.simulators));
         assert_eq!(rows, cell_csv_rows(OutputFormat::Rows, &local.rows));
@@ -226,6 +234,53 @@ fn non_finite_weights_in_a_served_request_get_an_error_frame() {
     stop_server(&addr, handle);
 }
 
+/// Satellite regression: a poisoned cache lock (a worker panicking while
+/// holding it) must not cascade panics across the pool — every path
+/// recovers the lock and the daemon keeps serving hits and misses.
+#[test]
+fn poisoned_cache_lock_does_not_kill_the_daemon() {
+    let server = Server::bind("127.0.0.1:0", 2, 16).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let cache = server.cache();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let spec = mini_spec();
+    let ask = |client: &mut Client, cell: usize| {
+        client
+            .call(&Request::Cell {
+                spec: spec.clone(),
+                cell,
+                format: OutputFormat::Rows,
+            })
+            .expect("call")
+    };
+    let Response::Cell { rows: before, .. } = ask(&mut client, 0) else {
+        panic!("prime request failed");
+    };
+
+    cache.poison_for_test();
+
+    // A cache hit through the poisoned lock still answers, bit-identical.
+    let Response::Cell {
+        rows: after,
+        cached,
+        ..
+    } = ask(&mut client, 0)
+    else {
+        panic!("post-poison hit failed");
+    };
+    assert!(cached, "entry inserted before the poison must still be hit");
+    assert_eq!(before, after);
+    // A miss (insert path) and the stats path also survive.
+    assert!(matches!(ask(&mut client, 1), Response::Cell { .. }));
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats { entries, .. } => assert_eq!(entries, 2),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    stop_server(&addr, handle);
+}
+
 #[test]
 fn malformed_corpus_leaves_the_daemon_alive() {
     let (addr, handle) = start_server(2, 4);
@@ -251,6 +306,150 @@ fn nonblocking_pivot_format_requires_one_strategy() {
         Response::Error { code, message } => {
             assert_eq!(code, "invalid_spec");
             assert!(message.contains("exactly one strategy"), "{message}");
+        }
+        other => panic!("expected invalid_spec, got {other:?}"),
+    }
+    stop_server(&addr, handle);
+}
+
+/// Keep-alive fairness: with a single worker and several idle keep-alive
+/// connections, the idle-requeue (one `--read-timeout-ms` tick) must hand
+/// the worker back fast enough that every connection — idle holders and
+/// newcomers alike — still gets answered promptly.
+#[test]
+fn idle_keep_alive_connections_do_not_starve_peers() {
+    let server =
+        Server::bind_with_timeout("127.0.0.1:0", 1, 4, std::time::Duration::from_millis(5))
+            .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    // Three connections held open between requests, then a newcomer.
+    let mut held: Vec<Client> = (0..3)
+        .map(|_| Client::connect(&addr).expect("connect"))
+        .collect();
+    for c in &mut held {
+        assert!(matches!(c.call(&Request::Ping), Ok(Response::Pong)));
+    }
+    let start = std::time::Instant::now();
+    let mut newcomer = Client::connect(&addr).expect("connect");
+    assert!(matches!(newcomer.call(&Request::Ping), Ok(Response::Pong)));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "newcomer starved behind idle keep-alive connections: {:?}",
+        start.elapsed()
+    );
+    // The held connections are requeued, not dropped: they still answer.
+    for c in &mut held {
+        assert!(matches!(c.call(&Request::Ping), Ok(Response::Pong)));
+    }
+    stop_server(&addr, handle);
+}
+
+/// The mini scenario with a contended arrival stream and two tenant
+/// classes, exercising the multi-tenant engine over the wire.
+fn tenant_spec() -> ScenarioSpec {
+    let mut spec = mini_spec();
+    spec.name = "serve_tenant".to_string();
+    spec.sizes = vec![8];
+    spec.arrivals = ArrivalSpec::Poisson {
+        count: 4,
+        mean_gap: 30.0,
+    };
+    spec.tenancy = TenancySpec {
+        tenants: vec![
+            TenantSpec {
+                name: "gold".to_string(),
+                weight: 2.0,
+                slo_factor: 2.0,
+            },
+            TenantSpec {
+                name: "bronze".to_string(),
+                weight: 1.0,
+                slo_factor: 3.0,
+            },
+        ],
+        policy: AdmissionPolicy::Fcfs,
+    };
+    spec
+}
+
+/// A spec with an arrival stream serves per-tenant summaries on every
+/// format, and the `TenantRows` format serves the contention-engine rows
+/// byte-identical to the batch engine.
+#[test]
+fn tenant_summaries_ride_along_and_tenant_rows_match_batch() {
+    let spec = tenant_spec();
+    let plans = spec.expand().unwrap();
+    let local = run_cell_full(&spec, &plans[0]).unwrap();
+    let (addr, handle) = start_server(1, 4);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Generic format: the classic rows, with tenant summaries riding
+    // along (finite ones only — same contract as the tail quantiles).
+    let resp = client
+        .call(&Request::Cell {
+            spec: spec.clone(),
+            cell: 0,
+            format: OutputFormat::Rows,
+        })
+        .unwrap();
+    let Response::Cell { rows, tenants, .. } = resp else {
+        panic!("unexpected response");
+    };
+    assert_eq!(rows, cell_csv_rows(OutputFormat::Rows, &local.rows));
+    let expected: Vec<_> = local
+        .tenants
+        .iter()
+        .filter(|t| {
+            t.jobs > 0
+                && [
+                    t.slo_rate,
+                    t.mean_response,
+                    t.mean_slowdown,
+                    t.p50_response,
+                    t.p95_response,
+                    t.p99_response,
+                ]
+                .iter()
+                .all(|v| v.is_finite())
+        })
+        .cloned()
+        .collect();
+    assert!(!expected.is_empty(), "the mini tenant cell completes jobs");
+    assert_eq!(tenants, expected);
+    for t in &tenants {
+        assert!(t.tenant == "gold" || t.tenant == "bronze");
+        assert!(t.slo_rate.is_finite() && t.mean_response.is_finite());
+    }
+
+    // TenantRows format: the row body is the contention engine's,
+    // byte-identical to what `run_scenario_stage` writes to CSV.
+    let resp = client
+        .call(&Request::Cell {
+            spec: spec.clone(),
+            cell: 0,
+            format: OutputFormat::TenantRows,
+        })
+        .unwrap();
+    let Response::Cell { header, rows, .. } = resp else {
+        panic!("unexpected response");
+    };
+    assert_eq!(header, TENANT_HEADER.map(String::from).to_vec());
+    assert_eq!(rows, tenant_csv_rows(&local.tenants));
+
+    // Without an arrival stream, TenantRows is a structured error.
+    match client
+        .call(&Request::Cell {
+            spec: mini_spec(),
+            cell: 0,
+            format: OutputFormat::TenantRows,
+        })
+        .unwrap()
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, "invalid_spec");
+            assert!(message.contains("arrivals"), "{message}");
         }
         other => panic!("expected invalid_spec, got {other:?}"),
     }

@@ -30,6 +30,7 @@ pub mod plan;
 pub mod quantile;
 pub mod replicated;
 pub mod stats;
+pub mod tenant;
 pub mod timeline;
 
 pub use engine::{simulate, SimConfig, SimResult};
@@ -48,3 +49,4 @@ pub use replicated::{
     simulate_replicated_sets,
 };
 pub use stats::Stats;
+pub use tenant::{run_tenant_trials_with, TenantConfig, TenantJob, TenantPolicy, TenantStats};

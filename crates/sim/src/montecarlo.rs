@@ -176,7 +176,7 @@ impl TrialAccum {
 /// same [`rayon::fold_chunk_len`] boundaries, per-chunk accumulation, and
 /// in-order merge — the bit-identity anchor for
 /// `TrialSpec { parallel: false }`.
-fn fold_sequential_chunks<A>(
+pub(crate) fn fold_sequential_chunks<A>(
     n: usize,
     identity: impl Fn() -> A,
     push: impl Fn(A, usize) -> A,

@@ -113,8 +113,9 @@ fn pegasus_workflow_matches_theorem3_within_3_sigma() {
 
 mod differential {
     use dagchkpt_bench::{
-        run_scenario, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec,
-        SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+        run_scenario, ArrivalSpec, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec,
+        ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec,
+        WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 
@@ -137,6 +138,8 @@ mod differential {
             replications: vec![],
             optimizer: OptimizerSpec::Proxy,
             objective: ObjectiveSpec::Mean,
+            arrivals: ArrivalSpec::Off,
+            tenancy: TenancySpec::default(),
         }
     }
 
@@ -296,9 +299,9 @@ mod replication {
     use dagchkpt::dag::generators;
     use dagchkpt::prelude::*;
     use dagchkpt_bench::{
-        run_scenario, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec,
-        ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec,
-        WorkflowSource,
+        run_scenario, ArrivalSpec, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec,
+        PlatformSpec, ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec,
+        SweepSpec, TenancySpec, WorkflowSource,
     };
     use dagchkpt_workflows::WorkflowSpec;
 
@@ -369,6 +372,8 @@ mod replication {
             ],
             optimizer: OptimizerSpec::Proxy,
             objective: ObjectiveSpec::Mean,
+            arrivals: ArrivalSpec::Off,
+            tenancy: TenancySpec::default(),
         }
     }
 

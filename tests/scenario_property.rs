@@ -14,8 +14,9 @@
 //!   heuristic.
 
 use dagchkpt_bench::{
-    FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec, ProcessorSpec, ReplicationSpec,
-    ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, WorkflowSource,
+    ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec, ProcessorSpec,
+    ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec,
+    WorkflowSource,
 };
 use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 use dagchkpt_workflows::PegasusKind;
@@ -203,6 +204,8 @@ fn spec_raw(
         replications: vec![],
         optimizer: OptimizerSpec::Proxy,
         objective: ObjectiveSpec::Mean,
+        arrivals: ArrivalSpec::Off,
+        tenancy: TenancySpec::default(),
     }
 }
 
@@ -317,6 +320,8 @@ fn execution_spec(strategies: Vec<StrategySpec>, trials: usize) -> ScenarioSpec 
         replications: vec![],
         optimizer: OptimizerSpec::Proxy,
         objective: ObjectiveSpec::Mean,
+        arrivals: ArrivalSpec::Off,
+        tenancy: TenancySpec::default(),
     }
 }
 
