@@ -59,6 +59,10 @@ pub enum OutputFormat {
     /// One row per cell, one mean column per simulator (the legacy
     /// `nonblocking.csv` wide layout). Requires exactly one strategy.
     NonBlockingPivot,
+    /// [`OutputFormat::Rows`] plus the winning storage-tier column (the
+    /// tier's name for a uniform assignment, `per-task` for a mixed
+    /// one; empty without a `storage` axis).
+    StorageRows,
     /// One row per cell × strategy × tenant from the multi-tenant
     /// contention engine (SLO hit rate, response/slowdown means, response
     /// tails). Requires an `arrivals` stream on the stage's spec.
@@ -103,6 +107,14 @@ impl OutputSpec {
     pub fn rows_tail(file: impl Into<String>) -> Self {
         OutputSpec {
             format: OutputFormat::RowsTail,
+            ..OutputSpec::rows(file)
+        }
+    }
+
+    /// A generic-rows output with the winning storage-tier column.
+    pub fn storage_rows(file: impl Into<String>) -> Self {
+        OutputSpec {
+            format: OutputFormat::StorageRows,
             ..OutputSpec::rows(file)
         }
     }
@@ -689,6 +701,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "replication_aware",
         "tail_latency",
         "multi_tenant",
+        "storage_tiers",
         "sweep_all",
     ]
 }
@@ -723,6 +736,7 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Option<Campaign> {
         "replication_aware" => Some(crate::studies::replication_aware_campaign(scale, seed)),
         "tail_latency" => Some(crate::studies::tail_latency_campaign(scale, seed)),
         "multi_tenant" => Some(crate::studies::multi_tenant_campaign(scale, seed)),
+        "storage_tiers" => Some(crate::studies::storage_tiers_campaign(scale, seed)),
         "optgap" => Some(study_campaign("optgap", StudyKind::Optgap, scale, seed)),
         "ablation" => Some(study_campaign("ablation", StudyKind::Ablation, scale, seed)),
         "extensions" => Some(study_campaign(
@@ -754,7 +768,7 @@ mod tests {
     use super::*;
     use crate::scenario::{
         ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, SeedPolicy, SimulatorSpec,
-        StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
+        StorageSpec, StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
     use dagchkpt_workflows::PegasusKind;
@@ -791,6 +805,7 @@ mod tests {
             objective: ObjectiveSpec::Mean,
             arrivals: ArrivalSpec::Off,
             tenancy: TenancySpec::default(),
+            storage: StorageSpec::default(),
         }
     }
 

@@ -12,15 +12,17 @@ use crate::campaign::OutputFormat;
 use crate::runner::{best_per_ckpt_strategy, Row};
 use crate::scenario::{
     AdmissionPolicy, ArrivalSpec, CellPlan, FailureCell, ObjectiveSpec, OptimizerSpec,
-    ScenarioError, ScenarioSpec, SimulatorSpec, StrategyCell,
+    ScenarioError, ScenarioSpec, SimulatorSpec, StorageSelect, StrategyCell,
 };
 use dagchkpt_core::{
-    evaluator, exact, linearize, optimize_checkpoints_quantile, optimize_joint, run_heuristic,
-    run_heuristic_with, LinearizationStrategy, ReplicatedEvaluator, Schedule, SweepPolicy,
-    Workflow,
+    evaluator, exact, linearize, optimize_checkpoints_quantile, optimize_joint,
+    optimize_joint_storage, run_heuristic, run_heuristic_with, select_storage, storage_scales,
+    LinearizationStrategy, ReplicatedEvaluator, Schedule, SelectionSpec, StorageStrategy,
+    SweepPolicy, Workflow,
 };
 use dagchkpt_failure::{
-    daly, ExponentialInjector, FaultInjector, FaultModel, TraceInjector, WeibullInjector,
+    daly, ExponentialInjector, FaultInjector, FaultModel, StorageHierarchy, TraceInjector,
+    WeibullInjector,
 };
 use dagchkpt_sim::{
     run_replicated_sets_trials_with, run_replicated_trials_with, run_tenant_trials_with,
@@ -29,6 +31,7 @@ use dagchkpt_sim::{
     TenantConfig, TenantJob, TenantPolicy, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// One output row: a (cell, strategy, simulator) outcome.
 #[derive(Debug, Clone, Serialize)]
@@ -77,6 +80,12 @@ pub struct CellResult {
     pub mc_p95: f64,
     /// Monte-Carlo 99th-percentile makespan estimate (`NaN` analytic).
     pub mc_p99: f64,
+    /// Storage-tier label when the spec has a `storage` axis: the winning
+    /// tier's name for a uniform assignment, `per-task` for a mixed one;
+    /// empty without the axis (and then absent from JSON mirrors, so
+    /// pre-existing `json_file` outputs stay byte-identical).
+    #[serde(skip_serializing_if = "String::is_empty")]
+    pub storage: String,
 }
 
 /// A strategy's optimized schedule plus its analytic value. `replica_sets`
@@ -89,6 +98,10 @@ struct StrategyOutcome {
     expected: f64,
     best_n: Option<usize>,
     replica_sets: Option<Vec<Vec<usize>>>,
+    /// Per-task storage tiers, `Some` only under a `storage` axis; the
+    /// Monte-Carlo engines then simulate the tier-priced workflow copy
+    /// and `expected` already carries the exact storage-aware value.
+    tiers: Option<Vec<usize>>,
 }
 
 /// Joint coordinate-descent rounds per heuristic (sweep + replica
@@ -135,6 +148,7 @@ fn run_strategy(
                     expected,
                     best_n: r.best_n,
                     replica_sets: None,
+                    tiers: None,
                 });
             }
             let r = match (optimizer, hetero) {
@@ -155,6 +169,7 @@ fn run_strategy(
                         expected: j.expected_makespan,
                         best_n: j.best_n,
                         replica_sets: Some(j.replica_sets),
+                        tiers: None,
                         schedule: j.schedule,
                     });
                 }
@@ -165,6 +180,7 @@ fn run_strategy(
                 expected: r.expected_makespan,
                 best_n: r.best_n,
                 replica_sets: None,
+                tiers: None,
             })
         }
         StrategyCell::ExactChain => {
@@ -219,6 +235,7 @@ fn run_strategy(
                 expected,
                 best_n: Some(budget),
                 replica_sets: None,
+                tiers: None,
             })
         }
     }
@@ -232,7 +249,247 @@ fn exact_outcome(name: &str, schedule: Schedule, expected: f64) -> StrategyOutco
         expected,
         best_n,
         replica_sets: None,
+        tiers: None,
     }
+}
+
+/// Per-task replica-group sizes for storage-contention pricing: 1 for
+/// every task on the homogeneous path, the joint optimizer's per-task
+/// set sizes when it picked them, otherwise the cell's static degrees
+/// clamped to the platform.
+fn replica_counts(
+    n: usize,
+    hetero: Option<&(dagchkpt_failure::HeteroPlatform, Vec<usize>)>,
+    sets: Option<&Vec<Vec<usize>>>,
+) -> Vec<usize> {
+    match (hetero, sets) {
+        (None, _) => vec![1; n],
+        (Some(_), Some(sets)) => sets.iter().map(|s| s.len().max(1)).collect(),
+        (Some((platform, degrees)), None) => degrees
+            .iter()
+            .map(|&d| d.clamp(1, platform.n_procs()))
+            .collect(),
+    }
+}
+
+/// The tier-priced workflow copy every Monte-Carlo engine simulates:
+/// checkpoint and recovery costs scaled by the one shared pricing
+/// definition ([`storage_scales`]), so the trial engines and the
+/// analytic column price storage identically.
+fn storage_wf(
+    wf: &Workflow,
+    hierarchy: &StorageHierarchy,
+    tiers: &[usize],
+    counts: &[usize],
+) -> Workflow {
+    let (ckpt, rec) = storage_scales(hierarchy, tiers, counts);
+    wf.with_scaled_costs(&ckpt, &rec)
+}
+
+/// CSV label for the storage column: the tier's name for a uniform
+/// assignment, `per-task` for a mixed one, empty without the axis.
+fn storage_label(
+    storage: Option<&(StorageHierarchy, StorageSelect)>,
+    tiers: Option<&Vec<usize>>,
+) -> String {
+    match (storage, tiers) {
+        (Some((hierarchy, _)), Some(tiers)) => {
+            let first = tiers.first().copied().unwrap_or(0);
+            if tiers.iter().all(|&t| t == first) {
+                hierarchy.tiers()[first].name.clone()
+            } else {
+                "per-task".to_string()
+            }
+        }
+        _ => String::new(),
+    }
+}
+
+/// Storage-aware strategy dispatch. Optimizes the strategy once per
+/// candidate tier (uniform assignments, argmin by the exact tier-priced
+/// expected makespan via [`f64::total_cmp`] — the first tier wins ties
+/// and a `NaN` candidate can never displace a finite one), then refines
+/// per task when the spec asks for it. Under the `joint` optimizer with
+/// `per-task` selection, tier choice instead becomes the third axis of
+/// the coordinate descent itself ([`optimize_joint_storage`]); under a
+/// fixed tier the joint descent runs on a single-tier sub-hierarchy so
+/// the tier stays pinned while budget and replica sets co-optimize.
+///
+/// The returned outcome always carries `tiers: Some(..)` and an
+/// `expected` that is the exact storage-priced value — callers use it
+/// directly instead of re-deriving a replicated expectation.
+#[allow(clippy::too_many_arguments)]
+fn run_strategy_storage(
+    wf: &Workflow,
+    model: FaultModel,
+    strat: StrategyCell,
+    policy: SweepPolicy,
+    optimizer: OptimizerSpec,
+    objective: ObjectiveSpec,
+    seed: u64,
+    hetero: Option<&(dagchkpt_failure::HeteroPlatform, Vec<usize>)>,
+    hierarchy: &StorageHierarchy,
+    select: &StorageSelect,
+) -> Result<StrategyOutcome, ScenarioError> {
+    let n = wf.n_tasks();
+    let n_tiers = hierarchy.n_tiers();
+    if optimizer == OptimizerSpec::Joint && *select == StorageSelect::PerTask {
+        if let (StrategyCell::Heuristic(h), Some((platform, degrees))) = (strat, hetero) {
+            let order = linearize(wf, h.lin);
+            let j = optimize_joint_storage(
+                wf,
+                platform,
+                &order,
+                h.ckpt,
+                policy,
+                degrees,
+                JOINT_ROUNDS,
+                SelectionSpec::Prefixes,
+                hierarchy,
+                &vec![0; n],
+            )
+            .expect("the prefix family is infallible");
+            return Ok(StrategyOutcome {
+                name: h.name(),
+                expected: j.expected_makespan,
+                best_n: j.best_n,
+                replica_sets: Some(j.replica_sets),
+                tiers: j.tiers,
+                schedule: j.schedule,
+            });
+        }
+    }
+    let candidates: Vec<usize> = match select {
+        StorageSelect::Fixed { tier } => vec![hierarchy
+            .index_of(tier)
+            .expect("validation pinned the fixed tier to the hierarchy")],
+        _ => (0..n_tiers).collect(),
+    };
+    let mut best: Option<(usize, StrategyOutcome)> = None;
+    for &tier in &candidates {
+        let tiers = vec![tier; n];
+        let out = match (optimizer, hetero) {
+            // Homogeneous (or degenerate-collapsed) cell: the scaled copy
+            // prices the tier exactly, so the optimizer and the expected
+            // value both run on it directly. The proxy optimizer on a
+            // platform works the same way — it optimizes under the
+            // single-machine view of the tier-priced copy — but its
+            // expected column is then re-derived below as the exact
+            // replicated, tier-priced value of that schedule.
+            (_, None) | (OptimizerSpec::Proxy, Some(_)) => {
+                let counts = replica_counts(n, hetero, None);
+                let swf = storage_wf(wf, hierarchy, &tiers, &counts);
+                let mut out =
+                    run_strategy(&swf, model, strat, policy, optimizer, objective, seed, None)?;
+                if let Some((platform, degrees)) = hetero {
+                    let ev = ReplicatedEvaluator::from_degrees(wf, platform, degrees)
+                        .with_storage(hierarchy, &tiers);
+                    out.expected = ev.expected_makespan(&out.schedule);
+                }
+                out
+            }
+            // Validation pins non-proxy optimizers to heuristic
+            // strategies, so the destructuring below cannot fail.
+            (OptimizerSpec::ReplicationAware, Some((platform, degrees))) => {
+                let StrategyCell::Heuristic(h) = strat else {
+                    unreachable!("non-proxy optimizers are validated heuristic-only");
+                };
+                let ev = ReplicatedEvaluator::from_degrees(wf, platform, degrees)
+                    .with_storage(hierarchy, &tiers);
+                let r = run_heuristic_with(wf, &ev, h, policy);
+                StrategyOutcome {
+                    name: r.name,
+                    schedule: r.schedule,
+                    expected: r.expected_makespan,
+                    best_n: r.best_n,
+                    replica_sets: None,
+                    tiers: None,
+                }
+            }
+            (OptimizerSpec::Joint, Some((platform, degrees))) => {
+                let StrategyCell::Heuristic(h) = strat else {
+                    unreachable!("non-proxy optimizers are validated heuristic-only");
+                };
+                let order = linearize(wf, h.lin);
+                // A single-tier sub-hierarchy pins the tier (the descent's
+                // tier pass is a no-op on one tier) while budget and
+                // replica sets still co-optimize — including the
+                // contention term at the actual replica-group sizes.
+                let sub = StorageHierarchy::new(vec![hierarchy.tiers()[tier].clone()])
+                    .expect("a validated tier forms a valid singleton hierarchy");
+                let j = optimize_joint_storage(
+                    wf,
+                    platform,
+                    &order,
+                    h.ckpt,
+                    policy,
+                    degrees,
+                    JOINT_ROUNDS,
+                    SelectionSpec::Prefixes,
+                    &sub,
+                    &vec![0; n],
+                )
+                .expect("the prefix family is infallible");
+                StrategyOutcome {
+                    name: h.name(),
+                    expected: j.expected_makespan,
+                    best_n: j.best_n,
+                    replica_sets: Some(j.replica_sets),
+                    tiers: None,
+                    schedule: j.schedule,
+                }
+            }
+        };
+        let better = match &best {
+            None => true,
+            Some((_, b)) => out.expected.total_cmp(&b.expected).is_lt(),
+        };
+        if better {
+            best = Some((tier, out));
+        }
+    }
+    let (tier, mut out) = best.expect("a validated hierarchy has at least one tier");
+    out.tiers = Some(vec![tier; n]);
+    if *select == StorageSelect::PerTask {
+        // Refine per task on the fixed winning schedule: coordinate
+        // descent over tiers with the storage-aware evaluator, keeping
+        // order, budget, and replica sets as chosen above. A degenerate
+        // platform that collapsed to the homogeneous path is rebuilt as
+        // the single reference machine, on which the replicated
+        // evaluator reproduces the scalar model exactly.
+        let reference;
+        let (platform, degrees_own);
+        match hetero {
+            Some((p, d)) => {
+                platform = p;
+                degrees_own = d.clone();
+            }
+            None => {
+                reference = dagchkpt_failure::HeteroPlatform::new(
+                    vec![dagchkpt_failure::Processor::reference(model.lambda())],
+                    0.0,
+                )
+                .expect("the reference machine is a valid platform");
+                platform = &reference;
+                degrees_own = vec![1; n];
+            }
+        }
+        let mut ev = match &out.replica_sets {
+            Some(sets) => ReplicatedEvaluator::from_sets(wf, platform, sets),
+            None => ReplicatedEvaluator::from_degrees(wf, platform, &degrees_own),
+        }
+        .with_storage(hierarchy, &vec![tier; n]);
+        let (tiers, e, _) = select_storage(
+            &mut ev,
+            &out.schedule,
+            n_tiers,
+            StorageStrategy::PerTask,
+            JOINT_ROUNDS,
+        );
+        out.tiers = Some(tiers);
+        out.expected = e;
+    }
+    Ok(out)
 }
 
 /// Fault source for one trial, matched to the cell's failure model.
@@ -341,6 +598,16 @@ pub struct ScheduleDetail {
     pub expected: f64,
     /// Per-task replica processor sets (joint optimizer only).
     pub replica_sets: Option<Vec<Vec<usize>>>,
+    /// Storage-tier label (`storage` axis only): the winning tier's name
+    /// for a uniform assignment, `per-task` for a mixed one. Absent —
+    /// and absent from the wire format — without the axis, so served
+    /// answers for pre-existing specs stay byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub storage: Option<String>,
+    /// Per-task storage-tier indices into the spec's hierarchy
+    /// (`storage` axis only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tiers: Option<Vec<usize>>,
 }
 
 /// One per-tenant output row of the multi-tenant contention engine: a
@@ -420,23 +687,43 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
     };
     let hetero = resolve_hetero(plan, &wf, model).map_err(&ctx)?;
     let stream = tenant_stream(spec, plan, tinf).map_err(&ctx)?;
+    let storage = spec.storage.resolve().map_err(&ctx)?;
     let mut rows = Vec::new();
     let mut schedules = Vec::new();
     let mut tenants = Vec::new();
     for strat in spec.strategy_cells() {
-        let out = run_strategy(
-            &wf,
-            model,
-            strat,
-            policy,
-            plan.optimizer,
-            spec.objective,
-            plan.seed,
-            hetero.as_ref(),
-        )
+        let out = match &storage {
+            None => run_strategy(
+                &wf,
+                model,
+                strat,
+                policy,
+                plan.optimizer,
+                spec.objective,
+                plan.seed,
+                hetero.as_ref(),
+            ),
+            Some((hierarchy, select)) => run_strategy_storage(
+                &wf,
+                model,
+                strat,
+                policy,
+                plan.optimizer,
+                spec.objective,
+                plan.seed,
+                hetero.as_ref(),
+                hierarchy,
+                select,
+            ),
+        }
         .map_err(&ctx)?;
         let expected = match &hetero {
             None => out.expected,
+            // Storage outcomes already carry the exact tier-priced
+            // replicated value whatever the optimizer —
+            // `run_strategy_storage` derives it on the storage-aware
+            // evaluator for every candidate tier.
+            _ if storage.is_some() => out.expected,
             // The aware and joint optimizers already optimized against —
             // and reported — the exact replicated value (pinned
             // bit-identical to a fresh evaluation by the optimizer tests);
@@ -455,6 +742,11 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
             best_n: out.best_n,
             expected,
             replica_sets: out.replica_sets.clone(),
+            storage: out
+                .tiers
+                .as_ref()
+                .map(|_| storage_label(storage.as_ref(), out.tiers.as_ref())),
+            tiers: out.tiers.clone(),
         });
         if let Some(stream) = &stream {
             let stats = run_tenant_trials_with(
@@ -491,6 +783,18 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                 });
             }
         }
+        // The Monte-Carlo engines simulate the tier-priced workflow copy
+        // (same `storage_scales` pricing the analytic value used), the
+        // plain workflow otherwise.
+        let sim_wf: Cow<'_, Workflow> = match (&storage, &out.tiers) {
+            (Some((hierarchy, _)), Some(tiers)) => Cow::Owned(storage_wf(
+                &wf,
+                hierarchy,
+                tiers,
+                &replica_counts(wf.n_tasks(), hetero.as_ref(), out.replica_sets.as_ref()),
+            )),
+            _ => Cow::Borrowed(&wf),
+        };
         for sim in &spec.simulators {
             let nan5 = (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN);
             let (mc_mean, mc_sem, mc_p50, mc_p95, mc_p99) = match *sim {
@@ -498,14 +802,14 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                 SimulatorSpec::MonteCarlo { trials } => {
                     let stats = match (&hetero, &out.replica_sets) {
                         (None, _) => run_trials_with(
-                            &wf,
+                            &sim_wf,
                             &out.schedule,
                             plan.failure.downtime(),
                             TrialSpec::new(trials, plan.seed),
                             |seed| make_injector(&plan.failure, seed),
                         ),
                         (Some((platform, _)), Some(sets)) => run_replicated_sets_trials_with(
-                            &wf,
+                            &sim_wf,
                             &out.schedule,
                             platform,
                             sets,
@@ -513,7 +817,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                             |rank, seed| make_proc_injector(&platform.procs()[rank], seed),
                         ),
                         (Some((platform, degrees)), None) => run_replicated_trials_with(
-                            &wf,
+                            &sim_wf,
                             &out.schedule,
                             platform,
                             degrees,
@@ -543,7 +847,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                             };
                             trial_metric_tail_stats(tspec, |i| {
                                 let mut inj = make_injector(&plan.failure, tspec.trial_seed(i));
-                                simulate_nonblocking(&wf, &out.schedule, &mut inj, cfg).makespan
+                                simulate_nonblocking(&sim_wf, &out.schedule, &mut inj, cfg).makespan
                             })
                         }
                         (Some((platform, _)), Some(sets)) => {
@@ -560,7 +864,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                                     })
                                     .collect();
                                 simulate_replicated_nonblocking_sets(
-                                    &wf,
+                                    &sim_wf,
                                     &out.schedule,
                                     platform,
                                     sets,
@@ -588,7 +892,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                                     })
                                     .collect();
                                 simulate_replicated_nonblocking(
-                                    &wf,
+                                    &sim_wf,
                                     &out.schedule,
                                     platform,
                                     degrees,
@@ -636,6 +940,7 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                 mc_p50,
                 mc_p95,
                 mc_p99,
+                storage: storage_label(storage.as_ref(), out.tiers.as_ref()),
             });
         }
     }
@@ -902,6 +1207,14 @@ pub fn cell_csv_rows(format: OutputFormat, rows: &[CellResult]) -> Vec<Vec<Strin
             row.extend(rows.iter().map(|r| format!("{:.4}", r.mc_mean)));
             vec![row]
         }
+        OutputFormat::StorageRows => rows
+            .iter()
+            .map(|r| {
+                let mut row = generic_row(r);
+                row.push(r.storage.clone());
+                row
+            })
+            .collect(),
         // Tenant rows come from `CellExecution::tenants` via
         // [`tenant_csv_rows`], not from the per-simulator results.
         OutputFormat::TenantRows => Vec::new(),
@@ -952,6 +1265,11 @@ pub fn stage_header(format: OutputFormat, simulators: &[SimulatorSpec]) -> Vec<S
             }));
             h
         }
+        OutputFormat::StorageRows => GENERIC_HEADER
+            .iter()
+            .chain(["storage"].iter())
+            .map(|s| s.to_string())
+            .collect(),
         OutputFormat::TenantRows => TENANT_HEADER.iter().map(|s| s.to_string()).collect(),
     }
 }

@@ -9,7 +9,7 @@ use crate::campaign::{Campaign, OutputFormat, OutputSpec, Stage};
 use crate::cli::Scale;
 use crate::scenario::{
     ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, ScenarioSpec, SeedPolicy,
-    SimulatorSpec, StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
+    SimulatorSpec, StorageSpec, StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
 };
 use dagchkpt_core::CostRule;
 use dagchkpt_workflows::PegasusKind;
@@ -82,6 +82,7 @@ fn figure_stage(
             objective: ObjectiveSpec::Mean,
             arrivals: ArrivalSpec::Off,
             tenancy: TenancySpec::default(),
+            storage: StorageSpec::default(),
             name: name.clone(),
         },
         output: OutputSpec {
@@ -247,6 +248,7 @@ pub fn fig7_campaign(scale: Scale, seed: u64) -> Campaign {
                     objective: ObjectiveSpec::Mean,
                     arrivals: ArrivalSpec::Off,
                     tenancy: TenancySpec::default(),
+                    storage: StorageSpec::default(),
                 },
                 output: OutputSpec {
                     file: format!("{stem}.csv"),

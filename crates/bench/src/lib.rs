@@ -58,6 +58,6 @@ pub use runner::{auto_policy, run_cell, Cell, Row};
 pub use scenario::{
     AdmissionPolicy, ArrivalSpec, CellPlan, FailureCell, FailureSpec, ObjectiveSpec, OptimizerSpec,
     PlatformSpec, ProcessorSpec, ReplicationSpec, ScenarioError, ScenarioSpec, SeedPolicy,
-    SimulatorSpec, StrategyCell, StrategySpec, SweepSpec, TenancySpec, TenantSpec, WorkflowSource,
-    MAX_REPLICATION_DEGREE,
+    SimulatorSpec, StorageSelect, StorageSpec, StrategyCell, StrategySpec, SweepSpec, TenancySpec,
+    TenantSpec, TierSpec, WorkflowSource, MAX_REPLICATION_DEGREE,
 };

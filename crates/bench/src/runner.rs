@@ -130,7 +130,7 @@ pub fn best_per_ckpt_strategy(rows: &[Row]) -> Vec<Row> {
         if let Some(r) = rows
             .iter()
             .filter(|r| r.heuristic.ends_with(suffix))
-            .min_by(|a, b| a.expected.partial_cmp(&b.expected).expect("comparable"))
+            .min_by(|a, b| a.expected.total_cmp(&b.expected))
         {
             best.push(r.clone());
         }

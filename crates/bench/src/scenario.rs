@@ -1,7 +1,7 @@
 //! Declarative scenario specifications: the serde-backed data model behind
 //! the campaign engine (see [`crate::campaign`]).
 //!
-//! A [`ScenarioSpec`] names up to six orthogonal axes —
+//! A [`ScenarioSpec`] names up to seven orthogonal axes —
 //!
 //! * **workflows** ([`WorkflowSource`]): Pegasus-like generators, random
 //!   DAG families, or inline [`WorkflowSpec`] instances;
@@ -29,7 +29,7 @@ use dagchkpt_core::{
     paper_heuristics, CheckpointStrategy, CostRule, Heuristic, LinearizationStrategy,
     ReplicationStrategy, SweepPolicy, Workflow,
 };
-use dagchkpt_failure::{FaultModel, HeteroPlatform, Processor};
+use dagchkpt_failure::{FaultModel, HeteroPlatform, Processor, StorageHierarchy, StorageTier};
 use dagchkpt_workflows::{PegasusKind, WorkflowSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -1199,6 +1199,141 @@ impl TenancySpec {
     }
 }
 
+/// One checkpoint storage tier of the `storage` axis — the serde face of
+/// `dagchkpt_failure::StorageTier`. `contention` defaults to `0` (no
+/// slowdown when replicas write concurrently); the other fields are
+/// required.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Tier name (non-empty, unique), reported in output rows.
+    pub name: String,
+    /// Checkpoint-write bandwidth factor (finite, > 0; `1.0` = the
+    /// platform's reference write path).
+    pub write_bw: f64,
+    /// Recovery-read bandwidth factor (finite, > 0).
+    pub read_bw: f64,
+    /// Size multiplier applied to both directions (finite, > 0; `< 1`
+    /// models tier-side compression).
+    pub compression: f64,
+    /// Per-extra-replica write slowdown when a task's replica group
+    /// checkpoints concurrently (finite, ≥ 0).
+    #[serde(default)]
+    pub contention: f64,
+}
+
+impl TierSpec {
+    fn tier(&self) -> StorageTier {
+        StorageTier {
+            name: self.name.clone(),
+            write_bw: self.write_bw,
+            read_bw: self.read_bw,
+            compression: self.compression,
+            contention: self.contention,
+        }
+    }
+}
+
+/// How each task's checkpoint storage tier is chosen.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum StorageSelect {
+    /// Every task writes to the named tier.
+    Fixed {
+        /// Tier name (must exist in the hierarchy).
+        tier: String,
+    },
+    /// Run every strategy once per uniform tier assignment and keep the
+    /// tier minimizing the analytic expected makespan (ties toward the
+    /// earliest-declared tier via `total_cmp`, so NaN can never win).
+    #[default]
+    Best,
+    /// Refine the best uniform assignment with per-task coordinate
+    /// descent on the replication-aware evaluator
+    /// (`dagchkpt_core::select_storage`); requires a `platforms` axis.
+    PerTask,
+}
+
+impl StorageSelect {
+    /// Label for reports and stage names.
+    pub fn label(&self) -> String {
+        match self {
+            StorageSelect::Fixed { tier } => format!("fixed:{tier}"),
+            StorageSelect::Best => "best".to_string(),
+            StorageSelect::PerTask => "per-task".to_string(),
+        }
+    }
+}
+
+/// The checkpoint storage axis (optional): a tier hierarchy plus the
+/// per-task tier-selection strategy — the third decision dimension next
+/// to the checkpoint budget and the replica set.
+///
+/// Like [`OptimizerSpec`], the field is serialized **only when
+/// non-default** (`skip_serializing_if`), so every spec written before
+/// the axis existed — and every spec keeping the default — has
+/// byte-identical canonical JSON, hence unchanged spec hashes, `SpecHash`
+/// cell seeds and golden CSVs. A hierarchy whose every tier is the unit
+/// tier (bandwidths 1, compression 1, contention 0) scales every cost by
+/// exactly `1.0` and reproduces the storage-free outputs byte for byte.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum StorageSpec {
+    /// No storage hierarchy: checkpoint costs are used as declared.
+    #[default]
+    Off,
+    /// A tier hierarchy, searched per [`StorageSelect`].
+    Tiers {
+        /// The tiers, in declaration order (tier index order).
+        tiers: Vec<TierSpec>,
+        /// Tier-selection strategy.
+        #[serde(default)]
+        select: StorageSelect,
+    },
+}
+
+impl StorageSpec {
+    /// `true` for the default no-hierarchy axis (the serde skip
+    /// predicate).
+    pub fn is_off(v: &StorageSpec) -> bool {
+        matches!(v, StorageSpec::Off)
+    }
+
+    /// Label for reports and error messages.
+    pub fn label(&self) -> String {
+        match self {
+            StorageSpec::Off => "off".to_string(),
+            StorageSpec::Tiers { tiers, select } => {
+                let names: Vec<&str> = tiers.iter().map(|t| t.name.as_str()).collect();
+                format!("{}[{}]", select.label(), names.join(","))
+            }
+        }
+    }
+
+    /// The resolved hierarchy + selection, `None` when the axis is off.
+    /// Tier validation is delegated to [`StorageHierarchy::new`] (the
+    /// pinned `Result`-based platform errors), wrapped in the axis
+    /// context.
+    pub fn resolve(&self) -> Result<Option<(StorageHierarchy, StorageSelect)>, ScenarioError> {
+        match self {
+            StorageSpec::Off => Ok(None),
+            StorageSpec::Tiers { tiers, select } => {
+                let h = StorageHierarchy::new(tiers.iter().map(|t| t.tier()).collect())
+                    .map_err(|e| ScenarioError::new(format!("storage: {e}")))?;
+                if let StorageSelect::Fixed { tier } = select {
+                    if h.index_of(tier).is_none() {
+                        return Err(ScenarioError::new(format!(
+                            "storage: fixed tier `{tier}` is not in the hierarchy"
+                        )));
+                    }
+                }
+                Ok(Some((h, select.clone())))
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        self.resolve().map(|_| ())
+    }
+}
+
 /// A strategy axis entry; expands into one or more [`StrategyCell`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StrategySpec {
@@ -1457,6 +1592,13 @@ pub struct ScenarioSpec {
     /// non-default, like `arrivals`.
     #[serde(default, skip_serializing_if = "TenancySpec::is_off")]
     pub tenancy: TenancySpec,
+    /// Checkpoint storage hierarchy + tier-selection strategy (axis 7,
+    /// optional): when set, every strategy additionally chooses which
+    /// tier each task's checkpoint is written to. Serialized only when
+    /// non-default, so pre-existing specs keep their canonical JSON,
+    /// hashes and seeds.
+    #[serde(default, skip_serializing_if = "StorageSpec::is_off")]
+    pub storage: StorageSpec,
 }
 
 /// One expanded cell: a workflow instance under one failure model (and
@@ -1615,6 +1757,36 @@ impl ScenarioSpec {
         }
         self.arrivals.validate()?;
         self.tenancy.validate()?;
+        self.storage.validate()?;
+        if !StorageSpec::is_off(&self.storage) {
+            if !ArrivalSpec::is_off(&self.arrivals) {
+                return Err(ScenarioError::new(
+                    "storage cannot be combined with an `arrivals` stream \
+                     (the contention engine does not price storage tiers)",
+                ));
+            }
+            if !ObjectiveSpec::is_mean(&self.objective) {
+                return Err(ScenarioError::new(format!(
+                    "storage requires the default mean objective \
+                     (tier selection compares analytic expected makespans), got `{}`",
+                    self.objective.label()
+                )));
+            }
+            if matches!(
+                self.storage,
+                StorageSpec::Tiers {
+                    select: StorageSelect::PerTask,
+                    ..
+                }
+            ) && self.platforms.is_empty()
+            {
+                return Err(ScenarioError::new(
+                    "storage: per-task tier selection runs on the replication-aware \
+                     evaluator and needs a `platforms` axis (use `best` or a fixed tier \
+                     on the single reference machine)",
+                ));
+            }
+        }
         if !TenancySpec::is_off(&self.tenancy) && ArrivalSpec::is_off(&self.arrivals) {
             return Err(ScenarioError::new(
                 "tenancy needs an `arrivals` stream to admit (set arrivals: poisson or trace)",
@@ -1771,6 +1943,7 @@ mod tests {
             objective: ObjectiveSpec::Mean,
             arrivals: ArrivalSpec::Off,
             tenancy: TenancySpec::default(),
+            storage: StorageSpec::default(),
         }
     }
 
@@ -2517,6 +2690,130 @@ mod tests {
         assert_eq!(
             with(stream, dup),
             "tenancy.tenants[1]: duplicate tenant name `gold`"
+        );
+    }
+
+    fn tier_spec(name: &str, write_bw: f64, read_bw: f64) -> TierSpec {
+        TierSpec {
+            name: name.to_string(),
+            write_bw,
+            read_bw,
+            compression: 1.0,
+            contention: 0.0,
+        }
+    }
+
+    /// The golden-corpus invariant of the storage axis: a spec keeping
+    /// the default (off) axis serializes to canonical JSON that never
+    /// mentions `storage` — byte-identical to pre-axis specs, so spec
+    /// hashes and `SpecHash` cell seeds are unchanged. A spec that does
+    /// set the axis round-trips losslessly and rehashes.
+    #[test]
+    fn default_storage_axis_is_invisible_in_canonical_json() {
+        let plain = tiny_spec();
+        assert_eq!(plain.storage, StorageSpec::Off);
+        let json = plain.to_json();
+        assert!(
+            !json.contains("storage"),
+            "default storage axis must not appear in canonical JSON: {json}"
+        );
+        // Pre-axis documents (no `storage` key) parse to the default.
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed, plain);
+        assert_eq!(parsed.stable_hash(), plain.stable_hash());
+
+        let mut tiered = tiny_spec();
+        tiered.storage = StorageSpec::Tiers {
+            tiers: vec![tier_spec("local", 4.0, 0.5), tier_spec("pfs", 0.5, 4.0)],
+            select: StorageSelect::Best,
+        };
+        assert_eq!(tiered.storage.label(), "best[local,pfs]");
+        let json = tiered.to_json();
+        assert!(json.contains("storage"));
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, tiered, "storage axis must round-trip losslessly");
+        assert_ne!(
+            tiered.stable_hash(),
+            plain.stable_hash(),
+            "setting the axis must change the spec hash (no seed aliasing)"
+        );
+        tiered.validate().unwrap();
+    }
+
+    /// Storage-axis validation rejects malformed hierarchies and
+    /// unsupported axis combinations with the error text pinned
+    /// verbatim (the tier errors themselves are the pinned
+    /// `PlatformError`s from `dagchkpt_failure::StorageTier::validate`,
+    /// wrapped in the axis context).
+    #[test]
+    fn storage_validation_error_text_is_pinned() {
+        let with = |storage: StorageSpec| {
+            ScenarioSpec {
+                storage,
+                ..tiny_spec()
+            }
+            .validate()
+            .unwrap_err()
+            .0
+        };
+        assert_eq!(
+            with(StorageSpec::Tiers {
+                tiers: vec![],
+                select: StorageSelect::Best,
+            }),
+            "storage: platform error: a storage hierarchy needs at least one tier"
+        );
+        assert_eq!(
+            with(StorageSpec::Tiers {
+                tiers: vec![tier_spec("bb", 0.0, 1.0)],
+                select: StorageSelect::Best,
+            }),
+            "storage: platform error: storage tier 0 (bb): write_bw 0 must be finite and > 0"
+        );
+        assert_eq!(
+            with(StorageSpec::Tiers {
+                tiers: vec![tier_spec("bb", 1.0, 1.0)],
+                select: StorageSelect::Fixed {
+                    tier: "pfs".to_string(),
+                },
+            }),
+            "storage: fixed tier `pfs` is not in the hierarchy"
+        );
+        assert_eq!(
+            with(StorageSpec::Tiers {
+                tiers: vec![tier_spec("bb", 1.0, 1.0)],
+                select: StorageSelect::PerTask,
+            }),
+            "storage: per-task tier selection runs on the replication-aware \
+             evaluator and needs a `platforms` axis (use `best` or a fixed tier \
+             on the single reference machine)"
+        );
+        let tiers = StorageSpec::Tiers {
+            tiers: vec![tier_spec("bb", 1.0, 1.0)],
+            select: StorageSelect::Best,
+        };
+        let streamed = ScenarioSpec {
+            storage: tiers.clone(),
+            arrivals: ArrivalSpec::Poisson {
+                count: 3,
+                mean_gap: 10.0,
+            },
+            ..tiny_spec()
+        };
+        assert_eq!(
+            streamed.validate().unwrap_err().0,
+            "storage cannot be combined with an `arrivals` stream \
+             (the contention engine does not price storage tiers)"
+        );
+        let quantile = ScenarioSpec {
+            storage: tiers,
+            objective: ObjectiveSpec::P99 { trials: 64 },
+            ..tiny_spec()
+        };
+        assert_eq!(
+            quantile.validate().unwrap_err().0,
+            "storage requires the default mean objective \
+             (tier selection compares analytic expected makespans), got `p99`"
         );
     }
 }

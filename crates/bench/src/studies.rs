@@ -14,8 +14,8 @@ use crate::cli::{Options, Scale};
 use crate::csvout::write_csv;
 use crate::scenario::{
     AdmissionPolicy, ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec,
-    ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec, TenantSpec,
-    WorkflowSource,
+    ScenarioSpec, SeedPolicy, SimulatorSpec, StorageSpec, StrategySpec, SweepSpec, TenancySpec,
+    TenantSpec, WorkflowSource,
 };
 use dagchkpt_core::{
     exact, linearize, linearize_with_priority, optimize_checkpoints, strategies::local_search,
@@ -87,6 +87,7 @@ pub fn validate_campaign(scale: Scale, seed: u64) -> Campaign {
                 objective: ObjectiveSpec::Mean,
                 arrivals: ArrivalSpec::Off,
                 tenancy: TenancySpec::default(),
+                storage: StorageSpec::default(),
             },
             output: OutputSpec {
                 file: "validate.csv".to_string(),
@@ -136,6 +137,7 @@ pub fn weibull_campaign(scale: Scale, seed: u64) -> Campaign {
                 objective: ObjectiveSpec::Mean,
                 arrivals: ArrivalSpec::Off,
                 tenancy: TenancySpec::default(),
+                storage: StorageSpec::default(),
             },
             output: OutputSpec {
                 file: "weibull.csv".to_string(),
@@ -190,6 +192,7 @@ pub fn nonblocking_campaign(scale: Scale, seed: u64) -> Campaign {
                 objective: ObjectiveSpec::Mean,
                 arrivals: ArrivalSpec::Off,
                 tenancy: TenancySpec::default(),
+                storage: StorageSpec::default(),
             },
             output: OutputSpec {
                 file: "nonblocking.csv".to_string(),
@@ -273,6 +276,7 @@ pub fn hetero_replication_campaign(scale: Scale, seed: u64) -> Campaign {
                 objective: ObjectiveSpec::Mean,
                 arrivals: ArrivalSpec::Off,
                 tenancy: TenancySpec::default(),
+                storage: StorageSpec::default(),
             },
             output: OutputSpec::rows("hetero_replication.csv"),
         }],
@@ -348,6 +352,7 @@ pub fn replication_aware_campaign(scale: Scale, seed: u64) -> Campaign {
         objective: ObjectiveSpec::Mean,
         arrivals: ArrivalSpec::Off,
         tenancy: TenancySpec::default(),
+        storage: StorageSpec::default(),
     };
     Campaign {
         name: "replication_aware".to_string(),
@@ -421,6 +426,7 @@ pub fn tail_latency_campaign(scale: Scale, seed: u64) -> Campaign {
         objective,
         arrivals: ArrivalSpec::Off,
         tenancy: TenancySpec::default(),
+        storage: StorageSpec::default(),
     };
     Campaign {
         name: "tail_latency".to_string(),
@@ -544,6 +550,7 @@ pub fn multi_tenant_campaign(scale: Scale, seed: u64) -> Campaign {
             ],
             policy,
         },
+        storage: StorageSpec::default(),
     };
     let contended = [
         ("fcfs", AdmissionPolicy::Fcfs),
@@ -563,6 +570,146 @@ pub fn multi_tenant_campaign(scale: Scale, seed: u64) -> Campaign {
             scenario: scenario(tag, contended_gap, policy),
         }))
         .collect(),
+    }
+}
+
+/// The checkpoint-storage-tier study: the **same fork-join instance**
+/// (a 150-second head fanning out to twelve 4-second workers joined by a
+/// 120-second sink, constant 10-second checkpoint images) solved by a
+/// checkpoint-heavy and a checkpoint-lean heuristic, each free to pick
+/// its storage tier from a two-tier hierarchy, into
+/// [`OutputFormat::StorageRows`] CSVs:
+///
+/// * `storage_tiers.csv` — homogeneous platform, `best` selection: every
+///   strategy is optimized once per tier on the tier-priced workflow
+///   copy and the argmin tier lands in the `storage` column;
+/// * `storage_tiers_joint.csv` — two-processor platform with degree-2
+///   replication under the `joint` optimizer and `per-task` selection:
+///   tier choice is the third coordinate-descent axis, and the `pfs`
+///   tier's write contention prices the co-scheduled replica
+///   checkpoint images.
+///
+/// The hierarchy models the classic burst-buffer trade-off: `local` is
+/// write-fast but read-slow (node-local flash — a restore must fetch
+/// the image from a possibly-down node), `pfs` is write-slow but
+/// read-fast (the parallel file system restores at full stripe
+/// bandwidth). The join is what makes the winning tier flip: a sink
+/// fault re-reads **every** checkpointed predecessor image, so
+/// `DF-CkptAlws` (which checkpoints all twelve workers) is
+/// read-dominated and picks `pfs`, while the swept `DF-CkptW` keeps a
+/// single checkpoint on the head — whose image is written once and
+/// re-read only on the occasional downstream fault — making it
+/// write-dominated, and it picks `local`. Both margins are properties
+/// of the analytic evaluator, not Monte-Carlo noise;
+/// `tests/storage_flip.rs` pins the flip against the golden corpus.
+///
+/// Cell seeds use [`SeedPolicy::LegacyXorN`], which does **not** depend
+/// on the spec hash — the two stages differ only in platform/optimizer/
+/// selection, and the instance is inline anyway.
+pub fn storage_tiers_campaign(scale: Scale, seed: u64) -> Campaign {
+    use dagchkpt_core::TaskCosts;
+    let mc_trials = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 10_000,
+    };
+    let width = 12usize;
+    let dag = generators::fork_join(width);
+    let costs: Vec<TaskCosts> = (0..width + 2)
+        .map(|i| {
+            let w = if i == 0 {
+                150.0
+            } else if i == width + 1 {
+                120.0
+            } else {
+                4.0
+            };
+            TaskCosts::new(w, 10.0, 10.0)
+        })
+        .collect();
+    let forkjoin = Workflow::new(dag, costs);
+    let tiers = vec![
+        crate::scenario::TierSpec {
+            name: "local".to_string(),
+            write_bw: 8.0,
+            read_bw: 0.25,
+            compression: 1.0,
+            contention: 0.0,
+        },
+        crate::scenario::TierSpec {
+            name: "pfs".to_string(),
+            write_bw: 0.25,
+            read_bw: 8.0,
+            compression: 1.0,
+            contention: 0.5,
+        },
+    ];
+    let scenario = move |tag: &str, select: crate::scenario::StorageSelect| ScenarioSpec {
+        name: format!("storage_tiers_{tag}"),
+        description: format!(
+            "checkpoint-heavy vs checkpoint-lean heuristics picking tiers ({})",
+            select.label()
+        ),
+        workflows: vec![WorkflowSource::Inline {
+            name: "forkjoin".to_string(),
+            workflow: WorkflowSpec::from_workflow(&forkjoin, None),
+            default_lambda: 0.0,
+        }],
+        sizes: vec![width + 2],
+        failures: vec![FailureSpec::Exponential {
+            lambda: 6e-3,
+            downtime: 5.0,
+        }],
+        strategies: vec![
+            StrategySpec::Heuristic {
+                lin: LinearizationStrategy::DepthFirst,
+                ckpt: CheckpointStrategy::Always,
+            },
+            df_ckptw(),
+        ],
+        simulators: vec![
+            SimulatorSpec::Analytic,
+            SimulatorSpec::MonteCarlo { trials: mc_trials },
+        ],
+        seed,
+        seed_policy: SeedPolicy::LegacyXorN,
+        sweep: SweepSpec::Exhaustive,
+        platforms: if tag == "joint" {
+            vec![PlatformSpec::Uniform { count: 2 }]
+        } else {
+            Vec::new()
+        },
+        replications: if tag == "joint" {
+            vec![crate::scenario::ReplicationSpec::Uniform { degree: 2 }]
+        } else {
+            Vec::new()
+        },
+        optimizer: if tag == "joint" {
+            OptimizerSpec::Joint
+        } else {
+            OptimizerSpec::Proxy
+        },
+        objective: ObjectiveSpec::Mean,
+        arrivals: ArrivalSpec::Off,
+        tenancy: TenancySpec::default(),
+        storage: StorageSpec::Tiers {
+            tiers: tiers.clone(),
+            select,
+        },
+    };
+    Campaign {
+        name: "storage_tiers".to_string(),
+        description: "checkpoint storage tiers: write-fast local flash vs read-fast PFS"
+            .to_string(),
+        stages: vec![
+            Stage::Scenario {
+                output: OutputSpec::storage_rows("storage_tiers.csv"),
+                scenario: scenario("best", crate::scenario::StorageSelect::Best),
+            },
+            Stage::Scenario {
+                output: OutputSpec::storage_rows("storage_tiers_joint.csv"),
+                scenario: scenario("joint", crate::scenario::StorageSelect::PerTask),
+            },
+        ],
     }
 }
 

@@ -92,7 +92,9 @@
 use crate::evaluator::{self, recovery::RecoveryMatrices, EvalReport};
 use crate::model::Workflow;
 use crate::schedule::Schedule;
-use dagchkpt_failure::HeteroPlatform;
+use dagchkpt_dag::NodeId;
+use dagchkpt_failure::{HeteroPlatform, StorageHierarchy};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::RwLock;
 
@@ -129,7 +131,10 @@ fn attempt_stats(reps: &mut [Replica]) -> (f64, f64) {
     );
     // Completion order: earliest deterministic finish first (ties are
     // interchangeable — the elapsed time is the same either way).
-    reps.sort_by(|a, b| a.d.partial_cmp(&b.d).expect("durations are finite"));
+    // `total_cmp`: durations may carry storage-tier read/write factors,
+    // and a total order keeps the sort deterministic (and panic-free)
+    // even if a rogue NaN ever reaches it.
+    reps.sort_by(|a, b| a.d.total_cmp(&b.d));
     let surv: Vec<f64> = reps.iter().map(|r| (-r.lambda * r.d).exp()).collect();
     let fail: Vec<f64> = reps.iter().map(|r| -(-r.lambda * r.d).exp_m1()).collect();
     let q: f64 = fail.iter().product();
@@ -239,11 +244,29 @@ type AttemptKey = (u32, bool, u64, u64);
 /// candidate schedules — a checkpoint-budget sweep or a local search hits
 /// the cache for every block a candidate did not change.
 pub struct ReplicatedEvaluator<'a> {
-    wf: &'a Workflow,
+    /// The workflow with *storage-priced* recovery costs: borrowed and
+    /// untouched without a hierarchy; an owned copy with each task's
+    /// recovery cost scaled by its tier's read factor once
+    /// [`Self::with_storage`] attaches one. Recovery reads are priced at
+    /// the tier the checkpoint was **written** to (per-source), which is
+    /// exactly what a cost-scaled workflow expresses — and what keeps
+    /// this evaluator consistent with the Monte-Carlo engines simulating
+    /// [`Workflow::with_scaled_costs`] copies.
+    wf: Cow<'a, Workflow>,
+    /// The unscaled original (tier mutations re-derive from it).
+    base: &'a Workflow,
     platform: &'a HeteroPlatform,
     sets: Vec<Vec<usize>>,
+    storage: Option<StorageAssignment<'a>>,
     memo: RwLock<HashMap<AttemptKey, AttemptEntry>>,
     memoize: bool,
+}
+
+/// A checkpoint storage hierarchy plus the per-task tier each task writes
+/// its checkpoint to (and recovers from).
+struct StorageAssignment<'a> {
+    hierarchy: &'a StorageHierarchy,
+    tiers: Vec<usize>,
 }
 
 impl<'a> ReplicatedEvaluator<'a> {
@@ -254,12 +277,14 @@ impl<'a> ReplicatedEvaluator<'a> {
         assert_eq!(sets.len(), wf.n_tasks(), "one replica set per task");
         let n_procs = platform.n_procs();
         ReplicatedEvaluator {
-            wf,
+            wf: Cow::Borrowed(wf),
+            base: wf,
             platform,
             sets: sets
                 .iter()
                 .map(|s| normalize_replica_set(s, n_procs))
                 .collect(),
+            storage: None,
             memo: RwLock::new(HashMap::new()),
             memoize: true,
         }
@@ -279,9 +304,11 @@ impl<'a> ReplicatedEvaluator<'a> {
             .map(|&d| (0..d.clamp(1, n_procs)).collect())
             .collect();
         ReplicatedEvaluator {
-            wf,
+            wf: Cow::Borrowed(wf),
+            base: wf,
             platform,
             sets,
+            storage: None,
             memo: RwLock::new(HashMap::new()),
             memoize: true,
         }
@@ -298,6 +325,77 @@ impl<'a> ReplicatedEvaluator<'a> {
     /// The normalized per-task replica sets.
     pub fn sets(&self) -> &[Vec<usize>] {
         &self.sets
+    }
+
+    /// Attaches a checkpoint storage hierarchy and a per-task tier
+    /// assignment: task `t` writes its checkpoint to
+    /// `hierarchy.tiers()[tiers[t]]`, so its checkpoint cost is priced at
+    /// that tier's write factor (including replica-write contention) and
+    /// every later recovery *read of that checkpoint* at its read factor
+    /// (per-source pricing — the image is read back from the tier it was
+    /// written to). Tier indices are clamped into the hierarchy. A unit
+    /// hierarchy scales every cost by exactly `1.0`, so results stay
+    /// bit-identical to the scalar cost model.
+    pub fn with_storage(mut self, hierarchy: &'a StorageHierarchy, tiers: &[usize]) -> Self {
+        assert_eq!(tiers.len(), self.wf.n_tasks(), "one storage tier per task");
+        let cap = hierarchy.n_tiers() - 1;
+        let tiers: Vec<usize> = tiers.iter().map(|&t| t.min(cap)).collect();
+        let n = self.base.n_tasks();
+        let rec_scale: Vec<f64> = (0..n)
+            .map(|t| hierarchy.tiers()[tiers[t]].read_factor())
+            .collect();
+        self.wf = Cow::Owned(self.base.with_scaled_costs(&vec![1.0; n], &rec_scale));
+        self.storage = Some(StorageAssignment { hierarchy, tiers });
+        self.memo.write().expect("memo lock").clear();
+        self
+    }
+
+    /// The per-task tier assignment, if a storage hierarchy is attached.
+    pub fn tiers(&self) -> Option<&[usize]> {
+        self.storage.as_ref().map(|s| s.tiers.as_slice())
+    }
+
+    /// Moves task `t`'s checkpoint to `tier`, dropping the task's stale
+    /// cache entries — the storage analogue of [`Self::set_replicas`].
+    ///
+    /// # Panics
+    ///
+    /// If no hierarchy is attached ([`Self::with_storage`]) or `tier` is
+    /// out of range.
+    pub fn set_tier(&mut self, task: usize, tier: usize) {
+        let read_factor = {
+            let s = self
+                .storage
+                .as_mut()
+                .expect("set_tier requires with_storage");
+            assert!(tier < s.hierarchy.n_tiers(), "tier {tier} out of range");
+            s.tiers[task] = tier;
+            s.hierarchy.tiers()[tier].read_factor()
+        };
+        let id = NodeId::from(task);
+        let cost = self.base.recovery_cost(id) * read_factor;
+        self.wf.to_mut().set_recovery_cost(id, cost);
+        // Stale entries of *other* tasks whose recovery plan reads this
+        // checkpoint are keyed by their old recovery-content bits, so
+        // they can never be matched again — only this task's entries
+        // (whose values depend on its write cost and factors beyond the
+        // key) must be dropped explicitly, exactly as in `set_replicas`.
+        let t = task as u32;
+        self.memo
+            .write()
+            .expect("memo lock")
+            .retain(|k, _| k.0 != t);
+    }
+
+    /// Write-cost multiplier of task `t`'s assigned tier (`1.0` without a
+    /// hierarchy), including the contention of `t`'s replica-set size
+    /// writing concurrently. The *read* factor never appears here: it is
+    /// baked into the owned workflow's recovery costs per-source.
+    fn write_factor(&self, t: usize) -> f64 {
+        match &self.storage {
+            None => 1.0,
+            Some(s) => s.hierarchy.tiers()[s.tiers[t]].write_factor(self.sets[t].len()),
+        }
     }
 
     /// Replaces task `t`'s replica set (normalized), keeping the cache:
@@ -319,9 +417,16 @@ impl<'a> ReplicatedEvaluator<'a> {
     }
 
     /// `true` when this evaluator delegates to the homogeneous evaluator
-    /// outright (single reference processor, every set `[0]`).
+    /// outright (single reference processor, every set `[0]`, and any
+    /// attached storage tier the identity — a non-unit tier must run the
+    /// group recursion to price its factors).
     fn is_degenerate(&self) -> bool {
-        self.platform.is_degenerate() && self.sets.iter().all(|s| s == &[0])
+        self.platform.is_degenerate()
+            && self.sets.iter().all(|s| s == &[0])
+            && self
+                .storage
+                .as_ref()
+                .is_none_or(|s| s.tiers.iter().all(|&t| s.hierarchy.tiers()[t].is_unit()))
     }
 
     /// Replica views of task `t`'s block with rework `wk`, recovery `rk`
@@ -337,13 +442,19 @@ impl<'a> ReplicatedEvaluator<'a> {
             0.0
         };
         let procs = self.platform.procs();
+        // The tier's write factor composes multiplicatively with the
+        // per-processor bandwidth factor; without a hierarchy it is
+        // exactly 1.0, which IEEE multiplication leaves bit-identical.
+        // Recovery reads need no factor here — `rk` comes from the
+        // storage-priced workflow's recovery costs.
+        let w_fac = self.write_factor(t);
         self.sets[t]
             .iter()
             .map(|&p| {
                 let p = &procs[p];
                 Replica {
                     lambda: p.lambda,
-                    d: (wk + w) / p.speed + rk / p.read_bw + write / p.write_bw,
+                    d: (wk + w) / p.speed + rk / p.read_bw + write * w_fac / p.write_bw,
                 }
             })
             .collect()
@@ -416,7 +527,7 @@ impl<'a> ReplicatedEvaluator<'a> {
     /// failures** (memory wipes), the event the Monte-Carlo engines report
     /// as `n_faults`.
     pub fn evaluate(&self, schedule: &Schedule) -> EvalReport {
-        let wf = self.wf;
+        let wf = self.wf.as_ref();
         let n = wf.n_tasks();
         if self.is_degenerate() {
             // Bit-for-bit reproduction of the homogeneous evaluator.
@@ -950,6 +1061,160 @@ mod tests {
             via_mutation.expected_makespan.to_bits(),
             fresh.expected_makespan.to_bits()
         );
+    }
+
+    /// A unit storage hierarchy (bandwidths 1, compression 1, no
+    /// contention) is invisible bit for bit, with and without delegation.
+    #[test]
+    fn unit_storage_hierarchy_is_bit_identical() {
+        use dagchkpt_failure::{StorageHierarchy, StorageTier};
+        let (wf, s) = fig1_schedule();
+        let h = StorageHierarchy::new(vec![StorageTier::unit("local")]).unwrap();
+
+        // Degenerate platform: the storage-aware evaluator still
+        // delegates to the homogeneous evaluator.
+        let degenerate = single(3e-3, 1.5);
+        let plain = evaluate_replicated(&wf, &degenerate, &s, &[1; 8]);
+        let stored = ReplicatedEvaluator::from_degrees(&wf, &degenerate, &[1; 8])
+            .with_storage(&h, &[0; 8])
+            .evaluate(&s);
+        assert_eq!(
+            plain.expected_makespan.to_bits(),
+            stored.expected_makespan.to_bits()
+        );
+
+        // Genuinely heterogeneous platform: factors of exactly 1.0 leave
+        // the group recursion's arithmetic untouched.
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.5,
+                    ..Processor::reference(5e-3)
+                },
+                Processor::reference(2e-3),
+            ],
+            0.5,
+        )
+        .unwrap();
+        let plain = evaluate_replicated(&wf, &platform, &s, &[2; 8]);
+        let stored = ReplicatedEvaluator::from_degrees(&wf, &platform, &[2; 8])
+            .with_storage(&h, &[0; 8])
+            .evaluate(&s);
+        assert_eq!(
+            plain.expected_makespan.to_bits(),
+            stored.expected_makespan.to_bits()
+        );
+        assert_eq!(
+            plain.expected_faults.to_bits(),
+            stored.expected_faults.to_bits()
+        );
+    }
+
+    /// Tier factors price checkpoints and recoveries as designed: a slow
+    /// write tier inflates the fault-free makespan by the checkpoint
+    /// volume, a slow read tier only hurts when recoveries happen.
+    #[test]
+    fn storage_tier_factors_price_writes_and_reads() {
+        use dagchkpt_failure::{StorageHierarchy, StorageTier};
+        let wf = Workflow::uniform(generators::chain(3), 10.0, 2.0);
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        // Fault-free non-degenerate platform so the recursion runs.
+        let platform = HeteroPlatform::homogeneous(2, 0.0, 0.0).unwrap();
+        let h = StorageHierarchy::new(vec![
+            StorageTier {
+                name: "slow-writes".to_string(),
+                write_bw: 0.5,
+                read_bw: 1.0,
+                compression: 1.0,
+                contention: 0.0,
+            },
+            StorageTier::unit("ref"),
+        ])
+        .unwrap();
+        // 30 work + 3 checkpoints of 2 at write factor 2 = 42.
+        let e = ReplicatedEvaluator::from_degrees(&wf, &platform, &[1; 3])
+            .with_storage(&h, &[0; 3])
+            .evaluate(&s)
+            .expected_makespan;
+        assert!((e - 42.0).abs() < 1e-12, "e = {e}");
+        // The unit tier prices the same schedule at 36.
+        let e = ReplicatedEvaluator::from_degrees(&wf, &platform, &[1; 3])
+            .with_storage(&h, &[1; 3])
+            .evaluate(&s)
+            .expected_makespan;
+        assert!((e - 36.0).abs() < 1e-12, "e = {e}");
+        // Under faults, a slow *read* tier makes recoveries dearer, so
+        // the expectation strictly grows.
+        let faulty = HeteroPlatform::homogeneous(2, 5e-2, 1.0).unwrap();
+        let slow_reads = StorageHierarchy::new(vec![
+            StorageTier {
+                name: "slow-reads".to_string(),
+                write_bw: 1.0,
+                read_bw: 0.25,
+                compression: 1.0,
+                contention: 0.0,
+            },
+            StorageTier::unit("ref"),
+        ])
+        .unwrap();
+        let e_slow = ReplicatedEvaluator::from_degrees(&wf, &faulty, &[1; 3])
+            .with_storage(&slow_reads, &[0; 3])
+            .evaluate(&s)
+            .expected_makespan;
+        let e_ref = ReplicatedEvaluator::from_degrees(&wf, &faulty, &[1; 3])
+            .with_storage(&slow_reads, &[1; 3])
+            .evaluate(&s)
+            .expected_makespan;
+        assert!(e_slow > e_ref, "slow reads {e_slow} vs ref {e_ref}");
+    }
+
+    /// Replica-write contention: the same tier prices a wider replica set
+    /// with a strictly larger write factor, and `set_tier` invalidates
+    /// the cache exactly like `set_replicas`.
+    #[test]
+    fn contention_and_set_tier_cache_invalidation() {
+        use dagchkpt_failure::{StorageHierarchy, StorageTier};
+        let (wf, s) = fig1_schedule();
+        let platform = HeteroPlatform::homogeneous(3, 4e-3, 1.0).unwrap();
+        let h = StorageHierarchy::new(vec![
+            StorageTier {
+                name: "contended".to_string(),
+                write_bw: 1.0,
+                read_bw: 1.0,
+                compression: 1.0,
+                contention: 0.5,
+            },
+            StorageTier::unit("ref"),
+        ])
+        .unwrap();
+        // Degree 3 pays 1 + 0.5·2 = 2× on every write; degree 1 pays 1×.
+        let wide = ReplicatedEvaluator::from_degrees(&wf, &platform, &[3; 8])
+            .with_storage(&h, &[0; 8])
+            .evaluate(&s)
+            .expected_makespan;
+        let wide_ref = ReplicatedEvaluator::from_degrees(&wf, &platform, &[3; 8])
+            .with_storage(&h, &[1; 8])
+            .evaluate(&s)
+            .expected_makespan;
+        assert!(wide > wide_ref, "contended {wide} vs ref {wide_ref}");
+
+        // Mutating one task's tier matches a fresh evaluator bit for bit.
+        let mut ev =
+            ReplicatedEvaluator::from_degrees(&wf, &platform, &[2; 8]).with_storage(&h, &[0; 8]);
+        let _ = ev.evaluate(&s);
+        ev.set_tier(3, 1);
+        let via_mutation = ev.evaluate(&s);
+        let mut tiers = vec![0usize; 8];
+        tiers[3] = 1;
+        let fresh = ReplicatedEvaluator::from_degrees(&wf, &platform, &[2; 8])
+            .with_storage(&h, &tiers)
+            .evaluate(&s);
+        assert_eq!(
+            via_mutation.expected_makespan.to_bits(),
+            fresh.expected_makespan.to_bits()
+        );
+        assert_eq!(ev.tiers(), Some(&tiers[..]));
     }
 
     #[test]

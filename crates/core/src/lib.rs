@@ -47,8 +47,9 @@ pub use objective::{CostSummary, Objective, ProxyObjective};
 pub use schedule::Schedule;
 pub use strategies::{
     local_search, local_search_with, optimize_checkpoints, optimize_checkpoints_quantile,
-    optimize_checkpoints_with, optimize_joint, optimize_joint_with, ranking, replica_candidates,
-    replica_candidates_with, select_replicas, select_replicas_with, CheckpointStrategy,
+    optimize_checkpoints_with, optimize_joint, optimize_joint_storage, optimize_joint_with,
+    ranking, replica_candidates, replica_candidates_with, select_replicas, select_replicas_with,
+    select_storage, select_tiers_pass, storage_scales, CheckpointStrategy,
     ExhaustiveSelectionError, JointSchedule, NoRankingError, OptimizedSchedule,
-    ReplicationStrategy, SelectionSpec, SweepPolicy,
+    ReplicationStrategy, SelectionSpec, StorageStrategy, SweepPolicy,
 };

@@ -184,6 +184,52 @@ impl Workflow {
         Self::new(dag, vec![TaskCosts::new(w, c, c); n])
     }
 
+    /// A copy with each task's checkpoint cost multiplied by
+    /// `ckpt_scale[i]` and recovery cost by `rec_scale[i]` (work is never
+    /// scaled). This is the storage-tier pricing hook: the Monte-Carlo
+    /// engines read costs exclusively from the workflow, so simulating a
+    /// scaled copy makes every engine tier-aware without touching engine
+    /// internals. Scaling by exactly `1.0` is bit-identical to `self`.
+    ///
+    /// # Panics
+    ///
+    /// If a scale list has the wrong length or a scaled cost comes out
+    /// non-finite or negative (validated like [`Workflow::try_new`]).
+    pub fn with_scaled_costs(&self, ckpt_scale: &[f64], rec_scale: &[f64]) -> Workflow {
+        let n = self.n_tasks();
+        assert_eq!(ckpt_scale.len(), n, "one checkpoint scale per task");
+        assert_eq!(rec_scale.len(), n, "one recovery scale per task");
+        let scale = |costs: &[f64], scales: &[f64], what: &str| -> Vec<f64> {
+            costs
+                .iter()
+                .zip(scales)
+                .enumerate()
+                .map(|(i, (&c, &s))| {
+                    let v = c * s;
+                    assert!(
+                        v.is_finite() && v >= 0.0,
+                        "task {i}: scaled {what} cost {v} must be finite and non-negative"
+                    );
+                    v
+                })
+                .collect()
+        };
+        Workflow {
+            dag: self.dag.clone(),
+            work: self.work.clone(),
+            checkpoint: scale(&self.checkpoint, ckpt_scale, "checkpoint"),
+            recovery: scale(&self.recovery, rec_scale, "recovery"),
+        }
+    }
+
+    /// Overwrites one task's recovery cost in place — the incremental
+    /// counterpart of [`Workflow::with_scaled_costs`] used by the
+    /// storage-aware evaluator's tier mutations.
+    pub(crate) fn set_recovery_cost(&mut self, v: NodeId, cost: f64) {
+        debug_assert!(cost.is_finite() && cost >= 0.0);
+        self.recovery[v.index()] = cost;
+    }
+
     /// The underlying DAG.
     #[inline]
     pub fn dag(&self) -> &Dag {

@@ -41,7 +41,7 @@ use crate::model::Workflow;
 use crate::objective::{Objective, ProxyObjective};
 use crate::schedule::Schedule;
 use dagchkpt_dag::{FixedBitSet, NodeId};
-use dagchkpt_failure::{FaultModel, HeteroPlatform, Processor};
+use dagchkpt_failure::{FaultModel, HeteroPlatform, Processor, StorageHierarchy};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -702,6 +702,10 @@ pub struct JointSchedule {
     pub replica_sets: Vec<Vec<usize>>,
     /// Its expected makespan under [`ReplicatedEvaluator`] on those sets.
     pub expected_makespan: f64,
+    /// Per-task checkpoint storage tiers (indices into the hierarchy's
+    /// declaration order), when the descent included the storage axis
+    /// ([`optimize_joint_storage`]). `None` for the two-axis descent.
+    pub tiers: Option<Vec<usize>>,
     /// Winning checkpoint budget of the final sweep.
     pub best_n: Option<usize>,
     /// Total candidate evaluations across all coordinate rounds.
@@ -893,6 +897,246 @@ pub fn optimize_joint_with(
                 schedule: opt.schedule,
                 replica_sets: ev.sets().to_vec(),
                 expected_makespan: e,
+                tiers: None,
+                evaluated,
+                rounds,
+            });
+        }
+        if stalled {
+            break;
+        }
+    }
+    let mut out = best.expect("at least one joint round ran");
+    out.evaluated = evaluated;
+    out.rounds = rounds;
+    Ok(out)
+}
+
+/// How the checkpoint **storage tier** of each task is chosen — the third
+/// decision dimension next to the checkpoint budget and the replica set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageStrategy {
+    /// Every task writes to the tier at this index of the hierarchy's
+    /// declaration order.
+    Fixed {
+        /// Tier index.
+        tier: usize,
+    },
+    /// Evaluate each uniform assignment (all tasks on one tier) and keep
+    /// the tier minimizing the expected makespan — ties broken toward
+    /// the earliest-declared tier via `total_cmp`, so NaN can never poison
+    /// the argmin.
+    Best,
+    /// Start from the best uniform assignment, then coordinate-descend
+    /// per task ([`select_tiers_pass`]) until a pass moves nothing:
+    /// checkpoint-heavy tasks can land on a write-fast tier while
+    /// recovery-critical ones land on a read-fast tier.
+    PerTask,
+}
+
+impl StorageStrategy {
+    /// Short label used in CSV rows and campaign stage names.
+    pub fn label(&self) -> String {
+        match self {
+            StorageStrategy::Fixed { tier } => format!("fixed{tier}"),
+            StorageStrategy::Best => "best".to_string(),
+            StorageStrategy::PerTask => "per-task".to_string(),
+        }
+    }
+}
+
+/// Per-task cost scale factors pricing a tier assignment into a
+/// [`Workflow`] copy via [`Workflow::with_scaled_costs`]: checkpoint
+/// costs scale by the write factor of the task's tier at its replica
+/// group size (contention applies to concurrent replica writes),
+/// recovery costs by the read factor of the tier the checkpoint was
+/// *written* to. This is the one shared pricing definition for every
+/// consumer that simulates or re-evaluates a storage-aware schedule —
+/// the Monte-Carlo engines in `dagchkpt-sim` run the scaled copy and
+/// thereby agree with [`ReplicatedEvaluator::with_storage`], which bakes
+/// the same read factors into its recovery costs.
+///
+/// Tier indices are clamped to the hierarchy like
+/// [`ReplicatedEvaluator::with_storage`]; replica counts below 1 price
+/// as a single writer.
+pub fn storage_scales(
+    hierarchy: &StorageHierarchy,
+    tiers: &[usize],
+    replica_counts: &[usize],
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(
+        tiers.len(),
+        replica_counts.len(),
+        "one replica count per task"
+    );
+    let cap = hierarchy.n_tiers() - 1;
+    let ckpt = tiers
+        .iter()
+        .zip(replica_counts)
+        .map(|(&t, &k)| hierarchy.tiers()[t.min(cap)].write_factor(k.max(1)))
+        .collect();
+    let rec = tiers
+        .iter()
+        .map(|&t| hierarchy.tiers()[t.min(cap)].read_factor())
+        .collect();
+    (ckpt, rec)
+}
+
+/// One coordinate pass of per-task **tier** selection — the storage
+/// analogue of [`select_replicas_pass`], over an evaluator carrying a
+/// storage hierarchy ([`ReplicatedEvaluator::with_storage`]). `best_e`
+/// must hold the expected makespan of `schedule` under `ev`'s current
+/// assignment; returns whether any task moved.
+pub fn select_tiers_pass(
+    ev: &mut ReplicatedEvaluator,
+    schedule: &Schedule,
+    n_tiers: usize,
+    best_e: &mut f64,
+    evaluated: &mut usize,
+) -> bool {
+    let tiers = ev.tiers().expect("select_tiers_pass requires storage");
+    let n = tiers.len();
+    let mut improved = false;
+    for t in 0..n {
+        let current = ev.tiers().expect("storage attached")[t];
+        let mut best_tier = current;
+        for cand in 0..n_tiers {
+            if cand == current || cand == best_tier {
+                continue;
+            }
+            ev.set_tier(t, cand);
+            let e = ev.expected_makespan(schedule);
+            *evaluated += 1;
+            // Same NaN-safe escape as replica selection: an infinite
+            // incumbent (`best_e - tol` would be NaN) is beaten by any
+            // finite candidate.
+            let improves = if best_e.is_finite() {
+                e < *best_e - 1e-12 * best_e.max(1.0)
+            } else {
+                e < *best_e
+            };
+            if improves {
+                *best_e = e;
+                best_tier = cand;
+                improved = true;
+            }
+        }
+        ev.set_tier(t, best_tier);
+    }
+    improved
+}
+
+/// Applies a [`StorageStrategy`] to `schedule` on an evaluator that
+/// already carries the storage hierarchy: returns the chosen per-task
+/// tiers, their expected makespan, and the number of evaluations. The
+/// evaluator is left on the chosen assignment.
+pub fn select_storage(
+    ev: &mut ReplicatedEvaluator,
+    schedule: &Schedule,
+    n_tiers: usize,
+    strategy: StorageStrategy,
+    max_rounds: usize,
+) -> (Vec<usize>, f64, usize) {
+    let n = ev.tiers().expect("select_storage requires storage").len();
+    let mut evaluated = 0usize;
+    let set_uniform = |ev: &mut ReplicatedEvaluator, tier: usize| {
+        for t in 0..n {
+            ev.set_tier(t, tier);
+        }
+    };
+    let mut best_e = match strategy {
+        StorageStrategy::Fixed { tier } => {
+            set_uniform(ev, tier.min(n_tiers - 1));
+            evaluated += 1;
+            ev.expected_makespan(schedule)
+        }
+        StorageStrategy::Best | StorageStrategy::PerTask => {
+            // Uniform argmin via total_cmp: NaN orders above every real
+            // value, so a poisoned tier can never win.
+            let mut best: Option<(f64, usize)> = None;
+            for tier in 0..n_tiers {
+                set_uniform(ev, tier);
+                let e = ev.expected_makespan(schedule);
+                evaluated += 1;
+                if best.is_none_or(|(be, _)| e.total_cmp(&be).is_lt()) {
+                    best = Some((e, tier));
+                }
+            }
+            let (e, tier) = best.expect("a hierarchy has at least one tier");
+            set_uniform(ev, tier);
+            e
+        }
+    };
+    if strategy == StorageStrategy::PerTask {
+        for _ in 0..max_rounds.max(1) {
+            if !select_tiers_pass(ev, schedule, n_tiers, &mut best_e, &mut evaluated) {
+                break;
+            }
+        }
+    }
+    (
+        ev.tiers().expect("storage attached").to_vec(),
+        best_e,
+        evaluated,
+    )
+}
+
+/// [`optimize_joint`] with the **third axis**: coordinate descent over
+/// (checkpoint budget × per-task replica sets × per-task storage tiers).
+/// Each round sweeps the budget under the current replica and tier
+/// assignment, runs one replica-selection pass, then one tier-selection
+/// pass; rounds are accepted only on strict improvement, so the result is
+/// never worse than the two-axis descent started on the same initial
+/// tier assignment.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_joint_storage(
+    wf: &Workflow,
+    platform: &'_ HeteroPlatform,
+    order: &[NodeId],
+    strategy: CheckpointStrategy,
+    policy: SweepPolicy,
+    init_degrees: &[usize],
+    max_rounds: usize,
+    selection: SelectionSpec,
+    hierarchy: &StorageHierarchy,
+    init_tiers: &[usize],
+) -> Result<JointSchedule, ExhaustiveSelectionError> {
+    let n_procs = platform.n_procs().max(1);
+    let max_degree = init_degrees
+        .iter()
+        .map(|&d| d.clamp(1, n_procs))
+        .max()
+        .unwrap_or(1)
+        .clamp(1, MAX_REPLICATION_DEGREE.min(n_procs));
+    let init_sets: Vec<Vec<usize>> = init_degrees
+        .iter()
+        .map(|&d| (0..d.clamp(1, n_procs)).collect())
+        .collect();
+    let n_tiers = hierarchy.n_tiers();
+    let mut ev = ReplicatedEvaluator::from_sets(wf, platform, &init_sets)
+        .with_storage(hierarchy, init_tiers);
+    let candidates = replica_candidates_with(platform, max_degree, selection)?;
+    let mut best: Option<JointSchedule> = None;
+    let mut evaluated = 0usize;
+    let mut rounds = 0usize;
+    for _ in 0..max_rounds.max(1) {
+        rounds += 1;
+        let opt = optimize_checkpoints_with(wf, &ev, order, strategy, policy);
+        evaluated += opt.evaluated;
+        let mut e = ev.expected_makespan(&opt.schedule);
+        evaluated += 1;
+        select_replicas_pass(&mut ev, &opt.schedule, &candidates, &mut e, &mut evaluated);
+        select_tiers_pass(&mut ev, &opt.schedule, n_tiers, &mut e, &mut evaluated);
+        let tol = 1e-12 * e.abs().max(1.0);
+        let better = best.as_ref().is_none_or(|b| e < b.expected_makespan - tol);
+        let stalled = !better;
+        if better {
+            best = Some(JointSchedule {
+                best_n: opt.best_n,
+                schedule: opt.schedule,
+                replica_sets: ev.sets().to_vec(),
+                expected_makespan: e,
+                tiers: ev.tiers().map(|t| t.to_vec()),
                 evaluated,
                 rounds,
             });
@@ -910,8 +1154,9 @@ pub fn optimize_joint_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::CostRule;
+    use crate::model::{CostRule, TaskCosts};
     use dagchkpt_dag::{generators, topo};
+    use dagchkpt_failure::StorageTier;
 
     fn chain_wf() -> Workflow {
         Workflow::with_cost_rule(
@@ -919,6 +1164,146 @@ mod tests {
             vec![50.0, 10.0, 40.0, 20.0, 60.0, 30.0],
             CostRule::ProportionalToWork { ratio: 0.1 },
         )
+    }
+
+    /// Write-fast/read-slow vs write-slow/read-fast two-tier hierarchy —
+    /// the asymmetry every storage test exercises.
+    fn two_tier_hierarchy() -> StorageHierarchy {
+        StorageHierarchy::new(vec![
+            StorageTier {
+                name: "wfast".to_string(),
+                write_bw: 8.0,
+                read_bw: 0.125,
+                compression: 1.0,
+                contention: 0.0,
+            },
+            StorageTier {
+                name: "rfast".to_string(),
+                write_bw: 0.125,
+                read_bw: 8.0,
+                compression: 1.0,
+                contention: 0.0,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn select_storage_best_picks_the_uniform_argmin() {
+        let wf = chain_wf();
+        let order = topo::topological_order(wf.dag());
+        // Checkpoint everything: writes dominate, so the write-fast tier
+        // must win the uniform argmin.
+        let s = Schedule::always(&wf, order).unwrap();
+        let platform = HeteroPlatform::homogeneous(2, 1e-3, 1.0).unwrap();
+        let h = two_tier_hierarchy();
+        let mut ev =
+            ReplicatedEvaluator::from_degrees(&wf, &platform, &[1; 6]).with_storage(&h, &[1; 6]);
+        let (tiers, e, evaluated) = select_storage(&mut ev, &s, 2, StorageStrategy::Best, 4);
+        assert_eq!(tiers, vec![0; 6], "write-fast tier must win: {tiers:?}");
+        assert!(e.is_finite() && evaluated >= 2);
+        // Fixed pins the requested tier and reports its evaluation.
+        let (tiers, e_fixed, _) =
+            select_storage(&mut ev, &s, 2, StorageStrategy::Fixed { tier: 1 }, 4);
+        assert_eq!(tiers, vec![1; 6]);
+        assert!(e_fixed > e, "read-fast on all-writes {e_fixed} vs {e}");
+    }
+
+    #[test]
+    fn per_task_storage_selection_mixes_tiers() {
+        // Task 0 writes a huge checkpoint nobody re-reads expensively;
+        // task 1 writes a tiny checkpoint whose recovery read is huge
+        // (it is re-read on every fault in task 2's block). Per-task
+        // selection must split them across the two tiers.
+        let wf = Workflow::new(
+            generators::chain(3),
+            vec![
+                TaskCosts::new(10.0, 50.0, 0.1),
+                TaskCosts::new(10.0, 0.5, 50.0),
+                TaskCosts::new(10.0, 0.0, 0.0),
+            ],
+        );
+        let order = topo::topological_order(wf.dag());
+        let s = Schedule::always(&wf, order).unwrap();
+        let platform = HeteroPlatform::homogeneous(2, 1e-2, 1.0).unwrap();
+        let h = two_tier_hierarchy();
+        let mut ev =
+            ReplicatedEvaluator::from_degrees(&wf, &platform, &[1; 3]).with_storage(&h, &[0; 3]);
+        let (tiers, e_mixed, _) = select_storage(&mut ev, &s, 2, StorageStrategy::PerTask, 4);
+        assert_eq!(tiers[0], 0, "huge write → write-fast tier: {tiers:?}");
+        assert_eq!(
+            tiers[1], 1,
+            "huge recovery read → read-fast tier: {tiers:?}"
+        );
+        // The mixed assignment beats both uniform assignments.
+        for uniform in 0..2usize {
+            let e_u = ReplicatedEvaluator::from_degrees(&wf, &platform, &[1; 3])
+                .with_storage(&h, &[uniform; 3])
+                .expected_makespan(&s);
+            assert!(
+                e_mixed < e_u,
+                "mixed {e_mixed} must beat uniform tier {uniform} ({e_u})"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_storage_descent_is_consistent_and_never_worse_than_round_one() {
+        use dagchkpt_failure::Processor;
+        let wf = chain_wf();
+        let lambda = 5e-3;
+        let platform = HeteroPlatform::new(
+            vec![
+                Processor {
+                    speed: 1.5,
+                    ..Processor::reference(4.0 * lambda)
+                },
+                Processor::reference(lambda),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let order = topo::topological_order(wf.dag());
+        let h = two_tier_hierarchy();
+        let joint = optimize_joint_storage(
+            &wf,
+            &platform,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+            &[2; 6],
+            4,
+            SelectionSpec::Prefixes,
+            &h,
+            &[0; 6],
+        )
+        .unwrap();
+        let tiers = joint.tiers.as_ref().expect("storage descent reports tiers");
+        assert_eq!(tiers.len(), 6);
+        assert!(joint.expected_makespan.is_finite() && joint.rounds >= 1);
+        // The reported value matches a fresh storage-aware evaluation of
+        // the reported schedule, sets and tiers — bit for bit.
+        let fresh = ReplicatedEvaluator::from_sets(&wf, &platform, &joint.replica_sets)
+            .with_storage(&h, tiers)
+            .expected_makespan(&joint.schedule);
+        assert_eq!(joint.expected_makespan.to_bits(), fresh.to_bits());
+        // Never worse than the checkpoint sweep alone on the initial
+        // (all-tier-0, prefix-degree) assignment.
+        let base_ev =
+            ReplicatedEvaluator::from_degrees(&wf, &platform, &[2; 6]).with_storage(&h, &[0; 6]);
+        let sweep = optimize_checkpoints_with(
+            &wf,
+            &base_ev,
+            &order,
+            CheckpointStrategy::ByDecreasingWork,
+            SweepPolicy::Exhaustive,
+        );
+        assert!(
+            joint.expected_makespan <= sweep.expected_makespan + 1e-9 * sweep.expected_makespan,
+            "joint {} vs sweep {}",
+            joint.expected_makespan,
+            sweep.expected_makespan
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`HeteroPlatform`] — a heterogeneous processor pool (per-processor
 //!   speed, failure rate / Weibull shape, checkpoint read/write
 //!   bandwidth), the substrate of the task-replication scenario family;
+//! * [`StorageHierarchy`] — the checkpoint storage hierarchy (local /
+//!   burst-buffer / parallel-FS tiers with write/read bandwidths,
+//!   compression and replica-write contention) behind per-task
+//!   checkpoint storage strategies;
 //! * [`daly`] — the classical Young / Daly checkpointing periods used to
 //!   discuss the `CkptPer` strategy;
 //! * [`injector`] — pluggable fault injectors for the Monte-Carlo simulator:
@@ -23,7 +27,9 @@ pub mod daly;
 pub mod injector;
 pub mod model;
 pub mod platform;
+pub mod storage;
 
 pub use injector::{ExponentialInjector, FaultInjector, NoFaults, TraceInjector, WeibullInjector};
 pub use model::FaultModel;
 pub use platform::{HeteroPlatform, Platform, PlatformError, Processor};
+pub use storage::{StorageHierarchy, StorageTier, MAX_TIERS};

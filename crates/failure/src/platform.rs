@@ -349,6 +349,35 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.0.contains("write_bw"), "{e}");
+        // Zero and negative bandwidth factors turn tier-cost divisions
+        // into inf/NaN downstream — pinned as validation errors, like
+        // the zero-processor case.
+        for bad in [0.0, -2.0] {
+            let e = HeteroPlatform::new(
+                vec![Processor {
+                    write_bw: bad,
+                    ..Processor::reference(1e-3)
+                }],
+                0.0,
+            )
+            .unwrap_err();
+            assert_eq!(
+                e.0,
+                format!("processor 0: write_bw {bad} must be finite and > 0")
+            );
+            let e = HeteroPlatform::new(
+                vec![Processor {
+                    read_bw: bad,
+                    ..Processor::reference(1e-3)
+                }],
+                0.0,
+            )
+            .unwrap_err();
+            assert_eq!(
+                e.0,
+                format!("processor 0: read_bw {bad} must be finite and > 0")
+            );
+        }
         let e = HeteroPlatform::new(vec![proc(1.0, 1e-3)], -1.0).unwrap_err();
         assert!(e.0.contains("downtime"), "{e}");
     }

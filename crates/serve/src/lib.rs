@@ -22,7 +22,9 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, CellAnswer, ResponseCache};
-pub use loadgen::{bench_load, replay_campaign, run_malformed_corpus, BenchReport, Client};
+pub use loadgen::{
+    bench_load, replay_campaign, run_malformed_corpus, BenchReport, Client, ClientError,
+};
 pub use protocol::{
     read_frame, write_frame, write_request, write_response, FrameRead, Request, Response, MAX_FRAME,
 };

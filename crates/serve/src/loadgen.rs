@@ -30,7 +30,60 @@ use serde::Serialize;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A client-side transport failure, typed so callers can tell a dead or
+/// stalled server ([`ClientError::Timeout`], [`ClientError::Disconnected`])
+/// apart from a malformed answer ([`ClientError::Protocol`]).
+///
+/// Historically [`Client`] read with **no timeout**, so a daemon that
+/// accepted the connection and then died mid-request hung the load
+/// generator forever; `--read-timeout` plus this error type is the fix
+/// (the regression test stalls and kills a fake server and asserts the
+/// client errors out promptly).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The read timed out before a response arrived. Raise the timeout if
+    /// the server is merely slow — full-scale cells legitimately take a
+    /// while.
+    Timeout,
+    /// The server closed (or stalled mid-frame on) the connection before
+    /// finishing its response.
+    Disconnected,
+    /// A transport-level I/O failure outside the timeout/close cases.
+    Io(std::io::Error),
+    /// The response frame violated the protocol (not UTF-8, not a
+    /// [`Response`], or an oversized length prefix).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => {
+                write!(f, "read timed out waiting for a response (server dead or slow; raise --read-timeout for long cells)")
+            }
+            ClientError::Disconnected => {
+                write!(
+                    f,
+                    "server closed the connection before finishing its response"
+                )
+            }
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The legacy string-error path (`Result<_, String>` call sites) keeps
+/// working through `?`.
+impl From<ClientError> for String {
+    fn from(e: ClientError) -> String {
+        e.to_string()
+    }
+}
 
 /// A blocking protocol client over one connection.
 pub struct Client {
@@ -39,11 +92,25 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects (blocking reads, no timeout: cell evaluation at full
-    /// scale can legitimately take a while).
+    /// Connects with blocking reads and no timeout — cell evaluation at
+    /// full scale can legitimately take a while, so "wait forever" is the
+    /// deliberate default for trusted local runs. Interactive callers
+    /// should prefer [`Client::connect_with_timeout`].
     pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, None)
+    }
+
+    /// Connects with an optional read timeout. With `Some(d)`, any read
+    /// that sees no response bytes for `d` fails with
+    /// [`ClientError::Timeout`] instead of blocking forever on a dead
+    /// server; `None` keeps the legacy blocking behavior.
+    pub fn connect_with_timeout(
+        addr: &str,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(read_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -51,26 +118,43 @@ impl Client {
     }
 
     /// Sends one request and reads its response.
-    pub fn call(&mut self, req: &Request) -> Result<Response, String> {
-        write_request(&mut self.writer, req).map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.writer, req).map_err(ClientError::Io)?;
+        self.writer.flush().map_err(ClientError::Io)?;
         self.recv()
     }
 
     /// Sends raw bytes as one frame (malformed-payload probes).
-    pub fn send_frame(&mut self, payload: &[u8]) -> Result<(), String> {
-        write_frame(&mut self.writer, payload).map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send: {e}"))
+    pub fn send_frame(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, payload).map_err(ClientError::Io)?;
+        self.writer.flush().map_err(ClientError::Io)
     }
 
-    /// Reads one response frame.
-    pub fn recv(&mut self) -> Result<Response, String> {
+    /// Reads one response frame. A timeout before the first byte is
+    /// [`ClientError::Timeout`]; a close — or a stall mid-frame, which has
+    /// lost sync either way — is [`ClientError::Disconnected`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
         match read_frame(&mut self.reader) {
             FrameRead::Payload(bytes) => {
-                serde_json::from_str(std::str::from_utf8(&bytes).map_err(|e| format!("recv: {e}"))?)
-                    .map_err(|e| format!("recv: {e}"))
+                let text = std::str::from_utf8(&bytes)
+                    .map_err(|e| ClientError::Protocol(format!("response is not UTF-8: {e}")))?;
+                serde_json::from_str(text)
+                    .map_err(|e| ClientError::Protocol(format!("response is not a Response: {e}")))
             }
-            other => Err(format!("recv: {other:?}")),
+            FrameRead::Idle => Err(ClientError::Timeout),
+            FrameRead::Eof | FrameRead::Truncated => Err(ClientError::Disconnected),
+            FrameRead::Oversized(n) => Err(ClientError::Protocol(format!(
+                "oversized response frame ({n} bytes)"
+            ))),
+            FrameRead::Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ClientError::Timeout)
+            }
+            FrameRead::Err(e) => Err(ClientError::Io(e)),
         }
     }
 
@@ -111,13 +195,16 @@ pub struct ReplayReport {
 
 /// Replays every scenario stage cell-by-cell and writes the served rows
 /// as CSV under `out_dir` — byte-identical to the batch engine's output.
+/// `read_timeout` bounds each response wait (`None` = block forever).
 pub fn replay_campaign(
     addr: &str,
     campaign: &Campaign,
     out_dir: &Path,
+    read_timeout: Option<Duration>,
 ) -> Result<ReplayReport, String> {
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client = Client::connect_with_timeout(addr, read_timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     let mut report = ReplayReport {
         requests: 0,
         latencies_ms: Vec::new(),
@@ -216,6 +303,7 @@ pub fn bench_load(
     campaign: &Campaign,
     rounds: usize,
     connections: usize,
+    read_timeout: Option<Duration>,
 ) -> Result<BenchReport, String> {
     let work = stage_requests(campaign);
     if work.is_empty() {
@@ -229,8 +317,8 @@ pub fn bench_load(
             .map(|_| {
                 let work = &work;
                 scope.spawn(move || {
-                    let mut client =
-                        Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut client = Client::connect_with_timeout(addr, read_timeout)
+                        .map_err(|e| format!("connect {addr}: {e}"))?;
                     let mut latencies = QuantileSketch::new();
                     for _ in 0..rounds {
                         for (_, format, spec, cell) in work {
@@ -260,7 +348,8 @@ pub fn bench_load(
     }
     let total = latency_sketch.count();
     let elapsed = started.elapsed().as_secs_f64();
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client = Client::connect_with_timeout(addr, read_timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     let (hits, misses) = match client.call(&Request::Stats)? {
         Response::Stats { hits, misses, .. } => (hits, misses),
         other => return Err(format!("stats: {other:?}")),
@@ -313,6 +402,7 @@ fn probe_spec() -> ScenarioSpec {
         objective: Default::default(),
         arrivals: Default::default(),
         tenancy: Default::default(),
+        storage: Default::default(),
     }
 }
 
@@ -327,13 +417,14 @@ fn probe_request(spec: &ScenarioSpec, cell: usize) -> String {
 
 fn expect_error(
     addr: &str,
+    read_timeout: Option<Duration>,
     what: &str,
     payload: &[u8],
     want_code: &str,
     failures: &mut Vec<String>,
 ) {
     let outcome = (|| -> Result<(), String> {
-        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let mut c = Client::connect_with_timeout(addr, read_timeout).map_err(|e| e.to_string())?;
         c.send_frame(payload)?;
         match c.recv()? {
             Response::Error { code, .. } if code == want_code => Ok(()),
@@ -348,13 +439,17 @@ fn expect_error(
 /// Runs the malformed-input corpus. Returns the list of probe failures —
 /// empty means the daemon answered every probe with a structured error
 /// and stayed alive throughout.
-pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
+pub fn run_malformed_corpus(
+    addr: &str,
+    read_timeout: Option<Duration>,
+) -> Result<Vec<String>, String> {
     let mut failures = Vec::new();
     let spec = probe_spec();
 
     // 1. A frame that is not JSON at all.
     expect_error(
         addr,
+        read_timeout,
         "garbage frame",
         b"{ not json",
         "bad_request",
@@ -364,6 +459,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     // 2. Valid JSON that is not a request.
     expect_error(
         addr,
+        read_timeout,
         "non-request JSON",
         b"42",
         "bad_request",
@@ -374,6 +470,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     let unknown = probe_request(&spec, 0).replace("WorkAndCost", "MagicStrategy");
     expect_error(
         addr,
+        read_timeout,
         "unknown strategy",
         unknown.as_bytes(),
         "bad_request",
@@ -384,6 +481,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     let infinite = probe_request(&spec, 0).replace("20.0", "1e400");
     expect_error(
         addr,
+        read_timeout,
         "1e400 weight",
         infinite.as_bytes(),
         "invalid_spec",
@@ -398,6 +496,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     }
     expect_error(
         addr,
+        read_timeout,
         "NaN lambda",
         probe_request(&nan_spec, 0).as_bytes(),
         "bad_request",
@@ -411,6 +510,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     }
     expect_error(
         addr,
+        read_timeout,
         "negative weight",
         probe_request(&neg_spec, 0).as_bytes(),
         "invalid_spec",
@@ -420,6 +520,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     // 7. A cell index past the expansion.
     expect_error(
         addr,
+        read_timeout,
         "cell out of range",
         probe_request(&spec, 9999).as_bytes(),
         "cell_out_of_range",
@@ -428,7 +529,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
 
     // 8. An oversized length prefix.
     if let Err(e) = (|| -> Result<(), String> {
-        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let mut c = Client::connect_with_timeout(addr, read_timeout).map_err(|e| e.to_string())?;
         let stream = c.stream().try_clone().map_err(|e| e.to_string())?;
         let mut raw = BufWriter::new(stream);
         raw.write_all(&0x7fff_ffffu32.to_be_bytes())
@@ -445,7 +546,7 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     // 9. A truncated frame: promise 64 bytes, deliver 3, close the write
     //    half. The daemon must answer with a framing error, not hang.
     if let Err(e) = (|| -> Result<(), String> {
-        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let mut c = Client::connect_with_timeout(addr, read_timeout).map_err(|e| e.to_string())?;
         let stream = c.stream().try_clone().map_err(|e| e.to_string())?;
         let mut raw = BufWriter::new(stream);
         raw.write_all(&64u32.to_be_bytes())
@@ -464,7 +565,8 @@ pub fn run_malformed_corpus(addr: &str) -> Result<Vec<String>, String> {
     }
 
     // Liveness: after the whole corpus, a fresh connection still answers.
-    let mut c = Client::connect(addr).map_err(|e| format!("liveness connect: {e}"))?;
+    let mut c = Client::connect_with_timeout(addr, read_timeout)
+        .map_err(|e| format!("liveness connect: {e}"))?;
     match c.call(&Request::Ping)? {
         Response::Pong => {}
         other => failures.push(format!("liveness ping: {other:?}")),

@@ -19,9 +19,9 @@ const USAGE: &str = "usage:
   dagchkpt-serve --listen ADDR [--workers N] [--cache-capacity N]
                  [--read-timeout-ms N] [--addr-file PATH]
   dagchkpt-serve --loadgen ADDR --campaign NAME [--quick|--full] [--seed S]
-                 [--out DIR] [--rounds N] [--connections N]
-  dagchkpt-serve --probe ADDR
-  dagchkpt-serve --shutdown ADDR";
+                 [--out DIR] [--rounds N] [--connections N] [--read-timeout MS]
+  dagchkpt-serve --probe ADDR [--read-timeout MS]
+  dagchkpt-serve --shutdown ADDR [--read-timeout MS]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -40,6 +40,7 @@ struct Args {
     workers: usize,
     cache_capacity: usize,
     read_timeout_ms: u64,
+    client_read_timeout: Option<Duration>,
     rounds: usize,
     connections: usize,
     addr_file: Option<PathBuf>,
@@ -58,6 +59,7 @@ fn parse_args() -> Args {
         workers: 0,
         cache_capacity: 256,
         read_timeout_ms: DEFAULT_READ_TIMEOUT_MS,
+        client_read_timeout: None,
         rounds: 3,
         connections: 4,
         addr_file: None,
@@ -96,6 +98,18 @@ fn parse_args() -> Args {
                 args.read_timeout_ms = value(&mut it, "--read-timeout-ms")
                     .parse()
                     .unwrap_or_else(|_| fail("--read-timeout-ms needs an integer"))
+            }
+            // Client-side response timeout (milliseconds) for the
+            // loadgen / probe / shutdown modes; without it reads block
+            // forever, which turns a dead daemon into a hung client.
+            "--read-timeout" => {
+                let ms: u64 = value(&mut it, "--read-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--read-timeout needs milliseconds"));
+                if ms == 0 {
+                    fail("--read-timeout must be > 0 ms");
+                }
+                args.client_read_timeout = Some(Duration::from_millis(ms));
             }
             "--rounds" => {
                 args.rounds = value(&mut it, "--rounds")
@@ -155,18 +169,18 @@ fn main() {
     }
 
     if let Some(addr) = &args.shutdown {
-        let mut client =
-            Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+        let mut client = Client::connect_with_timeout(addr, args.client_read_timeout)
+            .unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
         match client.call(&Request::Shutdown) {
             Ok(Response::Bye) => println!("daemon at {addr} acknowledged shutdown"),
             Ok(other) => fail(&format!("unexpected reply: {other:?}")),
-            Err(e) => fail(&e),
+            Err(e) => fail(&e.to_string()),
         }
         return;
     }
 
     if let Some(addr) = &args.probe {
-        match run_malformed_corpus(addr) {
+        match run_malformed_corpus(addr, args.client_read_timeout) {
             Ok(failures) if failures.is_empty() => {
                 println!("malformed-input corpus: all probes answered with error frames");
             }
@@ -194,7 +208,7 @@ fn main() {
     });
 
     // Pass 1: correctness replay, writing CSVs for the byte-diff.
-    let replay = replay_campaign(addr, &campaign, &args.out)
+    let replay = replay_campaign(addr, &campaign, &args.out, args.client_read_timeout)
         .unwrap_or_else(|e| fail(&format!("replay: {e}")));
     println!(
         "replayed {} cells into {} files ({} served from cache)",
@@ -204,8 +218,14 @@ fn main() {
     );
 
     // Pass 2: sustained load over parallel connections.
-    let report = bench_load(addr, &campaign, args.rounds, args.connections)
-        .unwrap_or_else(|e| fail(&format!("bench: {e}")));
+    let report = bench_load(
+        addr,
+        &campaign,
+        args.rounds,
+        args.connections,
+        args.client_read_timeout,
+    )
+    .unwrap_or_else(|e| fail(&format!("bench: {e}")));
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = args.out.join("BENCH_serve.json");
     std::fs::write(&path, format!("{json}\n"))

@@ -59,6 +59,7 @@ fn spec_with(seed: u64, sizes: Vec<usize>) -> ScenarioSpec {
         objective: Default::default(),
         arrivals: Default::default(),
         tenancy: Default::default(),
+        storage: Default::default(),
     }
 }
 

@@ -69,6 +69,7 @@ fn mini_spec() -> ScenarioSpec {
         objective: Default::default(),
         arrivals: Default::default(),
         tenancy: Default::default(),
+        storage: Default::default(),
     }
 }
 
@@ -164,12 +165,85 @@ fn loadgen_replay_byte_diffs_clean_against_the_batch_csv() {
 
     let (addr, handle) = start_server(2, 16);
     let served_dir = tmpdir("served");
-    let report = replay_campaign(&addr, &campaign, &served_dir).unwrap();
+    let report = replay_campaign(&addr, &campaign, &served_dir, None).unwrap();
     assert_eq!(report.requests, 3);
     assert_eq!(report.files, vec!["serve_mini.csv".to_string()]);
     let batch = std::fs::read(batch_dir.join("serve_mini.csv")).unwrap();
     let served = std::fs::read(served_dir.join("serve_mini.csv")).unwrap();
     assert_eq!(batch, served, "served CSV differs from batch CSV");
+    stop_server(&addr, handle);
+}
+
+/// Storage-axis answers carry the tier decision through the wire: the
+/// served `StorageRows` body is bit-identical to batch execution, the
+/// `storage` column is populated, and every schedule ships its per-task
+/// tier assignment.
+#[test]
+fn storage_tier_assignments_ride_along_in_served_answers() {
+    use dagchkpt_bench::{StorageSelect, StorageSpec, TierSpec};
+    let mut spec = mini_spec();
+    spec.name = "serve_storage".to_string();
+    spec.sizes = vec![6];
+    spec.storage = StorageSpec::Tiers {
+        tiers: vec![
+            TierSpec {
+                name: "local".to_string(),
+                write_bw: 4.0,
+                read_bw: 0.5,
+                compression: 1.0,
+                contention: 0.0,
+            },
+            TierSpec {
+                name: "pfs".to_string(),
+                write_bw: 0.5,
+                read_bw: 4.0,
+                compression: 1.0,
+                contention: 0.5,
+            },
+        ],
+        select: StorageSelect::Best,
+    };
+    let plans = spec.expand().unwrap();
+    let local = run_cell_full(&spec, &plans[0]).unwrap();
+
+    let (addr, handle) = start_server(1, 8);
+    let mut client = Client::connect(&addr).expect("connect");
+    let resp = client
+        .call(&Request::Cell {
+            spec: spec.clone(),
+            cell: 0,
+            format: OutputFormat::StorageRows,
+        })
+        .unwrap();
+    let Response::Cell {
+        header,
+        rows,
+        schedules,
+        ..
+    } = resp
+    else {
+        panic!("unexpected response");
+    };
+    assert_eq!(
+        header,
+        stage_header(OutputFormat::StorageRows, &spec.simulators)
+    );
+    assert_eq!(rows, cell_csv_rows(OutputFormat::StorageRows, &local.rows));
+    assert_eq!(schedules, local.schedules);
+    let storage_col = header
+        .iter()
+        .position(|h| h == "storage")
+        .expect("StorageRows has a storage column");
+    assert!(
+        rows.iter().all(|r| !r[storage_col].is_empty()),
+        "every served row must name its winning tier"
+    );
+    for s in &schedules {
+        let tiers = s.tiers.as_ref().expect("schedule carries tiers");
+        assert_eq!(tiers.len(), 6);
+        assert!(tiers.iter().all(|&t| t < 2));
+        assert!(s.storage.is_some(), "schedule names its storage label");
+    }
     stop_server(&addr, handle);
 }
 
@@ -284,7 +358,7 @@ fn poisoned_cache_lock_does_not_kill_the_daemon() {
 #[test]
 fn malformed_corpus_leaves_the_daemon_alive() {
     let (addr, handle) = start_server(2, 4);
-    let failures = run_malformed_corpus(&addr).unwrap();
+    let failures = run_malformed_corpus(&addr, None).unwrap();
     assert!(failures.is_empty(), "{failures:#?}");
     stop_server(&addr, handle);
 }

@@ -34,6 +34,21 @@
 //! the blocking one trial by trial — the regimes the differential suite
 //! pins.
 //!
+//! # Checkpoint storage tiers
+//!
+//! Both engines price every checkpoint write as
+//! `wf.checkpoint_cost(task) / p.write_bw` and every recovery read from
+//! the plan `/ p.read_bw` — costs come exclusively from the [`Workflow`].
+//! Tier-aware simulation therefore needs no engine changes: simulate the
+//! cost-scaled copy `wf.with_scaled_costs(&ckpt_scale, &rec_scale)` where
+//! the scales come from `dagchkpt_core::storage_scales` (checkpoints ×
+//! the tier's write factor at the task's replica-group size, recoveries ×
+//! the read factor of the tier the checkpoint was *written* to). This is
+//! the same per-source pricing `ReplicatedEvaluator::with_storage` bakes
+//! into its recovery costs, so the MC engines cross-validate the
+//! storage-aware analytic evaluator unchanged; a unit tier scales by
+//! exactly `1.0`, which is bitwise invisible.
+//!
 //! # Degenerate delegation
 //!
 //! On a degenerate platform (one reference processor) with all degrees 1,
@@ -528,9 +543,11 @@ mod tests {
     use super::*;
     use crate::montecarlo::run_trials_with;
     use dagchkpt_core::evaluator::replicated::evaluate_replicated;
-    use dagchkpt_core::{CostRule, ReplicationStrategy, TaskCosts};
+    use dagchkpt_core::{
+        storage_scales, CostRule, ReplicatedEvaluator, ReplicationStrategy, TaskCosts,
+    };
     use dagchkpt_dag::{generators, topo};
-    use dagchkpt_failure::ExponentialInjector;
+    use dagchkpt_failure::{ExponentialInjector, StorageHierarchy, StorageTier};
 
     /// Test-local injector replaying per-attempt relative fault times.
     struct SeqInjector {
@@ -877,6 +894,145 @@ mod tests {
         );
         let fz = (stats.faults.mean() - report.expected_faults) / stats.faults.sem();
         assert!(fz.abs() <= 4.0, "faults z = {fz:.2}");
+    }
+
+    /// A unit storage hierarchy scales every cost by exactly 1.0: both
+    /// engines are bit-identical trial by trial on the scaled copy — the
+    /// sim-side half of the "unit tiers are invisible" guarantee.
+    #[test]
+    fn unit_storage_scales_are_bit_identical() {
+        let wf = Workflow::uniform(generators::grid(3, 3), 8.0, 0.8);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(1.0);
+        let h = StorageHierarchy::new(vec![StorageTier::unit("mem")]).unwrap();
+        let (cs, rs) = storage_scales(&h, &[0; 9], &[2; 9]);
+        let scaled = wf.with_scaled_costs(&cs, &rs);
+        let spec = TrialSpec::new(200, 31);
+        let build = |i: usize| -> Vec<ExponentialInjector> {
+            (0..2)
+                .map(|rank| {
+                    ExponentialInjector::new(platform.procs()[rank].lambda, spec.proc_seed(i, rank))
+                })
+                .collect()
+        };
+        for i in 0..spec.trials {
+            let a = simulate_replicated(&wf, &s, &platform, &[2; 9], &mut build(i));
+            let b = simulate_replicated(&scaled, &s, &platform, &[2; 9], &mut build(i));
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.n_faults, b.n_faults);
+            let a =
+                simulate_replicated_nonblocking(&wf, &s, &platform, &[2; 9], &mut build(i), 0.7);
+            let b = simulate_replicated_nonblocking(
+                &scaled,
+                &s,
+                &platform,
+                &[2; 9],
+                &mut build(i),
+                0.7,
+            );
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        }
+    }
+
+    /// The blocking engine on a tier-scaled workflow converges to the
+    /// storage-aware analytic evaluator — the MC half of the tier-pricing
+    /// cross-validation, with a mixed per-task assignment and write
+    /// contention in play.
+    #[test]
+    fn scaled_workflow_matches_storage_evaluator() {
+        let wf = Workflow::with_cost_rule(
+            generators::paper_figure1(),
+            vec![10.0, 20.0, 5.0, 30.0, 8.0, 12.0, 25.0, 9.0],
+            CostRule::ProportionalToWork { ratio: 0.1 },
+        );
+        let order = topo::topological_order(wf.dag());
+        let ckpt = FixedBitSet::from_indices(8, [1usize, 3, 6]);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let platform = hetero2(2.0);
+        let h = StorageHierarchy::new(vec![
+            StorageTier {
+                name: "local".to_string(),
+                write_bw: 2.0,
+                read_bw: 0.5,
+                compression: 1.0,
+                contention: 0.5,
+            },
+            StorageTier {
+                name: "pfs".to_string(),
+                write_bw: 0.5,
+                read_bw: 2.0,
+                compression: 0.8,
+                contention: 0.0,
+            },
+        ])
+        .unwrap();
+        let tiers = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        let degrees = [2usize; 8];
+        let analytic = {
+            let sets: Vec<Vec<usize>> = degrees.iter().map(|&d| (0..d).collect()).collect();
+            let ev = ReplicatedEvaluator::from_sets(&wf, &platform, &sets).with_storage(&h, &tiers);
+            ev.expected_makespan(&s)
+        };
+        let (cs, rs) = storage_scales(&h, &tiers, &degrees);
+        let scaled = wf.with_scaled_costs(&cs, &rs);
+        let stats = run_replicated_trials_with(
+            &scaled,
+            &s,
+            &platform,
+            &degrees,
+            TrialSpec::new(40_000, 37),
+            |rank, seed| ExponentialInjector::new(platform.procs()[rank].lambda, seed),
+        );
+        let z = (stats.makespan.mean() - analytic) / stats.makespan.sem();
+        assert!(
+            z.abs() <= 4.0,
+            "makespan z = {z:.2}: MC {} vs analytic {analytic}",
+            stats.makespan.mean(),
+        );
+    }
+
+    /// Tier write factors flow through the non-blocking write queue: a
+    /// write-slow tier stretches the interference window deterministically
+    /// (fault-free hand walkthrough), and the accounting identity holds.
+    #[test]
+    fn nonblocking_write_queue_prices_the_tier() {
+        let wf = Workflow::uniform(generators::chain(2), 10.0, 5.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let platform = hetero2(0.0);
+        let h = StorageHierarchy::new(vec![
+            StorageTier::unit("mem"),
+            StorageTier {
+                name: "slow".to_string(),
+                write_bw: 0.5,
+                read_bw: 1.0,
+                compression: 1.0,
+                contention: 0.0,
+            },
+        ])
+        .unwrap();
+        let run = |tiers: &[usize; 2]| {
+            let (cs, rs) = storage_scales(&h, tiers, &[2; 2]);
+            let scaled = wf.with_scaled_costs(&cs, &rs);
+            let mut inj = vec![SeqInjector::new(vec![]), SeqInjector::new(vec![])];
+            simulate_replicated_nonblocking(&scaled, &s, &platform, &[2; 2], &mut inj, 0.5)
+        };
+        // Rank 0 (speed 2) wins every attempt. Unit tier: T0 at 5,
+        // enqueue a 5 s write; T1 content 5 > 5·0.5 → 5 + (5 − 2.5) = 7.5.
+        let unit = run(&[0, 0]);
+        assert!(
+            (unit.makespan - 12.5).abs() < 1e-12,
+            "unit {}",
+            unit.makespan
+        );
+        // Slow tier doubles the write to 10 s: T1 content 5 ≤ 10·0.5 →
+        // 5 / 0.5 = 10.
+        let slow = run(&[1, 1]);
+        assert!(
+            (slow.makespan - 15.0).abs() < 1e-12,
+            "slow {}",
+            slow.makespan
+        );
+        assert!((slow.accounted_time() - slow.makespan).abs() < 1e-9);
     }
 
     #[test]

@@ -114,7 +114,7 @@ fn pegasus_workflow_matches_theorem3_within_3_sigma() {
 mod differential {
     use dagchkpt_bench::{
         run_scenario, ArrivalSpec, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec,
-        ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec,
+        ScenarioSpec, SeedPolicy, SimulatorSpec, StorageSpec, StrategySpec, SweepSpec, TenancySpec,
         WorkflowSource,
     };
     use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
@@ -140,6 +140,7 @@ mod differential {
             objective: ObjectiveSpec::Mean,
             arrivals: ArrivalSpec::Off,
             tenancy: TenancySpec::default(),
+            storage: StorageSpec::default(),
         }
     }
 
@@ -300,8 +301,8 @@ mod replication {
     use dagchkpt::prelude::*;
     use dagchkpt_bench::{
         run_scenario, ArrivalSpec, CellResult, FailureSpec, ObjectiveSpec, OptimizerSpec,
-        PlatformSpec, ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec,
-        SweepSpec, TenancySpec, WorkflowSource,
+        PlatformSpec, ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StorageSpec,
+        StrategySpec, SweepSpec, TenancySpec, WorkflowSource,
     };
     use dagchkpt_workflows::WorkflowSpec;
 
@@ -374,6 +375,7 @@ mod replication {
             objective: ObjectiveSpec::Mean,
             arrivals: ArrivalSpec::Off,
             tenancy: TenancySpec::default(),
+            storage: StorageSpec::default(),
         }
     }
 

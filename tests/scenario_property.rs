@@ -15,8 +15,8 @@
 
 use dagchkpt_bench::{
     ArrivalSpec, FailureSpec, ObjectiveSpec, OptimizerSpec, PlatformSpec, ProcessorSpec,
-    ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec,
-    WorkflowSource,
+    ReplicationSpec, ScenarioSpec, SeedPolicy, SimulatorSpec, StorageSpec, StrategySpec, SweepSpec,
+    TenancySpec, WorkflowSource,
 };
 use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 use dagchkpt_workflows::PegasusKind;
@@ -206,6 +206,7 @@ fn spec_raw(
         objective: ObjectiveSpec::Mean,
         arrivals: ArrivalSpec::Off,
         tenancy: TenancySpec::default(),
+        storage: StorageSpec::default(),
     }
 }
 
@@ -322,6 +323,7 @@ fn execution_spec(strategies: Vec<StrategySpec>, trials: usize) -> ScenarioSpec 
         objective: ObjectiveSpec::Mean,
         arrivals: ArrivalSpec::Off,
         tenancy: TenancySpec::default(),
+        storage: StorageSpec::default(),
     }
 }
 

@@ -1,0 +1,126 @@
+//! The acceptance anchor of the storage axis: the tier hierarchy
+//! **changes which storage a strategy picks**, per strategy. The
+//! `storage_tiers` campaign solves the same fork-join instance with a
+//! checkpoint-heavy and a checkpoint-lean heuristic over a write-fast
+//! (`local`) and a read-fast (`pfs`) tier; this test reads the golden
+//! corpus and checks the winning tier genuinely flips between them.
+//!
+//! The join is what drives the flip: a sink fault re-reads **every**
+//! checkpointed predecessor image, so `DF-CkptAlws` (twelve worker
+//! checkpoints) is read-dominated and picks `pfs`, while the swept
+//! `DF-CkptW` keeps a single head checkpoint — written once, re-read
+//! only on the occasional downstream fault — and picks `local`. Both
+//! margins are analytic (the tier argmin compares exact expected
+//! makespans), not Monte-Carlo noise.
+
+use std::path::Path;
+
+struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    fn load(file: &str) -> Table {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden/quick")
+            .join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let mut lines = text.lines();
+        let header: Vec<String> = lines
+            .next()
+            .expect("header line")
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        let rows = lines
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        Table { header, rows }
+    }
+
+    fn col(&self, name: &str) -> usize {
+        self.header
+            .iter()
+            .position(|h| h == name)
+            .unwrap_or_else(|| panic!("no column `{name}` in {:?}", self.header))
+    }
+
+    /// The storage label of `strategy`'s rows (asserted consistent
+    /// across its analytic and Monte-Carlo rows).
+    fn storage_of(&self, strategy: &str) -> String {
+        let (s, st) = (self.col("strategy"), self.col("storage"));
+        let labels: Vec<&str> = self
+            .rows
+            .iter()
+            .filter(|r| r[s] == strategy)
+            .map(|r| r[st].as_str())
+            .collect();
+        assert!(!labels.is_empty(), "no rows for strategy {strategy}");
+        assert!(
+            labels.iter().all(|&l| l == labels[0]),
+            "{strategy}: inconsistent storage labels {labels:?}"
+        );
+        labels[0].to_string()
+    }
+}
+
+/// Under `best` selection on the homogeneous platform, the
+/// checkpoint-heavy heuristic picks the read-fast tier and the
+/// checkpoint-lean one picks the write-fast tier.
+#[test]
+fn best_selection_winning_tier_flips_between_heuristics() {
+    let t = Table::load("storage_tiers.csv");
+    assert_eq!(
+        t.storage_of("DF-CkptAlws"),
+        "pfs",
+        "the checkpoint-heavy strategy is read-dominated (the sink \
+         re-reads all twelve worker images per fault) and must pick the \
+         read-fast tier"
+    );
+    assert_eq!(
+        t.storage_of("DF-CkptW"),
+        "local",
+        "the checkpoint-lean strategy is write-dominated (one head \
+         image, rarely re-read) and must pick the write-fast tier"
+    );
+}
+
+/// Under the joint optimizer with `per-task` selection, the heavy
+/// strategy lands on a genuinely mixed assignment (the coordinate
+/// descent walks read-hot images to `pfs` and write-hot ones to
+/// `local`) while the lean strategy stays uniform on `local` — so the
+/// two heuristics still disagree.
+#[test]
+fn per_task_selection_mixes_tiers_for_the_heavy_strategy() {
+    let t = Table::load("storage_tiers_joint.csv");
+    assert_eq!(t.storage_of("DF-CkptAlws"), "per-task");
+    assert_eq!(t.storage_of("DF-CkptW"), "local");
+}
+
+/// The flip is visible in the analytic column too: each strategy's
+/// expected makespan is finite and the heavy strategy pays a real
+/// premium over the lean one on both stages.
+#[test]
+fn flip_rows_carry_finite_expectations() {
+    for file in ["storage_tiers.csv", "storage_tiers_joint.csv"] {
+        let t = Table::load(file);
+        let (s, e) = (t.col("strategy"), t.col("expected"));
+        let val = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[s] == name)
+                .unwrap_or_else(|| panic!("{file}: no {name} row"))[e]
+                .parse()
+                .expect("expected parses")
+        };
+        let heavy = val("DF-CkptAlws");
+        let lean = val("DF-CkptW");
+        assert!(heavy.is_finite() && lean.is_finite());
+        assert!(
+            lean < heavy,
+            "{file}: the lean strategy must beat the heavy one (lean {lean} vs heavy {heavy})"
+        );
+    }
+}

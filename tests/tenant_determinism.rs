@@ -10,8 +10,8 @@
 use dagchkpt_bench::campaign::{builtin, run_campaign, RunContext, Stage};
 use dagchkpt_bench::{
     AdmissionPolicy, ArrivalSpec, Campaign, FailureSpec, ObjectiveSpec, OptimizerSpec, OutputSpec,
-    Scale, ScenarioSpec, SeedPolicy, SimulatorSpec, StrategySpec, SweepSpec, TenancySpec,
-    TenantSpec, WorkflowSource,
+    Scale, ScenarioSpec, SeedPolicy, SimulatorSpec, StorageSpec, StrategySpec, SweepSpec,
+    TenancySpec, TenantSpec, WorkflowSource,
 };
 use dagchkpt_core::{CheckpointStrategy, CostRule, LinearizationStrategy};
 use std::path::PathBuf;
@@ -73,6 +73,7 @@ fn small_spec(name: &str, policy: AdmissionPolicy) -> ScenarioSpec {
             ],
             policy,
         },
+        storage: StorageSpec::default(),
     }
 }
 
