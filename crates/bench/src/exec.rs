@@ -25,8 +25,8 @@ use dagchkpt_failure::{
     WeibullInjector,
 };
 use dagchkpt_sim::{
-    run_replicated_sets_trials_with, run_replicated_trials_with, run_tenant_trials_with,
-    run_trials_with, simulate_nonblocking, simulate_replicated_nonblocking,
+    run_nonblocking_trials_with, run_replicated_sets_trials_with, run_replicated_trials_with,
+    run_tenant_trials_with, run_trials_with, simulate_replicated_nonblocking,
     simulate_replicated_nonblocking_sets, trial_metric_tail_stats, McObjective, NonBlockingConfig,
     TenantConfig, TenantJob, TenantPolicy, TrialSpec,
 };
@@ -845,10 +845,13 @@ pub fn run_cell_full(spec: &ScenarioSpec, plan: &CellPlan) -> Result<CellExecuti
                                 compute_rate,
                                 record_trace: false,
                             };
-                            trial_metric_tail_stats(tspec, |i| {
-                                let mut inj = make_injector(&plan.failure, tspec.trial_seed(i));
-                                simulate_nonblocking(&sim_wf, &out.schedule, &mut inj, cfg).makespan
-                            })
+                            run_nonblocking_trials_with(
+                                &sim_wf,
+                                &out.schedule,
+                                cfg,
+                                tspec,
+                                |seed| make_injector(&plan.failure, seed),
+                            )
                         }
                         (Some((platform, _)), Some(sets)) => {
                             // One injector per used replica rank, indexed

@@ -169,6 +169,19 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
     write_frame(w, payload.as_bytes())
 }
 
+/// [`write_response`] serializing into a caller-owned scratch buffer, so
+/// a connection worker answering many frames reuses one allocation
+/// instead of building a fresh `String` per response. The bytes on the
+/// wire are identical (pinned by the round-trip tests).
+pub fn write_response_into<W: Write>(
+    w: &mut W,
+    resp: &Response,
+    scratch: &mut String,
+) -> io::Result<()> {
+    serde_json::to_string_into(resp, scratch).expect("response serializes");
+    write_frame(w, scratch.as_bytes())
+}
+
 /// Serializes `req` and writes it as one frame.
 pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
     let payload = serde_json::to_string(req).expect("request serializes");

@@ -23,7 +23,7 @@
 //!   current connection before [`Server::run`] returns.
 
 use crate::cache::{CellAnswer, ResponseCache};
-use crate::protocol::{read_frame, write_response, FrameRead, Request, Response, TailSummary};
+use crate::protocol::{read_frame, write_response_into, FrameRead, Request, Response, TailSummary};
 use dagchkpt_bench::{
     cell_csv_rows, run_cell_full, stage_header, tenant_csv_rows, ArrivalSpec, OutputFormat,
     ScenarioSpec, TenantRow,
@@ -221,6 +221,9 @@ fn handle_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut pending = 0usize;
+    // One serialization buffer per connection: every response reuses it
+    // instead of allocating a fresh String (same bytes on the wire).
+    let mut scratch = String::new();
     loop {
         match read_frame(&mut reader) {
             FrameRead::Idle => {
@@ -240,20 +243,22 @@ fn handle_connection(
                 return Ok(None);
             }
             FrameRead::Truncated => {
-                write_response(
+                write_response_into(
                     &mut writer,
                     &Response::error("truncated_frame", "stream ended inside a frame"),
+                    &mut scratch,
                 )?;
                 writer.flush()?;
                 return Ok(None);
             }
             FrameRead::Oversized(n) => {
-                write_response(
+                write_response_into(
                     &mut writer,
                     &Response::error(
                         "oversized_frame",
                         format!("frame of {n} bytes exceeds the {} limit", crate::MAX_FRAME),
                     ),
+                    &mut scratch,
                 )?;
                 writer.flush()?;
                 return Ok(None);
@@ -262,7 +267,7 @@ fn handle_connection(
             FrameRead::Payload(bytes) => {
                 served.fetch_add(1, Ordering::Relaxed);
                 let (resp, bye) = answer_frame(&bytes, cache, served);
-                write_response(&mut writer, &resp)?;
+                write_response_into(&mut writer, &resp, &mut scratch)?;
                 pending += 1;
                 if bye {
                     writer.flush()?;

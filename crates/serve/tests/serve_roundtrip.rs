@@ -546,3 +546,38 @@ fn ping_stats_and_shutdown_roundtrip() {
     }
     stop_server(&addr, handle);
 }
+
+/// The buffered serializer behind the connection workers writes the exact
+/// bytes of the per-response allocating path — across responses of
+/// growing and shrinking size through one reused scratch buffer, so a
+/// stale byte from a longer earlier frame can never leak into a later one.
+#[test]
+fn buffered_response_frames_are_byte_identical() {
+    use dagchkpt_serve::protocol::{write_response, write_response_into};
+    let responses = vec![
+        Response::Pong,
+        Response::error(
+            "oversized_frame",
+            format!("frame of {} bytes exceeds the {} limit", usize::MAX, 1),
+        ),
+        Response::error("truncated_frame", "stream ended inside a frame"),
+        Response::Stats {
+            served: 7,
+            hits: 3,
+            misses: 4,
+            entries: 2,
+            capacity: 16,
+        },
+        Response::Bye,
+    ];
+    let mut fresh: Vec<u8> = Vec::new();
+    for r in &responses {
+        write_response(&mut fresh, r).expect("fresh write");
+    }
+    let mut buffered: Vec<u8> = Vec::new();
+    let mut scratch = String::from("poisoned leftover content from a previous connection");
+    for r in &responses {
+        write_response_into(&mut buffered, r, &mut scratch).expect("buffered write");
+    }
+    assert_eq!(fresh, buffered, "wire bytes must match the allocating path");
+}

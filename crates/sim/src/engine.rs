@@ -221,6 +221,42 @@ mod tests {
         assert!(matches!(trace.last(), Some(Event::TaskDone { .. })));
     }
 
+    /// Regression: with `record_trace` off the trace stays `None` — the
+    /// `Option<Vec<Event>>` is built with `bool::then(Vec::new)`, which
+    /// never touches the heap (a capacity-0 `Vec`) — and recording a
+    /// trace must not perturb a single bit of the numeric results.
+    #[test]
+    fn no_trace_path_skips_the_trace_and_changes_nothing() {
+        let wf = Workflow::uniform(generators::chain(6), 10.0, 1.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let mut inj = TraceInjector::new(vec![15.0, 40.0]);
+        let quiet = simulate(
+            &wf,
+            &s,
+            &mut inj,
+            SimConfig {
+                downtime: 2.0,
+                record_trace: false,
+            },
+        );
+        assert!(quiet.trace.is_none());
+        let mut inj = TraceInjector::new(vec![15.0, 40.0]);
+        let traced = simulate(&wf, &s, &mut inj, cfg(2.0));
+        assert!(traced.trace.is_some());
+        assert_eq!(quiet.makespan.to_bits(), traced.makespan.to_bits());
+        assert_eq!(quiet.n_faults, traced.n_faults);
+        for (a, b) in [
+            (quiet.time_work, traced.time_work),
+            (quiet.time_rework, traced.time_rework),
+            (quiet.time_recovery, traced.time_recovery),
+            (quiet.time_checkpoint, traced.time_checkpoint),
+            (quiet.time_wasted, traced.time_wasted),
+            (quiet.time_downtime, traced.time_downtime),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
     #[test]
     fn single_fault_on_unchekpointed_chain_reexecutes_prefix() {
         // T0(10) → T1(10), no checkpoints. Fault at t = 15 (during T1):

@@ -32,6 +32,7 @@ pub mod replicated;
 pub mod stats;
 pub mod tenant;
 pub mod timeline;
+pub mod trialplan;
 
 pub use engine::{simulate, SimConfig, SimResult};
 pub use events::{Event, UnitKind};
@@ -39,14 +40,18 @@ pub use memory::MemoryState;
 pub use montecarlo::{
     run_trials, run_trials_with, trial_metric_stats, trial_metric_tail_stats, TrialSpec, TrialStats,
 };
-pub use nonblocking::{simulate_nonblocking, NonBlockingConfig};
+pub use nonblocking::{
+    run_nonblocking_trials_with, simulate_nonblocking, simulate_nonblocking_planned,
+    NonBlockingConfig,
+};
 pub use objective::McObjective;
 pub use plan::{recovery_plan, recovery_plan_with, PlanStep};
 pub use quantile::{QuantileSketch, TAIL_TARGETS};
 pub use replicated::{
     run_replicated_sets_trials_with, run_replicated_trials_with, simulate_replicated,
     simulate_replicated_nonblocking, simulate_replicated_nonblocking_sets,
-    simulate_replicated_sets,
+    simulate_replicated_planned, simulate_replicated_sets,
 };
 pub use stats::Stats;
 pub use tenant::{run_tenant_trials_with, TenantConfig, TenantJob, TenantPolicy, TenantStats};
+pub use trialplan::{simulate_planned, PlannedResult, TrialPlan, TrialScratch};

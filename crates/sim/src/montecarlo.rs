@@ -8,9 +8,9 @@
 //! exact same grouping, which is why parallel and sequential statistics are
 //! bit-identical for any thread count.
 
-use crate::engine::{simulate, SimConfig, SimResult};
 use crate::quantile::QuantileSketch;
 use crate::stats::Stats;
+use crate::trialplan::{simulate_planned, PlannedResult, TrialPlan, TrialScratch};
 use dagchkpt_core::{Schedule, Workflow};
 use dagchkpt_failure::{ExponentialInjector, FaultInjector, FaultModel};
 use rayon::prelude::*;
@@ -125,22 +125,18 @@ impl TrialAccum {
         }
     }
 
-    /// Absorbs one trial result.
-    fn push(mut self, r: SimResult) -> Self {
-        self.makespan.push(r.makespan);
-        self.faults.push(r.n_faults as f64);
-        self.tail.push(r.makespan);
-        for (acc, v) in self.breakdown.iter_mut().zip([
-            r.time_work,
-            r.time_rework,
-            r.time_recovery,
-            r.time_checkpoint,
-            r.time_wasted,
-            r.time_downtime,
-        ]) {
-            *acc += v;
-        }
-        self
+    /// Builds one chunk's accumulator from its buffered samples in one
+    /// batched pass per field. Field-major consumption is bit-identical to
+    /// the historical per-trial interleaved pushes: each field's stream
+    /// sees exactly the same values in the same order, and the fields
+    /// never read each other.
+    fn from_chunk(samples: &ChunkSamples) -> Self {
+        let mut acc = TrialAccum::identity();
+        acc.makespan.push_slice(&samples.makespans);
+        acc.faults.push_slice(&samples.faults);
+        acc.tail.push_slice(&samples.makespans);
+        acc.breakdown = samples.breakdown;
+        acc
     }
 
     /// Merges a later chunk's accumulator (order-sensitive in the last
@@ -197,6 +193,152 @@ pub(crate) fn fold_sequential_chunks<A>(
     merged
 }
 
+/// Sequential twin of the executor's `fold_chunk_states(..).reduce(..)`:
+/// the same [`rayon::fold_chunk_len`] boundaries, one `init()` state per
+/// chunk, and the in-order merge — the bit-identity anchor of the scratch
+/// fast path for `TrialSpec { parallel: false }`.
+pub(crate) fn fold_sequential_chunk_states<St, A>(
+    n: usize,
+    init: impl Fn() -> St,
+    step: impl Fn(&mut St, usize),
+    finish: impl Fn(St) -> A,
+    identity: impl Fn() -> A,
+    merge: impl Fn(A, A) -> A,
+) -> A {
+    let chunk = rayon::fold_chunk_len(n);
+    let mut merged = identity();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        let mut state = init();
+        for i in lo..hi {
+            step(&mut state, i);
+        }
+        merged = merge(merged, finish(state));
+        lo = hi;
+    }
+    merged
+}
+
+/// One fold chunk's buffered trial results, stored field-major so the
+/// end-of-chunk flush feeds each accumulator a contiguous slice
+/// ([`Stats::push_slice`] / [`QuantileSketch::push_slice`]). Buffers are
+/// sized to the fold-chunk length up front, so per-trial pushes never
+/// reallocate.
+pub(crate) struct ChunkSamples {
+    makespans: Vec<f64>,
+    faults: Vec<f64>,
+    breakdown: [f64; 6],
+}
+
+impl ChunkSamples {
+    fn with_capacity(cap: usize) -> Self {
+        ChunkSamples {
+            makespans: Vec::with_capacity(cap),
+            faults: Vec::with_capacity(cap),
+            breakdown: [0.0; 6],
+        }
+    }
+
+    fn push(&mut self, r: PlannedResult) {
+        self.makespans.push(r.makespan);
+        self.faults.push(r.n_faults as f64);
+        for (acc, v) in self.breakdown.iter_mut().zip([
+            r.time_work,
+            r.time_rework,
+            r.time_recovery,
+            r.time_checkpoint,
+            r.time_wasted,
+            r.time_downtime,
+        ]) {
+            *acc += v;
+        }
+    }
+}
+
+/// The scratch-arena aggregation spine shared by the blocking, replicated
+/// and tenant-inner fast paths: `make_scratch()` builds one per-worker
+/// scratch per fold chunk (the executor's chunk-scoped init), `run_one`
+/// executes trial `i` through it, and results buffer into field-major
+/// [`ChunkSamples`] flushed through the batched accumulators at chunk end.
+/// Chunk boundaries and the chunk-ordered merge are identical to the
+/// historical per-item fold, so the statistics are bit-identical to what
+/// the reference path produced — for any `RAYON_NUM_THREADS` and for the
+/// sequential path.
+pub(crate) fn planned_result_stats<St, IF, F>(
+    spec: TrialSpec,
+    make_scratch: IF,
+    run_one: F,
+) -> TrialStats
+where
+    St: Send,
+    IF: Fn() -> St + Sync,
+    F: Fn(&mut St, usize) -> PlannedResult + Sync,
+{
+    let cap = rayon::fold_chunk_len(spec.trials);
+    let init = || (make_scratch(), ChunkSamples::with_capacity(cap));
+    let step = |state: &mut (St, ChunkSamples), i: usize| {
+        let r = run_one(&mut state.0, i);
+        state.1.push(r);
+    };
+    let finish = |state: (St, ChunkSamples)| TrialAccum::from_chunk(&state.1);
+    let acc = if spec.parallel {
+        (0..spec.trials)
+            .into_par_iter()
+            .fold_chunk_states(init, step, finish)
+            .reduce(TrialAccum::identity, TrialAccum::merge)
+    } else {
+        fold_sequential_chunk_states(
+            spec.trials,
+            init,
+            step,
+            finish,
+            TrialAccum::identity,
+            TrialAccum::merge,
+        )
+    };
+    acc.into_trial_stats()
+}
+
+/// Scratch-arena twin of [`trial_metric_tail_stats`]: one per-chunk
+/// scratch, per-chunk metric buffers, batched flush. Bit-identical to the
+/// per-item fold for the same metric stream.
+pub(crate) fn planned_metric_tail_stats<St, IF, F>(
+    spec: TrialSpec,
+    make_scratch: IF,
+    metric: F,
+) -> (Stats, QuantileSketch)
+where
+    St: Send,
+    IF: Fn() -> St + Sync,
+    F: Fn(&mut St, usize) -> f64 + Sync,
+{
+    let cap = rayon::fold_chunk_len(spec.trials);
+    let init = || (make_scratch(), Vec::with_capacity(cap));
+    let step = |state: &mut (St, Vec<f64>), i: usize| {
+        let x = metric(&mut state.0, i);
+        state.1.push(x);
+    };
+    let finish = |state: (St, Vec<f64>)| {
+        let mut stats = Stats::new();
+        stats.push_slice(&state.1);
+        let mut tail = QuantileSketch::new();
+        tail.push_slice(&state.1);
+        (stats, tail)
+    };
+    let identity = || (Stats::new(), QuantileSketch::new());
+    let merge =
+        |a: (Stats, QuantileSketch), b: (Stats, QuantileSketch)| (a.0.merge(b.0), a.1.merge(b.1));
+    if spec.parallel {
+        (0..spec.trials)
+            .into_par_iter()
+            .fold_chunk_states(init, step, finish)
+            .reduce(identity, merge)
+    } else {
+        fold_sequential_chunk_states(spec.trials, init, step, finish, identity, merge)
+    }
+}
+
 /// Runs `spec.trials` simulations under the exponential `model`
 /// (`λ`, downtime `D` taken from the model), in parallel.
 pub fn run_trials(
@@ -213,6 +355,12 @@ pub fn run_trials(
 /// Generic trial runner: `make_injector(seed)` builds the fault source for
 /// each trial (exponential, Weibull, traces, …).
 ///
+/// Runs on the zero-allocation fast path: the [`TrialPlan`] is compiled
+/// once per call, each fold chunk gets one [`TrialScratch`], and every
+/// trial executes [`simulate_planned`] — bit-identical to the reference
+/// [`crate::engine::simulate`] (see `trialplan`'s differential tests), so
+/// results are unchanged from the historical per-trial path.
+///
 /// With `spec.trials == 0` the aggregate is coherently empty: both [`Stats`]
 /// have `n() == 0` (so their means are `NaN`) and `mean_breakdown` is all
 /// `NaN`.
@@ -227,41 +375,15 @@ where
     I: FaultInjector,
     F: Fn(u64) -> I + Sync,
 {
-    let config = SimConfig {
-        downtime,
-        record_trace: false,
-    };
-    sim_result_stats(spec, |i| {
-        let mut inj = make_injector(spec.trial_seed(i));
-        simulate(wf, schedule, &mut inj, config)
-    })
-}
-
-/// Aggregates one [`SimResult`] per trial into [`TrialStats`] with the
-/// shared deterministic chunk grouping: both paths fold into per-chunk
-/// accumulators over the same item-count-derived boundaries and merge in
-/// chunk order, so the statistics are bit-identical for any thread count
-/// and memory stays O(chunks). Zero trials yield the coherent all-NaN
-/// aggregate. Shared by the homogeneous and replicated trial runners.
-pub(crate) fn sim_result_stats<F>(spec: TrialSpec, run_one: F) -> TrialStats
-where
-    F: Fn(usize) -> SimResult + Sync,
-{
-    let acc = if spec.parallel {
-        (0..spec.trials)
-            .into_par_iter()
-            .map(run_one)
-            .fold(TrialAccum::identity, TrialAccum::push)
-            .reduce(TrialAccum::identity, TrialAccum::merge)
-    } else {
-        fold_sequential_chunks(
-            spec.trials,
-            TrialAccum::identity,
-            |acc, i| acc.push(run_one(i)),
-            TrialAccum::merge,
-        )
-    };
-    acc.into_trial_stats()
+    let plan = TrialPlan::compile(wf, schedule);
+    planned_result_stats(
+        spec,
+        || TrialScratch::new(plan.n_tasks()),
+        |scratch, i| {
+            let mut inj = make_injector(spec.trial_seed(i));
+            simulate_planned(&plan, scratch, &mut inj, downtime)
+        },
+    )
 }
 
 /// Folds an arbitrary per-trial metric into [`Stats`] with the same
@@ -308,6 +430,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{simulate, SimConfig};
     use dagchkpt_core::{evaluator, CostRule};
     use dagchkpt_dag::{generators, topo, FixedBitSet};
     use dagchkpt_failure::NoFaults;

@@ -33,7 +33,11 @@
 use crate::engine::SimResult;
 use crate::events::{Event, UnitKind};
 use crate::memory::MemoryState;
+use crate::montecarlo::{planned_metric_tail_stats, TrialSpec};
 use crate::plan::recovery_plan_with;
+use crate::quantile::QuantileSketch;
+use crate::stats::Stats;
+use crate::trialplan::{PlannedResult, TrialPlan, TrialScratch};
 use dagchkpt_core::{Schedule, Workflow};
 use dagchkpt_dag::{FixedBitSet, NodeId};
 use dagchkpt_failure::FaultInjector;
@@ -246,6 +250,186 @@ pub fn simulate_nonblocking(
     st.res
 }
 
+/// Allocation-free twin of [`State`]: the bit set, write queue and result
+/// live in a caller-owned [`TrialScratch`], borrowed for one trial.
+struct PlannedNbState<'a> {
+    t: f64,
+    next_fault: f64,
+    memory: &'a mut FixedBitSet,
+    durable: &'a mut FixedBitSet,
+    writes: &'a mut VecDeque<(NodeId, f64)>,
+    res: PlannedResult,
+    injector: &'a mut dyn FaultInjector,
+    downtime: f64,
+    compute_rate: f64,
+}
+
+impl PlannedNbState<'_> {
+    fn fault(&mut self, start: f64) {
+        self.res.time_wasted += self.next_fault - start;
+        self.t = self.next_fault;
+        self.res.n_faults += 1;
+        self.memory.clear();
+        self.writes.clear();
+        self.t += self.downtime;
+        self.res.time_downtime += self.downtime;
+        self.next_fault = self.injector.next_fault_after(self.t);
+    }
+
+    fn run_compute(&mut self, d: f64, kind: UnitKind) -> bool {
+        let start = self.t;
+        let mut left = d;
+        while left > 0.0 {
+            let rate = if self.writes.is_empty() {
+                1.0
+            } else {
+                self.compute_rate
+            };
+            let to_unit = left / rate;
+            let step = match self.writes.front() {
+                Some(&(_, w_rem)) if w_rem < to_unit => w_rem,
+                _ => to_unit,
+            };
+            if self.next_fault < self.t + step {
+                self.fault(start);
+                return false;
+            }
+            self.t += step;
+            left -= step * rate;
+            self.drain_writes(step);
+        }
+        let wall = self.t - start;
+        self.charge(kind, d);
+        self.res.time_checkpoint += wall - d; // interference stretch
+        true
+    }
+
+    fn drain_writes(&mut self, step: f64) {
+        let mut left = step;
+        while let Some(front) = self.writes.front_mut() {
+            if front.1 > left {
+                front.1 -= left;
+                break;
+            }
+            left -= front.1;
+            let (task, _) = self.writes.pop_front().expect("front exists");
+            self.durable.insert(task.index());
+        }
+    }
+
+    fn charge(&mut self, kind: UnitKind, d: f64) {
+        match kind {
+            UnitKind::Work => self.res.time_work += d,
+            UnitKind::Rework => self.res.time_rework += d,
+            UnitKind::Recovery => self.res.time_recovery += d,
+            UnitKind::Checkpoint => self.res.time_checkpoint += d,
+        }
+    }
+}
+
+/// Simulates one non-blocking trial on a compiled [`TrialPlan`], reusing
+/// `scratch` so the steady state performs no heap allocations. Bit-identical
+/// to [`simulate_nonblocking`] without a trace (pinned by a differential
+/// test below).
+pub fn simulate_nonblocking_planned(
+    plan: &TrialPlan,
+    scratch: &mut TrialScratch,
+    injector: &mut dyn FaultInjector,
+    cfg: NonBlockingConfig,
+) -> PlannedResult {
+    assert!(
+        cfg.compute_rate > 0.0 && cfg.compute_rate <= 1.0,
+        "compute_rate must be in (0, 1]"
+    );
+    let TrialScratch {
+        memory,
+        recovery,
+        durable,
+        writes,
+    } = scratch;
+    memory.clear();
+    durable.clear();
+    writes.clear();
+    let next_fault = injector.next_fault_after(0.0);
+    let mut st = PlannedNbState {
+        t: 0.0,
+        next_fault,
+        memory,
+        durable,
+        writes,
+        res: PlannedResult::default(),
+        injector,
+        downtime: cfg.downtime,
+        compute_rate: cfg.compute_rate,
+    };
+
+    for idx in 0..plan.n_tasks() {
+        let task = plan.order[idx];
+        let w = plan.work[task.index()];
+        'block: loop {
+            plan.fill_recovery(recovery, &*st.durable, &*st.memory, task);
+            let mut completed = true;
+            for si in 0..recovery.steps.len() {
+                let step = recovery.steps[si];
+                if !st.run_compute(step.duration, step.kind) {
+                    completed = false;
+                    break;
+                }
+                st.memory.insert(step.task.index());
+                // A re-executed task that the schedule wants checkpointed
+                // lost its write in some earlier fault: re-enqueue it.
+                if step.kind == UnitKind::Rework
+                    && plan.checkpointed.contains(step.task.index())
+                    && !st.durable.contains(step.task.index())
+                {
+                    st.writes
+                        .push_back((step.task, plan.ckpt_cost[step.task.index()]));
+                }
+            }
+            if !completed {
+                continue 'block;
+            }
+            if !st.run_compute(w, UnitKind::Work) {
+                continue 'block;
+            }
+            st.memory.insert(task.index());
+            if plan.checkpointed.contains(task.index()) {
+                st.writes.push_back((task, plan.ckpt_cost[task.index()]));
+            }
+            break 'block;
+        }
+    }
+
+    st.res.makespan = st.t;
+    st.res
+}
+
+/// Monte-Carlo campaign over the non-blocking engine on the zero-allocation
+/// fast path: one compiled plan shared by every worker, one scratch arena
+/// per fold chunk. Returns makespan statistics and a tail sketch, bit-for-bit
+/// what the reference engine produces under any `RAYON_NUM_THREADS`.
+pub fn run_nonblocking_trials_with<I, F>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    cfg: NonBlockingConfig,
+    spec: TrialSpec,
+    make_injector: F,
+) -> (Stats, QuantileSketch)
+where
+    I: FaultInjector,
+    F: Fn(u64) -> I + Sync,
+{
+    let plan = TrialPlan::compile(wf, schedule);
+    planned_metric_tail_stats(
+        spec,
+        || TrialScratch::new(plan.n_tasks()),
+        |scratch, i| {
+            let mut inj = make_injector(spec.trial_seed(i));
+            simulate_nonblocking_planned(&plan, scratch, &mut inj, cfg).makespan
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +584,79 @@ mod tests {
             // re-executing.
             assert_eq!(nb.time_rework, bl.time_rework);
         }
+    }
+
+    /// The zero-allocation fast path is bit-identical to the reference
+    /// engine: every bucket of every trial, across fixtures, fault rates,
+    /// interference factors, and a scratch arena reused between trials.
+    #[test]
+    fn planned_nonblocking_engine_is_bit_identical_to_reference() {
+        let fixtures: Vec<(Workflow, usize)> = vec![
+            (Workflow::uniform(generators::chain(17), 9.0, 1.3), 3),
+            (Workflow::uniform(generators::grid(4, 5), 7.0, 0.9), 2),
+            (Workflow::uniform(generators::fork_join(6), 11.0, 2.1), 1),
+        ];
+        for (wf, every) in fixtures {
+            let n = wf.n_tasks();
+            let order = topo::topological_order(wf.dag());
+            let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|i| i % every == 0));
+            let s = Schedule::new(&wf, order, ckpt).unwrap();
+            let plan = TrialPlan::compile(&wf, &s);
+            let mut scratch = TrialScratch::new(plan.n_tasks());
+            for seed in 0..48u64 {
+                let cfg = NonBlockingConfig {
+                    downtime: 1.5,
+                    compute_rate: if seed % 2 == 0 { 1.0 } else { 0.6 },
+                    record_trace: false,
+                };
+                let mut inj = ExponentialInjector::new(8e-3, seed);
+                let reference = simulate_nonblocking(&wf, &s, &mut inj, cfg);
+                let mut inj = ExponentialInjector::new(8e-3, seed);
+                let fast = simulate_nonblocking_planned(&plan, &mut scratch, &mut inj, cfg);
+                assert_eq!(reference.makespan.to_bits(), fast.makespan.to_bits());
+                assert_eq!(reference.n_faults, fast.n_faults);
+                for (a, b) in [
+                    (reference.time_work, fast.time_work),
+                    (reference.time_rework, fast.time_rework),
+                    (reference.time_recovery, fast.time_recovery),
+                    (reference.time_checkpoint, fast.time_checkpoint),
+                    (reference.time_wasted, fast.time_wasted),
+                    (reference.time_downtime, fast.time_downtime),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// The fast-path campaign runner reproduces the generic metric runner
+    /// bit-for-bit (same seeds, same chunking, same sketch).
+    #[test]
+    fn run_nonblocking_trials_matches_generic_metric_runner_bitwise() {
+        let wf = Workflow::uniform(generators::chain(9), 10.0, 1.0);
+        let s = Schedule::always(&wf, topo::topological_order(wf.dag())).unwrap();
+        let cfg = NonBlockingConfig {
+            downtime: 2.0,
+            compute_rate: 0.7,
+            record_trace: false,
+        };
+        let spec = TrialSpec::new(500, 7);
+        let (fast_stats, fast_tail) = run_nonblocking_trials_with(&wf, &s, cfg, spec, |seed| {
+            ExponentialInjector::new(4e-3, seed)
+        });
+        let (ref_stats, ref_tail) = crate::montecarlo::trial_metric_tail_stats(spec, |i| {
+            let mut inj = ExponentialInjector::new(4e-3, spec.trial_seed(i));
+            simulate_nonblocking(&wf, &s, &mut inj, cfg).makespan
+        });
+        assert_eq!(fast_stats.mean().to_bits(), ref_stats.mean().to_bits());
+        assert_eq!(
+            fast_stats.variance().to_bits(),
+            ref_stats.variance().to_bits()
+        );
+        assert_eq!(fast_stats.n(), ref_stats.n());
+        assert_eq!(fast_stats.min().to_bits(), ref_stats.min().to_bits());
+        assert_eq!(fast_stats.max().to_bits(), ref_stats.max().to_bits());
+        assert_eq!(fast_tail, ref_tail);
     }
 
     #[test]

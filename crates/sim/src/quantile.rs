@@ -286,6 +286,29 @@ impl QuantileSketch {
         }
     }
 
+    /// Adds a chunk of observations in slice order — bit-identical to
+    /// pushing them one by one. Once the marker banks exist the per-item
+    /// dispatch (`banks` discriminant test, count bump) is hoisted out of
+    /// the loop, so a chunk runs as three tight `observe` streams — the
+    /// batched consumer for the fast path's per-chunk sample buffers.
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        let mut rest = xs;
+        while self.banks.is_none() {
+            let Some((&x, tail)) = rest.split_first() else {
+                return;
+            };
+            self.push(x);
+            rest = tail;
+        }
+        self.count += rest.len() as u64;
+        let banks = self.banks.as_mut().expect("banks initialized");
+        for &x in rest {
+            for bank in banks.iter_mut() {
+                bank.observe(x);
+            }
+        }
+    }
+
     fn init_banks(&mut self) {
         let mut sorted = [0.0; INIT_OBS];
         sorted.copy_from_slice(&self.buffer);
@@ -596,6 +619,25 @@ mod tests {
         assert_eq!(s.count(), 101);
         assert!((s.p50() - 50.0).abs() < 3.0, "p50 {}", s.p50());
         assert!(s.p99() >= s.p95() - 1e-9 && s.p95() >= s.p50() - 1e-9);
+    }
+
+    /// The fast path's batched consumer must not move a single marker bit
+    /// relative to the scalar `push` loop — across the buffered → banked
+    /// transition and for empty/partial chunks.
+    #[test]
+    fn push_slice_is_bit_identical_to_scalar_pushes() {
+        let xs: Vec<f64> = (0..333).map(|i| ((i * 73) % 101) as f64 - 17.5).collect();
+        for split in [0usize, 1, 3, 5, 6, 100, 333] {
+            let mut scalar = QuantileSketch::new();
+            for &x in &xs {
+                scalar.push(x);
+            }
+            let mut batched = QuantileSketch::new();
+            batched.push_slice(&xs[..split]);
+            batched.push_slice(&[]);
+            batched.push_slice(&xs[split..]);
+            assert_eq!(scalar, batched, "split at {split}");
+        }
     }
 
     #[test]

@@ -60,9 +60,10 @@
 use crate::engine::{simulate, SimConfig, SimResult};
 use crate::events::UnitKind;
 use crate::memory::MemoryState;
-use crate::montecarlo::{sim_result_stats, TrialSpec, TrialStats};
+use crate::montecarlo::{planned_result_stats, TrialSpec, TrialStats};
 use crate::nonblocking::{simulate_nonblocking, NonBlockingConfig};
 use crate::plan::{recovery_plan, recovery_plan_with, PlanStep};
+use crate::trialplan::{PlannedResult, TrialPlan, TrialScratch};
 use dagchkpt_core::{Schedule, Workflow};
 use dagchkpt_dag::{FixedBitSet, NodeId};
 use dagchkpt_failure::{FaultInjector, HeteroPlatform, Processor};
@@ -287,6 +288,75 @@ fn simulate_replicated_on<I: FaultInjector>(
     res
 }
 
+/// Zero-allocation twin of the blocking group engine: identical group
+/// attempts, pricing and accounting — bit-identical results (pinned by
+/// the differential test below) — but recovery plans fill the compiled
+/// `plan`'s scratch buffers instead of allocating, and no trace machinery
+/// exists. The trial runners share one [`TrialPlan`] across all threads
+/// and one [`TrialScratch`] per fold chunk.
+pub fn simulate_replicated_planned<I: FaultInjector>(
+    plan: &TrialPlan,
+    scratch: &mut TrialScratch,
+    platform: &HeteroPlatform,
+    sets: &[&[usize]],
+    injectors: &mut [I],
+) -> PlannedResult {
+    assert!(
+        injectors.len() >= dagchkpt_core::replica_rank_count(sets),
+        "need one injector per replica rank"
+    );
+    let procs = platform.procs();
+    let downtime = platform.downtime();
+    let mut t = 0.0f64;
+    scratch.memory.clear();
+    let mut res = PlannedResult::default();
+
+    for idx in 0..plan.n_tasks() {
+        let task = plan.order[idx];
+        let set = sets[task.index()];
+        let w = plan.work[task.index()];
+        let c = plan.block_ckpt[task.index()];
+        loop {
+            plan.fill_recovery(
+                &mut scratch.recovery,
+                &plan.checkpointed,
+                &scratch.memory,
+                task,
+            );
+            let (rework, recovery) = plan_amounts(&scratch.recovery.steps);
+            let attempt = group_attempt(procs, set, injectors, |p| {
+                (rework + w) / p.speed + recovery / p.read_bw + c / p.write_bw
+            });
+            match attempt {
+                Attempt::Success { rank, elapsed } => {
+                    t += elapsed;
+                    let p = &procs[rank];
+                    res.time_rework += rework / p.speed;
+                    res.time_recovery += recovery / p.read_bw;
+                    res.time_work += w / p.speed;
+                    res.time_checkpoint += c / p.write_bw;
+                    for si in 0..scratch.recovery.steps.len() {
+                        scratch
+                            .memory
+                            .insert(scratch.recovery.steps[si].task.index());
+                    }
+                    scratch.memory.insert(task.index());
+                    break;
+                }
+                Attempt::GroupFailure { elapsed } => {
+                    t += elapsed + downtime;
+                    res.time_wasted += elapsed;
+                    res.time_downtime += downtime;
+                    res.n_faults += 1;
+                    scratch.memory.clear();
+                }
+            }
+        }
+    }
+    res.makespan = t;
+    res
+}
+
 /// Simulates `schedule` once on `platform` with replication and
 /// **non-blocking** checkpoint writes overlapping subsequent computation at
 /// `compute_rate` (see the module docs for the exact semantics).
@@ -477,7 +547,7 @@ pub fn run_replicated_trials_with<I, F>(
     make_injector: F,
 ) -> TrialStats
 where
-    I: FaultInjector,
+    I: FaultInjector + Send,
     F: Fn(usize, u64) -> I + Sync,
 {
     if delegates(platform, degrees) {
@@ -490,12 +560,41 @@ where
         );
     }
     let ranks = max_degree(platform, degrees);
-    sim_result_stats(spec, |i| {
-        let mut injectors: Vec<I> = (0..ranks)
-            .map(|rank| make_injector(rank, spec.proc_seed(i, rank)))
-            .collect();
-        simulate_replicated(wf, schedule, platform, degrees, &mut injectors)
-    })
+    let prefix = prefix_table(platform);
+    let sets: Vec<&[usize]> = degrees
+        .iter()
+        .map(|&d| &prefix[..d.clamp(1, prefix.len())])
+        .collect();
+    run_planned_replicated(wf, schedule, platform, &sets, ranks, spec, make_injector)
+}
+
+/// Shared fast-path spine of both replicated runners: one compiled
+/// [`TrialPlan`] for all threads, and per fold chunk one scratch holding
+/// both the trial buffers and the reusable per-rank injector vector
+/// (`clear` + `extend` per trial — no per-trial allocation).
+fn run_planned_replicated<I, F>(
+    wf: &Workflow,
+    schedule: &Schedule,
+    platform: &HeteroPlatform,
+    sets: &[&[usize]],
+    ranks: usize,
+    spec: TrialSpec,
+    make_injector: F,
+) -> TrialStats
+where
+    I: FaultInjector + Send,
+    F: Fn(usize, u64) -> I + Sync,
+{
+    let plan = TrialPlan::compile(wf, schedule);
+    planned_result_stats(
+        spec,
+        || (TrialScratch::new(plan.n_tasks()), Vec::with_capacity(ranks)),
+        |(scratch, injectors): &mut (TrialScratch, Vec<I>), i| {
+            injectors.clear();
+            injectors.extend((0..ranks).map(|rank| make_injector(rank, spec.proc_seed(i, rank))));
+            simulate_replicated_planned(&plan, scratch, platform, sets, injectors)
+        },
+    )
 }
 
 /// [`run_replicated_trials_with`] over explicit per-task replica sets —
@@ -514,7 +613,7 @@ pub fn run_replicated_sets_trials_with<I, F>(
     make_injector: F,
 ) -> TrialStats
 where
-    I: FaultInjector,
+    I: FaultInjector + Send,
     F: Fn(usize, u64) -> I + Sync,
 {
     assert_eq!(sets.len(), wf.n_tasks(), "one replica set per task");
@@ -530,12 +629,7 @@ where
     }
     let ranks = dagchkpt_core::replica_rank_count(&sets);
     let refs: Vec<&[usize]> = sets.iter().map(|s| s.as_slice()).collect();
-    sim_result_stats(spec, |i| {
-        let mut injectors: Vec<I> = (0..ranks)
-            .map(|rank| make_injector(rank, spec.proc_seed(i, rank)))
-            .collect();
-        simulate_replicated_on(wf, schedule, platform, &refs, &mut injectors)
-    })
+    run_planned_replicated(wf, schedule, platform, &refs, ranks, spec, make_injector)
 }
 
 #[cfg(test)]
@@ -1033,6 +1127,47 @@ mod tests {
             slow.makespan
         );
         assert!((slow.accounted_time() - slow.makespan).abs() < 1e-9);
+    }
+
+    /// The fast-path group engine is bit-identical to the reference
+    /// engine — every bucket, every trial, including a reused scratch.
+    #[test]
+    fn planned_replicated_engine_is_bit_identical_to_reference() {
+        let wf = Workflow::uniform(generators::grid(3, 3), 8.0, 0.8);
+        let order = topo::topological_order(wf.dag());
+        let ckpt = FixedBitSet::from_indices(9, [0usize, 2, 5, 7]);
+        let s = Schedule::new(&wf, order, ckpt).unwrap();
+        let platform = hetero2(1.0);
+        let degrees = [2usize, 1, 2, 1, 2, 1, 2, 1, 2];
+        let prefix: Vec<usize> = (0..2).collect();
+        let sets: Vec<&[usize]> = degrees.iter().map(|&d| &prefix[..d]).collect();
+        let plan = TrialPlan::compile(&wf, &s);
+        let mut scratch = TrialScratch::new(plan.n_tasks());
+        let spec = TrialSpec::new(200, 41);
+        let build = |i: usize| -> Vec<ExponentialInjector> {
+            (0..2)
+                .map(|rank| {
+                    ExponentialInjector::new(platform.procs()[rank].lambda, spec.proc_seed(i, rank))
+                })
+                .collect()
+        };
+        for i in 0..spec.trials {
+            let reference = simulate_replicated(&wf, &s, &platform, &degrees, &mut build(i));
+            let fast =
+                simulate_replicated_planned(&plan, &mut scratch, &platform, &sets, &mut build(i));
+            assert_eq!(reference.makespan.to_bits(), fast.makespan.to_bits());
+            assert_eq!(reference.n_faults, fast.n_faults);
+            for (a, b) in [
+                (reference.time_work, fast.time_work),
+                (reference.time_rework, fast.time_rework),
+                (reference.time_recovery, fast.time_recovery),
+                (reference.time_checkpoint, fast.time_checkpoint),
+                (reference.time_wasted, fast.time_wasted),
+                (reference.time_downtime, fast.time_downtime),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,31 @@ impl Stats {
         self.max = self.max.max(x);
     }
 
+    /// Adds a chunk of observations in slice order — bit-identical to
+    /// pushing them one by one, but with the accumulator fields hoisted
+    /// into locals so the whole chunk runs register-to-register (the
+    /// batched consumer the Monte-Carlo fast path feeds per-chunk sample
+    /// buffers through).
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        let (mut n, mut mean, mut m2) = (self.n, self.mean, self.m2);
+        let (mut min, mut max) = (self.min, self.max);
+        for &x in xs {
+            n += 1;
+            let d = x - mean;
+            mean += d / n as f64;
+            m2 += d * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        *self = Stats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        };
+    }
+
     /// Merges another accumulator (Chan et al. parallel variance).
     pub fn merge(mut self, other: Stats) -> Stats {
         if other.n == 0 {
@@ -218,6 +243,25 @@ mod tests {
     }
 
     proptest! {
+        /// The fast path's batched consumer must not move a single bit
+        /// relative to the scalar `push` loop it replaces.
+        #[test]
+        fn push_slice_is_bit_identical_to_scalar_pushes(
+            head in proptest::collection::vec(-1e6f64..1e6, 0..40),
+            tail in proptest::collection::vec(-1e6f64..1e6, 0..40),
+        ) {
+            let mut scalar = Stats::new();
+            for &x in head.iter().chain(&tail) { scalar.push(x); }
+            let mut batched = Stats::new();
+            batched.push_slice(&head);
+            batched.push_slice(&tail);
+            prop_assert_eq!(scalar.n(), batched.n());
+            prop_assert_eq!(scalar.mean.to_bits(), batched.mean.to_bits());
+            prop_assert_eq!(scalar.m2.to_bits(), batched.m2.to_bits());
+            prop_assert_eq!(scalar.min.to_bits(), batched.min.to_bits());
+            prop_assert_eq!(scalar.max.to_bits(), batched.max.to_bits());
+        }
+
         #[test]
         fn merge_equals_sequential(
             a in proptest::collection::vec(-100.0f64..100.0, 0..60),

@@ -24,10 +24,10 @@
 //! reference-rate model and divided by the speed of the processor it
 //! lands on. On uniform platforms (every speed 1) this is exact.
 
-use crate::engine::{simulate, SimConfig};
-use crate::montecarlo::{fold_sequential_chunks, TrialSpec};
+use crate::montecarlo::{fold_sequential_chunk_states, TrialSpec};
 use crate::quantile::QuantileSketch;
 use crate::stats::Stats;
+use crate::trialplan::{simulate_planned, TrialPlan, TrialScratch};
 use dagchkpt_core::{Schedule, Workflow};
 use dagchkpt_failure::FaultInjector;
 use rayon::prelude::*;
@@ -140,28 +140,63 @@ struct JobOutcome {
     service: f64,
 }
 
-/// One trial of the stream: a deterministic event-driven replay.
+/// Reusable buffers for the stream replay: one per fold chunk, reset at
+/// the top of every trial so the steady state allocates nothing.
+struct StreamScratch {
+    outcomes: Vec<JobOutcome>,
+    free: Vec<bool>,
+    running: Vec<(f64, usize, usize)>,
+    waiting: Vec<usize>,
+    started: Vec<u64>,
+}
+
+impl StreamScratch {
+    fn new(n_jobs: usize, n_procs: usize, n_tenants: usize) -> Self {
+        StreamScratch {
+            outcomes: Vec::with_capacity(n_jobs),
+            free: vec![true; n_procs],
+            running: Vec::with_capacity(n_procs),
+            waiting: Vec::with_capacity(n_jobs),
+            started: vec![0; n_tenants],
+        }
+    }
+}
+
+/// One trial of the stream: a deterministic event-driven replay filling
+/// `st.outcomes` (valid until the next call).
 ///
 /// Event order is fixed: at equal instants, finishes are processed
 /// before arrivals (freed processors are visible to the arriving job),
 /// and equal-time finishes resolve lowest-job-index first — so the
 /// replay is a pure function of `(jobs, config, services)`.
-fn run_stream(jobs: &[TenantJob], config: &TenantConfig, services: &[f64]) -> Vec<JobOutcome> {
+fn run_stream_into(
+    jobs: &[TenantJob],
+    config: &TenantConfig,
+    services: &[f64],
+    st: &mut StreamScratch,
+) {
     let n_procs = config.speeds.len();
-    let mut outcomes: Vec<JobOutcome> = jobs
-        .iter()
-        .map(|j| JobOutcome {
-            tenant: j.tenant,
-            response: None,
-            service: f64::NAN,
-        })
-        .collect();
-    let mut free: Vec<bool> = vec![true; n_procs];
+    let StreamScratch {
+        outcomes,
+        free,
+        running,
+        waiting,
+        started,
+    } = st;
+    outcomes.clear();
+    outcomes.extend(jobs.iter().map(|j| JobOutcome {
+        tenant: j.tenant,
+        response: None,
+        service: f64::NAN,
+    }));
+    free.clear();
+    free.resize(n_procs, true);
     // (finish time, processor, job); scanned for the minimum — streams
     // are dozens of jobs, not millions.
-    let mut running: Vec<(f64, usize, usize)> = Vec::new();
-    let mut waiting: Vec<usize> = Vec::new();
-    let mut started: Vec<u64> = vec![0; config.weights.len()];
+    running.clear();
+    waiting.clear();
+    started.clear();
+    started.resize(config.weights.len(), 0);
     let mut next_arrival = 0usize;
 
     // Admits waiting jobs onto free processors at instant `t` until one
@@ -249,14 +284,7 @@ fn run_stream(jobs: &[TenantJob], config: &TenantConfig, services: &[f64]) -> Ve
             let (_, proc, job) = running.swap_remove(idx);
             outcomes[job].response = Some(tf - jobs[job].arrival);
             free[proc] = true;
-            admit(
-                tf,
-                &mut free,
-                &mut waiting,
-                &mut running,
-                &mut started,
-                &mut outcomes,
-            );
+            admit(tf, free, waiting, running, started, outcomes);
         } else {
             let ta = arrival.expect("checked above");
             let job = next_arrival;
@@ -267,18 +295,10 @@ fn run_stream(jobs: &[TenantJob], config: &TenantConfig, services: &[f64]) -> Ve
                 // marker the accumulator counts.
             } else {
                 waiting.push(job);
-                admit(
-                    ta,
-                    &mut free,
-                    &mut waiting,
-                    &mut running,
-                    &mut started,
-                    &mut outcomes,
-                );
+                admit(ta, free, waiting, running, started, outcomes);
             }
         }
     }
-    outcomes
 }
 
 /// Per-chunk accumulator: one [`TenantStats`] per tenant, pushed in
@@ -295,7 +315,7 @@ impl StreamAccum {
         }
     }
 
-    fn push(mut self, outcomes: &[JobOutcome], deadlines: &[f64]) -> Self {
+    fn push(&mut self, outcomes: &[JobOutcome], deadlines: &[f64]) {
         for o in outcomes {
             let t = &mut self.per[o.tenant];
             t.jobs += 1;
@@ -311,7 +331,6 @@ impl StreamAccum {
                 }
             }
         }
-        self
     }
 
     fn merge(self, other: StreamAccum) -> Self {
@@ -357,33 +376,44 @@ where
         "job tenant index out of range"
     );
     assert!(!config.speeds.is_empty(), "need at least one processor");
-    let sim_config = SimConfig {
-        downtime: config.downtime,
-        record_trace: false,
-    };
-    let run_one = |i: usize| -> Vec<JobOutcome> {
-        let services: Vec<f64> = (0..jobs.len())
-            .map(|j| {
-                let mut inj = make_injector(spec.proc_seed(i, j));
-                simulate(wf, schedule, &mut inj, sim_config).makespan
-            })
-            .collect();
-        run_stream(jobs, config, &services)
-    };
     let n_tenants = config.weights.len();
+    let plan = TrialPlan::compile(wf, schedule);
+    // Per-chunk scratch: the compiled-plan simulator arena, the service
+    // buffer, the stream-replay buffers, and the accumulator itself — all
+    // reused trial after trial within a chunk.
+    let init = || {
+        (
+            TrialScratch::new(plan.n_tasks()),
+            Vec::<f64>::with_capacity(jobs.len()),
+            StreamScratch::new(jobs.len(), config.speeds.len(), n_tenants),
+            StreamAccum::identity(n_tenants),
+        )
+    };
+    let step = |state: &mut (TrialScratch, Vec<f64>, StreamScratch, StreamAccum), i: usize| {
+        let (sim_scratch, services, stream, accum) = state;
+        services.clear();
+        services.extend((0..jobs.len()).map(|j| {
+            let mut inj = make_injector(spec.proc_seed(i, j));
+            simulate_planned(&plan, sim_scratch, &mut inj, config.downtime).makespan
+        }));
+        run_stream_into(jobs, config, services, stream);
+        accum.push(&stream.outcomes, &config.deadlines);
+    };
+    let finish = |state: (TrialScratch, Vec<f64>, StreamScratch, StreamAccum)| state.3;
     let identity = || StreamAccum::identity(n_tenants);
     if spec.parallel {
         (0..spec.trials)
             .into_par_iter()
-            .map(run_one)
-            .fold(identity, |acc, o| acc.push(&o, &config.deadlines))
+            .fold_chunk_states(init, step, finish)
             .reduce(identity, StreamAccum::merge)
             .per
     } else {
-        fold_sequential_chunks(
+        fold_sequential_chunk_states(
             spec.trials,
+            init,
+            step,
+            finish,
             identity,
-            |acc, i| acc.push(&run_one(i), &config.deadlines),
             StreamAccum::merge,
         )
         .per

@@ -1,0 +1,175 @@
+//! Thread-count bit-identity over the scratch-arena fast path.
+//!
+//! The executor contract — statistics are bit-identical for any
+//! `RAYON_NUM_THREADS`, and for the sequential path — predates the
+//! compiled-plan engines; this suite re-pins it on the new path for all
+//! four of them (blocking Monte-Carlo, non-blocking, replicated, tenant).
+//! The vendored executor reads the variable at every dispatch, so each
+//! run sees its own pool size; a mutex serializes the env mutation.
+
+use dagchkpt_core::{Schedule, Workflow};
+use dagchkpt_dag::{generators, topo, FixedBitSet};
+use dagchkpt_failure::{ExponentialInjector, HeteroPlatform, Processor};
+use dagchkpt_sim::montecarlo::{run_trials_with, TrialSpec, TrialStats};
+use dagchkpt_sim::nonblocking::{run_nonblocking_trials_with, NonBlockingConfig};
+use dagchkpt_sim::replicated::run_replicated_trials_with;
+use dagchkpt_sim::tenant::{run_tenant_trials_with, TenantConfig, TenantJob, TenantPolicy};
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under each pool size plus the pre-set environment, restoring
+/// the variable afterwards, and returns one result per configuration.
+fn under_thread_counts<T>(f: impl Fn() -> T) -> Vec<T> {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    let runs = ["1", "4"]
+        .iter()
+        .map(|n| {
+            std::env::set_var("RAYON_NUM_THREADS", n);
+            f()
+        })
+        .collect();
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    runs
+}
+
+fn fixture() -> (Workflow, Schedule) {
+    let n = 23;
+    let wf = Workflow::uniform(generators::chain(n), 8.0, 0.9);
+    let order = topo::topological_order(wf.dag());
+    let ckpt = FixedBitSet::from_indices(n, (0..n).filter(|i| i % 3 == 0));
+    let s = Schedule::new(&wf, order, ckpt).unwrap();
+    (wf, s)
+}
+
+fn hetero2() -> HeteroPlatform {
+    HeteroPlatform::new(
+        vec![
+            Processor {
+                speed: 2.0,
+                ..Processor::reference(4e-3)
+            },
+            Processor::reference(1e-3),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+fn assert_trial_stats_identical(a: &TrialStats, b: &TrialStats) {
+    assert_eq!(a.makespan.n(), b.makespan.n());
+    assert_eq!(a.makespan.mean().to_bits(), b.makespan.mean().to_bits());
+    assert_eq!(
+        a.makespan.variance().to_bits(),
+        b.makespan.variance().to_bits()
+    );
+    assert_eq!(a.makespan.min().to_bits(), b.makespan.min().to_bits());
+    assert_eq!(a.makespan.max().to_bits(), b.makespan.max().to_bits());
+    assert_eq!(a.faults.mean().to_bits(), b.faults.mean().to_bits());
+    for (x, y) in a.mean_breakdown.iter().zip(&b.mean_breakdown) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.tail, b.tail, "sketch state must not move");
+}
+
+#[test]
+fn blocking_fast_path_is_bit_identical_across_thread_counts() {
+    let (wf, s) = fixture();
+    let runs = under_thread_counts(|| {
+        run_trials_with(&wf, &s, 1.5, TrialSpec::new(2_048, 31), |seed| {
+            ExponentialInjector::new(6e-3, seed)
+        })
+    });
+    let sequential = run_trials_with(&wf, &s, 1.5, TrialSpec::sequential(2_048, 31), |seed| {
+        ExponentialInjector::new(6e-3, seed)
+    });
+    for r in &runs {
+        assert_trial_stats_identical(r, &sequential);
+    }
+}
+
+#[test]
+fn nonblocking_fast_path_is_bit_identical_across_thread_counts() {
+    let (wf, s) = fixture();
+    let cfg = NonBlockingConfig {
+        downtime: 1.5,
+        compute_rate: 0.7,
+        record_trace: false,
+    };
+    let campaign = |spec: TrialSpec| {
+        run_nonblocking_trials_with(&wf, &s, cfg, spec, |seed| {
+            ExponentialInjector::new(6e-3, seed)
+        })
+    };
+    let runs = under_thread_counts(|| campaign(TrialSpec::new(2_048, 31)));
+    let (seq_stats, seq_tail) = campaign(TrialSpec::sequential(2_048, 31));
+    for (stats, tail) in &runs {
+        assert_eq!(stats.n(), seq_stats.n());
+        assert_eq!(stats.mean().to_bits(), seq_stats.mean().to_bits());
+        assert_eq!(stats.variance().to_bits(), seq_stats.variance().to_bits());
+        assert_eq!(stats.min().to_bits(), seq_stats.min().to_bits());
+        assert_eq!(stats.max().to_bits(), seq_stats.max().to_bits());
+        assert_eq!(tail, &seq_tail, "sketch state must not move");
+    }
+}
+
+#[test]
+fn replicated_fast_path_is_bit_identical_across_thread_counts() {
+    let (wf, s) = fixture();
+    let platform = hetero2();
+    let degrees: Vec<usize> = (0..wf.n_tasks()).map(|i| 1 + i % 2).collect();
+    let campaign = |spec: TrialSpec| {
+        run_replicated_trials_with(&wf, &s, &platform, &degrees, spec, |rank, seed| {
+            ExponentialInjector::new(platform.procs()[rank].lambda, seed)
+        })
+    };
+    let runs = under_thread_counts(|| campaign(TrialSpec::new(1_024, 17)));
+    let sequential = campaign(TrialSpec::sequential(1_024, 17));
+    for r in &runs {
+        assert_trial_stats_identical(r, &sequential);
+    }
+}
+
+#[test]
+fn tenant_fast_path_is_bit_identical_across_thread_counts() {
+    let (wf, s) = fixture();
+    let jobs: Vec<TenantJob> = (0..6)
+        .map(|k| TenantJob {
+            arrival: 25.0 * k as f64,
+            tenant: k % 3,
+        })
+        .collect();
+    let config = TenantConfig {
+        speeds: vec![1.0, 1.0],
+        downtime: 1.5,
+        policy: TenantPolicy::FairShare,
+        weights: vec![3.0, 2.0, 1.0],
+        deadlines: vec![300.0, 600.0, f64::INFINITY],
+    };
+    let campaign = |spec: TrialSpec| {
+        run_tenant_trials_with(&wf, &s, &jobs, &config, spec, |seed| {
+            ExponentialInjector::new(5e-3, seed)
+        })
+    };
+    let runs = under_thread_counts(|| campaign(TrialSpec::new(1_024, 53)));
+    let sequential = campaign(TrialSpec::sequential(1_024, 53));
+    for r in &runs {
+        assert_eq!(r.len(), sequential.len());
+        for (a, b) in r.iter().zip(&sequential) {
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.rejected, b.rejected);
+            assert_eq!(a.slo_hits, b.slo_hits);
+            assert_eq!(a.response.mean().to_bits(), b.response.mean().to_bits());
+            assert_eq!(
+                a.response.variance().to_bits(),
+                b.response.variance().to_bits()
+            );
+            assert_eq!(a.slowdown.mean().to_bits(), b.slowdown.mean().to_bits());
+            assert_eq!(a.tail, b.tail, "sketch state must not move");
+        }
+    }
+}

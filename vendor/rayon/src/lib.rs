@@ -267,6 +267,42 @@ impl<S: ParallelSource> ParIter<S> {
         }
     }
 
+    /// Folds each deterministic fold-chunk through a per-chunk mutable
+    /// state: `init()` creates the state on the worker that claims the
+    /// chunk, `step` absorbs every item of the chunk into it, and `finish`
+    /// converts the state into the chunk's accumulator. Chunk boundaries
+    /// are [`fold_chunk_len`] — a pure function of the item count — so a
+    /// downstream chunk-ordered `reduce` is bit-identical for any thread
+    /// count, exactly like [`ParMap::fold`]; unlike it, the state lives for
+    /// the *whole chunk*, which lets callers hoist scratch buffers out of
+    /// the per-item path (the Monte-Carlo fast path allocates per chunk,
+    /// never per trial).
+    pub fn fold_chunk_states<St, A, IF, SF, FF>(
+        self,
+        init: IF,
+        step: SF,
+        finish: FF,
+    ) -> ParIter<Vec<A>>
+    where
+        St: Send,
+        A: Send,
+        IF: Fn() -> St + Sync,
+        SF: Fn(&mut St, S::Item) + Sync,
+        FF: Fn(St) -> A + Sync,
+    {
+        let n = self.source.len();
+        let threads = thread_count(n);
+        let chunks = self.source.split(fold_chunk_len(n));
+        let groups = run_chunks(chunks, threads, |c| {
+            let mut state = init();
+            for item in c {
+                step(&mut state, item);
+            }
+            finish(state)
+        });
+        ParIter { source: groups }
+    }
+
     /// Reduces the items sequentially in input order (deterministic).
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
     where
@@ -495,6 +531,46 @@ mod tests {
         assert_eq!(super::fold_chunk_len(64), 1);
         assert_eq!(super::fold_chunk_len(65), 2);
         assert_eq!(super::fold_chunk_len(6_400), 100);
+    }
+
+    #[test]
+    fn fold_chunk_states_matches_fold_groups_and_reuses_state_per_chunk() {
+        // Collect each chunk's items through a stateful buffer; the
+        // resulting groups must fall at the same fold_chunk_len boundaries
+        // as map(..).fold(..), and every chunk must see a fresh state.
+        let n = 1000usize;
+        let chunk = super::fold_chunk_len(n);
+        let groups: Vec<Vec<usize>> = (0..n)
+            .into_par_iter()
+            .fold_chunk_states(
+                Vec::new,
+                |buf: &mut Vec<usize>, i| buf.push(i),
+                |buf| vec![buf],
+            )
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(groups.len(), n.div_ceil(chunk));
+        let mut expect_lo = 0;
+        for g in &groups {
+            let hi = (expect_lo + chunk).min(n);
+            assert_eq!(g, &(expect_lo..hi).collect::<Vec<_>>());
+            expect_lo = hi;
+        }
+        // Empty source: no chunks, the reduce identity survives.
+        let empty: Vec<Vec<usize>> = (0..0usize)
+            .into_par_iter()
+            .fold_chunk_states(
+                Vec::new,
+                |buf: &mut Vec<usize>, i| buf.push(i),
+                |buf| vec![buf],
+            )
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert!(empty.is_empty());
     }
 
     #[test]

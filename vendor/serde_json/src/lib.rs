@@ -128,8 +128,17 @@ fn newline_indent(out: &mut String, indent: Option<usize>) {
 /// Serializes `value` to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None);
+    to_string_into(value, &mut out)?;
     Ok(out)
+}
+
+/// Serializes `value` to compact JSON into a caller-owned buffer,
+/// clearing it first. Byte-identical to [`to_string`]; reusing `out`
+/// across calls amortizes the allocation away.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_value(out, &value.to_value(), None);
+    Ok(())
 }
 
 /// Serializes `value` to two-space-indented JSON.
